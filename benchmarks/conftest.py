@@ -1,0 +1,35 @@
+"""Benchmark-harness plumbing.
+
+Every benchmark regenerates one paper artefact (a table or a figure's
+data series).  Benches register the rendered artefact through the
+``artefact`` fixture; a terminal-summary hook prints them all after the
+run, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the regenerated tables and series alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_ARTEFACTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def artefact():
+    """Register a rendered artefact: ``artefact(name, text)``."""
+
+    def register(name: str, text: str) -> None:
+        _ARTEFACTS.append((name, text))
+
+    return register
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _ARTEFACTS:
+        return
+    terminalreporter.section("regenerated paper artefacts")
+    for name, text in _ARTEFACTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"### {name}")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

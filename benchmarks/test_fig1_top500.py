@@ -1,0 +1,50 @@
+"""Figure 1 — exponential growth of supercomputing power (Top500).
+
+Regenerates the three Figure 1 series (sum, #1, #500), fits the
+exponential growth, projects the exaflop year and derives the paper's
+"factor of 25" efficiency gap.
+"""
+
+import pytest
+
+from repro.core.report import render_series, render_table
+from repro.top500 import (
+    TOP500_SERIES,
+    fit_series,
+    project_exaflop,
+    required_efficiency_factor,
+)
+
+
+def _regenerate():
+    fits = {column: fit_series(column) for column in ("sum", "top", "entry")}
+    projection = project_exaflop("top")
+    factor = required_efficiency_factor()
+    return fits, projection, factor
+
+
+def test_fig1_growth_and_projection(benchmark, artefact):
+    fits, projection, factor = benchmark(_regenerate)
+
+    rows = [
+        [column, f"{fit.growth:.2f}x/yr", f"{fit.r_squared:.3f}"]
+        for column, fit in fits.items()
+    ]
+    rows.append(["exaflop year (top)", f"{projection.exaflop_year:.1f}", ""])
+    rows.append(["paper projection", "2018", ""])
+    rows.append(["efficiency factor needed", f"{factor:.1f}", "paper: ~25"])
+    artefact(
+        "Figure 1 — Top500 exponential growth",
+        render_table("Top500 growth fits (1993-2012)", ["series", "value", "R^2"], rows)
+        + "\n\n"
+        + render_series(
+            "Top500 #1 performance (GFLOPS)",
+            [(e.year, e.top_gflops) for e in TOP500_SERIES],
+            x_label="year",
+            y_label="GFLOPS",
+        ),
+    )
+
+    assert 1.7 <= fits["top"].growth <= 2.1
+    assert 2017 <= projection.exaflop_year <= 2021
+    assert factor == pytest.approx(25.0, rel=0.08)

@@ -1,0 +1,34 @@
+"""Figure 2 — memory characteristics (hwloc topologies) of the two
+single-node platforms: Xeon 5550 (2a) and A9500 (2b)."""
+
+from repro.arch import SNOWBALL_A9500, XEON_X5550, build_topology, render_topology
+
+
+def _regenerate():
+    return {
+        "Xeon 5550": render_topology(build_topology(XEON_X5550)),
+        "A9500": render_topology(build_topology(SNOWBALL_A9500)),
+    }
+
+
+def test_fig2_topologies(benchmark, artefact):
+    rendered = benchmark(_regenerate)
+    artefact(
+        "Figure 2a — Xeon 5550 topology",
+        rendered["Xeon 5550"],
+    )
+    artefact(
+        "Figure 2b — A9500 topology",
+        rendered["A9500"],
+    )
+
+    xeon = rendered["Xeon 5550"]
+    assert "Machine (12GB)" in xeon
+    assert "L3 (8192KB)" in xeon
+    assert xeon.count("L2 (256KB)") == 4
+    assert xeon.count("L1 (32KB)") == 4
+
+    snowball = rendered["A9500"]
+    assert "Machine (796MB)" in snowball
+    assert snowball.count("L2 (512KB)") == 1
+    assert snowball.count("L1 (32KB)") == 2

@@ -1,0 +1,82 @@
+"""Figure 7 — cycles and cache accesses of the magicfilter by unroll
+degree (1-12), Intel Nehalem (7a) vs NVIDIA Tegra2 (7b).
+
+Paper findings: curves roughly convex; staircase in cache accesses
+(unroll=9 Nehalem vs unroll=5 Tegra2); Tegra2 cycles grow significantly
+at unroll=12; sweet spot [4:12] on Nehalem vs [4:7] on Tegra2.
+"""
+
+import pytest
+
+from repro.arch import TEGRA2_NODE, XEON_X5550
+from repro.core.report import render_table
+from repro.kernels import MagicFilterBenchmark
+from repro.kernels.magicfilter import UNROLL_RANGE
+
+
+def _sweep(machine):
+    bench = MagicFilterBenchmark(machine)
+    sweep = bench.sweep()
+    return bench, sweep
+
+
+def _render(name, sweep):
+    elements = next(iter(sweep.values()))
+    return render_table(
+        f"magicfilter counters on {name}",
+        ["unroll", "PAPI_TOT_CYC", "PAPI_L1_DCA"],
+        [
+            [u, f"{counters.cycles:,.0f}", f"{counters.cache_accesses:,.0f}"]
+            for u, counters in sweep.items()
+        ],
+    )
+
+
+def test_fig7a_nehalem(benchmark, artefact):
+    bench, sweep = benchmark(lambda: _sweep(XEON_X5550))
+    artefact("Figure 7a — Intel Nehalem", _render("Nehalem", sweep)
+             + f"\nsweet spot: {bench.sweet_spot()} (paper: [4:12])")
+
+    assert bench.sweet_spot() == list(range(4, 13))
+    cycles = {u: sweep[u].cycles for u in UNROLL_RANGE}
+    accesses = {u: sweep[u].cache_accesses for u in UNROLL_RANGE}
+    # convexity of the cycle curve (single trough)
+    best = min(cycles, key=cycles.get)
+    assert all(cycles[u] >= cycles[u + 1] for u in range(1, best))
+    assert all(cycles[u] <= cycles[u + 1] for u in range(best, 12))
+    # cache-access staircase around unroll 8-9
+    assert accesses[9] > accesses[7]
+
+
+def test_fig7b_tegra2(benchmark, artefact):
+    bench, sweep = benchmark(lambda: _sweep(TEGRA2_NODE))
+    artefact("Figure 7b — NVIDIA Tegra 2", _render("Tegra2", sweep)
+             + f"\nsweet spot: {bench.sweet_spot()} (paper: [4:7])")
+
+    assert bench.sweet_spot() == [4, 5, 6, 7]
+    cycles = {u: sweep[u].cycles for u in UNROLL_RANGE}
+    accesses = {u: sweep[u].cache_accesses for u in UNROLL_RANGE}
+    # cycles significantly grow at unroll=12
+    assert cycles[12] > 1.8 * min(cycles.values())
+    # cache accesses start growing quickly from ~unroll 4
+    trough = min(accesses, key=accesses.get)
+    assert trough <= 4
+    assert accesses[5] > accesses[trough]   # the unroll=5 staircase
+
+
+def test_fig7_cross_platform_scale(benchmark, artefact):
+    """'The shapes of the curves are somehow similar but differ
+    drastically in scale.'"""
+    def both():
+        return (
+            MagicFilterBenchmark(XEON_X5550).counters(6).cycles,
+            MagicFilterBenchmark(TEGRA2_NODE).counters(6).cycles,
+        )
+
+    xeon_cycles, tegra_cycles = benchmark(both)
+    artefact(
+        "Figure 7 — scale difference",
+        f"cycles at unroll=6: Nehalem {xeon_cycles:,.0f} vs "
+        f"Tegra2 {tegra_cycles:,.0f} ({tegra_cycles / xeon_cycles:.1f}x)",
+    )
+    assert tegra_cycles > 5 * xeon_cycles

@@ -1,0 +1,21 @@
+"""Table I — the Mont-Blanc selected HPC applications."""
+
+from repro.apps.catalog import MONT_BLANC_APPLICATIONS
+from repro.core.report import render_table
+
+
+def _regenerate():
+    return render_table(
+        "Table I: Mont-Blanc Selected HPC Applications",
+        ["Code", "Scientific Domain", "Institution"],
+        [[a.code, a.domain, a.institution] for a in MONT_BLANC_APPLICATIONS],
+    )
+
+
+def test_table1_catalog(benchmark, artefact):
+    table = benchmark(_regenerate)
+    artefact("Table I — application portfolio", table)
+
+    assert len(MONT_BLANC_APPLICATIONS) == 11
+    for code in ("YALES2", "SPECFEM3D", "BigDFT", "COSMO", "BQCD"):
+        assert code in table

@@ -1,0 +1,63 @@
+"""Table II — comparison between the Intel Xeon 5550 and the
+ST-Ericsson A9500 (Snowball): five benchmarks, performance ratio and
+energy ratio under the paper's TDP energy model."""
+
+import pytest
+
+from repro.apps import BigDFT, CoreMark, Linpack, Specfem3D, StockFish
+from repro.arch import SNOWBALL_A9500, XEON_X5550
+from repro.core.report import render_table
+from repro.energy import compare_runs
+
+PAPER_ROWS = {
+    "LINPACK": ("LINPACK (MFLOPS)", 620, 24000, 38.7, 1.0),
+    "CoreMark": ("CoreMark (ops/s)", 5877, 41950, 7.1, 0.2),
+    "StockFish": ("StockFish (ops/s)", 224113, 4521733, 20.2, 0.5),
+    "SPECFEM3D": ("SPECFEM3D (s)", 186.8, 23.5, 7.9, 0.2),
+    "BigDFT": ("BigDFT (s)", 420.4, 18.1, 23.2, 0.6),
+}
+
+APPS = [Linpack(), CoreMark(), StockFish(), Specfem3D(), BigDFT()]
+
+
+def _regenerate():
+    rows = {}
+    for app in APPS:
+        snow = app.run(SNOWBALL_A9500)
+        xeon = app.run(XEON_X5550)
+        rows[app.name] = compare_runs(xeon, snow)
+    return rows
+
+
+def test_table2_single_node(benchmark, artefact):
+    rows = benchmark(_regenerate)
+
+    rendered = []
+    for name, comparison in rows.items():
+        label, p_snow, p_xeon, p_ratio, p_energy = PAPER_ROWS[name]
+        rendered.append([
+            label,
+            f"{comparison.contender_value:,.0f}"
+            if comparison.metric_name != "s"
+            else f"{comparison.contender_value:.1f}",
+            f"{comparison.reference_value:,.0f}"
+            if comparison.metric_name != "s"
+            else f"{comparison.reference_value:.1f}",
+            f"{comparison.ratio:.1f} (paper {p_ratio})",
+            f"{comparison.energy_ratio:.1f} (paper {p_energy})",
+        ])
+    artefact(
+        "Table II — Xeon 5550 vs A9500 (Snowball)",
+        render_table(
+            "Table II: measured vs paper",
+            ["Benchmark", "Snowball", "Xeon", "Ratio", "Energy Ratio"],
+            rendered,
+        ),
+    )
+
+    for name, comparison in rows.items():
+        _, p_snow, p_xeon, p_ratio, p_energy = PAPER_ROWS[name]
+        assert comparison.contender_value == pytest.approx(p_snow, rel=0.05), name
+        assert comparison.reference_value == pytest.approx(p_xeon, rel=0.05), name
+        assert comparison.ratio == pytest.approx(p_ratio, rel=0.06), name
+        assert comparison.energy_ratio == pytest.approx(p_energy, abs=0.12), name

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""§IV/§VI: energy to solution at cluster scale.
+
+The paper closes its scalability section with a caution: "the node
+power efficiency is likely to be counterbalanced by the network
+inefficiency."  This example quantifies it on the simulated Tibidabo:
+whole-footprint power (4 W nodes + 60 W switches), energy-to-solution
+sweeps for the well-behaved SPECFEM3D and the incast-bound BigDFT, and
+the resulting energy-optimal core count.
+
+Usage::
+
+    python examples/energy_at_scale.py
+"""
+
+from repro.apps import BigDFT, Specfem3D
+from repro.cluster import tibidabo
+from repro.core.report import render_table
+from repro.energy.scale import counterbalance_study
+
+
+def main() -> None:
+    cluster = tibidabo(num_nodes=96, seed=7)
+
+    studies = [
+        ("SPECFEM3D (clean p2p scaling)",
+         counterbalance_study(Specfem3D(timesteps=10), cluster, [8, 16, 32, 64])),
+        ("BigDFT (alltoallv incast past ~16 cores)",
+         counterbalance_study(BigDFT(scf_iterations=4), cluster,
+                              [4, 8, 16, 24, 36])),
+    ]
+
+    for title, study in studies:
+        rows = [
+            [
+                run.cores,
+                run.nodes,
+                f"{run.elapsed_seconds:.1f}",
+                f"{run.total_power_w:.0f}",
+                f"{run.energy_joules:,.0f}",
+                f"{run.network_power_fraction:.0%}",
+            ]
+            for run in study.runs
+        ]
+        print(render_table(
+            title,
+            ["cores", "nodes", "time (s)", "power (W)", "energy (J)", "net share"],
+            rows,
+        ))
+        print(f"  energy-optimal core count: {study.most_efficient_cores}\n")
+
+    print("Reading: SPECFEM3D's energy keeps improving as the fixed fabric")
+    print("power amortizes over more useful work; BigDFT's energy is")
+    print("U-shaped — past the incast threshold every extra node burns")
+    print("joules waiting on retransmissions. That is the 'counterbalance'")
+    print("the paper warns about, and why the final prototype pairs better")
+    print("nodes with a better network.")
+
+
+if __name__ == "__main__":
+    main()

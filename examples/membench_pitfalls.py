@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Figures 5 and 6 + the §V-A-1 page-allocation study.
+
+Reproduces the three micro-architectural pitfalls of §V-A on the
+simulated Snowball:
+
+1. run-to-run irreproducibility from physical page allocation,
+2. the bimodal bandwidth under real-time scheduling (Figure 5),
+3. the counter-intuitive vectorization/unrolling grid (Figure 6),
+   side by side with the well-behaved Xeon.
+
+Usage::
+
+    python examples/membench_pitfalls.py
+"""
+
+from repro.arch import SNOWBALL_A9500, XEON_X5550
+from repro.core.report import render_series, render_table
+from repro.core.stats import detect_modes, summarize
+from repro.kernels import MemBench
+from repro.kernels.membench import MemBenchConfig
+from repro.osmodel import OSModel, SchedulingPolicy
+
+
+def page_allocation_study() -> None:
+    print("=== §V-A-1: physical page allocation (32 KB array) ===")
+    for fragmentation in (0.0, 0.85):
+        values = []
+        for seed in range(6):
+            os_model = OSModel.boot(
+                SNOWBALL_A9500, fragmentation=fragmentation, seed=seed
+            )
+            bench = MemBench(SNOWBALL_A9500, os_model, seed=seed)
+            sample = bench.measure(MemBenchConfig(array_bytes=32 * 1024))
+            values.append(sample.ideal_bandwidth_bytes_per_s / 1e9)
+        stats = summarize(values)
+        print(
+            f"  fragmentation {fragmentation:.2f}: "
+            f"mean {stats.mean:.3f} GB/s, spread "
+            f"[{stats.minimum:.3f}, {stats.maximum:.3f}] over 6 simulated boots"
+        )
+    print("  -> fragmented boots diverge run to run; clean boots repeat exactly\n")
+
+
+def rt_scheduling_study() -> None:
+    print("=== Figure 5: real-time priority on the Snowball ===")
+    os_model = OSModel.boot(SNOWBALL_A9500, policy=SchedulingPolicy.FIFO, seed=5)
+    bench = MemBench(SNOWBALL_A9500, os_model, seed=5)
+    sizes = [k * 1024 for k in (1, 2, 4, 8, 16, 24, 32, 40, 48, 50)]
+    results = bench.run_experiment(array_sizes=sizes, replicates=42, seed=5)
+
+    at_16k = [s.value / 1e9 for s in results.where(array_bytes=16 * 1024)]
+    modes = detect_modes(at_16k)
+    print(f"  modes at 16 KB: {[f'{m.center:.2f} GB/s x{m.count}' for m in modes]}")
+    if len(modes) >= 2:
+        print(f"  nominal/degraded ratio: {modes[0].center / modes[-1].center:.1f}x")
+
+    degraded = [s.sequence for s in results if s.factors["degraded"]]
+    runs = 1 + sum(1 for a, b in zip(degraded, degraded[1:]) if b != a + 1)
+    print(f"  {len(degraded)} degraded samples form {runs} consecutive run(s)")
+
+    curve = []
+    for size in sizes:
+        nominal = [
+            s.value / 1e9 for s in results.where(array_bytes=size, degraded=False)
+        ]
+        curve.append((size // 1024, sum(nominal) / len(nominal)))
+    print(render_series("  bandwidth vs size (nominal mode)", curve,
+                        x_label="KB", y_label="GB/s"))
+    print()
+
+
+def optimization_grid_study() -> None:
+    print("=== Figure 6: element size x unroll at 50 KB ===")
+    for machine in (XEON_X5550, SNOWBALL_A9500):
+        os_model = OSModel.boot(machine, seed=3)
+        bench = MemBench(machine, os_model, seed=3)
+        results = bench.run_variant_grid(array_bytes=50 * 1024, replicates=3, seed=3)
+        rows = []
+        for bits in (32, 64, 128):
+            cells = []
+            for unroll in (1, 8):
+                values = results.where(elem_bits=bits, unroll=unroll).values()
+                cells.append(f"{sum(values) / len(values) / 1e9:.2f}")
+            rows.append([f"{bits}b", *cells])
+        print(render_table(
+            machine.name, ["element", "no unroll (GB/s)", "unroll=8 (GB/s)"], rows
+        ))
+        print()
+    print("  -> on Nehalem both knobs always help; on the A9 the best cell is")
+    print("     64b+unroll while 128b+unroll is actively harmful (Figure 6b)")
+
+
+def main() -> None:
+    page_allocation_study()
+    rt_scheduling_study()
+    optimization_grid_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""§II objective: "optimize their efficiency, using BSC's OmpSs
+programming model" — the magicfilter as an OmpSs task graph.
+
+Builds the three-sweep magicfilter with per-plane-block tasks whose
+dependencies are *inferred* from in/out data clauses, then schedules it
+on:
+
+1. the Snowball's two Cortex-A9 cores (FIFO vs critical-path policy),
+2. the Exynos 5 Dual's two A15 cores plus the Mali-T604
+   (heterogeneous earliest-finish policy — OmpSs's home turf).
+
+Usage::
+
+    python examples/ompss_tasking.py
+"""
+
+from repro.arch import EXYNOS5_DUAL, SNOWBALL_A9500
+from repro.core.report import render_table
+from repro.ompss import (
+    OmpSsScheduler,
+    SchedulingPolicy,
+    Worker,
+    WorkerKind,
+    cpu_workers,
+    magicfilter_taskgraph,
+)
+
+
+def snowball_study() -> None:
+    print("=== magicfilter task graph on the Snowball (2x Cortex-A9) ===")
+    graph = magicfilter_taskgraph(SNOWBALL_A9500, blocks_per_sweep=8)
+    print(f"  {len(graph)} tasks; critical path "
+          f"{graph.critical_path() * 1e3:.2f} ms; "
+          f"serial work {graph.total_work() * 1e3:.2f} ms")
+    rows = []
+    for cores in (1, 2):
+        for policy in (SchedulingPolicy.FIFO, SchedulingPolicy.CRITICAL_PATH):
+            schedule = OmpSsScheduler(cpu_workers(cores), policy=policy).run(graph)
+            rows.append([
+                cores, policy.value,
+                f"{schedule.makespan * 1e3:.2f}",
+                f"{schedule.parallel_efficiency:.0%}",
+            ])
+    print(render_table(
+        "schedules", ["cores", "policy", "makespan (ms)", "efficiency"], rows,
+    ))
+    print()
+
+
+def exynos_hybrid_study() -> None:
+    print("=== heterogeneous scheduling on the Exynos 5 Dual (+Mali) ===")
+    graph = magicfilter_taskgraph(EXYNOS5_DUAL, blocks_per_sweep=8, use_gpu=True)
+    pools = {
+        "2x A15": cpu_workers(2),
+        "2x A15 + Mali-T604": cpu_workers(2) + [Worker(9, WorkerKind.GPU)],
+    }
+    rows = []
+    for name, workers in pools.items():
+        schedule = OmpSsScheduler(
+            workers, policy=SchedulingPolicy.EARLIEST_FINISH
+        ).run(graph)
+        gpu_busy = schedule.worker_busy_time(9) if len(workers) > 2 else 0.0
+        rows.append([
+            name,
+            f"{schedule.makespan * 1e3:.3f}",
+            f"{gpu_busy * 1e3:.3f}",
+        ])
+    print(render_table(
+        "double-precision magicfilter (the Exynos case of §VI-A)",
+        ["worker pool", "makespan (ms)", "GPU busy (ms)"], rows,
+    ))
+    print()
+    print("  The Mali takes sweeps the SP-only Tegra3 GPU could not —")
+    print("  which is exactly why the final prototype chose the Exynos 5.")
+
+
+def main() -> None:
+    snowball_study()
+    exynos_hybrid_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Table I viability study: all eleven Mont-Blanc codes on Tibidabo.
+
+"In order to be viable the approach needs applications to scale" (§IV).
+This example strong-scales the whole portfolio — the paper's two
+detailed codes plus nine characterized models — and sorts them by
+efficiency, showing that the communication *pattern* decides the
+verdict: halo exchanges and Monte-Carlo ensembles thrive on the GbE
+fabric, transposition-bound codes inherit BigDFT's incast syndrome.
+
+Usage::
+
+    python examples/portfolio_viability.py
+"""
+
+from repro.apps import BigDFT, CommPattern, Specfem3D, portfolio_scaling_report
+from repro.apps.portfolio import PortfolioVerdict
+from repro.cluster import tibidabo
+from repro.core.report import render_table
+
+
+def main() -> None:
+    cluster = tibidabo(num_nodes=32, seed=11)
+    verdicts = portfolio_scaling_report(cluster, cores=32, baseline=2)
+
+    for app, pattern in (
+        (Specfem3D(timesteps=8), CommPattern.HALO_EXCHANGE),
+        (BigDFT(scf_iterations=4), CommPattern.TRANSPOSE_ALLTOALL),
+    ):
+        curve = dict(app.speedup_curve(cluster, [2, 32], baseline_cores=2))
+        verdicts.append(PortfolioVerdict(
+            code=app.name, pattern=pattern, efficiency=curve[32] / 32, cores=32,
+        ))
+
+    verdicts.sort(key=lambda v: -v.efficiency)
+    print(render_table(
+        "Mont-Blanc portfolio on Tibidabo (32 cores vs 2-core baseline)",
+        ["code", "dominant pattern", "efficiency", "viable?"],
+        [
+            [v.code, v.pattern.value, f"{v.efficiency:.0%}",
+             "yes" if v.scales else "NO"]
+            for v in verdicts
+        ],
+    ))
+    print()
+    print("Pattern is destiny on a commodity-Ethernet cluster: the two")
+    print("transposition codes (BigDFT, Quantum Espresso) sit at the")
+    print("bottom — the incast pathology of Figure 4 — while everything")
+    print("point-to-point or embarrassingly parallel clears the bar.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: run one benchmark on two simulated platforms.
+
+Builds the paper's two single-node platforms from the catalog, runs the
+SPECFEM3D workload model on both, and prints performance and the
+paper-style energy comparison.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.arch import SNOWBALL_A9500, XEON_X5550
+from repro.apps import Specfem3D
+from repro.energy import compare_runs
+from repro.units import format_seconds
+
+
+def main() -> None:
+    app = Specfem3D()
+
+    print("Platforms")
+    print("  " + XEON_X5550.describe())
+    print("  " + SNOWBALL_A9500.describe())
+    print()
+
+    xeon = app.run(XEON_X5550)
+    snowball = app.run(SNOWBALL_A9500)
+
+    print(f"{app.name} time to solution")
+    print(f"  Xeon X5550 : {format_seconds(xeon.elapsed_seconds)}")
+    print(f"  Snowball   : {format_seconds(snowball.elapsed_seconds)}")
+    print()
+
+    row = compare_runs(xeon, snowball)
+    print(f"performance ratio (Xeon faster by) : {row.ratio:.1f}x")
+    print(f"energy ratio (Snowball / Xeon)     : {row.energy_ratio:.2f}")
+    if row.energy_ratio < 1:
+        print("-> the 2.5 W ARM board solves the same problem for less energy,")
+        print("   even charging it its full USB power budget (the paper's model).")
+
+
+if __name__ == "__main__":
+    main()

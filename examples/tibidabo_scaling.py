@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Figure 3 + Figure 4: scalability study on the simulated Tibidabo.
+
+Strong-scales LINPACK, SPECFEM3D and BigDFT on the Tegra2 cluster
+(Figure 3), then profiles a 36-core BigDFT run, exports a Paraver
+trace, and runs the delayed-collective analysis (Figure 4) — once with
+the commodity switches and once with the upgraded ones the paper
+anticipates.
+
+Usage::
+
+    python examples/tibidabo_scaling.py [--quick]
+"""
+
+import sys
+
+from repro.apps import BigDFT, Linpack, Specfem3D
+from repro.cluster import MpiJob, tibidabo
+from repro.core.report import render_series
+from repro.tracing import (
+    TraceRecorder,
+    analyze_collectives,
+    export_prv,
+    render_timeline,
+)
+
+
+def scaling_study(quick: bool) -> None:
+    cluster = tibidabo(num_nodes=96, seed=7)
+
+    linpack_counts = [1, 4, 16, 48] if quick else [1, 2, 4, 8, 16, 32, 64, 100]
+    specfem_counts = [4, 16, 64] if quick else [4, 8, 16, 32, 64, 128, 192]
+    bigdft_counts = [1, 4, 16, 36] if quick else [1, 2, 4, 8, 16, 24, 32, 36]
+
+    studies = [
+        ("Figure 3a — LINPACK", Linpack(), linpack_counts, 1),
+        ("Figure 3b — SPECFEM3D (vs 4-core run)", Specfem3D(), specfem_counts, 4),
+        ("Figure 3c — BigDFT", BigDFT(), bigdft_counts, 1),
+    ]
+    for title, app, counts, baseline in studies:
+        curve = app.speedup_curve(cluster, counts, baseline_cores=baseline)
+        print(render_series(title, curve, x_label="cores", y_label="speedup"))
+        top_cores, top_speedup = curve[-1]
+        print(f"  efficiency at {top_cores} cores: {top_speedup / top_cores:.0%}\n")
+
+
+def profile_bigdft(upgraded: bool) -> None:
+    label = "upgraded" if upgraded else "commodity"
+    cluster = tibidabo(num_nodes=18, seed=7, upgraded_switches=upgraded)
+    recorder = TraceRecorder()
+    app = BigDFT()
+    result = MpiJob(cluster, 36, app.rank_program(cluster, 36), tracer=recorder).run()
+    report = analyze_collectives(recorder, "alltoallv")
+
+    print(f"Figure 4 — BigDFT on 36 cores, {label} switches")
+    print(f"  job time          : {result.elapsed_seconds:.2f} s")
+    print(f"  loss episodes     : {result.loss_episodes}")
+    print(f"  alltoallv delayed : {len(report.delayed)}/{len(report.instances)}")
+    for instance in report.instances:
+        verdict = "DELAYED" if instance in report.delayed else "normal"
+        print(
+            f"    #{instance.sequence}: span {instance.duration:.3f} s, "
+            f"{instance.ranks_delayed}/{instance.ranks_involved} ranks delayed "
+            f"[{verdict}]"
+        )
+    trace_lines = len(export_prv(recorder, job_name=f"bigdft-36-{label}").splitlines())
+    print(f"  Paraver trace     : {trace_lines} records")
+    print()
+    print(render_timeline(recorder, width=96, ranks=list(range(0, 36, 6))))
+    print()
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    scaling_study(quick)
+    profile_bigdft(upgraded=False)
+    profile_bigdft(upgraded=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to
+the classic setuptools develop install; all metadata stays in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — a simulation-based reproduction of *Performance Analysis of
+HPC Applications on Low-Power Embedded Platforms* (Stanisic et al.,
+DATE 2013).
+
+The original paper measures real hardware: a Snowball ARM board, a Xeon
+X5550 server and the Mont-Blanc Tibidabo ARM cluster.  This library
+rebuilds every layer of that study as a simulation substrate:
+
+* :mod:`repro.arch` — micro-architecture models of the paper's platforms,
+* :mod:`repro.memsim` — a physically-indexed set-associative cache
+  simulator with TLB and DRAM models,
+* :mod:`repro.osmodel` — OS page allocator and scheduler models
+  (including the ARM real-time-scheduling pathology of Figure 5),
+* :mod:`repro.kernels` — the stride microbenchmark, code-generation
+  variants and the BigDFT magicfilter with PAPI-like counters,
+* :mod:`repro.cluster` — a discrete-event cluster/network simulator
+  with congestion-prone Ethernet switches (Figures 3 and 4),
+* :mod:`repro.apps` — workload models of LINPACK, CoreMark, StockFish,
+  SPECFEM3D and BigDFT (Table II),
+* :mod:`repro.tracing` — Extrae/Paraver-style tracing and the
+  delayed-collective analysis,
+* :mod:`repro.autotune` — the auto-tuning framework of §V-B,
+* :mod:`repro.top500` / :mod:`repro.energy` — Top500 growth projection
+  and TDP-based energy accounting,
+* :mod:`repro.core` — the randomized-experiment methodology everything
+  else uses.
+
+Quickstart::
+
+    from repro.arch import SNOWBALL_A9500, XEON_X5550
+    from repro.apps import Linpack
+    from repro.energy import compare_runs
+
+    row = compare_runs(Linpack().run(XEON_X5550), Linpack().run(SNOWBALL_A9500))
+    print(row.ratio, row.energy_ratio)   # 38.7, 1.0 — Table II's first row
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

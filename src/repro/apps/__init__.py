@@ -1,0 +1,51 @@
+"""Application workload models.
+
+One model per code the paper measures (§III, Table II):
+
+* :mod:`repro.apps.linpack` — HPL dense linear algebra (double),
+* :mod:`repro.apps.coremark` — the embedded-industry integer benchmark,
+* :mod:`repro.apps.stockfish` — the branchy 64-bit chess engine,
+* :mod:`repro.apps.specfem3d` — seismic wave propagation (bandwidth
+  bound, single precision, point-to-point halo exchanges),
+* :mod:`repro.apps.bigdft` — wavelet electronic structure (double
+  precision convolutions, all-to-all-v transposition).
+
+Every model characterizes its *workload* (flops by precision, integer
+ops, branches, streamed bytes, communication pattern) and derives its
+runtime on a :class:`~repro.arch.cpu.MachineModel` analytically, or on
+a :class:`~repro.cluster.cluster.ClusterModel` by generating MPI rank
+programs for the discrete-event simulator.  :mod:`repro.apps.catalog`
+carries the paper's Table I application list.
+"""
+
+from repro.apps.base import AppModel, RunResult
+from repro.apps.bigdft import BigDFT
+from repro.apps.catalog import MONT_BLANC_APPLICATIONS, Application
+from repro.apps.coremark import CoreMark
+from repro.apps.linpack import Linpack
+from repro.apps.portfolio import (
+    CharacterizedApp,
+    CommPattern,
+    WorkloadCharacter,
+    portfolio_apps,
+    portfolio_scaling_report,
+)
+from repro.apps.specfem3d import Specfem3D
+from repro.apps.stockfish import StockFish
+
+__all__ = [
+    "AppModel",
+    "Application",
+    "BigDFT",
+    "CharacterizedApp",
+    "CommPattern",
+    "CoreMark",
+    "Linpack",
+    "MONT_BLANC_APPLICATIONS",
+    "RunResult",
+    "Specfem3D",
+    "StockFish",
+    "WorkloadCharacter",
+    "portfolio_apps",
+    "portfolio_scaling_report",
+]

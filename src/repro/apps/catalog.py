@@ -1,0 +1,49 @@
+"""The Mont-Blanc application portfolio (Table I).
+
+"Eleven applications were selected as candidates for porting and
+optimization" — state-of-the-art HPC codes from PRACE-class centers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Application:
+    """One Table I row."""
+
+    code: str
+    domain: str
+    institution: str
+    studied_in_paper: bool = False
+
+
+#: Table I, verbatim; SPECFEM3D and BigDFT are the two codes the paper
+#: focuses on.
+MONT_BLANC_APPLICATIONS: tuple[Application, ...] = (
+    Application("YALES2", "Combustion", "CNRS/CORIA"),
+    Application("EUTERPE", "Fusion", "BSC"),
+    Application("SPECFEM3D", "Wave Propagation", "CNRS", studied_in_paper=True),
+    Application("MP2C", "Multi-particle Collision", "JSC"),
+    Application("BigDFT", "Electronic Structure", "CEA", studied_in_paper=True),
+    Application("Quantum Expresso", "Electronic Structure", "CINECA"),
+    Application("PEPC", "Coulomb & Gravitational Forces", "JSC"),
+    Application("SMMP", "Protein Folding", "JSC"),
+    Application("PorFASI", "Protein Folding", "JSC"),
+    Application("COSMO", "Weather Forecast", "CINECA"),
+    Application("BQCD", "Particle Physics", "LRZ"),
+)
+
+
+def application_by_code(code: str) -> Application:
+    """Look up a Table I application by its code name."""
+    for application in MONT_BLANC_APPLICATIONS:
+        if application.code.lower() == code.lower():
+            return application
+    raise ConfigurationError(
+        f"unknown application {code!r}; known: "
+        f"{[a.code for a in MONT_BLANC_APPLICATIONS]}"
+    )

@@ -1,0 +1,51 @@
+"""Micro-architecture models.
+
+This package carries the hardware knowledge the paper's measurements
+depend on: cache geometries, vector extensions (including the Cortex-A9
+NEON unit's single-precision-only limitation the paper calls out),
+register files, per-core execution resources, power envelopes, and an
+hwloc-style topology tree with an lstopo-like ASCII renderer used to
+regenerate Figure 2.
+
+The concrete platforms of the paper live in :mod:`repro.arch.machines`:
+the Intel Xeon X5550, the ST-Ericsson A9500 (Snowball board), the
+NVIDIA Tegra2 (Tibidabo node), plus the Tegra3 and Samsung Exynos 5
+Dual the Perspectives section discusses.
+"""
+
+from repro.arch.cache import CacheGeometry, IndexingPolicy, ReplacementPolicy
+from repro.arch.cpu import CoreModel, MachineModel, MemoryModel
+from repro.arch.isa import ISA, Precision, VectorExtension
+from repro.arch.registers import RegisterClass, RegisterFile
+from repro.arch.topology import TopologyNode, build_topology, render_topology
+from repro.arch.machines import (
+    EXYNOS5_DUAL,
+    SNOWBALL_A9500,
+    TEGRA2_NODE,
+    TEGRA3_NODE,
+    XEON_X5550,
+    machine_by_name,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "CoreModel",
+    "EXYNOS5_DUAL",
+    "ISA",
+    "IndexingPolicy",
+    "MachineModel",
+    "MemoryModel",
+    "Precision",
+    "RegisterClass",
+    "RegisterFile",
+    "ReplacementPolicy",
+    "SNOWBALL_A9500",
+    "TEGRA2_NODE",
+    "TEGRA3_NODE",
+    "TopologyNode",
+    "VectorExtension",
+    "XEON_X5550",
+    "build_topology",
+    "machine_by_name",
+    "render_topology",
+]

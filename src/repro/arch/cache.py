@@ -1,0 +1,133 @@
+"""Cache geometry descriptions.
+
+A :class:`CacheGeometry` is a *static* description (size, associativity,
+line size, latency, indexing policy); the dynamic set-associative
+simulation lives in :mod:`repro.memsim.cache_sim`.
+
+The indexing policy matters for the paper's §V-A-1 finding: the
+Cortex-A9 L1 data cache is physically indexed and, at 32 KiB with 4-way
+associativity and 4 KiB pages, its set index uses physical address bits
+above the page offset.  Whether the OS hands out *consecutive* physical
+pages therefore changes the conflict-miss behaviour of an array that
+fits L1 — the root cause of the paper's irreproducible runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class IndexingPolicy(enum.Enum):
+    """How the set index is derived from an address."""
+
+    PHYSICAL = "physical"
+    VIRTUAL = "virtual"
+
+
+class ReplacementPolicy(enum.Enum):
+    """Line replacement policy within a set."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Static description of one cache level.
+
+    Attributes:
+        name: level name, e.g. ``"L1d"``.
+        size_bytes: total capacity.
+        associativity: ways per set.
+        line_bytes: cache line size.
+        latency_cycles: access (hit) latency in core cycles.
+        indexing: physical or virtual set indexing.
+        replacement: line replacement policy.
+        shared: True if the level is shared between all cores of a
+            socket (the Snowball's L2; the Xeon's L3).
+        bandwidth_bytes_per_cycle: sustained fill bandwidth from this
+            level toward the core, in bytes per core cycle.
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    latency_cycles: int
+    indexing: IndexingPolicy = IndexingPolicy.PHYSICAL
+    replacement: ReplacementPolicy = ReplacementPolicy.LRU
+    shared: bool = False
+    bandwidth_bytes_per_cycle: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.line_bytes):
+            raise ConfigurationError(
+                f"{self.name}: line size must be a power of two, got {self.line_bytes}"
+            )
+        if self.associativity < 1:
+            raise ConfigurationError(
+                f"{self.name}: associativity must be >= 1, got {self.associativity}"
+            )
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} is not divisible by "
+                f"line_bytes*associativity = {self.line_bytes * self.associativity}"
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise ConfigurationError(
+                f"{self.name}: set count must be a power of two, got {self.num_sets}"
+            )
+        if self.latency_cycles < 1:
+            raise ConfigurationError(
+                f"{self.name}: latency must be >= 1 cycle, got {self.latency_cycles}"
+            )
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ConfigurationError(
+                f"{self.name}: bandwidth must be positive, "
+                f"got {self.bandwidth_bytes_per_cycle}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets = size / (line * ways)."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def way_size_bytes(self) -> int:
+        """Bytes covered by one way (= sets * line size).
+
+        When ``way_size_bytes`` exceeds the page size, the set index
+        spills into the physical frame number, and physical page
+        placement affects conflict misses.
+        """
+        return self.num_sets * self.line_bytes
+
+    def index_of(self, address: int) -> int:
+        """Set index of a (physical or virtual) byte address."""
+        return (address // self.line_bytes) % self.num_sets
+
+    def tag_of(self, address: int) -> int:
+        """Tag of a byte address."""
+        return address // (self.line_bytes * self.num_sets)
+
+    def line_address(self, address: int) -> int:
+        """Address of the first byte of the line containing *address*."""
+        return address - (address % self.line_bytes)
+
+    def uses_frame_bits(self, page_size: int) -> bool:
+        """True if physical indexing makes page placement observable.
+
+        That is the case when one way spans more than a page, so index
+        bits come from the physical frame number.
+        """
+        if not _is_power_of_two(page_size):
+            raise ConfigurationError(f"page size must be a power of two, got {page_size}")
+        return self.indexing is IndexingPolicy.PHYSICAL and self.way_size_bytes > page_size

@@ -1,0 +1,138 @@
+"""Instruction-set and vector-extension descriptions.
+
+The paper's Table II and Figure 6 hinge on two ISA facts the models
+must carry:
+
+* the ST-Ericsson A9500's NEON unit is **single-precision only** — the
+  paper notes "a Neon floating point unit (single precision only)";
+  double-precision work falls back to the much slower VFP pipeline;
+* the Cortex-A9 NEON datapath is 64 bits wide, so "vectorizing with
+  128 [bit elements] is similar to using 32 bit elements" (Figure 6b),
+  while Nehalem's SSE executes full 128-bit operations per cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+class Precision(enum.Enum):
+    """Floating-point precision."""
+
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    @property
+    def bytes(self) -> int:
+        """Element width in bytes."""
+        return 4 if self is Precision.SINGLE else 8
+
+
+@dataclass(frozen=True)
+class VectorExtension:
+    """A SIMD extension and its effective datapath.
+
+    Attributes:
+        name: e.g. ``"SSE4.2"``, ``"NEON"``.
+        register_bits: architectural register width.
+        datapath_bits: width the execution unit processes per cycle.
+            NEON on Cortex-A9 has 128-bit registers but a 64-bit
+            datapath, so a 128-bit operation takes two cycles — the
+            mechanism behind Figure 6b.
+        supports_double: False for A9-class NEON.
+    """
+
+    name: str
+    register_bits: int
+    datapath_bits: int
+    supports_double: bool
+
+    def __post_init__(self) -> None:
+        if self.register_bits <= 0 or self.datapath_bits <= 0:
+            raise ConfigurationError(f"{self.name}: widths must be positive")
+        if self.datapath_bits > self.register_bits:
+            raise ConfigurationError(
+                f"{self.name}: datapath ({self.datapath_bits}b) cannot exceed "
+                f"register width ({self.register_bits}b)"
+            )
+
+    def cycles_per_op(self, operand_bits: int) -> int:
+        """Cycles to execute one vector op over *operand_bits* of data."""
+        if operand_bits <= 0:
+            raise ConfigurationError(f"operand width must be positive, got {operand_bits}")
+        return max(1, -(-operand_bits // self.datapath_bits))  # ceil division
+
+    def lanes(self, precision: Precision) -> int:
+        """Elements per register for the given precision."""
+        return self.register_bits // (precision.bytes * 8)
+
+
+#: Nehalem-era SSE: 128-bit registers, full-width datapath, DP capable.
+SSE42 = VectorExtension(
+    name="SSE4.2", register_bits=128, datapath_bits=128, supports_double=True
+)
+
+#: Cortex-A9 NEON (A9500, Tegra3): 128-bit regs, 64-bit datapath, SP only.
+NEON_A9 = VectorExtension(
+    name="NEON", register_bits=128, datapath_bits=64, supports_double=False
+)
+
+#: Cortex-A15 NEONv2 (Exynos 5 Dual): full 128-bit datapath, still SP-only
+#: in practice for the Mali-era SoCs the paper targets; the A15 adds
+#: fused multiply-add which doubles SP throughput.
+NEON_A15 = VectorExtension(
+    name="NEONv2", register_bits=128, datapath_bits=128, supports_double=False
+)
+
+
+@dataclass(frozen=True)
+class ISA:
+    """An instruction set with optional vector extension.
+
+    ``flops_per_cycle`` maps a precision to the per-core peak flop
+    throughput *without* vectors (scalar pipeline); the vector peak is
+    derived from the extension.  ``Tegra2`` famously ships Cortex-A9
+    cores **without** NEON, which is why its ISA has ``vector=None``
+    and why its magicfilter tuning (Figure 7b) spills registers so much
+    earlier: only 16 VFP double registers (VFPv3-D16) are available.
+    """
+
+    name: str
+    word_bits: int
+    vector: VectorExtension | None = None
+    scalar_flops_per_cycle: dict[Precision, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.word_bits not in (32, 64):
+            raise ConfigurationError(f"{self.name}: word size must be 32 or 64 bits")
+        for precision in Precision:
+            if self.scalar_flops_per_cycle.get(precision, 0.0) < 0:
+                raise ConfigurationError(f"{self.name}: negative flop throughput")
+
+    def vector_flops_per_cycle(self, precision: Precision) -> float:
+        """Flops/cycle of one vector pipe for *precision* (0 if unsupported).
+
+        A vector unit that does not support double precision contributes
+        nothing for DOUBLE (the A9500/NEON case the paper highlights).
+        """
+        if self.vector is None:
+            return 0.0
+        if precision is Precision.DOUBLE and not self.vector.supports_double:
+            return 0.0
+        return self.vector.datapath_bits / (precision.bytes * 8)
+
+    def peak_flops_per_cycle(self, precision: Precision, fp_pipes: int = 1) -> float:
+        """Best achievable flops/cycle/core for *precision*.
+
+        Takes the max of the scalar pipeline and the vector unit fed
+        through *fp_pipes* concurrent pipes (Nehalem has separate SSE
+        multiply and add ports, so ``fp_pipes=2``; the Cortex-A9 has a
+        single NEON pipe).
+        """
+        if fp_pipes < 1:
+            raise ConfigurationError(f"fp_pipes must be >= 1, got {fp_pipes}")
+        scalar = self.scalar_flops_per_cycle.get(precision, 0.0)
+        return max(scalar, self.vector_flops_per_cycle(precision) * fp_pipes)

@@ -1,0 +1,389 @@
+"""Catalog of the paper's hardware platforms.
+
+All micro-architectural parameters come from public documentation of
+the parts the paper names; where the paper itself gives a number (board
+power 2.5 W, Xeon TDP 95 W, 796 MB visible DRAM on the Snowball, cache
+sizes in Figure 2) that number is used verbatim.
+
+Platforms:
+
+* :data:`XEON_X5550` — the x86 reference (quad Nehalem, 95 W TDP);
+* :data:`SNOWBALL_A9500` — the Calao Systems Snowball board
+  (dual Cortex-A9 @ 1 GHz + single-precision NEON, <= 2.5 W);
+* :data:`TEGRA2_NODE` — one Tibidabo node (dual Cortex-A9 **without**
+  NEON, VFPv3-D16 only — the register-poor FPU behind Figure 7b);
+* :data:`TEGRA3_NODE` — the Tibidabo extension (§VI-A);
+* :data:`EXYNOS5_DUAL` — the final Mont-Blanc prototype SoC (§VI-A),
+  with the Mali-T604 bringing ~100 GFLOPS in ~5 W.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cache import CacheGeometry, IndexingPolicy
+from repro.arch.cpu import AcceleratorModel, CoreModel, MachineModel, MemoryModel
+from repro.arch.isa import ISA, NEON_A9, NEON_A15, Precision, SSE42
+from repro.arch.registers import RegisterClass, RegisterFile
+from repro.errors import ConfigurationError
+from repro.units import GHZ, GiB, KiB, MiB
+
+
+# --------------------------------------------------------------------------
+# Intel Xeon X5550 (Nehalem) — the classical HPC reference platform.
+# --------------------------------------------------------------------------
+
+_X86_64 = ISA(
+    name="x86_64",
+    word_bits=64,
+    vector=SSE42,
+    # Scalar SSE ops: one mul + one add per cycle.
+    scalar_flops_per_cycle={Precision.DOUBLE: 2.0, Precision.SINGLE: 2.0},
+)
+
+_NEHALEM_CORE = CoreModel(
+    name="Nehalem",
+    frequency_hz=2.66 * GHZ,
+    issue_width=4,
+    fp_pipes=2,  # separate SSE multiply and add ports
+    int_ops_per_cycle=3.0,
+    load_store_units=2,
+    branch_predictor_accuracy=0.96,
+    branch_miss_penalty_cycles=17,
+    out_of_order=True,
+    mem_parallelism=8.0,
+    isa=_X86_64,
+    sustained_ipc=2.8,
+    load_width_bits=128,
+    overlap_factor=0.85,
+    registers={
+        RegisterClass.GENERAL: RegisterFile(RegisterClass.GENERAL, 16, 64),
+        RegisterClass.VECTOR: RegisterFile(RegisterClass.VECTOR, 16, 128),
+    },
+)
+
+XEON_X5550 = MachineModel(
+    name="Intel Xeon X5550",
+    core=_NEHALEM_CORE,
+    num_cores=4,
+    caches=(
+        CacheGeometry(
+            name="L1d", size_bytes=32 * KiB, associativity=8, line_bytes=64,
+            latency_cycles=4, indexing=IndexingPolicy.VIRTUAL,
+            bandwidth_bytes_per_cycle=16.0,
+        ),
+        CacheGeometry(
+            name="L2", size_bytes=256 * KiB, associativity=8, line_bytes=64,
+            latency_cycles=10, bandwidth_bytes_per_cycle=5.5,
+        ),
+        CacheGeometry(
+            name="L3", size_bytes=8 * MiB, associativity=16, line_bytes=64,
+            latency_cycles=40, shared=True, bandwidth_bytes_per_cycle=4.0,
+        ),
+    ),
+    memory=MemoryModel(
+        technology="DDR3-1333 x3",
+        total_bytes=12 * GiB,
+        latency_ns=60.0,
+        peak_bandwidth=32e9,
+        stream_efficiency=0.40,
+    ),
+    tdp_watts=95.0,  # the paper accounts the TDP, not measured power
+    hyperthreading=False,  # disabled in the paper's experiments
+)
+
+
+# --------------------------------------------------------------------------
+# ST-Ericsson A9500 — the Snowball board (Calao Systems).
+# --------------------------------------------------------------------------
+
+_ARMV7_NEON = ISA(
+    name="armv7+neon",
+    word_bits=32,
+    vector=NEON_A9,
+    # VFPv3: double precision is not fully pipelined on the A9 — about
+    # one flop every two cycles sustained; single precision pipelines.
+    scalar_flops_per_cycle={Precision.DOUBLE: 0.5, Precision.SINGLE: 1.0},
+)
+
+_A9500_CORE = CoreModel(
+    name="Cortex-A9 (A9500)",
+    frequency_hz=1.0 * GHZ,
+    issue_width=2,
+    fp_pipes=1,
+    int_ops_per_cycle=2.0,
+    load_store_units=1,
+    branch_predictor_accuracy=0.92,
+    branch_miss_penalty_cycles=11,
+    out_of_order=True,
+    mem_parallelism=2.0,
+    isa=_ARMV7_NEON,
+    sustained_ipc=1.2,
+    load_width_bits=64,
+    overlap_factor=0.35,
+    registers={
+        RegisterClass.GENERAL: RegisterFile(RegisterClass.GENERAL, 14, 32),
+        # VFPv3-D32: 32 double registers, aliased by 16 NEON quads.
+        RegisterClass.FLOAT: RegisterFile(RegisterClass.FLOAT, 32, 64),
+        RegisterClass.VECTOR: RegisterFile(RegisterClass.VECTOR, 16, 128),
+    },
+)
+
+SNOWBALL_A9500 = MachineModel(
+    name="ST-Ericsson A9500 (Snowball)",
+    core=_A9500_CORE,
+    num_cores=2,
+    caches=(
+        CacheGeometry(
+            name="L1d", size_bytes=32 * KiB, associativity=4, line_bytes=32,
+            latency_cycles=4, indexing=IndexingPolicy.PHYSICAL,
+            bandwidth_bytes_per_cycle=8.0,
+        ),
+        CacheGeometry(
+            name="L2", size_bytes=512 * KiB, associativity=8, line_bytes=32,
+            latency_cycles=19, shared=True, bandwidth_bytes_per_cycle=2.0,
+        ),
+    ),
+    memory=MemoryModel(
+        technology="LP-DDR2",
+        total_bytes=796 * MiB,  # usable DRAM reported by hwloc (Fig. 2b)
+        latency_ns=110.0,
+        peak_bandwidth=3.2e9,
+        stream_efficiency=0.51,
+    ),
+    tdp_watts=2.5,  # USB-powered: the paper assumes the full 2.5 W budget
+)
+
+
+# --------------------------------------------------------------------------
+# NVIDIA Tegra2 — one Tibidabo compute node.
+# --------------------------------------------------------------------------
+
+_ARMV7_VFPD16 = ISA(
+    name="armv7+vfpv3-d16",
+    word_bits=32,
+    vector=None,  # Tegra2's Cortex-A9 cores ship without NEON
+    scalar_flops_per_cycle={Precision.DOUBLE: 0.5, Precision.SINGLE: 1.0},
+)
+
+_TEGRA2_CORE = CoreModel(
+    name="Cortex-A9 (Tegra2)",
+    frequency_hz=1.0 * GHZ,
+    issue_width=2,
+    fp_pipes=1,
+    int_ops_per_cycle=2.0,
+    load_store_units=1,
+    branch_predictor_accuracy=0.92,
+    branch_miss_penalty_cycles=11,
+    out_of_order=True,
+    mem_parallelism=2.0,
+    isa=_ARMV7_VFPD16,
+    sustained_ipc=1.2,
+    load_width_bits=64,
+    overlap_factor=0.35,
+    registers={
+        RegisterClass.GENERAL: RegisterFile(RegisterClass.GENERAL, 14, 32),
+        # VFPv3-D16: only 16 double registers — spills arrive early
+        # when unrolling (Figure 7b).
+        RegisterClass.FLOAT: RegisterFile(RegisterClass.FLOAT, 16, 64),
+    },
+)
+
+TEGRA2_NODE = MachineModel(
+    name="NVIDIA Tegra2 (Tibidabo node)",
+    core=_TEGRA2_CORE,
+    num_cores=2,
+    caches=(
+        CacheGeometry(
+            name="L1d", size_bytes=32 * KiB, associativity=4, line_bytes=32,
+            latency_cycles=4, indexing=IndexingPolicy.PHYSICAL,
+            bandwidth_bytes_per_cycle=8.0,
+        ),
+        CacheGeometry(
+            name="L2", size_bytes=1 * MiB, associativity=8, line_bytes=32,
+            latency_cycles=25, shared=True, bandwidth_bytes_per_cycle=2.0,
+        ),
+    ),
+    memory=MemoryModel(
+        technology="DDR2-667",
+        total_bytes=1 * GiB,
+        latency_ns=120.0,
+        peak_bandwidth=2.66e9,
+        stream_efficiency=0.45,
+    ),
+    tdp_watts=4.0,  # whole carrier board with the 1 GbE NIC
+)
+
+
+# --------------------------------------------------------------------------
+# NVIDIA Tegra3 — the Tibidabo extension discussed in §VI-A.
+# --------------------------------------------------------------------------
+
+_ARMV7_NEON_T3 = ISA(
+    name="armv7+neon",
+    word_bits=32,
+    vector=NEON_A9,
+    scalar_flops_per_cycle={Precision.DOUBLE: 0.5, Precision.SINGLE: 1.0},
+)
+
+_TEGRA3_CORE = CoreModel(
+    name="Cortex-A9 (Tegra3)",
+    frequency_hz=1.3 * GHZ,
+    issue_width=2,
+    fp_pipes=1,
+    int_ops_per_cycle=2.0,
+    load_store_units=1,
+    branch_predictor_accuracy=0.92,
+    branch_miss_penalty_cycles=11,
+    out_of_order=True,
+    mem_parallelism=2.0,
+    isa=_ARMV7_NEON_T3,
+    sustained_ipc=1.2,
+    load_width_bits=64,
+    overlap_factor=0.35,
+    registers={
+        RegisterClass.GENERAL: RegisterFile(RegisterClass.GENERAL, 14, 32),
+        RegisterClass.FLOAT: RegisterFile(RegisterClass.FLOAT, 32, 64),
+        RegisterClass.VECTOR: RegisterFile(RegisterClass.VECTOR, 16, 128),
+    },
+)
+
+TEGRA3_NODE = MachineModel(
+    name="NVIDIA Tegra3 (Tibidabo extension)",
+    core=_TEGRA3_CORE,
+    num_cores=4,
+    caches=(
+        CacheGeometry(
+            name="L1d", size_bytes=32 * KiB, associativity=4, line_bytes=32,
+            latency_cycles=4, indexing=IndexingPolicy.PHYSICAL,
+            bandwidth_bytes_per_cycle=8.0,
+        ),
+        CacheGeometry(
+            name="L2", size_bytes=1 * MiB, associativity=8, line_bytes=32,
+            latency_cycles=25, shared=True, bandwidth_bytes_per_cycle=2.0,
+        ),
+    ),
+    memory=MemoryModel(
+        technology="DDR3L-1500",
+        total_bytes=2 * GiB,
+        latency_ns=110.0,
+        peak_bandwidth=6.0e9,
+        stream_efficiency=0.45,
+    ),
+    tdp_watts=5.0,
+    accelerator=AcceleratorModel(
+        name="GeForce ULP (GPGPU-capable adjoined GPU)",
+        peak_sp_flops=12e9,
+        peak_dp_flops=0.0,
+    ),
+)
+
+
+# --------------------------------------------------------------------------
+# Samsung Exynos 5 Dual — the final Mont-Blanc prototype SoC (§VI-A).
+# --------------------------------------------------------------------------
+
+_ARMV7_A15 = ISA(
+    name="armv7+neonv2",
+    word_bits=32,
+    vector=NEON_A15,
+    # Cortex-A15 VFPv4: fully pipelined FMA -> 2 DP flops per cycle.
+    scalar_flops_per_cycle={Precision.DOUBLE: 2.0, Precision.SINGLE: 2.0},
+)
+
+_A15_CORE = CoreModel(
+    name="Cortex-A15 (Exynos 5)",
+    frequency_hz=1.7 * GHZ,
+    issue_width=3,
+    fp_pipes=2,
+    int_ops_per_cycle=3.0,
+    load_store_units=2,
+    branch_predictor_accuracy=0.95,
+    branch_miss_penalty_cycles=15,
+    out_of_order=True,
+    mem_parallelism=6.0,
+    isa=_ARMV7_A15,
+    sustained_ipc=2.2,
+    load_width_bits=128,
+    overlap_factor=0.7,
+    registers={
+        RegisterClass.GENERAL: RegisterFile(RegisterClass.GENERAL, 14, 32),
+        RegisterClass.FLOAT: RegisterFile(RegisterClass.FLOAT, 32, 64),
+        RegisterClass.VECTOR: RegisterFile(RegisterClass.VECTOR, 16, 128),
+    },
+)
+
+EXYNOS5_DUAL = MachineModel(
+    name="Samsung Exynos 5 Dual",
+    core=_A15_CORE,
+    num_cores=2,
+    caches=(
+        CacheGeometry(
+            name="L1d", size_bytes=32 * KiB, associativity=2, line_bytes=64,
+            latency_cycles=4, indexing=IndexingPolicy.PHYSICAL,
+            bandwidth_bytes_per_cycle=16.0,
+        ),
+        CacheGeometry(
+            name="L2", size_bytes=1 * MiB, associativity=16, line_bytes=64,
+            latency_cycles=21, shared=True, bandwidth_bytes_per_cycle=8.0,
+        ),
+    ),
+    memory=MemoryModel(
+        technology="LP-DDR3-1600",
+        total_bytes=2 * GiB,
+        latency_ns=100.0,
+        peak_bandwidth=12.8e9,
+        stream_efficiency=0.5,
+    ),
+    tdp_watts=5.0,  # the paper's "~100 GFLOPS for ... 5 Watts" envelope
+    accelerator=AcceleratorModel(
+        name="Mali-T604",
+        peak_sp_flops=72e9,
+        peak_dp_flops=21e9,
+    ),
+)
+
+
+_CATALOG = {
+    machine.name: machine
+    for machine in (
+        XEON_X5550,
+        SNOWBALL_A9500,
+        TEGRA2_NODE,
+        TEGRA3_NODE,
+        EXYNOS5_DUAL,
+    )
+}
+
+_ALIASES = {
+    "xeon": XEON_X5550,
+    "x5550": XEON_X5550,
+    "nehalem": XEON_X5550,
+    "snowball": SNOWBALL_A9500,
+    "a9500": SNOWBALL_A9500,
+    "tegra2": TEGRA2_NODE,
+    "tibidabo": TEGRA2_NODE,
+    "tegra3": TEGRA3_NODE,
+    "exynos5": EXYNOS5_DUAL,
+    "montblanc": EXYNOS5_DUAL,
+}
+
+
+def machine_by_name(name: str) -> MachineModel:
+    """Look up a catalog machine by full name or short alias.
+
+    >>> machine_by_name("snowball").num_cores
+    2
+    """
+    if name in _CATALOG:
+        return _CATALOG[name]
+    key = name.lower().replace(" ", "").replace("-", "")
+    if key in _ALIASES:
+        return _ALIASES[key]
+    raise ConfigurationError(
+        f"unknown machine {name!r}; known: {sorted(_CATALOG)} "
+        f"or aliases {sorted(_ALIASES)}"
+    )
+
+
+def catalog() -> dict[str, MachineModel]:
+    """All catalog machines keyed by full name."""
+    return dict(_CATALOG)

@@ -1,0 +1,65 @@
+"""Architectural register files.
+
+Register pressure is the mechanism behind the paper's Figure 7: as the
+magicfilter's inner loop is unrolled further, live values exceed the
+architectural floating-point registers and the compiler spills to the
+stack, which shows up as a steep growth in *cache accesses* — much
+earlier on Tegra2 (VFPv3-D16: 16 double registers, no NEON) than on
+Nehalem (16 XMM registers, each holding two doubles, plus generous
+renaming behind them).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class RegisterClass(enum.Enum):
+    """Architectural register class."""
+
+    GENERAL = "general"
+    FLOAT = "float"
+    VECTOR = "vector"
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """One class of architectural registers.
+
+    Attributes:
+        reg_class: the register class.
+        count: number of architectural (allocatable) registers.
+        width_bits: width of one register.
+    """
+
+    reg_class: RegisterClass
+    count: int
+    width_bits: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigurationError(f"register count must be positive, got {self.count}")
+        if self.width_bits <= 0:
+            raise ConfigurationError(
+                f"register width must be positive, got {self.width_bits}"
+            )
+
+    def doubles_capacity(self) -> int:
+        """How many 64-bit values the whole file can hold."""
+        return self.count * (self.width_bits // 64) if self.width_bits >= 64 else 0
+
+    def capacity(self, element_bits: int) -> int:
+        """How many *element_bits*-wide values the whole file can hold."""
+        if element_bits <= 0:
+            raise ConfigurationError(
+                f"element width must be positive, got {element_bits}"
+            )
+        per_register = max(1, self.width_bits // element_bits)
+        if self.width_bits < element_bits:
+            # An element wider than the register needs register pairs.
+            needed = -(-element_bits // self.width_bits)
+            return self.count // needed
+        return self.count * per_register

@@ -1,0 +1,111 @@
+"""hwloc-style topology trees and lstopo-like ASCII rendering.
+
+The paper's Figure 2 shows the memory hierarchies of the two
+experimental platforms as hwloc diagrams: the Xeon 5550 with a shared
+8 MiB L3 above four private L2/L1 pairs, and the A9500 with one shared
+512 KiB L2 above two private 32 KiB L1s.  :func:`build_topology`
+derives the same tree from a :class:`~repro.arch.cpu.MachineModel`, and
+:func:`render_topology` prints it in lstopo's indented text format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.arch.cpu import MachineModel
+from repro.units import GiB, KiB, MiB
+
+
+@dataclass
+class TopologyNode:
+    """One node of the topology tree (Machine, Socket, cache, Core, PU)."""
+
+    kind: str
+    label: str
+    children: list["TopologyNode"] = field(default_factory=list)
+
+    def add(self, child: "TopologyNode") -> "TopologyNode":
+        """Append a child and return it (for chaining)."""
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["TopologyNode"]:
+        """Depth-first traversal including self."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def count(self, kind: str) -> int:
+        """Number of nodes of the given kind in the subtree."""
+        return sum(1 for node in self.walk() if node.kind == kind)
+
+    def leaves(self) -> list["TopologyNode"]:
+        """All leaf nodes in depth-first order."""
+        return [node for node in self.walk() if not node.children]
+
+
+def _memory_label(total_bytes: int) -> str:
+    if total_bytes >= GiB:
+        return f"{total_bytes / GiB:.0f}GB"
+    return f"{total_bytes / MiB:.0f}MB"
+
+
+def _cache_label(name: str, size_bytes: int) -> str:
+    level = name.rstrip("di")  # "L1d" -> "L1"
+    return f"{level} ({size_bytes // KiB}KB)"
+
+
+def build_topology(machine: MachineModel) -> TopologyNode:
+    """Build the hwloc-style tree of a machine model.
+
+    Shared cache levels appear once under the socket; private levels
+    are replicated along each core's branch, outermost first, exactly
+    as lstopo nests them.
+    """
+    root = TopologyNode("Machine", f"Machine ({_memory_label(machine.memory.total_bytes)})")
+    socket = root.add(TopologyNode("Socket", "Socket P#0"))
+
+    shared = [c for c in reversed(machine.caches) if c.shared]
+    private = [c for c in reversed(machine.caches) if not c.shared]
+
+    attach_point = socket
+    for cache in shared:
+        attach_point = attach_point.add(
+            TopologyNode("Cache", _cache_label(cache.name, cache.size_bytes))
+        )
+
+    pus_per_core = 2 if machine.hyperthreading else 1
+    for core_index in range(machine.num_cores):
+        branch = attach_point
+        for cache in private:
+            branch = branch.add(
+                TopologyNode("Cache", _cache_label(cache.name, cache.size_bytes))
+            )
+        core = branch.add(TopologyNode("Core", f"Core P#{core_index}"))
+        for pu_offset in range(pus_per_core):
+            pu_index = core_index + pu_offset * machine.num_cores
+            core.add(TopologyNode("PU", f"PU P#{pu_index}"))
+    return root
+
+
+def render_topology(node: TopologyNode, *, indent: int = 0) -> str:
+    """Render a topology tree in lstopo's indented text format.
+
+    >>> from repro.arch.machines import SNOWBALL_A9500
+    >>> print(render_topology(build_topology(SNOWBALL_A9500)))
+    ... # doctest: +NORMALIZE_WHITESPACE
+    Machine (796MB)
+      Socket P#0
+        L2 (512KB)
+          L1 (32KB)
+            Core P#0
+              PU P#0
+          L1 (32KB)
+            Core P#1
+              PU P#1
+    """
+    lines = ["  " * indent + node.label]
+    for child in node.children:
+        lines.append(render_topology(child, indent=indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Auto-tuning framework (§V-B, §VI-B).
+
+The paper's conclusion: "Auto-tuning of HPC applications is also a
+must in order to quickly and painlessly adapt to the ever-evolving HPC
+environment."  This package provides the pieces:
+
+* :mod:`repro.autotune.space` — discrete parameter spaces (unroll
+  degree, element width, buffer sizes, ...);
+* :mod:`repro.autotune.search` — exhaustive, random and hill-climbing
+  strategies;
+* :mod:`repro.autotune.genetic` — a genetic algorithm (the approach of
+  the paper's reference [14]);
+* :mod:`repro.autotune.tuner` — the two tuning levels of §VI-B:
+  *static* (per-platform, at build time) and *instance-specific*
+  (per problem size, at run time).
+"""
+
+from repro.autotune.genetic import GeneticSearch
+from repro.autotune.search import (
+    ExhaustiveSearch,
+    HillClimbSearch,
+    RandomSearch,
+    SearchResult,
+    SearchStrategy,
+)
+from repro.autotune.space import ParameterSpace
+from repro.autotune.tuner import AutoTuner, TuningReport, tune_magicfilter
+
+__all__ = [
+    "AutoTuner",
+    "ExhaustiveSearch",
+    "GeneticSearch",
+    "HillClimbSearch",
+    "ParameterSpace",
+    "RandomSearch",
+    "SearchResult",
+    "SearchStrategy",
+    "TuningReport",
+    "tune_magicfilter",
+]

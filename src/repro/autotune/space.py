@@ -1,0 +1,99 @@
+"""Discrete parameter spaces for auto-tuning.
+
+A space is a set of named dimensions, each with an ordered tuple of
+levels; a *point* is a dict assigning one level per dimension.
+Neighbourhoods (for local search) step one position along one
+dimension's ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import SearchError
+
+Point = dict[str, Any]
+
+
+class ParameterSpace:
+    """Named discrete dimensions with ordered levels.
+
+    >>> space = ParameterSpace({"unroll": range(1, 13)})
+    >>> space.size
+    12
+    """
+
+    def __init__(self, dimensions: Mapping[str, Sequence[Any]]) -> None:
+        if not dimensions:
+            raise SearchError("a parameter space needs at least one dimension")
+        self.dimensions: dict[str, tuple[Any, ...]] = {}
+        for name, levels in dimensions.items():
+            levels = tuple(levels)
+            if not levels:
+                raise SearchError(f"dimension {name!r} has no levels")
+            if len(set(map(repr, levels))) != len(levels):
+                raise SearchError(f"dimension {name!r} has duplicate levels")
+            self.dimensions[name] = levels
+
+    @property
+    def size(self) -> int:
+        """Number of points in the full factorial space."""
+        total = 1
+        for levels in self.dimensions.values():
+            total *= len(levels)
+        return total
+
+    def __iter__(self) -> Iterator[Point]:
+        names = list(self.dimensions)
+        for combo in itertools.product(*self.dimensions.values()):
+            yield dict(zip(names, combo))
+
+    def contains(self, point: Mapping[str, Any]) -> bool:
+        """Whether *point* assigns a valid level to every dimension."""
+        if set(point) != set(self.dimensions):
+            return False
+        return all(point[name] in levels for name, levels in self.dimensions.items())
+
+    def validate(self, point: Mapping[str, Any]) -> None:
+        """Raise :class:`SearchError` unless *point* is in the space."""
+        if not self.contains(point):
+            raise SearchError(f"point {point!r} outside space {list(self.dimensions)}")
+
+    def random_point(self, rng: random.Random) -> Point:
+        """Uniform random point."""
+        return {name: rng.choice(levels) for name, levels in self.dimensions.items()}
+
+    def neighbors(self, point: Mapping[str, Any]) -> list[Point]:
+        """Points one ordinal step away along a single dimension."""
+        self.validate(point)
+        result: list[Point] = []
+        for name, levels in self.dimensions.items():
+            index = levels.index(point[name])
+            for delta in (-1, 1):
+                neighbor_index = index + delta
+                if 0 <= neighbor_index < len(levels):
+                    neighbor = dict(point)
+                    neighbor[name] = levels[neighbor_index]
+                    result.append(neighbor)
+        return result
+
+    def mutate(self, point: Mapping[str, Any], rng: random.Random) -> Point:
+        """Replace one randomly chosen dimension with a random level."""
+        self.validate(point)
+        name = rng.choice(list(self.dimensions))
+        mutated = dict(point)
+        mutated[name] = rng.choice(self.dimensions[name])
+        return mutated
+
+    def crossover(
+        self, a: Mapping[str, Any], b: Mapping[str, Any], rng: random.Random
+    ) -> Point:
+        """Uniform crossover of two points."""
+        self.validate(a)
+        self.validate(b)
+        return {
+            name: (a[name] if rng.random() < 0.5 else b[name])
+            for name in self.dimensions
+        }

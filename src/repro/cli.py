@@ -1,0 +1,413 @@
+"""Command-line reproduction driver.
+
+``python -m repro <artefact>`` regenerates one paper artefact and
+prints it; ``python -m repro all`` walks through every one.  This is
+the quickest way to eyeball the reproduction without pytest.
+
+Artefacts: ``table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 x1 x2``.
+Options: ``--quick`` shrinks the cluster sweeps; ``--seed N`` reseeds
+the stochastic pieces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.errors import ReproError
+
+
+def _cmd_table1(args) -> None:
+    from repro.apps.catalog import MONT_BLANC_APPLICATIONS
+    from repro.core.report import render_table
+
+    print(render_table(
+        "Table I: Mont-Blanc Selected HPC Applications",
+        ["Code", "Scientific Domain", "Institution"],
+        [[a.code, a.domain, a.institution] for a in MONT_BLANC_APPLICATIONS],
+    ))
+
+
+def _cmd_table2(args) -> None:
+    from repro.apps import BigDFT, CoreMark, Linpack, Specfem3D, StockFish
+    from repro.arch import SNOWBALL_A9500, XEON_X5550
+    from repro.core.report import render_table
+    from repro.energy import compare_runs
+
+    rows = []
+    for app in (Linpack(), CoreMark(), StockFish(), Specfem3D(), BigDFT()):
+        row = compare_runs(app.run(XEON_X5550), app.run(SNOWBALL_A9500))
+        rows.append([
+            f"{app.name} ({row.metric_name})",
+            f"{row.contender_value:,.1f}",
+            f"{row.reference_value:,.1f}",
+            f"{row.ratio:.1f}",
+            f"{row.energy_ratio:.2f}",
+        ])
+    print(render_table(
+        "Table II: Xeon 5550 vs ST-Ericsson A9500",
+        ["Benchmark", "Snowball", "Xeon", "Ratio", "Energy Ratio"],
+        rows,
+    ))
+
+
+def _cmd_fig1(args) -> None:
+    from repro.core.report import render_series
+    from repro.top500 import (
+        TOP500_SERIES, fit_series, project_exaflop, required_efficiency_factor,
+    )
+
+    print(render_series(
+        "Figure 1: Top500 #1 performance (GFLOPS, June lists)",
+        [(e.year, e.top_gflops) for e in TOP500_SERIES],
+        x_label="year", y_label="GFLOPS",
+    ))
+    fit = fit_series("top")
+    projection = project_exaflop("top")
+    print(f"\ngrowth {fit.growth:.2f}x/year (R^2 {fit.r_squared:.3f}); "
+          f"exaflop projected {projection.exaflop_year:.1f} (paper: 2018); "
+          f"needs {required_efficiency_factor():.1f}x efficiency (paper: ~25x)")
+
+
+def _cmd_fig2(args) -> None:
+    from repro.arch import SNOWBALL_A9500, XEON_X5550, build_topology, render_topology
+
+    print("Figure 2a: Xeon 5550\n")
+    print(render_topology(build_topology(XEON_X5550)))
+    print("\nFigure 2b: A9500 (Snowball)\n")
+    print(render_topology(build_topology(SNOWBALL_A9500)))
+
+
+def _cmd_fig3(args) -> None:
+    from repro.apps import BigDFT, Linpack, Specfem3D
+    from repro.cluster import tibidabo
+    from repro.core.report import render_series
+
+    cluster = tibidabo(num_nodes=96, seed=args.seed)
+    quick = args.quick
+    sweeps = [
+        ("Figure 3a: LINPACK", Linpack(),
+         [1, 4, 16, 48] if quick else [1, 2, 4, 8, 16, 32, 64, 100], 1),
+        ("Figure 3b: SPECFEM3D (vs 4 cores)", Specfem3D(),
+         [4, 16, 64] if quick else [4, 8, 16, 32, 64, 128, 192], 4),
+        ("Figure 3c: BigDFT", BigDFT(),
+         [1, 4, 16, 36] if quick else [1, 2, 4, 8, 16, 24, 32, 36], 1),
+    ]
+    for title, app, counts, baseline in sweeps:
+        curve = app.speedup_curve(cluster, counts, baseline_cores=baseline)
+        print(render_series(title, curve, x_label="cores", y_label="speedup"))
+        print()
+
+
+def _cmd_fig4(args) -> None:
+    from repro.apps import BigDFT
+    from repro.cluster import MpiJob, tibidabo
+    from repro.tracing import TraceRecorder, analyze_collectives
+
+    for upgraded in (False, True):
+        cluster = tibidabo(num_nodes=18, seed=args.seed, upgraded_switches=upgraded)
+        recorder = TraceRecorder()
+        app = BigDFT()
+        result = MpiJob(
+            cluster, 36, app.rank_program(cluster, 36), tracer=recorder
+        ).run()
+        report = analyze_collectives(recorder, "alltoallv")
+        label = "upgraded" if upgraded else "commodity"
+        print(f"Figure 4 ({label} switches): "
+              f"{len(report.delayed)}/{len(report.instances)} alltoallv delayed, "
+              f"{result.loss_episodes} loss episodes, job {result.elapsed_seconds:.2f}s")
+
+
+def _cmd_fig5(args) -> None:
+    from repro.arch import SNOWBALL_A9500
+    from repro.core.stats import detect_modes
+    from repro.kernels import MemBench
+    from repro.osmodel import OSModel, SchedulingPolicy
+
+    os_model = OSModel.boot(
+        SNOWBALL_A9500, policy=SchedulingPolicy.FIFO, seed=args.seed
+    )
+    bench = MemBench(SNOWBALL_A9500, os_model, seed=args.seed)
+    sizes = [k * 1024 for k in (1, 2, 4, 8, 16, 24, 32, 40, 48, 50)]
+    results = bench.run_experiment(array_sizes=sizes, replicates=42, seed=args.seed)
+    at_16k = [s.value / 1e9 for s in results.where(array_bytes=16 * 1024)]
+    modes = detect_modes(at_16k)
+    print("Figure 5: RT-priority bandwidth modes at 16 KB:")
+    for mode in modes:
+        print(f"  {mode.center:.2f} GB/s x{mode.count}")
+    degraded = [s.sequence for s in results if s.factors["degraded"]]
+    runs = 1 + sum(1 for a, b in zip(degraded, degraded[1:]) if b != a + 1)
+    print(f"  {len(degraded)} degraded samples in {runs} consecutive run(s)")
+
+
+def _cmd_fig6(args) -> None:
+    from repro.arch import SNOWBALL_A9500, XEON_X5550
+    from repro.core.report import render_table
+    from repro.kernels import MemBench
+    from repro.osmodel import OSModel
+
+    for machine in (XEON_X5550, SNOWBALL_A9500):
+        os_model = OSModel.boot(machine, seed=args.seed)
+        bench = MemBench(machine, os_model, seed=args.seed)
+        results = bench.run_variant_grid(
+            array_bytes=50 * 1024, replicates=3, seed=args.seed
+        )
+        rows = []
+        for bits in (32, 64, 128):
+            cells = []
+            for unroll in (1, 8):
+                values = results.where(elem_bits=bits, unroll=unroll).values()
+                cells.append(f"{sum(values) / len(values) / 1e9:.2f}")
+            rows.append([f"{bits}b", *cells])
+        print(render_table(
+            f"Figure 6: {machine.name} (GB/s)",
+            ["element", "no unroll", "unroll=8"], rows,
+        ))
+        print()
+
+
+def _cmd_fig7(args) -> None:
+    from repro.arch import TEGRA2_NODE, XEON_X5550
+    from repro.core.report import render_table
+    from repro.kernels import MagicFilterBenchmark
+    from repro.kernels.magicfilter import UNROLL_RANGE
+
+    for machine in (XEON_X5550, TEGRA2_NODE):
+        bench = MagicFilterBenchmark(machine)
+        sweep = bench.sweep()
+        print(render_table(
+            f"Figure 7: magicfilter on {machine.name}",
+            ["unroll", "Mcycles", "Maccesses"],
+            [
+                [u, f"{sweep[u].cycles / 1e6:.1f}",
+                 f"{sweep[u].cache_accesses / 1e6:.2f}"]
+                for u in UNROLL_RANGE
+            ],
+        ))
+        print(f"sweet spot: {bench.sweet_spot()}\n")
+
+
+def _cmd_x1(args) -> None:
+    from repro.arch import SNOWBALL_A9500
+    from repro.kernels import MemBench
+    from repro.kernels.membench import MemBenchConfig
+    from repro.osmodel import OSModel
+
+    print("X1: run-to-run bandwidth at 32 KB (GB/s) over 6 simulated boots")
+    for fragmentation in (0.0, 0.85):
+        values = []
+        for seed in range(6):
+            os_model = OSModel.boot(
+                SNOWBALL_A9500, fragmentation=fragmentation, seed=seed
+            )
+            bench = MemBench(SNOWBALL_A9500, os_model, seed=seed)
+            sample = bench.measure(MemBenchConfig(array_bytes=32 * 1024))
+            values.append(sample.ideal_bandwidth_bytes_per_s / 1e9)
+        print(f"  fragmentation {fragmentation:.2f}: "
+              + " ".join(f"{v:.3f}" for v in values))
+
+
+def _cmd_x2(args) -> None:
+    from repro.core.report import render_table
+    from repro.gpu import hybrid_efficiency_table
+
+    rows = [
+        [name, f"{sp:.2f}", f"{dp:.2f}", note]
+        for name, sp, dp, note in hybrid_efficiency_table()
+    ]
+    print(render_table(
+        "X2: peak efficiency with integrated GPUs (GFLOPS/W)",
+        ["platform", "SP", "DP", "note"], rows,
+    ))
+
+
+def _cmd_x3(args) -> None:
+    from repro.arch import EXYNOS5_DUAL
+    from repro.autotune import AutoTuner, ExhaustiveSearch
+    from repro.core.report import render_table
+    from repro.gpu import (
+        GpuKernelSpec, OpenClRuntime, hybrid_efficiency_table,
+        tune_buffer_size, tuning_space,
+    )
+
+    print(render_table(
+        "X3: hybrid efficiency (GFLOPS/W)",
+        ["platform", "SP", "DP", "note"],
+        [[n, f"{sp:.2f}", f"{dp:.2f}", note]
+         for n, sp, dp, note in hybrid_efficiency_table()],
+    ))
+    runtime = OpenClRuntime(
+        accelerator=EXYNOS5_DUAL.accelerator,
+        soc_bandwidth_bytes_per_s=EXYNOS5_DUAL.memory.sustained_bandwidth,
+    )
+    spec = GpuKernelSpec(name="mf-gpu", flops_per_item=32.0, bytes_per_item=24.0)
+    tuner = AutoTuner(space=tuning_space(), strategy=ExhaustiveSearch())
+    print("\nbuffer tuned to input length (Mali-T604):")
+    for items in (2_000, 200_000, 2_000_000):
+        report = tune_buffer_size(runtime, spec, items, tuner=tuner)
+        print(f"  {items:>9,} items -> "
+              f"{report.best_point['buffer_bytes'] // 1024} KB buffer")
+
+
+def _cmd_x4(args) -> None:
+    from repro.apps import BigDFT, Specfem3D
+    from repro.cluster import tibidabo
+    from repro.core.report import render_table
+    from repro.energy.scale import counterbalance_study
+
+    cluster = tibidabo(num_nodes=96, seed=args.seed)
+    for name, study in (
+        ("SPECFEM3D", counterbalance_study(
+            Specfem3D(timesteps=10), cluster, [8, 16, 32, 64])),
+        ("BigDFT", counterbalance_study(
+            BigDFT(scf_iterations=4), cluster, [4, 8, 16, 24, 36])),
+    ):
+        print(render_table(
+            f"X4: energy at scale — {name}",
+            ["cores", "time (s)", "energy (J)", "net power share"],
+            [[r.cores, f"{r.elapsed_seconds:.1f}", f"{r.energy_joules:,.0f}",
+              f"{r.network_power_fraction:.0%}"] for r in study.runs],
+        ))
+        print(f"  energy optimum: {study.most_efficient_cores} cores\n")
+
+
+def _cmd_x5(args) -> None:
+    from repro.arch import SNOWBALL_A9500
+    from repro.kernels import MemBench, fit_memory_model
+    from repro.kernels.membench import MemBenchConfig
+    from repro.osmodel import OSModel
+
+    os_model = OSModel.boot(SNOWBALL_A9500, seed=2)
+    bench = MemBench(SNOWBALL_A9500, os_model, seed=2)
+    curve = []
+    for kb in (2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 64, 96, 128):
+        sample = bench.measure(MemBenchConfig(array_bytes=kb * 1024))
+        curve.append((kb * 1024, sample.ideal_bandwidth_bytes_per_s / 1e9))
+    fitted = fit_memory_model(curve)
+    print("X5: GA memory-model fit (ref [14]) on the Snowball")
+    print(f"  recovered capacity : {fitted.model.capacity_bytes // 1024} KB "
+          "(true L1: 32 KB)")
+    print(f"  plateaus           : {fitted.model.fast_bandwidth:.2f} / "
+          f"{fitted.model.slow_bandwidth:.2f} GB/s (MSE {fitted.error:.4f})")
+
+
+def _cmd_x6(args) -> None:
+    from repro.arch import EXYNOS5_DUAL, SNOWBALL_A9500
+    from repro.ompss import (
+        OmpSsScheduler, SchedulingPolicy, Worker, WorkerKind,
+        cpu_workers, magicfilter_taskgraph,
+    )
+
+    graph = magicfilter_taskgraph(SNOWBALL_A9500, blocks_per_sweep=8)
+    print("X6: OmpSs magicfilter task graph")
+    for cores in (1, 2):
+        schedule = OmpSsScheduler(cpu_workers(cores)).run(graph)
+        print(f"  Snowball {cores} core(s): {schedule.makespan * 1e3:.2f} ms")
+    hybrid_graph = magicfilter_taskgraph(
+        EXYNOS5_DUAL, blocks_per_sweep=8, use_gpu=True
+    )
+    hybrid = OmpSsScheduler(
+        cpu_workers(2) + [Worker(9, WorkerKind.GPU)],
+        policy=SchedulingPolicy.EARLIEST_FINISH,
+    ).run(hybrid_graph)
+    cpu_only = OmpSsScheduler(cpu_workers(2)).run(hybrid_graph)
+    print(f"  Exynos 2xA15: {cpu_only.makespan * 1e3:.3f} ms; "
+          f"+Mali: {hybrid.makespan * 1e3:.3f} ms")
+
+
+def _cmd_x7(args) -> None:
+    from repro.apps import portfolio_scaling_report
+    from repro.cluster import tibidabo
+    from repro.core.report import render_table
+
+    cluster = tibidabo(num_nodes=32, seed=args.seed)
+    verdicts = sorted(
+        portfolio_scaling_report(cluster, cores=32, baseline=2),
+        key=lambda v: -v.efficiency,
+    )
+    print(render_table(
+        "X7: Table I portfolio at 32 cores",
+        ["code", "pattern", "efficiency"],
+        [[v.code, v.pattern.value, f"{v.efficiency:.0%}"] for v in verdicts],
+    ))
+
+
+def _cmd_x8(args) -> None:
+    from repro.apps import BigDFT
+    from repro.cluster import tibidabo
+    from repro.cluster.prototype import montblanc_prototype
+
+    app = BigDFT()
+    tibi = tibidabo(num_nodes=18, seed=args.seed)
+    proto = montblanc_prototype(num_nodes=18, seed=args.seed)
+    print("X8: Tibidabo vs the final Mont-Blanc prototype (BigDFT, 36 cores)")
+    print(f"  Tibidabo  : {app.run_cluster(tibi, 36):.1f} s")
+    print(f"  prototype : {app.run_cluster(proto, 36):.1f} s")
+
+
+def _cmd_claims(args) -> None:
+    from repro.paper import audit
+
+    results = audit()
+    for result in results:
+        print(result.describe())
+    passed = sum(r.passed for r in results)
+    print(f"\n{passed}/{len(results)} paper claims reproduced")
+    if passed != len(results):
+        raise SystemExit(1)
+
+
+COMMANDS: dict[str, Callable] = {
+    "claims": _cmd_claims,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "x1": _cmd_x1,
+    "x2": _cmd_x2,
+    "x3": _cmd_x3,
+    "x4": _cmd_x4,
+    "x5": _cmd_x5,
+    "x6": _cmd_x6,
+    "x7": _cmd_x7,
+    "x8": _cmd_x8,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate artefacts of the DATE'13 low-power-HPC paper.",
+    )
+    parser.add_argument(
+        "artefact",
+        choices=[*COMMANDS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the cluster sweeps")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="seed for the stochastic pieces (default 7)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    names = list(COMMANDS) if args.artefact == "all" else [args.artefact]
+    for name in names:
+        if len(names) > 1:
+            print(f"\n{'=' * 60}\n{name}\n{'=' * 60}")
+        try:
+            COMMANDS[name](args)
+        except ReproError as error:
+            print(f"error regenerating {name}: {error}", file=sys.stderr)
+            return 1
+    return 0

@@ -1,0 +1,46 @@
+"""Discrete-event cluster simulation.
+
+The paper's scalability study (§IV) runs on *Tibidabo*: Tegra2 nodes
+with one 1 GbE NIC each, "interconnected hierarchically using 48-port
+1 GbE switches".  Its headline profiling result (Figure 4) is that
+BigDFT's ``MPI_Alltoallv`` collectives are intermittently *delayed* by
+those switches.
+
+This package builds the whole substrate:
+
+* :mod:`repro.cluster.des` — a generator-based discrete-event engine;
+* :mod:`repro.cluster.network` — NICs and links with serialization;
+* :mod:`repro.cluster.switch` — store-and-forward switches whose
+  output queues overflow under incast, triggering retransmission-scale
+  delays (the Figure 4 pathology);
+* :mod:`repro.cluster.fabric` — the hierarchical switch topology and
+  routing;
+* :mod:`repro.cluster.mpi` — an MPI runtime whose collectives
+  (barrier, bcast, allreduce, alltoallv) are built from point-to-point
+  messages over the simulated fabric;
+* :mod:`repro.cluster.cluster` — cluster assembly (Tibidabo factory).
+"""
+
+from repro.cluster.cluster import ClusterModel, tibidabo
+from repro.cluster.des import Event, Process, Simulator
+from repro.cluster.fabric import Fabric, FatTreeSpec
+from repro.cluster.mpi import MpiJob, MpiRank, RankProgram
+from repro.cluster.network import Nic
+from repro.cluster.prototype import montblanc_prototype
+from repro.cluster.switch import SwitchModel
+
+__all__ = [
+    "ClusterModel",
+    "Event",
+    "Fabric",
+    "FatTreeSpec",
+    "MpiJob",
+    "MpiRank",
+    "Nic",
+    "Process",
+    "RankProgram",
+    "Simulator",
+    "SwitchModel",
+    "montblanc_prototype",
+    "tibidabo",
+]

@@ -1,0 +1,93 @@
+"""Cluster assembly: nodes x machine model + fabric.
+
+:func:`tibidabo` builds the paper's experimental platform — Tegra2
+nodes behind hierarchical 48-port GbE switches — and an "upgraded
+switches" variant for the fix the paper anticipates ("This problem is
+to be fixed by upgrading the Ethernet switches used on Tibidabo").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpu import MachineModel
+from repro.arch.machines import TEGRA2_NODE
+from repro.cluster.fabric import Fabric, FatTreeSpec
+from repro.cluster.network import SerialResource
+from repro.cluster.switch import TIBIDABO_SWITCH, UPGRADED_SWITCH
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ClusterModel:
+    """A homogeneous cluster of *num_nodes* machines over one fabric."""
+
+    name: str
+    node: MachineModel
+    num_nodes: int
+    fabric: Fabric
+
+    def __post_init__(self) -> None:
+        if self.num_nodes != self.fabric.num_nodes:
+            raise ConfigurationError(
+                f"{self.name}: {self.num_nodes} nodes but fabric has "
+                f"{self.fabric.num_nodes}"
+            )
+        # Shared-memory channel per node for intra-node rank pairs.
+        shm_bandwidth = self.node.memory.sustained_bandwidth / 2.0
+        self._shm = [
+            SerialResource(f"shm{i}", shm_bandwidth) for i in range(self.num_nodes)
+        ]
+        self.shm_latency_s = 1e-6
+
+    def reset(self) -> None:
+        """Reset fabric and shared-memory bookings for a fresh job."""
+        self.fabric.reset()
+        for resource in self._shm:
+            resource.reset()
+
+    @property
+    def cores_per_node(self) -> int:
+        """Cores (= MPI ranks) one node hosts."""
+        return self.node.num_cores
+
+    @property
+    def total_cores(self) -> int:
+        """Total cores across the cluster."""
+        return self.num_nodes * self.cores_per_node
+
+    def node_of_rank(self, rank: int, ranks_per_node: int | None = None) -> int:
+        """Block placement: node hosting *rank*."""
+        per_node = ranks_per_node or self.cores_per_node
+        if rank < 0:
+            raise ConfigurationError(f"negative rank {rank}")
+        node = rank // per_node
+        if node >= self.num_nodes:
+            raise ConfigurationError(
+                f"rank {rank} needs node {node} but cluster has {self.num_nodes}"
+            )
+        return node
+
+    def shared_memory_transfer(self, now: float, node: int, nbytes: int) -> float:
+        """Book an intra-node copy; returns completion time."""
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(f"node {node} out of range")
+        return self._shm[node].occupy(now, nbytes) + self.shm_latency_s
+
+    def node_power_watts(self, nodes_used: int) -> float:
+        """Aggregate TDP-model power of the nodes in use."""
+        if not 1 <= nodes_used <= self.num_nodes:
+            raise ConfigurationError(
+                f"nodes_used must be in [1, {self.num_nodes}], got {nodes_used}"
+            )
+        return nodes_used * self.node.tdp_watts
+
+
+def tibidabo(
+    num_nodes: int = 96, *, upgraded_switches: bool = False, seed: int = 0
+) -> ClusterModel:
+    """The Mont-Blanc Tibidabo prototype (or its upgraded variant)."""
+    switch = UPGRADED_SWITCH if upgraded_switches else TIBIDABO_SWITCH
+    fabric = Fabric(num_nodes, FatTreeSpec(switch=switch), seed=seed)
+    name = "Tibidabo" + (" (upgraded switches)" if upgraded_switches else "")
+    return ClusterModel(name=name, node=TEGRA2_NODE, num_nodes=num_nodes, fabric=fabric)

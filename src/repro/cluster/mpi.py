@@ -1,0 +1,475 @@
+"""Simulated MPI over the cluster fabric.
+
+Rank programs are generators yielding requests; collectives —
+``barrier``, ``bcast``, ``allreduce``, ``alltoall(v)`` — are
+*self-hosted*: they are composed from point-to-point messages exactly
+as an MPI library's algorithms would be (dissemination barrier,
+binomial broadcast, ring allreduce, pairwise all-to-all), so collective
+traffic stresses the switch fabric the same way the real Tibidabo runs
+did.
+
+Protocol model: small messages are *eager* (the sender continues after
+the injection overhead), large ones complete at delivery time.  There
+is no rendezvous handshake, so blocking-send rings cannot deadlock;
+a genuine dependency deadlock (recv without a matching send) is
+detected when the event queue drains with unfinished ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Hashable, Sequence
+
+from repro.cluster.cluster import ClusterModel
+from repro.cluster.des import Process, Simulator
+from repro.errors import ConfigurationError, SimulationError
+
+#: Messages up to this size are sent eagerly.
+EAGER_THRESHOLD_BYTES = 32 * 1024
+
+#: Per-message MPI software overhead on the host CPU.
+SEND_OVERHEAD_S = 10e-6
+
+#: Payload of one barrier/handshake token.
+TOKEN_BYTES = 8
+
+RankProgram = Generator[Any, Any, Any]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered point-to-point message."""
+
+    src: int
+    dst: int
+    tag: Hashable
+    nbytes: int
+    send_time: float
+    arrival_time: float
+    label: str
+
+
+@dataclass
+class Compute:
+    """Request: occupy this rank's core for *seconds*."""
+
+    seconds: float
+    label: str = "compute"
+
+    def execute(self, process: Process) -> None:
+        """Advance virtual time on this rank only."""
+        process.runtime.on_compute(process, self)  # type: ignore[attr-defined]
+
+
+@dataclass
+class Send:
+    """Request: send (eager below the threshold).
+
+    ``blocking=False`` models a buffered/non-blocking send: the rank
+    continues after the injection overhead regardless of size.  This
+    is how real MPI libraries implement the basic-linear alltoallv —
+    all sends posted at once — which is precisely what creates the
+    incast bursts behind the paper's Figure 4.
+    """
+
+    dst: int
+    nbytes: int
+    tag: Hashable = 0
+    label: str = "send"
+    blocking: bool = True
+
+    def as_nonblocking(self) -> "Send":
+        """Return a buffered (non-blocking) copy of this send."""
+        return Send(
+            dst=self.dst,
+            nbytes=self.nbytes,
+            tag=self.tag,
+            label=self.label,
+            blocking=False,
+        )
+
+    def execute(self, process: Process) -> None:
+        """Inject the message into the fabric."""
+        process.runtime.on_send(process, self)  # type: ignore[attr-defined]
+
+
+@dataclass
+class Recv:
+    """Request: blocking receive from a specific source."""
+
+    src: int
+    tag: Hashable = 0
+    label: str = "recv"
+
+    def execute(self, process: Process) -> None:
+        """Match or park until the message arrives."""
+        process.runtime.on_recv(process, self)  # type: ignore[attr-defined]
+
+
+class MpiRank:
+    """Per-rank handle passed to rank programs.
+
+    Provides request constructors and collective sub-generators.  All
+    ranks must invoke collectives in the same order (as MPI requires);
+    a per-rank collective sequence number keys the tags.
+    """
+
+    def __init__(self, rank: int, size: int) -> None:
+        if size < 1 or not 0 <= rank < size:
+            raise ConfigurationError(f"invalid rank {rank} of {size}")
+        self.rank = rank
+        self.size = size
+        self._collective_seq = 0
+
+    # -- point to point ---------------------------------------------------
+
+    def compute(self, seconds: float, label: str = "compute") -> Compute:
+        """Local computation for *seconds*."""
+        if seconds < 0:
+            raise ConfigurationError(f"negative compute time {seconds}")
+        return Compute(seconds=seconds, label=label)
+
+    def send(self, dst: int, nbytes: int, tag: Hashable = 0, label: str = "send") -> Send:
+        """Blocking send of *nbytes* to *dst*."""
+        self._check_peer(dst)
+        if nbytes < 0:
+            raise ConfigurationError(f"negative message size {nbytes}")
+        return Send(dst=dst, nbytes=nbytes, tag=tag, label=label)
+
+    def recv(self, src: int, tag: Hashable = 0, label: str = "recv") -> Recv:
+        """Blocking receive from *src*."""
+        self._check_peer(src)
+        return Recv(src=src, tag=tag, label=label)
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ConfigurationError(f"peer {peer} outside communicator of {self.size}")
+        if peer == self.rank:
+            raise ConfigurationError("self-messaging is not supported")
+
+    def _next_collective(self, kind: str) -> tuple:
+        self._collective_seq += 1
+        return (kind, self._collective_seq)
+
+    # -- collectives --------------------------------------------------------
+
+    def barrier(self) -> RankProgram:
+        """Dissemination barrier: ceil(log2 P) rounds of token exchange."""
+        base = self._next_collective("barrier")
+        if self.size == 1:
+            return
+        distance = 1
+        round_index = 0
+        while distance < self.size:
+            to = (self.rank + distance) % self.size
+            frm = (self.rank - distance) % self.size
+            tag = (*base, round_index)
+            yield self.send(to, TOKEN_BYTES, tag=tag, label="barrier")
+            yield self.recv(frm, tag=tag, label="barrier")
+            distance *= 2
+            round_index += 1
+
+    def bcast(self, root: int, nbytes: int) -> RankProgram:
+        """Binomial-tree broadcast of *nbytes* from *root*."""
+        base = self._next_collective("bcast")
+        if self.size == 1:
+            return
+        relative = (self.rank - root) % self.size
+        mask = 1
+        while mask < self.size:
+            if relative & mask:
+                src = (relative - mask + root) % self.size
+                yield self.recv(src, tag=(*base, relative), label="bcast")
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            child = relative + mask
+            if child < self.size:
+                dst = (child + root) % self.size
+                yield self.send(dst, nbytes, tag=(*base, child), label="bcast")
+            mask >>= 1
+
+    def allreduce(self, nbytes: int) -> RankProgram:
+        """Ring allreduce: reduce-scatter then allgather, 2(P-1) steps."""
+        base = self._next_collective("allreduce")
+        if self.size == 1:
+            return
+        chunk = max(TOKEN_BYTES, nbytes // self.size)
+        to = (self.rank + 1) % self.size
+        frm = (self.rank - 1) % self.size
+        for step in range(2 * (self.size - 1)):
+            tag = (*base, step)
+            yield self.send(to, chunk, tag=tag, label="allreduce")
+            yield self.recv(frm, tag=tag, label="allreduce")
+
+    def alltoallv(
+        self,
+        send_bytes: Sequence[int],
+        label: str = "alltoallv",
+        *,
+        algorithm: str = "linear",
+    ) -> RankProgram:
+        """All-to-all with per-destination sizes.
+
+        ``send_bytes[d]`` is what this rank sends to rank *d* (its own
+        entry is ignored).  This is BigDFT's dominant pattern — the
+        ``all_to_all_v`` operations circled in the paper's Figure 4.
+
+        Algorithms:
+
+        * ``"linear"`` (default, and what 2012-era MPI libraries used
+          for alltoallv): post *all* sends at once, then receive — the
+          resulting incast bursts are exactly what overwhelms
+          Tibidabo's switch buffers;
+        * ``"pairwise"``: one partner per step, send/recv lockstep —
+          gentle on the fabric, used as the ablation baseline.
+        """
+        if len(send_bytes) != self.size:
+            raise ConfigurationError(
+                f"send_bytes has {len(send_bytes)} entries for "
+                f"{self.size} ranks"
+            )
+        if algorithm not in ("linear", "pairwise"):
+            raise ConfigurationError(f"unknown alltoallv algorithm {algorithm!r}")
+        base = self._next_collective("alltoallv")
+        if algorithm == "linear":
+            # Real basic-linear alltoallv posts sends in ascending rank
+            # order — every rank targets rank 0 first, then 1, ... which
+            # is exactly the incast pattern that overwhelms shallow
+            # switch buffers.
+            for dst in range(self.size):
+                if dst == self.rank:
+                    continue
+                step = (dst - self.rank) % self.size
+                yield self.send(
+                    dst,
+                    max(TOKEN_BYTES, int(send_bytes[dst])),
+                    tag=(*base, step),
+                    label=label,
+                ).as_nonblocking()
+            for step in range(1, self.size):
+                src = (self.rank - step) % self.size
+                yield self.recv(src, tag=(*base, step), label=label)
+        else:
+            for step in range(1, self.size):
+                dst = (self.rank + step) % self.size
+                src = (self.rank - step) % self.size
+                tag = (*base, step)
+                yield self.send(
+                    dst, max(TOKEN_BYTES, int(send_bytes[dst])), tag=tag, label=label
+                )
+                yield self.recv(src, tag=tag, label=label)
+
+    def alltoall(self, nbytes_each: int, label: str = "alltoall") -> RankProgram:
+        """Uniform all-to-all: every pair exchanges *nbytes_each*."""
+        yield from self.alltoallv([nbytes_each] * self.size, label=label)
+
+    def reduce(self, root: int, nbytes: int) -> RankProgram:
+        """Binomial-tree reduction toward *root*."""
+        base = self._next_collective("reduce")
+        if self.size == 1:
+            return
+        relative = (self.rank - root) % self.size
+        mask = 1
+        while mask < self.size:
+            if relative & mask:
+                parent = (relative & ~mask) % self.size
+                dst = (parent + root) % self.size
+                yield self.send(dst, nbytes, tag=(*base, relative), label="reduce")
+                break
+            child = relative | mask
+            if child < self.size:
+                src = (child + root) % self.size
+                yield self.recv(src, tag=(*base, child), label="reduce")
+            mask <<= 1
+
+    def gather(self, root: int, nbytes_each: int) -> RankProgram:
+        """Linear gather of *nbytes_each* from every rank to *root*."""
+        base = self._next_collective("gather")
+        if self.size == 1:
+            return
+        if self.rank == root:
+            for src in range(self.size):
+                if src == root:
+                    continue
+                yield self.recv(src, tag=(*base, src), label="gather")
+        else:
+            yield self.send(root, nbytes_each, tag=(*base, self.rank), label="gather")
+
+    def scatter(self, root: int, nbytes_each: int) -> RankProgram:
+        """Linear scatter of *nbytes_each* from *root* to every rank."""
+        base = self._next_collective("scatter")
+        if self.size == 1:
+            return
+        if self.rank == root:
+            for dst in range(self.size):
+                if dst == root:
+                    continue
+                yield self.send(
+                    dst, nbytes_each, tag=(*base, dst), label="scatter"
+                ).as_nonblocking()
+        else:
+            yield self.recv(root, tag=(*base, self.rank), label="scatter")
+
+    def allgather(self, nbytes_each: int) -> RankProgram:
+        """Ring allgather: P-1 steps forwarding blocks around the ring."""
+        base = self._next_collective("allgather")
+        if self.size == 1:
+            return
+        to = (self.rank + 1) % self.size
+        frm = (self.rank - 1) % self.size
+        for step in range(self.size - 1):
+            tag = (*base, step)
+            yield self.send(to, nbytes_each, tag=tag, label="allgather")
+            yield self.recv(frm, tag=tag, label="allgather")
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated MPI job."""
+
+    elapsed_seconds: float
+    rank_finish_times: list[float]
+    messages_delivered: int
+    loss_episodes: int
+
+    @property
+    def num_ranks(self) -> int:
+        """Communicator size."""
+        return len(self.rank_finish_times)
+
+
+class MpiJob:
+    """One MPI job: a program instantiated on every rank of a cluster."""
+
+    def __init__(
+        self,
+        cluster: ClusterModel,
+        num_ranks: int,
+        program_factory: Callable[[MpiRank], RankProgram],
+        *,
+        ranks_per_node: int | None = None,
+        tracer: Any = None,
+    ) -> None:
+        if num_ranks < 1:
+            raise ConfigurationError(f"need at least one rank, got {num_ranks}")
+        self.cluster = cluster
+        self.num_ranks = num_ranks
+        self.ranks_per_node = ranks_per_node or cluster.cores_per_node
+        # Validate placement up front.
+        cluster.node_of_rank(num_ranks - 1, self.ranks_per_node)
+        self.program_factory = program_factory
+        self.tracer = tracer
+        self.sim = Simulator()
+        self._processes: list[Process] = []
+        self._mailboxes: dict[tuple, list[Message]] = {}
+        self._pending_recvs: dict[tuple, list[tuple[Process, Recv, float]]] = {}
+        self.messages_delivered = 0
+
+    # -- request handlers ---------------------------------------------------
+
+    def _node_of(self, rank: int) -> int:
+        return self.cluster.node_of_rank(rank, self.ranks_per_node)
+
+    def _trace_state(self, rank: int, label: str, t0: float, t1: float) -> None:
+        if self.tracer is not None:
+            self.tracer.state(rank, label, t0, t1)
+
+    def on_compute(self, process: Process, request: Compute) -> None:
+        """Handle a Compute request: advance this rank's clock."""
+        start = self.sim.now
+        def finish() -> None:
+            self._trace_state(process.rank, request.label, start, self.sim.now)
+            process.resume(None)
+        self.sim.schedule(request.seconds, finish)
+
+    def on_send(self, process: Process, request: Send) -> None:
+        """Handle a Send: book the route, schedule delivery, resume."""
+        src = process.rank
+        now = self.sim.now
+        src_node = self._node_of(src)
+        dst_node = self._node_of(request.dst)
+        if src_node == dst_node:
+            arrival = self.cluster.shared_memory_transfer(
+                now + SEND_OVERHEAD_S, src_node, request.nbytes
+            )
+        else:
+            arrival = self.cluster.fabric.deliver(
+                now + SEND_OVERHEAD_S, src_node, dst_node, request.nbytes
+            )
+        message = Message(
+            src=src,
+            dst=request.dst,
+            tag=request.tag,
+            nbytes=request.nbytes,
+            send_time=now,
+            arrival_time=arrival,
+            label=request.label,
+        )
+        self.sim.schedule_at(arrival, lambda: self._deliver(message))
+        if self.tracer is not None:
+            self.tracer.comm(message)
+
+        eager = request.nbytes <= EAGER_THRESHOLD_BYTES or not request.blocking
+        resume_at = now + SEND_OVERHEAD_S if eager else arrival
+        def finish() -> None:
+            self._trace_state(src, request.label, now, self.sim.now)
+            process.resume(None)
+        self.sim.schedule_at(resume_at, finish)
+
+    def _deliver(self, message: Message) -> None:
+        key = (message.dst, message.src, message.tag)
+        waiting = self._pending_recvs.get(key)
+        if waiting:
+            process, request, posted_at = waiting.pop(0)
+            if not waiting:
+                del self._pending_recvs[key]
+            self.messages_delivered += 1
+            self._trace_state(message.dst, request.label, posted_at, self.sim.now)
+            process.resume(message)
+        else:
+            self._mailboxes.setdefault(key, []).append(message)
+
+    def on_recv(self, process: Process, request: Recv) -> None:
+        """Handle a Recv: match an arrived message or park."""
+        key = (process.rank, request.src, request.tag)
+        mailbox = self._mailboxes.get(key)
+        now = self.sim.now
+        if mailbox:
+            message = mailbox.pop(0)
+            if not mailbox:
+                del self._mailboxes[key]
+            self.messages_delivered += 1
+            self._trace_state(process.rank, request.label, now, now)
+            self.sim.schedule(0.0, lambda: process.resume(message))
+        else:
+            self._pending_recvs.setdefault(key, []).append((process, request, now))
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> JobResult:
+        """Instantiate all rank programs and run to completion."""
+        for rank in range(self.num_ranks):
+            handle = MpiRank(rank, self.num_ranks)
+            generator = self.program_factory(handle)
+            process = Process(self.sim, generator, name=f"rank{rank}")
+            process.rank = rank  # type: ignore[attr-defined]
+            process.runtime = self  # type: ignore[attr-defined]
+            self._processes.append(process)
+            process.start()
+        self.sim.run()
+
+        stuck = [p.name for p in self._processes if not p.finished]
+        if stuck:
+            raise SimulationError(
+                f"deadlock: ranks never finished: {stuck[:8]}"
+                + ("..." if len(stuck) > 8 else "")
+            )
+        finish_times = [p.finish_time or 0.0 for p in self._processes]
+        return JobResult(
+            elapsed_seconds=max(finish_times),
+            rank_finish_times=finish_times,
+            messages_delivered=self.messages_delivered,
+            loss_episodes=self.cluster.fabric.total_loss_episodes(),
+        )

@@ -1,0 +1,105 @@
+"""NICs and links: serialized transmission resources.
+
+Every transmission resource (a NIC, a switch output port, an uplink) is
+a :class:`SerialResource`: one message occupies it for
+``bytes / bandwidth`` seconds, later messages queue FIFO.  Contention
+therefore emerges naturally — two ranks sharing one Tibidabo NIC, or
+47 senders converging on one switch output port, serialize exactly as
+the hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, NetworkError
+
+
+class SerialResource:
+    """A FIFO-serialized transmission resource.
+
+    ``occupy(now, nbytes)`` books the resource and returns the
+    completion time; bookings never overlap.
+    """
+
+    def __init__(self, name: str, bandwidth_bytes_per_s: float) -> None:
+        if bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError(f"{name}: bandwidth must be positive")
+        self.name = name
+        self.bandwidth = bandwidth_bytes_per_s
+        self.free_at = 0.0
+        self.bytes_carried = 0
+        self.messages_carried = 0
+        self.busy_time = 0.0
+
+    def occupy(self, now: float, nbytes: int) -> float:
+        """Serialize *nbytes* starting no earlier than *now*.
+
+        Returns the time the last byte leaves the resource.
+        """
+        if now < 0 or nbytes < 0:
+            raise NetworkError(f"{self.name}: invalid occupy({now}, {nbytes})")
+        start = max(now, self.free_at)
+        duration = nbytes / self.bandwidth
+        self.free_at = start + duration
+        self.bytes_carried += nbytes
+        self.messages_carried += 1
+        self.busy_time += duration
+        return self.free_at
+
+    def backlog_seconds(self, now: float) -> float:
+        """How far the resource is booked past *now*."""
+        return max(0.0, self.free_at - now)
+
+    def reset(self) -> None:
+        """Clear bookings and statistics (new job on the same fabric)."""
+        self.free_at = 0.0
+        self.bytes_carried = 0
+        self.messages_carried = 0
+        self.busy_time = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction over an elapsed interval."""
+        if elapsed <= 0:
+            raise ConfigurationError("elapsed time must be positive")
+        return min(1.0, self.busy_time / elapsed)
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Static NIC description."""
+
+    name: str
+    bandwidth_bits_per_s: float
+    latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bits_per_s <= 0 or self.latency_s < 0:
+            raise ConfigurationError(f"{self.name}: invalid NIC parameters")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Payload bandwidth in bytes/s."""
+        return self.bandwidth_bits_per_s / 8.0
+
+
+#: The Tibidabo nodes' PCIe-attached 1 Gb Ethernet NIC.
+GBE_NIC = NicSpec(name="1GbE", bandwidth_bits_per_s=1e9, latency_s=35e-6)
+
+#: The Snowball board's 100 Mb Ethernet.
+FAST_ETHERNET_NIC = NicSpec(name="100MbE", bandwidth_bits_per_s=1e8, latency_s=60e-6)
+
+
+class Nic:
+    """One node's NIC: independent TX and RX serialization."""
+
+    def __init__(self, node_id: int, spec: NicSpec) -> None:
+        self.node_id = node_id
+        self.spec = spec
+        self.tx = SerialResource(f"nic{node_id}.tx", spec.bandwidth_bytes_per_s)
+        self.rx = SerialResource(f"nic{node_id}.rx", spec.bandwidth_bytes_per_s)
+
+    @property
+    def latency_s(self) -> float:
+        """One-way NIC traversal latency."""
+        return self.spec.latency_s

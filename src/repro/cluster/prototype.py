@@ -1,0 +1,97 @@
+"""The final Mont-Blanc prototype (§II, §IV, §VI).
+
+The paper describes the 2014 prototype: "Samsung Exynos 5 Dual Cortex
+A15 processors with an embedded Mali T604 GPU ... using Ethernet for
+communication", and notes that "For the final Mont-Blanc prototype
+high speed Ethernet network with power saving capabilities has been
+selected" to fix Tibidabo's switch problems.
+
+:func:`montblanc_prototype` assembles that machine on the simulator:
+Exynos 5 Dual nodes behind deep-buffered 10 GbE switches that support
+Energy-Efficient-Ethernet-style idle power savings (modelled in
+:mod:`repro.energy.scale` via :class:`EeeSwitchPower`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.machines import EXYNOS5_DUAL
+from repro.cluster.cluster import ClusterModel
+from repro.cluster.fabric import Fabric, FatTreeSpec
+from repro.cluster.network import NicSpec
+from repro.cluster.switch import SwitchSpec
+from repro.errors import ConfigurationError
+
+#: The prototype's high-speed NIC (10 GbE).
+TEN_GBE_NIC = NicSpec(name="10GbE", bandwidth_bits_per_s=10e9, latency_s=8e-6)
+
+#: Deep-buffered 10 GbE switch, no incast collapse — "high speed
+#: Ethernet network with power saving capabilities".
+PROTOTYPE_SWITCH = SwitchSpec(
+    name="48p-10GbE-deep-buffer",
+    ports=48,
+    port_bandwidth_bits_per_s=10e9,
+    forwarding_latency_s=2e-6,
+    buffer_bytes=16 * 1024 * 1024,
+    collapse_probability=0.0,
+    loss_rate=0.0,
+)
+
+
+@dataclass(frozen=True)
+class EeeSwitchPower:
+    """Energy-Efficient Ethernet switch power: base + per-active-port.
+
+    A non-EEE switch burns ``base_w + ports * port_w`` regardless of
+    traffic; an EEE switch idles its unused ports, paying the per-port
+    power only scaled by utilization.
+    """
+
+    base_w: float
+    port_w: float
+    ports: int
+    eee: bool
+
+    def __post_init__(self) -> None:
+        if self.base_w < 0 or self.port_w < 0 or self.ports < 1:
+            raise ConfigurationError("invalid switch power parameters")
+
+    def power(self, *, active_ports: int, utilization: float) -> float:
+        """Wall power given the job's footprint and traffic level."""
+        if not 0 <= active_ports <= self.ports:
+            raise ConfigurationError(
+                f"active_ports must be in [0, {self.ports}], got {active_ports}"
+            )
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(
+                f"utilization must be in [0, 1], got {utilization}"
+            )
+        if not self.eee:
+            return self.base_w + self.ports * self.port_w
+        # EEE: unused ports sleep; active ports scale with duty cycle
+        # (floor of 10% for the PHY wake circuitry).
+        duty = 0.1 + 0.9 * utilization
+        return self.base_w + active_ports * self.port_w * duty
+
+
+#: Tibidabo-era fixed-power switch.
+COMMODITY_SWITCH_POWER = EeeSwitchPower(base_w=25.0, port_w=0.73, ports=48, eee=False)
+
+#: The prototype's power-saving switch.
+PROTOTYPE_SWITCH_POWER = EeeSwitchPower(base_w=30.0, port_w=1.2, ports=48, eee=True)
+
+
+def montblanc_prototype(num_nodes: int = 96, *, seed: int = 0) -> ClusterModel:
+    """Build the final Mont-Blanc prototype cluster model."""
+    fabric = Fabric(
+        num_nodes,
+        FatTreeSpec(switch=PROTOTYPE_SWITCH, nic=TEN_GBE_NIC),
+        seed=seed,
+    )
+    return ClusterModel(
+        name="Mont-Blanc prototype (Exynos 5 + 10GbE EEE)",
+        node=EXYNOS5_DUAL,
+        num_nodes=num_nodes,
+        fabric=fabric,
+    )

@@ -1,0 +1,209 @@
+"""Store-and-forward Ethernet switch with incast-collapse pathology.
+
+The paper traces BigDFT's delayed ``all_to_all_v`` collectives to "the
+Ethernet switches used in Tibidabo" (§IV, Figure 4): only collective
+communication creates enough *incast* — many flows converging on one
+output port at once — to overflow the switches' shallow buffers.
+Overflow on commodity GbE means dropped frames, and MPI-over-TCP
+recovers through retransmission timeouts during which the senders sit
+silent: the port loses *goodput*, not just latency.
+
+Model, per output port:
+
+* FIFO serialization (a :class:`~repro.cluster.network.SerialResource`);
+* a *burst* begins when the port's backlog exceeds what its buffer can
+  absorb while at least ``min_incast_flows`` distinct flows are
+  converging (a single fat HPL panel stream keeps TCP windows happy;
+  35 simultaneous alltoallv flows do not);
+* at burst onset the port draws once whether this burst *collapses*
+  (probability ``collapse_probability``) — modelling the synchronized
+  loss behaviour of incast, which makes some collective instances
+  clean and others delayed, "in some cases all the nodes [...] in
+  other, only part of them";
+* within a collapsed burst each message independently pays a
+  retransmission timeout with probability ``loss_rate``; the timeout
+  is *dead port time* (the flow has backed off).
+
+The burst resets once the port drains back to buffer scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cluster.network import SerialResource
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """Static description of one Ethernet switch model.
+
+    Attributes:
+        name: model name.
+        ports: port count (48 on Tibidabo's switches).
+        port_bandwidth_bits_per_s: per-port line rate.
+        forwarding_latency_s: store-and-forward + lookup latency.
+        buffer_bytes: output-buffer capacity per port — commodity
+            2012-era GbE switches had ~100 KiB.
+        rto_s: TCP retransmission timeout paid per loss episode
+            (Linux's 200 ms minimum RTO).
+        min_incast_flows: distinct converging flows needed before
+            overflow can trigger a collapse.
+        collapse_probability: chance an overflowing burst collapses.
+        loss_rate: per-message RTO probability inside a collapsed
+            burst.  Zero disables the pathology — the "upgraded
+            switches" scenario the paper anticipates.
+    """
+
+    name: str
+    ports: int
+    port_bandwidth_bits_per_s: float
+    forwarding_latency_s: float
+    buffer_bytes: int
+    rto_s: float = 0.2
+    min_incast_flows: int = 8
+    collapse_probability: float = 0.45
+    loss_rate: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.ports < 2:
+            raise ConfigurationError(f"{self.name}: need at least 2 ports")
+        if self.port_bandwidth_bits_per_s <= 0 or self.buffer_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: invalid rate or buffer")
+        if self.forwarding_latency_s < 0 or self.rto_s < 0:
+            raise ConfigurationError(f"{self.name}: negative latency")
+        if self.min_incast_flows < 2:
+            raise ConfigurationError(f"{self.name}: min_incast_flows must be >= 2")
+        for field_name, p in (
+            ("collapse_probability", self.collapse_probability),
+            ("loss_rate", self.loss_rate),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(
+                    f"{self.name}: {field_name} must be in [0, 1], got {p}"
+                )
+
+
+#: Tibidabo's commodity 48-port GbE switch (shallow buffers).
+TIBIDABO_SWITCH = SwitchSpec(
+    name="48p-GbE-commodity",
+    ports=48,
+    port_bandwidth_bits_per_s=1e9,
+    forwarding_latency_s=10e-6,
+    buffer_bytes=96 * 1024,
+)
+
+#: The "upgraded switches" the paper says will fix the problem:
+#: deep-buffered, no incast collapse.
+UPGRADED_SWITCH = SwitchSpec(
+    name="48p-GbE-deep-buffer",
+    ports=48,
+    port_bandwidth_bits_per_s=1e9,
+    forwarding_latency_s=6e-6,
+    buffer_bytes=4 * 1024 * 1024,
+    collapse_probability=0.0,
+    loss_rate=0.0,
+)
+
+
+class _PortBurst:
+    """Per-port incast-burst state."""
+
+    __slots__ = ("active", "collapsed", "flows")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.collapsed = False
+        self.flows: set[int] = set()
+
+    def reset(self) -> None:
+        self.active = False
+        self.collapsed = False
+        self.flows.clear()
+
+
+class SwitchModel:
+    """Dynamic state of one switch: per-output-port queues + bursts."""
+
+    def __init__(self, spec: SwitchSpec, *, name: str, seed: int = 0) -> None:
+        self.spec = spec
+        self.name = name
+        bandwidth = spec.port_bandwidth_bits_per_s / 8.0
+        self._ports = [
+            SerialResource(f"{name}.out{i}", bandwidth) for i in range(spec.ports)
+        ]
+        self._bursts = [_PortBurst() for _ in range(spec.ports)]
+        self._rng = random.Random(seed)
+        self.loss_episodes = 0
+        self.collapsed_bursts = 0
+
+    def port(self, index: int) -> SerialResource:
+        """The output-port resource for *index*."""
+        if not 0 <= index < self.spec.ports:
+            raise ConfigurationError(
+                f"{self.name}: port {index} out of range 0..{self.spec.ports - 1}"
+            )
+        return self._ports[index]
+
+    def reset(self) -> None:
+        """Clear bookings, bursts and loss statistics (keeps the RNG
+        stream so successive jobs see fresh stochastic draws)."""
+        for port in self._ports:
+            port.reset()
+        for burst in self._bursts:
+            burst.reset()
+        self.loss_episodes = 0
+        self.collapsed_bursts = 0
+
+    def forward(
+        self,
+        now: float,
+        out_port: int,
+        nbytes: int,
+        *,
+        flow: int = 0,
+        edge_port: bool = True,
+    ) -> float:
+        """Forward one message through *out_port*; returns delivery time.
+
+        ``flow`` identifies the sending endpoint, used to count how
+        many distinct flows converge on the port.  Incast collapse is
+        a *many-to-one* pathology: it can only strike ``edge_port``
+        hops (the final switch port feeding one node's NIC), where all
+        converging flows share a single TCP receiver.  Inter-switch
+        trunks carry many-to-many traffic whose flows back off
+        gracefully; they serialize but do not collapse.
+        """
+        port = self.port(out_port)
+        burst = self._bursts[out_port]
+        spec = self.spec
+        buffer_drain_s = spec.buffer_bytes / port.bandwidth
+        backlog = port.backlog_seconds(now)
+
+        if backlog <= buffer_drain_s:
+            burst.reset()
+        burst.flows.add(flow)
+
+        overflowing = (
+            edge_port
+            and backlog > buffer_drain_s
+            and len(burst.flows) >= spec.min_incast_flows
+            and spec.loss_rate > 0
+        )
+        if overflowing and not burst.active:
+            burst.active = True
+            burst.collapsed = self._rng.random() < spec.collapse_probability
+            if burst.collapsed:
+                self.collapsed_bursts += 1
+
+        if overflowing and burst.collapsed and self._rng.random() < spec.loss_rate:
+            # Retransmission timeout: the flow backs off and the port
+            # capacity is dead for the RTO.
+            self.loss_episodes += 1
+            dead = spec.rto_s * self._rng.uniform(0.75, 1.25)
+            port.free_at = max(port.free_at, now) + dead
+
+        done = port.occupy(now, nbytes)
+        return done + spec.forwarding_latency_s

@@ -1,0 +1,123 @@
+"""Containers for benchmark measurements.
+
+A :class:`Sample` is one observation of one metric under one factor
+combination.  A :class:`MeasurementSet` collects samples, preserves the
+*sequence order* in which they were taken (the paper's Figure 5b shows
+why that order matters: degraded real-time-scheduler samples come in
+consecutive runs), and offers grouping and filtering helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One observation of one metric.
+
+    Attributes:
+        metric: name of the measured quantity (e.g. ``"bandwidth"``).
+        value: the observed value, in the metric's canonical unit.
+        factors: the factor combination under which it was observed
+            (e.g. ``{"array_size": 32768, "stride": 1}``).
+        sequence: 0-based position in the acquisition order.
+    """
+
+    metric: str
+    value: float
+    factors: Mapping[str, Any] = field(default_factory=dict)
+    sequence: int = 0
+
+    def factor(self, name: str) -> Any:
+        """Return one factor's level, raising if it was not recorded."""
+        if name not in self.factors:
+            raise ConfigurationError(
+                f"sample of {self.metric!r} has no factor {name!r}; "
+                f"known factors: {sorted(self.factors)}"
+            )
+        return self.factors[name]
+
+
+class MeasurementSet:
+    """An ordered collection of :class:`Sample` observations."""
+
+    def __init__(self, samples: Iterable[Sample] = ()) -> None:
+        self._samples: list[Sample] = list(samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[Sample]:
+        return iter(self._samples)
+
+    def __getitem__(self, index: int) -> Sample:
+        return self._samples[index]
+
+    def add(self, sample: Sample) -> None:
+        """Append one sample, preserving acquisition order."""
+        self._samples.append(sample)
+
+    def record(self, metric: str, value: float, **factors: Any) -> Sample:
+        """Create, append and return a sample with the next sequence number."""
+        sample = Sample(
+            metric=metric, value=value, factors=factors, sequence=len(self._samples)
+        )
+        self.add(sample)
+        return sample
+
+    def values(self, metric: str | None = None) -> list[float]:
+        """Return the values of all samples, optionally for one metric only."""
+        return [s.value for s in self._samples if metric is None or s.metric == metric]
+
+    def metrics(self) -> list[str]:
+        """Return the distinct metric names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for sample in self._samples:
+            seen.setdefault(sample.metric, None)
+        return list(seen)
+
+    def filter(self, predicate: Callable[[Sample], bool]) -> "MeasurementSet":
+        """Return a new set containing the samples matching *predicate*."""
+        return MeasurementSet(s for s in self._samples if predicate(s))
+
+    def where(self, **factors: Any) -> "MeasurementSet":
+        """Return the samples whose factors include all the given levels."""
+        def matches(sample: Sample) -> bool:
+            return all(sample.factors.get(k) == v for k, v in factors.items())
+
+        return self.filter(matches)
+
+    def group_by(self, factor: str) -> dict[Any, "MeasurementSet"]:
+        """Partition the samples by one factor's level.
+
+        Levels appear in first-appearance order; samples missing the
+        factor are grouped under ``None``.
+        """
+        groups: dict[Any, MeasurementSet] = {}
+        for sample in self._samples:
+            level = sample.factors.get(factor)
+            groups.setdefault(level, MeasurementSet()).add(sample)
+        return groups
+
+    def sequence_series(self, metric: str | None = None) -> list[tuple[int, float]]:
+        """Return ``(sequence, value)`` pairs in acquisition order.
+
+        This is the paper's Figure 5b representation: plotting values
+        against acquisition order exposes temporally-correlated
+        anomalies (consecutive degraded samples) that a histogram
+        hides.
+        """
+        return [
+            (s.sequence, s.value)
+            for s in self._samples
+            if metric is None or s.metric == metric
+        ]
+
+    def extend(self, other: "MeasurementSet") -> None:
+        """Append all samples of *other*, renumbering their sequence."""
+        for sample in other:
+            self.record(sample.metric, sample.value, **dict(sample.factors))

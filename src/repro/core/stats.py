@@ -1,0 +1,294 @@
+"""Statistics for performance measurements.
+
+Beyond the usual summaries, this module implements the two analyses the
+paper leans on:
+
+* :func:`detect_modes` — 1-D mode detection used to expose the *bimodal*
+  bandwidth distribution under real-time scheduling (Figure 5a: a
+  nominal mode and a degraded mode ~5x lower);
+* :func:`exponential_fit` — log-linear least squares used to fit the
+  Top500 growth curve and project the exaflop year (Figure 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of a sample of observations."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / |mean|); 0 for a zero mean."""
+        if self.mean == 0:
+            return 0.0
+        return self.std / abs(self.mean)
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Compute a :class:`SummaryStats` over a non-empty sequence."""
+    if not values:
+        raise ConfigurationError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        var = 0.0
+    ordered = sorted(values)
+    mid = n // 2
+    if n % 2:
+        median = ordered[mid]
+    else:
+        median = 0.5 * (ordered[mid - 1] + ordered[mid])
+    return SummaryStats(
+        count=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        median=median,
+    )
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float]:
+    """Normal-approximation confidence interval for the mean.
+
+    Uses the z quantile (1.96 for 95%); adequate for the dozens of
+    replicates the experiment plans produce.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    stats = summarize(values)
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    half_width = z * stats.std / math.sqrt(stats.count)
+    return (stats.mean - half_width, stats.mean + half_width)
+
+
+def _normal_quantile(p: float) -> float:
+    """Acklam's rational approximation to the standard normal quantile."""
+    if not 0.0 < p < 1.0:
+        raise ConfigurationError(f"quantile probability must be in (0, 1), got {p}")
+    # Coefficients for the central region.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )
+
+
+@dataclass(frozen=True)
+class Mode:
+    """One detected mode of a 1-D sample."""
+
+    center: float
+    count: int
+    members: tuple[float, ...]
+
+    @property
+    def weight(self) -> float:
+        """Fraction of the total sample belonging to this mode."""
+        return float(self.count)
+
+
+def detect_modes(
+    values: Sequence[float], *, separation: float = 2.0
+) -> list[Mode]:
+    """Detect well-separated modes in a 1-D sample.
+
+    The algorithm sorts the values and cuts the sorted sequence at gaps
+    larger than ``separation`` times the median inter-point gap, then
+    merges tiny fragments into their nearest neighbour.  It is designed
+    for the paper's Figure 5a use case — distinguishing a nominal
+    bandwidth mode from a degraded mode several times lower — not for
+    general density estimation.
+
+    Returns modes sorted by descending center.
+    """
+    if not values:
+        raise ConfigurationError("cannot detect modes of an empty sample")
+    if separation <= 0:
+        raise ConfigurationError(f"separation must be positive, got {separation}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return [Mode(center=ordered[0], count=1, members=(ordered[0],))]
+
+    gaps = [b - a for a, b in zip(ordered, ordered[1:])]
+    positive_gaps = sorted(g for g in gaps if g > 0)
+    if not positive_gaps:
+        # All values identical: a single degenerate mode.
+        return [Mode(center=ordered[0], count=len(ordered), members=tuple(ordered))]
+    median_gap = positive_gaps[len(positive_gaps) // 2]
+    # A cut also requires the gap to be a meaningful fraction of the
+    # data range, so near-duplicate clusters are not shattered.
+    data_range = ordered[-1] - ordered[0]
+    threshold = max(separation * median_gap, 0.05 * data_range)
+    # A gap spanning nearly half the whole range is always a cut, even
+    # when duplicates skew the median-gap estimate.
+    dominant_gap = 0.45 * data_range
+
+    clusters: list[list[float]] = [[ordered[0]]]
+    for gap, value in zip(gaps, ordered[1:]):
+        if gap > threshold or gap > dominant_gap:
+            clusters.append([value])
+        else:
+            clusters[-1].append(value)
+
+    modes = [
+        Mode(
+            center=sum(cluster) / len(cluster),
+            count=len(cluster),
+            members=tuple(cluster),
+        )
+        for cluster in clusters
+    ]
+    modes.sort(key=lambda m: -m.center)
+    return modes
+
+
+def is_bimodal(values: Sequence[float], *, ratio: float = 2.0) -> bool:
+    """Return True if the sample splits into modes whose centers differ
+    by at least *ratio*.
+
+    This is the acceptance predicate for the Figure 5 reproduction: the
+    paper reports a degraded mode "almost 5 times lower" than the
+    nominal one.
+    """
+    modes = [m for m in detect_modes(values) if m.count >= 2]
+    if len(modes) < 2:
+        return False
+    highest, lowest = modes[0].center, modes[-1].center
+    return lowest > 0 and highest / lowest >= ratio
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line at *x*."""
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares fit of ``ys`` against ``xs``."""
+    if len(xs) != len(ys):
+        raise ConfigurationError(
+            f"x and y lengths differ: {len(xs)} vs {len(ys)}"
+        )
+    if len(xs) < 2:
+        raise ConfigurationError("need at least two points for a linear fit")
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ConfigurationError("all x values identical; fit is degenerate")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """Fit of ``y = a * growth**(x - x0)`` via log-linear least squares."""
+
+    x0: float
+    a: float
+    growth: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted exponential at *x*."""
+        return self.a * self.growth ** (x - self.x0)
+
+    def solve_for(self, y: float) -> float:
+        """Return the *x* at which the fit reaches *y* (inverse predict)."""
+        if y <= 0 or self.a <= 0 or self.growth <= 0 or self.growth == 1.0:
+            raise ConfigurationError("exponential fit cannot be inverted")
+        return self.x0 + math.log(y / self.a) / math.log(self.growth)
+
+
+def exponential_fit(xs: Sequence[float], ys: Sequence[float]) -> ExponentialFit:
+    """Fit an exponential growth curve through positive observations.
+
+    Used to reproduce Figure 1: Top500 aggregate performance grows
+    exponentially; the fit projects when the exaflop threshold falls.
+    """
+    if any(y <= 0 for y in ys):
+        raise ConfigurationError("exponential fit requires strictly positive y values")
+    x0 = min(xs) if xs else 0.0
+    shifted = [x - x0 for x in xs]
+    log_ys = [math.log(y) for y in ys]
+    line = linear_fit(shifted, log_ys)
+    return ExponentialFit(
+        x0=x0,
+        a=math.exp(line.intercept),
+        growth=math.exp(line.slope),
+        r_squared=line.r_squared,
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    if not values:
+        raise ConfigurationError("cannot take the geometric mean of an empty sample")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_efficiency(
+    speedup: float, cores: int, baseline_cores: int = 1
+) -> float:
+    """Parallel efficiency of a measured speedup.
+
+    ``speedup`` is relative to a run on ``baseline_cores`` cores, as in
+    the paper's Figure 3b where SPECFEM3D speedups are taken against a
+    4-core execution.
+    """
+    if cores <= 0 or baseline_cores <= 0:
+        raise ConfigurationError("core counts must be positive")
+    return speedup * baseline_cores / cores

@@ -1,0 +1,75 @@
+"""Parameter sweeps.
+
+A thin convenience layer over :class:`repro.core.experiment.ExperimentPlan`
+for the very common "sweep one or two parameters, collect one curve per
+group" pattern used by every figure reproduction in this repo.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.experiment import Experiment, ExperimentPlan, Factor
+from repro.core.measurement import MeasurementSet
+from repro.errors import ConfigurationError
+
+
+class ParameterSweep:
+    """Sweep named parameters over given levels and collect measurements.
+
+    >>> sweep = ParameterSweep({"n": [1, 2, 4]}, replicates=2, seed=7)
+    >>> results = sweep.run(lambda f: float(f["n"]) * 10.0, metric="score")
+    >>> sorted(set(results.values("score")))
+    [10.0, 20.0, 40.0]
+    """
+
+    def __init__(
+        self,
+        parameters: Mapping[str, Sequence[Any]],
+        *,
+        replicates: int = 1,
+        randomize: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if not parameters:
+            raise ConfigurationError("a sweep needs at least one parameter")
+        factors = [Factor(name, levels) for name, levels in parameters.items()]
+        self.plan = ExperimentPlan(
+            factors, replicates=replicates, randomize=randomize, seed=seed
+        )
+
+    def run(
+        self,
+        measure: Callable[[Mapping[str, Any]], float | Mapping[str, float]],
+        *,
+        metric: str = "value",
+    ) -> MeasurementSet:
+        """Run *measure* for every scheduled trial and return the samples."""
+        return Experiment(plan=self.plan, measure=measure, metric=metric).run()
+
+    @staticmethod
+    def curve(
+        results: MeasurementSet,
+        x_factor: str,
+        *,
+        metric: str | None = None,
+        aggregate: Callable[[Sequence[float]], float] | None = None,
+    ) -> list[tuple[Any, float]]:
+        """Collapse measurements into an ``(x, y)`` curve.
+
+        Replicates at each x level are reduced with *aggregate*
+        (defaults to the arithmetic mean).  Points are sorted by x.
+        """
+        if aggregate is None:
+            def aggregate(vals: Sequence[float]) -> float:
+                return sum(vals) / len(vals)
+
+        groups = results.group_by(x_factor)
+        points = []
+        for level, subset in groups.items():
+            values = subset.values(metric)
+            if not values:
+                continue
+            points.append((level, aggregate(values)))
+        points.sort(key=lambda point: point[0])
+        return points

@@ -1,0 +1,40 @@
+"""Energy accounting (the paper's §III model).
+
+"The results assume a full 2.5W power consumption for the Snowball
+board, while only 95W of power (the TDP of the Xeon) are accounted for
+the Intel platform.  This is a very conservative estimation, highly
+unfavorable for the ARM platform" — and still the ARM wins on energy
+for every benchmark but LINPACK.
+"""
+
+from repro.energy.model import (
+    EnergyComparison,
+    compare_runs,
+    energy_ratio,
+    energy_to_solution,
+    gflops_per_watt,
+    performance_ratio,
+)
+from repro.energy.scale import (
+    ClusterRunEnergy,
+    CounterbalanceStudy,
+    cluster_power_watts,
+    counterbalance_study,
+    measure_cluster_energy,
+    switches_in_use,
+)
+
+__all__ = [
+    "ClusterRunEnergy",
+    "CounterbalanceStudy",
+    "EnergyComparison",
+    "cluster_power_watts",
+    "compare_runs",
+    "counterbalance_study",
+    "energy_ratio",
+    "energy_to_solution",
+    "gflops_per_watt",
+    "measure_cluster_energy",
+    "performance_ratio",
+    "switches_in_use",
+]

@@ -1,0 +1,132 @@
+"""Cluster-scale energy accounting.
+
+§IV closes with: "No power measurement was done so far at large scale,
+but experiments are ongoing.  Nonetheless, with current hardware, the
+node power efficiency is likely to be counterbalanced by the network
+inefficiency."  This module quantifies exactly that trade on the
+simulator: whole-cluster power (nodes + switches), energy to solution
+for the scaling runs, and the breakdown showing how much of the energy
+is burned by the fabric and by communication stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import ScalableAppModel
+from repro.cluster.cluster import ClusterModel
+from repro.errors import ConfigurationError
+
+#: Wall power of one 48-port GbE switch of the era.
+SWITCH_POWER_W = 60.0
+
+
+def switches_in_use(cluster: ClusterModel, nodes_used: int) -> int:
+    """Leaf switches touched by the first *nodes_used* nodes, plus the
+    root when more than one leaf is involved."""
+    if not 1 <= nodes_used <= cluster.num_nodes:
+        raise ConfigurationError(
+            f"nodes_used must be in [1, {cluster.num_nodes}], got {nodes_used}"
+        )
+    per_leaf = cluster.fabric.spec.nodes_per_leaf
+    leaves = -(-nodes_used // per_leaf)
+    return leaves + (1 if leaves > 1 else 0)
+
+
+def cluster_power_watts(
+    cluster: ClusterModel, nodes_used: int, *, switch_power_w: float = SWITCH_POWER_W
+) -> float:
+    """TDP-model power of a job footprint: nodes plus fabric."""
+    node_power = cluster.node_power_watts(nodes_used)
+    return node_power + switches_in_use(cluster, nodes_used) * switch_power_w
+
+
+@dataclass(frozen=True)
+class ClusterRunEnergy:
+    """Energy accounting of one simulated cluster job."""
+
+    app: str
+    cores: int
+    nodes: int
+    elapsed_seconds: float
+    node_power_w: float
+    network_power_w: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Nodes + fabric."""
+        return self.node_power_w + self.network_power_w
+
+    @property
+    def energy_joules(self) -> float:
+        """Energy to solution under the TDP model."""
+        return self.total_power_w * self.elapsed_seconds
+
+    @property
+    def network_power_fraction(self) -> float:
+        """Share of the power budget burned by the fabric."""
+        return self.network_power_w / self.total_power_w
+
+
+def measure_cluster_energy(
+    app: ScalableAppModel,
+    cluster: ClusterModel,
+    cores: int,
+    *,
+    switch_power_w: float = SWITCH_POWER_W,
+) -> ClusterRunEnergy:
+    """Run *app* on *cores* and account the footprint's energy."""
+    if cores < 1:
+        raise ConfigurationError("need at least one core")
+    elapsed = app.run_cluster(cluster, cores)
+    nodes = -(-cores // cluster.cores_per_node)
+    return ClusterRunEnergy(
+        app=app.name,
+        cores=cores,
+        nodes=nodes,
+        elapsed_seconds=elapsed,
+        node_power_w=cluster.node_power_watts(nodes),
+        network_power_w=switches_in_use(cluster, nodes) * switch_power_w,
+    )
+
+
+@dataclass(frozen=True)
+class CounterbalanceStudy:
+    """Node-vs-network efficiency at increasing scale."""
+
+    runs: tuple[ClusterRunEnergy, ...]
+
+    def energy_curve(self) -> list[tuple[int, float]]:
+        """(cores, joules) — how energy-to-solution moves with scale."""
+        return [(run.cores, run.energy_joules) for run in self.runs]
+
+    def network_fraction_curve(self) -> list[tuple[int, float]]:
+        """(cores, fabric share of power)."""
+        return [(run.cores, run.network_power_fraction) for run in self.runs]
+
+    @property
+    def most_efficient_cores(self) -> int:
+        """Core count minimizing energy to solution."""
+        return min(self.runs, key=lambda run: run.energy_joules).cores
+
+
+def counterbalance_study(
+    app: ScalableAppModel,
+    cluster: ClusterModel,
+    core_counts: list[int],
+    *,
+    switch_power_w: float = SWITCH_POWER_W,
+) -> CounterbalanceStudy:
+    """Measure energy to solution across a strong-scaling sweep.
+
+    For communication-light codes the energy stays roughly flat with
+    scale (time shrinks as power grows); for codes hit by the network
+    pathology, energy *rises* with scale — the paper's counterbalance.
+    """
+    if not core_counts:
+        raise ConfigurationError("need at least one core count")
+    runs = tuple(
+        measure_cluster_energy(app, cluster, cores, switch_power_w=switch_power_w)
+        for cores in sorted(core_counts)
+    )
+    return CounterbalanceStudy(runs=runs)

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A model or experiment was configured with inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """A simulation reached an invalid internal state."""
+
+
+class AllocationError(ReproError):
+    """The simulated OS page allocator could not satisfy a request."""
+
+
+class SchedulingError(ReproError):
+    """The simulated OS scheduler was driven into an invalid state."""
+
+
+class NetworkError(SimulationError):
+    """The cluster network simulation reached an invalid state."""
+
+
+class TraceError(ReproError):
+    """A trace could not be recorded, exported or parsed."""
+
+
+class SearchError(ReproError):
+    """An auto-tuning search was mis-configured or exhausted."""
+
+
+class DataError(ReproError):
+    """Embedded reference data (e.g. Top500 series) failed validation."""

@@ -1,0 +1,37 @@
+"""Hybrid embedded platforms (§VI-A) and GPU kernel tuning (§VI-B).
+
+The paper's Perspectives section motivates the next Mont-Blanc step:
+Tibidabo extended with Tegra3 + "an adjoined GPU suitable for general
+purpose programming" for single-precision codes (SPECFEM3D), and the
+final prototype on the Exynos 5 Dual whose Mali-T604 handles double
+precision.  It also names the concrete tuning target: "optimal buffer
+size used in GPU kernel could be tuned to match the length of the
+input problem.  Runtime compilation of OpenCL kernels allows for
+just-in-time generation and compilation of such kernels."
+
+This package builds those pieces:
+
+* :mod:`repro.gpu.kernel` — an OpenCL-style kernel execution model
+  (work-groups, occupancy, coalescing, buffer staging);
+* :mod:`repro.gpu.runtime` — a JIT runtime with a compiled-kernel
+  cache, the substrate for instance-specific tuning;
+* :mod:`repro.gpu.hybrid` — CPU+GPU work splitting and the hybrid
+  energy-efficiency arithmetic of §VI-A.
+"""
+
+from repro.gpu.hybrid import HybridPlatform, hybrid_efficiency_table
+from repro.gpu.kernel import GpuKernelSpec, KernelLaunch, launch_time_seconds
+from repro.gpu.runtime import CompiledKernel, OpenClRuntime
+from repro.gpu.tuning import tune_buffer_size, tuning_space
+
+__all__ = [
+    "CompiledKernel",
+    "GpuKernelSpec",
+    "HybridPlatform",
+    "KernelLaunch",
+    "OpenClRuntime",
+    "hybrid_efficiency_table",
+    "launch_time_seconds",
+    "tune_buffer_size",
+    "tuning_space",
+]

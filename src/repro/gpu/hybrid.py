@@ -1,0 +1,114 @@
+"""Hybrid CPU+GPU platforms (§VI-A).
+
+"Low-power versions of these accelerators exist and have a very
+attractive performance per Watt ratio."  A :class:`HybridPlatform`
+binds a machine model to its integrated accelerator and answers the
+section's questions: how should data-parallel work split between CPU
+and GPU, which codes *can* move (single vs double precision), and what
+GFLOPS/W envelope results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpu import MachineModel
+from repro.arch.isa import Precision
+from repro.arch.machines import EXYNOS5_DUAL, SNOWBALL_A9500, TEGRA3_NODE, XEON_X5550
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HybridPlatform:
+    """A SoC with CPU cores and an integrated GPGPU-capable GPU."""
+
+    machine: MachineModel
+
+    def __post_init__(self) -> None:
+        if self.machine.accelerator is None:
+            raise ConfigurationError(
+                f"{self.machine.name} has no GPGPU-capable accelerator"
+            )
+
+    @property
+    def name(self) -> str:
+        """Platform name."""
+        return self.machine.name
+
+    def supports(self, precision: Precision) -> bool:
+        """Whether the *GPU* can run kernels of this precision."""
+        accelerator = self.machine.accelerator
+        assert accelerator is not None
+        if precision is Precision.DOUBLE:
+            return accelerator.peak_dp_flops > 0
+        return True
+
+    def gpu_peak(self, precision: Precision) -> float:
+        """GPU peak flop/s for a precision (0 when unsupported)."""
+        accelerator = self.machine.accelerator
+        assert accelerator is not None
+        if precision is Precision.DOUBLE:
+            return accelerator.peak_dp_flops
+        return accelerator.peak_sp_flops
+
+    def cpu_peak(self, precision: Precision) -> float:
+        """CPU peak flop/s across all cores."""
+        return self.machine.peak_flops(precision)
+
+    def optimal_split(self, precision: Precision) -> float:
+        """GPU share of a perfectly divisible workload.
+
+        A rate-proportional split minimizes makespan when both sides
+        run concurrently: share = gpu / (gpu + cpu).
+        """
+        gpu = self.gpu_peak(precision)
+        cpu = self.cpu_peak(precision)
+        if gpu + cpu <= 0:
+            raise ConfigurationError(
+                f"{self.name} cannot execute {precision.value} work at all"
+            )
+        return gpu / (gpu + cpu)
+
+    def hybrid_time(self, flops: float, precision: Precision,
+                    *, efficiency: float = 1.0) -> float:
+        """Makespan of *flops* split rate-proportionally CPU+GPU."""
+        if flops < 0:
+            raise ConfigurationError("flops cannot be negative")
+        if not 0 < efficiency <= 1:
+            raise ConfigurationError("efficiency must be in (0, 1]")
+        total_rate = (self.cpu_peak(precision) + self.gpu_peak(precision))
+        return flops / (total_rate * efficiency)
+
+    def gflops_per_watt(self, precision: Precision) -> float:
+        """Combined peak efficiency under the board TDP."""
+        total = self.cpu_peak(precision) + self.gpu_peak(precision)
+        return total / 1e9 / self.machine.tdp_watts
+
+
+def hybrid_efficiency_table() -> list[tuple[str, float, float, str]]:
+    """The §VI-A comparison: (platform, SP GFLOPS/W, DP GFLOPS/W, note).
+
+    DP efficiency is 0 where the GPU is SP-only and the CPU must carry
+    double precision alone — the reason the final prototype picked the
+    Exynos 5: "For codes that only support double precision, the final
+    Mont-Blanc prototype will use Exynos 5 Dual".
+    """
+    rows: list[tuple[str, float, float, str]] = []
+    xeon_sp = XEON_X5550.gflops_per_watt(Precision.SINGLE)
+    xeon_dp = XEON_X5550.gflops_per_watt(Precision.DOUBLE)
+    rows.append((XEON_X5550.name, xeon_sp, xeon_dp, "classical reference"))
+    rows.append((
+        SNOWBALL_A9500.name,
+        SNOWBALL_A9500.gflops_per_watt(Precision.SINGLE),
+        SNOWBALL_A9500.gflops_per_watt(Precision.DOUBLE),
+        "CPU only",
+    ))
+    for machine, note in (
+        (TEGRA3_NODE, "SP codes only on the GPU (SPECFEM3D)"),
+        (EXYNOS5_DUAL, "Mali-T604 handles double precision"),
+    ):
+        platform = HybridPlatform(machine)
+        sp = platform.gflops_per_watt(Precision.SINGLE)
+        dp = platform.gflops_per_watt(Precision.DOUBLE)
+        rows.append((machine.name, sp, dp, note))
+    return rows

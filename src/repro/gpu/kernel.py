@@ -1,0 +1,143 @@
+"""OpenCL-style GPU kernel execution model.
+
+A :class:`GpuKernelSpec` describes a data-parallel kernel (flops and
+bytes per work-item, precision); a :class:`KernelLaunch` binds it to a
+problem size and the two tunables the paper's §VI-B points at —
+work-group size and staging-buffer size.  :func:`launch_time_seconds`
+costs the launch on an :class:`~repro.arch.cpu.AcceleratorModel`.
+
+Cost model (documented, deliberately first-order):
+
+* compute: ``flops / (peak * occupancy)`` — occupancy rises with
+  work-group size until the compute units are saturated and falls when
+  groups exceed the unit's resident capacity;
+* memory: global traffic at the accelerator's share of the SoC memory
+  bandwidth, derated when the access pattern is uncoalesced;
+* staging: problem data moves through a bounded staging buffer; each
+  chunk pays a fixed driver/DMA overhead, so *undersized* buffers pay
+  per-chunk overhead while *oversized* buffers thrash the cache the
+  CPU and GPU share on these SoCs — producing the problem-size-
+  dependent optimum the paper predicts for instance tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpu import AcceleratorModel
+from repro.arch.isa import Precision
+from repro.errors import ConfigurationError
+
+#: Fixed cost per staging chunk (driver call + DMA setup).
+_CHUNK_OVERHEAD_S = 60e-6
+
+#: Share of the SoC DRAM bandwidth the GPU can claim on these
+#: integrated parts.
+_GPU_BANDWIDTH_SHARE = 0.6
+
+#: Work-items one compute "slot" pipeline keeps resident; occupancy
+#: saturates once the launch covers all slots.
+_RESIDENT_SLOTS = 4096
+
+#: Cache the CPU and GPU share on the SoC: staging chunks beyond this
+#: size stop fitting and reload from DRAM (thrash factor below).
+_SHARED_CACHE_BYTES = 256 * 1024
+_THRASH_FACTOR = 1.8
+
+
+@dataclass(frozen=True)
+class GpuKernelSpec:
+    """Static description of a data-parallel kernel."""
+
+    name: str
+    flops_per_item: float
+    bytes_per_item: float
+    precision: Precision = Precision.SINGLE
+    coalesced: bool = True
+
+    def __post_init__(self) -> None:
+        if self.flops_per_item < 0 or self.bytes_per_item <= 0:
+            raise ConfigurationError(f"{self.name}: invalid per-item costs")
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel launch: problem size plus the §VI-B tunables."""
+
+    spec: GpuKernelSpec
+    work_items: int
+    work_group_size: int = 64
+    buffer_bytes: int = 128 * 1024
+
+    def __post_init__(self) -> None:
+        if self.work_items <= 0:
+            raise ConfigurationError("work_items must be positive")
+        if self.work_group_size <= 0 or self.work_group_size > 1024:
+            raise ConfigurationError(
+                f"work_group_size must be in [1, 1024], got {self.work_group_size}"
+            )
+        if self.buffer_bytes <= 0:
+            raise ConfigurationError("buffer_bytes must be positive")
+
+    @property
+    def total_bytes(self) -> float:
+        """Global memory traffic of the launch."""
+        return self.work_items * self.spec.bytes_per_item
+
+    @property
+    def total_flops(self) -> float:
+        """Arithmetic work of the launch."""
+        return self.work_items * self.spec.flops_per_item
+
+
+def _occupancy(launch: KernelLaunch) -> float:
+    """Fraction of peak the launch's shape can feed."""
+    group = launch.work_group_size
+    # Small groups waste issue slots (wavefront granularity ~32).
+    granularity = min(1.0, group / 32.0)
+    # Coverage of the resident slots by the whole launch.
+    coverage = min(1.0, launch.work_items / _RESIDENT_SLOTS)
+    # Oversized groups exceed per-unit registers/local memory.
+    pressure = 1.0 if group <= 256 else 256.0 / group
+    return granularity * coverage * pressure
+
+
+def launch_time_seconds(
+    accelerator: AcceleratorModel,
+    launch: KernelLaunch,
+    *,
+    soc_bandwidth_bytes_per_s: float,
+) -> float:
+    """Execution time of *launch* on *accelerator*.
+
+    Raises :class:`ConfigurationError` when the kernel needs double
+    precision the accelerator lacks (e.g. the Tegra3's GeForce ULP,
+    which is why only "codes that can use single precision" move to
+    the Tibidabo extension).
+    """
+    if soc_bandwidth_bytes_per_s <= 0:
+        raise ConfigurationError("SoC bandwidth must be positive")
+    spec = launch.spec
+    if spec.precision is Precision.DOUBLE:
+        peak = accelerator.peak_dp_flops
+        if peak <= 0:
+            raise ConfigurationError(
+                f"{accelerator.name} has no double-precision support "
+                f"(kernel {spec.name!r})"
+            )
+    else:
+        peak = accelerator.peak_sp_flops
+
+    compute = launch.total_flops / (peak * max(_occupancy(launch), 1e-3))
+
+    bandwidth = soc_bandwidth_bytes_per_s * _GPU_BANDWIDTH_SHARE
+    if not spec.coalesced:
+        bandwidth *= 0.25
+    memory = launch.total_bytes / bandwidth
+
+    chunks = max(1, -(-int(launch.total_bytes) // launch.buffer_bytes))
+    staging = chunks * _CHUNK_OVERHEAD_S
+    if launch.buffer_bytes > _SHARED_CACHE_BYTES:
+        memory *= _THRASH_FACTOR
+
+    return max(compute, memory) + staging

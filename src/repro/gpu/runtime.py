@@ -1,0 +1,98 @@
+"""A JIT OpenCL-style runtime with a compiled-kernel cache.
+
+§VI-B: "Runtime compilation of OpenCL kernels allows for just-in-time
+generation and compilation of such kernels."  The runtime compiles a
+(kernel, tunables) combination on first use — paying a compile cost —
+and serves subsequent launches of the same combination from the cache,
+which is what makes instance-specific tuning affordable in production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.cpu import AcceleratorModel
+from repro.errors import ConfigurationError
+from repro.gpu.kernel import GpuKernelSpec, KernelLaunch, launch_time_seconds
+
+#: JIT compilation cost of one kernel variant (driver + codegen).
+COMPILE_TIME_S = 0.08
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """One compiled (kernel, work-group, buffer) variant."""
+
+    spec: GpuKernelSpec
+    work_group_size: int
+    buffer_bytes: int
+
+    def key(self) -> tuple:
+        """Cache key of this variant."""
+        return (self.spec.name, self.work_group_size, self.buffer_bytes)
+
+
+@dataclass
+class OpenClRuntime:
+    """Tracks compiled kernels and accumulates simulated time."""
+
+    accelerator: AcceleratorModel
+    soc_bandwidth_bytes_per_s: float
+    _cache: dict[tuple, CompiledKernel] = field(default_factory=dict, repr=False)
+    compile_count: int = 0
+    total_compile_seconds: float = 0.0
+    total_execution_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.soc_bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("SoC bandwidth must be positive")
+
+    def compile(
+        self, spec: GpuKernelSpec, *, work_group_size: int, buffer_bytes: int
+    ) -> CompiledKernel:
+        """Compile (or fetch) a kernel variant."""
+        kernel = CompiledKernel(
+            spec=spec, work_group_size=work_group_size, buffer_bytes=buffer_bytes
+        )
+        cached = self._cache.get(kernel.key())
+        if cached is not None:
+            return cached
+        self.compile_count += 1
+        self.total_compile_seconds += COMPILE_TIME_S
+        self._cache[kernel.key()] = kernel
+        return kernel
+
+    def launch(self, kernel: CompiledKernel, work_items: int) -> float:
+        """Execute a compiled kernel; returns (and accumulates) its
+        execution time."""
+        launch = KernelLaunch(
+            spec=kernel.spec,
+            work_items=work_items,
+            work_group_size=kernel.work_group_size,
+            buffer_bytes=kernel.buffer_bytes,
+        )
+        elapsed = launch_time_seconds(
+            self.accelerator, launch,
+            soc_bandwidth_bytes_per_s=self.soc_bandwidth_bytes_per_s,
+        )
+        self.total_execution_seconds += elapsed
+        return elapsed
+
+    def run(
+        self,
+        spec: GpuKernelSpec,
+        work_items: int,
+        *,
+        work_group_size: int = 64,
+        buffer_bytes: int = 128 * 1024,
+    ) -> float:
+        """Compile-if-needed then launch; returns execution time."""
+        kernel = self.compile(
+            spec, work_group_size=work_group_size, buffer_bytes=buffer_bytes
+        )
+        return self.launch(kernel, work_items)
+
+    @property
+    def cached_kernels(self) -> int:
+        """Distinct compiled variants held."""
+        return len(self._cache)

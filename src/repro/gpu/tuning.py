@@ -1,0 +1,69 @@
+"""Instance-specific GPU kernel tuning (§VI-B).
+
+The paper's concrete example of instance tuning: "optimal buffer size
+used in GPU kernel could be tuned to match the length of the input
+problem".  :func:`tune_buffer_size` searches the (work-group, buffer)
+space for one problem size through the JIT runtime's kernel cache —
+the cost model makes the optimum track the input length: one staging
+chunk when the problem fits the SoC's shared cache, the largest
+non-thrashing buffer otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.autotune.search import ExhaustiveSearch, SearchStrategy
+from repro.autotune.space import ParameterSpace
+from repro.autotune.tuner import AutoTuner, TuningReport
+from repro.errors import ConfigurationError
+from repro.gpu.kernel import GpuKernelSpec
+from repro.gpu.runtime import OpenClRuntime
+
+#: Candidate staging-buffer sizes (bytes).
+BUFFER_SIZES = tuple(2**k * 1024 for k in range(4, 11))  # 16 KiB .. 1 MiB
+
+#: Candidate work-group sizes.
+WORK_GROUP_SIZES = (16, 32, 64, 128, 256, 512)
+
+
+def tuning_space() -> ParameterSpace:
+    """The §VI-B GPU tuning space."""
+    return ParameterSpace(
+        {"buffer_bytes": BUFFER_SIZES, "work_group_size": WORK_GROUP_SIZES}
+    )
+
+
+def tune_buffer_size(
+    runtime: OpenClRuntime,
+    spec: GpuKernelSpec,
+    work_items: int,
+    *,
+    strategy: SearchStrategy | None = None,
+    tuner: AutoTuner | None = None,
+) -> TuningReport:
+    """Tune (buffer size, work-group size) for one problem size.
+
+    Passing a shared *tuner* across calls reuses its instance cache,
+    so repeated problem sizes cost nothing — the JIT-compiled-kernel
+    pattern the paper describes.
+    """
+    if work_items <= 0:
+        raise ConfigurationError("work_items must be positive")
+    if tuner is None:
+        tuner = AutoTuner(space=tuning_space(), strategy=strategy or ExhaustiveSearch())
+
+    def objective_factory(instance: Any):
+        items = int(instance)
+
+        def objective(point: Mapping[str, Any]) -> float:
+            return runtime.run(
+                spec,
+                items,
+                work_group_size=point["work_group_size"],
+                buffer_bytes=point["buffer_bytes"],
+            )
+
+        return objective
+
+    return tuner.tune_instance(runtime.accelerator.name, work_items, objective_factory)

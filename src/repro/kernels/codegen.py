@@ -1,0 +1,229 @@
+"""Abstract code-generation model: register allocation and scheduling.
+
+The paper's auto-tuning study (§V-B) varies the *unroll degree* of a
+loop nest and observes two counters: total cycles and cache accesses.
+Both shapes are governed by compiler-level mechanisms this module
+models explicitly:
+
+* **Register pressure** — each unrolled iteration keeps live values
+  (accumulators, input window, addressing); once they exceed the
+  architectural register file, values spill to the stack, adding cache
+  accesses.  The Tegra2's VFPv3-D16 (16 double registers) spills far
+  earlier than Nehalem's 16 x 128-bit XMM file (32 doubles), which is
+  the paper's central Figure 7 contrast.
+* **Latency hiding** — a reduction's dependence chain (e.g. the
+  multiply-accumulate chain of a convolution) executes one op per
+  ``latency`` cycles unless unrolling provides independent chains;
+  cycles per op fall as ``max(latency / unroll, 1 / throughput)``.
+* **Loop overhead** — induction/compare/branch instructions are paid
+  once per unrolled body, so their per-element cost falls as ``1/U``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpu import CoreModel
+from repro.arch.registers import RegisterClass
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LoopKernel:
+    """Static description of one innermost loop body (per element).
+
+    Attributes:
+        name: kernel name.
+        loads_per_element: explicit data loads per produced element
+            (before unroll-driven reuse).
+        stores_per_element: stores per produced element.
+        chain_ops_per_element: ops on the *critical dependence chain*
+            (e.g. multiply-accumulates into one accumulator).
+        independent_ops_per_element: ops off the chain.
+        element_bits: width of the values flowing through the chain.
+        live_per_unroll: registers held live per unrolled iteration
+            (accumulator + input window share).
+        invariant_registers: loop-invariant registers wanted
+            (coefficients, constants).
+        address_registers: general registers needed for addressing.
+        loop_overhead_instructions: induction + compare + branch cost
+            per loop body.
+    """
+
+    name: str
+    loads_per_element: float
+    stores_per_element: float
+    chain_ops_per_element: float
+    independent_ops_per_element: float
+    element_bits: int
+    live_per_unroll: float
+    invariant_registers: int
+    address_registers: int
+    loop_overhead_instructions: float
+
+    def __post_init__(self) -> None:
+        if self.element_bits <= 0:
+            raise ConfigurationError(f"{self.name}: element width must be positive")
+        if min(
+            self.loads_per_element,
+            self.stores_per_element,
+            self.chain_ops_per_element,
+            self.independent_ops_per_element,
+            self.live_per_unroll,
+            self.loop_overhead_instructions,
+        ) < 0:
+            raise ConfigurationError(f"{self.name}: negative cost parameter")
+
+
+@dataclass(frozen=True)
+class RegisterPressure:
+    """Result of allocating one unrolled body's live values."""
+
+    live_values: float
+    capacity: int
+    spilled_values: float
+    invariants_resident: bool
+
+    @property
+    def spills(self) -> bool:
+        """Whether any value spilled."""
+        return self.spilled_values > 0
+
+
+def allocate_registers(
+    core: CoreModel, kernel: LoopKernel, unroll: int
+) -> RegisterPressure:
+    """Allocate the unrolled body's live values on *core*'s registers.
+
+    The floating-point/vector file holds data values and invariants;
+    when data alone overflows it, the overflow spills.  Invariants stay
+    resident only while they fit next to the data (otherwise they are
+    re-fetched each body — the 'staircase' effect of Figure 7).
+    """
+    if unroll < 1:
+        raise ConfigurationError(f"unroll must be >= 1, got {unroll}")
+    if RegisterClass.VECTOR in core.registers:
+        data_file = core.registers[RegisterClass.VECTOR]
+    elif RegisterClass.FLOAT in core.registers:
+        data_file = core.registers[RegisterClass.FLOAT]
+    else:
+        data_file = core.registers[RegisterClass.GENERAL]
+    capacity = data_file.capacity(kernel.element_bits)
+
+    live = kernel.live_per_unroll * unroll
+    invariants_resident = live + kernel.invariant_registers <= capacity
+    occupied = live + (kernel.invariant_registers if invariants_resident else 0)
+    spilled = max(0.0, occupied - capacity)
+
+    # Address registers live in the general file; on register-poor
+    # 32-bit ISAs deep unrolling also overflows those, forcing address
+    # recomputation that behaves like extra spill traffic.
+    general = core.registers[RegisterClass.GENERAL]
+    reserved = 9 if core.isa.word_bits == 32 else 7  # ABI + frame + temporaries
+    address_need = kernel.address_registers + unroll // 2
+    address_spill = max(0, address_need - max(0, general.count - reserved))
+
+    return RegisterPressure(
+        live_values=live,
+        capacity=capacity,
+        spilled_values=spilled + address_spill,
+        invariants_resident=invariants_resident,
+    )
+
+
+@dataclass(frozen=True)
+class ScheduledLoop:
+    """Cost of one unrolled loop body, normalized per element.
+
+    ``cycles_per_element`` is the issue-side execution cost assuming
+    all data hits L1; ``cache_accesses_per_element`` counts every L1
+    data access the body performs, including spill traffic — the
+    quantity PAPI's ``PAPI_L1_DCA`` counter reports in Figure 7.
+    """
+
+    unroll: int
+    cycles_per_element: float
+    cache_accesses_per_element: float
+    pressure: RegisterPressure
+
+
+#: Cycles one spill store or reload costs beyond the access itself
+#: (address generation and the dependence bubble it introduces).
+_SPILL_BUBBLE_IN_ORDER = 2.0
+_SPILL_BUBBLE_OOO = 0.35
+
+#: Per-op chain latencies (cycles) by (pipelined?) class; these are
+#: generic FPU figures: a non-pipelined VFP MAC vs a pipelined SSE pair.
+_CHAIN_LATENCY_SLOW_FPU = 10.0
+_CHAIN_LATENCY_FAST_FPU = 8.0
+
+
+def schedule_loop(core: CoreModel, kernel: LoopKernel, unroll: int) -> ScheduledLoop:
+    """Schedule one unrolled body of *kernel* on *core*.
+
+    Combines chain-latency hiding, issue-width limits, load/store port
+    limits, loop overhead amortization and spill costs into per-element
+    cycles and cache accesses.
+    """
+    pressure = allocate_registers(core, kernel, unroll)
+
+    # --- data movement per element, including unroll-driven reuse ----
+    # A window of (invariant + U) inputs serves U outputs, so explicit
+    # loads shrink toward the reuse floor of one load per element.
+    reuse_floor = 1.0
+    loads = max(reuse_floor, kernel.loads_per_element / unroll + reuse_floor)
+    if not pressure.invariants_resident:
+        loads += kernel.invariant_registers / max(1, unroll)
+    stores = kernel.stores_per_element
+    spill_accesses = 2.0 * pressure.spilled_values / unroll
+
+    # --- floating-point chain -----------------------------------------
+    flops_throughput = core.isa.peak_flops_per_cycle(
+        _precision_of(kernel.element_bits), core.fp_pipes
+    )
+    if flops_throughput <= 0:
+        raise ConfigurationError(
+            f"{core.name} cannot execute {kernel.element_bits}-bit chains"
+        )
+    pipelined = flops_throughput >= 2.0
+    latency = _CHAIN_LATENCY_FAST_FPU if pipelined else _CHAIN_LATENCY_SLOW_FPU
+    cycles_per_chain_op = max(latency / unroll, 1.0 / flops_throughput)
+    chain_cycles = kernel.chain_ops_per_element * cycles_per_chain_op
+    independent_cycles = kernel.independent_ops_per_element / flops_throughput
+
+    # --- issue and port limits -----------------------------------------
+    overhead_instr = kernel.loop_overhead_instructions / unroll
+    total_instr = (
+        loads + stores + spill_accesses
+        + kernel.chain_ops_per_element
+        + kernel.independent_ops_per_element
+        + overhead_instr
+    )
+    issue_cycles = total_instr / core.sustained_ipc
+    ls_cycles = (loads + stores + spill_accesses) / core.load_store_units
+
+    spill_bubble = (
+        _SPILL_BUBBLE_OOO if core.out_of_order and core.mem_parallelism >= 4
+        else _SPILL_BUBBLE_IN_ORDER
+    )
+    # Deep spilling also thrashes the store buffer: superlinear term.
+    spill_penalty = spill_accesses * (
+        spill_bubble + 0.15 * pressure.spilled_values
+    )
+
+    cycles = max(issue_cycles, ls_cycles, chain_cycles + independent_cycles)
+    cycles += spill_penalty
+
+    accesses = loads + stores + spill_accesses
+    return ScheduledLoop(
+        unroll=unroll,
+        cycles_per_element=cycles,
+        cache_accesses_per_element=accesses,
+        pressure=pressure,
+    )
+
+
+def _precision_of(element_bits: int):
+    from repro.arch.isa import Precision
+
+    return Precision.SINGLE if element_bits <= 32 else Precision.DOUBLE

@@ -1,0 +1,73 @@
+"""PAPI-style hardware counter sets.
+
+The paper's auto-tuning harness benchmarks generated kernel variants
+"using PAPI counters" and plots two of them in Figure 7: total cycles
+and cache accesses.  :class:`CounterSet` mirrors the relevant subset of
+PAPI preset events, so tuner code reads counters exactly as it would on
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: PAPI preset event names this simulation can report.
+SUPPORTED_EVENTS = (
+    "PAPI_TOT_CYC",  # total cycles
+    "PAPI_TOT_INS",  # instructions completed
+    "PAPI_L1_DCA",   # L1 data cache accesses
+    "PAPI_L1_DCM",   # L1 data cache misses
+    "PAPI_L2_DCA",   # L2 data cache accesses
+    "PAPI_L2_DCM",   # L2 data cache misses
+    "PAPI_FP_OPS",   # floating-point operations
+    "PAPI_BR_MSP",   # mispredicted branches
+)
+
+
+@dataclass
+class CounterSet:
+    """One measurement's counter values, keyed by PAPI event name."""
+
+    values: dict[str, float] = field(default_factory=dict)
+
+    def read(self, event: str) -> float:
+        """Read one event; raises for unknown or uncollected events."""
+        if event not in SUPPORTED_EVENTS:
+            raise ConfigurationError(
+                f"unknown PAPI event {event!r}; supported: {SUPPORTED_EVENTS}"
+            )
+        if event not in self.values:
+            raise ConfigurationError(f"event {event!r} was not collected")
+        return self.values[event]
+
+    def record(self, event: str, value: float) -> None:
+        """Accumulate a value into one event."""
+        if event not in SUPPORTED_EVENTS:
+            raise ConfigurationError(
+                f"unknown PAPI event {event!r}; supported: {SUPPORTED_EVENTS}"
+            )
+        if value < 0:
+            raise ConfigurationError(f"counter {event} cannot decrease ({value})")
+        self.values[event] = self.values.get(event, 0.0) + value
+
+    def collected(self) -> tuple[str, ...]:
+        """Events present in this set."""
+        return tuple(self.values)
+
+    @property
+    def cycles(self) -> float:
+        """Shorthand for ``PAPI_TOT_CYC``."""
+        return self.read("PAPI_TOT_CYC")
+
+    @property
+    def cache_accesses(self) -> float:
+        """Shorthand for ``PAPI_L1_DCA`` (Figure 7's 'cache accesses')."""
+        return self.read("PAPI_L1_DCA")
+
+    def per(self, denominator: float) -> "CounterSet":
+        """Return a copy normalized by *denominator* (e.g. per element)."""
+        if denominator <= 0:
+            raise ConfigurationError("denominator must be positive")
+        return CounterSet({k: v / denominator for k, v in self.values.items()})

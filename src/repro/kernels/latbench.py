@@ -1,0 +1,115 @@
+"""Pointer-chase latency benchmark (lat_mem_rd style).
+
+The stride kernel of §V-A measures *bandwidth*; its classic companion
+measures *latency*: a random-permutation pointer chase where every
+load depends on the previous one, defeating prefetching and
+memory-level parallelism.  Sweeping the array size exposes the latency
+plateau of each hierarchy level — the complementary view of the same
+cache structure the bandwidth cliff of Figure 5a shows.
+
+:class:`LatBench` drives the chase through the simulated hierarchy and
+reports cycles per dependent load; :func:`latency_plateaus` extracts
+the per-level plateaus, which the tests compare against the machine's
+declared cache latencies (a closed-loop validation of the memsim
+stack, like the GA fit of :mod:`repro.kernels.memmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpu import MachineModel
+from repro.core.measurement import MeasurementSet
+from repro.errors import ConfigurationError
+from repro.memsim.access import pointer_chase_offsets
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.paging import AddressSpace
+from repro.osmodel.system import OSModel
+
+#: Issue cost of the chase's non-load work (index arithmetic).
+_CHASE_OVERHEAD_CYCLES = 1.0
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """Latency of one array size, in cycles per dependent load."""
+
+    array_bytes: int
+    cycles_per_load: float
+    dominant_level: str
+
+
+class LatBench:
+    """Pointer-chase latency benchmark on one machine + booted OS."""
+
+    def __init__(self, machine: MachineModel, os_model: OSModel, *, seed: int = 0) -> None:
+        self.machine = machine
+        self.os_model = os_model
+        self.address_space = AddressSpace(os_model.allocator)
+        self.hierarchy = MemoryHierarchy(machine, self.address_space, seed=seed)
+        self.seed = seed
+
+    def measure(self, array_bytes: int, *, passes: int = 2) -> LatencySample:
+        """Chase through an array of *array_bytes*; returns the latency.
+
+        In a dependent chain nothing overlaps: each load pays its full
+        hit latency (L1 included) plus un-hidden miss latency below.
+        """
+        if array_bytes < self.machine.l1.line_bytes:
+            raise ConfigurationError(
+                f"array of {array_bytes} B smaller than one cache line"
+            )
+        if passes < 1:
+            raise ConfigurationError("need at least one measured pass")
+        line = self.machine.l1.line_bytes
+        mapping = self.address_space.mmap(array_bytes)
+        self.hierarchy.reset_state()
+
+        total_cycles = 0.0
+        loads = 0
+        level_counts: dict[str, int] = {}
+        # Warmup pass, then measured passes.
+        for pass_index in range(passes + 1):
+            measured = pass_index > 0
+            for offset in pointer_chase_offsets(array_bytes, line, seed=self.seed):
+                outcome = self.hierarchy.access(mapping.virtual_base + offset)
+                if not measured:
+                    continue
+                # Dependent chain: no MLP, full latency exposed.
+                total_cycles += outcome.latency_cycles + _CHASE_OVERHEAD_CYCLES
+                loads += 1
+                level_counts[outcome.level_name] = (
+                    level_counts.get(outcome.level_name, 0) + 1
+                )
+        self.address_space.munmap(mapping)
+        dominant = max(level_counts, key=level_counts.get)
+        return LatencySample(
+            array_bytes=array_bytes,
+            cycles_per_load=total_cycles / loads,
+            dominant_level=dominant,
+        )
+
+    def sweep(self, sizes: list[int]) -> MeasurementSet:
+        """Measure a list of array sizes into a measurement set."""
+        results = MeasurementSet()
+        for size in sizes:
+            sample = self.measure(size)
+            results.record(
+                "latency_cycles",
+                sample.cycles_per_load,
+                array_bytes=size,
+                level=sample.dominant_level,
+            )
+        return results
+
+
+def latency_plateaus(results: MeasurementSet) -> dict[str, float]:
+    """Average cycles-per-load per dominant hierarchy level."""
+    plateaus: dict[str, list[float]] = {}
+    for sample in results:
+        plateaus.setdefault(sample.factors["level"], []).append(sample.value)
+    if not plateaus:
+        raise ConfigurationError("no latency samples to summarize")
+    return {
+        level: sum(values) / len(values) for level, values in plateaus.items()
+    }

@@ -1,0 +1,246 @@
+"""The §V-A memory microbenchmark.
+
+"Essentially, this benchmark measures the time needed to access data by
+looping over an array of a fixed size using a fixed stride."  Each
+measurement mallocs the array, loops over it, and frees it — exactly
+the paper's protocol, which together with the OS page-reuse quirk
+explains why noise appears between runs but not within them.
+
+:class:`MemBench` binds one machine, one booted OS and one memory
+hierarchy; :meth:`MemBench.run_experiment` executes the randomized
+experiment plans behind Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpu import MachineModel
+from repro.core.experiment import ExperimentPlan, Factor
+from repro.core.measurement import MeasurementSet
+from repro.errors import ConfigurationError
+from repro.kernels.variants import IssueProfile, KernelVariant, issue_profile
+from repro.memsim.bandwidth import StreamCost, measure_stream
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.paging import AddressSpace
+from repro.osmodel.system import OSModel
+
+
+@dataclass(frozen=True)
+class MemBenchConfig:
+    """Parameters of one microbenchmark measurement.
+
+    ``kind`` selects the kernel: ``"read"`` is the paper's accumulate
+    loop; ``"copy"`` is the STREAM-style read-source/write-destination
+    variant that also exercises write-allocate and writebacks.
+    """
+
+    array_bytes: int
+    elem_bits: int = 32
+    stride_elems: int = 1
+    unroll: int = 1
+    warmup_passes: int = 1
+    measure_passes: int = 2
+    kind: str = "read"
+
+    def __post_init__(self) -> None:
+        if self.array_bytes < self.elem_bits // 8:
+            raise ConfigurationError(
+                f"array of {self.array_bytes} B holds no "
+                f"{self.elem_bits}-bit element"
+            )
+        if self.kind not in ("read", "copy"):
+            raise ConfigurationError(
+                f"kind must be 'read' or 'copy', got {self.kind!r}"
+            )
+
+    @property
+    def variant(self) -> KernelVariant:
+        """The code-generation variant this config exercises."""
+        return KernelVariant(elem_bits=self.elem_bits, unroll=self.unroll)
+
+
+@dataclass(frozen=True)
+class BandwidthSample:
+    """One effective-bandwidth observation."""
+
+    bandwidth_bytes_per_s: float
+    ideal_bandwidth_bytes_per_s: float
+    degraded: bool
+    cost: StreamCost
+
+
+class MemBench:
+    """The stride microbenchmark bound to one machine + booted OS."""
+
+    def __init__(self, machine: MachineModel, os_model: OSModel, *, seed: int = 0) -> None:
+        self.machine = machine
+        self.os_model = os_model
+        self.address_space = AddressSpace(os_model.allocator)
+        self.hierarchy = MemoryHierarchy(machine, self.address_space, seed=seed)
+        # Within a run the allocator hands back the same frames for a
+        # given size, so the deterministic stream cost can be memoized.
+        self._cost_cache: dict[tuple, StreamCost] = {}
+
+    def _profile(self, config: MemBenchConfig) -> IssueProfile:
+        return issue_profile(self.machine, config.variant)
+
+    def measure(self, config: MemBenchConfig) -> BandwidthSample:
+        """One measurement: malloc, stream, free, under the scheduler."""
+        mapping = self.address_space.mmap(config.array_bytes)
+        store_mapping = (
+            self.address_space.mmap(config.array_bytes)
+            if config.kind == "copy"
+            else None
+        )
+        key = (
+            config,
+            mapping.allocation.frames,
+            store_mapping.allocation.frames if store_mapping else None,
+        )
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            profile = self._profile(config)
+            self.hierarchy.reset_state()
+            cost = measure_stream(
+                self.hierarchy,
+                base_vaddr=mapping.virtual_base,
+                array_bytes=config.array_bytes,
+                elem_bytes=config.elem_bits // 8,
+                stride_elems=config.stride_elems,
+                issue_cycles_per_element=profile.cycles_per_element,
+                extra_accesses_per_element=profile.extra_accesses_per_element,
+                warmup_passes=config.warmup_passes,
+                measure_passes=config.measure_passes,
+                store_base_vaddr=(
+                    store_mapping.virtual_base if store_mapping else None
+                ),
+            )
+            self._cost_cache[key] = cost
+        if store_mapping is not None:
+            self.address_space.munmap(store_mapping)
+        self.address_space.munmap(mapping)
+
+        frequency = self.machine.frequency_hz
+        ideal = cost.bandwidth_bytes_per_s(frequency)
+        scheduled = self.os_model.scheduler.next_sample()
+        ideal_time = cost.time_seconds(frequency)
+        slowed_time = ideal_time * scheduled.slowdown
+        slowed_time += self.os_model.noise.stolen_time(slowed_time)
+        return BandwidthSample(
+            bandwidth_bytes_per_s=cost.bytes_accessed / slowed_time,
+            ideal_bandwidth_bytes_per_s=ideal,
+            degraded=scheduled.degraded,
+            cost=cost,
+        )
+
+    def run_experiment(
+        self,
+        *,
+        array_sizes: list[int],
+        elem_bits: int = 32,
+        stride_elems: int = 1,
+        unroll: int = 1,
+        replicates: int = 42,
+        seed: int = 0,
+    ) -> MeasurementSet:
+        """Randomized sweep over array sizes (the Figure 5 protocol:
+        "42 randomized repetitions for each array size")."""
+        plan = ExperimentPlan(
+            [Factor("array_bytes", array_sizes)],
+            replicates=replicates,
+            randomize=True,
+            seed=seed,
+        )
+        results = MeasurementSet()
+        for trial in plan:
+            config = MemBenchConfig(
+                array_bytes=trial.factors["array_bytes"],
+                elem_bits=elem_bits,
+                stride_elems=stride_elems,
+                unroll=unroll,
+            )
+            sample = self.measure(config)
+            results.record(
+                "bandwidth",
+                sample.bandwidth_bytes_per_s,
+                array_bytes=config.array_bytes,
+                elem_bits=elem_bits,
+                stride_elems=stride_elems,
+                unroll=unroll,
+                degraded=sample.degraded,
+            )
+        return results
+
+    def run_stride_sweep(
+        self,
+        *,
+        array_bytes: int,
+        strides: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+        elem_bits: int = 32,
+        replicates: int = 5,
+        seed: int = 0,
+    ) -> MeasurementSet:
+        """Sweep the kernel's *stride* at a fixed array size.
+
+        The paper's kernel walks the array "using a fixed stride";
+        growing it degrades spatial locality — fewer elements per
+        fetched line — until each access touches its own line, the
+        classic Saavedra-style locality staircase.
+        """
+        plan = ExperimentPlan(
+            [Factor("stride", strides)],
+            replicates=replicates,
+            randomize=True,
+            seed=seed,
+        )
+        results = MeasurementSet()
+        for trial in plan:
+            config = MemBenchConfig(
+                array_bytes=array_bytes,
+                elem_bits=elem_bits,
+                stride_elems=trial.factors["stride"],
+            )
+            sample = self.measure(config)
+            results.record(
+                "bandwidth",
+                sample.bandwidth_bytes_per_s,
+                array_bytes=array_bytes,
+                stride=config.stride_elems,
+                degraded=sample.degraded,
+            )
+        return results
+
+    def run_variant_grid(
+        self,
+        *,
+        array_bytes: int,
+        element_sizes: tuple[int, ...] = (32, 64, 128),
+        unrolls: tuple[int, ...] = (1, 8),
+        replicates: int = 5,
+        seed: int = 0,
+    ) -> MeasurementSet:
+        """The Figure 6 grid: element size x unroll at one array size."""
+        plan = ExperimentPlan(
+            [Factor("elem_bits", element_sizes), Factor("unroll", unrolls)],
+            replicates=replicates,
+            randomize=True,
+            seed=seed,
+        )
+        results = MeasurementSet()
+        for trial in plan:
+            config = MemBenchConfig(
+                array_bytes=array_bytes,
+                elem_bits=trial.factors["elem_bits"],
+                unroll=trial.factors["unroll"],
+            )
+            sample = self.measure(config)
+            results.record(
+                "bandwidth",
+                sample.bandwidth_bytes_per_s,
+                array_bytes=array_bytes,
+                elem_bits=config.elem_bits,
+                unroll=config.unroll,
+                degraded=sample.degraded,
+            )
+        return results

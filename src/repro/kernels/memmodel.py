@@ -1,0 +1,136 @@
+"""Genetic-algorithm modelling of memory-bound performance (ref [14]).
+
+The stride microbenchmark of §V-A is "based on" Tikir et al., *A
+genetic algorithms approach to modeling the performance of memory-bound
+computations* (SC'07): measure effective bandwidth across array sizes,
+then fit a piecewise cache-capacity model whose breakpoints are the
+machine's cache sizes — with a GA searching the parameter space.
+
+:func:`fit_memory_model` closes that loop on the simulator: it takes
+``(array_size, bandwidth)`` measurements from :class:`MemBench` and
+recovers the cache capacity (e.g. the Snowball's 32 KiB L1) without
+ever looking at the machine description — a cross-validation of the
+whole memsim stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.autotune.genetic import GeneticSearch
+from repro.autotune.search import SearchStrategy
+from repro.autotune.space import ParameterSpace
+from repro.errors import ConfigurationError
+
+#: Candidate capacity breakpoints (bytes) — powers-of-two-ish ladder.
+CAPACITY_CANDIDATES = tuple(
+    k * 1024 for k in (2, 4, 8, 12, 16, 24, 32, 40, 48, 64, 96, 128, 192, 256)
+)
+
+
+@dataclass(frozen=True)
+class CacheCapacityModel:
+    """Two-plateau bandwidth model with one capacity breakpoint.
+
+    ``bandwidth(size) = fast_bw`` while the array fits ``capacity``,
+    ``slow_bw`` beyond — the classic working-set staircase of the
+    Tikir-style models (one step per cache level; the §V-A study
+    sweeps 1–50 KB, which exposes exactly the L1 step).
+    """
+
+    capacity_bytes: int
+    fast_bandwidth: float
+    slow_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.fast_bandwidth <= 0 or self.slow_bandwidth <= 0:
+            raise ConfigurationError("bandwidth plateaus must be positive")
+
+    def predict(self, array_bytes: int) -> float:
+        """Predicted effective bandwidth for one array size."""
+        if array_bytes <= 0:
+            raise ConfigurationError("array size must be positive")
+        if array_bytes <= self.capacity_bytes:
+            return self.fast_bandwidth
+        return self.slow_bandwidth
+
+    def error(self, measurements: Sequence[tuple[int, float]]) -> float:
+        """Mean squared relative error over measurements."""
+        if not measurements:
+            raise ConfigurationError("need at least one measurement")
+        total = 0.0
+        for size, bandwidth in measurements:
+            predicted = self.predict(size)
+            total += ((predicted - bandwidth) / bandwidth) ** 2
+        return total / len(measurements)
+
+
+@dataclass(frozen=True)
+class FittedMemoryModel:
+    """Result of a model fit."""
+
+    model: CacheCapacityModel
+    error: float
+    evaluations: int
+
+
+def _bandwidth_grid(measurements: Sequence[tuple[int, float]]) -> tuple[float, ...]:
+    """Candidate plateau levels: the distinct measured bandwidths."""
+    values = sorted({round(bw, 6) for _, bw in measurements})
+    if len(values) > 16:
+        step = len(values) / 16.0
+        values = [values[int(i * step)] for i in range(16)]
+    return tuple(values)
+
+
+def fit_memory_model(
+    measurements: Sequence[tuple[int, float]],
+    *,
+    strategy: SearchStrategy | None = None,
+) -> FittedMemoryModel:
+    """Fit a :class:`CacheCapacityModel` to bandwidth measurements.
+
+    The default strategy is the reference's: a genetic algorithm over
+    the (capacity, fast plateau, slow plateau) space.
+    """
+    if len(measurements) < 4:
+        raise ConfigurationError(
+            f"need at least 4 measurements to fit, got {len(measurements)}"
+        )
+    grid = _bandwidth_grid(measurements)
+    if len(grid) < 2:
+        raise ConfigurationError("measurements are constant; nothing to fit")
+    max_size = max(size for size, _ in measurements)
+    capacities = tuple(c for c in CAPACITY_CANDIDATES if c <= max_size) or (
+        CAPACITY_CANDIDATES[0],
+    )
+
+    space = ParameterSpace(
+        {"capacity": capacities, "fast": grid, "slow": grid}
+    )
+
+    def objective(point: Mapping) -> float:
+        if point["fast"] < point["slow"]:
+            return float("inf")  # plateaus must be ordered
+        model = CacheCapacityModel(
+            capacity_bytes=point["capacity"],
+            fast_bandwidth=point["fast"],
+            slow_bandwidth=point["slow"],
+        )
+        return model.error(measurements)
+
+    search = strategy or GeneticSearch(
+        population=24, generations=30, mutation_rate=0.35, elite=4, seed=17
+    )
+    result = search.minimize(objective, space)
+    model = CacheCapacityModel(
+        capacity_bytes=result.best_point["capacity"],
+        fast_bandwidth=result.best_point["fast"],
+        slow_bandwidth=result.best_point["slow"],
+    )
+    return FittedMemoryModel(
+        model=model, error=result.best_value, evaluations=result.evaluations
+    )

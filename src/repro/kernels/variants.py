@@ -1,0 +1,148 @@
+"""Element-size / loop-unrolling / vectorization variants (Figure 6).
+
+The §V-A-3 study rewrites the stride kernel with three element sizes
+(32, 64, 128 bits) and with/without 8-way manual unrolling, and finds
+opposite behaviour on the two platforms:
+
+* Nehalem: wider elements and unrolling *both* monotonically help;
+* Snowball/A9: 64-bit elements + unrolling is best, but 128-bit
+  vectorization is no better than 32-bit scalars and unrolling the
+  128-bit variant is actively harmful.
+
+The model charges the A9 for the documented mechanisms behind this:
+the NEON unit's 64-bit datapath (a 128-bit op occupies it twice), the
+single load/store port fed through a 64-bit bus (a 128-bit load issues
+twice and alignment across the 32-byte line costs extra), and the
+small in-order NEON issue queue that back-pressures when deep unrolling
+keeps many quad-register ops in flight.  Constants are calibrated so
+the simulated bandwidths land in the figure's ranges (~0.5-1.5 GB/s on
+the Snowball, ~5-15 GB/s on the Xeon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpu import MachineModel
+from repro.arch.registers import RegisterClass
+from repro.errors import ConfigurationError
+
+#: Element widths the paper's Figure 6 sweeps.
+ELEMENT_BITS = (32, 64, 128)
+
+#: The paper's manual unroll depth.
+PAPER_UNROLL = 8
+
+#: Calibrated A9 penalty for one 128-bit NEON access stream element:
+#: two 64-bit bus beats, unaligned split across the 32 B line, and the
+#: VMOV round trips of the softfp ABI the paper compiled with.
+_A9_QUAD_BASE_PENALTY = 11.8
+#: Additional per-element stall as unrolling fills the A9's short NEON
+#: issue queue (grows with each extra in-flight quad op).
+_A9_QUAD_QUEUE_STALL = 1.5
+
+
+@dataclass(frozen=True)
+class KernelVariant:
+    """One point of the Figure 6 design space."""
+
+    elem_bits: int
+    unroll: int
+
+    def __post_init__(self) -> None:
+        if self.elem_bits not in ELEMENT_BITS:
+            raise ConfigurationError(
+                f"element width must be one of {ELEMENT_BITS}, got {self.elem_bits}"
+            )
+        if self.unroll < 1:
+            raise ConfigurationError(f"unroll must be >= 1, got {self.unroll}")
+
+    @property
+    def elem_bytes(self) -> int:
+        """Element width in bytes."""
+        return self.elem_bits // 8
+
+    @property
+    def label(self) -> str:
+        """Figure-style label, e.g. ``"64b/unroll=8"``."""
+        return f"{self.elem_bits}b/unroll={self.unroll}"
+
+
+@dataclass(frozen=True)
+class IssueProfile:
+    """Issue-side cost of one kernel variant on one machine.
+
+    ``cycles_per_element`` assumes L1-resident data (the supply side is
+    simulated separately); ``extra_accesses_per_element`` is spill/
+    recompute traffic beyond the data loads themselves.
+    """
+
+    cycles_per_element: float
+    extra_accesses_per_element: float
+    spilled: bool
+
+
+def issue_profile(machine: MachineModel, variant: KernelVariant) -> IssueProfile:
+    """Issue cost of the stride-kernel *variant* on *machine*."""
+    core = machine.core
+    vector = core.isa.vector
+
+    # --- instruction counts per element --------------------------------
+    loads = max(1.0, variant.elem_bits / core.load_width_bits)
+    alu_ops = 1.0
+    if vector is not None and variant.elem_bits > 32:
+        alu_ops = float(vector.cycles_per_op(variant.elem_bits))
+    elif vector is None and variant.elem_bits > core.isa.word_bits:
+        # No SIMD at all: wide elements decompose into word operations.
+        alu_ops = variant.elem_bits / core.isa.word_bits
+
+    loop_overhead = 2.0 if core.isa.word_bits == 64 else 3.0  # macro-fusion
+    overhead = loop_overhead / variant.unroll
+
+    instructions = loads + alu_ops + overhead
+    issue_cycles = instructions / core.sustained_ipc
+    port_cycles = max(loads / core.load_store_units, alu_ops / core.fp_pipes)
+    cycles = max(issue_cycles, port_cycles)
+
+    # --- loop branch ----------------------------------------------------
+    elements_per_body = variant.unroll
+    branch_cycles = core.branch_cost_cycles(1.0, taken_entropy=0.05)
+    cycles += branch_cycles / elements_per_body
+
+    # --- A9 128-bit pathology --------------------------------------------
+    if (
+        vector is not None
+        and variant.elem_bits > vector.datapath_bits
+    ):
+        cycles += _A9_QUAD_BASE_PENALTY
+        cycles += _A9_QUAD_QUEUE_STALL * (variant.unroll - 1)
+
+    # --- register pressure ------------------------------------------------
+    extra_accesses = 0.0
+    spilled = False
+    reg_file = core.registers.get(
+        RegisterClass.VECTOR, core.registers.get(RegisterClass.FLOAT)
+    )
+    if reg_file is not None and variant.elem_bits > 32:
+        capacity = reg_file.capacity(variant.elem_bits)
+        live = variant.unroll + min(variant.unroll, 4) + 2
+        overflow = max(0, live - capacity)
+        if overflow:
+            spilled = True
+            extra_accesses = 2.0 * overflow / variant.unroll
+            cycles += extra_accesses  # one cycle per spill access
+
+    return IssueProfile(
+        cycles_per_element=cycles,
+        extra_accesses_per_element=extra_accesses,
+        spilled=spilled,
+    )
+
+
+def paper_variants() -> list[KernelVariant]:
+    """The six Figure 6 variants: {32, 64, 128} bits x unroll {1, 8}."""
+    return [
+        KernelVariant(elem_bits=bits, unroll=unroll)
+        for bits in ELEMENT_BITS
+        for unroll in (1, PAPER_UNROLL)
+    ]

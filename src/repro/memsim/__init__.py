@@ -1,0 +1,37 @@
+"""Memory-hierarchy simulation.
+
+This package is the substrate for the paper's §V microbenchmark
+studies (Figures 5 and 6) and the §V-A-1 page-allocation finding:
+
+* :mod:`repro.memsim.cache_sim` — a set-associative cache simulator
+  with LRU/FIFO/random replacement;
+* :mod:`repro.memsim.tlb` — a small TLB model;
+* :mod:`repro.memsim.paging` — virtual address spaces backed by the
+  simulated OS page allocator, so *physical* cache indexing sees real
+  frame placement;
+* :mod:`repro.memsim.hierarchy` — the multi-level hierarchy gluing
+  TLB, caches and DRAM together;
+* :mod:`repro.memsim.access` — access-stream generators;
+* :mod:`repro.memsim.bandwidth` — the effective-bandwidth evaluator
+  used by the stride microbenchmark ("total number of accesses divided
+  by the time it took to execute all of them").
+"""
+
+from repro.memsim.access import pointer_chase_offsets, strided_offsets
+from repro.memsim.bandwidth import StreamCost, measure_stream
+from repro.memsim.cache_sim import SetAssociativeCache
+from repro.memsim.hierarchy import AccessOutcome, MemoryHierarchy
+from repro.memsim.paging import AddressSpace
+from repro.memsim.tlb import Tlb
+
+__all__ = [
+    "AccessOutcome",
+    "AddressSpace",
+    "MemoryHierarchy",
+    "SetAssociativeCache",
+    "StreamCost",
+    "Tlb",
+    "measure_stream",
+    "pointer_chase_offsets",
+    "strided_offsets",
+]

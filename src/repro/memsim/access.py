@@ -1,0 +1,82 @@
+"""Access-stream generators.
+
+The paper's §V-A kernel "measures the time needed to access data by
+looping over an array of a fixed size using a fixed stride"; these
+generators produce the corresponding byte-offset streams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+
+def strided_offsets(
+    array_bytes: int, elem_bytes: int, stride_elems: int = 1
+) -> Iterator[int]:
+    """Byte offsets of one pass of the stride kernel.
+
+    Visits elements ``0, stride, 2*stride, ...`` of an array of
+    ``array_bytes / elem_bytes`` elements, yielding the byte offset of
+    each visited element.
+    """
+    if array_bytes <= 0:
+        raise ConfigurationError(f"array size must be positive, got {array_bytes}")
+    if elem_bytes <= 0 or stride_elems <= 0:
+        raise ConfigurationError("element size and stride must be positive")
+    if elem_bytes > array_bytes:
+        raise ConfigurationError(
+            f"element ({elem_bytes} B) larger than array ({array_bytes} B)"
+        )
+    num_elems = array_bytes // elem_bytes
+    for index in range(0, num_elems, stride_elems):
+        yield index * elem_bytes
+
+
+def strided_line_walk(
+    array_bytes: int, elem_bytes: int, stride_elems: int, line_bytes: int
+) -> Iterator[tuple[int, int]]:
+    """Line-granular view of one stride-kernel pass.
+
+    Yields ``(line_offset, elements_in_line)`` pairs: the byte offset
+    of each *distinct* cache line touched, in access order, and how
+    many element accesses land in it.  This is the efficient feed for
+    the hierarchy simulator: per-element costs are analytic, only line
+    residency needs simulation.
+    """
+    if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+        raise ConfigurationError(f"line size must be a power of two, got {line_bytes}")
+    current_line = -1
+    count = 0
+    for offset in strided_offsets(array_bytes, elem_bytes, stride_elems):
+        line = offset - (offset % line_bytes)
+        if line != current_line:
+            if current_line >= 0:
+                yield current_line, count
+            current_line = line
+            count = 0
+        count += 1
+    if current_line >= 0:
+        yield current_line, count
+
+
+def pointer_chase_offsets(
+    array_bytes: int, elem_bytes: int, *, seed: int = 0
+) -> Iterator[int]:
+    """A random-permutation pointer chase over the array.
+
+    Classic latency benchmark: every access is data-dependent on the
+    previous one, defeating prefetch and memory-level parallelism.
+    Yields one full cycle through all elements.
+    """
+    if array_bytes <= 0 or elem_bytes <= 0:
+        raise ConfigurationError("array and element sizes must be positive")
+    num_elems = array_bytes // elem_bytes
+    if num_elems < 1:
+        raise ConfigurationError("array holds no complete element")
+    order = list(range(num_elems))
+    random.Random(seed).shuffle(order)
+    for index in order:
+        yield index * elem_bytes

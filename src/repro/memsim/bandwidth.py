@@ -1,0 +1,143 @@
+"""Effective-bandwidth evaluation of a strided access stream.
+
+Implements the paper's metric: "Effective memory bandwidth is evaluated
+as the total number of accesses divided by the time it took to execute
+all of them."
+
+The cost of one measured pass combines:
+
+* the **issue side** — cycles the core spends executing the loop body
+  (loads, arithmetic, loop control, spill traffic), supplied by the
+  kernel-variant model in :mod:`repro.kernels.variants`;
+* the **supply side** — cycles the memory hierarchy needs to deliver
+  the lines, from the cache simulation.
+
+The two overlap according to the core's ``overlap_factor``: an
+aggressive out-of-order core hides most supply time under issue,
+the Cortex-A9's shallow miss handling hides little.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.memsim.access import strided_line_walk
+from repro.memsim.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class StreamCost:
+    """Cost breakdown of a measured stream execution."""
+
+    bytes_accessed: int
+    elements: int
+    issue_cycles: float
+    supply_cycles: float
+    cycles: float
+    level_hits: dict[str, int] = field(default_factory=dict)
+
+    def bandwidth_bytes_per_s(self, frequency_hz: float) -> float:
+        """Effective bandwidth at a given core clock."""
+        if self.cycles <= 0:
+            raise ConfigurationError("stream executed in zero cycles")
+        return self.bytes_accessed * frequency_hz / self.cycles
+
+    def time_seconds(self, frequency_hz: float) -> float:
+        """Wall time at a given core clock."""
+        return self.cycles / frequency_hz
+
+
+def _combine(issue: float, supply: float, overlap: float) -> float:
+    """Overlap issue and supply cycles by *overlap* in [0, 1]."""
+    longer, shorter = max(issue, supply), min(issue, supply)
+    return longer + shorter * (1.0 - overlap)
+
+
+def measure_stream(
+    hierarchy: MemoryHierarchy,
+    *,
+    base_vaddr: int,
+    array_bytes: int,
+    elem_bytes: int,
+    stride_elems: int = 1,
+    issue_cycles_per_element: float,
+    extra_accesses_per_element: float = 0.0,
+    warmup_passes: int = 1,
+    measure_passes: int = 2,
+    store_base_vaddr: int | None = None,
+) -> StreamCost:
+    """Run the stride kernel through the hierarchy and cost it.
+
+    Args:
+        hierarchy: simulated memory hierarchy (its cache state carries
+            over between calls, as on real hardware).
+        base_vaddr: virtual address of the array's first byte.
+        array_bytes / elem_bytes / stride_elems: the kernel parameters
+            of the paper's §V-A benchmark.
+        issue_cycles_per_element: issue-side cost per element access,
+            from :func:`repro.kernels.variants.issue_profile`.
+        extra_accesses_per_element: additional L1 traffic per element
+            (spill loads/stores), costed at one cycle each.
+        warmup_passes: untimed passes to reach steady state.
+        measure_passes: timed passes.
+        store_base_vaddr: when given, the kernel is a STREAM-style
+            *copy*: each element read from the source array is written
+            to a destination array at this base (write-allocate, dirty
+            lines, writebacks).  Stored bytes count toward the
+            effective bandwidth, as STREAM counts them.
+
+    Returns the cost of the *measured* passes only.
+    """
+    if warmup_passes < 0 or measure_passes < 1:
+        raise ConfigurationError(
+            "need warmup_passes >= 0 and measure_passes >= 1"
+        )
+    if issue_cycles_per_element <= 0:
+        raise ConfigurationError("issue cost per element must be positive")
+    if extra_accesses_per_element < 0:
+        raise ConfigurationError("spill traffic cannot be negative")
+
+    line_bytes = hierarchy.machine.l1.line_bytes
+    overlap = hierarchy.machine.core.overlap_factor
+
+    def one_pass(timed: bool, cost: StreamCost | None) -> None:
+        for line_offset, elems in strided_line_walk(
+            array_bytes, elem_bytes, stride_elems, line_bytes
+        ):
+            outcome = hierarchy.access(base_vaddr + line_offset)
+            store_outcome = None
+            if store_base_vaddr is not None:
+                store_outcome = hierarchy.access(
+                    store_base_vaddr + line_offset, write=True
+                )
+            if not timed or cost is None:
+                continue
+            cost.elements += elems
+            stored = elems * elem_bytes if store_outcome is not None else 0
+            cost.bytes_accessed += elems * elem_bytes + stored
+            store_issue = 1.0 if store_outcome is not None else 0.0
+            cost.issue_cycles += elems * (
+                issue_cycles_per_element + extra_accesses_per_element + store_issue
+            )
+            cost.supply_cycles += outcome.supply_cycles
+            if store_outcome is not None:
+                cost.supply_cycles += store_outcome.supply_cycles
+            cost.level_hits[outcome.level_name] = (
+                cost.level_hits.get(outcome.level_name, 0) + 1
+            )
+
+    for _ in range(warmup_passes):
+        one_pass(timed=False, cost=None)
+
+    cost = StreamCost(
+        bytes_accessed=0,
+        elements=0,
+        issue_cycles=0.0,
+        supply_cycles=0.0,
+        cycles=0.0,
+    )
+    for _ in range(measure_passes):
+        one_pass(timed=True, cost=cost)
+    cost.cycles = _combine(cost.issue_cycles, cost.supply_cycles, overlap)
+    return cost

@@ -1,0 +1,134 @@
+"""Set-associative cache simulation.
+
+Lines are tracked per set; the replacement policy decides the victim.
+Addresses handed to :meth:`SetAssociativeCache.access` must already be
+the ones the level indexes with (physical for the ARM L1, virtual for
+the Xeon's VIPT L1 where way size equals the page size) — the
+:mod:`repro.memsim.hierarchy` layer makes that choice.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.arch.cache import CacheGeometry, ReplacementPolicy
+from repro.errors import SimulationError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction (0 when never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class SetAssociativeCache:
+    """Dynamic state of one cache level.
+
+    Each set is an ordered list of tags, most recently used last (for
+    LRU) or insertion-ordered (for FIFO).  Writes are write-back /
+    write-allocate: a store allocates the line like a load and marks
+    it dirty; evicting a dirty line counts a writeback.
+    """
+
+    def __init__(self, geometry: CacheGeometry, *, seed: int = 0) -> None:
+        self.geometry = geometry
+        self.stats = CacheStats()
+        self._sets: list[list[int]] = [[] for _ in range(geometry.num_sets)]
+        self._dirty: set[tuple[int, int]] = set()  # (index, tag)
+        self._rng = random.Random(seed)
+        self.writebacks = 0
+
+    def access(self, address: int, *, write: bool = False) -> bool:
+        """Access the line containing *address*; returns True on hit.
+
+        On a miss the line is filled, evicting per the replacement
+        policy when the set is full.  ``write=True`` marks the line
+        dirty (write-allocate).
+        """
+        if address < 0:
+            raise SimulationError(f"negative address {address}")
+        index = self.geometry.index_of(address)
+        tag = self.geometry.tag_of(address)
+        tags = self._sets[index]
+        if tag in tags:
+            self.stats.hits += 1
+            if self.geometry.replacement is ReplacementPolicy.LRU:
+                tags.remove(tag)
+                tags.append(tag)
+            if write:
+                self._dirty.add((index, tag))
+            return True
+        self.stats.misses += 1
+        self._fill(index, tag)
+        if write:
+            self._dirty.add((index, tag))
+        return False
+
+    def _fill(self, index: int, tag: int) -> None:
+        tags = self._sets[index]
+        if len(tags) >= self.geometry.associativity:
+            if self.geometry.replacement is ReplacementPolicy.RANDOM:
+                victim = tags.pop(self._rng.randrange(len(tags)))
+            else:
+                victim = tags.pop(0)  # LRU and FIFO both evict the front
+            self.stats.evictions += 1
+            if (index, victim) in self._dirty:
+                self._dirty.discard((index, victim))
+                self.writebacks += 1
+        tags.append(tag)
+
+    def install(self, address: int) -> None:
+        """Fill the line holding *address* without demand statistics
+        (hardware-prefetch path); no-op when already resident."""
+        if address < 0:
+            raise SimulationError(f"negative address {address}")
+        index = self.geometry.index_of(address)
+        tag = self.geometry.tag_of(address)
+        if tag not in self._sets[index]:
+            self._fill(index, tag)
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating presence probe for the line holding *address*."""
+        index = self.geometry.index_of(address)
+        return self.geometry.tag_of(address) in self._sets[index]
+
+    def is_dirty(self, address: int) -> bool:
+        """Whether the line holding *address* is resident and dirty."""
+        index = self.geometry.index_of(address)
+        tag = self.geometry.tag_of(address)
+        return tag in self._sets[index] and (index, tag) in self._dirty
+
+    def invalidate(self) -> None:
+        """Drop all contents (keeps statistics; dirty data is lost)."""
+        self._sets = [[] for _ in range(self.geometry.num_sets)]
+        self._dirty.clear()
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(tags) for tags in self._sets)
+
+    def set_occupancy(self) -> list[int]:
+        """Per-set resident line counts (useful for conflict analysis)."""
+        return [len(tags) for tags in self._sets]

@@ -1,0 +1,184 @@
+"""Multi-level memory hierarchy simulation.
+
+Glues the TLB, the per-level set-associative caches and the DRAM model
+into one ``access(vaddr)`` entry point.  Each level indexes with the
+address its :class:`~repro.arch.cache.IndexingPolicy` prescribes, so a
+physically-indexed L1 (ARM) reacts to the OS's frame placement while a
+virtually-indexed one (the Xeon's VIPT L1) does not — exactly the
+asymmetry behind the paper's §V-A-1 observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cache import IndexingPolicy
+from repro.arch.cpu import MachineModel
+from repro.errors import AllocationError, SimulationError
+from repro.memsim.cache_sim import SetAssociativeCache
+from repro.memsim.paging import AddressSpace
+from repro.memsim.tlb import Tlb
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one line-granular access.
+
+    ``level`` is the 0-based cache level that supplied the line, or
+    ``len(levels)`` for DRAM.  ``supply_cycles`` is the *throughput*
+    cost of bringing the line to the core under memory-level
+    parallelism (0 for an L1 hit, whose cost is the load instruction
+    itself), including any TLB penalty.  ``latency_cycles`` is the raw
+    un-overlapped access latency of the supplying level — what a
+    dependent pointer chase pays per load.
+    """
+
+    level: int
+    level_name: str
+    supply_cycles: float
+    latency_cycles: float
+
+
+class MemoryHierarchy:
+    """TLB + cache levels + DRAM for a single simulated core."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        address_space: AddressSpace | None = None,
+        *,
+        seed: int = 0,
+        prefetch_next_line: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.address_space = address_space
+        self.levels = [
+            SetAssociativeCache(geometry, seed=seed + i)
+            for i, geometry in enumerate(machine.caches)
+        ]
+        # Page-walk cost approximated as two outer-level accesses.
+        walk_penalty = 2.0 * machine.last_level.latency_cycles
+        self.tlb = Tlb(64, miss_penalty_cycles=walk_penalty)
+        self.dram_accesses = 0
+        #: Opt-in next-line hardware prefetcher: on a demand miss, the
+        #: following line is installed too.  Off by default — the
+        #: calibrated Figures 5/6 supply costs already fold average
+        #: prefetch benefit into the level bandwidths; turning this on
+        #: isolates the mechanism for the ablation bench.
+        self.prefetch_next_line = prefetch_next_line
+        self.prefetches_issued = 0
+
+    @property
+    def dram_level(self) -> int:
+        """Level index representing DRAM."""
+        return len(self.levels)
+
+    def _translate(self, vaddr: int) -> tuple[int, float]:
+        """Return (paddr, tlb_penalty_cycles)."""
+        if self.address_space is None:
+            return vaddr, 0.0
+        penalty = self.tlb.access(self.address_space.virtual_page(vaddr))
+        return self.address_space.translate(vaddr), penalty
+
+    def _dram_supply_cycles(self, line_bytes: int) -> float:
+        core = self.machine.core
+        memory = self.machine.memory
+        latency_cycles = memory.latency_ns * 1e-9 * core.frequency_hz
+        hidden_latency = latency_cycles / core.mem_parallelism
+        bytes_per_cycle = memory.sustained_bandwidth / core.frequency_hz
+        transfer = line_bytes / bytes_per_cycle
+        return max(hidden_latency, transfer)
+
+    def access(self, vaddr: int, *, write: bool = False) -> AccessOutcome:
+        """Access the line containing virtual address *vaddr*.
+
+        The line is looked up level by level; on a miss at every level
+        it is supplied by DRAM.  Fills are inclusive: the line is
+        installed in all levels above the supplier.  ``write=True``
+        dirties the L1 line (write-back / write-allocate).
+        """
+        paddr, tlb_penalty = self._translate(vaddr)
+        core = self.machine.core
+        hit_level = self.dram_level
+        for i, cache in enumerate(self.levels):
+            use_physical = cache.geometry.indexing is IndexingPolicy.PHYSICAL
+            addr = paddr if use_physical else vaddr
+            if cache.access(addr, write=write and i == 0):
+                hit_level = i
+                break
+        if hit_level == self.dram_level:
+            self.dram_accesses += 1
+
+        if self.prefetch_next_line and hit_level > 0:
+            self._prefetch(vaddr + self.machine.l1.line_bytes)
+
+        if hit_level == 0:
+            supply = 0.0
+            latency = float(self.machine.l1.latency_cycles)
+        elif hit_level < self.dram_level:
+            geometry = self.levels[hit_level].geometry
+            hidden = geometry.latency_cycles / core.mem_parallelism
+            transfer = geometry.line_bytes / geometry.bandwidth_bytes_per_cycle
+            supply = max(hidden, transfer)
+            latency = float(geometry.latency_cycles)
+        else:
+            supply = self._dram_supply_cycles(self.machine.l1.line_bytes)
+            latency = self.machine.memory.latency_ns * 1e-9 * core.frequency_hz
+
+        name = (
+            self.levels[hit_level].geometry.name
+            if hit_level < self.dram_level
+            else "DRAM"
+        )
+        return AccessOutcome(
+            level=hit_level,
+            level_name=name,
+            supply_cycles=supply + tlb_penalty,
+            latency_cycles=latency + tlb_penalty,
+        )
+
+    def _prefetch(self, vaddr: int) -> None:
+        """Install the line holding *vaddr* into every level (no cost,
+        no demand statistics; unmapped targets are silently skipped)."""
+        if self.address_space is not None:
+            try:
+                paddr = self.address_space.translate(vaddr)
+            except AllocationError:
+                return
+        else:
+            paddr = vaddr
+        self.prefetches_issued += 1
+        for cache in self.levels:
+            use_physical = cache.geometry.indexing is IndexingPolicy.PHYSICAL
+            cache.install(paddr if use_physical else vaddr)
+
+    def reset_state(self) -> None:
+        """Invalidate all caches and the TLB (cold start)."""
+        for cache in self.levels:
+            cache.invalidate()
+        self.tlb.flush()
+
+    def reset_stats(self) -> None:
+        """Zero all counters without touching contents."""
+        for cache in self.levels:
+            cache.stats.reset()
+        self.dram_accesses = 0
+        self.tlb.hits = 0
+        self.tlb.misses = 0
+
+    def level_stats(self) -> dict[str, tuple[int, int]]:
+        """Per-level ``(hits, misses)`` snapshot keyed by level name."""
+        snapshot = {}
+        for cache in self.levels:
+            snapshot[cache.geometry.name] = (cache.stats.hits, cache.stats.misses)
+        return snapshot
+
+    def check_invariants(self) -> None:
+        """Raise if hierarchy counters are inconsistent (test hook)."""
+        for inner, outer in zip(self.levels, self.levels[1:]):
+            if outer.stats.accesses > inner.stats.misses:
+                raise SimulationError(
+                    f"{outer.geometry.name} saw more accesses "
+                    f"({outer.stats.accesses}) than {inner.geometry.name} "
+                    f"misses ({inner.stats.misses})"
+                )

@@ -1,0 +1,83 @@
+"""Virtual address spaces over the simulated page allocator.
+
+An :class:`AddressSpace` owns virtual-to-physical mappings built from
+:class:`~repro.osmodel.page_allocator.PageAllocation` objects, so a
+physically-indexed cache sees the *actual* frame placement the OS
+produced — the mechanism behind the paper's §V-A-1 irreproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.osmodel.page_allocator import PageAllocation, ReusingPageAllocator
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One mapped virtual region."""
+
+    virtual_base: int
+    allocation: PageAllocation
+
+    @property
+    def size_bytes(self) -> int:
+        """Extent of the region in bytes."""
+        return self.allocation.num_pages * self.allocation.page_size
+
+    @property
+    def virtual_end(self) -> int:
+        """First byte past the region."""
+        return self.virtual_base + self.size_bytes
+
+
+class AddressSpace:
+    """A process address space: mmap-style regions over an allocator."""
+
+    def __init__(self, allocator: ReusingPageAllocator) -> None:
+        self._allocator = allocator
+        self._mappings: list[Mapping] = []
+        self._next_base = 0x1000_0000  # conventional mmap base
+
+    @property
+    def page_size(self) -> int:
+        """Page size of the underlying allocator."""
+        return self._allocator.page_size
+
+    def mmap(self, size_bytes: int) -> Mapping:
+        """Map *size_bytes* of anonymous memory (rounded up to pages)."""
+        if size_bytes <= 0:
+            raise ConfigurationError(f"mapping size must be positive, got {size_bytes}")
+        pages = -(-size_bytes // self.page_size)
+        allocation = self._allocator.allocate(pages)
+        mapping = Mapping(virtual_base=self._next_base, allocation=allocation)
+        self._mappings.append(mapping)
+        self._next_base = mapping.virtual_end + self.page_size  # guard page
+        return mapping
+
+    def munmap(self, mapping: Mapping) -> None:
+        """Unmap a region, returning its frames to the allocator."""
+        if mapping not in self._mappings:
+            raise AllocationError("munmap of a region not mapped in this space")
+        self._mappings.remove(mapping)
+        self._allocator.free(mapping.allocation)
+
+    def translate(self, vaddr: int) -> int:
+        """Virtual-to-physical translation; raises on unmapped access."""
+        mapping = self._find(vaddr)
+        return mapping.allocation.physical_address(vaddr - mapping.virtual_base)
+
+    def _find(self, vaddr: int) -> Mapping:
+        for mapping in self._mappings:
+            if mapping.virtual_base <= vaddr < mapping.virtual_end:
+                return mapping
+        raise AllocationError(f"segmentation fault: address {vaddr:#x} not mapped")
+
+    def virtual_page(self, vaddr: int) -> int:
+        """Virtual page number of an address (for TLB lookups)."""
+        return vaddr // self.page_size
+
+    def mappings(self) -> tuple[Mapping, ...]:
+        """Snapshot of current regions."""
+        return tuple(self._mappings)

@@ -1,0 +1,48 @@
+"""A small fully-associative TLB model.
+
+The arrays in the paper's microbenchmark span at most a few dozen
+pages, so TLBs rarely matter there — but the model keeps the hierarchy
+honest for larger working sets (and for the property-based tests).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class Tlb:
+    """Fully-associative, LRU translation lookaside buffer."""
+
+    def __init__(self, entries: int, *, miss_penalty_cycles: float) -> None:
+        if entries <= 0:
+            raise ConfigurationError(f"TLB needs a positive entry count, got {entries}")
+        if miss_penalty_cycles < 0:
+            raise ConfigurationError("TLB miss penalty cannot be negative")
+        self.entries = entries
+        self.miss_penalty_cycles = miss_penalty_cycles
+        self.hits = 0
+        self.misses = 0
+        self._resident: dict[int, None] = {}  # ordered set, LRU = front
+
+    def access(self, virtual_page: int) -> float:
+        """Look up a virtual page; returns the cycle penalty (0 on hit)."""
+        if virtual_page in self._resident:
+            self.hits += 1
+            del self._resident[virtual_page]
+            self._resident[virtual_page] = None
+            return 0.0
+        self.misses += 1
+        if len(self._resident) >= self.entries:
+            oldest = next(iter(self._resident))
+            del self._resident[oldest]
+        self._resident[virtual_page] = None
+        return self.miss_penalty_cycles
+
+    def flush(self) -> None:
+        """Drop all translations (context switch)."""
+        self._resident.clear()
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses

@@ -1,0 +1,45 @@
+"""OmpSs-style task-based programming model (§II).
+
+The third Mont-Blanc objective the paper lists: "Develop a portfolio of
+existing applications to test these systems and optimize their
+efficiency, using BSC's OmpSs programming model".  OmpSs (Duran et
+al., the paper's reference [5]) is "a proposal for programming
+heterogeneous multi-core architectures": tasks annotated with data
+directionality (``in`` / ``out`` / ``inout``), dependencies *inferred*
+from those annotations, and a runtime that schedules the resulting
+graph over heterogeneous workers (CPU cores, GPUs).
+
+This package rebuilds that model:
+
+* :mod:`repro.ompss.taskgraph` — tasks with directionality clauses and
+  automatic RAW/WAR/WAW dependency inference;
+* :mod:`repro.ompss.scheduler` — a list scheduler over heterogeneous
+  workers (FIFO, critical-path priority, and an earliest-finish-time
+  heterogeneous policy), producing deterministic schedules and traces;
+* :mod:`repro.ompss.kernels` — the magicfilter's three separable
+  sweeps expressed as an OmpSs task graph, the natural target the
+  paper's auto-tuning work feeds into.
+"""
+
+from repro.ompss.kernels import magicfilter_taskgraph
+from repro.ompss.scheduler import (
+    OmpSsScheduler,
+    Schedule,
+    SchedulingPolicy,
+    Worker,
+    WorkerKind,
+    cpu_workers,
+)
+from repro.ompss.taskgraph import Task, TaskGraph
+
+__all__ = [
+    "OmpSsScheduler",
+    "Schedule",
+    "SchedulingPolicy",
+    "Task",
+    "TaskGraph",
+    "Worker",
+    "WorkerKind",
+    "cpu_workers",
+    "magicfilter_taskgraph",
+]

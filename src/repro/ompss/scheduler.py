@@ -1,0 +1,244 @@
+"""List scheduling of OmpSs task graphs over heterogeneous workers.
+
+The runtime keeps a ready set (tasks whose predecessors finished) and
+assigns tasks to idle workers according to a policy:
+
+* ``FIFO`` — submission order, first idle compatible worker;
+* ``CRITICAL_PATH`` — ready tasks ordered by HEFT upward rank;
+* ``EARLIEST_FINISH`` — like CRITICAL_PATH, but each task goes to the
+  compatible worker that *finishes* it first (accounting for worker
+  speed and availability) — the heterogeneous-aware policy OmpSs-class
+  runtimes use for CPU+GPU nodes.
+
+Scheduling is event-driven and fully deterministic: ties break on
+worker id, then task id.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.ompss.taskgraph import TaskGraph
+
+
+class WorkerKind(enum.Enum):
+    """Execution resource classes."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+
+@dataclass(frozen=True)
+class Worker:
+    """One execution resource.
+
+    ``speed`` scales task durations (a 2x-clocked core has speed 2).
+    """
+
+    worker_id: int
+    kind: WorkerKind
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ConfigurationError(f"worker {self.worker_id}: speed must be positive")
+
+    def execution_time(self, durations) -> float | None:
+        """Time this worker needs for a task, or None if incompatible."""
+        base = durations.get(self.kind.value)
+        if base is None:
+            return None
+        return base / self.speed
+
+
+def cpu_workers(count: int, *, speed: float = 1.0) -> list[Worker]:
+    """Convenience: *count* homogeneous CPU workers."""
+    if count < 1:
+        raise ConfigurationError("need at least one worker")
+    return [Worker(worker_id=i, kind=WorkerKind.CPU, speed=speed) for i in range(count)]
+
+
+class SchedulingPolicy(enum.Enum):
+    """Ready-queue ordering / placement policies."""
+
+    FIFO = "fifo"
+    CRITICAL_PATH = "critical-path"
+    EARLIEST_FINISH = "earliest-finish"
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One task's placement in a schedule."""
+
+    task_id: int
+    worker_id: int
+    start: float
+    end: float
+
+
+@dataclass
+class Schedule:
+    """A complete schedule of a task graph."""
+
+    assignments: dict[int, Assignment]
+    makespan: float
+    workers: tuple[Worker, ...]
+
+    def worker_busy_time(self, worker_id: int) -> float:
+        """Total busy seconds of one worker."""
+        return sum(
+            a.end - a.start
+            for a in self.assignments.values()
+            if a.worker_id == worker_id
+        )
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Busy fraction of the worker pool over the makespan."""
+        if self.makespan <= 0:
+            return 1.0
+        busy = sum(a.end - a.start for a in self.assignments.values())
+        return busy / (self.makespan * len(self.workers))
+
+    def validate(self, graph: TaskGraph) -> None:
+        """Raise if the schedule violates dependencies or overlaps
+        a worker (test hook)."""
+        for task in graph:
+            assignment = self.assignments.get(task.task_id)
+            if assignment is None:
+                raise SimulationError(f"task {task.name!r} never scheduled")
+            for predecessor in graph.predecessors(task.task_id):
+                if self.assignments[predecessor].end > assignment.start + 1e-9:
+                    raise SimulationError(
+                        f"task {task.name!r} started before predecessor finished"
+                    )
+        by_worker: dict[int, list[Assignment]] = {}
+        for assignment in self.assignments.values():
+            by_worker.setdefault(assignment.worker_id, []).append(assignment)
+        for intervals in by_worker.values():
+            intervals.sort(key=lambda a: a.start)
+            for left, right in zip(intervals, intervals[1:]):
+                if left.end > right.start + 1e-9:
+                    raise SimulationError("worker executes two tasks at once")
+
+
+@dataclass
+class OmpSsScheduler:
+    """The runtime: workers + policy."""
+
+    workers: list[Worker]
+    policy: SchedulingPolicy = SchedulingPolicy.EARLIEST_FINISH
+
+    def __post_init__(self) -> None:
+        if not self.workers:
+            raise ConfigurationError("scheduler needs at least one worker")
+        ids = [w.worker_id for w in self.workers]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate worker ids: {ids}")
+
+    def run(self, graph: TaskGraph) -> Schedule:
+        """Schedule the whole graph; returns a validated schedule.
+
+        Event-driven list scheduling: tasks are dispatched only to
+        *currently idle* workers, so ready work backfills any hole a
+        blocked high-priority task would otherwise leave.
+        """
+        if len(graph) == 0:
+            return Schedule(assignments={}, makespan=0.0, workers=tuple(self.workers))
+
+        # Fail fast on tasks no worker can ever run.
+        kinds = {w.kind.value for w in self.workers}
+        for task in graph:
+            if not kinds & set(task.durations):
+                raise SimulationError(
+                    f"task {task.name!r} is incompatible with every worker"
+                )
+
+        ranks = graph.upward_rank()
+        remaining_deps = {
+            task.task_id: len(graph.predecessors(task.task_id)) for task in graph
+        }
+
+        def priority(task_id: int) -> tuple[float, int]:
+            if self.policy is SchedulingPolicy.FIFO:
+                return (float(task_id), task_id)
+            return (-ranks[task_id], task_id)  # higher rank first
+
+        ready: list[tuple[tuple[float, int], int]] = []
+        for root in graph.roots():
+            heapq.heappush(ready, (priority(root), root))
+
+        idle: set[int] = {w.worker_id for w in self.workers}
+        by_id = {w.worker_id: w for w in self.workers}
+        running: list[tuple[float, int, int]] = []  # (end, worker_id, task_id)
+        assignments: dict[int, Assignment] = {}
+        now = 0.0
+
+        def dispatch() -> None:
+            """Assign ready tasks to idle workers until stuck."""
+            deferred: list[tuple[tuple[float, int], int]] = []
+            while ready and idle:
+                key, task_id = heapq.heappop(ready)
+                task = graph.task(task_id)
+                chosen = self._choose_idle_worker(task, idle, by_id)
+                if chosen is None:
+                    deferred.append((key, task_id))  # wrong kind busy
+                    continue
+                worker, duration = chosen
+                idle.discard(worker.worker_id)
+                end = now + duration
+                assignments[task_id] = Assignment(
+                    task_id=task_id, worker_id=worker.worker_id,
+                    start=now, end=end,
+                )
+                heapq.heappush(running, (end, worker.worker_id, task_id))
+            for item in deferred:
+                heapq.heappush(ready, item)
+
+        dispatch()
+        while running:
+            end, worker_id, task_id = heapq.heappop(running)
+            now = end
+            idle.add(worker_id)
+            for successor in sorted(graph.successors(task_id)):
+                remaining_deps[successor] -= 1
+                if remaining_deps[successor] == 0:
+                    heapq.heappush(ready, (priority(successor), successor))
+            # Batch completions at the same instant before dispatching.
+            if not running or running[0][0] > now:
+                dispatch()
+
+        if len(assignments) != len(graph):
+            raise SimulationError(
+                f"cycle or unreachable tasks: scheduled "
+                f"{len(assignments)} of {len(graph)}"
+            )
+        schedule = Schedule(
+            assignments=assignments,
+            makespan=max(a.end for a in assignments.values()),
+            workers=tuple(self.workers),
+        )
+        schedule.validate(graph)
+        return schedule
+
+    def _choose_idle_worker(
+        self, task, idle: set[int], by_id: dict[int, "Worker"]
+    ) -> tuple["Worker", float] | None:
+        """Pick an idle worker for *task* per the policy (None if no
+        idle worker is compatible)."""
+        candidates = []
+        for worker_id in sorted(idle):
+            worker = by_id[worker_id]
+            duration = worker.execution_time(task.durations)
+            if duration is not None:
+                candidates.append((duration, worker_id, worker))
+        if not candidates:
+            return None
+        if self.policy is SchedulingPolicy.EARLIEST_FINISH:
+            duration, _, worker = min(candidates)
+        else:
+            duration, _, worker = min(candidates, key=lambda c: c[1])
+        return worker, duration

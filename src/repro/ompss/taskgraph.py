@@ -1,0 +1,173 @@
+"""Task graphs with OmpSs directionality-based dependency inference.
+
+In OmpSs the programmer does not wire edges: each task declares which
+data it reads (``ins``) and writes (``outs``), and the runtime infers
+
+* RAW (true) dependencies — a reader depends on the last writer,
+* WAR (anti) dependencies — a writer depends on all readers since the
+  last writer,
+* WAW (output) dependencies — a writer depends on the previous writer,
+
+exactly the semantics this module implements over named data objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One task instance.
+
+    ``durations`` maps a worker kind name (``"cpu"``, ``"gpu"``) to the
+    task's execution time on that kind; a kind that is absent cannot
+    run the task (e.g. a double-precision kernel on an SP-only GPU).
+    """
+
+    task_id: int
+    name: str
+    durations: Mapping[str, float]
+    ins: tuple[str, ...]
+    outs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.durations:
+            raise ConfigurationError(f"task {self.name!r} can run nowhere")
+        for kind, duration in self.durations.items():
+            if duration <= 0:
+                raise ConfigurationError(
+                    f"task {self.name!r}: non-positive duration on {kind!r}"
+                )
+
+    def duration_on(self, kind: str) -> float:
+        """Duration on one worker kind; raises if unsupported."""
+        if kind not in self.durations:
+            raise ConfigurationError(
+                f"task {self.name!r} cannot run on {kind!r} workers"
+            )
+        return self.durations[kind]
+
+    @property
+    def min_duration(self) -> float:
+        """Fastest possible execution time across kinds."""
+        return min(self.durations.values())
+
+
+class TaskGraph:
+    """A DAG of tasks built through directionality clauses."""
+
+    def __init__(self) -> None:
+        self._tasks: list[Task] = []
+        self._successors: dict[int, set[int]] = {}
+        self._predecessors: dict[int, set[int]] = {}
+        self._last_writer: dict[str, int] = {}
+        self._readers_since_write: dict[str, set[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def task(self, task_id: int) -> Task:
+        """Look up a task by id."""
+        if not 0 <= task_id < len(self._tasks):
+            raise ConfigurationError(f"unknown task id {task_id}")
+        return self._tasks[task_id]
+
+    def add(
+        self,
+        name: str,
+        durations: Mapping[str, float] | float,
+        *,
+        ins: Iterable[str] = (),
+        outs: Iterable[str] = (),
+    ) -> int:
+        """Submit a task; dependencies are inferred from ins/outs.
+
+        ``durations`` may be a single float (CPU-only task) or a
+        mapping per worker kind.
+        """
+        if isinstance(durations, (int, float)):
+            durations = {"cpu": float(durations)}
+        task = Task(
+            task_id=len(self._tasks),
+            name=name,
+            durations=dict(durations),
+            ins=tuple(ins),
+            outs=tuple(outs),
+        )
+        self._tasks.append(task)
+        self._successors[task.task_id] = set()
+        self._predecessors[task.task_id] = set()
+
+        for datum in task.ins:
+            writer = self._last_writer.get(datum)
+            if writer is not None:
+                self._edge(writer, task.task_id)  # RAW
+            self._readers_since_write.setdefault(datum, set()).add(task.task_id)
+        for datum in task.outs:
+            writer = self._last_writer.get(datum)
+            if writer is not None:
+                self._edge(writer, task.task_id)  # WAW
+            for reader in self._readers_since_write.get(datum, ()):
+                if reader != task.task_id:
+                    self._edge(reader, task.task_id)  # WAR
+            self._last_writer[datum] = task.task_id
+            self._readers_since_write[datum] = set()
+        return task.task_id
+
+    def _edge(self, src: int, dst: int) -> None:
+        if src == dst:
+            return
+        self._successors[src].add(dst)
+        self._predecessors[dst].add(src)
+
+    def predecessors(self, task_id: int) -> frozenset[int]:
+        """Tasks that must finish before *task_id* may start."""
+        self.task(task_id)
+        return frozenset(self._predecessors[task_id])
+
+    def successors(self, task_id: int) -> frozenset[int]:
+        """Tasks unblocked (partially) by *task_id* finishing."""
+        self.task(task_id)
+        return frozenset(self._successors[task_id])
+
+    def roots(self) -> list[int]:
+        """Tasks with no predecessors."""
+        return [t.task_id for t in self._tasks if not self._predecessors[t.task_id]]
+
+    def total_work(self, kind: str = "cpu") -> float:
+        """Sum of durations on one worker kind (tasks that support it)."""
+        return sum(
+            task.durations[kind] for task in self._tasks if kind in task.durations
+        )
+
+    def critical_path(self) -> float:
+        """Longest path length using each task's fastest duration.
+
+        A lower bound on any schedule's makespan.
+        """
+        if not self._tasks:
+            return 0.0
+        finish: dict[int, float] = {}
+        for task in self._tasks:  # ids are topologically ordered by construction
+            ready = max(
+                (finish[p] for p in self._predecessors[task.task_id]), default=0.0
+            )
+            finish[task.task_id] = ready + task.min_duration
+        return max(finish.values())
+
+    def upward_rank(self) -> dict[int, float]:
+        """HEFT-style priority: longest min-duration path to a sink."""
+        ranks: dict[int, float] = {}
+        for task in reversed(self._tasks):
+            downstream = max(
+                (ranks[s] for s in self._successors[task.task_id]), default=0.0
+            )
+            ranks[task.task_id] = task.min_duration + downstream
+        return ranks

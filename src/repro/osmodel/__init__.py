@@ -1,0 +1,49 @@
+"""Operating-system behaviour models.
+
+Section V-A of the paper traces two reproducibility hazards to the OS:
+
+* **Physical page allocation** (§V-A-1): the kernel sometimes hands out
+  non-consecutive physical pages for an array around the 32 KiB L1
+  size, causing conflict misses in the physically-indexed L1 and a
+  "dramatic drop of overall performance"; within one run the same pages
+  are reused after malloc/free, so the noise appears only *across*
+  runs.  Modelled by :mod:`repro.osmodel.page_allocator`.
+* **Real-time scheduling** (§V-A-2, Figure 5): SCHED_FIFO on the ARM
+  board intermittently enters a degraded regime with ~5x lower
+  bandwidth, in *consecutive* samples.  Modelled by
+  :mod:`repro.osmodel.scheduler`.
+
+:class:`repro.osmodel.system.OSModel` bundles an allocator, a scheduler
+and a noise process into the OS configuration a simulated benchmark
+runs under.
+"""
+
+from repro.osmodel.page_allocator import (
+    AllocationPattern,
+    BuddyAllocator,
+    PageAllocation,
+    ReusingPageAllocator,
+)
+from repro.osmodel.scheduler import (
+    CfsScheduler,
+    RtFifoScheduler,
+    SchedulerModel,
+    SchedulingPolicy,
+)
+from repro.osmodel.noise import NoiseProcess, PeriodicDaemonNoise, QuietNoise
+from repro.osmodel.system import OSModel
+
+__all__ = [
+    "AllocationPattern",
+    "BuddyAllocator",
+    "CfsScheduler",
+    "NoiseProcess",
+    "OSModel",
+    "PageAllocation",
+    "PeriodicDaemonNoise",
+    "QuietNoise",
+    "ReusingPageAllocator",
+    "RtFifoScheduler",
+    "SchedulerModel",
+    "SchedulingPolicy",
+]

@@ -1,0 +1,78 @@
+"""OS noise processes.
+
+Independent of the scheduler regime, background daemons and kernel
+housekeeping steal cycles.  On HPC nodes this "OS noise" is a classic
+scalability hazard; the models here let experiments inject it in a
+controlled, seeded way.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class NoiseProcess:
+    """Interface: extra time stolen from a computation interval."""
+
+    def stolen_time(self, duration_s: float) -> float:
+        """Seconds of CPU stolen from an interval of *duration_s*."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restart the noise stream (new run)."""
+        raise NotImplementedError
+
+
+class QuietNoise(NoiseProcess):
+    """A perfectly quiet system (useful as a baseline and in tests)."""
+
+    def stolen_time(self, duration_s: float) -> float:
+        """No time is ever stolen."""
+        if duration_s < 0:
+            raise ConfigurationError("duration cannot be negative")
+        return 0.0
+
+    def reset(self) -> None:
+        """Stateless."""
+
+
+class PeriodicDaemonNoise(NoiseProcess):
+    """Daemons waking every *period_s* and running for *busy_s*.
+
+    The expected stolen fraction is ``busy_s / period_s``; the exact
+    amount per interval depends on phase, which is randomized per run.
+    """
+
+    def __init__(
+        self, *, period_s: float = 0.25, busy_s: float = 0.0005, seed: int = 0
+    ) -> None:
+        if period_s <= 0 or busy_s < 0:
+            raise ConfigurationError("period must be positive and busy time >= 0")
+        if busy_s >= period_s:
+            raise ConfigurationError("busy time must be shorter than the period")
+        self.period_s = period_s
+        self.busy_s = busy_s
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._phase = self._rng.uniform(0.0, period_s)
+
+    def stolen_time(self, duration_s: float) -> float:
+        """Steal one ``busy_s`` slice per daemon wake-up in the interval."""
+        if duration_s < 0:
+            raise ConfigurationError("duration cannot be negative")
+        if duration_s == 0:
+            return 0.0
+        first_wakeup = (self.period_s - self._phase) % self.period_s
+        if first_wakeup > duration_s:
+            wakeups = 0
+        else:
+            wakeups = 1 + int((duration_s - first_wakeup) / self.period_s)
+        self._phase = (self._phase + duration_s) % self.period_s
+        return wakeups * self.busy_s
+
+    def reset(self) -> None:
+        """New run: new random phase from the same seed stream."""
+        self._rng = random.Random(self._seed)
+        self._phase = self._rng.uniform(0.0, self.period_s)

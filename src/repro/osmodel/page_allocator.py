@@ -1,0 +1,323 @@
+"""Simulated physical page allocation.
+
+The paper's §V-A-1 finding, in the authors' words: "In some cases,
+nonconsecutive pages in physical memory for array size around 32KB
+(the size of L1 cache) are allocated, which causes much more cache
+misses [...].  Furthermore, during one experiment run, OS was likely to
+reuse the same pages, as we did malloc/free repeatedly for each array."
+
+Two pieces model this:
+
+* :class:`BuddyAllocator` — a binary-buddy physical frame allocator.
+  On a freshly booted (unfragmented) system it returns consecutive
+  frames; after churn (:meth:`BuddyAllocator.fragment`) allocations of
+  several pages are scattered, exactly the run-to-run difference the
+  paper observed.
+* :class:`ReusingPageAllocator` — wraps any allocator with a per-size
+  quick-list so a ``free`` followed by an equal-sized ``allocate``
+  returns the *same frames*, reproducing the paper's within-run
+  stability ("array started from the same physical memory location for
+  each set of measurements").
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, ConfigurationError
+
+
+class AllocationPattern(enum.Enum):
+    """Qualitative shape of a multi-page allocation."""
+
+    CONSECUTIVE = "consecutive"
+    FRAGMENTED = "fragmented"
+
+
+@dataclass(frozen=True)
+class PageAllocation:
+    """A set of physical frames backing one virtual allocation.
+
+    ``frames[i]`` is the physical frame number of the i-th virtual
+    page.
+    """
+
+    frames: tuple[int, ...]
+    page_size: int
+
+    def __post_init__(self) -> None:
+        if not self.frames:
+            raise ConfigurationError("an allocation needs at least one frame")
+        if len(set(self.frames)) != len(self.frames):
+            raise AllocationError(f"duplicate frames in allocation: {self.frames}")
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages in the allocation."""
+        return len(self.frames)
+
+    @property
+    def pattern(self) -> AllocationPattern:
+        """CONSECUTIVE iff the frames are strictly sequential."""
+        consecutive = all(
+            b == a + 1 for a, b in zip(self.frames, self.frames[1:])
+        )
+        return (
+            AllocationPattern.CONSECUTIVE
+            if consecutive
+            else AllocationPattern.FRAGMENTED
+        )
+
+    def physical_address(self, virtual_offset: int) -> int:
+        """Translate a byte offset within the allocation to a physical
+        byte address."""
+        if virtual_offset < 0 or virtual_offset >= self.num_pages * self.page_size:
+            raise AllocationError(
+                f"offset {virtual_offset} outside allocation of "
+                f"{self.num_pages} pages"
+            )
+        page_index, page_offset = divmod(virtual_offset, self.page_size)
+        return self.frames[page_index] * self.page_size + page_offset
+
+
+class _OrderedSet:
+    """Insertion-ordered set with O(1) add / remove / pop-front.
+
+    Backed by a dict; used for the buddy free lists so coalescing stays
+    O(1) even with hundreds of thousands of frames.
+    """
+
+    def __init__(self) -> None:
+        self._items: dict[int, None] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._items
+
+    def add(self, item: int) -> None:
+        self._items[item] = None
+
+    def discard(self, item: int) -> None:
+        self._items.pop(item, None)
+
+    def pop_front(self) -> int:
+        item = next(iter(self._items))
+        del self._items[item]
+        return item
+
+
+class BuddyAllocator:
+    """Binary-buddy allocator over a physical frame pool.
+
+    Single-page requests are served from the free lists lowest-order
+    first; multi-page user allocations are composed page by page (as
+    anonymous mmap does), so they are consecutive only when the free
+    pool happens to be.
+    """
+
+    def __init__(
+        self, total_frames: int, *, page_size: int = 4096, max_order: int = 10
+    ) -> None:
+        if total_frames <= 0:
+            raise ConfigurationError(
+                f"total_frames must be positive, got {total_frames}"
+            )
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ConfigurationError(
+                f"page_size must be a power of two, got {page_size}"
+            )
+        if max_order < 0:
+            raise ConfigurationError(f"max_order must be >= 0, got {max_order}")
+        self.total_frames = total_frames
+        self.page_size = page_size
+        self.max_order = max_order
+        # free_lists[order] holds base frames of free blocks of 2**order pages.
+        self._free_lists: list[_OrderedSet] = [
+            _OrderedSet() for _ in range(max_order + 1)
+        ]
+        self._allocated: set[int] = set()
+        self._rebuild_free_lists(free_frames=None)
+
+    def _rebuild_free_lists(self, free_frames: set[int] | None) -> None:
+        """Greedily cover the free frames with maximal buddy blocks.
+
+        ``free_frames=None`` means every frame is free (fresh boot).
+        """
+        self._free_lists = [_OrderedSet() for _ in range(self.max_order + 1)]
+        if free_frames is None:
+            self._cover_range(0, self.total_frames)
+            return
+        # Find maximal runs of consecutive free frames, cover each with
+        # aligned buddy blocks.
+        ordered = sorted(free_frames)
+        index = 0
+        while index < len(ordered):
+            start = ordered[index]
+            end = start + 1
+            index += 1
+            while index < len(ordered) and ordered[index] == end:
+                end += 1
+                index += 1
+            self._cover_range(start, end)
+
+    def _cover_range(self, start: int, end: int) -> None:
+        """Cover ``[start, end)`` with maximal aligned buddy blocks."""
+        frame = start
+        while frame < end:
+            order = self.max_order
+            while order > 0 and (
+                frame % (1 << order) != 0 or frame + (1 << order) > end
+            ):
+                order -= 1
+            self._free_lists[order].add(frame)
+            frame += 1 << order
+
+    @property
+    def free_frames(self) -> int:
+        """Number of currently free frames."""
+        return self.total_frames - len(self._allocated)
+
+    def _split_down(self, order: int, target: int) -> int:
+        """Split a free block of *order* down to *target*, returning the base."""
+        base = self._free_lists[order].pop_front()
+        while order > target:
+            order -= 1
+            buddy = base + (1 << order)
+            self._free_lists[order].add(buddy)
+        return base
+
+    def _allocate_block(self, order: int) -> int:
+        for available in range(order, self.max_order + 1):
+            if len(self._free_lists[available]):
+                return self._split_down(available, order)
+        raise AllocationError(
+            f"out of physical memory: no free block of order {order} "
+            f"({self.free_frames} frames free, but fragmented)"
+        )
+
+    def allocate(self, num_pages: int) -> PageAllocation:
+        """Allocate *num_pages* frames, one order-0 block per page.
+
+        Mirrors anonymous user memory: each page fault grabs one frame,
+        so contiguity depends entirely on free-pool state.
+        """
+        if num_pages <= 0:
+            raise ConfigurationError(f"num_pages must be positive, got {num_pages}")
+        frames: list[int] = []
+        try:
+            for _ in range(num_pages):
+                frame = self._allocate_block(0)
+                self._allocated.add(frame)
+                frames.append(frame)
+        except AllocationError:
+            for frame in frames:
+                self._free_frame(frame)
+            raise
+        return PageAllocation(frames=tuple(frames), page_size=self.page_size)
+
+    def _free_frame(self, frame: int) -> None:
+        if frame not in self._allocated:
+            raise AllocationError(f"double free of frame {frame}")
+        self._allocated.remove(frame)
+        # Coalesce with the buddy while possible.
+        order = 0
+        base = frame
+        while order < self.max_order:
+            buddy = base ^ (1 << order)
+            if buddy in self._free_lists[order]:
+                self._free_lists[order].discard(buddy)
+                base = min(base, buddy)
+                order += 1
+            else:
+                break
+        self._free_lists[order].add(base)
+
+    def free(self, allocation: PageAllocation) -> None:
+        """Return an allocation's frames to the free pool."""
+        for frame in allocation.frames:
+            self._free_frame(frame)
+
+    def fragment(self, churn: float, rng: random.Random) -> None:
+        """Fragment the free pool by pinning random frames as allocated.
+
+        Models a system that has run for a while: a ``0.45 * churn``
+        fraction of frames is held by other processes and the page
+        cache, scattered uniformly, so runs of free frames are short
+        and multi-page allocations come out non-consecutive.
+        ``churn=0`` leaves the allocator pristine.  Must be called
+        before any allocation.
+        """
+        if not 0.0 <= churn <= 1.0:
+            raise ConfigurationError(f"churn must be in [0, 1], got {churn}")
+        if self._allocated:
+            raise AllocationError("fragment() must run before any allocation")
+        if churn == 0.0:
+            return
+        pinned_fraction = 0.45 * churn
+        pinned = {
+            frame
+            for frame in range(self.total_frames)
+            if rng.random() < pinned_fraction
+        }
+        self._allocated = pinned
+        free = set(range(self.total_frames)) - pinned
+        self._rebuild_free_lists(free_frames=free)
+
+
+class ReusingPageAllocator:
+    """Quick-list wrapper reproducing the paper's within-run page reuse.
+
+    A freed allocation is cached by page count; the next request of the
+    same size gets the identical frames back.  Consequence (observed in
+    the paper): samples *within* a run share one physical layout — good
+    or bad — while different runs (different allocator states) diverge.
+    """
+
+    def __init__(self, backing: BuddyAllocator) -> None:
+        self._backing = backing
+        self._quick_lists: dict[int, list[PageAllocation]] = {}
+
+    @property
+    def page_size(self) -> int:
+        """Page size of the backing allocator."""
+        return self._backing.page_size
+
+    def allocate(self, num_pages: int) -> PageAllocation:
+        """Allocate, preferring a cached same-size allocation."""
+        cached = self._quick_lists.get(num_pages)
+        if cached:
+            return cached.pop()
+        return self._backing.allocate(num_pages)
+
+    def free(self, allocation: PageAllocation) -> None:
+        """Cache the allocation for reuse instead of really freeing it."""
+        self._quick_lists.setdefault(allocation.num_pages, []).append(allocation)
+
+    def drain(self) -> None:
+        """Really release all cached allocations (end of process)."""
+        for cached in self._quick_lists.values():
+            for allocation in cached:
+                self._backing.free(allocation)
+        self._quick_lists.clear()
+
+
+def boot_allocator(
+    total_frames: int,
+    *,
+    page_size: int = 4096,
+    fragmentation: float = 0.0,
+    seed: int = 0,
+) -> ReusingPageAllocator:
+    """Build the allocator state of one 'booted system' (one run).
+
+    ``fragmentation`` in [0, 1] controls how churned the free pool is;
+    the seed makes each simulated boot reproducible.  Different seeds
+    model the paper's run-to-run divergence.
+    """
+    backing = BuddyAllocator(total_frames, page_size=page_size)
+    backing.fragment(fragmentation, random.Random(seed))
+    return ReusingPageAllocator(backing)

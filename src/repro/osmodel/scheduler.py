@@ -1,0 +1,165 @@
+"""OS scheduler models.
+
+The paper's §V-A-2 reports that running the memory microbenchmark under
+real-time priority (``SCHED_FIFO``) on the Snowball produced a
+**bimodal** bandwidth distribution: a nominal mode (no better than the
+default scheduler) and a degraded mode "almost 5 times lower", with all
+degraded measurements occurring *consecutively* (Figure 5b) — "likely
+caused by plainly wrong OS scheduling decisions during that period of
+time".
+
+:class:`RtFifoScheduler` models this as a two-state Markov regime over
+sample acquisitions: rare transitions into a degraded state that then
+persists for a geometrically distributed number of consecutive samples.
+:class:`CfsScheduler` models the default scheduler's mild noise.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class SchedulingPolicy(enum.Enum):
+    """Linux scheduling policies the paper exercises."""
+
+    OTHER = "SCHED_OTHER"  # default CFS
+    FIFO = "SCHED_FIFO"    # real-time, fixed priority
+    RR = "SCHED_RR"        # real-time, round robin
+
+
+@dataclass(frozen=True)
+class SchedulerSample:
+    """Outcome of scheduling one measurement.
+
+    ``slowdown`` multiplies the measurement's ideal duration;
+    ``degraded`` flags whether the sample ran in a pathological regime.
+    """
+
+    slowdown: float
+    degraded: bool
+
+
+class SchedulerModel:
+    """Interface: perturb successive measurement durations."""
+
+    policy: SchedulingPolicy
+
+    def next_sample(self) -> SchedulerSample:
+        """Scheduling outcome for the next measurement in sequence."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Return to the initial scheduling state (new run)."""
+        raise NotImplementedError
+
+
+class CfsScheduler(SchedulerModel):
+    """The default Linux scheduler: small, uncorrelated noise.
+
+    Timeslice preemptions and kernel housekeeping add a fraction of a
+    percent of jitter; there is no degraded regime.
+    """
+
+    policy = SchedulingPolicy.OTHER
+
+    def __init__(self, *, jitter: float = 0.01, seed: int = 0) -> None:
+        if jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {jitter}")
+        self.jitter = jitter
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def next_sample(self) -> SchedulerSample:
+        """One measurement under CFS: 1 + |N(0, jitter)| slowdown."""
+        slowdown = 1.0 + abs(self._rng.gauss(0.0, self.jitter))
+        return SchedulerSample(slowdown=slowdown, degraded=False)
+
+    def reset(self) -> None:
+        """Restart the jitter stream."""
+        self._rng = random.Random(self._seed)
+
+
+class RtFifoScheduler(SchedulerModel):
+    """SCHED_FIFO on the ARM board: the Figure 5 pathology.
+
+    Two-state Markov model over the *sequence* of measurements:
+
+    * ``NOMINAL``: behaves like CFS (no improvement — the paper notes
+      RT priority "does not bring any performance improvement");
+    * ``DEGRADED``: bandwidth collapses by ``degraded_factor`` (~4.7x,
+      the paper's "almost 5 times lower"); entered with probability
+      ``p_enter`` per sample and left with probability ``p_exit``, so
+      degraded samples form consecutive runs of geometric mean length
+      ``1/p_exit``.
+    """
+
+    policy = SchedulingPolicy.FIFO
+
+    def __init__(
+        self,
+        *,
+        degraded_factor: float = 4.7,
+        p_enter: float = 0.004,
+        p_exit: float = 0.012,
+        jitter: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if degraded_factor <= 1.0:
+            raise ConfigurationError(
+                f"degraded_factor must exceed 1, got {degraded_factor}"
+            )
+        for name, p in (("p_enter", p_enter), ("p_exit", p_exit)):
+            if not 0.0 < p < 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1), got {p}")
+        if jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {jitter}")
+        self.degraded_factor = degraded_factor
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self.jitter = jitter
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._degraded = False
+
+    @property
+    def in_degraded_regime(self) -> bool:
+        """Whether the scheduler is currently in the degraded state."""
+        return self._degraded
+
+    def next_sample(self) -> SchedulerSample:
+        """Advance the regime chain and report the sample's slowdown."""
+        if self._degraded:
+            if self._rng.random() < self.p_exit:
+                self._degraded = False
+        else:
+            if self._rng.random() < self.p_enter:
+                self._degraded = True
+        noise = 1.0 + abs(self._rng.gauss(0.0, self.jitter))
+        if self._degraded:
+            return SchedulerSample(slowdown=self.degraded_factor * noise, degraded=True)
+        return SchedulerSample(slowdown=noise, degraded=False)
+
+    def reset(self) -> None:
+        """New run: nominal state, fresh random stream."""
+        self._rng = random.Random(self._seed)
+        self._degraded = False
+
+
+def scheduler_for_policy(
+    policy: SchedulingPolicy, *, on_arm: bool = False, seed: int = 0
+) -> SchedulerModel:
+    """Build the scheduler model the paper's setup implies.
+
+    Real-time policies misbehave only on the ARM platform; on x86 they
+    behave like CFS with slightly less jitter (the paper's reference
+    [15] expectation that RT priority *helps* on standard systems).
+    """
+    if policy is SchedulingPolicy.OTHER:
+        return CfsScheduler(seed=seed)
+    if on_arm:
+        return RtFifoScheduler(seed=seed)
+    return CfsScheduler(jitter=0.003, seed=seed)

@@ -1,0 +1,82 @@
+"""The OS configuration a simulated benchmark runs under.
+
+:class:`OSModel` bundles the three OS behaviours the paper shows to
+matter — physical page allocation, scheduling policy and background
+noise — and offers factories for the configurations the paper used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpu import MachineModel
+from repro.osmodel.noise import NoiseProcess, PeriodicDaemonNoise, QuietNoise
+from repro.osmodel.page_allocator import ReusingPageAllocator, boot_allocator
+from repro.osmodel.scheduler import (
+    SchedulerModel,
+    SchedulingPolicy,
+    scheduler_for_policy,
+)
+
+
+@dataclass
+class OSModel:
+    """One booted OS instance: allocator + scheduler + noise.
+
+    Create one per simulated *run*; the seed fixes the boot-time
+    allocator state and all stochastic behaviour, so a run is exactly
+    reproducible while different seeds reproduce the paper's
+    run-to-run variability.
+    """
+
+    allocator: ReusingPageAllocator
+    scheduler: SchedulerModel
+    noise: NoiseProcess
+    page_size: int
+
+    def reset(self) -> None:
+        """Reset scheduler and noise streams (allocator state persists,
+        as it would across processes on a running system)."""
+        self.scheduler.reset()
+        self.noise.reset()
+
+    @classmethod
+    def boot(
+        cls,
+        machine: MachineModel,
+        *,
+        policy: SchedulingPolicy = SchedulingPolicy.OTHER,
+        fragmentation: float = 0.0,
+        quiet: bool = True,
+        seed: int = 0,
+    ) -> "OSModel":
+        """Boot a simulated OS on *machine*.
+
+        Args:
+            machine: hardware the OS manages.
+            policy: scheduling policy for the benchmark process.
+            fragmentation: physical free-pool churn in [0, 1]; 0 gives
+                the pristine consecutive-pages case, higher values make
+                fragmented multi-page allocations likely (§V-A-1).
+            quiet: if False, periodic daemon noise is injected.
+            seed: master seed for this boot.
+        """
+        on_arm = machine.core.isa.word_bits == 32
+        allocator = boot_allocator(
+            machine.memory.total_bytes // machine.page_size,
+            page_size=machine.page_size,
+            fragmentation=fragmentation,
+            seed=seed,
+        )
+        scheduler = scheduler_for_policy(policy, on_arm=on_arm, seed=seed + 1)
+        noise: NoiseProcess
+        if quiet:
+            noise = QuietNoise()
+        else:
+            noise = PeriodicDaemonNoise(seed=seed + 2)
+        return cls(
+            allocator=allocator,
+            scheduler=scheduler,
+            noise=noise,
+            page_size=machine.page_size,
+        )

@@ -1,0 +1,367 @@
+"""The paper's quantitative claims, as executable checks.
+
+Each :class:`Claim` carries the paper section, the (para)quoted
+statement, an expected value with tolerance, and a measurement closure
+that recomputes the value on the simulation substrate.  Expensive
+contexts (Table II runs, cluster sweeps, microbenchmark experiments)
+are built once and memoized, so a full :func:`audit` stays fast enough
+for CI.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+# ---------------------------------------------------------------------------
+# Shared measurement contexts (memoized).
+# ---------------------------------------------------------------------------
+
+
+@functools.lru_cache(maxsize=1)
+def _table2():
+    from repro.apps import BigDFT, CoreMark, Linpack, Specfem3D, StockFish
+    from repro.arch import SNOWBALL_A9500, XEON_X5550
+    from repro.energy import compare_runs
+
+    rows = {}
+    for app in (Linpack(), CoreMark(), StockFish(), Specfem3D(), BigDFT()):
+        rows[app.name] = compare_runs(app.run(XEON_X5550), app.run(SNOWBALL_A9500))
+    return rows
+
+
+@functools.lru_cache(maxsize=1)
+def _scaling():
+    from repro.apps import BigDFT, Linpack, Specfem3D
+    from repro.cluster import tibidabo
+
+    cluster = tibidabo(num_nodes=96, seed=7)
+    return {
+        "linpack": dict(Linpack().speedup_curve(cluster, [1, 16, 32, 64, 100])),
+        "specfem": dict(
+            Specfem3D().speedup_curve(cluster, [4, 64, 192], baseline_cores=4)
+        ),
+        "bigdft": dict(BigDFT().speedup_curve(cluster, [1, 16, 36])),
+    }
+
+
+@functools.lru_cache(maxsize=1)
+def _fig4_report():
+    from repro.apps import BigDFT
+    from repro.cluster import MpiJob, tibidabo
+    from repro.tracing import TraceRecorder, analyze_collectives
+
+    cluster = tibidabo(num_nodes=18, seed=7)
+    recorder = TraceRecorder()
+    app = BigDFT()
+    MpiJob(cluster, 36, app.rank_program(cluster, 36), tracer=recorder).run()
+    return analyze_collectives(recorder, "alltoallv")
+
+
+@functools.lru_cache(maxsize=1)
+def _fig5_results():
+    from repro.arch import SNOWBALL_A9500
+    from repro.kernels import MemBench
+    from repro.osmodel import OSModel, SchedulingPolicy
+
+    os_model = OSModel.boot(SNOWBALL_A9500, policy=SchedulingPolicy.FIFO, seed=5)
+    bench = MemBench(SNOWBALL_A9500, os_model, seed=5)
+    return bench.run_experiment(
+        array_sizes=[k * 1024 for k in (8, 16, 32, 48)], replicates=42, seed=5
+    )
+
+
+@functools.lru_cache(maxsize=2)
+def _fig6_grid(machine_key: str):
+    from repro.arch import machine_by_name
+    from repro.kernels import MemBench
+    from repro.osmodel import OSModel
+
+    machine = machine_by_name(machine_key)
+    os_model = OSModel.boot(machine, seed=3)
+    bench = MemBench(machine, os_model, seed=3)
+    results = bench.run_variant_grid(array_bytes=50 * 1024, replicates=3, seed=3)
+    grid = {}
+    for bits in (32, 64, 128):
+        for unroll in (1, 8):
+            values = results.where(elem_bits=bits, unroll=unroll).values()
+            grid[(bits, unroll)] = sum(values) / len(values)
+    return grid
+
+
+# ---------------------------------------------------------------------------
+# Claim machinery.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative statement of the paper."""
+
+    claim_id: str
+    section: str
+    statement: str
+    expected: float
+    rel_tolerance: float
+    measure: Callable[[], float]
+
+    def check(self) -> "ClaimResult":
+        """Measure and compare against the expectation."""
+        measured = float(self.measure())
+        if self.expected == 0:
+            passed = abs(measured) <= self.rel_tolerance
+        else:
+            passed = (
+                abs(measured - self.expected)
+                <= abs(self.expected) * self.rel_tolerance
+            )
+        return ClaimResult(claim=self, measured=measured, passed=passed)
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """Outcome of replaying one claim."""
+
+    claim: Claim
+    measured: float
+    passed: bool
+
+    def describe(self) -> str:
+        """One-line audit row."""
+        flag = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{flag}] {self.claim.claim_id} (§{self.claim.section}): "
+            f"expected {self.claim.expected:g} "
+            f"(±{self.claim.rel_tolerance:.0%}), measured {self.measured:g}"
+        )
+
+
+def _table2_ratio(name: str) -> Callable[[], float]:
+    return lambda: _table2()[name].ratio
+
+
+def _table2_energy(name: str) -> Callable[[], float]:
+    return lambda: _table2()[name].energy_ratio
+
+
+def _indicator(fn: Callable[[], bool]) -> Callable[[], float]:
+    return lambda: 1.0 if fn() else 0.0
+
+
+ALL_CLAIMS: tuple[Claim, ...] = (
+    # --- §I motivation ---------------------------------------------------
+    Claim(
+        "intro.efficiency-factor", "I",
+        "efficiency of supercomputers need to be increased by a factor of 25",
+        25.0, 0.08,
+        lambda: __import__("repro.top500", fromlist=["x"]).required_efficiency_factor(),
+    ),
+    Claim(
+        "intro.exaflop-year", "I",
+        "break the exaflops barrier by the projected year of 2018",
+        2018.0, 0.002,
+        lambda: __import__(
+            "repro.top500", fromlist=["x"]
+        ).project_exaflop("top").exaflop_year,
+    ),
+    # --- Table II ----------------------------------------------------------
+    Claim("table2.linpack.ratio", "III-C",
+          "LINPACK ratio 38.7", 38.7, 0.06, _table2_ratio("LINPACK")),
+    Claim("table2.linpack.energy", "III-C",
+          "running LINPACK costs the same energy", 1.0, 0.1,
+          _table2_energy("LINPACK")),
+    Claim("table2.coremark.ratio", "III-C",
+          "CoreMark ratio 7.1", 7.1, 0.06, _table2_ratio("CoreMark")),
+    Claim("table2.coremark.energy", "III-C",
+          "CoreMark: energy 5 times lower", 0.2, 0.3,
+          _table2_energy("CoreMark")),
+    Claim("table2.stockfish.ratio", "III-C",
+          "StockFish ratio 20.2", 20.2, 0.06, _table2_ratio("StockFish")),
+    Claim("table2.stockfish.energy", "III-C",
+          "StockFish: half the energy", 0.5, 0.2, _table2_energy("StockFish")),
+    Claim("table2.specfem.ratio", "III-C",
+          "SPECFEM3D ratio 7.9", 7.9, 0.06, _table2_ratio("SPECFEM3D")),
+    Claim("table2.specfem.energy", "III-C",
+          "SPECFEM3D: energy 5 times lower", 0.2, 0.3,
+          _table2_energy("SPECFEM3D")),
+    Claim("table2.bigdft.ratio", "III-C",
+          "BigDFT ratio 23.2", 23.2, 0.06, _table2_ratio("BigDFT")),
+    Claim("table2.bigdft.energy", "III-C",
+          "BigDFT: half the energy", 0.6, 0.2, _table2_energy("BigDFT")),
+    # --- Figure 3 ----------------------------------------------------------
+    Claim(
+        "fig3a.linpack-efficiency-100", "IV",
+        "LINPACK close to 80% efficiency for 100 cores",
+        0.8, 0.12,
+        lambda: _scaling()["linpack"][100] / 100,
+    ),
+    Claim(
+        "fig3b.specfem-efficiency-192", "IV",
+        "SPECFEM3D strong scaling with an efficiency of 90%",
+        0.9, 0.1,
+        lambda: _scaling()["specfem"][192] / 192,
+    ),
+    Claim(
+        "fig3c.bigdft-drops", "IV",
+        "BigDFT's efficiency drops rapidly (below 60% by 36 cores)",
+        1.0, 0.0,
+        _indicator(lambda: _scaling()["bigdft"][36] / 36 < 0.6),
+    ),
+    # --- Figure 4 ----------------------------------------------------------
+    Claim(
+        "fig4.most-delayed", "IV",
+        "most of these collective communications are longer and delayed",
+        1.0, 0.0,
+        _indicator(lambda: _fig4_report().delayed_fraction > 0.5),
+    ),
+    Claim(
+        "fig4.partial-delays", "IV",
+        "in some cases all the nodes are delayed while in other, only part",
+        1.0, 0.0,
+        _indicator(
+            lambda: len({i.ranks_delayed for i in _fig4_report().delayed}) > 1
+        ),
+    ),
+    # --- Figure 5 ----------------------------------------------------------
+    Claim(
+        "fig5.bimodal", "V-A-2",
+        "2 modes of execution can be observed",
+        1.0, 0.0,
+        _indicator(lambda: __import__(
+            "repro.core.stats", fromlist=["x"]
+        ).is_bimodal(
+            [s.value for s in _fig5_results().where(array_bytes=16 * 1024)],
+            ratio=2.5,
+        )),
+    ),
+    Claim(
+        "fig5.degraded-factor", "V-A-2",
+        "degraded bandwidth values that are almost 5 times lower",
+        4.7, 0.25,
+        lambda: (
+            (lambda nominal, degraded:
+             (sum(nominal) / len(nominal)) / (sum(degraded) / len(degraded)))(
+                [s.value for s in _fig5_results().where(
+                    array_bytes=16 * 1024, degraded=False)],
+                [s.value for s in _fig5_results().where(
+                    array_bytes=16 * 1024, degraded=True)],
+            )
+        ),
+    ),
+    Claim(
+        "fig5.consecutive", "V-A-2",
+        "all degraded measures occurred consecutively",
+        1.0, 0.0,
+        _indicator(lambda: (
+            (lambda seq: sum(
+                1 for a, b in zip(seq, seq[1:]) if b == a + 1
+            ) / max(1, len(seq)) > 0.8)(
+                [s.sequence for s in _fig5_results() if s.factors["degraded"]]
+            )
+        )),
+    ),
+    # --- Figure 6 ----------------------------------------------------------
+    Claim(
+        "fig6.double-width-doubles", "V-A-3",
+        "increasing element size from 32 to 64 bits practically doubles "
+        "the bandwidths on both architectures",
+        2.0, 0.25,
+        lambda: (
+            (_fig6_grid("xeon")[(64, 1)] / _fig6_grid("xeon")[(32, 1)]
+             + _fig6_grid("snowball")[(64, 1)] / _fig6_grid("snowball")[(32, 1)])
+            / 2.0
+        ),
+    ),
+    Claim(
+        "fig6.arm-best-64-unrolled", "V-A-3",
+        "the best configuration on ARM is obtained when using 64 bits "
+        "and loop unrolling",
+        1.0, 0.0,
+        _indicator(lambda: max(
+            _fig6_grid("snowball"), key=_fig6_grid("snowball").get
+        ) == (64, 8)),
+    ),
+    Claim(
+        "fig6.arm-128-detrimental", "V-A-3",
+        "on ARM loop unrolling may even dramatically degrade performance "
+        "(128-bit variant)",
+        1.0, 0.0,
+        _indicator(lambda: _fig6_grid("snowball")[(128, 8)]
+                   < _fig6_grid("snowball")[(128, 1)]),
+    ),
+    Claim(
+        "fig6.xeon-monotone", "V-A-3",
+        "on Nehalem unrolling loops and vectorizing both constantly "
+        "improve performance",
+        1.0, 0.0,
+        _indicator(lambda: all(
+            _fig6_grid("xeon")[(bits, 8)] >= _fig6_grid("xeon")[(bits, 1)] * 0.99
+            for bits in (32, 64, 128)
+        )),
+    ),
+    # --- Figure 7 ----------------------------------------------------------
+    Claim(
+        "fig7.nehalem-sweet-spot", "V-B",
+        "sweet spot [4:12] range on Nehalem",
+        1.0, 0.0,
+        _indicator(lambda: __import__(
+            "repro.kernels", fromlist=["x"]
+        ).MagicFilterBenchmark(
+            __import__("repro.arch", fromlist=["x"]).XEON_X5550
+        ).sweet_spot() == list(range(4, 13))),
+    ),
+    Claim(
+        "fig7.tegra2-sweet-spot", "V-B",
+        "smaller on Tegra2 (the [4:7] range)",
+        1.0, 0.0,
+        _indicator(lambda: __import__(
+            "repro.kernels", fromlist=["x"]
+        ).MagicFilterBenchmark(
+            __import__("repro.arch", fromlist=["x"]).TEGRA2_NODE
+        ).sweet_spot() == [4, 5, 6, 7]),
+    ),
+    Claim(
+        "fig7.tegra2-unroll12-growth", "V-B",
+        "on Tegra2 the total number of cycles significantly grows when "
+        "unrolling too much (unroll=12)",
+        1.0, 0.0,
+        _indicator(lambda: (
+            (lambda bench: bench.variant_cost(12).cycles_per_element
+             > 1.8 * bench.variant_cost(bench.best_unroll()).cycles_per_element)(
+                __import__("repro.kernels", fromlist=["x"]).MagicFilterBenchmark(
+                    __import__("repro.arch", fromlist=["x"]).TEGRA2_NODE
+                )
+            )
+        )),
+    ),
+    # --- §VI perspectives ----------------------------------------------------
+    Claim(
+        "vi.exynos-envelope", "VI-A",
+        "a peak performance of about a 100 GFLOPS for a power "
+        "consumption of 5 Watts",
+        100.0, 0.2,
+        lambda: __import__(
+            "repro.arch", fromlist=["x"]
+        ).EXYNOS5_DUAL.peak_flops_with_accelerator(
+            __import__("repro.arch.isa", fromlist=["x"]).Precision.SINGLE
+        ) / 1e9,
+    ),
+)
+
+
+def claim_by_id(claim_id: str) -> Claim:
+    """Look up one claim."""
+    for claim in ALL_CLAIMS:
+        if claim.claim_id == claim_id:
+            return claim
+    raise ConfigurationError(
+        f"unknown claim {claim_id!r}; known: {[c.claim_id for c in ALL_CLAIMS]}"
+    )
+
+
+def audit(claims: tuple[Claim, ...] = ALL_CLAIMS) -> list[ClaimResult]:
+    """Replay claims and return their results (failures included)."""
+    return [claim.check() for claim in claims]

@@ -1,0 +1,29 @@
+"""Top500 growth data and projections (Figure 1 and §I).
+
+The paper's motivation: "In order to break the exaflops barrier by the
+projected year of 2018 the efficiency of supercomputers need to be
+increased by a factor of 25" — derived from the Top500's exponential
+growth (Figure 1) and the 20 MW power budget.
+"""
+
+from repro.top500.data import (
+    GREEN500_TOP_2012_GFLOPS_PER_WATT,
+    TOP500_SERIES,
+    Top500Entry,
+)
+from repro.top500.model import (
+    ExaflopProjection,
+    fit_series,
+    project_exaflop,
+    required_efficiency_factor,
+)
+
+__all__ = [
+    "ExaflopProjection",
+    "GREEN500_TOP_2012_GFLOPS_PER_WATT",
+    "TOP500_SERIES",
+    "Top500Entry",
+    "fit_series",
+    "project_exaflop",
+    "required_efficiency_factor",
+]

@@ -1,0 +1,82 @@
+"""Historical Top500 aggregate performance, 1993–2012.
+
+One entry per June list: the list-wide sum, the #1 system and the #500
+entry point, all in GFLOPS (Rmax).  Values are transcribed from the
+published TOP500 aggregate charts (the same data behind the paper's
+Figure 1); they are accurate to within a few percent, which is far
+inside the scatter of the exponential fit they feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class Top500Entry:
+    """One June Top500 list's aggregate numbers (GFLOPS)."""
+
+    year: int
+    sum_gflops: float
+    top_gflops: float
+    entry_gflops: float
+
+    def __post_init__(self) -> None:
+        if not (self.entry_gflops <= self.top_gflops <= self.sum_gflops):
+            raise DataError(
+                f"{self.year}: expected entry <= top <= sum, got "
+                f"{self.entry_gflops} / {self.top_gflops} / {self.sum_gflops}"
+            )
+
+
+#: June lists, 1993–2012.
+TOP500_SERIES: tuple[Top500Entry, ...] = (
+    Top500Entry(1993, 1.17e3, 59.7, 0.42),
+    Top500Entry(1994, 2.3e3, 143.4, 0.82),
+    Top500Entry(1995, 3.9e3, 170.0, 1.27),
+    Top500Entry(1996, 6.7e3, 220.4, 2.0),
+    Top500Entry(1997, 10.7e3, 1068.0, 3.2),
+    Top500Entry(1998, 16.9e3, 1338.0, 4.8),
+    Top500Entry(1999, 29.8e3, 2121.0, 9.7),
+    Top500Entry(2000, 54.9e3, 2379.0, 15.9),
+    Top500Entry(2001, 108.8e3, 7226.0, 33.9),
+    Top500Entry(2002, 220.6e3, 35860.0, 67.8),
+    Top500Entry(2003, 375.0e3, 35860.0, 152.0),
+    Top500Entry(2004, 624.0e3, 35860.0, 383.0),
+    Top500Entry(2005, 1.69e6, 136800.0, 1166.0),
+    Top500Entry(2006, 2.79e6, 280600.0, 2026.0),
+    Top500Entry(2007, 4.92e6, 280600.0, 4005.0),
+    Top500Entry(2008, 11.7e6, 1026000.0, 9000.0),
+    Top500Entry(2009, 22.6e6, 1105000.0, 17100.0),
+    Top500Entry(2010, 32.4e6, 1759000.0, 24700.0),
+    Top500Entry(2011, 58.9e6, 8162000.0, 40100.0),
+    Top500Entry(2012, 123.4e6, 16324750.0, 60800.0),
+)
+
+#: Efficiency of the 2012 Top500 leader (Sequoia, ~16.3 PFLOPS in
+#: ~7.9 MW) — "ranked third of the Green500 [...] about 2 GFLOPS per
+#: Watt" (§I).
+GREEN500_TOP_2012_GFLOPS_PER_WATT = 2.07
+
+#: The exascale power envelope (§I): "a supercomputer is supposed not
+#: to exceed" 20 MW.
+EXASCALE_POWER_BUDGET_W = 20e6
+
+#: The paper's projected exaflop year.
+PROJECTED_EXAFLOP_YEAR = 2018
+
+
+def series_column(column: str) -> tuple[list[int], list[float]]:
+    """Return (years, values) for ``"sum"``, ``"top"`` or ``"entry"``."""
+    attribute = {
+        "sum": "sum_gflops",
+        "top": "top_gflops",
+        "entry": "entry_gflops",
+    }.get(column)
+    if attribute is None:
+        raise DataError(f"unknown column {column!r}; use sum/top/entry")
+    years = [e.year for e in TOP500_SERIES]
+    values = [getattr(e, attribute) for e in TOP500_SERIES]
+    return years, values

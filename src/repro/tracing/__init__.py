@@ -1,0 +1,35 @@
+"""Tracing and trace analysis.
+
+The paper profiles BigDFT "using [an] automatic code instrumentation
+library and Paraver, a visualization tool dedicated to parallel code
+analysis", and reads the pathology off the trace: most ``all_to_all_v``
+collectives are short, some are *delayed* (Figure 4).
+
+* :mod:`repro.tracing.events` — state and communication records;
+* :mod:`repro.tracing.recorder` — the Extrae-style recorder MpiJob
+  drives;
+* :mod:`repro.tracing.paraver` — Paraver ``.prv`` export and a parser
+  for round-trip tests;
+* :mod:`repro.tracing.analysis` — delayed-collective detection, the
+  programmatic equivalent of the paper's green circles.
+"""
+
+from repro.tracing.analysis import CollectiveInstance, analyze_collectives
+from repro.tracing.events import CommEvent, StateEvent
+from repro.tracing.paraver import export_pcf, export_prv, export_row, parse_prv
+from repro.tracing.recorder import NullTracer, TraceRecorder
+from repro.tracing.timeline import render_timeline
+
+__all__ = [
+    "CollectiveInstance",
+    "CommEvent",
+    "NullTracer",
+    "StateEvent",
+    "TraceRecorder",
+    "analyze_collectives",
+    "export_pcf",
+    "export_prv",
+    "export_row",
+    "parse_prv",
+    "render_timeline",
+]

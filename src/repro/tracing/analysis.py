@@ -1,0 +1,129 @@
+"""Delayed-collective detection (the Figure 4 analysis).
+
+The paper reads BigDFT's trace and finds that the ``all_to_all_v``
+collectives "should be small" but "when using 36 cores most of these
+collective communications are longer and delayed.  In some cases all
+the nodes are delayed while in other, only part of them suffers from
+this problem."
+
+:func:`analyze_collectives` groups the recorded messages by collective
+instance, measures each instance's span, and flags the delayed ones
+relative to the typical (median) instance — the programmatic version
+of circling the long green blobs in Paraver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stats import summarize
+from repro.errors import TraceError
+from repro.tracing.recorder import TraceRecorder
+
+
+@dataclass(frozen=True)
+class CollectiveInstance:
+    """Aggregated view of one collective invocation across ranks."""
+
+    kind: str
+    sequence: int
+    start: float
+    end: float
+    messages: int
+    bytes_moved: int
+    ranks_delayed: int
+    ranks_involved: int
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock span of the instance."""
+        return self.end - self.start
+
+    @property
+    def all_ranks_delayed(self) -> bool:
+        """Whether every participating rank saw a delayed message."""
+        return self.ranks_involved > 0 and self.ranks_delayed == self.ranks_involved
+
+
+@dataclass(frozen=True)
+class CollectiveReport:
+    """Outcome of the delayed-collective analysis."""
+
+    instances: list[CollectiveInstance]
+    delayed: list[CollectiveInstance]
+    median_duration: float
+    threshold: float
+
+    @property
+    def delayed_fraction(self) -> float:
+        """Fraction of instances flagged as delayed."""
+        if not self.instances:
+            return 0.0
+        return len(self.delayed) / len(self.instances)
+
+
+def analyze_collectives(
+    recorder: TraceRecorder,
+    kind: str = "alltoallv",
+    *,
+    delay_factor: float = 3.0,
+) -> CollectiveReport:
+    """Find delayed instances of one collective kind.
+
+    Within an instance, a rank counts as delayed when one of its
+    inbound messages took more than ``delay_factor`` times the
+    *trace-wide* median message latency of the collective — the
+    uncongested latency baseline.  An instance is *delayed* when any
+    rank was (the paper's Figure 4 finding is precisely that most
+    instances contain delayed ranks — sometimes all of them, sometimes
+    only part), or when its overall span exceeds ``delay_factor``
+    times the median instance span.
+    """
+    if delay_factor <= 1.0:
+        raise TraceError(f"delay_factor must exceed 1, got {delay_factor}")
+
+    groups: dict[tuple, list] = {}
+    for comm in recorder.comms:
+        instance = comm.collective_instance
+        if instance is None or instance[0] != kind:
+            continue
+        groups.setdefault(instance, []).append(comm)
+    if not groups:
+        raise TraceError(f"trace contains no {kind!r} collectives")
+
+    all_latencies = [c.latency for comms in groups.values() for c in comms]
+    baseline_latency = max(summarize(all_latencies).median, 1e-12)
+
+    instances: list[CollectiveInstance] = []
+    for (group_kind, sequence), comms in sorted(groups.items(), key=lambda kv: kv[0][1]):
+        start = min(c.send_time for c in comms)
+        end = max(c.arrival_time for c in comms)
+        delayed_ranks = {
+            c.dst for c in comms if c.latency > delay_factor * baseline_latency
+        }
+        involved = {c.dst for c in comms} | {c.src for c in comms}
+        instances.append(
+            CollectiveInstance(
+                kind=group_kind,
+                sequence=sequence,
+                start=start,
+                end=end,
+                messages=len(comms),
+                bytes_moved=sum(c.nbytes for c in comms),
+                ranks_delayed=len(delayed_ranks),
+                ranks_involved=len(involved),
+            )
+        )
+
+    durations = [i.duration for i in instances]
+    median_duration = summarize(durations).median
+    threshold = delay_factor * median_duration
+    delayed = [
+        i for i in instances if i.ranks_delayed > 0 or i.duration > threshold
+    ]
+    return CollectiveReport(
+        instances=instances,
+        delayed=delayed,
+        median_duration=median_duration,
+        threshold=threshold,
+    )

@@ -1,0 +1,66 @@
+"""Trace event records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class StateEvent:
+    """One rank spent [t0, t1] in a named state (compute, send, ...)."""
+
+    rank: int
+    label: str
+    t0: float
+    t1: float
+
+    def __post_init__(self) -> None:
+        if self.t1 < self.t0:
+            raise TraceError(
+                f"state {self.label!r} on rank {self.rank} ends before it begins"
+            )
+
+    @property
+    def duration(self) -> float:
+        """State duration in seconds."""
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One point-to-point message, as the recorder stores it."""
+
+    src: int
+    dst: int
+    tag: Hashable
+    nbytes: int
+    send_time: float
+    arrival_time: float
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < self.send_time:
+            raise TraceError("message arrives before it is sent")
+        if self.nbytes < 0:
+            raise TraceError("negative message size")
+
+    @property
+    def latency(self) -> float:
+        """End-to-end message latency in seconds."""
+        return self.arrival_time - self.send_time
+
+    @property
+    def collective_instance(self) -> tuple | None:
+        """Collective instance key ``(kind, seq)`` if this message
+        belongs to a collective, else None.
+
+        MpiRank tags collective messages ``(kind, seq, round)``; the
+        first two components identify the instance across ranks.
+        """
+        tag = self.tag
+        if isinstance(tag, tuple) and len(tag) >= 2 and isinstance(tag[0], str):
+            return (tag[0], tag[1])
+        return None

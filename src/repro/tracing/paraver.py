@@ -1,0 +1,174 @@
+"""Paraver ``.prv`` trace export and parsing.
+
+Paraver's text format (one record per line, colon-separated):
+
+* header — ``#Paraver (d/m/y at h:m):ftime:nNodes(cpus):nAppl:applList``
+* state records — ``1:cpu:appl:task:thread:begin:end:state``
+* communication records —
+  ``3:cpu:appl:task:thread:ltime:ptime:cpu:appl:task:thread:lrecv:precv:size:tag``
+
+Timestamps are nanoseconds.  The exporter maps each MPI rank to one
+task with one thread in a single application, which is how Extrae
+writes MPI-only traces; state labels are carried through a state-value
+table emitted as comments so :func:`parse_prv` can round-trip them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.tracing.events import CommEvent
+from repro.tracing.recorder import TraceRecorder
+
+_NS = 1e9
+
+
+def _state_table(recorder: TraceRecorder) -> dict[str, int]:
+    labels: dict[str, int] = {}
+    for state in recorder.states:
+        if state.label not in labels:
+            labels[state.label] = len(labels) + 1
+    return labels
+
+
+def export_prv(recorder: TraceRecorder, *, job_name: str = "repro") -> str:
+    """Render the recorded trace as Paraver ``.prv`` text."""
+    num_ranks = recorder.num_ranks
+    if num_ranks == 0:
+        raise TraceError("cannot export an empty trace")
+    end_ns = int(recorder.end_time * _NS)
+    table = _state_table(recorder)
+
+    lines = [
+        f"#Paraver (01/01/2013 at 00:00):{end_ns}:1({num_ranks}):1:"
+        f"1({','.join('1' for _ in range(num_ranks))})",
+        f"# job: {job_name}",
+    ]
+    for label, value in table.items():
+        lines.append(f"# state {value} = {label}")
+
+    for state in recorder.states:
+        cpu = task = state.rank + 1
+        lines.append(
+            f"1:{cpu}:1:{task}:1:{int(state.t0 * _NS)}:{int(state.t1 * _NS)}:"
+            f"{table[state.label]}"
+        )
+    for comm in recorder.comms:
+        send_ns = int(comm.send_time * _NS)
+        recv_ns = int(comm.arrival_time * _NS)
+        src, dst = comm.src + 1, comm.dst + 1
+        lines.append(
+            f"3:{src}:1:{src}:1:{send_ns}:{send_ns}:"
+            f"{dst}:1:{dst}:1:{recv_ns}:{recv_ns}:{comm.nbytes}:{hash(comm.tag) & 0x7FFFFFFF}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def export_pcf(recorder: TraceRecorder) -> str:
+    """Render the Paraver configuration (``.pcf``) companion file.
+
+    Carries the state-value table (Paraver's ``STATES`` section) so
+    the timeline colors states by name, plus default display options.
+    """
+    table = _state_table(recorder)
+    if not table:
+        raise TraceError("cannot export a .pcf for a trace without states")
+    lines = [
+        "DEFAULT_OPTIONS",
+        "",
+        "LEVEL               THREAD",
+        "UNITS               NANOSEC",
+        "LOOK_BACK           100",
+        "SPEED               1",
+        "FLAG_ICONS          ENABLED",
+        "",
+        "STATES",
+        "0    Idle",
+    ]
+    for label, value in table.items():
+        lines.append(f"{value}    {label}")
+    lines.extend([
+        "",
+        "STATES_COLOR",
+        "0    {117,195,255}",
+    ])
+    palette = [
+        "{0,0,255}", "{255,0,0}", "{0,255,0}", "{255,255,0}",
+        "{255,0,255}", "{0,255,255}", "{255,128,0}", "{128,0,255}",
+    ]
+    for label, value in table.items():
+        lines.append(f"{value}    {palette[(value - 1) % len(palette)]}")
+    return "\n".join(lines) + "\n"
+
+
+def export_row(recorder: TraceRecorder) -> str:
+    """Render the Paraver names (``.row``) companion file.
+
+    Names each hardware/application row; the exporter's layout is one
+    node with one CPU (= task = thread) per MPI rank.
+    """
+    num_ranks = recorder.num_ranks
+    if num_ranks == 0:
+        raise TraceError("cannot export a .row for an empty trace")
+    lines = [f"LEVEL CPU SIZE {num_ranks}"]
+    lines.extend(f"CPU {i + 1}" for i in range(num_ranks))
+    lines.append("")
+    lines.append(f"LEVEL THREAD SIZE {num_ranks}")
+    lines.extend(f"rank {i}" for i in range(num_ranks))
+    return "\n".join(lines) + "\n"
+
+
+def parse_prv(text: str) -> TraceRecorder:
+    """Parse ``.prv`` text back into a :class:`TraceRecorder`.
+
+    Only the records :func:`export_prv` writes are supported; the
+    state-label comment table restores labels, unknown state values
+    become ``"state<N>"``.
+    """
+    recorder = TraceRecorder()
+    labels: dict[int, str] = {}
+    saw_header = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#Paraver"):
+            saw_header = True
+            continue
+        if line.startswith("# state "):
+            body = line[len("# state "):]
+            value_text, _, label = body.partition(" = ")
+            labels[int(value_text)] = label
+            continue
+        if line.startswith("#"):
+            continue
+        fields = line.split(":")
+        try:
+            if fields[0] == "1":
+                _, _cpu, _appl, task, _thread, begin, end, value = fields
+                recorder.state(
+                    int(task) - 1,
+                    labels.get(int(value), f"state{value}"),
+                    int(begin) / _NS,
+                    int(end) / _NS,
+                )
+            elif fields[0] == "3":
+                (_, _scpu, _sappl, stask, _sthr, ltime, _ptime,
+                 _rcpu, _rappl, rtask, _rthr, lrecv, _precv, size, tag) = fields
+                recorder.comms.append(
+                    CommEvent(
+                        src=int(stask) - 1,
+                        dst=int(rtask) - 1,
+                        tag=int(tag),
+                        nbytes=int(size),
+                        send_time=int(ltime) / _NS,
+                        arrival_time=int(lrecv) / _NS,
+                        label="comm",
+                    )
+                )
+            else:
+                raise TraceError(f"unsupported record type {fields[0]!r}")
+        except (ValueError, IndexError) as exc:
+            raise TraceError(f"malformed .prv line {line_number}: {line!r}") from exc
+    if not saw_header:
+        raise TraceError("missing #Paraver header")
+    return recorder

@@ -1,0 +1,93 @@
+"""Extrae-style trace recorder.
+
+Pass a :class:`TraceRecorder` as ``tracer=`` to
+:class:`repro.cluster.mpi.MpiJob`; it accumulates state intervals and
+message records which :mod:`repro.tracing.paraver` can export and
+:mod:`repro.tracing.analysis` can mine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import TraceError
+from repro.tracing.events import CommEvent, StateEvent
+
+
+class NullTracer:
+    """A tracer that records nothing (baseline / overhead tests)."""
+
+    def state(self, rank: int, label: str, t0: float, t1: float) -> None:
+        """Discard a state interval."""
+
+    def comm(self, message: Any) -> None:
+        """Discard a message record."""
+
+
+class TraceRecorder:
+    """Accumulates the full event history of one MPI job."""
+
+    def __init__(self) -> None:
+        self.states: list[StateEvent] = []
+        self.comms: list[CommEvent] = []
+
+    # -- MpiJob-facing interface -------------------------------------------
+
+    def state(self, rank: int, label: str, t0: float, t1: float) -> None:
+        """Record one state interval."""
+        self.states.append(StateEvent(rank=rank, label=label, t0=t0, t1=t1))
+
+    def comm(self, message: Any) -> None:
+        """Record one message (anything with the Message fields)."""
+        self.comms.append(
+            CommEvent(
+                src=message.src,
+                dst=message.dst,
+                tag=message.tag,
+                nbytes=message.nbytes,
+                send_time=message.send_time,
+                arrival_time=message.arrival_time,
+                label=message.label,
+            )
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def num_ranks(self) -> int:
+        """Highest rank observed plus one."""
+        ranks = [s.rank for s in self.states] + [
+            r for c in self.comms for r in (c.src, c.dst)
+        ]
+        return max(ranks) + 1 if ranks else 0
+
+    @property
+    def end_time(self) -> float:
+        """Latest timestamp in the trace."""
+        times = [s.t1 for s in self.states] + [c.arrival_time for c in self.comms]
+        return max(times) if times else 0.0
+
+    def states_of(self, rank: int, label: str | None = None) -> list[StateEvent]:
+        """State intervals of one rank, optionally filtered by label."""
+        return [
+            s
+            for s in self.states
+            if s.rank == rank and (label is None or s.label == label)
+        ]
+
+    def comms_labelled(self, label: str) -> list[CommEvent]:
+        """All messages with a given label (e.g. ``"alltoallv"``)."""
+        return [c for c in self.comms if c.label == label]
+
+    def time_in_state(self, rank: int, label: str) -> float:
+        """Total seconds *rank* spent in *label* states."""
+        return sum(s.duration for s in self.states_of(rank, label))
+
+    def check_sanity(self) -> None:
+        """Raise :class:`TraceError` on malformed traces (test hook)."""
+        for state in self.states:
+            if state.t0 < 0:
+                raise TraceError(f"state before time zero: {state}")
+        for comm in self.comms:
+            if comm.send_time < 0:
+                raise TraceError(f"message before time zero: {comm}")

@@ -1,0 +1,118 @@
+"""Unit helpers used throughout the library.
+
+The simulators internally work in SI base units: seconds, bytes, hertz,
+flop/s, watts and joules.  This module centralizes the conversion
+constants and formatting helpers so that magic numbers such as ``1e9``
+never appear at call sites.
+
+Two families of byte constants are provided because the paper mixes
+them freely (cache sizes are binary, network rates are decimal):
+
+* binary (IEC): :data:`KiB`, :data:`MiB`, :data:`GiB`
+* decimal (SI): :data:`KB`, :data:`MB`, :data:`GB`
+"""
+
+from __future__ import annotations
+
+# --- frequency -------------------------------------------------------------
+
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# --- bytes, binary (IEC) ---------------------------------------------------
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# --- bytes, decimal (SI) ---------------------------------------------------
+
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+# --- rates -----------------------------------------------------------------
+
+MFLOPS = 1e6
+GFLOPS = 1e9
+TFLOPS = 1e12
+PFLOPS = 1e15
+EFLOPS = 1e18
+
+#: Bits per second for network rates ("100 Mb Ethernet", "1 GbE").
+MBIT_PER_S = 1e6
+GBIT_PER_S = 1e9
+
+# --- time ------------------------------------------------------------------
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def bits_to_bytes(bits: float) -> float:
+    """Convert a bit count (or bit rate) to bytes (or bytes/s)."""
+    return bits / 8.0
+
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Convert a byte count (or byte rate) to bits (or bits/s)."""
+    return nbytes * 8.0
+
+
+def format_bytes(nbytes: float, *, binary: bool = True) -> str:
+    """Render a byte count with an appropriate IEC or SI suffix.
+
+    >>> format_bytes(32 * 1024)
+    '32.0 KiB'
+    >>> format_bytes(1e9, binary=False)
+    '1.0 GB'
+    """
+    step = 1024.0 if binary else 1000.0
+    suffixes = (
+        ["B", "KiB", "MiB", "GiB", "TiB"] if binary else ["B", "KB", "MB", "GB", "TB"]
+    )
+    value = float(nbytes)
+    for suffix in suffixes:
+        if abs(value) < step or suffix == suffixes[-1]:
+            return f"{value:.1f} {suffix}"
+        value /= step
+    raise AssertionError("unreachable")
+
+
+def format_rate(flops: float) -> str:
+    """Render a flop/s rate with an appropriate suffix.
+
+    >>> format_rate(24e9)
+    '24.0 GFLOPS'
+    """
+    for threshold, suffix in (
+        (EFLOPS, "EFLOPS"),
+        (PFLOPS, "PFLOPS"),
+        (TFLOPS, "TFLOPS"),
+        (GFLOPS, "GFLOPS"),
+        (MFLOPS, "MFLOPS"),
+    ):
+        if abs(flops) >= threshold:
+            return f"{flops / threshold:.1f} {suffix}"
+    return f"{flops:.1f} FLOPS"
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly, switching units below one second.
+
+    >>> format_seconds(0.0000021)
+    '2.100 us'
+    >>> format_seconds(186.8)
+    '186.800 s'
+    """
+    if abs(seconds) >= 1.0:
+        return f"{seconds:.3f} s"
+    if abs(seconds) >= MS:
+        return f"{seconds / MS:.3f} ms"
+    if abs(seconds) >= US:
+        return f"{seconds / US:.3f} us"
+    return f"{seconds / NS:.3f} ns"

@@ -1,0 +1,99 @@
+"""Tests for repro.arch.cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.cache import CacheGeometry, IndexingPolicy
+from repro.errors import ConfigurationError
+
+
+def _l1_arm() -> CacheGeometry:
+    """The Snowball's L1: 32 KiB, 4-way, 32 B lines, physical index."""
+    return CacheGeometry(
+        name="L1d", size_bytes=32 * 1024, associativity=4, line_bytes=32,
+        latency_cycles=4, indexing=IndexingPolicy.PHYSICAL,
+    )
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        assert _l1_arm().num_sets == 256
+
+    def test_way_size(self):
+        assert _l1_arm().way_size_bytes == 8 * 1024
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry("c", 32 * 1024, 4, 48, 4)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry("c", 33000, 4, 32, 4)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry("c", 32 * 1024, 0, 32, 4)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry("c", 32 * 1024, 4, 32, 0)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry("c", 32 * 1024, 4, 32, 4, bandwidth_bytes_per_cycle=-1)
+
+
+class TestAddressMath:
+    def test_index_wraps_at_way_size(self):
+        cache = _l1_arm()
+        assert cache.index_of(0) == cache.index_of(cache.way_size_bytes)
+
+    def test_same_line_same_index_and_tag(self):
+        cache = _l1_arm()
+        assert cache.index_of(100) == cache.index_of(101)
+        assert cache.tag_of(100) == cache.tag_of(101)
+
+    def test_line_address_alignment(self):
+        cache = _l1_arm()
+        assert cache.line_address(100) == 96
+        assert cache.line_address(96) == 96
+
+    @given(st.integers(0, 2**40))
+    def test_property_index_in_range(self, address):
+        cache = _l1_arm()
+        assert 0 <= cache.index_of(address) < cache.num_sets
+
+    @given(st.integers(0, 2**40))
+    def test_property_tag_index_offset_reconstruct_address(self, address):
+        cache = _l1_arm()
+        line = cache.line_address(address)
+        rebuilt = (
+            cache.tag_of(address) * cache.num_sets + cache.index_of(address)
+        ) * cache.line_bytes
+        assert rebuilt == line
+
+
+class TestFrameSensitivity:
+    def test_arm_l1_sees_page_placement(self):
+        """32 KiB / 4-way -> 8 KiB ways > 4 KiB pages: index bits come
+        from the frame number — the §V-A-1 precondition."""
+        assert _l1_arm().uses_frame_bits(4096)
+
+    def test_xeon_l1_does_not(self):
+        """32 KiB / 8-way -> 4 KiB ways == page size: VIPT-safe."""
+        xeon_l1 = CacheGeometry(
+            name="L1d", size_bytes=32 * 1024, associativity=8, line_bytes=64,
+            latency_cycles=4, indexing=IndexingPolicy.VIRTUAL,
+        )
+        assert not xeon_l1.uses_frame_bits(4096)
+
+    def test_physical_8way_same_geometry_is_also_safe(self):
+        geometry = CacheGeometry(
+            name="L1d", size_bytes=32 * 1024, associativity=8, line_bytes=64,
+            latency_cycles=4, indexing=IndexingPolicy.PHYSICAL,
+        )
+        assert not geometry.uses_frame_bits(4096)
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _l1_arm().uses_frame_bits(3000)

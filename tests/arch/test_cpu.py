@@ -1,0 +1,103 @@
+"""Tests for repro.arch.cpu."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.cpu import MemoryModel
+from repro.arch.isa import Precision
+from repro.arch.machines import SNOWBALL_A9500, XEON_X5550
+from repro.errors import ConfigurationError
+
+
+class TestCoreModel:
+    def test_peak_flops_double_xeon(self):
+        """4 DP flops/cycle x 2.66 GHz per Nehalem core."""
+        assert XEON_X5550.core.peak_flops(Precision.DOUBLE) == pytest.approx(10.64e9)
+
+    def test_peak_flops_double_snowball(self):
+        """Non-pipelined VFP: 0.5 DP flops/cycle at 1 GHz."""
+        assert SNOWBALL_A9500.core.peak_flops(Precision.DOUBLE) == pytest.approx(0.5e9)
+
+    def test_cycle_time(self):
+        assert SNOWBALL_A9500.core.cycle_time_s == pytest.approx(1e-9)
+
+    def test_cycles_to_seconds(self):
+        assert XEON_X5550.core.cycles_to_seconds(2.66e9) == pytest.approx(1.0)
+
+    def test_branch_cost_scales_with_entropy(self):
+        core = SNOWBALL_A9500.core
+        full = core.branch_cost_cycles(1000, taken_entropy=1.0)
+        half = core.branch_cost_cycles(1000, taken_entropy=0.5)
+        assert full == pytest.approx(2 * half)
+
+    def test_branch_cost_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SNOWBALL_A9500.core.branch_cost_cycles(-1)
+
+    def test_register_file_lookup_error_lists_class(self):
+        from repro.arch.registers import RegisterClass
+        with pytest.raises(ConfigurationError, match="float"):
+            XEON_X5550.core.register_file(RegisterClass.FLOAT)
+
+
+class TestMemoryModel:
+    def test_sustained_bandwidth(self):
+        memory = MemoryModel("t", 1024, 100.0, 10e9, 0.5)
+        assert memory.sustained_bandwidth == 5e9
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel("t", 1024, 100.0, 10e9, 1.5)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel("t", 0, 100.0, 10e9, 0.5)
+
+
+class TestMachineModel:
+    def test_peak_flops_all_cores(self):
+        assert XEON_X5550.peak_flops(Precision.DOUBLE) == pytest.approx(42.56e9)
+
+    def test_peak_flops_core_subset(self):
+        assert XEON_X5550.peak_flops(Precision.DOUBLE, 2) == pytest.approx(21.28e9)
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XEON_X5550.peak_flops(Precision.DOUBLE, 5)
+
+    def test_cache_lookup_by_name(self):
+        assert XEON_X5550.cache("L3").shared
+
+    def test_unknown_cache_rejected(self):
+        with pytest.raises(ConfigurationError, match="L3"):
+            SNOWBALL_A9500.cache("L3")
+
+    def test_l1_and_last_level(self):
+        assert SNOWBALL_A9500.l1.name == "L1d"
+        assert SNOWBALL_A9500.last_level.name == "L2"
+
+    def test_energy_model_uses_tdp(self):
+        """The paper's rough energy model: TDP x time."""
+        assert SNOWBALL_A9500.energy_joules(10.0) == pytest.approx(25.0)
+        assert XEON_X5550.energy_joules(10.0) == pytest.approx(950.0)
+
+    def test_energy_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XEON_X5550.energy_joules(-1.0)
+
+    def test_cache_ordering_enforced(self):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(
+                SNOWBALL_A9500, caches=tuple(reversed(SNOWBALL_A9500.caches))
+            )
+
+    def test_describe_mentions_key_facts(self):
+        text = XEON_X5550.describe()
+        assert "Nehalem" in text
+        assert "95" in text
+
+    def test_gflops_per_watt(self):
+        snow = SNOWBALL_A9500.gflops_per_watt(Precision.SINGLE)
+        xeon = XEON_X5550.gflops_per_watt(Precision.SINGLE)
+        assert snow > xeon  # the low-power premise of the paper

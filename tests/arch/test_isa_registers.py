@@ -1,0 +1,116 @@
+"""Tests for repro.arch.isa and repro.arch.registers."""
+
+import pytest
+
+from repro.arch.isa import ISA, NEON_A9, NEON_A15, Precision, SSE42, VectorExtension
+from repro.arch.registers import RegisterClass, RegisterFile
+from repro.errors import ConfigurationError
+
+
+class TestPrecision:
+    def test_byte_widths(self):
+        assert Precision.SINGLE.bytes == 4
+        assert Precision.DOUBLE.bytes == 8
+
+
+class TestVectorExtension:
+    def test_neon_a9_is_single_precision_only(self):
+        """The paper: 'a Neon floating point unit (single precision
+        only)'."""
+        assert not NEON_A9.supports_double
+        assert SSE42.supports_double
+
+    def test_neon_a9_half_width_datapath(self):
+        """128-bit NEON ops take two cycles on the A9's 64-bit datapath
+        — the Figure 6b mechanism."""
+        assert NEON_A9.cycles_per_op(128) == 2
+        assert NEON_A9.cycles_per_op(64) == 1
+
+    def test_sse_full_width(self):
+        assert SSE42.cycles_per_op(128) == 1
+
+    def test_lanes(self):
+        assert SSE42.lanes(Precision.DOUBLE) == 2
+        assert SSE42.lanes(Precision.SINGLE) == 4
+        assert NEON_A9.lanes(Precision.SINGLE) == 4
+
+    def test_datapath_wider_than_register_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VectorExtension("bad", register_bits=64, datapath_bits=128,
+                            supports_double=False)
+
+    def test_invalid_operand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SSE42.cycles_per_op(0)
+
+
+class TestISA:
+    def _arm(self) -> ISA:
+        return ISA(
+            name="armv7", word_bits=32, vector=NEON_A9,
+            scalar_flops_per_cycle={Precision.DOUBLE: 0.5, Precision.SINGLE: 1.0},
+        )
+
+    def test_double_falls_back_to_scalar_on_a9(self):
+        """NEON contributes nothing in double precision."""
+        arm = self._arm()
+        assert arm.peak_flops_per_cycle(Precision.DOUBLE, fp_pipes=1) == 0.5
+
+    def test_single_uses_neon(self):
+        arm = self._arm()
+        assert arm.peak_flops_per_cycle(Precision.SINGLE, fp_pipes=1) == 2.0
+
+    def test_sse_double_with_two_pipes(self):
+        x86 = ISA(
+            name="x86_64", word_bits=64, vector=SSE42,
+            scalar_flops_per_cycle={Precision.DOUBLE: 2.0},
+        )
+        assert x86.peak_flops_per_cycle(Precision.DOUBLE, fp_pipes=2) == 4.0
+
+    def test_vector_flops_zero_without_vector_unit(self):
+        scalar = ISA(name="vfp-only", word_bits=32,
+                     scalar_flops_per_cycle={Precision.DOUBLE: 0.5})
+        assert scalar.vector_flops_per_cycle(Precision.DOUBLE) == 0.0
+
+    def test_a15_neon_full_width(self):
+        assert NEON_A15.cycles_per_op(128) == 1
+
+    def test_invalid_word_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ISA(name="bad", word_bits=16)
+
+    def test_invalid_fp_pipes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._arm().peak_flops_per_cycle(Precision.DOUBLE, fp_pipes=0)
+
+
+class TestRegisterFile:
+    def test_vfp_d16_capacity(self):
+        """Tegra2's VFPv3-D16: 16 doubles — the Figure 7b constraint."""
+        d16 = RegisterFile(RegisterClass.FLOAT, 16, 64)
+        assert d16.capacity(64) == 16
+        assert d16.doubles_capacity() == 16
+
+    def test_xmm_capacity_in_doubles(self):
+        """Nehalem's 16 XMM registers hold 32 doubles."""
+        xmm = RegisterFile(RegisterClass.VECTOR, 16, 128)
+        assert xmm.capacity(64) == 32
+        assert xmm.capacity(32) == 64
+
+    def test_wide_elements_need_register_pairs(self):
+        d32 = RegisterFile(RegisterClass.FLOAT, 32, 64)
+        assert d32.capacity(128) == 16
+
+    def test_narrow_registers_hold_no_doubles(self):
+        gpr32 = RegisterFile(RegisterClass.GENERAL, 14, 32)
+        assert gpr32.doubles_capacity() == 0
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegisterFile(RegisterClass.FLOAT, 0, 64)
+        with pytest.raises(ConfigurationError):
+            RegisterFile(RegisterClass.FLOAT, 16, 0)
+
+    def test_invalid_element_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RegisterFile(RegisterClass.FLOAT, 16, 64).capacity(0)

@@ -1,0 +1,108 @@
+"""Tests for repro.arch.topology and repro.arch.machines (Figure 2)."""
+
+import pytest
+
+from repro.arch.isa import Precision
+from repro.arch.machines import (
+    EXYNOS5_DUAL,
+    SNOWBALL_A9500,
+    TEGRA2_NODE,
+    TEGRA3_NODE,
+    XEON_X5550,
+    catalog,
+    machine_by_name,
+)
+from repro.arch.registers import RegisterClass
+from repro.arch.topology import build_topology, render_topology
+from repro.errors import ConfigurationError
+
+
+class TestTopologyTree:
+    def test_xeon_counts_match_fig2a(self):
+        tree = build_topology(XEON_X5550)
+        assert tree.count("Core") == 4
+        assert tree.count("PU") == 4  # hyperthreading disabled
+        assert tree.count("Cache") == 9  # 1x L3 + 4x (L2 + L1)
+
+    def test_snowball_counts_match_fig2b(self):
+        tree = build_topology(SNOWBALL_A9500)
+        assert tree.count("Core") == 2
+        assert tree.count("Cache") == 3  # shared L2 + 2x L1
+
+    def test_shared_cache_appears_once(self):
+        tree = build_topology(SNOWBALL_A9500)
+        l2_nodes = [n for n in tree.walk() if n.label == "L2 (512KB)"]
+        assert len(l2_nodes) == 1
+
+    def test_leaves_are_pus(self):
+        tree = build_topology(XEON_X5550)
+        assert all(n.kind == "PU" for n in tree.leaves())
+
+
+class TestRenderTopology:
+    def test_xeon_render_matches_fig2a_labels(self):
+        text = render_topology(build_topology(XEON_X5550))
+        assert "Machine (12GB)" in text
+        assert "L3 (8192KB)" in text
+        assert "L2 (256KB)" in text
+        assert "L1 (32KB)" in text
+        assert "Core P#3" in text
+
+    def test_snowball_render_matches_fig2b_labels(self):
+        text = render_topology(build_topology(SNOWBALL_A9500))
+        assert "Machine (796MB)" in text
+        assert "L2 (512KB)" in text
+        assert "PU P#1" in text
+
+    def test_indentation_nests(self):
+        text = render_topology(build_topology(SNOWBALL_A9500))
+        lines = text.splitlines()
+        assert lines[0].startswith("Machine")
+        assert lines[1].startswith("  Socket")
+
+
+class TestCatalog:
+    def test_all_five_platforms_present(self):
+        names = set(catalog())
+        assert len(names) == 5
+
+    def test_aliases(self):
+        assert machine_by_name("snowball") is SNOWBALL_A9500
+        assert machine_by_name("xeon") is XEON_X5550
+        assert machine_by_name("tibidabo") is TEGRA2_NODE
+
+    def test_full_name_lookup(self):
+        assert machine_by_name("Intel Xeon X5550") is XEON_X5550
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            machine_by_name("cray-1")
+
+    def test_tegra2_has_no_neon(self):
+        """Tegra2's Cortex-A9 ships without NEON — only VFPv3-D16."""
+        assert TEGRA2_NODE.core.isa.vector is None
+        d16 = TEGRA2_NODE.core.register_file(RegisterClass.FLOAT)
+        assert d16.count == 16
+
+    def test_snowball_has_neon_with_32_doubles(self):
+        vec = SNOWBALL_A9500.core.register_file(RegisterClass.VECTOR)
+        assert vec.capacity(64) == 32
+
+    def test_paper_power_figures(self):
+        assert SNOWBALL_A9500.tdp_watts == 2.5
+        assert XEON_X5550.tdp_watts == 95.0
+
+    def test_exynos5_perspectives_envelope(self):
+        """§VI-A: 'about a 100 GFLOPS for a power consumption of 5
+        Watts'."""
+        total = EXYNOS5_DUAL.peak_flops_with_accelerator(Precision.SINGLE)
+        assert 80e9 <= total <= 110e9
+        assert EXYNOS5_DUAL.tdp_watts == 5.0
+        efficiency = EXYNOS5_DUAL.gflops_per_watt(
+            Precision.SINGLE, include_accelerator=True
+        )
+        assert efficiency >= 15.0  # far beyond the 2012 Green500 top
+
+    def test_tegra3_is_quad_core_with_gpu(self):
+        assert TEGRA3_NODE.num_cores == 4
+        assert TEGRA3_NODE.accelerator is not None

@@ -1,0 +1,182 @@
+"""Tests for repro.autotune.space and repro.autotune.search."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autotune.genetic import GeneticSearch
+from repro.autotune.search import ExhaustiveSearch, HillClimbSearch, RandomSearch
+from repro.autotune.space import ParameterSpace
+from repro.errors import SearchError
+
+
+class TestParameterSpace:
+    def test_size(self):
+        space = ParameterSpace({"a": [1, 2, 3], "b": ["x", "y"]})
+        assert space.size == 6
+
+    def test_iteration_covers_everything(self):
+        space = ParameterSpace({"a": [1, 2], "b": [3, 4]})
+        points = list(space)
+        assert len(points) == 4
+        assert {"a": 2, "b": 3} in points
+
+    def test_contains(self):
+        space = ParameterSpace({"a": [1, 2]})
+        assert space.contains({"a": 1})
+        assert not space.contains({"a": 3})
+        assert not space.contains({"a": 1, "b": 2})
+        assert not space.contains({})
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(SearchError):
+            ParameterSpace({})
+        with pytest.raises(SearchError):
+            ParameterSpace({"a": []})
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(SearchError):
+            ParameterSpace({"a": [1, 1]})
+
+    def test_neighbors_step_one_ordinal(self):
+        space = ParameterSpace({"unroll": [1, 2, 4, 8]})
+        assert space.neighbors({"unroll": 2}) == [{"unroll": 1}, {"unroll": 4}]
+        assert space.neighbors({"unroll": 1}) == [{"unroll": 2}]
+
+    def test_neighbors_of_invalid_point_rejected(self):
+        space = ParameterSpace({"unroll": [1, 2]})
+        with pytest.raises(SearchError):
+            space.neighbors({"unroll": 7})
+
+    def test_random_point_is_valid(self):
+        space = ParameterSpace({"a": [1, 2, 3], "b": "xy"})
+        rng = random.Random(0)
+        for _ in range(20):
+            assert space.contains(space.random_point(rng))
+
+    def test_mutate_stays_in_space(self):
+        space = ParameterSpace({"a": [1, 2, 3], "b": [4, 5]})
+        rng = random.Random(0)
+        point = {"a": 1, "b": 4}
+        for _ in range(20):
+            point = space.mutate(point, rng)
+            assert space.contains(point)
+
+    def test_crossover_inherits_from_parents(self):
+        space = ParameterSpace({"a": [1, 2], "b": [3, 4]})
+        rng = random.Random(0)
+        child = space.crossover({"a": 1, "b": 3}, {"a": 2, "b": 4}, rng)
+        assert child["a"] in (1, 2)
+        assert child["b"] in (3, 4)
+
+
+def _quadratic(optimum):
+    def objective(point):
+        return sum((point[k] - v) ** 2 for k, v in optimum.items())
+    return objective
+
+
+class TestExhaustiveSearch:
+    def test_finds_global_optimum(self):
+        space = ParameterSpace({"x": range(-5, 6), "y": range(-5, 6)})
+        result = ExhaustiveSearch().minimize(_quadratic({"x": 2, "y": -3}), space)
+        assert result.best_point == {"x": 2, "y": -3}
+        assert result.best_value == 0
+        assert result.evaluations == space.size
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(-4, 4), st.integers(-4, 4))
+    def test_property_always_optimal(self, ox, oy):
+        space = ParameterSpace({"x": range(-4, 5), "y": range(-4, 5)})
+        result = ExhaustiveSearch().minimize(_quadratic({"x": ox, "y": oy}), space)
+        assert result.best_point == {"x": ox, "y": oy}
+
+
+class TestRandomSearch:
+    def test_respects_budget(self):
+        space = ParameterSpace({"x": range(100)})
+        result = RandomSearch(budget=10, seed=0).minimize(_quadratic({"x": 50}), space)
+        assert result.evaluations <= 10
+
+    def test_seeded(self):
+        space = ParameterSpace({"x": range(100)})
+        a = RandomSearch(budget=15, seed=4).minimize(_quadratic({"x": 7}), space)
+        b = RandomSearch(budget=15, seed=4).minimize(_quadratic({"x": 7}), space)
+        assert a.best_point == b.best_point
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(SearchError):
+            RandomSearch(budget=0)
+
+    def test_best_value_matches_history(self):
+        space = ParameterSpace({"x": range(30)})
+        result = RandomSearch(budget=10, seed=1).minimize(_quadratic({"x": 3}), space)
+        assert result.best_value == min(v for _, v in result.history)
+
+
+class TestHillClimbSearch:
+    def test_descends_convex_landscape_to_optimum(self):
+        """Figure 7-style convex curves are exactly where descent
+        shines."""
+        space = ParameterSpace({"unroll": range(1, 13)})
+        result = HillClimbSearch(restarts=1, seed=0).minimize(
+            lambda p: (p["unroll"] - 6) ** 2, space
+        )
+        assert result.best_point == {"unroll": 6}
+
+    def test_cheaper_than_exhaustive_on_big_spaces(self):
+        space = ParameterSpace({"x": range(200)})
+        result = HillClimbSearch(restarts=2, seed=0).minimize(
+            _quadratic({"x": 111}), space
+        )
+        assert result.evaluations < space.size
+
+    def test_restarts_escape_local_minima(self):
+        space = ParameterSpace({"x": range(30)})
+
+        def two_wells(point):
+            x = point["x"]
+            return min((x - 3) ** 2 + 5, (x - 25) ** 2)  # global at 25
+
+        single = HillClimbSearch(restarts=1, seed=2).minimize(two_wells, space)
+        many = HillClimbSearch(restarts=8, seed=2).minimize(two_wells, space)
+        assert many.best_value <= single.best_value
+        assert many.best_point == {"x": 25}
+
+    def test_invalid_restarts_rejected(self):
+        with pytest.raises(SearchError):
+            HillClimbSearch(restarts=0)
+
+
+class TestGeneticSearch:
+    def test_finds_good_point_on_separable_landscape(self):
+        space = ParameterSpace({"x": range(16), "y": range(16)})
+        result = GeneticSearch(population=10, generations=12, seed=1).minimize(
+            _quadratic({"x": 9, "y": 4}), space
+        )
+        assert result.best_value <= 2
+
+    def test_seeded(self):
+        space = ParameterSpace({"x": range(50)})
+        a = GeneticSearch(seed=3).minimize(_quadratic({"x": 17}), space)
+        b = GeneticSearch(seed=3).minimize(_quadratic({"x": 17}), space)
+        assert a.best_point == b.best_point
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SearchError):
+            GeneticSearch(population=1)
+        with pytest.raises(SearchError):
+            GeneticSearch(mutation_rate=2.0)
+        with pytest.raises(SearchError):
+            GeneticSearch(elite=20, population=10)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 15), st.integers(0, 15))
+    def test_property_all_evaluated_points_valid(self, ox, oy):
+        space = ParameterSpace({"x": range(16), "y": range(16)})
+        result = GeneticSearch(population=6, generations=4, seed=0).minimize(
+            _quadratic({"x": ox, "y": oy}), space
+        )
+        for point, _ in result.history:
+            assert space.contains(point)

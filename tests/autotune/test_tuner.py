@@ -1,0 +1,99 @@
+"""Tests for repro.autotune.tuner (the §VI-B two-level tuner)."""
+
+import pytest
+
+from repro.arch.machines import TEGRA2_NODE, XEON_X5550
+from repro.autotune.search import HillClimbSearch, RandomSearch
+from repro.autotune.space import ParameterSpace
+from repro.autotune.tuner import AutoTuner, tune_magicfilter
+from repro.kernels.magicfilter import MagicFilterBenchmark
+
+
+class TestAutoTuner:
+    def _tuner(self):
+        return AutoTuner(space=ParameterSpace({"x": range(10)}))
+
+    def test_static_tuning(self):
+        report = self._tuner().tune_static("plat", lambda p: (p["x"] - 4) ** 2)
+        assert report.level == "static"
+        assert report.best_point == {"x": 4}
+        assert report.instance is None
+
+    def test_instance_tuning_depends_on_instance(self):
+        """§VI-B: 'some good optimization parameters depend on the
+        problem size'."""
+        tuner = self._tuner()
+
+        def factory(instance):
+            return lambda p: (p["x"] - instance) ** 2
+
+        small = tuner.tune_instance("plat", 2, factory)
+        large = tuner.tune_instance("plat", 7, factory)
+        assert small.best_point == {"x": 2}
+        assert large.best_point == {"x": 7}
+
+    def test_instance_cache_avoids_research(self):
+        """The JIT-kernel-cache analogue: the second occurrence of a
+        problem size must not search again."""
+        tuner = self._tuner()
+        calls = {"n": 0}
+
+        def factory(instance):
+            def objective(p):
+                calls["n"] += 1
+                return (p["x"] - instance) ** 2
+            return objective
+
+        first = tuner.tune_instance("plat", 3, factory)
+        calls_after_first = calls["n"]
+        second = tuner.tune_instance("plat", 3, factory)
+        assert calls["n"] == calls_after_first
+        assert second is first
+        assert tuner.cached_instances == 1
+
+    def test_cache_keyed_by_platform_too(self):
+        tuner = self._tuner()
+
+        def factory(instance):
+            return lambda p: (p["x"] - instance) ** 2
+
+        tuner.tune_instance("a", 3, factory)
+        tuner.tune_instance("b", 3, factory)
+        assert tuner.cached_instances == 2
+
+
+class TestTuneMagicfilter:
+    def test_tegra2_tunes_into_the_sweet_spot(self):
+        """Static tuning must land inside the Figure 7b [4:7] range."""
+        report = tune_magicfilter(TEGRA2_NODE)
+        assert report.best_point["unroll"] in (4, 5, 6, 7)
+
+    def test_nehalem_optimum_differs_from_tegra2(self):
+        """'The porting and optimization efforts should not be lost
+        when moving from one to the other' — the tuned configurations
+        differ across platforms, which is the whole point."""
+        nehalem = tune_magicfilter(XEON_X5550).best_point["unroll"]
+        tegra = tune_magicfilter(TEGRA2_NODE).best_point["unroll"]
+        assert nehalem != tegra
+
+    def test_exhaustive_matches_benchmark_best(self):
+        report = tune_magicfilter(TEGRA2_NODE)
+        bench = MagicFilterBenchmark(TEGRA2_NODE)
+        assert report.best_point["unroll"] == bench.best_unroll()
+
+    def test_hill_climb_finds_the_same_optimum_cheaper(self):
+        """The curves are roughly convex (the paper's observation), so
+        local search should match exhaustive at lower cost."""
+        exhaustive = tune_magicfilter(TEGRA2_NODE)
+        climbed = tune_magicfilter(
+            TEGRA2_NODE, strategy=HillClimbSearch(restarts=2, seed=0)
+        )
+        assert climbed.best_point == exhaustive.best_point
+        assert climbed.result.evaluations <= exhaustive.result.evaluations
+
+    def test_random_search_quality_is_bounded_by_budget(self):
+        full = tune_magicfilter(XEON_X5550)
+        sampled = tune_magicfilter(
+            XEON_X5550, strategy=RandomSearch(budget=4, seed=5)
+        )
+        assert sampled.result.best_value >= full.result.best_value

@@ -1,0 +1,163 @@
+"""Tests for repro.cluster.des (incl. hypothesis causality checks)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.des import Process, Simulator, Timeout
+from repro.errors import SimulationError
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_fifo(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_cancelled_events_skipped(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.5, lambda: None)
+
+    def test_run_until_pauses_cleanly(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(5.0, lambda: fired.append("late"))
+        sim.run(until=2.0)
+        assert fired == ["early"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(0.0, chain)
+        sim.run()
+        assert fired == [0.0, 1.0, 2.0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50))
+    def test_property_observed_times_are_monotone(self, delays):
+        sim = Simulator()
+        observed = []
+        for delay in delays:
+            sim.schedule(delay, lambda: observed.append(sim.now))
+        sim.run()
+        assert observed == sorted(observed)
+        assert sim.events_executed == len(delays)
+
+
+class TestProcess:
+    def test_generator_runs_to_completion(self):
+        sim = Simulator()
+
+        def generator():
+            yield Timeout(1.0)
+            yield Timeout(2.0)
+            return "done"
+
+        process = Process(sim, generator(), name="p")
+        process.start()
+        sim.run()
+        assert process.finished
+        assert process.finish_time == 3.0
+        assert process.result == "done"
+
+    def test_on_finish_callbacks(self):
+        sim = Simulator()
+        notified = []
+
+        def generator():
+            yield Timeout(1.0)
+
+        process = Process(sim, generator())
+        process.on_finish(lambda: notified.append(sim.now))
+        process.start()
+        sim.run()
+        assert notified == [1.0]
+
+    def test_on_finish_after_completion_fires_immediately(self):
+        sim = Simulator()
+
+        def generator():
+            yield Timeout(0.0)
+
+        process = Process(sim, generator())
+        process.start()
+        sim.run()
+        notified = []
+        process.on_finish(lambda: notified.append(True))
+        assert notified == [True]
+
+    def test_yielding_garbage_is_an_error(self):
+        sim = Simulator()
+
+        def generator():
+            yield 42
+
+        Process(sim, generator(), name="bad").start()
+        with pytest.raises(SimulationError, match="non-request"):
+            sim.run()
+
+    def test_resume_after_finish_rejected(self):
+        sim = Simulator()
+
+        def generator():
+            yield Timeout(0.0)
+
+        process = Process(sim, generator())
+        process.start()
+        sim.run()
+        with pytest.raises(SimulationError):
+            process.resume(None)
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+
+        def generator():
+            yield Timeout(-1.0)
+
+        Process(sim, generator()).start()
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def worker(name, delay):
+            for _ in range(2):
+                yield Timeout(delay)
+                log.append((name, sim.now))
+
+        Process(sim, worker("fast", 1.0)).start()
+        Process(sim, worker("slow", 1.5)).start()
+        sim.run()
+        assert log == [("fast", 1.0), ("slow", 1.5), ("fast", 2.0), ("slow", 3.0)]

@@ -1,0 +1,239 @@
+"""Tests for repro.cluster.mpi."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.cluster import tibidabo
+from repro.cluster.mpi import EAGER_THRESHOLD_BYTES, MpiJob, MpiRank
+from repro.errors import ConfigurationError, SimulationError
+
+
+def _cluster(nodes=8, seed=0):
+    return tibidabo(num_nodes=nodes, seed=seed)
+
+
+def _run(program, ranks=4, nodes=8, seed=0, tracer=None):
+    cluster = _cluster(nodes, seed)
+    job = MpiJob(cluster, ranks, program, tracer=tracer)
+    return job.run()
+
+
+class TestPointToPoint:
+    def test_ping_pong(self):
+        log = []
+
+        def program(rank):
+            if rank.rank == 0:
+                yield rank.send(1, 1000, tag="ping")
+                message = yield rank.recv(1, tag="pong")
+                log.append(message.nbytes)
+            elif rank.rank == 1:
+                yield rank.recv(0, tag="ping")
+                yield rank.send(0, 2000, tag="pong")
+
+        result = _run(program, ranks=2)
+        assert log == [2000]
+        assert result.messages_delivered == 2
+
+    def test_messages_match_by_tag(self):
+        order = []
+
+        def program(rank):
+            if rank.rank == 0:
+                yield rank.send(1, 100, tag="b")
+                yield rank.send(1, 100, tag="a")
+            else:
+                message_a = yield rank.recv(0, tag="a")
+                message_b = yield rank.recv(0, tag="b")
+                order.append((message_a.tag, message_b.tag))
+
+        _run(program, ranks=2)
+        assert order == [("a", "b")]
+
+    def test_eager_send_returns_before_delivery(self):
+        times = {}
+
+        def program(rank):
+            if rank.rank == 0:
+                yield rank.send(1, 1024, tag=0)  # eager
+                times["send_done"] = rank_sim.now
+            else:
+                yield rank.recv(0, tag=0)
+                times["recv_done"] = rank_sim.now
+
+        cluster = _cluster()
+        job = MpiJob(cluster, 2, program)
+        rank_sim = job.sim
+        job.run()
+        assert times["send_done"] < times["recv_done"]
+
+    def test_large_send_blocks_until_delivery(self):
+        times = {}
+
+        def program(rank):
+            if rank.rank == 0:
+                yield rank.send(1, EAGER_THRESHOLD_BYTES * 10, tag=0)
+                times["send_done"] = rank_sim.now
+            else:
+                yield rank.recv(0, tag=0)
+                times["recv_done"] = rank_sim.now
+
+        cluster = _cluster()
+        job = MpiJob(cluster, 2, program)
+        rank_sim = job.sim
+        job.run()
+        assert times["send_done"] == pytest.approx(times["recv_done"], abs=1e-6)
+
+    def test_intra_node_uses_shared_memory(self):
+        """Ranks 0 and 1 share a node: transfer must beat the NIC."""
+        def program(rank):
+            if rank.rank == 0:
+                yield rank.send(1, 1_000_000, tag=0)
+            elif rank.rank == 1:
+                yield rank.recv(0, tag=0)
+            # ranks 2+ idle
+
+        intra = _run(program, ranks=2).elapsed_seconds
+
+        def program_inter(rank):
+            if rank.rank == 0:
+                yield rank.send(2, 1_000_000, tag=0)
+            elif rank.rank == 2:
+                yield rank.recv(0, tag=0)
+
+        inter = _run(program_inter, ranks=4).elapsed_seconds
+        assert intra < inter
+
+    def test_deadlock_detected(self):
+        def program(rank):
+            yield rank.recv((rank.rank + 1) % rank.size, tag="never-sent")
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            _run(program, ranks=2)
+
+    def test_compute_only_job(self):
+        def program(rank):
+            yield rank.compute(0.5)
+            yield rank.compute(0.25)
+
+        result = _run(program, ranks=4)
+        assert result.elapsed_seconds == pytest.approx(0.75)
+
+    def test_self_message_rejected(self):
+        rank = MpiRank(0, 4)
+        with pytest.raises(ConfigurationError):
+            rank.send(0, 10)
+
+    def test_peer_out_of_range_rejected(self):
+        rank = MpiRank(0, 4)
+        with pytest.raises(ConfigurationError):
+            rank.recv(4)
+
+    def test_negative_compute_rejected(self):
+        rank = MpiRank(0, 4)
+        with pytest.raises(ConfigurationError):
+            rank.compute(-1.0)
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("ranks", [2, 3, 4, 7, 8])
+    def test_barrier_completes_for_any_size(self, ranks):
+        def program(rank):
+            yield rank.compute(0.001 * rank.rank)
+            yield from rank.barrier()
+
+        result = _run(program, ranks=ranks)
+        assert result.num_ranks == ranks
+
+    def test_barrier_synchronizes(self):
+        """No rank may leave the barrier before the slowest enters."""
+        exits = {}
+
+        def program(rank):
+            yield rank.compute(0.1 * rank.rank)
+            yield from rank.barrier()
+            exits[rank.rank] = job.sim.now
+
+        cluster = _cluster()
+        job = MpiJob(cluster, 4, program)
+        job.run()
+        slowest_entry = 0.3
+        assert all(t >= slowest_entry for t in exits.values())
+
+    @pytest.mark.parametrize("ranks", [2, 3, 5, 8])
+    def test_bcast_reaches_everyone(self, ranks):
+        received = []
+
+        def program(rank):
+            if rank.rank != 1:
+                pass
+            yield rank.compute(0.0)
+            yield from rank.bcast(root=1, nbytes=10_000)
+            received.append(rank.rank)
+
+        _run(program, ranks=ranks)
+        assert sorted(received) == list(range(ranks))
+
+    @pytest.mark.parametrize("ranks", [2, 4, 6])
+    def test_allreduce_completes(self, ranks):
+        def program(rank):
+            yield from rank.allreduce(64_000)
+
+        result = _run(program, ranks=ranks)
+        # Ring: 2(P-1) sends per rank.
+        assert result.messages_delivered == ranks * 2 * (ranks - 1)
+
+    @pytest.mark.parametrize("algorithm", ["linear", "pairwise"])
+    def test_alltoallv_message_conservation(self, algorithm):
+        def program(rank):
+            yield from rank.alltoallv(
+                [1000 * (d + 1) for d in range(rank.size)], algorithm=algorithm
+            )
+
+        result = _run(program, ranks=6)
+        assert result.messages_delivered == 6 * 5
+
+    def test_alltoallv_wrong_length_rejected(self):
+        rank = MpiRank(0, 4)
+        with pytest.raises(ConfigurationError):
+            list(rank.alltoallv([100, 100]))
+
+    def test_alltoallv_unknown_algorithm_rejected(self):
+        rank = MpiRank(0, 4)
+        with pytest.raises(ConfigurationError):
+            list(rank.alltoallv([1, 1, 1, 1], algorithm="magic"))
+
+    def test_single_rank_collectives_are_noops(self):
+        def program(rank):
+            yield rank.compute(0.01)
+            yield from rank.barrier()
+            yield from rank.bcast(0, 1000)
+            yield from rank.allreduce(1000)
+
+        result = _run(program, ranks=1)
+        assert result.messages_delivered == 0
+        assert result.elapsed_seconds == pytest.approx(0.01)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 8), st.integers(0, 3))
+    def test_property_collective_sequence_never_deadlocks(self, ranks, seed):
+        def program(rank):
+            yield rank.compute(0.001)
+            yield from rank.barrier()
+            yield from rank.allreduce(8_192)
+            yield from rank.bcast(ranks - 1, 4_096)
+            yield from rank.alltoallv([256] * rank.size)
+
+        result = _run(program, ranks=ranks, seed=seed)
+        assert all(t > 0 for t in result.rank_finish_times)
+
+
+class TestJobValidation:
+    def test_too_many_ranks_for_cluster_rejected(self):
+        cluster = _cluster(nodes=2)
+        with pytest.raises(ConfigurationError):
+            MpiJob(cluster, 5, lambda rank: iter(()))
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MpiJob(_cluster(), 0, lambda rank: iter(()))

@@ -1,0 +1,166 @@
+"""Tests for repro.cluster.network and repro.cluster.switch."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.network import FAST_ETHERNET_NIC, GBE_NIC, Nic, SerialResource
+from repro.cluster.switch import (
+    SwitchModel,
+    SwitchSpec,
+    TIBIDABO_SWITCH,
+    UPGRADED_SWITCH,
+)
+from repro.errors import ConfigurationError, NetworkError
+
+
+class TestSerialResource:
+    def test_transfer_time_is_bytes_over_bandwidth(self):
+        link = SerialResource("l", 100.0)
+        assert link.occupy(0.0, 200) == 2.0
+
+    def test_back_to_back_messages_serialize(self):
+        link = SerialResource("l", 100.0)
+        first = link.occupy(0.0, 100)
+        second = link.occupy(0.0, 100)
+        assert first == 1.0
+        assert second == 2.0
+
+    def test_idle_gap_not_charged(self):
+        link = SerialResource("l", 100.0)
+        link.occupy(0.0, 100)
+        assert link.occupy(10.0, 100) == 11.0
+
+    def test_backlog(self):
+        link = SerialResource("l", 100.0)
+        link.occupy(0.0, 500)
+        assert link.backlog_seconds(2.0) == pytest.approx(3.0)
+        assert link.backlog_seconds(10.0) == 0.0
+
+    def test_statistics(self):
+        link = SerialResource("l", 100.0)
+        link.occupy(0.0, 100)
+        link.occupy(0.0, 300)
+        assert link.bytes_carried == 400
+        assert link.messages_carried == 2
+        assert link.utilization(4.0) == pytest.approx(1.0)
+
+    def test_reset(self):
+        link = SerialResource("l", 100.0)
+        link.occupy(0.0, 100)
+        link.reset()
+        assert link.free_at == 0.0
+        assert link.bytes_carried == 0
+
+    def test_invalid_occupy_rejected(self):
+        link = SerialResource("l", 100.0)
+        with pytest.raises(NetworkError):
+            link.occupy(-1.0, 10)
+        with pytest.raises(NetworkError):
+            link.occupy(0.0, -10)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 100), st.integers(0, 10000)),
+                    min_size=1, max_size=40))
+    def test_property_bookings_never_overlap(self, requests):
+        link = SerialResource("l", 1000.0)
+        previous_end = 0.0
+        for now, nbytes in sorted(requests):
+            end = link.occupy(now, nbytes)
+            start = end - nbytes / 1000.0
+            assert start >= previous_end - 1e-9
+            previous_end = end
+
+
+class TestNic:
+    def test_gbe_rates(self):
+        assert GBE_NIC.bandwidth_bytes_per_s == 125e6
+        assert FAST_ETHERNET_NIC.bandwidth_bytes_per_s == 12.5e6
+
+    def test_tx_rx_independent(self):
+        nic = Nic(0, GBE_NIC)
+        t_tx = nic.tx.occupy(0.0, 125_000_000)
+        t_rx = nic.rx.occupy(0.0, 125_000_000)
+        assert t_tx == pytest.approx(1.0)
+        assert t_rx == pytest.approx(1.0)  # not serialized behind tx
+
+
+class TestSwitchSpec:
+    def test_paper_switches(self):
+        assert TIBIDABO_SWITCH.ports == 48
+        assert TIBIDABO_SWITCH.loss_rate > 0
+        assert UPGRADED_SWITCH.loss_rate == 0.0
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SwitchSpec("s", 1, 1e9, 1e-6, 1024)
+        with pytest.raises(ConfigurationError):
+            SwitchSpec("s", 48, 1e9, 1e-6, 0)
+        with pytest.raises(ConfigurationError):
+            SwitchSpec("s", 48, 1e9, 1e-6, 1024, loss_rate=1.5)
+
+
+class TestSwitchModel:
+    def _congest(self, spec, senders=20, messages=8, nbytes=500_000, seed=0):
+        switch = SwitchModel(spec, name="s", seed=seed)
+        done = 0.0
+        for message in range(messages):
+            for sender in range(senders):
+                done = max(done, switch.forward(0.0, 0, nbytes, flow=sender))
+        return switch, done
+
+    def test_uncongested_forward_is_serialization_plus_latency(self):
+        switch = SwitchModel(TIBIDABO_SWITCH, name="s")
+        done = switch.forward(0.0, 0, 125_000)
+        assert done == pytest.approx(0.001 + TIBIDABO_SWITCH.forwarding_latency_s)
+
+    def test_incast_triggers_loss_episodes(self):
+        """Collapse is stochastic per burst (p=0.45): across several
+        independent bursts, some must collapse and lose messages."""
+        results = [self._congest(TIBIDABO_SWITCH, seed=s)[0] for s in range(6)]
+        assert sum(s.collapsed_bursts for s in results) > 0
+        assert sum(s.loss_episodes for s in results) > 0
+        # ... and some bursts survive cleanly (Figure 4: not every
+        # collective is delayed).
+        assert any(s.loss_episodes == 0 for s in results)
+
+    def test_upgraded_switch_never_collapses(self):
+        switch, _ = self._congest(UPGRADED_SWITCH)
+        assert switch.loss_episodes == 0
+
+    def test_few_flows_never_collapse(self):
+        """An HPL-style fat stream from few sources must not trip the
+        incast model ('LINPACK is only affected to a lesser extent')."""
+        switch = SwitchModel(TIBIDABO_SWITCH, name="s", seed=1)
+        for message in range(50):
+            switch.forward(0.0, 0, 1_000_000, flow=message % 2)
+        assert switch.loss_episodes == 0
+
+    def test_trunk_ports_never_collapse(self):
+        switch = SwitchModel(TIBIDABO_SWITCH, name="s", seed=1)
+        for sender in range(40):
+            for _ in range(5):
+                switch.forward(0.0, 0, 500_000, flow=sender, edge_port=False)
+        assert switch.loss_episodes == 0
+
+    def test_losses_cost_port_capacity(self):
+        spec = TIBIDABO_SWITCH
+        lossy, done_lossy = self._congest(spec, seed=3)
+        clean, done_clean = self._congest(UPGRADED_SWITCH, seed=3)
+        if lossy.loss_episodes:
+            assert done_lossy > done_clean
+
+    def test_collapse_is_seeded(self):
+        a, _ = self._congest(TIBIDABO_SWITCH, seed=9)
+        b, _ = self._congest(TIBIDABO_SWITCH, seed=9)
+        assert a.loss_episodes == b.loss_episodes
+
+    def test_port_out_of_range_rejected(self):
+        switch = SwitchModel(TIBIDABO_SWITCH, name="s")
+        with pytest.raises(ConfigurationError):
+            switch.forward(0.0, 48, 100)
+
+    def test_reset_clears_losses(self):
+        switch, _ = self._congest(TIBIDABO_SWITCH)
+        switch.reset()
+        assert switch.loss_episodes == 0
+        assert switch.port(0).free_at == 0.0

@@ -1,0 +1,99 @@
+"""Tests for repro.core.measurement."""
+
+import pytest
+
+from repro.core.measurement import MeasurementSet, Sample
+from repro.errors import ConfigurationError
+
+
+class TestSample:
+    def test_factor_lookup(self):
+        sample = Sample(metric="bw", value=1.0, factors={"size": 1024})
+        assert sample.factor("size") == 1024
+
+    def test_missing_factor_raises_with_known_names(self):
+        sample = Sample(metric="bw", value=1.0, factors={"size": 1024})
+        with pytest.raises(ConfigurationError, match="size"):
+            sample.factor("stride")
+
+    def test_samples_are_immutable(self):
+        sample = Sample(metric="bw", value=1.0)
+        with pytest.raises(AttributeError):
+            sample.value = 2.0
+
+
+class TestMeasurementSet:
+    def test_record_assigns_sequence_numbers(self):
+        ms = MeasurementSet()
+        first = ms.record("bw", 1.0)
+        second = ms.record("bw", 2.0)
+        assert (first.sequence, second.sequence) == (0, 1)
+
+    def test_len_and_iteration(self):
+        ms = MeasurementSet()
+        for i in range(5):
+            ms.record("bw", float(i))
+        assert len(ms) == 5
+        assert [s.value for s in ms] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_values_filters_by_metric(self):
+        ms = MeasurementSet()
+        ms.record("bw", 1.0)
+        ms.record("lat", 9.0)
+        ms.record("bw", 2.0)
+        assert ms.values("bw") == [1.0, 2.0]
+        assert ms.values() == [1.0, 9.0, 2.0]
+
+    def test_metrics_in_first_appearance_order(self):
+        ms = MeasurementSet()
+        ms.record("b", 1.0)
+        ms.record("a", 1.0)
+        ms.record("b", 1.0)
+        assert ms.metrics() == ["b", "a"]
+
+    def test_where_matches_all_given_factors(self):
+        ms = MeasurementSet()
+        ms.record("bw", 1.0, size=1024, stride=1)
+        ms.record("bw", 2.0, size=1024, stride=2)
+        ms.record("bw", 3.0, size=2048, stride=1)
+        subset = ms.where(size=1024, stride=1)
+        assert subset.values() == [1.0]
+
+    def test_group_by_preserves_level_order(self):
+        ms = MeasurementSet()
+        ms.record("bw", 1.0, size=2048)
+        ms.record("bw", 2.0, size=1024)
+        ms.record("bw", 3.0, size=2048)
+        groups = ms.group_by("size")
+        assert list(groups) == [2048, 1024]
+        assert groups[2048].values() == [1.0, 3.0]
+
+    def test_group_by_missing_factor_goes_to_none(self):
+        ms = MeasurementSet()
+        ms.record("bw", 1.0)
+        groups = ms.group_by("size")
+        assert list(groups) == [None]
+
+    def test_sequence_series_preserves_acquisition_order(self):
+        """The Figure 5b representation: values against sequence order."""
+        ms = MeasurementSet()
+        ms.record("bw", 5.0)
+        ms.record("bw", 1.0)
+        ms.record("bw", 5.0)
+        assert ms.sequence_series("bw") == [(0, 5.0), (1, 1.0), (2, 5.0)]
+
+    def test_extend_renumbers_sequences(self):
+        a = MeasurementSet()
+        a.record("bw", 1.0)
+        b = MeasurementSet()
+        b.record("bw", 2.0)
+        a.extend(b)
+        assert a.sequence_series() == [(0, 1.0), (1, 2.0)]
+
+    def test_filter_returns_new_set(self):
+        ms = MeasurementSet()
+        ms.record("bw", 1.0)
+        ms.record("bw", 10.0)
+        filtered = ms.filter(lambda s: s.value > 5)
+        assert len(filtered) == 1
+        assert len(ms) == 2

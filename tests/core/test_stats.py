@@ -1,0 +1,197 @@
+"""Tests for repro.core.stats, including property-based mode detection."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.stats import (
+    confidence_interval,
+    detect_modes,
+    exponential_fit,
+    geometric_mean,
+    is_bimodal,
+    linear_fit,
+    speedup_efficiency,
+    summarize,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == 2.5
+
+    def test_odd_median(self):
+        assert summarize([3.0, 1.0, 2.0]).median == 2.0
+
+    def test_single_value_has_zero_std(self):
+        stats = summarize([5.0])
+        assert stats.std == 0.0
+        assert stats.cv == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_cv_of_zero_mean(self):
+        assert summarize([-1.0, 1.0]).cv == 0.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_min_le_median_le_max(self, values):
+        stats = summarize(values)
+        assert stats.minimum <= stats.median <= stats.maximum
+
+
+class TestConfidenceInterval:
+    def test_interval_contains_mean(self):
+        lo, hi = confidence_interval([10.0, 11.0, 9.0, 10.5, 9.5])
+        assert lo < 10.0 < hi
+
+    def test_wider_confidence_wider_interval(self):
+        data = [10.0, 12.0, 8.0, 11.0, 9.0]
+        lo95, hi95 = confidence_interval(data, 0.95)
+        lo99, hi99 = confidence_interval(data, 0.99)
+        assert hi99 - lo99 > hi95 - lo95
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            confidence_interval([1.0, 2.0], confidence=1.5)
+
+
+class TestDetectModes:
+    def test_single_cluster_is_one_mode(self):
+        modes = detect_modes([1.0, 1.01, 0.99, 1.02])
+        assert len(modes) == 1
+        assert modes[0].count == 4
+
+    def test_two_well_separated_modes(self):
+        """The Figure 5a pattern: nominal mode + degraded mode ~5x lower."""
+        nominal = [1.0 + 0.01 * i for i in range(20)]
+        degraded = [0.21 + 0.002 * i for i in range(10)]
+        modes = detect_modes(nominal + degraded)
+        assert len(modes) == 2
+        assert modes[0].center > modes[1].center  # sorted descending
+        assert modes[0].count == 20
+        assert modes[1].count == 10
+
+    def test_identical_values_single_degenerate_mode(self):
+        modes = detect_modes([2.0] * 7)
+        assert len(modes) == 1
+        assert modes[0].center == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detect_modes([])
+
+    def test_bad_separation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detect_modes([1.0, 2.0], separation=0)
+
+    @given(
+        st.lists(st.floats(0.9, 1.1), min_size=3, max_size=30),
+        st.lists(st.floats(4.9, 5.1), min_size=3, max_size=30),
+    )
+    def test_property_two_separated_clusters_found(self, low, high):
+        modes = detect_modes(low + high)
+        assert len(modes) == 2
+        assert modes[0].count == len(high)
+        assert modes[1].count == len(low)
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=60))
+    def test_property_members_partition_the_sample(self, values):
+        modes = detect_modes(values)
+        recovered = sorted(v for m in modes for v in m.members)
+        assert recovered == sorted(values)
+
+
+class TestIsBimodal:
+    def test_unimodal_sample(self):
+        assert not is_bimodal([1.0, 1.05, 0.95, 1.02, 0.98])
+
+    def test_bimodal_with_5x_gap(self):
+        sample = [1.0, 1.02, 0.98, 1.01] * 5 + [0.21, 0.2, 0.22, 0.19]
+        assert is_bimodal(sample, ratio=2.0)
+
+    def test_singleton_outlier_not_a_mode(self):
+        assert not is_bimodal([1.0, 1.01, 0.99, 1.02, 0.2])
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [0, 2])
+        assert fit.predict(10) == pytest.approx(20.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit([1, 2], [1])
+
+    def test_degenerate_x_rejected(self):
+        with pytest.raises(ConfigurationError):
+            linear_fit([1, 1], [1, 2])
+
+
+class TestExponentialFit:
+    def test_exact_exponential(self):
+        xs = [2000, 2001, 2002, 2003]
+        ys = [100.0 * 1.9 ** (x - 2000) for x in xs]
+        fit = exponential_fit(xs, ys)
+        assert fit.growth == pytest.approx(1.9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_solve_for_inverts_predict(self):
+        xs = [0, 1, 2, 3, 4]
+        ys = [2.0**x for x in xs]
+        fit = exponential_fit(xs, ys)
+        assert fit.solve_for(fit.predict(7.5)) == pytest.approx(7.5)
+
+    def test_nonpositive_y_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exponential_fit([0, 1], [1.0, 0.0])
+
+    @given(
+        st.floats(1.1, 3.0),
+        st.floats(1.0, 1000.0),
+    )
+    def test_property_recovers_growth(self, growth, scale):
+        xs = list(range(8))
+        ys = [scale * growth**x for x in xs]
+        fit = exponential_fit(xs, ys)
+        assert math.isclose(fit.growth, growth, rel_tol=1e-6)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+
+
+class TestSpeedupEfficiency:
+    def test_ideal_speedup_is_full_efficiency(self):
+        assert speedup_efficiency(16.0, 16) == pytest.approx(1.0)
+
+    def test_specfem_style_4core_baseline(self):
+        """Figure 3b normalizes against a 4-core run."""
+        assert speedup_efficiency(43.2, 192, baseline_cores=4) == pytest.approx(0.9)
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speedup_efficiency(1.0, 0)

@@ -1,0 +1,113 @@
+"""Tests for repro.gpu.hybrid and repro.gpu.tuning (§VI-A/B)."""
+
+import pytest
+
+from repro.arch.isa import Precision
+from repro.arch.machines import EXYNOS5_DUAL, SNOWBALL_A9500, TEGRA3_NODE
+from repro.autotune.tuner import AutoTuner
+from repro.autotune.search import ExhaustiveSearch
+from repro.errors import ConfigurationError
+from repro.gpu.hybrid import HybridPlatform, hybrid_efficiency_table
+from repro.gpu.kernel import GpuKernelSpec
+from repro.gpu.runtime import OpenClRuntime
+from repro.gpu.tuning import BUFFER_SIZES, tune_buffer_size, tuning_space
+
+
+class TestHybridPlatform:
+    def test_requires_an_accelerator(self):
+        with pytest.raises(ConfigurationError):
+            HybridPlatform(SNOWBALL_A9500)
+
+    def test_tegra3_gpu_is_sp_only(self):
+        platform = HybridPlatform(TEGRA3_NODE)
+        assert platform.supports(Precision.SINGLE)
+        assert not platform.supports(Precision.DOUBLE)
+
+    def test_exynos_gpu_supports_double(self):
+        platform = HybridPlatform(EXYNOS5_DUAL)
+        assert platform.supports(Precision.DOUBLE)
+
+    def test_optimal_split_is_rate_proportional(self):
+        platform = HybridPlatform(EXYNOS5_DUAL)
+        share = platform.optimal_split(Precision.SINGLE)
+        gpu = platform.gpu_peak(Precision.SINGLE)
+        cpu = platform.cpu_peak(Precision.SINGLE)
+        assert share == pytest.approx(gpu / (gpu + cpu))
+        assert 0.5 < share < 1.0  # the GPU dominates SP throughput
+
+    def test_dp_split_falls_back_to_cpu_on_tegra3(self):
+        platform = HybridPlatform(TEGRA3_NODE)
+        assert platform.optimal_split(Precision.DOUBLE) == 0.0
+
+    def test_hybrid_time_beats_cpu_alone(self):
+        platform = HybridPlatform(EXYNOS5_DUAL)
+        flops = 1e12
+        hybrid = platform.hybrid_time(flops, Precision.SINGLE)
+        cpu_only = flops / platform.cpu_peak(Precision.SINGLE)
+        assert hybrid < cpu_only
+
+    def test_invalid_efficiency_rejected(self):
+        platform = HybridPlatform(EXYNOS5_DUAL)
+        with pytest.raises(ConfigurationError):
+            platform.hybrid_time(1e9, Precision.SINGLE, efficiency=0.0)
+
+
+class TestEfficiencyTable:
+    def test_exynos_clears_the_papers_bar(self):
+        """§VI-A: 'even an efficiency of 5 or 7 GFLOPS per Watt would
+        be an accomplishment' — the Exynos DP envelope clears 5."""
+        rows = {name: (sp, dp) for name, sp, dp, _ in hybrid_efficiency_table()}
+        _, exynos_dp = rows["Samsung Exynos 5 Dual"]
+        assert exynos_dp > 5.0
+
+    def test_every_soc_beats_the_xeon_on_sp(self):
+        rows = {name: sp for name, sp, _, _ in hybrid_efficiency_table()}
+        xeon = rows["Intel Xeon X5550"]
+        for name, sp in rows.items():
+            if name != "Intel Xeon X5550":
+                assert sp > xeon, name
+
+    def test_tegra3_dp_is_cpu_bound(self):
+        """The Tibidabo extension only helps single-precision codes."""
+        rows = {name: (sp, dp) for name, sp, dp, _ in hybrid_efficiency_table()}
+        tegra_sp, tegra_dp = rows["NVIDIA Tegra3 (Tibidabo extension)"]
+        assert tegra_sp > 4 * tegra_dp
+
+
+class TestBufferTuning:
+    def _runtime(self):
+        return OpenClRuntime(
+            accelerator=EXYNOS5_DUAL.accelerator,
+            soc_bandwidth_bytes_per_s=EXYNOS5_DUAL.memory.sustained_bandwidth,
+        )
+
+    def test_space_covers_both_tunables(self):
+        space = tuning_space()
+        assert space.size == len(BUFFER_SIZES) * 6
+
+    def test_optimum_tracks_problem_size(self):
+        """§VI-B: 'optimal buffer size used in GPU kernel could be
+        tuned to match the length of the input problem'."""
+        runtime = self._runtime()
+        spec = GpuKernelSpec(name="mf", flops_per_item=32.0, bytes_per_item=24.0)
+        small = tune_buffer_size(runtime, spec, 2_000)       # 48 KB problem
+        large = tune_buffer_size(runtime, spec, 2_000_000)   # 48 MB problem
+        assert small.best_point["buffer_bytes"] < 256 * 1024
+        assert large.best_point["buffer_bytes"] == 256 * 1024  # cache-sized
+        assert small.best_point["buffer_bytes"] >= 48_000      # one chunk
+
+    def test_shared_tuner_caches_instances(self):
+        runtime = self._runtime()
+        spec = GpuKernelSpec(name="mf", flops_per_item=32.0, bytes_per_item=24.0)
+        tuner = AutoTuner(space=tuning_space(), strategy=ExhaustiveSearch())
+        first = tune_buffer_size(runtime, spec, 10_000, tuner=tuner)
+        compile_count = runtime.compile_count
+        again = tune_buffer_size(runtime, spec, 10_000, tuner=tuner)
+        assert again is first
+        assert runtime.compile_count == compile_count  # no new searches
+
+    def test_invalid_work_items_rejected(self):
+        runtime = self._runtime()
+        spec = GpuKernelSpec(name="mf", flops_per_item=1.0, bytes_per_item=4.0)
+        with pytest.raises(ConfigurationError):
+            tune_buffer_size(runtime, spec, 0)

@@ -1,0 +1,146 @@
+"""Tests for repro.gpu.kernel and repro.gpu.runtime."""
+
+import pytest
+
+from repro.arch.cpu import AcceleratorModel
+from repro.arch.isa import Precision
+from repro.arch.machines import EXYNOS5_DUAL, TEGRA3_NODE
+from repro.errors import ConfigurationError
+from repro.gpu.kernel import GpuKernelSpec, KernelLaunch, launch_time_seconds
+from repro.gpu.runtime import COMPILE_TIME_S, OpenClRuntime
+
+MALI = EXYNOS5_DUAL.accelerator
+GEFORCE_ULP = TEGRA3_NODE.accelerator
+SOC_BW = EXYNOS5_DUAL.memory.sustained_bandwidth
+
+
+def _spec(**overrides):
+    defaults = dict(
+        name="k", flops_per_item=100.0, bytes_per_item=16.0,
+        precision=Precision.SINGLE, coalesced=True,
+    )
+    defaults.update(overrides)
+    return GpuKernelSpec(**defaults)
+
+
+class TestKernelSpec:
+    def test_invalid_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec(bytes_per_item=0.0)
+        with pytest.raises(ConfigurationError):
+            _spec(flops_per_item=-1.0)
+
+
+class TestKernelLaunch:
+    def test_totals(self):
+        launch = KernelLaunch(spec=_spec(), work_items=1000)
+        assert launch.total_flops == 100_000
+        assert launch.total_bytes == 16_000
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelLaunch(spec=_spec(), work_items=0)
+        with pytest.raises(ConfigurationError):
+            KernelLaunch(spec=_spec(), work_items=10, work_group_size=2048)
+        with pytest.raises(ConfigurationError):
+            KernelLaunch(spec=_spec(), work_items=10, buffer_bytes=0)
+
+
+class TestLaunchTime:
+    def test_double_precision_rejected_on_sp_only_gpu(self):
+        """Tegra3's GPU: 'codes that can use single precision' only."""
+        launch = KernelLaunch(
+            spec=_spec(precision=Precision.DOUBLE), work_items=1000
+        )
+        with pytest.raises(ConfigurationError, match="double"):
+            launch_time_seconds(GEFORCE_ULP, launch, soc_bandwidth_bytes_per_s=SOC_BW)
+
+    def test_double_precision_runs_on_mali(self):
+        """The Exynos 5 was chosen because the Mali-T604 does DP."""
+        launch = KernelLaunch(
+            spec=_spec(precision=Precision.DOUBLE), work_items=1000
+        )
+        assert launch_time_seconds(MALI, launch, soc_bandwidth_bytes_per_s=SOC_BW) > 0
+
+    def test_more_work_takes_longer(self):
+        small = KernelLaunch(spec=_spec(), work_items=10_000)
+        large = KernelLaunch(spec=_spec(), work_items=1_000_000)
+        t_small = launch_time_seconds(MALI, small, soc_bandwidth_bytes_per_s=SOC_BW)
+        t_large = launch_time_seconds(MALI, large, soc_bandwidth_bytes_per_s=SOC_BW)
+        assert t_large > t_small
+
+    def test_tiny_work_groups_waste_throughput(self):
+        compute_bound = _spec(flops_per_item=10_000.0, bytes_per_item=4.0)
+        narrow = KernelLaunch(spec=compute_bound, work_items=100_000, work_group_size=8)
+        wide = KernelLaunch(spec=compute_bound, work_items=100_000, work_group_size=128)
+        t_narrow = launch_time_seconds(MALI, narrow, soc_bandwidth_bytes_per_s=SOC_BW)
+        t_wide = launch_time_seconds(MALI, wide, soc_bandwidth_bytes_per_s=SOC_BW)
+        assert t_narrow > t_wide
+
+    def test_huge_work_groups_lose_occupancy(self):
+        compute_bound = _spec(flops_per_item=10_000.0, bytes_per_item=4.0)
+        ok = KernelLaunch(spec=compute_bound, work_items=100_000, work_group_size=256)
+        oversized = KernelLaunch(
+            spec=compute_bound, work_items=100_000, work_group_size=1024
+        )
+        assert launch_time_seconds(
+            MALI, oversized, soc_bandwidth_bytes_per_s=SOC_BW
+        ) > launch_time_seconds(MALI, ok, soc_bandwidth_bytes_per_s=SOC_BW)
+
+    def test_uncoalesced_access_derates_bandwidth(self):
+        coalesced = KernelLaunch(spec=_spec(), work_items=1_000_000)
+        scattered = KernelLaunch(spec=_spec(coalesced=False), work_items=1_000_000)
+        assert launch_time_seconds(
+            MALI, scattered, soc_bandwidth_bytes_per_s=SOC_BW
+        ) > launch_time_seconds(MALI, coalesced, soc_bandwidth_bytes_per_s=SOC_BW)
+
+    def test_undersized_buffer_pays_chunk_overhead(self):
+        spec = _spec()
+        small_buf = KernelLaunch(spec=spec, work_items=1_000_000, buffer_bytes=16 * 1024)
+        big_buf = KernelLaunch(spec=spec, work_items=1_000_000, buffer_bytes=256 * 1024)
+        assert launch_time_seconds(
+            MALI, small_buf, soc_bandwidth_bytes_per_s=SOC_BW
+        ) > launch_time_seconds(MALI, big_buf, soc_bandwidth_bytes_per_s=SOC_BW)
+
+    def test_oversized_buffer_thrashes_shared_cache(self):
+        spec = _spec()
+        fits = KernelLaunch(spec=spec, work_items=4_000_000, buffer_bytes=256 * 1024)
+        thrash = KernelLaunch(spec=spec, work_items=4_000_000, buffer_bytes=1024 * 1024)
+        assert launch_time_seconds(
+            MALI, thrash, soc_bandwidth_bytes_per_s=SOC_BW
+        ) > launch_time_seconds(MALI, fits, soc_bandwidth_bytes_per_s=SOC_BW)
+
+
+class TestOpenClRuntime:
+    def _runtime(self):
+        return OpenClRuntime(accelerator=MALI, soc_bandwidth_bytes_per_s=SOC_BW)
+
+    def test_first_use_compiles(self):
+        runtime = self._runtime()
+        runtime.run(_spec(), 1000)
+        assert runtime.compile_count == 1
+        assert runtime.total_compile_seconds == COMPILE_TIME_S
+
+    def test_jit_cache_serves_repeats(self):
+        """§VI-B: the JIT cache amortizes runtime compilation."""
+        runtime = self._runtime()
+        for _ in range(5):
+            runtime.run(_spec(), 1000)
+        assert runtime.compile_count == 1
+        assert runtime.cached_kernels == 1
+
+    def test_distinct_tunables_compile_separately(self):
+        runtime = self._runtime()
+        runtime.run(_spec(), 1000, work_group_size=64)
+        runtime.run(_spec(), 1000, work_group_size=128)
+        assert runtime.compile_count == 2
+
+    def test_execution_time_accumulates(self):
+        runtime = self._runtime()
+        t1 = runtime.run(_spec(), 1000)
+        t2 = runtime.run(_spec(), 1000)
+        assert runtime.total_execution_seconds == pytest.approx(t1 + t2)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OpenClRuntime(accelerator=MALI, soc_bandwidth_bytes_per_s=0.0)

@@ -1,0 +1,140 @@
+"""Failure injection: drive the simulators into pathological corners
+and check they fail loudly (or survive gracefully) instead of lying."""
+
+import dataclasses
+
+import pytest
+
+from repro.apps import BigDFT
+from repro.arch.machines import SNOWBALL_A9500, TEGRA2_NODE
+from repro.cluster import MpiJob, tibidabo
+from repro.cluster.fabric import Fabric, FatTreeSpec
+from repro.cluster.switch import SwitchSpec, TIBIDABO_SWITCH
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    SimulationError,
+)
+from repro.kernels import MemBench
+from repro.kernels.membench import MemBenchConfig
+from repro.osmodel import OSModel
+from repro.osmodel.page_allocator import boot_allocator
+from repro.osmodel.scheduler import RtFifoScheduler
+
+
+class TestNetworkPathologies:
+    def test_always_collapsing_switch_still_terminates(self):
+        """loss_rate=1, collapse_probability=1: every overflowing
+        message pays an RTO, yet the job completes in finite time."""
+        spec = dataclasses.replace(
+            TIBIDABO_SWITCH, collapse_probability=1.0, loss_rate=1.0
+        )
+        fabric = Fabric(8, FatTreeSpec(switch=spec), seed=1)
+        from repro.cluster.cluster import ClusterModel
+        cluster = ClusterModel(
+            name="worst", node=TEGRA2_NODE, num_nodes=8, fabric=fabric
+        )
+        app = BigDFT(scf_iterations=2)
+        elapsed = app.run_cluster(cluster, 16)
+        assert elapsed > 0
+        # Compare with the healthy fabric: the pathology must cost.
+        healthy = tibidabo(num_nodes=8, seed=1, upgraded_switches=True)
+        assert elapsed > app.run_cluster(healthy, 16)
+
+    def test_rank_program_crash_propagates(self):
+        """An exception inside a rank program surfaces instead of
+        silently deadlocking the job."""
+        cluster = tibidabo(num_nodes=4, seed=0)
+
+        def program(rank):
+            yield rank.compute(0.01)
+            if rank.rank == 3:
+                raise RuntimeError("rank 3 crashed")
+            yield rank.compute(0.01)
+
+        with pytest.raises(RuntimeError, match="rank 3 crashed"):
+            MpiJob(cluster, 8, program).run()
+
+    def test_one_sided_communication_deadlocks_cleanly(self):
+        cluster = tibidabo(num_nodes=4, seed=0)
+
+        def program(rank):
+            if rank.rank == 0:
+                yield rank.recv(1, tag="never")
+            else:
+                yield rank.compute(0.001)
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            MpiJob(cluster, 4, program).run()
+
+    def test_mismatched_collective_order_deadlocks_cleanly(self):
+        """Ranks calling collectives in different orders violate MPI
+        semantics; the simulator reports a deadlock, not a hang."""
+        cluster = tibidabo(num_nodes=4, seed=0)
+
+        def program(rank):
+            if rank.rank % 2 == 0:
+                yield from rank.barrier()
+                yield from rank.allreduce(1024)
+            else:
+                yield from rank.allreduce(1024)
+                yield from rank.barrier()
+
+        with pytest.raises(SimulationError, match="deadlock"):
+            MpiJob(cluster, 4, program).run()
+
+
+class TestMemoryPathologies:
+    def test_membench_on_exhausted_memory(self):
+        """A tiny physical pool: the first oversized mmap raises an
+        AllocationError rather than corrupting state."""
+        from repro.memsim.paging import AddressSpace
+        allocator = boot_allocator(8, seed=0)  # 32 KiB of 'RAM'
+        space = AddressSpace(allocator)
+        space.mmap(4 * 4096)
+        with pytest.raises(AllocationError):
+            space.mmap(8 * 4096)
+
+    def test_fully_fragmented_memory_still_serves_single_pages(self):
+        allocator = boot_allocator(256, fragmentation=1.0, seed=3)
+        allocation = allocator.allocate(1)
+        assert allocation.num_pages == 1
+
+    def test_benchmark_larger_than_memory_fails_loudly(self):
+        os_model = OSModel.boot(SNOWBALL_A9500, seed=0)
+        bench = MemBench(SNOWBALL_A9500, os_model, seed=0)
+        huge = SNOWBALL_A9500.memory.total_bytes * 2
+        with pytest.raises(AllocationError):
+            bench.measure(MemBenchConfig(array_bytes=huge))
+
+
+class TestSchedulerPathologies:
+    def test_permanently_degraded_rt_scheduler(self):
+        """p_exit ~ 0: once degraded, stays degraded — every later
+        sample is slow, but the model never wedges."""
+        scheduler = RtFifoScheduler(p_enter=0.99, p_exit=1e-9, seed=1)
+        samples = [scheduler.next_sample() for _ in range(200)]
+        degraded_tail = [s.degraded for s in samples[5:]]
+        assert all(degraded_tail)
+        assert all(s.slowdown > 3 for s in samples[5:])
+
+    def test_scheduler_parameters_validated_before_use(self):
+        with pytest.raises(ConfigurationError):
+            RtFifoScheduler(p_enter=1.5)
+
+
+class TestGpuPathologies:
+    def test_dp_kernel_on_sp_gpu_fails_at_launch(self):
+        from repro.arch.isa import Precision
+        from repro.arch.machines import TEGRA3_NODE
+        from repro.gpu import GpuKernelSpec, OpenClRuntime
+        runtime = OpenClRuntime(
+            accelerator=TEGRA3_NODE.accelerator,
+            soc_bandwidth_bytes_per_s=TEGRA3_NODE.memory.sustained_bandwidth,
+        )
+        spec = GpuKernelSpec(
+            name="dp", flops_per_item=10.0, bytes_per_item=8.0,
+            precision=Precision.DOUBLE,
+        )
+        with pytest.raises(ConfigurationError, match="double"):
+            runtime.run(spec, 1000)

@@ -1,0 +1,98 @@
+"""Seed robustness: the paper's qualitative findings must not hinge on
+one lucky RNG stream (MODELING.md's sensitivity claim)."""
+
+import pytest
+
+from repro.apps import BigDFT
+from repro.arch import SNOWBALL_A9500
+from repro.cluster import MpiJob, tibidabo
+from repro.core.stats import is_bimodal
+from repro.kernels import MagicFilterBenchmark, MemBench
+from repro.osmodel import OSModel, SchedulingPolicy
+from repro.tracing import TraceRecorder, analyze_collectives
+
+
+class TestFigure5AcrossSeeds:
+    @pytest.mark.parametrize("seed", [5, 23, 91, 777])
+    def test_rt_modes_always_well_separated(self, seed):
+        """Whenever both regimes appear in a run's window, the sample
+        is bimodal; a window caught entirely inside one regime is
+        legitimately unimodal (a rare-entry Markov chain does that),
+        but never something in between."""
+        os_model = OSModel.boot(
+            SNOWBALL_A9500, policy=SchedulingPolicy.FIFO, seed=seed
+        )
+        bench = MemBench(SNOWBALL_A9500, os_model, seed=seed)
+        results = bench.run_experiment(
+            array_sizes=[16 * 1024, 32 * 1024], replicates=42, seed=seed
+        )
+        at_16k = results.where(array_bytes=16 * 1024)
+        values = [s.value for s in at_16k]
+        degraded_fraction = sum(
+            1 for s in at_16k if s.factors["degraded"]
+        ) / len(at_16k)
+        if 0.1 <= degraded_fraction <= 0.9:
+            assert is_bimodal(values, ratio=2.5)
+        else:
+            # Single-regime window: spread stays within scheduler noise.
+            assert not is_bimodal(values, ratio=2.5)
+
+    def test_degradation_appears_in_most_long_runs(self):
+        """At the paper's experiment length (42 reps x many sizes,
+        hundreds of samples) most runs catch the degraded regime."""
+        hits = 0
+        sizes = [k * 1024 for k in (1, 2, 4, 8, 12, 16, 24, 32, 40, 48)]
+        for seed in (5, 23, 91, 130, 777):
+            os_model = OSModel.boot(
+                SNOWBALL_A9500, policy=SchedulingPolicy.FIFO, seed=seed
+            )
+            bench = MemBench(SNOWBALL_A9500, os_model, seed=seed)
+            results = bench.run_experiment(
+                array_sizes=sizes, replicates=42, seed=seed
+            )
+            if any(s.factors["degraded"] for s in results):
+                hits += 1
+        assert hits >= 3  # the pathology is recurrent, not a fluke
+
+
+class TestFigure4AcrossSeeds:
+    @pytest.mark.parametrize("seed", [7, 21, 63])
+    def test_incast_delays_recur(self, seed):
+        cluster = tibidabo(num_nodes=18, seed=seed)
+        recorder = TraceRecorder()
+        app = BigDFT(scf_iterations=4)
+        MpiJob(cluster, 36, app.rank_program(cluster, 36), tracer=recorder).run()
+        report = analyze_collectives(recorder, "alltoallv")
+        assert report.delayed_fraction > 0.3
+
+
+class TestFigure7IsDeterministic:
+    def test_counter_model_has_no_randomness(self):
+        """The tuning landscape is a pure function of the machine."""
+        sweeps = [
+            MagicFilterBenchmark(SNOWBALL_A9500).sweep() for _ in range(2)
+        ]
+        for unroll in range(1, 13):
+            assert sweeps[0][unroll].cycles == sweeps[1][unroll].cycles
+
+
+class TestPageAllocationAcrossSeeds:
+    def test_fragmentation_effect_recurs(self):
+        from repro.kernels.membench import MemBenchConfig
+        slowdowns = 0
+        baseline = None
+        for seed in range(10):
+            os_model = OSModel.boot(SNOWBALL_A9500, fragmentation=0.85, seed=seed)
+            bench = MemBench(SNOWBALL_A9500, os_model, seed=seed)
+            bandwidth = bench.measure(
+                MemBenchConfig(array_bytes=32 * 1024)
+            ).ideal_bandwidth_bytes_per_s
+            if baseline is None:
+                clean_os = OSModel.boot(SNOWBALL_A9500, seed=seed)
+                clean = MemBench(SNOWBALL_A9500, clean_os, seed=seed)
+                baseline = clean.measure(
+                    MemBenchConfig(array_bytes=32 * 1024)
+                ).ideal_bandwidth_bytes_per_s
+            if bandwidth < baseline * 0.995:
+                slowdowns += 1
+        assert slowdowns >= 3  # scattered pages bite repeatedly

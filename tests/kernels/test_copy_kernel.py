@@ -1,0 +1,52 @@
+"""Tests for the STREAM-style copy kernel (write path end-to-end)."""
+
+import pytest
+
+from repro.arch.machines import SNOWBALL_A9500
+from repro.errors import ConfigurationError
+from repro.kernels import MemBench
+from repro.kernels.membench import MemBenchConfig
+from repro.osmodel import OSModel
+
+
+def _bench(seed=6):
+    return MemBench(SNOWBALL_A9500, OSModel.boot(SNOWBALL_A9500, seed=seed), seed=seed)
+
+
+class TestCopyKernel:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemBenchConfig(array_bytes=4096, kind="triad")
+
+    def test_copy_counts_both_streams(self):
+        bench = _bench()
+        read = bench.measure(MemBenchConfig(array_bytes=16 * 1024, kind="read"))
+        copy = bench.measure(MemBenchConfig(array_bytes=16 * 1024, kind="copy"))
+        assert copy.cost.bytes_accessed == 2 * read.cost.bytes_accessed
+
+    def test_copy_is_slower_per_pass_than_read(self):
+        bench = _bench()
+        read = bench.measure(MemBenchConfig(array_bytes=16 * 1024, kind="read"))
+        copy = bench.measure(MemBenchConfig(array_bytes=16 * 1024, kind="copy"))
+        assert copy.cost.cycles > read.cost.cycles
+
+    def test_copy_dirties_and_writes_back(self):
+        """An L1-overflowing copy must evict dirty destination lines,
+        producing writebacks — the write-back path exercised through
+        the full stack."""
+        bench = _bench()
+        bench.measure(MemBenchConfig(array_bytes=48 * 1024, kind="copy"))
+        assert bench.hierarchy.levels[0].writebacks > 0
+
+    def test_read_kernel_never_writes_back(self):
+        bench = _bench()
+        bench.measure(MemBenchConfig(array_bytes=48 * 1024, kind="read"))
+        assert bench.hierarchy.levels[0].writebacks == 0
+
+    def test_copy_within_run_still_stable(self):
+        """The page-reuse quirk applies to both arrays of the copy."""
+        bench = _bench()
+        config = MemBenchConfig(array_bytes=8 * 1024, kind="copy")
+        first = bench.measure(config).ideal_bandwidth_bytes_per_s
+        for _ in range(3):
+            assert bench.measure(config).ideal_bandwidth_bytes_per_s == first

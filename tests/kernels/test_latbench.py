@@ -1,0 +1,118 @@
+"""Tests for repro.kernels.latbench (pointer-chase latency)."""
+
+import pytest
+
+from repro.arch.machines import SNOWBALL_A9500, XEON_X5550
+from repro.errors import ConfigurationError
+from repro.kernels.latbench import LatBench, latency_plateaus
+from repro.osmodel import OSModel
+
+
+def _bench(machine, seed=1):
+    return LatBench(machine, OSModel.boot(machine, seed=seed), seed=seed)
+
+
+class TestMeasure:
+    def test_l1_resident_latency_matches_geometry(self):
+        bench = _bench(SNOWBALL_A9500)
+        sample = bench.measure(8 * 1024)
+        assert sample.dominant_level == "L1d"
+        # L1 hit latency (4) + chase overhead (1).
+        assert sample.cycles_per_load == pytest.approx(5.0, abs=0.5)
+
+    def test_l2_plateau_snowball(self):
+        bench = _bench(SNOWBALL_A9500)
+        sample = bench.measure(128 * 1024)
+        assert sample.dominant_level == "L2"
+        l2 = SNOWBALL_A9500.cache("L2").latency_cycles
+        assert sample.cycles_per_load == pytest.approx(l2 + 1, rel=0.15)
+
+    def test_dram_latency_dominates_huge_arrays(self):
+        bench = _bench(SNOWBALL_A9500)
+        sample = bench.measure(4 * 1024 * 1024)
+        assert sample.dominant_level == "DRAM"
+        dram_cycles = (
+            SNOWBALL_A9500.memory.latency_ns * 1e-9
+            * SNOWBALL_A9500.core.frequency_hz
+        )
+        assert sample.cycles_per_load > dram_cycles  # plus TLB walks
+
+    def test_latency_monotone_in_array_size(self):
+        bench = _bench(XEON_X5550)
+        values = [
+            bench.measure(size).cycles_per_load
+            for size in (8 * 1024, 128 * 1024, 2 * 1024 * 1024)
+        ]
+        assert values == sorted(values)
+
+    def test_chase_defeats_mlp(self):
+        """The same DRAM-resident array costs far more per access in a
+        dependent chase than the bandwidth model's overlapped supply."""
+        bench = _bench(SNOWBALL_A9500)
+        sample = bench.measure(2 * 1024 * 1024)
+        overlapped = (
+            SNOWBALL_A9500.memory.latency_ns * 1e-9
+            * SNOWBALL_A9500.core.frequency_hz
+            / SNOWBALL_A9500.core.mem_parallelism
+        )
+        assert sample.cycles_per_load > 1.8 * overlapped
+
+    def test_tiny_array_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _bench(SNOWBALL_A9500).measure(16)
+
+    def test_zero_passes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _bench(SNOWBALL_A9500).measure(8 * 1024, passes=0)
+
+
+class TestSweep:
+    def test_plateaus_cover_all_levels(self):
+        bench = _bench(XEON_X5550)
+        results = bench.sweep(
+            [8 * 1024, 128 * 1024, 2 * 1024 * 1024, 32 * 1024 * 1024]
+        )
+        plateaus = latency_plateaus(results)
+        assert "L1d" in plateaus
+        assert "L2" in plateaus
+        assert plateaus["L1d"] < plateaus["L2"]
+
+    def test_empty_results_rejected(self):
+        from repro.core.measurement import MeasurementSet
+        with pytest.raises(ConfigurationError):
+            latency_plateaus(MeasurementSet())
+
+
+class TestCacheWriteSupport:
+    def test_store_allocates_and_dirties(self):
+        from repro.arch.cache import CacheGeometry
+        from repro.memsim.cache_sim import SetAssociativeCache
+        cache = SetAssociativeCache(
+            CacheGeometry("c", 4 * 32, 2, 32, 1)
+        )
+        assert cache.access(0, write=True) is False
+        assert cache.is_dirty(0)
+        assert cache.access(0) is True  # write-allocate hit
+
+    def test_dirty_eviction_counts_writeback(self):
+        from repro.arch.cache import CacheGeometry
+        from repro.memsim.cache_sim import SetAssociativeCache
+        cache = SetAssociativeCache(
+            CacheGeometry("c", 2 * 32, 2, 32, 1)  # one set, 2 ways
+        )
+        cache.access(0, write=True)
+        cache.access(32)
+        cache.access(64)  # evicts dirty line 0
+        assert cache.writebacks == 1
+        assert not cache.is_dirty(0)
+
+    def test_clean_eviction_has_no_writeback(self):
+        from repro.arch.cache import CacheGeometry
+        from repro.memsim.cache_sim import SetAssociativeCache
+        cache = SetAssociativeCache(
+            CacheGeometry("c", 2 * 32, 2, 32, 1)
+        )
+        cache.access(0)
+        cache.access(32)
+        cache.access(64)
+        assert cache.writebacks == 0

@@ -1,0 +1,149 @@
+"""Tests for repro.kernels.membench (the §V-A microbenchmark)."""
+
+import pytest
+
+from repro.arch.machines import SNOWBALL_A9500, XEON_X5550
+from repro.core.stats import is_bimodal
+from repro.errors import ConfigurationError
+from repro.kernels.membench import BandwidthSample, MemBench, MemBenchConfig
+from repro.osmodel.system import OSModel, SchedulingPolicy
+
+
+def _snowball_bench(policy=SchedulingPolicy.OTHER, seed=0, fragmentation=0.0):
+    os_model = OSModel.boot(
+        SNOWBALL_A9500, policy=policy, fragmentation=fragmentation, seed=seed
+    )
+    return MemBench(SNOWBALL_A9500, os_model, seed=seed)
+
+
+class TestConfig:
+    def test_variant_derived_from_config(self):
+        config = MemBenchConfig(array_bytes=4096, elem_bits=64, unroll=8)
+        assert config.variant.elem_bits == 64
+        assert config.variant.unroll == 8
+
+    def test_too_small_array_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemBenchConfig(array_bytes=4, elem_bits=64)
+
+
+class TestMeasure:
+    def test_returns_positive_bandwidth(self):
+        bench = _snowball_bench()
+        sample = bench.measure(MemBenchConfig(array_bytes=8 * 1024))
+        assert isinstance(sample, BandwidthSample)
+        assert sample.bandwidth_bytes_per_s > 0
+
+    def test_small_arrays_beat_large_ones(self):
+        """Figure 5a: bandwidth decreases past the L1 size."""
+        bench = _snowball_bench()
+        small = bench.measure(MemBenchConfig(array_bytes=8 * 1024))
+        large = bench.measure(MemBenchConfig(array_bytes=50 * 1024))
+        assert small.ideal_bandwidth_bytes_per_s > large.ideal_bandwidth_bytes_per_s
+
+    def test_within_run_measurements_are_stable(self):
+        """§V-A-1: 'almost no noise inside a run' — repeated
+        malloc/free reuse the same frames, so ideal bandwidth repeats
+        exactly."""
+        bench = _snowball_bench()
+        config = MemBenchConfig(array_bytes=32 * 1024)
+        first = bench.measure(config).ideal_bandwidth_bytes_per_s
+        for _ in range(5):
+            assert bench.measure(config).ideal_bandwidth_bytes_per_s == first
+
+    def test_runs_differ_when_memory_is_fragmented(self):
+        """§V-A-1: 'from one run to another we were getting very
+        different global behavior'."""
+        ideals = set()
+        for seed in range(8):
+            bench = _snowball_bench(seed=seed, fragmentation=0.85)
+            config = MemBenchConfig(array_bytes=32 * 1024)
+            ideals.add(round(bench.measure(config).ideal_bandwidth_bytes_per_s))
+        assert len(ideals) > 1
+
+    def test_clean_boots_are_reproducible_across_runs(self):
+        values = {
+            round(
+                _snowball_bench(seed=s).measure(
+                    MemBenchConfig(array_bytes=32 * 1024)
+                ).ideal_bandwidth_bytes_per_s
+            )
+            for s in range(4)
+        }
+        assert len(values) == 1
+
+
+class TestExperiments:
+    def test_rt_priority_produces_bimodal_bandwidth(self):
+        """Figure 5a on the simulator: '2 modes of execution can be
+        observed', degraded several times lower."""
+        bench = _snowball_bench(policy=SchedulingPolicy.FIFO, seed=5)
+        results = bench.run_experiment(
+            array_sizes=[k * 1024 for k in (8, 16, 32, 48)],
+            replicates=42,
+            seed=5,
+        )
+        at_one_size = [s.value for s in results.where(array_bytes=16 * 1024)]
+        assert is_bimodal(at_one_size, ratio=2.5)
+
+    def test_rt_degraded_samples_are_consecutive(self):
+        """Figure 5b: 'all degraded measures occurred consecutively'."""
+        bench = _snowball_bench(policy=SchedulingPolicy.FIFO, seed=5)
+        results = bench.run_experiment(
+            array_sizes=[k * 1024 for k in (8, 16, 32, 48)],
+            replicates=42,
+            seed=5,
+        )
+        degraded_seq = [s.sequence for s in results if s.factors["degraded"]]
+        assert len(degraded_seq) > 5
+        runs = 1 + sum(1 for a, b in zip(degraded_seq, degraded_seq[1:]) if b != a + 1)
+        assert runs <= len(degraded_seq) / 4
+
+    def test_default_scheduler_is_unimodal(self):
+        bench = _snowball_bench(policy=SchedulingPolicy.OTHER, seed=5)
+        results = bench.run_experiment(
+            array_sizes=[16 * 1024], replicates=42, seed=5
+        )
+        assert not is_bimodal(results.values(), ratio=2.5)
+
+    def test_variant_grid_covers_figure6_cells(self):
+        bench = _snowball_bench(seed=3)
+        results = bench.run_variant_grid(
+            array_bytes=50 * 1024, replicates=2, seed=3
+        )
+        cells = {(s.factors["elem_bits"], s.factors["unroll"]) for s in results}
+        assert cells == {(b, u) for b in (32, 64, 128) for u in (1, 8)}
+
+    def test_xeon_grid_monotone_in_width(self):
+        """Figure 6a orderings on the Xeon."""
+        os_model = OSModel.boot(XEON_X5550, seed=3)
+        bench = MemBench(XEON_X5550, os_model, seed=3)
+        results = bench.run_variant_grid(array_bytes=50 * 1024, replicates=2, seed=3)
+
+        def mean_bw(bits, unroll):
+            vals = results.where(elem_bits=bits, unroll=unroll).values()
+            return sum(vals) / len(vals)
+
+        assert mean_bw(64, 8) > mean_bw(32, 8)
+        assert mean_bw(128, 8) > mean_bw(64, 8) * 0.95
+        for bits in (32, 64, 128):
+            assert mean_bw(bits, 8) >= mean_bw(bits, 1)
+
+    def test_arm_grid_best_is_64bit_unrolled(self):
+        """Figure 6b: 'The best configuration on ARM is obtained when
+        using 64 bits and loop unrolling'."""
+        bench = _snowball_bench(seed=3)
+        results = bench.run_variant_grid(array_bytes=50 * 1024, replicates=2, seed=3)
+
+        def mean_bw(bits, unroll):
+            vals = results.where(elem_bits=bits, unroll=unroll).values()
+            return sum(vals) / len(vals)
+
+        best = max(
+            ((b, u) for b in (32, 64, 128) for u in (1, 8)),
+            key=lambda cell: mean_bw(*cell),
+        )
+        assert best == (64, 8)
+        # 128-bit is no better than 32-bit, and unrolling it hurts.
+        assert mean_bw(128, 1) <= mean_bw(32, 1) * 1.1
+        assert mean_bw(128, 8) < mean_bw(128, 1)

@@ -1,0 +1,92 @@
+"""Tests for repro.kernels.memmodel (the ref-[14] GA model fit)."""
+
+import pytest
+
+from repro.arch.machines import SNOWBALL_A9500, XEON_X5550
+from repro.autotune.search import ExhaustiveSearch
+from repro.errors import ConfigurationError
+from repro.kernels import MemBench
+from repro.kernels.membench import MemBenchConfig
+from repro.kernels.memmodel import (
+    CacheCapacityModel,
+    fit_memory_model,
+)
+from repro.osmodel import OSModel
+
+
+class TestCacheCapacityModel:
+    def test_predict_plateaus(self):
+        model = CacheCapacityModel(
+            capacity_bytes=32 * 1024, fast_bandwidth=1.0, slow_bandwidth=0.5
+        )
+        assert model.predict(16 * 1024) == 1.0
+        assert model.predict(32 * 1024) == 1.0
+        assert model.predict(33 * 1024) == 0.5
+
+    def test_error_zero_for_perfect_data(self):
+        model = CacheCapacityModel(
+            capacity_bytes=32 * 1024, fast_bandwidth=1.0, slow_bandwidth=0.5
+        )
+        data = [(16 * 1024, 1.0), (48 * 1024, 0.5)]
+        assert model.error(data) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheCapacityModel(0, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            CacheCapacityModel(1024, 0.0, 0.5)
+        model = CacheCapacityModel(1024, 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            model.predict(0)
+        with pytest.raises(ConfigurationError):
+            model.error([])
+
+
+def _measure_curve(machine, sizes_kb, seed=2):
+    os_model = OSModel.boot(machine, seed=seed)
+    bench = MemBench(machine, os_model, seed=seed)
+    curve = []
+    for kb in sizes_kb:
+        sample = bench.measure(MemBenchConfig(array_bytes=kb * 1024))
+        curve.append((kb * 1024, sample.ideal_bandwidth_bytes_per_s / 1e9))
+    return curve
+
+
+class TestFitMemoryModel:
+    def test_recovers_snowball_l1_size(self):
+        """The headline cross-validation: the GA fit recovers the
+        32 KiB L1 from bandwidth data alone, never reading the machine
+        description — the Tikir et al. methodology (paper ref [14])."""
+        curve = _measure_curve(
+            SNOWBALL_A9500, (2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 64, 96, 128)
+        )
+        fitted = fit_memory_model(curve)
+        assert fitted.model.capacity_bytes == 32 * 1024
+        assert fitted.model.fast_bandwidth > fitted.model.slow_bandwidth
+        assert fitted.error < 0.01
+
+    def test_exhaustive_strategy_also_works(self):
+        curve = _measure_curve(SNOWBALL_A9500, (4, 8, 16, 32, 48, 64, 96))
+        fitted = fit_memory_model(curve, strategy=ExhaustiveSearch())
+        assert fitted.model.capacity_bytes == 32 * 1024
+
+    def test_xeon_l1_also_recovered(self):
+        curve = _measure_curve(
+            XEON_X5550, (2, 4, 8, 16, 24, 32, 48, 64, 96, 128)
+        )
+        fitted = fit_memory_model(curve, strategy=ExhaustiveSearch())
+        assert fitted.model.capacity_bytes == 32 * 1024
+
+    def test_too_few_measurements_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_memory_model([(1024, 1.0), (2048, 1.0)])
+
+    def test_constant_data_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_memory_model([(1024, 1.0)] * 6)
+
+    def test_plateau_ordering_enforced_by_objective(self):
+        """Fits never return an inverted (slow > fast) model."""
+        curve = _measure_curve(SNOWBALL_A9500, (4, 8, 16, 32, 48, 64))
+        fitted = fit_memory_model(curve, strategy=ExhaustiveSearch())
+        assert fitted.model.fast_bandwidth >= fitted.model.slow_bandwidth

@@ -1,0 +1,89 @@
+"""Tests for repro.kernels.variants (Figure 6 issue model)."""
+
+import pytest
+
+from repro.arch.machines import SNOWBALL_A9500, TEGRA2_NODE, XEON_X5550
+from repro.errors import ConfigurationError
+from repro.kernels.variants import (
+    ELEMENT_BITS,
+    KernelVariant,
+    issue_profile,
+    paper_variants,
+)
+
+
+class TestKernelVariant:
+    def test_elem_bytes(self):
+        assert KernelVariant(64, 1).elem_bytes == 8
+
+    def test_label(self):
+        assert KernelVariant(128, 8).label == "128b/unroll=8"
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelVariant(48, 1)
+
+    def test_invalid_unroll_rejected(self):
+        with pytest.raises(ConfigurationError):
+            KernelVariant(32, 0)
+
+    def test_paper_grid_is_six_variants(self):
+        variants = paper_variants()
+        assert len(variants) == 6
+        assert {v.elem_bits for v in variants} == set(ELEMENT_BITS)
+        assert {v.unroll for v in variants} == {1, 8}
+
+
+class TestXeonProfile:
+    def test_unrolling_reduces_issue_cost(self):
+        for bits in ELEMENT_BITS:
+            rolled = issue_profile(XEON_X5550, KernelVariant(bits, 1))
+            unrolled = issue_profile(XEON_X5550, KernelVariant(bits, 8))
+            assert unrolled.cycles_per_element < rolled.cycles_per_element
+
+    def test_per_byte_cost_improves_with_width(self):
+        """Figure 6a: wider elements always pay off on Nehalem."""
+        costs = {
+            bits: issue_profile(XEON_X5550, KernelVariant(bits, 8)).cycles_per_element
+            / (bits // 8)
+            for bits in ELEMENT_BITS
+        }
+        assert costs[128] < costs[64] < costs[32]
+
+    def test_no_spills_on_xeon_at_paper_unroll(self):
+        for bits in ELEMENT_BITS:
+            assert not issue_profile(XEON_X5550, KernelVariant(bits, 8)).spilled
+
+
+class TestArmProfile:
+    def test_quad_penalty_on_a9(self):
+        """128-bit elements pay the A9's narrow-datapath penalty."""
+        p64 = issue_profile(SNOWBALL_A9500, KernelVariant(64, 1))
+        p128 = issue_profile(SNOWBALL_A9500, KernelVariant(128, 1))
+        per_byte_64 = p64.cycles_per_element / 8
+        per_byte_128 = p128.cycles_per_element / 16
+        assert per_byte_128 > per_byte_64
+
+    def test_quad_penalty_grows_with_unroll(self):
+        """Figure 6b: unrolling the 128-bit variant is detrimental."""
+        u1 = issue_profile(SNOWBALL_A9500, KernelVariant(128, 1))
+        u8 = issue_profile(SNOWBALL_A9500, KernelVariant(128, 8))
+        assert u8.cycles_per_element > u1.cycles_per_element
+
+    def test_unrolling_helps_narrow_elements(self):
+        for bits in (32, 64):
+            u1 = issue_profile(SNOWBALL_A9500, KernelVariant(bits, 1))
+            u8 = issue_profile(SNOWBALL_A9500, KernelVariant(bits, 8))
+            assert u8.cycles_per_element < u1.cycles_per_element
+
+    def test_tegra2_wide_elements_decompose_to_words(self):
+        """No NEON at all on Tegra2: a 64-bit op becomes two 32-bit
+        ops."""
+        p32 = issue_profile(TEGRA2_NODE, KernelVariant(32, 8))
+        p64 = issue_profile(TEGRA2_NODE, KernelVariant(64, 8))
+        assert p64.cycles_per_element > p32.cycles_per_element
+
+    def test_profiles_are_deterministic(self):
+        a = issue_profile(SNOWBALL_A9500, KernelVariant(64, 8))
+        b = issue_profile(SNOWBALL_A9500, KernelVariant(64, 8))
+        assert a == b

@@ -1,0 +1,161 @@
+"""Tests for repro.memsim.access and repro.memsim.bandwidth."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.machines import SNOWBALL_A9500
+from repro.errors import ConfigurationError
+from repro.memsim.access import (
+    pointer_chase_offsets,
+    strided_line_walk,
+    strided_offsets,
+)
+from repro.memsim.bandwidth import measure_stream
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.paging import AddressSpace
+from repro.osmodel.page_allocator import boot_allocator
+
+
+class TestStridedOffsets:
+    def test_unit_stride_visits_every_element(self):
+        offsets = list(strided_offsets(64, elem_bytes=4, stride_elems=1))
+        assert offsets == [i * 4 for i in range(16)]
+
+    def test_stride_skips_elements(self):
+        offsets = list(strided_offsets(64, elem_bytes=4, stride_elems=4))
+        assert offsets == [0, 16, 32, 48]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(strided_offsets(0, 4))
+        with pytest.raises(ConfigurationError):
+            list(strided_offsets(64, 0))
+        with pytest.raises(ConfigurationError):
+            list(strided_offsets(2, 4))
+
+    @given(
+        st.integers(1, 64),     # elements
+        st.sampled_from([4, 8, 16]),
+        st.integers(1, 8),
+    )
+    def test_property_offsets_in_bounds_and_increasing(self, n, elem, stride):
+        array = n * elem
+        offsets = list(strided_offsets(array, elem, stride))
+        assert all(0 <= o <= array - elem for o in offsets)
+        assert offsets == sorted(offsets)
+
+
+class TestStridedLineWalk:
+    def test_unit_stride_groups_by_line(self):
+        walk = list(strided_line_walk(128, elem_bytes=4, stride_elems=1, line_bytes=32))
+        assert walk == [(0, 8), (32, 8), (64, 8), (96, 8)]
+
+    def test_large_stride_one_element_per_line(self):
+        walk = list(strided_line_walk(256, elem_bytes=4, stride_elems=16, line_bytes=32))
+        assert all(count == 1 for _, count in walk)
+
+    def test_bad_line_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(strided_line_walk(64, 4, 1, 48))
+
+    @given(
+        st.integers(8, 256),
+        st.sampled_from([4, 8]),
+        st.integers(1, 16),
+    )
+    def test_property_walk_counts_match_offsets(self, n, elem, stride):
+        array = n * elem
+        walk = list(strided_line_walk(array, elem, stride, 32))
+        total = sum(count for _, count in walk)
+        assert total == len(list(strided_offsets(array, elem, stride)))
+
+
+class TestPointerChase:
+    def test_visits_every_element_once(self):
+        offsets = list(pointer_chase_offsets(64, 8, seed=1))
+        assert sorted(offsets) == [i * 8 for i in range(8)]
+
+    def test_seeded_permutation(self):
+        assert list(pointer_chase_offsets(64, 8, seed=2)) == list(
+            pointer_chase_offsets(64, 8, seed=2)
+        )
+        assert list(pointer_chase_offsets(512, 8, seed=1)) != list(
+            pointer_chase_offsets(512, 8, seed=2)
+        )
+
+
+class TestMeasureStream:
+    def _hierarchy(self):
+        allocator = boot_allocator(65536, seed=0)
+        space = AddressSpace(allocator)
+        return MemoryHierarchy(SNOWBALL_A9500, space, seed=0), space
+
+    def test_l1_resident_faster_than_l2_resident(self):
+        """The Figure 5a cliff: bandwidth drops past the 32 KiB L1."""
+        hierarchy, space = self._hierarchy()
+        costs = {}
+        for size in (8 * 1024, 50 * 1024):
+            mapping = space.mmap(size)
+            hierarchy.reset_state()
+            costs[size] = measure_stream(
+                hierarchy,
+                base_vaddr=mapping.virtual_base,
+                array_bytes=size,
+                elem_bytes=4,
+                issue_cycles_per_element=4.0,
+            )
+            space.munmap(mapping)
+        bw_small = costs[8 * 1024].bandwidth_bytes_per_s(1e9)
+        bw_large = costs[50 * 1024].bandwidth_bytes_per_s(1e9)
+        assert bw_small > bw_large
+
+    def test_bytes_accessed_counts_measured_passes_only(self):
+        hierarchy, space = self._hierarchy()
+        mapping = space.mmap(4096)
+        cost = measure_stream(
+            hierarchy,
+            base_vaddr=mapping.virtual_base,
+            array_bytes=4096,
+            elem_bytes=4,
+            issue_cycles_per_element=1.0,
+            warmup_passes=3,
+            measure_passes=2,
+        )
+        assert cost.bytes_accessed == 2 * 4096
+        assert cost.elements == 2 * 1024
+
+    def test_spill_traffic_increases_cycles(self):
+        hierarchy, space = self._hierarchy()
+        mapping = space.mmap(8192)
+        base = measure_stream(
+            hierarchy, base_vaddr=mapping.virtual_base, array_bytes=8192,
+            elem_bytes=4, issue_cycles_per_element=2.0,
+        )
+        hierarchy.reset_state()
+        spilled = measure_stream(
+            hierarchy, base_vaddr=mapping.virtual_base, array_bytes=8192,
+            elem_bytes=4, issue_cycles_per_element=2.0,
+            extra_accesses_per_element=2.0,
+        )
+        assert spilled.cycles > base.cycles
+
+    def test_invalid_parameters_rejected(self):
+        hierarchy, space = self._hierarchy()
+        mapping = space.mmap(4096)
+        with pytest.raises(ConfigurationError):
+            measure_stream(
+                hierarchy, base_vaddr=mapping.virtual_base, array_bytes=4096,
+                elem_bytes=4, issue_cycles_per_element=0.0,
+            )
+        with pytest.raises(ConfigurationError):
+            measure_stream(
+                hierarchy, base_vaddr=mapping.virtual_base, array_bytes=4096,
+                elem_bytes=4, issue_cycles_per_element=1.0, measure_passes=0,
+            )
+
+    def test_bandwidth_requires_positive_cycles(self):
+        from repro.memsim.bandwidth import StreamCost
+        cost = StreamCost(bytes_accessed=0, elements=0, issue_cycles=0,
+                          supply_cycles=0, cycles=0)
+        with pytest.raises(ConfigurationError):
+            cost.bandwidth_bytes_per_s(1e9)

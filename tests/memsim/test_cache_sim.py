@@ -1,0 +1,154 @@
+"""Tests for repro.memsim.cache_sim (incl. hypothesis invariants)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.cache import CacheGeometry, ReplacementPolicy
+from repro.errors import SimulationError
+from repro.memsim.cache_sim import SetAssociativeCache
+
+
+def _tiny(associativity=2, sets=4, line=32, policy=ReplacementPolicy.LRU):
+    geometry = CacheGeometry(
+        name="c",
+        size_bytes=associativity * sets * line,
+        associativity=associativity,
+        line_bytes=line,
+        latency_cycles=1,
+        replacement=policy,
+    )
+    return SetAssociativeCache(geometry)
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = _tiny()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(31) is True  # same line
+
+    def test_distinct_lines_miss_separately(self):
+        cache = _tiny()
+        cache.access(0)
+        assert cache.access(32) is False
+
+    def test_stats_accumulate(self):
+        cache = _tiny()
+        cache.access(0)
+        cache.access(0)
+        cache.access(32)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.accesses == 3
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(SimulationError):
+            _tiny().access(-1)
+
+    def test_invalidate_clears_contents_keeps_stats(self):
+        cache = _tiny()
+        cache.access(0)
+        cache.invalidate()
+        assert not cache.contains(0)
+        assert cache.stats.misses == 1
+
+    def test_contains_does_not_mutate(self):
+        cache = _tiny()
+        cache.access(0)
+        hits_before = cache.stats.hits
+        assert cache.contains(0)
+        assert cache.stats.hits == hits_before
+
+
+class TestLru:
+    def test_lru_evicts_least_recent(self):
+        cache = _tiny(associativity=2, sets=1, line=32)
+        cache.access(0)      # A
+        cache.access(32)     # B
+        cache.access(0)      # touch A -> B is LRU
+        cache.access(64)     # C evicts B
+        assert cache.contains(0)
+        assert not cache.contains(32)
+        assert cache.contains(64)
+
+    def test_fifo_ignores_touches(self):
+        cache = _tiny(associativity=2, sets=1, line=32,
+                      policy=ReplacementPolicy.FIFO)
+        cache.access(0)
+        cache.access(32)
+        cache.access(0)      # touch does not matter under FIFO
+        cache.access(64)     # evicts 0 (first in)
+        assert not cache.contains(0)
+        assert cache.contains(32)
+
+    def test_cyclic_sweep_over_capacity_thrashes_lru(self):
+        """The classic LRU pathology behind the Figure 5a cliff: a
+        cyclic walk one line beyond capacity misses every access."""
+        cache = _tiny(associativity=4, sets=1, line=32)
+        lines = [i * 32 for i in range(5)]  # capacity is 4 lines
+        for _ in range(3):
+            for addr in lines:
+                cache.access(addr)
+        cache.stats.reset()
+        for addr in lines:
+            cache.access(addr)
+        assert cache.stats.miss_rate == 1.0
+
+    def test_working_set_within_capacity_all_hits(self):
+        cache = _tiny(associativity=4, sets=1, line=32)
+        lines = [i * 32 for i in range(4)]
+        for addr in lines:
+            cache.access(addr)
+        cache.stats.reset()
+        for _ in range(3):
+            for addr in lines:
+                assert cache.access(addr)
+
+
+class TestRandomPolicy:
+    def test_random_policy_is_seeded(self):
+        def run(seed):
+            geometry = CacheGeometry(
+                name="c", size_bytes=2 * 32, associativity=2, line_bytes=32,
+                latency_cycles=1, replacement=ReplacementPolicy.RANDOM,
+            )
+            cache = SetAssociativeCache(geometry, seed=seed)
+            for i in range(20):
+                cache.access((i % 5) * 32)
+            return cache.stats.hits
+        assert run(7) == run(7)
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 4096), min_size=1, max_size=300))
+    def test_property_occupancy_never_exceeds_associativity(self, addresses):
+        cache = _tiny(associativity=2, sets=4)
+        for address in addresses:
+            cache.access(address)
+        assert all(o <= 2 for o in cache.set_occupancy())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 4096), min_size=1, max_size=300))
+    def test_property_hits_plus_misses_equals_accesses(self, addresses):
+        cache = _tiny()
+        for address in addresses:
+            cache.access(address)
+        assert cache.stats.hits + cache.stats.misses == len(addresses)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 4096), min_size=1, max_size=300))
+    def test_property_immediate_reaccess_always_hits(self, addresses):
+        cache = _tiny()
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address) is True
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 64 * 1024), min_size=1, max_size=200))
+    def test_property_resident_lines_bounded_by_capacity(self, addresses):
+        cache = _tiny(associativity=4, sets=8)
+        for address in addresses:
+            cache.access(address)
+        assert cache.resident_lines() <= 32

@@ -1,0 +1,113 @@
+"""Tests for repro.memsim.hierarchy."""
+
+import pytest
+
+from repro.arch.machines import SNOWBALL_A9500, XEON_X5550
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.paging import AddressSpace
+from repro.osmodel.page_allocator import boot_allocator
+
+
+def _snowball_hierarchy(fragmentation=0.0, seed=0):
+    allocator = boot_allocator(
+        SNOWBALL_A9500.memory.total_bytes // 4096,
+        fragmentation=fragmentation,
+        seed=seed,
+    )
+    space = AddressSpace(allocator)
+    return MemoryHierarchy(SNOWBALL_A9500, space, seed=seed), space
+
+
+class TestAccessPath:
+    def test_first_access_goes_to_dram(self):
+        hierarchy, space = _snowball_hierarchy()
+        mapping = space.mmap(4096)
+        outcome = hierarchy.access(mapping.virtual_base)
+        assert outcome.level_name == "DRAM"
+        assert outcome.supply_cycles > 0
+
+    def test_second_access_hits_l1_for_free(self):
+        hierarchy, space = _snowball_hierarchy()
+        mapping = space.mmap(4096)
+        hierarchy.access(mapping.virtual_base)
+        outcome = hierarchy.access(mapping.virtual_base)
+        assert outcome.level_name == "L1d"
+        assert outcome.supply_cycles == 0.0
+
+    def test_l1_evicted_line_comes_from_l2(self):
+        """Walk a 64 KiB array (2x L1, well inside the 512 KiB L2):
+        second pass must be served by L2."""
+        hierarchy, space = _snowball_hierarchy()
+        mapping = space.mmap(64 * 1024)
+        for pass_index in range(2):
+            for offset in range(0, 64 * 1024, 32):
+                hierarchy.access(mapping.virtual_base + offset)
+        stats = hierarchy.level_stats()
+        l2_hits, _ = stats["L2"]
+        assert l2_hits > 1500  # most of the 2048 second-pass lines
+
+    def test_identity_hierarchy_without_address_space(self):
+        hierarchy = MemoryHierarchy(XEON_X5550)
+        outcome = hierarchy.access(0)
+        assert outcome.level_name == "DRAM"
+        assert hierarchy.access(0).level_name == "L1d"
+
+    def test_reset_state_restores_cold_caches(self):
+        hierarchy = MemoryHierarchy(XEON_X5550)
+        hierarchy.access(0)
+        hierarchy.reset_state()
+        assert hierarchy.access(0).level_name == "DRAM"
+
+    def test_reset_stats_keeps_contents(self):
+        hierarchy = MemoryHierarchy(XEON_X5550)
+        hierarchy.access(0)
+        hierarchy.reset_stats()
+        assert hierarchy.access(0).level_name == "L1d"
+        assert hierarchy.dram_accesses == 0
+
+    def test_inclusion_invariant_holds_after_traffic(self):
+        hierarchy, space = _snowball_hierarchy()
+        mapping = space.mmap(256 * 1024)
+        for offset in range(0, 256 * 1024, 64):
+            hierarchy.access(mapping.virtual_base + offset)
+        hierarchy.check_invariants()
+
+    def test_dram_supply_includes_latency_or_transfer(self):
+        hierarchy, space = _snowball_hierarchy()
+        mapping = space.mmap(4096)
+        outcome = hierarchy.access(mapping.virtual_base)
+        core = SNOWBALL_A9500.core
+        min_expected = (
+            SNOWBALL_A9500.memory.latency_ns * 1e-9 * core.frequency_hz
+        ) / core.mem_parallelism
+        assert outcome.supply_cycles >= min_expected
+
+
+class TestPagePlacementSensitivity:
+    def _misses_at_32k(self, fragmentation, seed):
+        hierarchy, space = _snowball_hierarchy(fragmentation, seed)
+        mapping = space.mmap(32 * 1024)
+        # Warm up, then measure a steady-state pass.
+        for _ in range(2):
+            for offset in range(0, 32 * 1024, 32):
+                hierarchy.access(mapping.virtual_base + offset)
+        hierarchy.reset_stats()
+        for offset in range(0, 32 * 1024, 32):
+            hierarchy.access(mapping.virtual_base + offset)
+        return hierarchy.levels[0].stats.misses
+
+    def test_consecutive_pages_fit_l1_exactly(self):
+        """A 32 KiB array on consecutive pages maps evenly into the
+        32 KiB physically-indexed L1: steady state has no misses."""
+        assert self._misses_at_32k(0.0, seed=1) == 0
+
+    def test_fragmented_pages_cause_conflict_misses(self):
+        """§V-A-1: scattered frames land unevenly across the sets and
+        conflict-miss — 'much more cache misses, hence a dramatic drop
+        of overall performance'."""
+        fragmented = [self._misses_at_32k(0.85, seed=s) for s in range(6)]
+        assert max(fragmented) > 0
+
+    def test_run_to_run_variability_only_with_fragmentation(self):
+        clean = {self._misses_at_32k(0.0, seed=s) for s in range(4)}
+        assert clean == {0}

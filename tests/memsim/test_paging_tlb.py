@@ -1,0 +1,108 @@
+"""Tests for repro.memsim.paging and repro.memsim.tlb."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.memsim.paging import AddressSpace
+from repro.memsim.tlb import Tlb
+from repro.osmodel.page_allocator import BuddyAllocator, ReusingPageAllocator
+
+
+def _space(frames=1024) -> AddressSpace:
+    return AddressSpace(ReusingPageAllocator(BuddyAllocator(frames)))
+
+
+class TestAddressSpace:
+    def test_mmap_rounds_to_pages(self):
+        space = _space()
+        mapping = space.mmap(5000)
+        assert mapping.size_bytes == 8192
+
+    def test_translate_within_mapping(self):
+        space = _space()
+        mapping = space.mmap(8192)
+        frame0 = mapping.allocation.frames[0]
+        assert space.translate(mapping.virtual_base) == frame0 * 4096
+        assert space.translate(mapping.virtual_base + 5) == frame0 * 4096 + 5
+
+    def test_translate_crosses_page_boundary(self):
+        space = _space()
+        mapping = space.mmap(8192)
+        frame1 = mapping.allocation.frames[1]
+        paddr = space.translate(mapping.virtual_base + 4096 + 17)
+        assert paddr == frame1 * 4096 + 17
+
+    def test_unmapped_access_faults(self):
+        space = _space()
+        with pytest.raises(AllocationError, match="fault"):
+            space.translate(0xDEAD)
+
+    def test_munmap_then_access_faults(self):
+        space = _space()
+        mapping = space.mmap(4096)
+        space.munmap(mapping)
+        with pytest.raises(AllocationError):
+            space.translate(mapping.virtual_base)
+
+    def test_munmap_unknown_region_rejected(self):
+        space_a, space_b = _space(), _space()
+        mapping = space_a.mmap(4096)
+        with pytest.raises(AllocationError):
+            space_b.munmap(mapping)
+
+    def test_mappings_do_not_overlap(self):
+        space = _space()
+        a = space.mmap(4096 * 3)
+        b = space.mmap(4096 * 2)
+        assert a.virtual_end <= b.virtual_base
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _space().mmap(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(1, 8 * 4096), min_size=1, max_size=10))
+    def test_property_translations_stay_inside_own_frames(self, sizes):
+        space = _space(4096)
+        for size in sizes:
+            mapping = space.mmap(size)
+            frames = set(mapping.allocation.frames)
+            for offset in (0, size - 1):
+                paddr = space.translate(mapping.virtual_base + offset)
+                assert paddr // 4096 in frames
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(4, miss_penalty_cycles=30)
+        assert tlb.access(7) == 30.0
+        assert tlb.access(7) == 0.0
+        assert (tlb.hits, tlb.misses) == (1, 1)
+
+    def test_lru_eviction(self):
+        tlb = Tlb(2, miss_penalty_cycles=30)
+        tlb.access(1)
+        tlb.access(2)
+        tlb.access(1)       # touch 1; 2 becomes LRU
+        tlb.access(3)       # evicts 2
+        assert tlb.access(1) == 0.0
+        assert tlb.access(2) == 30.0
+
+    def test_flush(self):
+        tlb = Tlb(4, miss_penalty_cycles=30)
+        tlb.access(1)
+        tlb.flush()
+        assert tlb.access(1) == 30.0
+
+    def test_capacity_never_exceeded(self):
+        tlb = Tlb(3, miss_penalty_cycles=1)
+        for page in range(100):
+            tlb.access(page)
+        assert len(tlb._resident) <= 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tlb(0, miss_penalty_cycles=1)
+        with pytest.raises(ConfigurationError):
+            Tlb(4, miss_penalty_cycles=-1)

@@ -1,0 +1,106 @@
+"""Tests for the next-line prefetcher (opt-in) and the stride sweep."""
+
+import pytest
+
+from repro.arch.machines import SNOWBALL_A9500
+from repro.kernels import MemBench
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.paging import AddressSpace
+from repro.osmodel import OSModel
+from repro.osmodel.page_allocator import boot_allocator
+
+
+def _pair(prefetch: bool):
+    allocator = boot_allocator(65536, seed=0)
+    space = AddressSpace(allocator)
+    hierarchy = MemoryHierarchy(
+        SNOWBALL_A9500, space, seed=0, prefetch_next_line=prefetch
+    )
+    return hierarchy, space
+
+
+class TestPrefetcher:
+    def test_off_by_default(self):
+        hierarchy, _ = _pair(False)
+        assert not hierarchy.prefetch_next_line
+        assert hierarchy.prefetches_issued == 0
+
+    def test_streaming_misses_halve_with_prefetch(self):
+        results = {}
+        for prefetch in (False, True):
+            hierarchy, space = _pair(prefetch)
+            mapping = space.mmap(64 * 1024)
+            for offset in range(0, 64 * 1024, 32):
+                hierarchy.access(mapping.virtual_base + offset)
+            results[prefetch] = hierarchy.levels[0].stats.misses
+        assert results[True] <= results[False] / 2 + 1
+        assert results[False] == 2048  # every line cold-misses
+
+    def test_prefetch_counts_are_tracked(self):
+        hierarchy, space = _pair(True)
+        mapping = space.mmap(4096)
+        hierarchy.access(mapping.virtual_base)
+        assert hierarchy.prefetches_issued == 1
+
+    def test_prefetch_beyond_mapping_is_silently_skipped(self):
+        hierarchy, space = _pair(True)
+        mapping = space.mmap(4096)
+        # Miss on the mapping's LAST line: the next line is unmapped.
+        hierarchy.access(mapping.virtual_base + 4096 - 32)
+        assert hierarchy.prefetches_issued == 0
+
+    def test_prefetch_does_not_inflate_demand_stats(self):
+        hierarchy, space = _pair(True)
+        mapping = space.mmap(4096)
+        hierarchy.access(mapping.virtual_base)
+        stats = hierarchy.levels[0].stats
+        assert stats.accesses == 1  # the demand access only
+
+    def test_l1_hits_do_not_trigger_prefetch(self):
+        hierarchy, space = _pair(True)
+        mapping = space.mmap(4096)
+        hierarchy.access(mapping.virtual_base)
+        issued = hierarchy.prefetches_issued
+        hierarchy.access(mapping.virtual_base)  # L1 hit
+        assert hierarchy.prefetches_issued == issued
+
+    def test_install_is_idempotent(self):
+        from repro.arch.cache import CacheGeometry
+        from repro.memsim.cache_sim import SetAssociativeCache
+        cache = SetAssociativeCache(CacheGeometry("c", 4 * 32, 2, 32, 1))
+        cache.install(0)
+        cache.install(0)
+        assert cache.resident_lines() == 1
+        assert cache.stats.accesses == 0
+
+
+class TestStrideSweep:
+    def test_bandwidth_degrades_with_stride(self):
+        """Fewer useful elements per fetched line as the stride grows
+        past one — until every access pays a full line."""
+        os_model = OSModel.boot(SNOWBALL_A9500, seed=4)
+        bench = MemBench(SNOWBALL_A9500, os_model, seed=4)
+        results = bench.run_stride_sweep(
+            array_bytes=64 * 1024, strides=(1, 2, 4, 8), replicates=3, seed=4
+        )
+
+        def mean(stride):
+            values = results.where(stride=stride).values()
+            return sum(values) / len(values)
+
+        assert mean(1) > mean(2) > mean(4) > mean(8)
+
+    def test_stride_beyond_line_saturates(self):
+        """Once the stride spans >= one line (8 x 4B on 32 B lines),
+        further growth cannot lose more spatial locality."""
+        os_model = OSModel.boot(SNOWBALL_A9500, seed=4)
+        bench = MemBench(SNOWBALL_A9500, os_model, seed=4)
+        results = bench.run_stride_sweep(
+            array_bytes=64 * 1024, strides=(8, 16, 32), replicates=3, seed=4
+        )
+
+        def mean(stride):
+            values = results.where(stride=stride).values()
+            return sum(values) / len(values)
+
+        assert mean(16) == pytest.approx(mean(8), rel=0.35)

@@ -1,0 +1,200 @@
+"""Tests for repro.ompss.scheduler and repro.ompss.kernels."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.machines import EXYNOS5_DUAL, SNOWBALL_A9500, TEGRA3_NODE
+from repro.errors import ConfigurationError, SimulationError
+from repro.ompss import (
+    OmpSsScheduler,
+    SchedulingPolicy,
+    Worker,
+    WorkerKind,
+    cpu_workers,
+    magicfilter_taskgraph,
+)
+from repro.ompss.taskgraph import TaskGraph
+
+
+def _fork_join(width=4, depth=2.0) -> TaskGraph:
+    graph = TaskGraph()
+    graph.add("fork", 1.0, outs=("x",))
+    for i in range(width):
+        graph.add(f"mid{i}", depth, ins=("x",), outs=(f"y{i}",))
+    graph.add("join", 1.0, ins=tuple(f"y{i}" for i in range(width)))
+    return graph
+
+
+class TestBasicScheduling:
+    def test_single_worker_serializes_total_work(self):
+        graph = _fork_join()
+        schedule = OmpSsScheduler(cpu_workers(1)).run(graph)
+        assert schedule.makespan == pytest.approx(graph.total_work())
+
+    def test_enough_workers_reach_critical_path(self):
+        graph = _fork_join(width=4)
+        schedule = OmpSsScheduler(cpu_workers(4)).run(graph)
+        assert schedule.makespan == pytest.approx(graph.critical_path())
+
+    def test_makespan_bounded_below_by_critical_path(self):
+        graph = _fork_join(width=6, depth=3.0)
+        for count in (1, 2, 3, 6):
+            schedule = OmpSsScheduler(cpu_workers(count)).run(graph)
+            assert schedule.makespan >= graph.critical_path() - 1e-9
+
+    def test_schedule_validates_cleanly(self):
+        graph = _fork_join(width=5)
+        schedule = OmpSsScheduler(cpu_workers(3)).run(graph)
+        schedule.validate(graph)
+
+    def test_empty_graph(self):
+        schedule = OmpSsScheduler(cpu_workers(2)).run(TaskGraph())
+        assert schedule.makespan == 0.0
+
+    def test_deterministic(self):
+        graph = _fork_join(width=7)
+        a = OmpSsScheduler(cpu_workers(3)).run(graph)
+        b = OmpSsScheduler(cpu_workers(3)).run(graph)
+        assert a.assignments == b.assignments
+
+    def test_worker_speed_scales_durations(self):
+        graph = TaskGraph()
+        graph.add("t", 2.0)
+        fast = OmpSsScheduler([Worker(0, WorkerKind.CPU, speed=2.0)]).run(graph)
+        assert fast.makespan == pytest.approx(1.0)
+
+    def test_no_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OmpSsScheduler([])
+
+    def test_duplicate_worker_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OmpSsScheduler([Worker(0, WorkerKind.CPU), Worker(0, WorkerKind.CPU)])
+
+    def test_incompatible_task_detected(self):
+        graph = TaskGraph()
+        graph.add("gpu-only", {"gpu": 1.0})
+        with pytest.raises(SimulationError, match="incompatible"):
+            OmpSsScheduler(cpu_workers(2)).run(graph)
+
+
+class TestHeterogeneousScheduling:
+    def _hetero_graph(self) -> TaskGraph:
+        graph = TaskGraph()
+        for i in range(8):
+            graph.add(f"t{i}", {"cpu": 4.0, "gpu": 1.0}, outs=(f"d{i}",))
+        return graph
+
+    def _workers(self):
+        return cpu_workers(2) + [Worker(worker_id=9, kind=WorkerKind.GPU)]
+
+    def test_earliest_finish_uses_the_gpu(self):
+        schedule = OmpSsScheduler(
+            self._workers(), policy=SchedulingPolicy.EARLIEST_FINISH
+        ).run(self._hetero_graph())
+        gpu_busy = schedule.worker_busy_time(9)
+        assert gpu_busy > 0
+
+    def test_earliest_finish_beats_fifo_on_heterogeneous_pool(self):
+        graph = self._hetero_graph()
+        eft = OmpSsScheduler(
+            self._workers(), policy=SchedulingPolicy.EARLIEST_FINISH
+        ).run(graph)
+        fifo = OmpSsScheduler(
+            self._workers(), policy=SchedulingPolicy.FIFO
+        ).run(graph)
+        assert eft.makespan <= fifo.makespan
+
+    def test_critical_path_priority_starts_the_chain_first(self):
+        graph = TaskGraph()
+        # Shards submitted BEFORE the chain: FIFO busies both workers
+        # with shards, CP priority starts the chain immediately.
+        for i in range(6):
+            graph.add(f"shard{i}", 2.0)
+        graph.add("chain0", 5.0, outs=("c0",))
+        graph.add("chain1", 5.0, ins=("c0",), outs=("c1",))
+        cp = OmpSsScheduler(
+            cpu_workers(2), policy=SchedulingPolicy.CRITICAL_PATH
+        ).run(graph)
+        fifo = OmpSsScheduler(
+            cpu_workers(2), policy=SchedulingPolicy.FIFO
+        ).run(graph)
+        # Optimal: chain on one worker [0,10] + one shard -> 12; FIFO
+        # delays the chain behind shards -> 14.
+        assert cp.makespan == pytest.approx(12.0)
+        assert fifo.makespan > cp.makespan
+        assert cp.assignments[6].start == pytest.approx(0.0)  # chain0 first
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 12), st.integers(0, 2))
+    def test_property_schedules_always_valid(self, workers, tasks, shape):
+        graph = TaskGraph()
+        for i in range(tasks):
+            if shape == 0:
+                graph.add(f"t{i}", 1.0 + i * 0.1)
+            elif shape == 1:
+                graph.add(f"t{i}", 1.0, ins=("x",) if i else (), outs=("x",))
+            else:
+                graph.add(f"t{i}", 1.0, ins=("root",) if i else (), outs=(f"y{i}",) if i else ("root",))
+        for policy in SchedulingPolicy:
+            schedule = OmpSsScheduler(cpu_workers(workers), policy=policy).run(graph)
+            schedule.validate(graph)
+            assert schedule.makespan >= graph.critical_path() - 1e-9
+            assert schedule.makespan <= graph.total_work() + 1e-9
+
+
+class TestMagicfilterGraph:
+    def test_three_sweeps_serialize(self):
+        """The separable decomposition: sweep s reads sweep s-1's
+        volume, so sweeps cannot overlap (the OmpSs view of the
+        alltoallv barrier of Figure 4)."""
+        graph = magicfilter_taskgraph(SNOWBALL_A9500, blocks_per_sweep=4)
+        one = OmpSsScheduler(cpu_workers(1)).run(graph)
+        many = OmpSsScheduler(cpu_workers(16)).run(graph)
+        # Even unlimited workers can't beat 3 serialized sweeps of one
+        # block each.
+        assert many.makespan >= one.makespan / 4 - 1e-9
+
+    def test_two_cores_halve_the_runtime(self):
+        graph = magicfilter_taskgraph(SNOWBALL_A9500, blocks_per_sweep=8)
+        one = OmpSsScheduler(cpu_workers(1)).run(graph)
+        two = OmpSsScheduler(cpu_workers(2)).run(graph)
+        assert two.makespan == pytest.approx(one.makespan / 2, rel=0.05)
+
+    def test_tuned_unroll_beats_untuned(self):
+        tuned = magicfilter_taskgraph(SNOWBALL_A9500, blocks_per_sweep=4)
+        untuned = magicfilter_taskgraph(
+            SNOWBALL_A9500, blocks_per_sweep=4, unroll=1
+        )
+        worker = cpu_workers(1)
+        assert (
+            OmpSsScheduler(worker).run(tuned).makespan
+            < OmpSsScheduler(worker).run(untuned).makespan
+        )
+
+    def test_exynos_gpu_accelerates_doubles(self):
+        """§VI-A: the Mali-T604 takes double-precision magicfilter
+        sweeps, so the hybrid pool beats CPU-only."""
+        graph = magicfilter_taskgraph(EXYNOS5_DUAL, blocks_per_sweep=8, use_gpu=True)
+        cpu_only = OmpSsScheduler(cpu_workers(2)).run(graph)
+        hybrid = OmpSsScheduler(
+            cpu_workers(2) + [Worker(9, WorkerKind.GPU)]
+        ).run(graph)
+        assert hybrid.makespan < cpu_only.makespan
+
+    def test_tegra3_gpu_cannot_take_dp_tasks(self):
+        """Tegra3's GPU is SP-only: the graph carries no GPU durations
+        and a GPU worker sits idle."""
+        graph = magicfilter_taskgraph(TEGRA3_NODE, blocks_per_sweep=4, use_gpu=True)
+        schedule = OmpSsScheduler(
+            cpu_workers(2) + [Worker(9, WorkerKind.GPU)]
+        ).run(graph)
+        assert schedule.worker_busy_time(9) == 0.0
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            magicfilter_taskgraph(SNOWBALL_A9500, blocks_per_sweep=0)
+
+    def test_gpu_requires_accelerator(self):
+        with pytest.raises(ConfigurationError):
+            magicfilter_taskgraph(SNOWBALL_A9500, use_gpu=True)

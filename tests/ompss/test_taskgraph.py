@@ -1,0 +1,129 @@
+"""Tests for repro.ompss.taskgraph (directionality-based dependencies)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.ompss.taskgraph import Task, TaskGraph
+
+
+class TestTask:
+    def test_duration_lookup(self):
+        task = Task(0, "t", {"cpu": 1.0, "gpu": 0.5}, (), ())
+        assert task.duration_on("gpu") == 0.5
+        assert task.min_duration == 0.5
+
+    def test_unsupported_kind_rejected(self):
+        task = Task(0, "t", {"cpu": 1.0}, (), ())
+        with pytest.raises(ConfigurationError):
+            task.duration_on("gpu")
+
+    def test_empty_durations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Task(0, "t", {}, (), ())
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Task(0, "t", {"cpu": 0.0}, (), ())
+
+
+class TestDependencyInference:
+    def test_raw_reader_depends_on_writer(self):
+        graph = TaskGraph()
+        writer = graph.add("w", 1.0, outs=("x",))
+        reader = graph.add("r", 1.0, ins=("x",))
+        assert graph.predecessors(reader) == {writer}
+
+    def test_war_writer_depends_on_readers(self):
+        graph = TaskGraph()
+        writer = graph.add("w1", 1.0, outs=("x",))
+        reader = graph.add("r", 1.0, ins=("x",))
+        overwriter = graph.add("w2", 1.0, outs=("x",))
+        assert reader in graph.predecessors(overwriter)
+
+    def test_waw_writer_depends_on_previous_writer(self):
+        graph = TaskGraph()
+        first = graph.add("w1", 1.0, outs=("x",))
+        second = graph.add("w2", 1.0, outs=("x",))
+        assert first in graph.predecessors(second)
+
+    def test_independent_data_no_edges(self):
+        graph = TaskGraph()
+        a = graph.add("a", 1.0, outs=("x",))
+        b = graph.add("b", 1.0, outs=("y",))
+        assert graph.predecessors(b) == frozenset()
+        assert graph.roots() == [a, b]
+
+    def test_inout_chains_serialize(self):
+        """inout (in the same task) produces a serial chain."""
+        graph = TaskGraph()
+        ids = [
+            graph.add(f"t{i}", 1.0, ins=("acc",), outs=("acc",))
+            for i in range(4)
+        ]
+        for previous, current in zip(ids, ids[1:]):
+            assert previous in graph.predecessors(current)
+        assert graph.critical_path() == pytest.approx(4.0)
+
+    def test_readers_between_writes_all_block_the_writer(self):
+        graph = TaskGraph()
+        graph.add("w", 1.0, outs=("x",))
+        readers = [graph.add(f"r{i}", 1.0, ins=("x",)) for i in range(3)]
+        overwriter = graph.add("w2", 1.0, outs=("x",))
+        assert set(readers) <= set(graph.predecessors(overwriter))
+
+    def test_successors_inverse_of_predecessors(self):
+        graph = TaskGraph()
+        writer = graph.add("w", 1.0, outs=("x",))
+        reader = graph.add("r", 1.0, ins=("x",))
+        assert graph.successors(writer) == {reader}
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskGraph().task(0)
+
+
+class TestGraphMetrics:
+    def test_critical_path_of_fork_join(self):
+        graph = TaskGraph()
+        graph.add("fork", 1.0, outs=("x",))
+        for i in range(4):
+            graph.add(f"mid{i}", 2.0, ins=("x",), outs=(f"y{i}",))
+        graph.add("join", 1.0, ins=tuple(f"y{i}" for i in range(4)))
+        assert graph.critical_path() == pytest.approx(4.0)
+        assert graph.total_work() == pytest.approx(10.0)
+
+    def test_critical_path_uses_fastest_kind(self):
+        graph = TaskGraph()
+        graph.add("t", {"cpu": 4.0, "gpu": 1.0})
+        assert graph.critical_path() == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert TaskGraph().critical_path() == 0.0
+        assert len(TaskGraph()) == 0
+
+    def test_upward_rank_orders_chain(self):
+        graph = TaskGraph()
+        first = graph.add("a", 1.0, outs=("x",))
+        second = graph.add("b", 1.0, ins=("x",), outs=("y",))
+        third = graph.add("c", 1.0, ins=("y",))
+        ranks = graph.upward_rank()
+        assert ranks[first] > ranks[second] > ranks[third]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["x", "y", "z"]), st.booleans()),
+        min_size=1, max_size=25,
+    ))
+    def test_property_graph_is_acyclic_by_construction(self, accesses):
+        """Edges only ever point from earlier to later submissions, so
+        submission order is a valid topological order."""
+        graph = TaskGraph()
+        for datum, is_write in accesses:
+            if is_write:
+                graph.add("w", 1.0, outs=(datum,))
+            else:
+                graph.add("r", 1.0, ins=(datum,))
+        for task in graph:
+            for predecessor in graph.predecessors(task.task_id):
+                assert predecessor < task.task_id

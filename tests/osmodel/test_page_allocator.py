@@ -1,0 +1,187 @@
+"""Tests for repro.osmodel.page_allocator (§V-A-1 substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.osmodel.page_allocator import (
+    AllocationPattern,
+    BuddyAllocator,
+    PageAllocation,
+    ReusingPageAllocator,
+    boot_allocator,
+)
+
+
+class TestPageAllocation:
+    def test_consecutive_pattern(self):
+        alloc = PageAllocation(frames=(4, 5, 6), page_size=4096)
+        assert alloc.pattern is AllocationPattern.CONSECUTIVE
+
+    def test_fragmented_pattern(self):
+        alloc = PageAllocation(frames=(4, 9, 6), page_size=4096)
+        assert alloc.pattern is AllocationPattern.FRAGMENTED
+
+    def test_physical_address_translation(self):
+        alloc = PageAllocation(frames=(10, 3), page_size=4096)
+        assert alloc.physical_address(0) == 10 * 4096
+        assert alloc.physical_address(4096 + 7) == 3 * 4096 + 7
+
+    def test_out_of_range_offset_rejected(self):
+        alloc = PageAllocation(frames=(1,), page_size=4096)
+        with pytest.raises(AllocationError):
+            alloc.physical_address(4096)
+
+    def test_duplicate_frames_rejected(self):
+        with pytest.raises(AllocationError):
+            PageAllocation(frames=(1, 1), page_size=4096)
+
+
+class TestBuddyAllocator:
+    def test_fresh_boot_allocates_consecutive(self):
+        """Pristine free pool -> consecutive frames (the 'good' runs)."""
+        buddy = BuddyAllocator(1024)
+        alloc = buddy.allocate(13)
+        assert alloc.pattern is AllocationPattern.CONSECUTIVE
+        assert alloc.frames[0] == 0
+
+    def test_fragmented_boot_scatters(self):
+        """Churned free pool -> non-consecutive frames (the 'bad' runs)."""
+        buddy = BuddyAllocator(4096)
+        buddy.fragment(0.8, random.Random(3))
+        alloc = buddy.allocate(13)
+        assert alloc.pattern is AllocationPattern.FRAGMENTED
+
+    def test_free_returns_frames(self):
+        buddy = BuddyAllocator(64)
+        before = buddy.free_frames
+        alloc = buddy.allocate(8)
+        assert buddy.free_frames == before - 8
+        buddy.free(alloc)
+        assert buddy.free_frames == before
+
+    def test_double_free_detected(self):
+        buddy = BuddyAllocator(64)
+        alloc = buddy.allocate(2)
+        buddy.free(alloc)
+        with pytest.raises(AllocationError):
+            buddy.free(alloc)
+
+    def test_exhaustion_raises_and_rolls_back(self):
+        buddy = BuddyAllocator(16)
+        buddy.allocate(10)
+        free_before = buddy.free_frames
+        with pytest.raises(AllocationError):
+            buddy.allocate(7)
+        assert buddy.free_frames == free_before  # partial grab rolled back
+
+    def test_coalescing_restores_large_blocks(self):
+        buddy = BuddyAllocator(1024)
+        allocations = [buddy.allocate(1) for _ in range(1024)]
+        for alloc in allocations:
+            buddy.free(alloc)
+        big = buddy.allocate(1024)
+        assert big.pattern is AllocationPattern.CONSECUTIVE
+
+    def test_fragment_after_allocation_rejected(self):
+        buddy = BuddyAllocator(64)
+        buddy.allocate(1)
+        with pytest.raises(AllocationError):
+            buddy.fragment(0.5, random.Random(0))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(0)
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(64, page_size=3000)
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(64).allocate(0)
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(64).fragment(1.5, random.Random(0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(64, 512),
+        st.lists(st.integers(1, 16), min_size=1, max_size=12),
+        st.floats(0.0, 0.9),
+        st.integers(0, 10),
+    )
+    def test_property_no_frame_allocated_twice(self, frames, sizes, churn, seed):
+        buddy = BuddyAllocator(frames)
+        buddy.fragment(churn, random.Random(seed))
+        live: set[int] = set()
+        for size in sizes:
+            try:
+                alloc = buddy.allocate(size)
+            except AllocationError:
+                break
+            overlap = live & set(alloc.frames)
+            assert not overlap, f"frames {overlap} handed out twice"
+            live |= set(alloc.frames)
+            assert all(0 <= f < frames for f in alloc.frames)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(64, 512), st.integers(0, 5))
+    def test_property_alloc_free_preserves_frame_count(self, frames, seed):
+        buddy = BuddyAllocator(frames)
+        rng = random.Random(seed)
+        allocations = []
+        for _ in range(10):
+            try:
+                allocations.append(buddy.allocate(rng.randint(1, 8)))
+            except AllocationError:
+                break
+        rng.shuffle(allocations)
+        for alloc in allocations:
+            buddy.free(alloc)
+        assert buddy.free_frames == frames
+
+
+class TestReusingPageAllocator:
+    def test_same_size_gets_same_frames_back(self):
+        """The paper's within-run quirk: 'OS was likely to reuse the
+        same pages, as we did malloc/free repeatedly'."""
+        reusing = ReusingPageAllocator(BuddyAllocator(1024))
+        first = reusing.allocate(8)
+        reusing.free(first)
+        second = reusing.allocate(8)
+        assert second.frames == first.frames
+
+    def test_different_size_misses_the_quick_list(self):
+        reusing = ReusingPageAllocator(BuddyAllocator(1024))
+        first = reusing.allocate(8)
+        reusing.free(first)
+        other = reusing.allocate(4)
+        assert other.frames != first.frames
+
+    def test_drain_releases_to_backing(self):
+        backing = BuddyAllocator(64)
+        reusing = ReusingPageAllocator(backing)
+        alloc = reusing.allocate(8)
+        reusing.free(alloc)
+        assert backing.free_frames == 64 - 8  # still held by quick list
+        reusing.drain()
+        assert backing.free_frames == 64
+
+
+class TestBootAllocator:
+    def test_seeded_boots_are_reproducible(self):
+        a = boot_allocator(2048, fragmentation=0.7, seed=9).allocate(13)
+        b = boot_allocator(2048, fragmentation=0.7, seed=9).allocate(13)
+        assert a.frames == b.frames
+
+    def test_different_seeds_give_different_layouts(self):
+        """Run-to-run divergence: same experiment, different physical
+        placement — the §V-A-1 irreproducibility."""
+        layouts = {
+            boot_allocator(2048, fragmentation=0.7, seed=s).allocate(13).frames
+            for s in range(5)
+        }
+        assert len(layouts) > 1
+
+    def test_zero_fragmentation_always_consecutive(self):
+        for seed in range(3):
+            alloc = boot_allocator(2048, fragmentation=0.0, seed=seed).allocate(13)
+            assert alloc.pattern is AllocationPattern.CONSECUTIVE

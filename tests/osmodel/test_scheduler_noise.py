@@ -1,0 +1,148 @@
+"""Tests for repro.osmodel.scheduler, noise and system (Figure 5)."""
+
+import pytest
+
+from repro.arch.machines import SNOWBALL_A9500, XEON_X5550
+from repro.errors import ConfigurationError
+from repro.osmodel.noise import PeriodicDaemonNoise, QuietNoise
+from repro.osmodel.scheduler import (
+    CfsScheduler,
+    RtFifoScheduler,
+    SchedulingPolicy,
+    scheduler_for_policy,
+)
+from repro.osmodel.system import OSModel
+
+
+class TestCfsScheduler:
+    def test_never_degraded(self):
+        scheduler = CfsScheduler(seed=1)
+        assert not any(scheduler.next_sample().degraded for _ in range(500))
+
+    def test_slowdown_close_to_one(self):
+        scheduler = CfsScheduler(jitter=0.01, seed=1)
+        samples = [scheduler.next_sample().slowdown for _ in range(200)]
+        assert all(1.0 <= s < 1.1 for s in samples)
+
+    def test_reset_replays_the_stream(self):
+        scheduler = CfsScheduler(seed=5)
+        first = [scheduler.next_sample().slowdown for _ in range(10)]
+        scheduler.reset()
+        second = [scheduler.next_sample().slowdown for _ in range(10)]
+        assert first == second
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CfsScheduler(jitter=-0.1)
+
+
+class TestRtFifoScheduler:
+    def test_two_modes_exist(self):
+        """Figure 5a: a nominal mode and a degraded mode ~5x slower."""
+        scheduler = RtFifoScheduler(seed=3)
+        samples = [scheduler.next_sample() for _ in range(3000)]
+        degraded = [s for s in samples if s.degraded]
+        nominal = [s for s in samples if not s.degraded]
+        assert degraded and nominal
+        ratio = (sum(s.slowdown for s in degraded) / len(degraded)) / (
+            sum(s.slowdown for s in nominal) / len(nominal)
+        )
+        assert 3.5 <= ratio <= 6.0  # "almost 5 times lower"
+
+    def test_degraded_samples_are_consecutive(self):
+        """Figure 5b: degraded measurements occur in consecutive runs,
+        not scattered."""
+        scheduler = RtFifoScheduler(seed=3)
+        flags = [scheduler.next_sample().degraded for _ in range(3000)]
+        degraded_count = sum(flags)
+        transitions = sum(
+            1 for a, b in zip(flags, flags[1:]) if a != b
+        )
+        assert degraded_count > 20
+        # Far fewer transitions than degraded samples => long runs.
+        assert transitions < degraded_count / 5
+
+    def test_reset_restores_nominal_state(self):
+        scheduler = RtFifoScheduler(seed=3, p_enter=0.99)
+        scheduler.next_sample()
+        scheduler.next_sample()
+        assert scheduler.in_degraded_regime
+        scheduler.reset()
+        assert not scheduler.in_degraded_regime
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RtFifoScheduler(degraded_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RtFifoScheduler(p_enter=0.0)
+        with pytest.raises(ConfigurationError):
+            RtFifoScheduler(p_exit=1.0)
+
+
+class TestSchedulerForPolicy:
+    def test_rt_on_arm_is_pathological(self):
+        scheduler = scheduler_for_policy(SchedulingPolicy.FIFO, on_arm=True)
+        assert isinstance(scheduler, RtFifoScheduler)
+
+    def test_rt_on_x86_behaves_like_cfs(self):
+        """Reference [15]: RT priority helps on standard systems —
+        certainly no degraded regime."""
+        scheduler = scheduler_for_policy(SchedulingPolicy.FIFO, on_arm=False)
+        assert isinstance(scheduler, CfsScheduler)
+
+    def test_default_policy_is_cfs_everywhere(self):
+        for on_arm in (True, False):
+            scheduler = scheduler_for_policy(SchedulingPolicy.OTHER, on_arm=on_arm)
+            assert isinstance(scheduler, CfsScheduler)
+
+
+class TestNoise:
+    def test_quiet_steals_nothing(self):
+        assert QuietNoise().stolen_time(100.0) == 0.0
+
+    def test_quiet_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            QuietNoise().stolen_time(-1.0)
+
+    def test_periodic_steals_expected_fraction(self):
+        noise = PeriodicDaemonNoise(period_s=0.1, busy_s=0.001, seed=0)
+        stolen = noise.stolen_time(10.0)
+        assert stolen == pytest.approx(0.1, rel=0.05)  # ~1% of 10 s
+
+    def test_short_interval_may_miss_the_daemon(self):
+        noise = PeriodicDaemonNoise(period_s=1.0, busy_s=0.01, seed=1)
+        total = sum(noise.stolen_time(0.1) for _ in range(10))
+        assert total == pytest.approx(0.01, abs=0.011)
+
+    def test_busy_longer_than_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicDaemonNoise(period_s=0.1, busy_s=0.2)
+
+
+class TestOSModel:
+    def test_boot_on_arm_with_rt_policy(self):
+        os_model = OSModel.boot(
+            SNOWBALL_A9500, policy=SchedulingPolicy.FIFO, seed=1
+        )
+        assert isinstance(os_model.scheduler, RtFifoScheduler)
+
+    def test_boot_on_x86_with_rt_policy(self):
+        os_model = OSModel.boot(XEON_X5550, policy=SchedulingPolicy.FIFO, seed=1)
+        assert isinstance(os_model.scheduler, CfsScheduler)
+
+    def test_page_size_comes_from_machine(self):
+        os_model = OSModel.boot(SNOWBALL_A9500, seed=0)
+        assert os_model.page_size == SNOWBALL_A9500.page_size
+
+    def test_reset_replays_scheduler(self):
+        os_model = OSModel.boot(SNOWBALL_A9500, policy=SchedulingPolicy.FIFO, seed=2)
+        first = [os_model.scheduler.next_sample().slowdown for _ in range(5)]
+        os_model.reset()
+        second = [os_model.scheduler.next_sample().slowdown for _ in range(5)]
+        assert first == second
+
+    def test_fragmented_boot_gives_scattered_pages(self):
+        os_model = OSModel.boot(SNOWBALL_A9500, fragmentation=0.8, seed=3)
+        from repro.osmodel.page_allocator import AllocationPattern
+        alloc = os_model.allocator.allocate(13)
+        assert alloc.pattern is AllocationPattern.FRAGMENTED

@@ -1,0 +1,113 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_artefact_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_artefact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_all_artefacts_registered(self):
+        expected = {
+            "claims", "table1", "table2", "fig1", "fig2", "fig3", "fig4",
+            "fig5", "fig6", "fig7",
+            "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8",
+        }
+        assert set(COMMANDS) == expected
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig1"])
+        assert args.seed == 7
+        assert not args.quick
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "YALES2" in out and "BQCD" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "LINPACK" in out
+        assert "38.7" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "exaflop" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Machine (12GB)" in out
+        assert "Machine (796MB)" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "GB/s" in out
+        assert "consecutive" in out
+
+    def test_fig7(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "sweet spot: [4, 5, 6, 7]" in out
+
+    def test_x2(self, capsys):
+        assert main(["x2"]) == 0
+        out = capsys.readouterr().out
+        assert "Mali-T604" in out
+
+    def test_fig3_quick(self, capsys):
+        assert main(["fig3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "LINPACK" in out and "BigDFT" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "commodity" in out and "upgraded" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "128b" in out
+
+    def test_x1(self, capsys):
+        assert main(["x1"]) == 0
+        out = capsys.readouterr().out
+        assert "fragmentation" in out
+
+    def test_x3(self, capsys):
+        assert main(["x3"]) == 0
+        out = capsys.readouterr().out
+        assert "buffer" in out
+
+    def test_x5(self, capsys):
+        assert main(["x5"]) == 0
+        out = capsys.readouterr().out
+        assert "32 KB" in out
+
+    def test_x6(self, capsys):
+        assert main(["x6"]) == 0
+        out = capsys.readouterr().out
+        assert "Mali" in out
+
+    def test_x7(self, capsys):
+        assert main(["x7"]) == 0
+        out = capsys.readouterr().out
+        assert "BQCD" in out
+
+    def test_x8(self, capsys):
+        assert main(["x8"]) == 0
+        out = capsys.readouterr().out
+        assert "prototype" in out

@@ -1,0 +1,99 @@
+"""Tests for repro.energy.scale (cluster-level energy, §IV/§VI)."""
+
+import pytest
+
+from repro.apps import BigDFT, Specfem3D
+from repro.cluster import tibidabo
+from repro.energy.scale import (
+    cluster_power_watts,
+    counterbalance_study,
+    measure_cluster_energy,
+    switches_in_use,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return tibidabo(num_nodes=96, seed=7)
+
+
+class TestFootprint:
+    def test_switch_count_single_leaf(self, cluster):
+        assert switches_in_use(cluster, 1) == 1
+        assert switches_in_use(cluster, 40) == 1
+
+    def test_switch_count_grows_with_leaves(self, cluster):
+        assert switches_in_use(cluster, 41) == 3   # 2 leaves + root
+        assert switches_in_use(cluster, 96) == 4   # 3 leaves + root
+
+    def test_out_of_range_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            switches_in_use(cluster, 0)
+        with pytest.raises(ConfigurationError):
+            switches_in_use(cluster, 97)
+
+    def test_cluster_power_includes_fabric(self, cluster):
+        nodes_only = cluster.node_power_watts(10)
+        total = cluster_power_watts(cluster, 10)
+        assert total == pytest.approx(nodes_only + 60.0)
+
+    def test_network_power_matters_at_small_scale(self, cluster):
+        """One switch (60 W) dwarfs a handful of 4 W nodes — the
+        'network inefficiency' side of the paper's counterbalance."""
+        power = cluster_power_watts(cluster, 2)
+        assert power > 8 * cluster.node.tdp_watts
+
+
+class TestMeasureEnergy:
+    def test_basic_accounting(self, cluster):
+        run = measure_cluster_energy(Specfem3D(timesteps=5), cluster, 16)
+        assert run.nodes == 8
+        assert run.node_power_w == pytest.approx(32.0)
+        assert run.network_power_w == pytest.approx(60.0)
+        assert run.energy_joules == pytest.approx(
+            run.total_power_w * run.elapsed_seconds
+        )
+
+    def test_network_fraction(self, cluster):
+        run = measure_cluster_energy(Specfem3D(timesteps=5), cluster, 16)
+        assert run.network_power_fraction == pytest.approx(60.0 / 92.0)
+
+    def test_invalid_cores_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            measure_cluster_energy(Specfem3D(), cluster, 0)
+
+
+class TestCounterbalance:
+    def test_scalable_code_energy_flat_or_falling(self, cluster):
+        """SPECFEM3D scales ~ideally: more nodes, proportionally less
+        time — compute energy stays flat while the fixed switch power
+        amortizes, so energy must not grow much."""
+        study = counterbalance_study(
+            Specfem3D(timesteps=5), cluster, [8, 16, 32, 64]
+        )
+        energies = dict(study.energy_curve())
+        assert energies[64] < energies[8] * 1.6
+
+    def test_congested_code_wastes_energy_at_scale(self, cluster):
+        """BigDFT's energy-to-solution is U-shaped: adding cores pays
+        until the incast threshold, then the network pathology burns
+        more joules for the same problem — the paper's counterbalance,
+        quantified."""
+        study = counterbalance_study(
+            BigDFT(scf_iterations=4), cluster, [4, 8, 16, 24, 36]
+        )
+        energies = dict(study.energy_curve())
+        assert energies[36] > energies[24]          # the congestion tax
+        assert study.most_efficient_cores < 36      # optimum before 36
+
+    def test_network_fraction_shrinks_with_nodes(self, cluster):
+        study = counterbalance_study(
+            Specfem3D(timesteps=5), cluster, [8, 64]
+        )
+        fractions = dict(study.network_fraction_curve())
+        assert fractions[64] < fractions[8]
+
+    def test_empty_sweep_rejected(self, cluster):
+        with pytest.raises(ConfigurationError):
+            counterbalance_study(Specfem3D(), cluster, [])

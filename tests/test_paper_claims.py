@@ -1,0 +1,40 @@
+"""Replay every quantitative claim of the paper (the scorecard)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.paper import ALL_CLAIMS, audit, claim_by_id
+
+
+class TestRegistry:
+    def test_claims_cover_every_section(self):
+        sections = {claim.section for claim in ALL_CLAIMS}
+        assert {"I", "III-C", "IV", "V-A-2", "V-A-3", "V-B", "VI-A"} <= sections
+
+    def test_claim_ids_unique(self):
+        ids = [claim.claim_id for claim in ALL_CLAIMS]
+        assert len(set(ids)) == len(ids)
+
+    def test_lookup(self):
+        claim = claim_by_id("table2.linpack.ratio")
+        assert claim.expected == 38.7
+        with pytest.raises(ConfigurationError):
+            claim_by_id("nope")
+
+    def test_every_claim_quotes_the_paper(self):
+        for claim in ALL_CLAIMS:
+            assert len(claim.statement) > 10, claim.claim_id
+
+
+@pytest.mark.parametrize("claim", ALL_CLAIMS, ids=lambda c: c.claim_id)
+def test_claim_reproduces(claim):
+    result = claim.check()
+    assert result.passed, result.describe()
+
+
+def test_audit_runs_everything():
+    results = audit()
+    assert len(results) == len(ALL_CLAIMS)
+    assert all(r.passed for r in results), "\n".join(
+        r.describe() for r in results if not r.passed
+    )

@@ -1,0 +1,129 @@
+"""Tests for repro.top500 and repro.energy (Figure 1 and Table II
+ratio arithmetic)."""
+
+import pytest
+
+from repro.apps import Linpack, Specfem3D
+from repro.arch.machines import SNOWBALL_A9500, XEON_X5550
+from repro.energy import (
+    compare_runs,
+    energy_ratio,
+    energy_to_solution,
+    gflops_per_watt,
+    performance_ratio,
+)
+from repro.errors import ConfigurationError, DataError
+from repro.top500.data import (
+    GREEN500_TOP_2012_GFLOPS_PER_WATT,
+    TOP500_SERIES,
+    series_column,
+)
+from repro.top500.model import (
+    fit_series,
+    project_exaflop,
+    required_efficiency_factor,
+)
+
+
+class TestTop500Data:
+    def test_twenty_years_of_lists(self):
+        years = [e.year for e in TOP500_SERIES]
+        assert years == list(range(1993, 2013))
+
+    def test_entries_are_internally_ordered(self):
+        for entry in TOP500_SERIES:
+            assert entry.entry_gflops <= entry.top_gflops <= entry.sum_gflops
+
+    def test_every_column_grows_monotonically(self):
+        for column in ("sum", "top", "entry"):
+            _, values = series_column(column)
+            assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_known_anchor_points(self):
+        by_year = {e.year: e for e in TOP500_SERIES}
+        assert by_year[1993].top_gflops == pytest.approx(59.7)
+        assert by_year[2008].top_gflops > 1e6  # Roadrunner broke the petaflop
+        assert by_year[2012].top_gflops > 16e6  # Sequoia
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(DataError):
+            series_column("median")
+
+
+class TestFigure1Projection:
+    def test_growth_factor_is_about_1p9_per_year(self):
+        """The famous Top500 doubling-ish cadence."""
+        for column in ("sum", "top", "entry"):
+            fit = fit_series(column)
+            assert 1.7 <= fit.growth <= 2.1
+            assert fit.r_squared > 0.95
+
+    def test_exaflop_projected_around_2018(self):
+        """Figure 1 / §I: 'break the exaflops barrier by the projected
+        year of 2018'."""
+        projection = project_exaflop("top")
+        assert 2017.0 <= projection.exaflop_year <= 2021.0
+
+    def test_required_efficiency_factor_is_about_25(self):
+        """§I: 'the efficiency of supercomputers need to be increased
+        by a factor of 25'."""
+        assert required_efficiency_factor() == pytest.approx(25.0, rel=0.08)
+
+    def test_20mw_exaflop_needs_50_gflops_per_watt(self):
+        projection = project_exaflop("top")
+        assert projection.required_gflops_per_watt == pytest.approx(50.0)
+
+    def test_2012_leader_is_about_2_gflops_per_watt(self):
+        """§I: the Top500 head 'reaches an efficiency of about 2 GFLOPS
+        per Watt'."""
+        assert 1.8 <= GREEN500_TOP_2012_GFLOPS_PER_WATT <= 2.3
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(DataError):
+            required_efficiency_factor(power_budget_w=0)
+
+
+class TestEnergyModel:
+    def test_energy_to_solution(self):
+        run = Specfem3D().run(SNOWBALL_A9500)
+        assert energy_to_solution(run) == pytest.approx(
+            2.5 * run.elapsed_seconds
+        )
+
+    def test_performance_ratio_for_times(self):
+        snow = Specfem3D().run(SNOWBALL_A9500)
+        xeon = Specfem3D().run(XEON_X5550)
+        ratio = performance_ratio(xeon, snow)
+        assert ratio == pytest.approx(snow.metric_value / xeon.metric_value)
+
+    def test_performance_ratio_for_rates(self):
+        snow = Linpack().run(SNOWBALL_A9500)
+        xeon = Linpack().run(XEON_X5550)
+        ratio = performance_ratio(xeon, snow)
+        assert ratio == pytest.approx(xeon.metric_value / snow.metric_value)
+
+    def test_energy_ratio_normalizes_rate_metrics_by_work(self):
+        """HPL fills each node's memory, so instances differ; energy
+        must compare joules per flop, reproducing Table II's 1.0."""
+        snow = Linpack().run(SNOWBALL_A9500)
+        xeon = Linpack().run(XEON_X5550)
+        assert energy_ratio(xeon, snow) == pytest.approx(1.0, abs=0.08)
+
+    def test_compare_runs_builds_a_table2_row(self):
+        snow = Specfem3D().run(SNOWBALL_A9500)
+        xeon = Specfem3D().run(XEON_X5550)
+        row = compare_runs(xeon, snow)
+        assert row.benchmark == "SPECFEM3D"
+        assert row.ratio == pytest.approx(7.9, rel=0.05)
+        assert row.energy_ratio == pytest.approx(0.2, abs=0.05)
+
+    def test_gflops_per_watt(self):
+        assert gflops_per_watt(24e9, 95.0) == pytest.approx(0.2526, rel=0.01)
+        with pytest.raises(ConfigurationError):
+            gflops_per_watt(1e9, 0.0)
+
+    def test_mismatched_apps_rejected(self):
+        snow = Specfem3D().run(SNOWBALL_A9500)
+        xeon = Linpack().run(XEON_X5550)
+        with pytest.raises(ConfigurationError):
+            compare_runs(xeon, snow)

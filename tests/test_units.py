@@ -1,0 +1,69 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_binary_byte_prefixes(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024**2
+        assert units.GiB == 1024**3
+
+    def test_decimal_byte_prefixes(self):
+        assert units.KB == 1000
+        assert units.GB == 1000**3
+
+    def test_flops_ladder(self):
+        assert units.EFLOPS / units.PFLOPS == 1000
+        assert units.PFLOPS / units.TFLOPS == 1000
+        assert units.GFLOPS == 1e9
+
+    def test_time_constants(self):
+        assert units.MINUTE == 60
+        assert units.HOUR == 3600
+        assert units.US == pytest.approx(1000 * units.NS)
+
+
+class TestBitConversions:
+    def test_bits_to_bytes(self):
+        assert units.bits_to_bytes(1e9) == 125e6
+
+    def test_bytes_to_bits_roundtrip(self):
+        assert units.bits_to_bytes(units.bytes_to_bits(12345.0)) == 12345.0
+
+
+class TestFormatting:
+    def test_format_bytes_binary(self):
+        assert units.format_bytes(32 * 1024) == "32.0 KiB"
+
+    def test_format_bytes_decimal(self):
+        assert units.format_bytes(1e9, binary=False) == "1.0 GB"
+
+    def test_format_bytes_small(self):
+        assert units.format_bytes(12) == "12.0 B"
+
+    def test_format_bytes_huge_saturates_at_largest_suffix(self):
+        assert "TiB" in units.format_bytes(5 * 1024**5)
+
+    def test_format_rate_gflops(self):
+        assert units.format_rate(24e9) == "24.0 GFLOPS"
+
+    def test_format_rate_mflops(self):
+        assert units.format_rate(620e6) == "620.0 MFLOPS"
+
+    def test_format_rate_below_mflops(self):
+        assert units.format_rate(10.0) == "10.0 FLOPS"
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (186.8, "186.800 s"),
+            (0.0234, "23.400 ms"),
+            (2.1e-6, "2.100 us"),
+            (5e-9, "5.000 ns"),
+        ],
+    )
+    def test_format_seconds(self, seconds, expected):
+        assert units.format_seconds(seconds) == expected

@@ -1,0 +1,79 @@
+"""Tests for repro.tracing.timeline (ASCII Paraver view)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.tracing.recorder import TraceRecorder
+from repro.tracing.timeline import render_timeline
+
+
+def _recorder() -> TraceRecorder:
+    recorder = TraceRecorder()
+    # rank 0: compute 0-1s, alltoallv 1-2s
+    recorder.state(0, "compute", 0.0, 1.0)
+    recorder.state(0, "alltoallv", 1.0, 2.0)
+    # rank 1: compute the whole window
+    recorder.state(1, "compute", 0.0, 2.0)
+    return recorder
+
+
+class TestRenderTimeline:
+    def test_one_row_per_rank(self):
+        text = render_timeline(_recorder(), width=40)
+        lines = text.splitlines()
+        assert any(line.startswith("rank   0") for line in lines)
+        assert any(line.startswith("rank   1") for line in lines)
+
+    def test_states_occupy_their_halves(self):
+        text = render_timeline(_recorder(), width=40)
+        rank0 = next(l for l in text.splitlines() if l.startswith("rank   0"))
+        cells = rank0.split("|")[1]
+        first_half, second_half = cells[:20], cells[20:]
+        assert first_half.count("#") > 15
+        assert second_half.count("A") > 15
+
+    def test_idle_cells_are_dots(self):
+        recorder = TraceRecorder()
+        recorder.state(0, "compute", 0.0, 0.5)
+        recorder.state(0, "compute", 1.5, 2.0)
+        text = render_timeline(recorder, width=40)
+        cells = text.splitlines()[1].split("|")[1]
+        assert "." in cells[12:28]
+
+    def test_legend_lists_used_symbols(self):
+        text = render_timeline(_recorder(), width=40)
+        legend = text.splitlines()[-1]
+        assert "A=" in legend and "#=" in legend and ".=idle" in legend
+
+    def test_rank_filter(self):
+        text = render_timeline(_recorder(), width=40, ranks=[1])
+        assert "rank   0" not in text
+        assert "rank   1" in text
+
+    def test_window_selection(self):
+        text = render_timeline(_recorder(), width=40, t_start=1.0, t_end=2.0)
+        rank0 = next(l for l in text.splitlines() if l.startswith("rank   0"))
+        cells = rank0.split("|")[1]
+        assert cells.count("A") > 35  # whole window is the collective
+
+    def test_unknown_labels_get_spare_symbols(self):
+        recorder = TraceRecorder()
+        recorder.state(0, "exotic-phase", 0.0, 1.0)
+        text = render_timeline(recorder, width=20)
+        assert "a=exotic-phase" in text.splitlines()[-1]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            render_timeline(TraceRecorder())
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(TraceError):
+            render_timeline(_recorder(), t_start=5.0, t_end=1.0)
+
+    def test_unknown_rank_filter_rejected(self):
+        with pytest.raises(TraceError):
+            render_timeline(_recorder(), ranks=[99])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(TraceError):
+            render_timeline(_recorder(), width=2)
