@@ -1,0 +1,74 @@
+"""X9 — LINPACK under faults: time-to-solution with checkpoint/restart
+and the checkpoint-interval sweet spot (Daly's trade-off) on the
+simulated Tibidabo cluster."""
+
+from repro.apps import Linpack
+from repro.cluster import tibidabo
+from repro.core.report import render_table
+from repro.faults import checkpoint_interval_sweep, named_plan
+from repro.tracing import TraceRecorder, resilience_summary
+
+
+def _regenerate():
+    app = Linpack(cluster_n=4096, nb=256)
+    num_nodes, cores = 8, 16
+    cluster = tibidabo(num_nodes=num_nodes, seed=7)
+    clean = app.run_cluster(cluster, cores)
+    plan = named_plan("crashy", num_nodes=num_nodes, horizon_s=4.0 * clean, seed=7)
+    intervals = [max(0.5, f * clean) for f in (0.05, 0.15, 0.4, 1.0)]
+    sweep = checkpoint_interval_sweep(
+        cluster, cores, app.rank_program(cluster, cores), plan, intervals,
+        state_bytes=app.checkpoint_bytes(cluster, cores),
+    )
+    recorder = TraceRecorder()
+    single = app.run_under_faults(
+        cluster, cores,
+        named_plan("single-crash", num_nodes=num_nodes, horizon_s=clean, seed=7),
+        checkpoint_interval_s=max(0.5, clean / 6.0),
+        tracer=recorder,
+    )
+    return clean, plan, sweep, single, resilience_summary(recorder)
+
+
+def test_x9_faults_smoke(benchmark, artefact):
+    clean, plan, sweep, single, report = benchmark.pedantic(
+        _regenerate, rounds=1, iterations=1
+    )
+
+    rows = [
+        [
+            f"{interval:.2f}",
+            f"{result.wall_seconds:.2f}",
+            f"{result.rework_seconds:.2f}",
+            f"{result.checkpoint_overhead_seconds:.2f}",
+            result.restarts,
+        ]
+        for interval, result in sweep
+    ]
+    best_interval, best = min(sweep, key=lambda pair: pair[1].wall_seconds)
+    artefact(
+        "X9 — LINPACK under faults: checkpoint-interval sweep",
+        render_table(
+            f"clean {clean:.2f}s; plan 'crashy' with {len(plan.crashes)} crashes",
+            ["interval (s)", "wall (s)", "rework (s)", "ckpt ovh (s)", "restarts"],
+            rows,
+        )
+        + f"\n\nsweet spot: interval {best_interval:.2f}s -> {best.wall_seconds:.2f}s"
+        + f"\nsingle-crash run: wall {single.wall_seconds:.2f}s, "
+        f"restarts {single.restarts}, rework {single.rework_fraction:.1%}\n"
+        + report.format(),
+    )
+
+    # Every sweep point completed the job and is decomposed sanely.
+    for _, result in sweep:
+        assert result.wall_seconds >= result.useful_seconds
+        assert result.rework_seconds >= 0.0
+    # The crash was detected with the configured heartbeat latency and
+    # the job still completed.
+    assert single.restarts >= 1
+    assert report.crashes == 1
+    assert report.mean_detection_latency_s is not None
+    # Daly's trade-off: the best interval is interior or at least no
+    # worse than the extremes.
+    assert best.wall_seconds <= sweep[0][1].wall_seconds
+    assert best.wall_seconds <= sweep[-1][1].wall_seconds

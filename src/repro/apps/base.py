@@ -108,6 +108,52 @@ class ScalableAppModel(AppModel):
         )
         return job.run().elapsed_seconds
 
+    def checkpoint_bytes(self, cluster: ClusterModel, num_ranks: int) -> float:
+        """Coordinated-checkpoint footprint of the whole job in bytes.
+
+        The default charges a flat 64 MiB per rank; apps override with
+        their real working-set (LINPACK: the matrix, SPECFEM3D: the
+        wavefield, BigDFT: the wavefunctions).
+        """
+        if num_ranks < 1:
+            raise ConfigurationError("need at least one rank")
+        return 64e6 * num_ranks
+
+    def run_under_faults(
+        self,
+        cluster: ClusterModel,
+        num_ranks: int,
+        plan,
+        *,
+        checkpoint_interval_s: float = 30.0,
+        resilience=None,
+        tracer=None,
+    ):
+        """Time-to-solution of the cluster job under a fault plan.
+
+        Combines :meth:`rank_program` with the resilience stack:
+        checkpoint costs derive from :meth:`checkpoint_bytes`, the DES
+        probe runs under the plan's injector, and the result is a
+        :class:`~repro.faults.checkpoint.ResilientRunResult`.
+        """
+        # Deferred: keeps the apps layer importable without pulling in
+        # the whole fault stack for plain Figure 3 runs.
+        from repro.faults.checkpoint import CheckpointConfig, run_with_checkpoints
+
+        config = CheckpointConfig.from_state_bytes(
+            self.checkpoint_bytes(cluster, num_ranks),
+            interval_s=checkpoint_interval_s,
+        )
+        return run_with_checkpoints(
+            cluster,
+            num_ranks,
+            self.rank_program(cluster, num_ranks),
+            plan,
+            checkpoint=config,
+            resilience=resilience,
+            tracer=tracer,
+        )
+
     def speedup_curve(
         self,
         cluster: ClusterModel,

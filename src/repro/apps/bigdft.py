@@ -76,6 +76,11 @@ class BigDFT(ScalableAppModel):
         node = cluster.node
         return node.core.peak_flops(Precision.DOUBLE) * convolution_efficiency(node)
 
+    def checkpoint_bytes(self, cluster: ClusterModel, num_ranks: int) -> float:
+        """The wavefunctions: the alltoallv transposes them every SCF
+        iteration, so the full transpose volume is the job state."""
+        return float(self.alltoall_volume_bytes)
+
     def rank_program(self, cluster: ClusterModel, num_ranks: int):
         """One rank: convolutions, then the transposition alltoallv."""
         rate = self._rank_rate(cluster)

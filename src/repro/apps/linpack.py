@@ -88,6 +88,10 @@ class Linpack(ScalableAppModel):
         node = cluster.node
         return node.core.peak_flops(Precision.DOUBLE) * hpl_efficiency(node)
 
+    def checkpoint_bytes(self, cluster: ClusterModel, num_ranks: int) -> float:
+        """The factored matrix: 8*N^2 bytes across the whole job."""
+        return 8.0 * self.cluster_n**2
+
     def rank_program(self, cluster: ClusterModel, num_ranks: int):
         """One rank of the 2-D block-cyclic HPL sweep."""
         n = self.cluster_n

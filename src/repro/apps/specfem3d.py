@@ -87,6 +87,11 @@ class Specfem3D(ScalableAppModel):
         local = self.elements / num_ranks
         return max(64, int(self.halo_bytes_coefficient * local ** (2.0 / 3.0) / 100.0))
 
+    def checkpoint_bytes(self, cluster: ClusterModel, num_ranks: int) -> float:
+        """The wavefield: displacement/velocity/acceleration per
+        element, single precision (3 fields x 3 components x 4 B)."""
+        return 36.0 * self.elements
+
     def rank_program(self, cluster: ClusterModel, num_ranks: int):
         """One rank: per timestep, update local elements then exchange
         halos with up to six 3-D neighbours."""

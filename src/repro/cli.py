@@ -4,9 +4,10 @@
 prints it; ``python -m repro all`` walks through every one.  This is
 the quickest way to eyeball the reproduction without pytest.
 
-Artefacts: ``table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 x1 x2``.
+Artefacts: ``table1 table2 fig1 .. fig7 x1 .. x9 faults claims``.
 Options: ``--quick`` shrinks the cluster sweeps; ``--seed N`` reseeds
-the stochastic pieces.
+the stochastic pieces; ``--plan NAME`` picks the fault plan for the
+``faults`` artefact.
 """
 
 from __future__ import annotations
@@ -346,6 +347,90 @@ def _cmd_x8(args) -> None:
     print(f"  prototype : {app.run_cluster(proto, 36):.1f} s")
 
 
+def _cmd_faults(args) -> None:
+    from repro.apps import Linpack
+    from repro.cluster import tibidabo
+    from repro.core.report import render_table
+    from repro.faults import named_plan
+    from repro.tracing import TraceRecorder, resilience_summary
+
+    app = Linpack()
+    num_nodes = 32
+    counts = [8, 16] if args.quick else [8, 16, 32, 64]
+    cluster = tibidabo(num_nodes=num_nodes, seed=args.seed)
+    print(f"faults: LINPACK scaling under plan {args.plan!r} (seed {args.seed})\n")
+    rows = []
+    last_report = None
+    for cores in sorted(counts):
+        clean = app.run_cluster(cluster, cores)
+        # Target only the nodes the job occupies, so every fault can
+        # actually perturb it.
+        nodes_in_use = -(-cores // cluster.cores_per_node)
+        plan = named_plan(
+            args.plan, num_nodes=nodes_in_use, horizon_s=clean, seed=args.seed
+        )
+        recorder = TraceRecorder()
+        result = app.run_under_faults(
+            cluster, cores, plan,
+            checkpoint_interval_s=max(1.0, clean / 5.0),
+            tracer=recorder,
+        )
+        last_report = resilience_summary(recorder)
+        detect = last_report.mean_detection_latency_s
+        rows.append([
+            cores,
+            f"{clean:.2f}",
+            f"{result.wall_seconds:.2f}",
+            f"{result.slowdown:.2f}x",
+            result.restarts,
+            f"{result.rework_fraction:.1%}",
+            "-" if detect is None else f"{detect * 1e3:.0f} ms",
+            f"{last_report.retry_goodput_fraction:.2%}",
+        ])
+    print(render_table(
+        f"LINPACK time-to-solution under {args.plan!r} faults",
+        ["cores", "clean (s)", "faulty (s)", "slowdown", "restarts",
+         "rework", "detect", "retry loss"],
+        rows,
+    ))
+    print(f"\nresilience summary at {max(counts)} cores:")
+    print(last_report.format())
+
+
+def _cmd_x9(args) -> None:
+    from repro.apps import Linpack
+    from repro.cluster import tibidabo
+    from repro.core.report import render_series
+    from repro.faults import checkpoint_interval_sweep, named_plan
+
+    app = Linpack()
+    num_nodes, cores = 16, 32
+    cluster = tibidabo(num_nodes=num_nodes, seed=args.seed)
+    clean = app.run_cluster(cluster, cores)
+    plan = named_plan(
+        "crashy", num_nodes=num_nodes, horizon_s=4.0 * clean, seed=args.seed
+    )
+    fractions = [0.05, 0.2, 0.6] if args.quick else [0.02, 0.05, 0.1, 0.2, 0.4, 0.8]
+    intervals = [max(0.5, f * clean) for f in fractions]
+    sweep = checkpoint_interval_sweep(
+        cluster, cores, app.rank_program(cluster, cores), plan, intervals,
+        state_bytes=app.checkpoint_bytes(cluster, cores),
+    )
+    print(f"X9: LINPACK checkpoint-interval sweep under 'crashy' "
+          f"({len(plan.crashes)} crashes over {4.0 * clean:.0f}s horizon)")
+    print(render_series(
+        "time-to-solution vs checkpoint interval",
+        [(round(interval, 2), result.wall_seconds) for interval, result in sweep],
+        x_label="interval (s)", y_label="wall (s)",
+    ))
+    best_interval, best = min(sweep, key=lambda pair: pair[1].wall_seconds)
+    print(f"\nsweet spot: interval {best_interval:.1f}s -> "
+          f"wall {best.wall_seconds:.1f}s "
+          f"(rework {best.rework_fraction:.1%}, "
+          f"checkpoint overhead {best.checkpoint_overhead_seconds:.1f}s, "
+          f"{best.restarts} restarts)")
+
+
 def _cmd_claims(args) -> None:
     from repro.paper import audit
 
@@ -377,6 +462,8 @@ COMMANDS: dict[str, Callable] = {
     "x6": _cmd_x6,
     "x7": _cmd_x7,
     "x8": _cmd_x8,
+    "x9": _cmd_x9,
+    "faults": _cmd_faults,
 }
 
 
@@ -395,6 +482,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shrink the cluster sweeps")
     parser.add_argument("--seed", type=int, default=7,
                         help="seed for the stochastic pieces (default 7)")
+    parser.add_argument("--plan", default="montblanc",
+                        help="named fault plan for the faults artefact "
+                             "(none, single-crash, crashy, flaky-links, "
+                             "noisy, montblanc)")
     return parser
 
 

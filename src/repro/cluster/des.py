@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
@@ -42,6 +43,8 @@ class Simulator:
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule *callback* to run *delay* seconds from now."""
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay {delay})")
         event = Event(
@@ -87,6 +90,14 @@ class Process:
     when to :meth:`resume` the process (optionally sending a value
     back into the generator).  When the generator returns, the process
     is finished and ``finish_time`` records the virtual time.
+
+    Fault injection adds two further terminal states: a process can be
+    :meth:`killed <kill>` outright (its node crashed — the generator
+    never observes anything) or it can *fail* when an exception
+    :meth:`interrupted <interrupt>` into it propagates out uncaught
+    (the simulated MPI layer surfacing a peer's death).  A process that
+    catches the interrupt keeps running — that is how programs shrink
+    to the surviving ranks.
     """
 
     def __init__(self, sim: Simulator, generator: Generator[Any, Any, Any], *, name: str = "") -> None:
@@ -97,18 +108,56 @@ class Process:
         self.finish_time: float | None = None
         self.result: Any = None
         self.current_request: Any = None
+        self.crashed = False
+        self.failure: BaseException | None = None
+        self._pending_exc: BaseException | None = None
         self._waiters: list[Callable[[], None]] = []
+
+    @property
+    def terminated(self) -> bool:
+        """Whether the process can never run again (any terminal state)."""
+        return self.finished or self.crashed or self.failure is not None
 
     def start(self) -> None:
         """Schedule the first step at the current time."""
         self.sim.schedule(0.0, lambda: self.resume(None))
 
+    def kill(self) -> None:
+        """Terminate immediately (node crash): the generator is closed
+        without observing anything; stale wakeups become no-ops."""
+        if self.terminated:
+            return
+        self.crashed = True
+        self.finish_time = self.sim.now
+        self._generator.close()
+
+    def interrupt(self, exc: BaseException, *, immediate: bool = False) -> None:
+        """Arrange for *exc* to be thrown into the generator.
+
+        By default the exception is delivered at the process's next
+        wakeup — mirroring real MPI, where a rank only observes a
+        peer's death inside a communication call.  ``immediate=True``
+        delivers it now (used for ranks parked in a blocking receive,
+        which would otherwise never wake again).
+        """
+        if self.terminated:
+            return
+        self._pending_exc = exc
+        if immediate:
+            self.resume(None)
+
     def resume(self, value: Any = None) -> None:
         """Advance the generator, delivering *value* to the yield point."""
+        if self.crashed or self.failure is not None:
+            return  # stale wakeup of a dead process
         if self.finished:
             raise SimulationError(f"process {self.name!r} resumed after finish")
+        delivered_exc, self._pending_exc = self._pending_exc, None
         try:
-            self.current_request = self._generator.send(value)
+            if delivered_exc is not None:
+                self.current_request = self._generator.throw(delivered_exc)
+            else:
+                self.current_request = self._generator.send(value)
         except StopIteration as stop:
             self.finished = True
             self.finish_time = self.sim.now
@@ -116,6 +165,16 @@ class Process:
             for waiter in self._waiters:
                 waiter()
             self._waiters.clear()
+            return
+        except SimulationError as error:
+            if delivered_exc is None:
+                raise  # a genuine bug in the program, not an injected fault
+            self.failure = error
+            self.finish_time = self.sim.now
+            runtime = getattr(self, "runtime", None)
+            notify = getattr(runtime, "on_process_failure", None)
+            if notify is not None:
+                notify(self)
             return
         handler = getattr(self.current_request, "execute", None)
         if handler is None:

@@ -116,6 +116,21 @@ class Fabric:
         t = nic_dst.rx.occupy(t, nbytes) + nic_dst.latency_s
         return t
 
+    # -- fault-injection hooks ---------------------------------------------
+
+    def set_node_link_scale(self, node: int, factor: float) -> None:
+        """Degrade (or restore with 1.0) one node's NIC line rate."""
+        self._check_node(node)
+        self.nics[node].tx.set_bandwidth_scale(factor)
+        self.nics[node].rx.set_bandwidth_scale(factor)
+
+    def set_buffer_scale(self, factor: float) -> None:
+        """Shrink (or restore with 1.0) every switch's output buffers."""
+        for leaf in self.leaves:
+            leaf.set_buffer_scale(factor)
+        if self.root is not None:
+            self.root.set_buffer_scale(factor)
+
     def reset(self) -> None:
         """Clear all bookings and statistics for a fresh job."""
         for nic in self.nics:

@@ -12,7 +12,22 @@ Protocol model: small messages are *eager* (the sender continues after
 the injection overhead), large ones complete at delivery time.  There
 is no rendezvous handshake, so blocking-send rings cannot deadlock;
 a genuine dependency deadlock (recv without a matching send) is
-detected when the event queue drains with unfinished ranks.
+surfaced as a structured :class:`~repro.errors.DeadlockError` naming
+the stuck ranks and their pending requests when the event queue drains
+with unfinished ranks.
+
+Resilience: pass a :class:`~repro.faults.inject.FaultInjector` as
+``injector=`` and the runtime reacts to injected faults — sends to a
+flapping link pay per-message timeouts with exponential backoff
+(bounded retries, then a structured :class:`~repro.errors.LinkFailure`),
+and a heartbeat failure detector surfaces crashed ranks as a
+structured :class:`~repro.errors.RankFailure` instead of a drained
+queue hang.  Depending on the injector's
+:class:`~repro.faults.detect.ResilienceConfig`, a detected failure
+either aborts the whole job cleanly (``on_failure="abort"``) or fails
+only the ranks blocked on the dead peer so programs that catch
+:class:`RankFailure` can shrink to the surviving communicator
+(``on_failure="shrink"``).
 """
 
 from __future__ import annotations
@@ -22,7 +37,12 @@ from typing import Any, Callable, Generator, Hashable, Sequence
 
 from repro.cluster.cluster import ClusterModel
 from repro.cluster.des import Process, Simulator
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    LinkFailure,
+    SimulationError,
+)
 
 #: Messages up to this size are sent eagerly.
 EAGER_THRESHOLD_BYTES = 32 * 1024
@@ -333,11 +353,24 @@ class JobResult:
     rank_finish_times: list[float]
     messages_delivered: int
     loss_episodes: int
+    #: Ranks that died (node crash) or aborted on an uncaught failure.
+    failed_ranks: tuple[int, ...] = ()
+    #: Mean crash-to-detection latency over detected failures, if any.
+    detection_latency_s: float | None = None
+    #: Total seconds ranks spent in retry backoff (goodput lost).
+    retry_wait_seconds: float = 0.0
+    #: Fault events that fired during the job.
+    faults_injected: int = 0
 
     @property
     def num_ranks(self) -> int:
         """Communicator size."""
         return len(self.rank_finish_times)
+
+    @property
+    def completed(self) -> bool:
+        """Whether every rank ran to normal completion."""
+        return not self.failed_ranks
 
 
 class MpiJob:
@@ -351,6 +384,7 @@ class MpiJob:
         *,
         ranks_per_node: int | None = None,
         tracer: Any = None,
+        injector: Any = None,
     ) -> None:
         if num_ranks < 1:
             raise ConfigurationError(f"need at least one rank, got {num_ranks}")
@@ -361,11 +395,13 @@ class MpiJob:
         cluster.node_of_rank(num_ranks - 1, self.ranks_per_node)
         self.program_factory = program_factory
         self.tracer = tracer
+        self.injector = injector
         self.sim = Simulator()
         self._processes: list[Process] = []
         self._mailboxes: dict[tuple, list[Message]] = {}
         self._pending_recvs: dict[tuple, list[tuple[Process, Recv, float]]] = {}
         self.messages_delivered = 0
+        self.retry_wait_s = 0.0
 
     # -- request handlers ---------------------------------------------------
 
@@ -379,13 +415,64 @@ class MpiJob:
     def on_compute(self, process: Process, request: Compute) -> None:
         """Handle a Compute request: advance this rank's clock."""
         start = self.sim.now
+        seconds = request.seconds
+        if self.injector is not None:
+            # NodeSlowdown / OSNoiseBurst inflate the interval.
+            seconds *= self.injector.compute_scale(
+                self._node_of(process.rank), start
+            )
         def finish() -> None:
             self._trace_state(process.rank, request.label, start, self.sim.now)
             process.resume(None)
-        self.sim.schedule(request.seconds, finish)
+        self.sim.schedule(seconds, finish)
 
     def on_send(self, process: Process, request: Send) -> None:
-        """Handle a Send: book the route, schedule delivery, resume."""
+        """Handle a Send: book the route, schedule delivery, resume.
+
+        Under fault injection the send first clears the retry gate:
+        while either endpoint's link is flapping, the sender waits a
+        per-message timeout with exponential backoff and retries, up to
+        the policy's bound (then a structured LinkFailure).  A send to
+        a rank the failure detector has declared dead fails fast with
+        the detector's structured RankFailure.
+        """
+        if self.injector is None:
+            self._send_now(process, request)
+        else:
+            self._attempt_send(process, request, attempt=0, waited=0.0)
+
+    def _attempt_send(
+        self, process: Process, request: Send, attempt: int, waited: float
+    ) -> None:
+        if process.terminated:
+            return
+        injector = self.injector
+        src = process.rank
+        now = self.sim.now
+        dst_node = self._node_of(request.dst)
+        if injector.rank_detected_dead(request.dst):
+            process.interrupt(injector.failure_for_node(dst_node), immediate=True)
+            return
+        src_node = self._node_of(src)
+        if injector.link_down(src_node, now) or injector.link_down(dst_node, now):
+            policy = injector.resilience.retry
+            if attempt >= policy.max_retries:
+                process.interrupt(
+                    LinkFailure(src, request.dst, attempts=attempt, waited_s=waited),
+                    immediate=True,
+                )
+                return
+            wait = policy.wait_for(attempt)
+            self.retry_wait_s += wait
+            self._trace_state(src, "retry", now, now + wait)
+            self.sim.schedule(
+                wait,
+                lambda: self._attempt_send(process, request, attempt + 1, waited + wait),
+            )
+            return
+        self._send_now(process, request)
+
+    def _send_now(self, process: Process, request: Send) -> None:
         src = process.rank
         now = self.sim.now
         src_node = self._node_of(src)
@@ -436,6 +523,18 @@ class MpiJob:
         key = (process.rank, request.src, request.tag)
         mailbox = self._mailboxes.get(key)
         now = self.sim.now
+        if (
+            not mailbox
+            and self.injector is not None
+            and self.injector.rank_detected_dead(request.src)
+        ):
+            # The peer is confirmed dead and nothing is in flight:
+            # surface the structured failure instead of parking forever.
+            process.interrupt(
+                self.injector.failure_for_node(self._node_of(request.src)),
+                immediate=True,
+            )
+            return
         if mailbox:
             message = mailbox.pop(0)
             if not mailbox:
@@ -446,10 +545,84 @@ class MpiJob:
         else:
             self._pending_recvs.setdefault(key, []).append((process, request, now))
 
+    # -- failure reaction ---------------------------------------------------
+
+    def _remove_parked(self, process: Process) -> bool:
+        """Drop *process* from the pending-recv tables; True if found."""
+        found = False
+        for key in list(self._pending_recvs):
+            waiting = self._pending_recvs[key]
+            kept = [entry for entry in waiting if entry[0] is not process]
+            if len(kept) != len(waiting):
+                found = True
+                if kept:
+                    self._pending_recvs[key] = kept
+                else:
+                    del self._pending_recvs[key]
+        return found
+
+    def _fail_process(self, process: Process, exc: SimulationError) -> None:
+        """Deliver *exc* into a surviving rank.
+
+        Parked ranks (blocked in a recv, nothing scheduled to wake
+        them) get it immediately; ranks mid-compute or mid-transfer get
+        it at their next MPI wakeup — like real MPI, failures surface
+        inside communication calls.
+        """
+        parked = self._remove_parked(process)
+        process.interrupt(exc, immediate=parked)
+
+    def _on_failure_detected(self, record: Any) -> None:
+        """Injector callback: the heartbeat detector confirmed a death."""
+        exc = record.to_exception()
+        if self.injector.resilience.on_failure == "abort":
+            for process in self._processes:
+                if not process.terminated:
+                    self._fail_process(process, exc)
+            return
+        # Shrink mode: fail only ranks blocked on the dead peer now;
+        # later sends/recvs targeting it fail at call time.
+        dead = set(record.ranks)
+        for key in list(self._pending_recvs):
+            _, src, _ = key
+            if src in dead:
+                for process, _request, _posted in list(self._pending_recvs[key]):
+                    self._fail_process(process, exc)
+
+    def on_process_failure(self, process: Process) -> None:
+        """DES callback: *process* died on an uncaught injected fault.
+
+        Propagates the failure so nobody waits forever on a dead rank:
+        in abort mode every survivor is failed too; in shrink mode only
+        ranks already parked on a recv from the failed rank (cascading
+        as those fail in turn).
+        """
+        if self.injector is None:
+            return
+        exc = process.failure
+        if self.injector.resilience.on_failure == "abort":
+            for other in self._processes:
+                if not other.terminated:
+                    self._fail_process(other, exc)
+            return
+        failed_rank = process.rank  # type: ignore[attr-defined]
+        for key in list(self._pending_recvs):
+            _, src, _ = key
+            if src == failed_rank and key in self._pending_recvs:
+                for waiter, _request, _posted in list(self._pending_recvs[key]):
+                    self._fail_process(waiter, exc)
+
     # -- execution ------------------------------------------------------------
 
     def run(self) -> JobResult:
-        """Instantiate all rank programs and run to completion."""
+        """Instantiate all rank programs and run to completion.
+
+        Raises a structured :class:`~repro.errors.RankFailure` when a
+        detected failure aborts the job (``on_failure="abort"``), and a
+        :class:`~repro.errors.DeadlockError` naming the stuck ranks and
+        their pending requests when the queue drains with live ranks
+        still blocked — a silent hang is never possible.
+        """
         for rank in range(self.num_ranks):
             handle = MpiRank(rank, self.num_ranks)
             generator = self.program_factory(handle)
@@ -458,18 +631,37 @@ class MpiJob:
             process.runtime = self  # type: ignore[attr-defined]
             self._processes.append(process)
             process.start()
+        if self.injector is not None:
+            self.injector.arm(self)
         self.sim.run()
 
-        stuck = [p.name for p in self._processes if not p.finished]
+        stuck = [p for p in self._processes if not p.terminated]
         if stuck:
-            raise SimulationError(
-                f"deadlock: ranks never finished: {stuck[:8]}"
-                + ("..." if len(stuck) > 8 else "")
+            raise DeadlockError(
+                [(p.name, repr(p.current_request)) for p in stuck]
             )
+        failed = tuple(
+            p.rank  # type: ignore[attr-defined]
+            for p in self._processes
+            if p.crashed or p.failure is not None
+        )
+        detection_latency = None
+        faults_fired = 0
+        if self.injector is not None:
+            if failed and self.injector.resilience.on_failure == "abort":
+                if self.injector.failures:
+                    raise self.injector.failures[0].to_exception()
+                raise next(p.failure for p in self._processes if p.failure is not None)
+            detection_latency = self.injector.mean_detection_latency_s
+            faults_fired = self.injector.fired
         finish_times = [p.finish_time or 0.0 for p in self._processes]
         return JobResult(
             elapsed_seconds=max(finish_times),
             rank_finish_times=finish_times,
             messages_delivered=self.messages_delivered,
             loss_episodes=self.cluster.fabric.total_loss_episodes(),
+            failed_ranks=failed,
+            detection_latency_s=detection_latency,
+            retry_wait_seconds=self.retry_wait_s,
+            faults_injected=faults_fired,
         )

@@ -26,11 +26,24 @@ class SerialResource:
         if bandwidth_bytes_per_s <= 0:
             raise ConfigurationError(f"{name}: bandwidth must be positive")
         self.name = name
+        self.nominal_bandwidth = bandwidth_bytes_per_s
         self.bandwidth = bandwidth_bytes_per_s
         self.free_at = 0.0
         self.bytes_carried = 0
         self.messages_carried = 0
         self.busy_time = 0.0
+
+    def set_bandwidth_scale(self, factor: float) -> None:
+        """Degrade (or restore) the line rate to ``factor`` x nominal.
+
+        Fault injection uses this for ``LinkDegrade`` events — an
+        auto-negotiation fallback or a half-duplex misbehaving link.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: bandwidth scale must be in (0, 1], got {factor}"
+            )
+        self.bandwidth = self.nominal_bandwidth * factor
 
     def occupy(self, now: float, nbytes: int) -> float:
         """Serialize *nbytes* starting no earlier than *now*.
@@ -52,7 +65,8 @@ class SerialResource:
         return max(0.0, self.free_at - now)
 
     def reset(self) -> None:
-        """Clear bookings and statistics (new job on the same fabric)."""
+        """Clear bookings, statistics and degradations (new job)."""
+        self.bandwidth = self.nominal_bandwidth
         self.free_at = 0.0
         self.bytes_carried = 0
         self.messages_carried = 0

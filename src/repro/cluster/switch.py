@@ -138,6 +138,17 @@ class SwitchModel:
         self._rng = random.Random(seed)
         self.loss_episodes = 0
         self.collapsed_bursts = 0
+        #: Fault-injection hook (``SwitchBufferShrink``): scales the
+        #: effective per-port buffer without rebuilding the spec.
+        self.buffer_scale = 1.0
+
+    def set_buffer_scale(self, factor: float) -> None:
+        """Shrink (or restore) the effective output buffers."""
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(
+                f"{self.name}: buffer scale must be in (0, 1], got {factor}"
+            )
+        self.buffer_scale = factor
 
     def port(self, index: int) -> SerialResource:
         """The output-port resource for *index*."""
@@ -156,6 +167,7 @@ class SwitchModel:
             burst.reset()
         self.loss_episodes = 0
         self.collapsed_bursts = 0
+        self.buffer_scale = 1.0
 
     def forward(
         self,
@@ -179,7 +191,7 @@ class SwitchModel:
         port = self.port(out_port)
         burst = self._bursts[out_port]
         spec = self.spec
-        buffer_drain_s = spec.buffer_bytes / port.bandwidth
+        buffer_drain_s = spec.buffer_bytes * self.buffer_scale / port.bandwidth
         backlog = port.backlog_seconds(now)
 
         if backlog <= buffer_drain_s:

@@ -32,6 +32,70 @@ class NetworkError(SimulationError):
     """The cluster network simulation reached an invalid state."""
 
 
+class DeadlockError(SimulationError):
+    """An MPI job drained its event queue with ranks still blocked.
+
+    ``stuck`` holds ``(rank_name, pending_request)`` pairs describing
+    what each blocked rank was waiting for when the queue emptied.
+    """
+
+    def __init__(self, stuck: list[tuple[str, str]]) -> None:
+        self.stuck = list(stuck)
+        shown = ", ".join(f"{name} waiting on {request}" for name, request in self.stuck[:8])
+        more = "..." if len(self.stuck) > 8 else ""
+        super().__init__(f"deadlock: {len(self.stuck)} rank(s) blocked: {shown}{more}")
+
+
+class FaultError(SimulationError):
+    """Base class for injected-fault failures surfaced by the simulator."""
+
+
+class RankFailure(FaultError):
+    """One or more MPI ranks died (node crash) and the failure was
+    detected; carries the structured who/when of the failure."""
+
+    def __init__(
+        self,
+        failed_ranks: tuple[int, ...],
+        *,
+        crash_time_s: float,
+        detected_time_s: float,
+        node: int | None = None,
+    ) -> None:
+        self.failed_ranks = tuple(failed_ranks)
+        self.crash_time_s = crash_time_s
+        self.detected_time_s = detected_time_s
+        self.node = node
+        super().__init__(
+            f"rank(s) {list(self.failed_ranks)} failed at t={crash_time_s:.4f}s "
+            f"(detected t={detected_time_s:.4f}s, "
+            f"latency {self.detection_latency_s * 1e3:.1f}ms)"
+        )
+
+    @property
+    def detection_latency_s(self) -> float:
+        """Seconds between the crash and its detection."""
+        return self.detected_time_s - self.crash_time_s
+
+
+class LinkFailure(FaultError):
+    """A point-to-point transfer exhausted its retry budget."""
+
+    def __init__(self, src: int, dst: int, *, attempts: int, waited_s: float) -> None:
+        self.src = src
+        self.dst = dst
+        self.attempts = attempts
+        self.waited_s = waited_s
+        super().__init__(
+            f"send {src} -> {dst} failed after {attempts} attempts "
+            f"({waited_s:.3f}s of retry backoff)"
+        )
+
+
+class CheckpointError(FaultError):
+    """The checkpoint/restart orchestration could not make progress."""
+
+
 class TraceError(ReproError):
     """A trace could not be recorded, exported or parsed."""
 

@@ -1,0 +1,364 @@
+"""Fault models and deterministic fault schedules.
+
+A :class:`FaultPlan` is an immutable, time-sorted schedule of fault
+events that :class:`~repro.faults.inject.FaultInjector` arms onto a
+running :class:`~repro.cluster.mpi.MpiJob`.  Plans are either written
+out explicitly (tests, targeted experiments) or *generated* from a
+seeded RNG (:meth:`FaultPlan.generate`) with exponential inter-arrival
+times — the memoryless failure process behind MTTF arithmetic.  The
+same seed always yields byte-identical schedules, which is what makes
+resilience experiments reproducible.
+
+The event vocabulary covers the failure modes the Mont-Blanc
+deployment actually fought (arXiv:1508.05075 reports node and network
+reliability as first-class operational concerns):
+
+* :class:`NodeCrash` — fail-stop node death; its ranks vanish.
+* :class:`NodeSlowdown` — thermal throttling / a sick DIMM: computation
+  on the node runs slower for a while.
+* :class:`LinkDegrade` — auto-negotiation fallback: the node's NIC
+  serializes at a fraction of line rate for a while.
+* :class:`LinkFlap` — the link goes *down* outright for a window;
+  sends during the window pay timeout + exponential-backoff retries.
+* :class:`SwitchBufferShrink` — fabric-wide buffer pressure (PAUSE
+  storms, firmware misbehaviour): shallower buffers make the paper's
+  incast collapse strictly worse for a while.
+* :class:`OSNoiseBurst` — a daemon storm stealing a fraction of every
+  compute interval on the node (all nodes when ``node`` is None).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigurationError
+
+
+def _check_time(time_s: float) -> None:
+    if not math.isfinite(time_s) or time_s < 0:
+        raise ConfigurationError(f"fault time must be finite and >= 0, got {time_s}")
+
+
+def _check_duration(duration_s: float) -> None:
+    if not math.isfinite(duration_s) or duration_s <= 0:
+        raise ConfigurationError(
+            f"fault duration must be finite and positive, got {duration_s}"
+        )
+
+
+def _check_factor(factor: float, *, name: str) -> None:
+    if not 0.0 < factor <= 1.0:
+        raise ConfigurationError(f"{name} must be in (0, 1], got {factor}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class: one scheduled fault trigger."""
+
+    time_s: float
+
+    #: Short identifier used in traces and reports.
+    kind = "fault"
+
+    def __post_init__(self) -> None:
+        _check_time(self.time_s)
+
+    def shifted(self, offset_s: float) -> "FaultEvent":
+        """This event with its trigger moved ``offset_s`` earlier."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values["time_s"] = self.time_s - offset_s
+        return type(self)(**values)
+
+
+@dataclass(frozen=True)
+class NodeCrash(FaultEvent):
+    """Fail-stop crash of one node at ``time_s``."""
+
+    node: int = 0
+    kind = "crash"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ConfigurationError(f"negative node {self.node}")
+
+
+@dataclass(frozen=True)
+class NodeSlowdown(FaultEvent):
+    """Node computes at ``factor`` x nominal speed for ``duration_s``."""
+
+    node: int = 0
+    factor: float = 0.5
+    duration_s: float = 1.0
+    kind = "slowdown"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ConfigurationError(f"negative node {self.node}")
+        _check_factor(self.factor, name="slowdown factor")
+        _check_duration(self.duration_s)
+
+
+@dataclass(frozen=True)
+class LinkDegrade(FaultEvent):
+    """Node's NIC runs at ``factor`` x line rate for ``duration_s``."""
+
+    node: int = 0
+    factor: float = 0.1
+    duration_s: float = 1.0
+    kind = "degrade"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ConfigurationError(f"negative node {self.node}")
+        _check_factor(self.factor, name="link degrade factor")
+        _check_duration(self.duration_s)
+
+
+@dataclass(frozen=True)
+class LinkFlap(FaultEvent):
+    """Node's link is down for ``duration_s``; sends retry with backoff."""
+
+    node: int = 0
+    duration_s: float = 0.5
+    kind = "flap"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node < 0:
+            raise ConfigurationError(f"negative node {self.node}")
+        _check_duration(self.duration_s)
+
+
+@dataclass(frozen=True)
+class SwitchBufferShrink(FaultEvent):
+    """All switch buffers shrink to ``factor`` x for ``duration_s``."""
+
+    factor: float = 0.25
+    duration_s: float = 1.0
+    kind = "buffer-shrink"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        _check_factor(self.factor, name="buffer shrink factor")
+        _check_duration(self.duration_s)
+
+
+@dataclass(frozen=True)
+class OSNoiseBurst(FaultEvent):
+    """Daemon storm stealing ``stolen_fraction`` of compute time.
+
+    Applies to one node, or to every node when ``node`` is None — the
+    synchronized-housekeeping worst case.
+    """
+
+    node: int | None = None
+    stolen_fraction: float = 0.2
+    duration_s: float = 1.0
+    kind = "os-noise"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.node is not None and self.node < 0:
+            raise ConfigurationError(f"negative node {self.node}")
+        if not 0.0 < self.stolen_fraction < 1.0:
+            raise ConfigurationError(
+                f"stolen_fraction must be in (0, 1), got {self.stolen_fraction}"
+            )
+        _check_duration(self.duration_s)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-sorted schedule of fault events."""
+
+    events: tuple[FaultEvent, ...] = ()
+    name: str = "custom"
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: (e.time_s, e.kind)))
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> tuple[FaultEvent, ...]:
+        """All events of one kind, in trigger order."""
+        return tuple(e for e in self.events if e.kind == kind)
+
+    @property
+    def crashes(self) -> tuple[NodeCrash, ...]:
+        """The node-crash events, in trigger order."""
+        return tuple(e for e in self.events if isinstance(e, NodeCrash))
+
+    def mttf_seconds(self, horizon_s: float) -> float:
+        """Mean time to (crash) failure over an observation horizon."""
+        if horizon_s <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon_s}")
+        crashes = self.crashes
+        if not crashes:
+            return math.inf
+        return horizon_s / len(crashes)
+
+    def shifted(self, offset_s: float) -> "FaultPlan":
+        """The plan re-based ``offset_s`` later: events that already
+        fired (trigger < offset) are dropped, the rest move earlier.
+
+        Checkpoint/restart uses this so faults keep their *absolute*
+        wall-clock triggers across restart attempts.
+        """
+        if offset_s < 0:
+            raise ConfigurationError(f"negative shift {offset_s}")
+        kept = tuple(e.shifted(offset_s) for e in self.events if e.time_s >= offset_s)
+        return FaultPlan(events=kept, name=self.name, seed=self.seed)
+
+    @classmethod
+    def generate(
+        cls,
+        *,
+        seed: int,
+        num_nodes: int,
+        horizon_s: float,
+        node_mttf_s: float | None = None,
+        slowdown_mtbf_s: float | None = None,
+        flap_mtbf_s: float | None = None,
+        degrade_mtbf_s: float | None = None,
+        noise_mtbf_s: float | None = None,
+        name: str = "generated",
+    ) -> "FaultPlan":
+        """Draw a schedule from exponential inter-arrival processes.
+
+        Each ``*_mttf/mtbf_s`` is the *cluster-wide* mean time between
+        events of that class over the horizon; None disables the
+        class.  All draws come from one ``random.Random(seed)``, so the
+        schedule is a pure function of the arguments.
+        """
+        if num_nodes < 1:
+            raise ConfigurationError("need at least one node")
+        if horizon_s <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon_s}")
+        rng = random.Random(seed)
+        events: list[FaultEvent] = []
+
+        def arrivals(mean_s: float | None):
+            if mean_s is None:
+                return
+            if mean_s <= 0:
+                raise ConfigurationError(f"mean interval must be positive, got {mean_s}")
+            t = rng.expovariate(1.0 / mean_s)
+            while t < horizon_s:
+                yield t
+                t += rng.expovariate(1.0 / mean_s)
+
+        for t in arrivals(node_mttf_s):
+            events.append(NodeCrash(time_s=t, node=rng.randrange(num_nodes)))
+        for t in arrivals(slowdown_mtbf_s):
+            events.append(NodeSlowdown(
+                time_s=t,
+                node=rng.randrange(num_nodes),
+                factor=rng.uniform(0.3, 0.8),
+                duration_s=rng.uniform(0.05, 0.3) * horizon_s,
+            ))
+        for t in arrivals(flap_mtbf_s):
+            events.append(LinkFlap(
+                time_s=t,
+                node=rng.randrange(num_nodes),
+                duration_s=rng.uniform(0.2, 2.0),
+            ))
+        for t in arrivals(degrade_mtbf_s):
+            events.append(LinkDegrade(
+                time_s=t,
+                node=rng.randrange(num_nodes),
+                factor=rng.uniform(0.05, 0.5),
+                duration_s=rng.uniform(0.05, 0.2) * horizon_s,
+            ))
+        for t in arrivals(noise_mtbf_s):
+            events.append(OSNoiseBurst(
+                time_s=t,
+                node=None if rng.random() < 0.5 else rng.randrange(num_nodes),
+                stolen_fraction=rng.uniform(0.05, 0.35),
+                duration_s=rng.uniform(0.05, 0.2) * horizon_s,
+            ))
+        return cls(events=tuple(events), name=name, seed=seed)
+
+
+#: Named plan factories for the CLI and benchmarks; each takes
+#: (num_nodes, horizon_s, seed) and returns a FaultPlan.
+def _plan_none(num_nodes: int, horizon_s: float, seed: int) -> FaultPlan:
+    return FaultPlan(events=(), name="none", seed=seed)
+
+
+def _plan_single_crash(num_nodes: int, horizon_s: float, seed: int) -> FaultPlan:
+    rng = random.Random(seed)
+    node = rng.randrange(num_nodes)
+    return FaultPlan(
+        events=(NodeCrash(time_s=0.4 * horizon_s, node=node),),
+        name="single-crash",
+        seed=seed,
+    )
+
+
+def _plan_crashy(num_nodes: int, horizon_s: float, seed: int) -> FaultPlan:
+    return FaultPlan.generate(
+        seed=seed, num_nodes=num_nodes, horizon_s=horizon_s,
+        node_mttf_s=horizon_s / 3.0, name="crashy",
+    )
+
+
+def _plan_flaky_links(num_nodes: int, horizon_s: float, seed: int) -> FaultPlan:
+    return FaultPlan.generate(
+        seed=seed, num_nodes=num_nodes, horizon_s=horizon_s,
+        flap_mtbf_s=horizon_s / 4.0, degrade_mtbf_s=horizon_s / 3.0,
+        name="flaky-links",
+    )
+
+
+def _plan_noisy(num_nodes: int, horizon_s: float, seed: int) -> FaultPlan:
+    return FaultPlan.generate(
+        seed=seed, num_nodes=num_nodes, horizon_s=horizon_s,
+        slowdown_mtbf_s=horizon_s / 3.0, noise_mtbf_s=horizon_s / 3.0,
+        name="noisy",
+    )
+
+
+def _plan_montblanc(num_nodes: int, horizon_s: float, seed: int) -> FaultPlan:
+    """The full operational cocktail: crashes, flaps, noise, pressure."""
+    base = FaultPlan.generate(
+        seed=seed, num_nodes=num_nodes, horizon_s=horizon_s,
+        node_mttf_s=horizon_s / 2.0, flap_mtbf_s=horizon_s / 2.0,
+        slowdown_mtbf_s=horizon_s / 2.0, noise_mtbf_s=horizon_s / 2.0,
+        name="montblanc",
+    )
+    shrink = SwitchBufferShrink(
+        time_s=0.25 * horizon_s, factor=0.25, duration_s=0.25 * horizon_s
+    )
+    return FaultPlan(events=(*base.events, shrink), name="montblanc", seed=seed)
+
+
+NAMED_PLANS = {
+    "none": _plan_none,
+    "single-crash": _plan_single_crash,
+    "crashy": _plan_crashy,
+    "flaky-links": _plan_flaky_links,
+    "noisy": _plan_noisy,
+    "montblanc": _plan_montblanc,
+}
+
+
+def named_plan(name: str, *, num_nodes: int, horizon_s: float, seed: int = 0) -> FaultPlan:
+    """Build one of the named plans (see :data:`NAMED_PLANS`)."""
+    try:
+        factory = NAMED_PLANS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault plan {name!r}; choose from {sorted(NAMED_PLANS)}"
+        ) from None
+    return factory(num_nodes, horizon_s, seed)

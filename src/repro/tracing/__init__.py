@@ -11,11 +11,18 @@ collectives are short, some are *delayed* (Figure 4).
 * :mod:`repro.tracing.paraver` — Paraver ``.prv`` export and a parser
   for round-trip tests;
 * :mod:`repro.tracing.analysis` — delayed-collective detection, the
-  programmatic equivalent of the paper's green circles.
+  programmatic equivalent of the paper's green circles, plus the
+  resilience summary (MTTF, detection latency, retry goodput loss,
+  rework fraction) mined from :class:`FaultRecord` entries.
 """
 
-from repro.tracing.analysis import CollectiveInstance, analyze_collectives
-from repro.tracing.events import CommEvent, StateEvent
+from repro.tracing.analysis import (
+    CollectiveInstance,
+    ResilienceReport,
+    analyze_collectives,
+    resilience_summary,
+)
+from repro.tracing.events import CommEvent, FaultRecord, StateEvent
 from repro.tracing.paraver import export_pcf, export_prv, export_row, parse_prv
 from repro.tracing.recorder import NullTracer, TraceRecorder
 from repro.tracing.timeline import render_timeline
@@ -23,10 +30,13 @@ from repro.tracing.timeline import render_timeline
 __all__ = [
     "CollectiveInstance",
     "CommEvent",
+    "FaultRecord",
     "NullTracer",
+    "ResilienceReport",
     "StateEvent",
     "TraceRecorder",
     "analyze_collectives",
+    "resilience_summary",
     "export_pcf",
     "export_prv",
     "export_row",

@@ -1,4 +1,4 @@
-"""Delayed-collective detection (the Figure 4 analysis).
+"""Trace mining: delayed collectives (Figure 4) and resilience.
 
 The paper reads BigDFT's trace and finds that the ``all_to_all_v``
 collectives "should be small" but "when using 36 cores most of these
@@ -10,10 +10,17 @@ this problem."
 instance, measures each instance's span, and flags the delayed ones
 relative to the typical (median) instance — the programmatic version
 of circling the long green blobs in Paraver.
+
+:func:`resilience_summary` mines the fault records the
+:class:`~repro.faults.inject.FaultInjector` and checkpoint layer leave
+in the trace: mean time to failure, crash-to-detection latency,
+goodput lost to retry backoff, and the fraction of the run spent
+re-doing work lost to rollbacks.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.core.stats import summarize
@@ -60,6 +67,105 @@ class CollectiveReport:
         if not self.instances:
             return 0.0
         return len(self.delayed) / len(self.instances)
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Resilience metrics mined from one trace's fault records."""
+
+    faults_injected: int
+    crashes: int
+    mttf_seconds: float | None
+    detection_latencies_s: tuple[float, ...]
+    retry_seconds: float
+    retry_goodput_fraction: float
+    rework_seconds: float
+    rework_fraction: float
+    restarts: int
+    horizon_seconds: float
+
+    @property
+    def mean_detection_latency_s(self) -> float | None:
+        """Mean crash-to-detection latency, or None without detections."""
+        if not self.detection_latencies_s:
+            return None
+        return math.fsum(self.detection_latencies_s) / len(self.detection_latencies_s)
+
+    def format(self) -> str:
+        """Multi-line human-readable summary (the CLI prints this)."""
+        mttf = "n/a" if self.mttf_seconds is None else f"{self.mttf_seconds:.2f} s"
+        latency = self.mean_detection_latency_s
+        latency_text = "n/a" if latency is None else f"{latency * 1e3:.1f} ms"
+        return "\n".join([
+            f"faults injected        : {self.faults_injected}",
+            f"node crashes           : {self.crashes}",
+            f"MTTF                   : {mttf}",
+            f"detection latency      : {latency_text}",
+            f"retry wait (all ranks) : {self.retry_seconds:.3f} s",
+            f"goodput lost to retries: {self.retry_goodput_fraction * 100:.2f} %",
+            f"restarts               : {self.restarts}",
+            f"rework                 : {self.rework_seconds:.2f} s"
+            f" ({self.rework_fraction * 100:.2f} % of horizon)",
+        ])
+
+
+#: Fault-record kinds that correspond to injected plan events (the
+#: detector's "detect" and the checkpoint layer's "restart" are
+#: consequences, not injections).
+_INJECTED_KINDS = frozenset(
+    {"crash", "slowdown", "degrade", "flap", "buffer-shrink", "os-noise"}
+)
+
+
+def resilience_summary(
+    recorder: TraceRecorder,
+    *,
+    horizon_s: float | None = None,
+) -> ResilienceReport:
+    """Mine the resilience metrics out of *recorder*'s fault records.
+
+    ``horizon_s`` is the observation window used for MTTF and the
+    goodput/rework fractions; it defaults to the latest timestamp in
+    the trace (including fault records, which the checkpoint layer may
+    stamp past the DES probe's end).
+    """
+    if horizon_s is None:
+        horizon_s = max(
+            [recorder.end_time] + [f.time_s for f in recorder.faults]
+        )
+    if horizon_s <= 0:
+        raise TraceError(f"resilience horizon must be positive, got {horizon_s}")
+
+    injected = [f for f in recorder.faults if f.kind in _INJECTED_KINDS]
+    crashes = recorder.faults_of("crash")
+    detections = [
+        f for f in recorder.faults_of("detect") if f.get("latency_s") is not None
+    ]
+    restarts = recorder.faults_of("restart")
+
+    num_ranks = recorder.num_ranks
+    retry_seconds = math.fsum(
+        s.duration for s in recorder.states if s.label == "retry"
+    )
+    # Goodput lost: rank-seconds burnt waiting out backoff, relative to
+    # the total rank-seconds available over the horizon.
+    retry_fraction = (
+        retry_seconds / (num_ranks * horizon_s) if num_ranks else 0.0
+    )
+    rework_seconds = math.fsum(f.get("rework_s", 0.0) for f in restarts)
+
+    return ResilienceReport(
+        faults_injected=len(injected),
+        crashes=len(crashes),
+        mttf_seconds=horizon_s / len(crashes) if crashes else None,
+        detection_latencies_s=tuple(f["latency_s"] for f in detections),
+        retry_seconds=retry_seconds,
+        retry_goodput_fraction=retry_fraction,
+        rework_seconds=rework_seconds,
+        rework_fraction=rework_seconds / horizon_s,
+        restarts=len(restarts),
+        horizon_seconds=horizon_s,
+    )
 
 
 def analyze_collectives(

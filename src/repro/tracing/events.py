@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Hashable
+from dataclasses import dataclass, field
+from typing import Any, Hashable
 
 from repro.errors import TraceError
 
@@ -64,3 +64,40 @@ class CommEvent:
         if isinstance(tag, tuple) and len(tag) >= 2 and isinstance(tag[0], str):
             return (tag[0], tag[1])
         return None
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault-layer event: an injection, a detection, or a recovery.
+
+    ``kind`` is the event family (``"crash"``, ``"detect"``,
+    ``"slowdown"``, ``"degrade"``, ``"flap"``, ``"buffer-shrink"``,
+    ``"os-noise"``, ``"restart"``); ``target`` names the afflicted
+    entity (``"node3"``, ``"fabric"``, ``"job"``); ``detail`` carries
+    kind-specific numbers as a sorted, immutable item tuple so that
+    same-seed traces compare (and repr) byte-identically.
+    """
+
+    kind: str
+    time_s: float
+    target: str
+    detail: tuple[tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise TraceError(f"fault {self.kind!r} before time zero: {self.time_s}")
+        object.__setattr__(self, "detail", tuple(sorted(self.detail)))
+
+    def __getitem__(self, key: str) -> Any:
+        for name, value in self.detail:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Detail value for *key*, or *default*."""
+        for name, value in self.detail:
+            if name == key:
+                return value
+        return default
+

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import TraceError
-from repro.tracing.events import CommEvent, StateEvent
+from repro.tracing.events import CommEvent, FaultRecord, StateEvent
 
 
 class NullTracer:
@@ -23,6 +23,9 @@ class NullTracer:
     def comm(self, message: Any) -> None:
         """Discard a message record."""
 
+    def fault(self, kind: str, time_s: float, target: str, **detail: Any) -> None:
+        """Discard a fault record."""
+
 
 class TraceRecorder:
     """Accumulates the full event history of one MPI job."""
@@ -30,6 +33,7 @@ class TraceRecorder:
     def __init__(self) -> None:
         self.states: list[StateEvent] = []
         self.comms: list[CommEvent] = []
+        self.faults: list[FaultRecord] = []
 
     # -- MpiJob-facing interface -------------------------------------------
 
@@ -49,6 +53,20 @@ class TraceRecorder:
                 arrival_time=message.arrival_time,
                 label=message.label,
             )
+        )
+
+    def fault(self, kind: str, time_s: float, target: str, **detail: Any) -> None:
+        """Record one fault-layer event (injection/detection/recovery).
+
+        List-valued details are frozen to tuples so records stay
+        immutable and same-seed traces compare byte-identically.
+        """
+        items = tuple(
+            (key, tuple(value) if isinstance(value, list) else value)
+            for key, value in sorted(detail.items())
+        )
+        self.faults.append(
+            FaultRecord(kind=kind, time_s=time_s, target=target, detail=items)
         )
 
     # -- queries -----------------------------------------------------------
@@ -79,6 +97,10 @@ class TraceRecorder:
         """All messages with a given label (e.g. ``"alltoallv"``)."""
         return [c for c in self.comms if c.label == label]
 
+    def faults_of(self, kind: str) -> list[FaultRecord]:
+        """All fault records of one kind (e.g. ``"crash"``)."""
+        return [f for f in self.faults if f.kind == kind]
+
     def time_in_state(self, rank: int, label: str) -> float:
         """Total seconds *rank* spent in *label* states."""
         return sum(s.duration for s in self.states_of(rank, label))
@@ -91,3 +113,8 @@ class TraceRecorder:
         for comm in self.comms:
             if comm.send_time < 0:
                 raise TraceError(f"message before time zero: {comm}")
+        for previous, current in zip(self.faults, self.faults[1:]):
+            if current.time_s < previous.time_s:
+                raise TraceError(
+                    f"fault records out of order: {current} after {previous}"
+                )

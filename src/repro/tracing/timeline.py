@@ -29,6 +29,9 @@ _STATE_SYMBOLS = {
     "halo": "H",
     "gather": "G",
     "scatter": "S",
+    "retry": "r",
+    "checkpoint": "C",
+    "rework": "w",
 }
 _SPARE_SYMBOLS = "abcdefghijklm"
 _IDLE = "."

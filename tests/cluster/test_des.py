@@ -38,6 +38,56 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             Simulator().schedule(-0.5, lambda: None)
 
+    @pytest.mark.parametrize("delay", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_delay_rejected(self, delay):
+        with pytest.raises(SimulationError, match="finite"):
+            Simulator().schedule(delay, lambda: None)
+
+    def test_non_finite_absolute_time_rejected(self):
+        with pytest.raises(SimulationError, match="finite"):
+            Simulator().schedule_at(float("nan"), lambda: None)
+
+    def test_cancel_one_of_same_timestamp_tie(self):
+        """Cancelling one event of a tie must not disturb the others'
+        FIFO order."""
+        sim = Simulator()
+        fired = []
+        events = [
+            sim.schedule(1.0, lambda n=name: fired.append(n)) for name in "abcd"
+        ]
+        events[1].cancel()  # drop "b" only
+        sim.run()
+        assert fired == ["a", "c", "d"]
+        assert sim.now == 1.0
+
+    def test_cancel_mid_drain_preserves_fifo(self):
+        """An event that cancels a same-timestamp sibling while the tie
+        is draining: the sibling is skipped, later events keep order."""
+        sim = Simulator()
+        fired = []
+        victim = None
+
+        def assassin():
+            fired.append("assassin")
+            victim.cancel()
+
+        sim.schedule(1.0, assassin)
+        victim = sim.schedule(1.0, lambda: fired.append("victim"))
+        sim.schedule(1.0, lambda: fired.append("bystander"))
+        sim.schedule(2.0, lambda: fired.append("later"))
+        sim.run()
+        assert fired == ["assassin", "bystander", "later"]
+        assert sim.events_executed == 3
+
+    def test_cancelled_events_not_counted_pending(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(1.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        keep.cancel()
+        assert sim.pending == 0
+
     def test_run_until_pauses_cleanly(self):
         sim = Simulator()
         fired = []
@@ -161,3 +211,68 @@ class TestProcess:
         Process(sim, worker("slow", 1.5)).start()
         sim.run()
         assert log == [("fast", 1.0), ("slow", 1.5), ("fast", 2.0), ("slow", 3.0)]
+
+
+class TestProcessFaultStates:
+    def test_kill_makes_scheduled_wakeups_stale(self):
+        sim = Simulator()
+        log = []
+
+        def generator():
+            yield Timeout(1.0)
+            log.append("woke")  # must never run
+
+        process = Process(sim, generator(), name="victim")
+        process.start()
+        sim.schedule(0.5, process.kill)
+        sim.run()
+        assert log == []
+        assert process.crashed and process.terminated and not process.finished
+        assert process.finish_time == 0.5
+
+    def test_interrupt_deferred_until_next_wakeup(self):
+        sim = Simulator()
+        seen = []
+
+        def generator():
+            try:
+                yield Timeout(1.0)
+            except SimulationError:
+                seen.append(sim.now)
+
+        process = Process(sim, generator())
+        process.start()
+        sim.schedule(0.2, lambda: process.interrupt(SimulationError("boom")))
+        sim.run()
+        assert seen == [1.0]  # delivered at the wakeup, not at 0.2
+        assert process.finished  # the program caught it and returned
+
+    def test_uncaught_interrupt_records_failure(self):
+        sim = Simulator()
+
+        def generator():
+            yield Timeout(1.0)
+
+        process = Process(sim, generator())
+        process.start()
+        exc = SimulationError("peer died")
+        sim.schedule(0.2, lambda: process.interrupt(exc))
+        sim.run()
+        assert process.failure is exc
+        assert process.terminated and not process.finished and not process.crashed
+
+    def test_immediate_interrupt_wakes_parked_process(self):
+        sim = Simulator()
+
+        def generator():
+            yield Timeout(10.0)
+
+        process = Process(sim, generator())
+        process.start()
+        sim.schedule(
+            0.5,
+            lambda: process.interrupt(SimulationError("now"), immediate=True),
+        )
+        sim.run(until=1.0)
+        assert process.failure is not None
+        assert process.finish_time == 0.5

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cluster.cluster import tibidabo
 from repro.cluster.mpi import EAGER_THRESHOLD_BYTES, MpiJob, MpiRank
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, DeadlockError, SimulationError
 
 
 def _cluster(nodes=8, seed=0):
@@ -110,6 +110,32 @@ class TestPointToPoint:
 
         with pytest.raises(SimulationError, match="deadlock"):
             _run(program, ranks=2)
+
+    def test_deadlock_error_names_stuck_ranks_and_requests(self):
+        """Recv-without-send: the error is structured, naming every
+        stuck rank and the request it is parked on."""
+        def program(rank):
+            if rank.rank == 0:
+                yield rank.recv(1, tag="never-sent")
+            else:
+                yield rank.compute(0.01)
+
+        with pytest.raises(DeadlockError) as info:
+            _run(program, ranks=2)
+        error = info.value
+        assert [name for name, _ in error.stuck] == ["rank0"]
+        assert "never-sent" in error.stuck[0][1]
+        assert "rank0" in str(error) and "1 rank(s) blocked" in str(error)
+
+    def test_deadlock_error_lists_every_stuck_rank(self):
+        def program(rank):
+            yield rank.recv((rank.rank + 1) % rank.size, tag="nope")
+
+        with pytest.raises(DeadlockError) as info:
+            _run(program, ranks=3)
+        assert sorted(name for name, _ in info.value.stuck) == [
+            "rank0", "rank1", "rank2",
+        ]
 
     def test_compute_only_job(self):
         def program(rank):

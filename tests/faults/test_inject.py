@@ -1,0 +1,199 @@
+"""Tests for repro.faults.inject + the MPI layer's resilience hooks."""
+
+import pytest
+
+from repro.cluster import MpiJob, tibidabo
+from repro.errors import ConfigurationError, LinkFailure, RankFailure
+from repro.faults import (
+    FailureDetector,
+    FaultInjector,
+    FaultPlan,
+    LinkDegrade,
+    LinkFlap,
+    NodeCrash,
+    NodeSlowdown,
+    OSNoiseBurst,
+    ResilienceConfig,
+    RetryPolicy,
+    SwitchBufferShrink,
+)
+from repro.tracing import TraceRecorder
+
+
+def _cluster(nodes=8, seed=0):
+    return tibidabo(num_nodes=nodes, seed=seed)
+
+
+def _alltoallv_program(steps=5, compute_s=0.1, nbytes=50_000):
+    def program(rank):
+        for _ in range(steps):
+            yield rank.compute(compute_s)
+            yield from rank.alltoallv([nbytes] * rank.size)
+
+    return program
+
+
+def _job(cluster, ranks, program, plan, *, resilience=None, tracer=None):
+    injector = FaultInjector(plan, resilience=resilience)
+    return MpiJob(cluster, ranks, program, tracer=tracer, injector=injector)
+
+
+class TestNodeCrash:
+    def test_crash_mid_alltoallv_surfaces_structured_rank_failure(self):
+        """The acceptance scenario: a node dies mid-collective; the job
+        must abort with a structured RankFailure — never hang silently —
+        and the trace must carry the detection latency."""
+        cluster = _cluster()
+        recorder = TraceRecorder()
+        detector = FailureDetector(heartbeat_period_s=0.05, miss_threshold=3)
+        plan = FaultPlan(events=(NodeCrash(time_s=0.15, node=2),))
+        job = _job(
+            cluster, 8, _alltoallv_program(), plan,
+            resilience=ResilienceConfig(detector=detector), tracer=recorder,
+        )
+        with pytest.raises(RankFailure) as info:
+            job.run()
+        failure = info.value
+        assert failure.failed_ranks == (4, 5)  # node 2 hosts ranks 4, 5
+        assert failure.crash_time_s == pytest.approx(0.15)
+        assert failure.detection_latency_s == pytest.approx(0.15)  # 3 x 50 ms
+        assert failure.node == 2
+
+        crashes = recorder.faults_of("crash")
+        detects = recorder.faults_of("detect")
+        assert len(crashes) == 1 and len(detects) == 1
+        assert crashes[0].time_s == pytest.approx(0.15)
+        assert detects[0]["latency_s"] == pytest.approx(0.15)
+        assert detects[0]["ranks"] == (4, 5)
+
+    def test_shrink_mode_lets_survivors_continue(self):
+        """on_failure="shrink": survivors observe RankFailure inside
+        their communication calls and may catch it and carry on."""
+        survivors = []
+
+        def program(rank):
+            try:
+                for _ in range(5):
+                    yield rank.compute(0.1)
+                    yield from rank.alltoallv([50_000] * rank.size)
+            except RankFailure as failure:
+                assert 4 in failure.failed_ranks
+                survivors.append(rank.rank)
+
+        cluster = _cluster()
+        plan = FaultPlan(events=(NodeCrash(time_s=0.15, node=2),))
+        job = _job(
+            cluster, 8, program, plan,
+            resilience=ResilienceConfig(on_failure="shrink"),
+        )
+        result = job.run()
+        assert result.failed_ranks == (4, 5)
+        assert sorted(survivors) == [0, 1, 2, 3, 6, 7]
+        assert result.detection_latency_s == pytest.approx(0.15)
+
+    def test_crash_of_unused_node_is_harmless(self):
+        cluster = _cluster()
+        plan = FaultPlan(events=(NodeCrash(time_s=0.1, node=7),))
+        job = _job(cluster, 4, _alltoallv_program(steps=2), plan)  # nodes 0-1
+        result = job.run()
+        assert result.completed
+        assert result.failed_ranks == ()
+
+    def test_crash_after_completion_is_harmless(self):
+        cluster = _cluster()
+        plan = FaultPlan(events=(NodeCrash(time_s=1e6, node=0),))
+        job = _job(cluster, 4, _alltoallv_program(steps=1), plan)
+        result = job.run()
+        assert result.completed and result.failed_ranks == ()
+
+
+class TestPerturbations:
+    def _elapsed(self, plan, *, ranks=4, seed=0):
+        cluster = _cluster(seed=seed)
+        job = _job(cluster, ranks, _alltoallv_program(steps=3), plan)
+        result = job.run()
+        assert result.completed
+        return result
+
+    def test_slowdown_stretches_the_run(self):
+        clean = self._elapsed(FaultPlan())
+        slowed = self._elapsed(FaultPlan(events=(
+            NodeSlowdown(time_s=0.0, node=0, factor=0.25, duration_s=60.0),
+        )))
+        assert slowed.elapsed_seconds > clean.elapsed_seconds * 1.5
+
+    def test_os_noise_steals_compute_time(self):
+        clean = self._elapsed(FaultPlan())
+        noisy = self._elapsed(FaultPlan(events=(
+            OSNoiseBurst(time_s=0.0, node=None, stolen_fraction=0.5, duration_s=60.0),
+        )))
+        assert noisy.elapsed_seconds > clean.elapsed_seconds * 1.2
+
+    def test_link_degrade_slows_traffic_then_recovers(self):
+        clean = self._elapsed(FaultPlan())
+        degraded = self._elapsed(FaultPlan(events=(
+            LinkDegrade(time_s=0.0, node=0, factor=0.05, duration_s=0.4),
+        )))
+        assert degraded.elapsed_seconds > clean.elapsed_seconds
+
+    def test_flap_pays_retry_backoff_then_succeeds(self):
+        clean = self._elapsed(FaultPlan())
+        flapped = self._elapsed(FaultPlan(events=(
+            LinkFlap(time_s=0.1, node=0, duration_s=0.3),
+        )))
+        assert flapped.retry_wait_seconds > 0
+        assert flapped.elapsed_seconds > clean.elapsed_seconds
+
+    def test_flap_longer_than_retry_budget_raises_link_failure(self):
+        cluster = _cluster()
+        policy = RetryPolicy(timeout_s=0.01, backoff=2.0, max_retries=2)
+        plan = FaultPlan(events=(LinkFlap(time_s=0.05, node=0, duration_s=500.0),))
+        job = _job(
+            cluster, 4, _alltoallv_program(), plan,
+            resilience=ResilienceConfig(retry=policy),
+        )
+        with pytest.raises(LinkFailure, match="attempts"):
+            job.run()
+
+    def test_buffer_shrink_causes_extra_loss_episodes(self):
+        def incast(rank):
+            for _ in range(3):
+                if rank.rank == 0:
+                    for src in range(1, rank.size):
+                        yield rank.recv(src, tag="incast")
+                else:
+                    yield rank.send(0, 200_000, tag="incast")
+                yield from rank.barrier()
+
+        def losses(plan):
+            cluster = _cluster(nodes=16)
+            job = _job(cluster, 16, incast, plan)
+            return job.run().loss_episodes
+
+        clean = losses(FaultPlan())
+        squeezed = losses(FaultPlan(events=(
+            SwitchBufferShrink(time_s=0.0, factor=0.05, duration_s=600.0),
+        )))
+        assert squeezed >= clean
+
+
+class TestInjectorLifecycle:
+    def test_injector_is_one_shot(self):
+        plan = FaultPlan(events=(NodeCrash(time_s=0.1, node=0),))
+        injector = FaultInjector(plan)
+        cluster = _cluster()
+        job = MpiJob(cluster, 2, _alltoallv_program(steps=1), injector=injector)
+        with pytest.raises(RankFailure):
+            job.run()
+        second = MpiJob(cluster, 2, _alltoallv_program(steps=1), injector=injector)
+        with pytest.raises(ConfigurationError, match="one-shot"):
+            second.run()
+
+    def test_faults_injected_counted_in_result(self):
+        cluster = _cluster()
+        plan = FaultPlan(events=(
+            NodeSlowdown(time_s=0.01, node=0, factor=0.5, duration_s=0.1),
+            LinkFlap(time_s=0.02, node=1, duration_s=0.05),
+        ))
+        result = _job(cluster, 4, _alltoallv_program(steps=2), plan).run()
+        assert result.faults_injected == 2

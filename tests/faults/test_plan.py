@@ -1,0 +1,120 @@
+"""Tests for repro.faults.plan — the fault vocabulary and schedules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    NAMED_PLANS,
+    FaultPlan,
+    LinkDegrade,
+    LinkFlap,
+    NodeCrash,
+    NodeSlowdown,
+    OSNoiseBurst,
+    SwitchBufferShrink,
+    named_plan,
+)
+
+
+class TestEvents:
+    def test_events_are_frozen(self):
+        crash = NodeCrash(time_s=1.0, node=3)
+        with pytest.raises(AttributeError):
+            crash.node = 4
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeCrash(time_s=-1.0, node=0)
+
+    def test_slowdown_factor_must_be_in_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            NodeSlowdown(time_s=0.0, node=0, factor=1.5, duration_s=1.0)
+        with pytest.raises(ConfigurationError):
+            NodeSlowdown(time_s=0.0, node=0, factor=0.0, duration_s=1.0)
+
+    def test_noise_stolen_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            OSNoiseBurst(time_s=0.0, node=None, stolen_fraction=1.0, duration_s=1.0)
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkFlap(time_s=0.0, node=0, duration_s=0.0)
+
+    def test_shifted_moves_trigger_earlier(self):
+        flap = LinkFlap(time_s=5.0, node=1, duration_s=0.5)
+        moved = flap.shifted(3.0)
+        assert moved.time_s == 2.0
+        assert moved.node == 1 and moved.duration_s == 0.5
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan(events=(
+            NodeCrash(time_s=5.0, node=0),
+            LinkFlap(time_s=1.0, node=2, duration_s=0.1),
+        ))
+        assert [e.time_s for e in plan] == [1.0, 5.0]
+
+    def test_of_kind_and_crashes(self):
+        plan = FaultPlan(events=(
+            NodeCrash(time_s=5.0, node=0),
+            SwitchBufferShrink(time_s=2.0, factor=0.5, duration_s=1.0),
+            NodeCrash(time_s=9.0, node=1),
+        ))
+        assert len(plan.crashes) == 2
+        assert len(plan.of_kind("buffer-shrink")) == 1
+
+    def test_mttf(self):
+        import math
+
+        plan = FaultPlan(events=(
+            NodeCrash(time_s=5.0, node=0),
+            NodeCrash(time_s=9.0, node=1),
+        ))
+        assert plan.mttf_seconds(20.0) == pytest.approx(10.0)
+        assert FaultPlan(events=()).mttf_seconds(20.0) == math.inf
+
+    def test_shifted_drops_already_fired_events(self):
+        plan = FaultPlan(events=(
+            NodeCrash(time_s=1.0, node=0),
+            NodeCrash(time_s=5.0, node=1),
+        ))
+        rest = plan.shifted(2.0)
+        assert len(rest) == 1
+        assert rest.events[0].time_s == pytest.approx(3.0)
+
+
+class TestGenerate:
+    def test_same_seed_identical_plans(self):
+        kwargs = dict(num_nodes=16, horizon_s=100.0, node_mttf_s=40.0)
+        first = FaultPlan.generate(seed=11, **kwargs)
+        second = FaultPlan.generate(seed=11, **kwargs)
+        assert first.events == second.events
+        assert repr(first) == repr(second)
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(num_nodes=16, horizon_s=500.0, node_mttf_s=50.0)
+        assert (
+            FaultPlan.generate(seed=1, **kwargs).events
+            != FaultPlan.generate(seed=2, **kwargs).events
+        )
+
+    def test_events_respect_horizon(self):
+        plan = FaultPlan.generate(
+            seed=0, num_nodes=8, horizon_s=60.0,
+            node_mttf_s=10.0, flap_mtbf_s=15.0, noise_mtbf_s=20.0,
+        )
+        assert plan.events  # dense plan: something must fire
+        assert all(0.0 <= e.time_s <= 60.0 for e in plan)
+
+    def test_named_plans_cover_the_catalogue(self):
+        for name in NAMED_PLANS:
+            plan = named_plan(name, num_nodes=8, horizon_s=30.0, seed=1)
+            assert plan.name == name
+
+    def test_unknown_named_plan_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault plan"):
+            named_plan("meteor-strike", num_nodes=8, horizon_s=30.0)
+
+    def test_none_plan_is_empty(self):
+        assert len(named_plan("none", num_nodes=8, horizon_s=30.0)) == 0

@@ -1,0 +1,90 @@
+"""Tests for the resilience trace mining (repro.tracing.analysis)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.tracing import FaultRecord, TraceRecorder, resilience_summary
+
+
+def _recorder_with_story():
+    recorder = TraceRecorder()
+    # Two ranks computing over a 10 s window.
+    recorder.state(0, "compute", 0.0, 10.0)
+    recorder.state(1, "compute", 0.0, 4.0)
+    recorder.state(1, "retry", 4.0, 4.5)
+    recorder.state(1, "compute", 4.5, 10.0)
+    # A flap, a crash, its detection, and one restart.
+    recorder.fault("flap", 4.0, "node1", duration_s=0.3)
+    recorder.fault("crash", 6.0, "node0", ranks=[0, 1])
+    recorder.fault("detect", 6.2, "node0", latency_s=0.2, ranks=[0, 1])
+    recorder.fault("restart", 9.0, "job", rework_s=1.5, restart=1)
+    return recorder
+
+
+class TestResilienceSummary:
+    def test_counts_and_metrics(self):
+        report = resilience_summary(_recorder_with_story())
+        assert report.faults_injected == 2  # flap + crash; detect/restart excluded
+        assert report.crashes == 1
+        assert report.restarts == 1
+        assert report.horizon_seconds == pytest.approx(10.0)
+        assert report.mttf_seconds == pytest.approx(10.0)
+        assert report.detection_latencies_s == (0.2,)
+        assert report.mean_detection_latency_s == pytest.approx(0.2)
+        assert report.retry_seconds == pytest.approx(0.5)
+        # 0.5 rank-seconds lost out of 2 ranks x 10 s.
+        assert report.retry_goodput_fraction == pytest.approx(0.025)
+        assert report.rework_seconds == pytest.approx(1.5)
+        assert report.rework_fraction == pytest.approx(0.15)
+
+    def test_explicit_horizon_overrides(self):
+        report = resilience_summary(_recorder_with_story(), horizon_s=20.0)
+        assert report.mttf_seconds == pytest.approx(20.0)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(TraceError):
+            resilience_summary(_recorder_with_story(), horizon_s=0.0)
+
+    def test_fault_free_trace(self):
+        recorder = TraceRecorder()
+        recorder.state(0, "compute", 0.0, 1.0)
+        report = resilience_summary(recorder)
+        assert report.faults_injected == 0
+        assert report.mttf_seconds is None
+        assert report.mean_detection_latency_s is None
+        assert report.rework_fraction == 0.0
+        assert "MTTF" in report.format()
+
+    def test_faults_of_query(self):
+        recorder = _recorder_with_story()
+        assert len(recorder.faults_of("crash")) == 1
+        assert recorder.faults_of("crash")[0].target == "node0"
+
+
+class TestFaultRecord:
+    def test_detail_sorted_and_frozen(self):
+        record = FaultRecord(
+            kind="crash", time_s=1.0, target="node0",
+            detail=(("z", 1), ("a", 2)),
+        )
+        assert record.detail == (("a", 2), ("z", 1))
+        assert record["a"] == 2
+        assert record.get("missing", 42) == 42
+        with pytest.raises(KeyError):
+            record["missing"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TraceError):
+            FaultRecord(kind="crash", time_s=-1.0, target="node0")
+
+    def test_recorder_freezes_list_details(self):
+        recorder = TraceRecorder()
+        recorder.fault("crash", 1.0, "node0", ranks=[3, 4])
+        assert recorder.faults[0]["ranks"] == (3, 4)
+
+    def test_out_of_order_faults_fail_sanity(self):
+        recorder = TraceRecorder()
+        recorder.fault("crash", 5.0, "node0")
+        recorder.fault("flap", 1.0, "node1")
+        with pytest.raises(TraceError, match="out of order"):
+            recorder.check_sanity()

@@ -18,7 +18,8 @@ class TestParser:
         expected = {
             "claims", "table1", "table2", "fig1", "fig2", "fig3", "fig4",
             "fig5", "fig6", "fig7",
-            "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8",
+            "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9",
+            "faults",
         }
         assert set(COMMANDS) == expected
 
@@ -26,6 +27,7 @@ class TestParser:
         args = build_parser().parse_args(["fig1"])
         assert args.seed == 7
         assert not args.quick
+        assert args.plan == "montblanc"
 
 
 class TestCommands:
@@ -111,3 +113,19 @@ class TestCommands:
         assert main(["x8"]) == 0
         out = capsys.readouterr().out
         assert "prototype" in out
+
+    def test_x9_quick(self, capsys):
+        assert main(["x9", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "sweet spot" in out and "rework" in out
+
+    def test_faults_quick(self, capsys):
+        assert main(["faults", "--quick", "--plan", "single-crash"]) == 0
+        out = capsys.readouterr().out
+        assert "resilience summary" in out
+        assert "MTTF" in out and "detection latency" in out
+        assert "goodput lost to retries" in out and "rework" in out
+
+    def test_faults_unknown_plan_fails_cleanly(self, capsys):
+        assert main(["faults", "--quick", "--plan", "meteor"]) == 1
+        assert "unknown fault plan" in capsys.readouterr().err
