@@ -15,6 +15,14 @@ _ARTEFACTS: list[tuple[str, str]] = []
 
 
 @pytest.fixture
+def engine(tmp_path):
+    """A per-test :class:`ExperimentEngine` with an isolated cache."""
+    from repro.engine import ExperimentEngine, ResultCache
+
+    return ExperimentEngine(cache=ResultCache(tmp_path / "cache"))
+
+
+@pytest.fixture
 def artefact():
     """Register a rendered artefact: ``artefact(name, text)``."""
 

@@ -6,23 +6,17 @@ nodes [cores]" with a linear region past 32; SPECFEM3D ~90% at 192
 cores versus a 4-core baseline; BigDFT's "efficiency drops rapidly".
 """
 
-import pytest
-
-from repro.apps import BigDFT, Linpack, Specfem3D
-from repro.cluster import tibidabo
 from repro.core.report import render_series
+from repro.engine.sweeps import run_speedup_curve
 
 
-@pytest.fixture(scope="module")
-def cluster():
-    return tibidabo(num_nodes=96, seed=7)
-
-
-def test_fig3a_linpack_speedup(benchmark, artefact, cluster):
-    app = Linpack()
+def test_fig3a_linpack_speedup(benchmark, artefact, engine):
     counts = [1, 2, 4, 8, 16, 32, 64, 100]
     curve = benchmark.pedantic(
-        lambda: app.speedup_curve(cluster, counts), rounds=1, iterations=1
+        lambda: run_speedup_curve(
+            engine, "linpack", counts=counts, num_nodes=96, seed=7
+        ),
+        rounds=1, iterations=1,
     )
     artefact(
         "Figure 3a — LINPACK speedup on Tibidabo",
@@ -39,11 +33,13 @@ def test_fig3a_linpack_speedup(benchmark, artefact, cluster):
     assert slope_b > 0.6 * slope_a
 
 
-def test_fig3b_specfem3d_speedup(benchmark, artefact, cluster):
-    app = Specfem3D()
+def test_fig3b_specfem3d_speedup(benchmark, artefact, engine):
     counts = [4, 8, 16, 32, 64, 128, 192]
     curve = benchmark.pedantic(
-        lambda: app.speedup_curve(cluster, counts, baseline_cores=4),
+        lambda: run_speedup_curve(
+            engine, "specfem3d", counts=counts, num_nodes=96, seed=7,
+            baseline_cores=4,
+        ),
         rounds=1, iterations=1,
     )
     artefact(
@@ -56,11 +52,13 @@ def test_fig3b_specfem3d_speedup(benchmark, artefact, cluster):
     assert by_cores[64] / 64 > 0.95
 
 
-def test_fig3c_bigdft_speedup(benchmark, artefact, cluster):
-    app = BigDFT()
+def test_fig3c_bigdft_speedup(benchmark, artefact, engine):
     counts = [1, 2, 4, 8, 16, 24, 32, 36]
     curve = benchmark.pedantic(
-        lambda: app.speedup_curve(cluster, counts), rounds=1, iterations=1
+        lambda: run_speedup_curve(
+            engine, "bigdft", counts=counts, num_nodes=96, seed=7
+        ),
+        rounds=1, iterations=1,
     )
     artefact(
         "Figure 3c — BigDFT speedup on Tibidabo",

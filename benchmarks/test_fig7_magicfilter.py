@@ -10,13 +10,14 @@ import pytest
 
 from repro.arch import TEGRA2_NODE, XEON_X5550
 from repro.core.report import render_table
+from repro.engine.sweeps import run_magicfilter_sweep
 from repro.kernels import MagicFilterBenchmark
 from repro.kernels.magicfilter import UNROLL_RANGE
 
 
-def _sweep(machine):
+def _sweep(engine, machine):
     bench = MagicFilterBenchmark(machine)
-    sweep = bench.sweep()
+    sweep = run_magicfilter_sweep(engine, machine.name)
     return bench, sweep
 
 
@@ -32,8 +33,8 @@ def _render(name, sweep):
     )
 
 
-def test_fig7a_nehalem(benchmark, artefact):
-    bench, sweep = benchmark(lambda: _sweep(XEON_X5550))
+def test_fig7a_nehalem(benchmark, artefact, engine):
+    bench, sweep = benchmark(lambda: _sweep(engine, XEON_X5550))
     artefact("Figure 7a — Intel Nehalem", _render("Nehalem", sweep)
              + f"\nsweet spot: {bench.sweet_spot()} (paper: [4:12])")
 
@@ -48,8 +49,8 @@ def test_fig7a_nehalem(benchmark, artefact):
     assert accesses[9] > accesses[7]
 
 
-def test_fig7b_tegra2(benchmark, artefact):
-    bench, sweep = benchmark(lambda: _sweep(TEGRA2_NODE))
+def test_fig7b_tegra2(benchmark, artefact, engine):
+    bench, sweep = benchmark(lambda: _sweep(engine, TEGRA2_NODE))
     artefact("Figure 7b — NVIDIA Tegra 2", _render("Tegra2", sweep)
              + f"\nsweet spot: {bench.sweet_spot()} (paper: [4:7])")
 

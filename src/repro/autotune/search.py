@@ -21,12 +21,26 @@ Objective = Callable[[Mapping[str, Any]], float]
 
 @dataclass
 class SearchResult:
-    """Outcome of one search: the minimizer found and the trajectory."""
+    """Outcome of one search: the minimizer found and the trajectory.
+
+    ``evaluations`` counts *unique* points whose objective was computed
+    (``history`` records exactly those, in evaluation order);
+    ``total_calls`` counts every objective request the strategy made,
+    including revisits served from the memo.  A hill-climb that keeps
+    re-probing known neighbors therefore reports its real work in
+    ``total_calls`` instead of silently folding it into ``evaluations``.
+    """
 
     best_point: Point
     best_value: float
     evaluations: int
     history: list[tuple[Point, float]] = field(default_factory=list)
+    total_calls: int = 0
+
+    @property
+    def memo_hits(self) -> int:
+        """Objective requests answered without recomputation."""
+        return self.total_calls - self.evaluations
 
 
 class SearchStrategy:
@@ -34,26 +48,79 @@ class SearchStrategy:
 
     name = "search"
 
+    #: Optional on-disk memo (a :class:`repro.engine.ResultCache`) plus
+    #: the invariants identifying this search's objective; installed by
+    #: :meth:`attach_cache` (e.g. from an AutoTuner wired to the
+    #: experiment engine).
+    _result_cache = None
+    _cache_key: Mapping[str, Any] | None = None
+
+    def attach_cache(self, cache, key: Mapping[str, Any]) -> None:
+        """Memoize objective values in *cache* under invariants *key*.
+
+        *cache* follows the ``repro.engine.ResultCache`` protocol
+        (``get``/``put`` of JSON payloads by content key); *key* must
+        hold everything the objective's value depends on besides the
+        point itself (machine, problem shape, seed, ...).
+        """
+        self._result_cache = cache
+        self._cache_key = dict(key)
+
+    def _evaluator(self, objective: Objective, space: ParameterSpace) -> "_Evaluator":
+        return _Evaluator(
+            objective, space,
+            result_cache=self._result_cache, cache_key=self._cache_key,
+        )
+
     def minimize(self, objective: Objective, space: ParameterSpace) -> SearchResult:
         """Return the best point found."""
         raise NotImplementedError
 
 
 class _Evaluator:
-    """Memoizing objective wrapper shared by the strategies."""
+    """Memoizing objective wrapper shared by the strategies.
 
-    def __init__(self, objective: Objective, space: ParameterSpace) -> None:
+    Two memo layers: an in-process dict (always), and optionally the
+    experiment engine's content-addressed on-disk cache, so repeated
+    tuning runs across processes skip recomputation too.
+    """
+
+    def __init__(
+        self,
+        objective: Objective,
+        space: ParameterSpace,
+        *,
+        result_cache=None,
+        cache_key: Mapping[str, Any] | None = None,
+    ) -> None:
         self.objective = objective
         self.space = space
         self.cache: dict[tuple, float] = {}
         self.history: list[tuple[Point, float]] = []
+        self.calls = 0
+        self.objective_calls = 0
+        self._result_cache = result_cache
+        self._cache_key = dict(cache_key) if cache_key is not None else None
+
+    def _disk_key(self, point: Point) -> dict[str, Any]:
+        return {"search": self._cache_key or {}, "point": dict(point)}
 
     def __call__(self, point: Point) -> float:
         self.space.validate(point)
+        self.calls += 1
         key = tuple(sorted((k, repr(v)) for k, v in point.items()))
         if key in self.cache:
             return self.cache[key]
-        value = float(self.objective(point))
+        value = None
+        if self._result_cache is not None:
+            payload = self._result_cache.get(self._disk_key(point))
+            if payload is not None:
+                value = float(payload["value"])
+        if value is None:
+            value = float(self.objective(point))
+            self.objective_calls += 1
+            if self._result_cache is not None:
+                self._result_cache.put(self._disk_key(point), {"value": value})
         self.cache[key] = value
         self.history.append((dict(point), value))
         return value
@@ -71,6 +138,7 @@ class _Evaluator:
             best_value=best_value,
             evaluations=self.evaluations,
             history=self.history,
+            total_calls=self.calls,
         )
 
 
@@ -82,7 +150,7 @@ class ExhaustiveSearch(SearchStrategy):
 
     def minimize(self, objective: Objective, space: ParameterSpace) -> SearchResult:
         """Visit the whole space."""
-        evaluator = _Evaluator(objective, space)
+        evaluator = self._evaluator(objective, space)
         for point in space:
             evaluator(point)
         return evaluator.result()
@@ -102,7 +170,7 @@ class RandomSearch(SearchStrategy):
     def minimize(self, objective: Objective, space: ParameterSpace) -> SearchResult:
         """Sample *budget* random points (with replacement)."""
         rng = random.Random(self.seed)
-        evaluator = _Evaluator(objective, space)
+        evaluator = self._evaluator(objective, space)
         for _ in range(self.budget):
             evaluator(space.random_point(rng))
         return evaluator.result()
@@ -126,7 +194,7 @@ class HillClimbSearch(SearchStrategy):
     def minimize(self, objective: Objective, space: ParameterSpace) -> SearchResult:
         """Descend from *restarts* random starting points."""
         rng = random.Random(self.seed)
-        evaluator = _Evaluator(objective, space)
+        evaluator = self._evaluator(objective, space)
         for _ in range(self.restarts):
             current = space.random_point(rng)
             current_value = evaluator(current)

@@ -8,6 +8,14 @@ Artefacts: ``table1 table2 fig1 .. fig7 x1 .. x9 faults claims``.
 Options: ``--quick`` shrinks the cluster sweeps; ``--seed N`` reseeds
 the stochastic pieces; ``--plan NAME`` picks the fault plan for the
 ``faults`` artefact.
+
+The sweep-shaped artefacts route through :class:`repro.engine
+.ExperimentEngine`: ``--jobs N`` fans points across worker processes,
+and completed points are memoized in a content-addressed cache
+(``--cache-dir``, default ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``;
+``--no-cache`` disables it), so re-running a figure recomputes nothing.
+Engine summaries print on stderr, keeping stdout byte-stable across
+job counts and cache states.
 """
 
 from __future__ import annotations
@@ -81,22 +89,23 @@ def _cmd_fig2(args) -> None:
 
 
 def _cmd_fig3(args) -> None:
-    from repro.apps import BigDFT, Linpack, Specfem3D
-    from repro.cluster import tibidabo
     from repro.core.report import render_series
+    from repro.engine.sweeps import run_speedup_curve
 
-    cluster = tibidabo(num_nodes=96, seed=args.seed)
     quick = args.quick
     sweeps = [
-        ("Figure 3a: LINPACK", Linpack(),
+        ("Figure 3a: LINPACK", "linpack",
          [1, 4, 16, 48] if quick else [1, 2, 4, 8, 16, 32, 64, 100], 1),
-        ("Figure 3b: SPECFEM3D (vs 4 cores)", Specfem3D(),
+        ("Figure 3b: SPECFEM3D (vs 4 cores)", "specfem3d",
          [4, 16, 64] if quick else [4, 8, 16, 32, 64, 128, 192], 4),
-        ("Figure 3c: BigDFT", BigDFT(),
+        ("Figure 3c: BigDFT", "bigdft",
          [1, 4, 16, 36] if quick else [1, 2, 4, 8, 16, 24, 32, 36], 1),
     ]
     for title, app, counts, baseline in sweeps:
-        curve = app.speedup_curve(cluster, counts, baseline_cores=baseline)
+        curve = run_speedup_curve(
+            args.engine, app, counts=counts, num_nodes=96, seed=args.seed,
+            baseline_cores=baseline, label=f"fig3/{app}",
+        )
         print(render_series(title, curve, x_label="cores", y_label="speedup"))
         print()
 
@@ -145,14 +154,13 @@ def _cmd_fig5(args) -> None:
 def _cmd_fig6(args) -> None:
     from repro.arch import SNOWBALL_A9500, XEON_X5550
     from repro.core.report import render_table
-    from repro.kernels import MemBench
-    from repro.osmodel import OSModel
+    from repro.engine.sweeps import run_variant_grid
 
     for machine in (XEON_X5550, SNOWBALL_A9500):
-        os_model = OSModel.boot(machine, seed=args.seed)
-        bench = MemBench(machine, os_model, seed=args.seed)
-        results = bench.run_variant_grid(
-            array_bytes=50 * 1024, replicates=3, seed=args.seed
+        results = run_variant_grid(
+            args.engine, machine.name,
+            array_bytes=50 * 1024, replicates=3, seed=args.seed,
+            label=f"fig6/{machine.name}",
         )
         rows = []
         for bits in (32, 64, 128):
@@ -171,12 +179,13 @@ def _cmd_fig6(args) -> None:
 def _cmd_fig7(args) -> None:
     from repro.arch import TEGRA2_NODE, XEON_X5550
     from repro.core.report import render_table
-    from repro.kernels import MagicFilterBenchmark
+    from repro.engine.sweeps import run_magicfilter_sweep
     from repro.kernels.magicfilter import UNROLL_RANGE
 
     for machine in (XEON_X5550, TEGRA2_NODE):
-        bench = MagicFilterBenchmark(machine)
-        sweep = bench.sweep()
+        sweep = run_magicfilter_sweep(
+            args.engine, machine.name, label=f"fig7/{machine.name}"
+        )
         print(render_table(
             f"Figure 7: magicfilter on {machine.name}",
             ["unroll", "Mcycles", "Maccesses"],
@@ -186,25 +195,26 @@ def _cmd_fig7(args) -> None:
                 for u in UNROLL_RANGE
             ],
         ))
-        print(f"sweet spot: {bench.sweet_spot()}\n")
+        # Same rule as MagicFilterBenchmark.sweet_spot: cycle counts
+        # within 30% of the optimum (per-element division cancels).
+        cycles = {u: sweep[u].cycles for u in UNROLL_RANGE}
+        best = min(cycles.values())
+        spots = sorted(u for u, c in cycles.items() if c <= best * 1.3)
+        print(f"sweet spot: {spots}\n")
 
 
 def _cmd_x1(args) -> None:
     from repro.arch import SNOWBALL_A9500
-    from repro.kernels import MemBench
-    from repro.kernels.membench import MemBenchConfig
-    from repro.osmodel import OSModel
+    from repro.engine.sweeps import run_page_alloc_sweep
 
     print("X1: run-to-run bandwidth at 32 KB (GB/s) over 6 simulated boots")
+    grid = run_page_alloc_sweep(
+        args.engine, machine=SNOWBALL_A9500.name,
+        fragmentations=[0.0, 0.85], seeds=list(range(6)),
+        array_bytes=32 * 1024, label="x1/page-alloc",
+    )
     for fragmentation in (0.0, 0.85):
-        values = []
-        for seed in range(6):
-            os_model = OSModel.boot(
-                SNOWBALL_A9500, fragmentation=fragmentation, seed=seed
-            )
-            bench = MemBench(SNOWBALL_A9500, os_model, seed=seed)
-            sample = bench.measure(MemBenchConfig(array_bytes=32 * 1024))
-            values.append(sample.ideal_bandwidth_bytes_per_s / 1e9)
+        values = [grid[(fragmentation, seed)] for seed in range(6)]
         print(f"  fragmentation {fragmentation:.2f}: "
               + " ".join(f"{v:.3f}" for v in values))
 
@@ -252,39 +262,56 @@ def _cmd_x3(args) -> None:
 
 
 def _cmd_x4(args) -> None:
-    from repro.apps import BigDFT, Specfem3D
-    from repro.cluster import tibidabo
     from repro.core.report import render_table
-    from repro.energy.scale import counterbalance_study
+    from repro.engine.sweeps import run_energy_study
 
-    cluster = tibidabo(num_nodes=96, seed=args.seed)
-    for name, study in (
-        ("SPECFEM3D", counterbalance_study(
-            Specfem3D(timesteps=10), cluster, [8, 16, 32, 64])),
-        ("BigDFT", counterbalance_study(
-            BigDFT(scf_iterations=4), cluster, [4, 8, 16, 24, 36])),
+    for name, app, app_args, counts in (
+        ("SPECFEM3D", "specfem3d", {"timesteps": 10}, [8, 16, 32, 64]),
+        ("BigDFT", "bigdft", {"scf_iterations": 4}, [4, 8, 16, 24, 36]),
     ):
+        rows = run_energy_study(
+            args.engine, app, counts=counts, num_nodes=96, seed=args.seed,
+            app_args=app_args, label=f"x4/{app}",
+        )
         print(render_table(
             f"X4: energy at scale — {name}",
             ["cores", "time (s)", "energy (J)", "net power share"],
-            [[r.cores, f"{r.elapsed_seconds:.1f}", f"{r.energy_joules:,.0f}",
-              f"{r.network_power_fraction:.0%}"] for r in study.runs],
+            [[cores, f"{v['elapsed_s']:.1f}", f"{v['energy_j']:,.0f}",
+              f"{v['network_power_fraction']:.0%}"] for cores, v in rows],
         ))
-        print(f"  energy optimum: {study.most_efficient_cores} cores\n")
+        optimum = min(rows, key=lambda pair: pair[1]["energy_j"])[0]
+        print(f"  energy optimum: {optimum} cores\n")
 
 
 def _cmd_x5(args) -> None:
     from repro.arch import SNOWBALL_A9500
-    from repro.kernels import MemBench, fit_memory_model
-    from repro.kernels.membench import MemBenchConfig
-    from repro.osmodel import OSModel
+    from repro.kernels import fit_memory_model
 
-    os_model = OSModel.boot(SNOWBALL_A9500, seed=2)
-    bench = MemBench(SNOWBALL_A9500, os_model, seed=2)
-    curve = []
-    for kb in (2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 64, 96, 128):
-        sample = bench.measure(MemBenchConfig(array_bytes=kb * 1024))
-        curve.append((kb * 1024, sample.ideal_bandwidth_bytes_per_s / 1e9))
+    sizes_kb = (2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 64, 96, 128)
+
+    def compute():
+        from repro.kernels import MemBench
+        from repro.kernels.membench import MemBenchConfig
+        from repro.osmodel import OSModel
+
+        os_model = OSModel.boot(SNOWBALL_A9500, seed=2)
+        bench = MemBench(SNOWBALL_A9500, os_model, seed=2)
+        return {"curve": [
+            [kb * 1024,
+             bench.measure(MemBenchConfig(array_bytes=kb * 1024))
+             .ideal_bandwidth_bytes_per_s / 1e9]
+            for kb in sizes_kb
+        ]}
+
+    # The §V-A protocol is order-dependent (every sample advances the
+    # OS scheduler), so the whole curve is one cache unit.
+    payload = args.engine.run_cached(
+        "x5/memmodel-curve",
+        {"experiment": "memmodel-curve", "machine": SNOWBALL_A9500.name,
+         "seed": 2, "sizes_kb": list(sizes_kb)},
+        compute,
+    )
+    curve = [(int(size), gbs) for size, gbs in payload["curve"]]
     fitted = fit_memory_model(curve)
     print("X5: GA memory-model fit (ref [14]) on the Snowball")
     print(f"  recovered capacity : {fitted.model.capacity_bytes // 1024} KB "
@@ -348,44 +375,27 @@ def _cmd_x8(args) -> None:
 
 
 def _cmd_faults(args) -> None:
-    from repro.apps import Linpack
-    from repro.cluster import tibidabo
     from repro.core.report import render_table
-    from repro.faults import named_plan
-    from repro.tracing import TraceRecorder, resilience_summary
+    from repro.engine.sweeps import run_fault_scaling
 
-    app = Linpack()
-    num_nodes = 32
     counts = [8, 16] if args.quick else [8, 16, 32, 64]
-    cluster = tibidabo(num_nodes=num_nodes, seed=args.seed)
     print(f"faults: LINPACK scaling under plan {args.plan!r} (seed {args.seed})\n")
+    results = run_fault_scaling(
+        args.engine, args.plan, counts=counts, num_nodes=32,
+        seed=args.seed, label=f"faults/{args.plan}",
+    )
     rows = []
-    last_report = None
-    for cores in sorted(counts):
-        clean = app.run_cluster(cluster, cores)
-        # Target only the nodes the job occupies, so every fault can
-        # actually perturb it.
-        nodes_in_use = -(-cores // cluster.cores_per_node)
-        plan = named_plan(
-            args.plan, num_nodes=nodes_in_use, horizon_s=clean, seed=args.seed
-        )
-        recorder = TraceRecorder()
-        result = app.run_under_faults(
-            cluster, cores, plan,
-            checkpoint_interval_s=max(1.0, clean / 5.0),
-            tracer=recorder,
-        )
-        last_report = resilience_summary(recorder)
-        detect = last_report.mean_detection_latency_s
+    for cores, value in results:
+        detect = value["detect_ms"]
         rows.append([
             cores,
-            f"{clean:.2f}",
-            f"{result.wall_seconds:.2f}",
-            f"{result.slowdown:.2f}x",
-            result.restarts,
-            f"{result.rework_fraction:.1%}",
-            "-" if detect is None else f"{detect * 1e3:.0f} ms",
-            f"{last_report.retry_goodput_fraction:.2%}",
+            f"{value['clean_s']:.2f}",
+            f"{value['wall_s']:.2f}",
+            f"{value['slowdown']:.2f}x",
+            value["restarts"],
+            f"{value['rework_fraction']:.1%}",
+            "-" if detect is None else f"{detect:.0f} ms",
+            f"{value['retry_loss']:.2%}",
         ])
     print(render_table(
         f"LINPACK time-to-solution under {args.plan!r} faults",
@@ -394,41 +404,41 @@ def _cmd_faults(args) -> None:
         rows,
     ))
     print(f"\nresilience summary at {max(counts)} cores:")
-    print(last_report.format())
+    print(results[-1][1]["summary"])
 
 
 def _cmd_x9(args) -> None:
-    from repro.apps import Linpack
-    from repro.cluster import tibidabo
     from repro.core.report import render_series
-    from repro.faults import checkpoint_interval_sweep, named_plan
+    from repro.engine.sweeps import run_checkpoint_sweep, run_cluster_times
+    from repro.faults import named_plan
 
-    app = Linpack()
     num_nodes, cores = 16, 32
-    cluster = tibidabo(num_nodes=num_nodes, seed=args.seed)
-    clean = app.run_cluster(cluster, cores)
+    clean = run_cluster_times(
+        args.engine, "linpack", counts=[cores], num_nodes=num_nodes,
+        seed=args.seed, label="x9/clean",
+    )[cores]
     plan = named_plan(
         "crashy", num_nodes=num_nodes, horizon_s=4.0 * clean, seed=args.seed
     )
     fractions = [0.05, 0.2, 0.6] if args.quick else [0.02, 0.05, 0.1, 0.2, 0.4, 0.8]
     intervals = [max(0.5, f * clean) for f in fractions]
-    sweep = checkpoint_interval_sweep(
-        cluster, cores, app.rank_program(cluster, cores), plan, intervals,
-        state_bytes=app.checkpoint_bytes(cluster, cores),
+    sweep = run_checkpoint_sweep(
+        args.engine, intervals, plan="crashy", horizon_s=4.0 * clean,
+        cores=cores, num_nodes=num_nodes, seed=args.seed, label="x9/checkpoint",
     )
     print(f"X9: LINPACK checkpoint-interval sweep under 'crashy' "
           f"({len(plan.crashes)} crashes over {4.0 * clean:.0f}s horizon)")
     print(render_series(
         "time-to-solution vs checkpoint interval",
-        [(round(interval, 2), result.wall_seconds) for interval, result in sweep],
+        [(round(interval, 2), value["wall_s"]) for interval, value in sweep],
         x_label="interval (s)", y_label="wall (s)",
     ))
-    best_interval, best = min(sweep, key=lambda pair: pair[1].wall_seconds)
+    best_interval, best = min(sweep, key=lambda pair: pair[1]["wall_s"])
     print(f"\nsweet spot: interval {best_interval:.1f}s -> "
-          f"wall {best.wall_seconds:.1f}s "
-          f"(rework {best.rework_fraction:.1%}, "
-          f"checkpoint overhead {best.checkpoint_overhead_seconds:.1f}s, "
-          f"{best.restarts} restarts)")
+          f"wall {best['wall_s']:.1f}s "
+          f"(rework {best['rework_fraction']:.1%}, "
+          f"checkpoint overhead {best['checkpoint_overhead_s']:.1f}s, "
+          f"{best['restarts']} restarts)")
 
 
 def _cmd_claims(args) -> None:
@@ -486,12 +496,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="named fault plan for the faults artefact "
                              "(none, single-crash, crashy, flaky-links, "
                              "noisy, montblanc)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for engine sweeps (default 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.engine import ExperimentEngine, ResultCache
+
     args = build_parser().parse_args(argv)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    args.engine = ExperimentEngine(
+        cache=cache,
+        jobs=args.jobs,
+        manifest_dir=None if cache is None else cache.root / "manifests",
+        echo=lambda line: print(line, file=sys.stderr),
+    )
     names = list(COMMANDS) if args.artefact == "all" else [args.artefact]
     for name in names:
         if len(names) > 1:
@@ -501,4 +527,7 @@ def main(argv: list[str] | None = None) -> int:
         except ReproError as error:
             print(f"error regenerating {name}: {error}", file=sys.stderr)
             return 1
+    if args.engine.manifests:
+        print(f"[engine] totals: hits {args.engine.total_hits} | "
+              f"misses {args.engine.total_misses}", file=sys.stderr)
     return 0

@@ -118,11 +118,18 @@ class Fabric:
 
     # -- fault-injection hooks ---------------------------------------------
 
-    def set_node_link_scale(self, node: int, factor: float) -> None:
-        """Degrade (or restore with 1.0) one node's NIC line rate."""
+    def set_node_link_scale(
+        self, node: int, factor: float, *, now: float | None = None
+    ) -> None:
+        """Degrade (or restore with 1.0) one node's NIC line rate.
+
+        With *now* given, in-flight transfers on the NIC are re-booked
+        at the new rate from *now* on (see
+        :meth:`SerialResource.set_bandwidth_scale`).
+        """
         self._check_node(node)
-        self.nics[node].tx.set_bandwidth_scale(factor)
-        self.nics[node].rx.set_bandwidth_scale(factor)
+        self.nics[node].tx.set_bandwidth_scale(factor, now=now)
+        self.nics[node].rx.set_bandwidth_scale(factor, now=now)
 
     def set_buffer_scale(self, factor: float) -> None:
         """Shrink (or restore with 1.0) every switch's output buffers."""

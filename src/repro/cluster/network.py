@@ -32,18 +32,39 @@ class SerialResource:
         self.bytes_carried = 0
         self.messages_carried = 0
         self.busy_time = 0.0
+        # Non-overlapping busy intervals, merged when back-to-back, so
+        # utilization() can intersect them with a measurement window.
+        self._busy_intervals: list[list[float]] = []
 
-    def set_bandwidth_scale(self, factor: float) -> None:
+    def set_bandwidth_scale(self, factor: float, *, now: float | None = None) -> None:
         """Degrade (or restore) the line rate to ``factor`` x nominal.
 
         Fault injection uses this for ``LinkDegrade`` events — an
         auto-negotiation fallback or a half-duplex misbehaving link.
+        With *now* given, an in-flight booking is re-booked: the bytes
+        not yet serialized at *now* continue at the new rate, so a
+        degrade landing mid-message stretches (or a restore shrinks)
+        that message's tail instead of only affecting the next one.
         """
         if not 0.0 < factor <= 1.0:
             raise ConfigurationError(
                 f"{self.name}: bandwidth scale must be in (0, 1], got {factor}"
             )
+        old_bandwidth = self.bandwidth
         self.bandwidth = self.nominal_bandwidth * factor
+        if now is None or self.bandwidth == old_bandwidth:
+            return
+        if now < 0:
+            raise NetworkError(f"{self.name}: invalid rescale time {now}")
+        remaining_s = self.free_at - now
+        if remaining_s <= 0.0:
+            return  # idle: nothing in flight to re-book
+        remaining_bytes = remaining_s * old_bandwidth
+        new_free_at = now + remaining_bytes / self.bandwidth
+        self.busy_time += new_free_at - self.free_at
+        if self._busy_intervals and self._busy_intervals[-1][1] == self.free_at:
+            self._busy_intervals[-1][1] = new_free_at
+        self.free_at = new_free_at
 
     def occupy(self, now: float, nbytes: int) -> float:
         """Serialize *nbytes* starting no earlier than *now*.
@@ -58,6 +79,10 @@ class SerialResource:
         self.bytes_carried += nbytes
         self.messages_carried += 1
         self.busy_time += duration
+        if self._busy_intervals and self._busy_intervals[-1][1] >= start:
+            self._busy_intervals[-1][1] = self.free_at
+        elif duration > 0.0:
+            self._busy_intervals.append([start, self.free_at])
         return self.free_at
 
     def backlog_seconds(self, now: float) -> float:
@@ -71,12 +96,24 @@ class SerialResource:
         self.bytes_carried = 0
         self.messages_carried = 0
         self.busy_time = 0.0
+        self._busy_intervals = []
 
     def utilization(self, elapsed: float) -> float:
-        """Busy fraction over an elapsed interval."""
+        """Busy fraction over the ``[0, elapsed]`` measurement window.
+
+        Only the overlap of each booking with the window counts, so a
+        message still in flight at *elapsed* contributes its serialized
+        prefix, not its full duration; the result is therefore <= 1 by
+        construction, without clamping.
+        """
         if elapsed <= 0:
             raise ConfigurationError("elapsed time must be positive")
-        return min(1.0, self.busy_time / elapsed)
+        busy = 0.0
+        for start, end in self._busy_intervals:
+            if start >= elapsed:
+                break
+            busy += min(end, elapsed) - start
+        return busy / elapsed
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,37 @@
+"""Experiment-execution layer: parallel fan-out + content-addressed cache.
+
+Public surface:
+
+* :class:`ExperimentEngine` — runs :class:`SweepSpec`\\ s across worker
+  processes with deterministic result ordering, memoizing points in a
+  :class:`ResultCache` and emitting a :class:`RunManifest` per sweep.
+* :mod:`repro.engine.sweeps` — the repo's concrete sweep definitions
+  (magicfilter unrolls, cluster scaling, fault/checkpoint studies),
+  shared by the CLI, the benchmarks and the tests.
+"""
+
+from repro.engine.cache import CACHE_DIR_ENV, ResultCache, default_cache_root
+from repro.engine.engine import (
+    SCHEMA_VERSION,
+    ExperimentEngine,
+    SweepRun,
+    SweepSpec,
+)
+from repro.engine.hashing import canonical_json, canonicalize, content_key
+from repro.engine.manifest import PointRecord, RunManifest, load_manifests
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "SCHEMA_VERSION",
+    "ExperimentEngine",
+    "PointRecord",
+    "ResultCache",
+    "RunManifest",
+    "SweepRun",
+    "SweepSpec",
+    "canonical_json",
+    "canonicalize",
+    "content_key",
+    "default_cache_root",
+    "load_manifests",
+]

@@ -1,0 +1,125 @@
+"""Content-addressed on-disk result cache.
+
+Completed sweep points are stored as one JSON file per content key,
+sharded by the key's first two hex digits (``ab/abcdef....json``), so a
+re-run of a figure — or an extension of a sweep — only computes the
+points whose keys are absent.  Keys hash *all* the inputs a point's
+value depends on (code version, machine spec, app parameters, seed,
+point coordinates); see :mod:`repro.engine.hashing`.
+
+Writes are atomic (temp file + rename) so a killed run never leaves a
+truncated entry; unreadable or corrupt entries are treated as misses
+and overwritten on the next put.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.engine.hashing import canonical_json, content_key
+from repro.errors import EngineError
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """A content-addressed store of JSON payloads under one directory."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key_hash: str) -> Path:
+        return self.root / key_hash[:2] / f"{key_hash}.json"
+
+    def get(self, key: Mapping[str, Any]) -> Any | None:
+        """Return the payload stored under *key*, or ``None`` on a miss.
+
+        A corrupt or unreadable entry counts as a miss: the engine
+        recomputes the point and the next :meth:`put` heals the file.
+        """
+        path = self._path(content_key(key))
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+            payload = entry["payload"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: Mapping[str, Any], payload: Any) -> str:
+        """Store *payload* under *key*; returns the content key.
+
+        The payload must be JSON-serializable — the cache stores
+        values, never live objects.
+        """
+        key_hash = content_key(key)
+        try:
+            text = json.dumps(
+                {"key": json.loads(canonical_json(key)), "payload": payload},
+                sort_keys=True, allow_nan=False,
+            )
+        except (TypeError, ValueError) as error:
+            raise EngineError(
+                f"cache payload is not JSON-serializable: {error}"
+            ) from error
+        path = self._path(key_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(temp_name, path)
+        except OSError:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return key_hash
+
+    def contains(self, key: Mapping[str, Any]) -> bool:
+        """Whether *key* has a stored entry (without touching stats)."""
+        return self._path(content_key(key)).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(
+            1 for shard in self.root.iterdir() if shard.is_dir()
+            for entry in shard.glob("*.json")
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                entry.unlink()
+                removed += 1
+        return removed

@@ -1,0 +1,259 @@
+"""The parallel, cache-backed experiment executor.
+
+The paper's harness (§V–§VI) is a sweep machine — stride/size grids,
+unroll degrees 1–12, node counts 1–48 — and so is this reproduction.
+:class:`ExperimentEngine` is the one execution path every sweep shares:
+
+* **fan-out** — pending points run on a ``concurrent.futures`` pool
+  (processes when the worker and its points pickle, threads otherwise),
+  with results always assembled in submission order, so the output is
+  byte-identical no matter how completion interleaves; ``jobs=1`` (the
+  default) degrades gracefully to a plain serial loop;
+* **memoization** — completed points land in a content-addressed
+  on-disk :class:`~repro.engine.cache.ResultCache` keyed by a stable
+  hash of (code version, sweep invariants, point), so re-running a
+  figure or extending a sweep only computes the missing points;
+* **metrics** — every run yields a
+  :class:`~repro.engine.manifest.RunManifest` with per-point wall
+  times, hit/miss counts and worker utilization, printed by the CLI
+  and asserted by the tests.
+
+Workers must be *pure* with respect to their params — every bit of
+state a point needs is built inside the worker from the params — and
+must return a JSON-serializable payload.  Order-dependent experiments
+(e.g. the §V-A OS-scheduler protocol, where sample N's value depends on
+the N-1 samples before it) set ``serial_only`` and cache at coarser
+granularity via :meth:`ExperimentEngine.run_cached`.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.hashing import content_key
+from repro.engine.manifest import PointRecord, RunManifest
+from repro.errors import EngineError
+from repro.version import __version__
+
+#: Bump to invalidate every cache entry written by older engines.
+SCHEMA_VERSION = 1
+
+#: A sweep worker: params in, JSON-serializable payload out.
+Worker = Callable[[Mapping[str, Any]], Any]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One sweep: a worker, its points, and the run's invariants.
+
+    ``key`` must carry everything (besides the point itself) that the
+    worker's output depends on — machine name, app parameters, seed —
+    because it becomes part of every point's cache key.  ``name`` is a
+    display label only and never affects caching.
+    """
+
+    name: str
+    worker: Worker
+    points: tuple[Mapping[str, Any], ...]
+    key: Mapping[str, Any] = field(default_factory=dict)
+    serial_only: bool = False
+
+    def __init__(
+        self,
+        name: str,
+        worker: Worker,
+        points: Sequence[Mapping[str, Any]],
+        *,
+        key: Mapping[str, Any] | None = None,
+        serial_only: bool = False,
+    ) -> None:
+        if not name:
+            raise EngineError("a sweep needs a non-empty name")
+        if not points:
+            raise EngineError(f"sweep {name!r} has no points")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "worker", worker)
+        object.__setattr__(self, "points", tuple(dict(p) for p in points))
+        object.__setattr__(self, "key", dict(key or {}))
+        object.__setattr__(self, "serial_only", serial_only)
+
+
+@dataclass(frozen=True)
+class SweepRun:
+    """A completed sweep: payloads aligned with the spec's points."""
+
+    spec: SweepSpec
+    values: tuple[Any, ...]
+    manifest: RunManifest
+
+    def __iter__(self):
+        return iter(zip(self.spec.points, self.values))
+
+
+def _timed_call(worker: Worker, params: Mapping[str, Any]) -> tuple[Any, float]:
+    """Run one point and measure its wall time (picklable top-level)."""
+    start = time.perf_counter()
+    value = worker(params)
+    return value, time.perf_counter() - start
+
+
+class ExperimentEngine:
+    """Shared executor for every sweep in the repo.
+
+    One engine per invocation (a CLI run, a test); it accumulates the
+    manifests of every sweep it executed in :attr:`manifests`.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        jobs: int = 1,
+        manifest_dir: str | Path | None = None,
+        echo: Callable[[str], None] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise EngineError(f"jobs must be >= 1, got {jobs}")
+        self.cache = cache
+        self.jobs = jobs
+        self.manifest_dir = Path(manifest_dir) if manifest_dir else None
+        self.echo = echo
+        self.manifests: list[RunManifest] = []
+
+    # -- keys --------------------------------------------------------------
+
+    @staticmethod
+    def point_key(spec: SweepSpec, params: Mapping[str, Any]) -> dict[str, Any]:
+        """The cache-key material of one point.
+
+        Includes the library version and the engine schema version, so
+        upgrading either invalidates stale results; excludes the sweep
+        *name*, so differently-labelled sweeps over the same invariants
+        share entries.
+        """
+        return {
+            "schema": SCHEMA_VERSION,
+            "code": __version__,
+            "sweep": dict(spec.key),
+            "point": dict(params),
+        }
+
+    # -- execution ---------------------------------------------------------
+
+    def _pick_executor(self, spec: SweepSpec, pending: int) -> str:
+        if self.jobs <= 1 or spec.serial_only or pending <= 1:
+            return "serial"
+        try:
+            pickle.dumps((spec.worker, spec.points))
+            return "process"
+        except Exception:
+            # Closures and bound methods don't pickle; degrade to a
+            # thread pool — same ordering contract, shared memory.
+            return "thread"
+
+    def run(self, spec: SweepSpec) -> SweepRun:
+        """Execute *spec*, reusing cached points; deterministic order."""
+        started = time.perf_counter()
+        n = len(spec.points)
+        keys = [self.point_key(spec, p) for p in spec.points]
+        values: list[Any] = [None] * n
+        hit: list[bool] = [False] * n
+        walls: list[float] = [0.0] * n
+
+        pending: list[int] = []
+        for index, key in enumerate(keys):
+            payload = self.cache.get(key) if self.cache is not None else None
+            if payload is not None:
+                values[index] = payload["value"]
+                hit[index] = True
+            else:
+                pending.append(index)
+
+        executor_kind = self._pick_executor(spec, len(pending))
+        if executor_kind == "serial":
+            for index in pending:
+                values[index], walls[index] = _timed_call(
+                    spec.worker, spec.points[index]
+                )
+        else:
+            pool_cls = (
+                ProcessPoolExecutor if executor_kind == "process"
+                else ThreadPoolExecutor
+            )
+            workers = min(self.jobs, len(pending))
+            with pool_cls(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(_timed_call, spec.worker, spec.points[index])
+                    for index in pending
+                ]
+                # Collect in submission order: completion order never
+                # leaks into the results.
+                for index, future in zip(pending, futures):
+                    values[index], walls[index] = future.result()
+
+        if self.cache is not None:
+            for index in pending:
+                self.cache.put(keys[index], {"value": values[index]})
+
+        manifest = RunManifest(
+            sweep=spec.name,
+            key=dict(spec.key),
+            jobs=self.jobs,
+            executor=executor_kind,
+            elapsed_seconds=time.perf_counter() - started,
+            points=[
+                PointRecord(
+                    index=index,
+                    params=dict(spec.points[index]),
+                    key=content_key(keys[index]),
+                    cache_hit=hit[index],
+                    wall_seconds=walls[index],
+                )
+                for index in range(n)
+            ],
+        )
+        self.manifests.append(manifest)
+        if self.manifest_dir is not None:
+            manifest.save(self.manifest_dir)
+        if self.echo is not None:
+            self.echo(manifest.summary())
+        return SweepRun(spec=spec, values=tuple(values), manifest=manifest)
+
+    def run_cached(
+        self,
+        name: str,
+        key: Mapping[str, Any],
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Memoize one whole computation as a single-point sweep.
+
+        For order-dependent experiments (the §V-A scheduler protocol,
+        the GA model fit) where individual samples cannot be computed
+        independently: the unit of caching is the entire run.
+        """
+        spec = SweepSpec(
+            name,
+            lambda _params: compute(),
+            [{}],
+            key=key,
+            serial_only=True,
+        )
+        return self.run(spec).values[0]
+
+    # -- aggregate stats ---------------------------------------------------
+
+    @property
+    def total_hits(self) -> int:
+        """Cache hits across every sweep this engine ran."""
+        return sum(m.hits for m in self.manifests)
+
+    @property
+    def total_misses(self) -> int:
+        """Computed points across every sweep this engine ran."""
+        return sum(m.misses for m in self.manifests)

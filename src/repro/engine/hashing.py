@@ -1,0 +1,63 @@
+"""Stable content hashing for experiment cache keys.
+
+A cache key must identify a sweep point *by content*: the same
+(code version, machine spec, app parameters, seed, point) must hash
+identically across processes, Python versions and dict orderings, and
+any change to one of them must produce a different key.  The canonical
+form is therefore JSON with sorted keys and no whitespace; only
+JSON-expressible values (plus tuples, normalized to lists) are
+accepted, so nothing ever hashes by object identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.errors import EngineError
+
+
+def canonicalize(value: Any) -> Any:
+    """Normalize *value* into a canonical JSON-expressible structure.
+
+    Mappings become string-keyed dicts, sequences become lists, and
+    anything without a stable content representation is rejected —
+    better a loud error than a cache key that depends on ``id()``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise EngineError(f"non-finite float {value!r} cannot be a cache key")
+        return value
+    if isinstance(value, Mapping):
+        normalized = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise EngineError(
+                    f"cache-key mapping keys must be strings, got {key!r}"
+                )
+            normalized[key] = canonicalize(item)
+        return normalized
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, Sequence) and not isinstance(value, (bytes, bytearray)):
+        return [canonicalize(item) for item in value]
+    raise EngineError(
+        f"value of type {type(value).__name__} has no stable content "
+        f"representation for hashing: {value!r}"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text of *value* (sorted keys, no whitespace)."""
+    return json.dumps(
+        canonicalize(value), sort_keys=True, separators=(",", ":"),
+        ensure_ascii=True, allow_nan=False,
+    )
+
+
+def content_key(value: Any) -> str:
+    """A stable sha256 hex digest of *value*'s canonical form."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

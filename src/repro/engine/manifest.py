@@ -1,0 +1,144 @@
+"""Structured run records for engine sweeps.
+
+Every engine run emits a :class:`RunManifest`: which points ran, which
+were served from the cache, how long each took, and how well the worker
+pool was used.  The CLI prints the one-line summary; tests assert on
+the counters; the JSON form is written next to the cache so a sweep's
+history survives the process.
+
+Two serializations exist: :meth:`RunManifest.to_json` records
+everything including timings, and the *deterministic* form drops the
+volatile fields (wall times, worker counts) so that the same sweep run
+serially and with ``--jobs 4`` produces byte-identical manifests.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import EngineError
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """One sweep point's execution record."""
+
+    index: int
+    params: Mapping[str, Any]
+    key: str
+    cache_hit: bool
+    wall_seconds: float
+
+    def to_dict(self, *, deterministic: bool = False) -> dict[str, Any]:
+        record = {
+            "index": self.index,
+            "params": dict(self.params),
+            "key": self.key,
+            "cache_hit": self.cache_hit,
+        }
+        if not deterministic:
+            record["wall_seconds"] = self.wall_seconds
+        return record
+
+
+@dataclass
+class RunManifest:
+    """The structured record of one engine sweep."""
+
+    sweep: str
+    key: Mapping[str, Any]
+    jobs: int
+    executor: str
+    elapsed_seconds: float
+    points: list[PointRecord] = field(default_factory=list)
+
+    @property
+    def hits(self) -> int:
+        """Points served from the result cache."""
+        return sum(1 for p in self.points if p.cache_hit)
+
+    @property
+    def misses(self) -> int:
+        """Points actually computed this run."""
+        return len(self.points) - self.hits
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker time spent computing missed points."""
+        return sum(p.wall_seconds for p in self.points if not p.cache_hit)
+
+    @property
+    def worker_utilization(self) -> float:
+        """Fraction of the worker pool's time spent computing.
+
+        ``busy / (jobs * elapsed)``: 1.0 means every worker computed
+        for the whole run; an all-hits run reports 0.0.
+        """
+        if self.elapsed_seconds <= 0.0 or self.jobs < 1:
+            return 0.0
+        return min(1.0, self.busy_seconds / (self.jobs * self.elapsed_seconds))
+
+    def to_dict(self, *, deterministic: bool = False) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "sweep": self.sweep,
+            "key": dict(self.key),
+            "points": [p.to_dict(deterministic=deterministic) for p in self.points],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+        if not deterministic:
+            payload.update({
+                "jobs": self.jobs,
+                "executor": self.executor,
+                "elapsed_seconds": self.elapsed_seconds,
+                "busy_seconds": self.busy_seconds,
+                "worker_utilization": self.worker_utilization,
+            })
+        return payload
+
+    def to_json(self, *, deterministic: bool = False) -> str:
+        return json.dumps(
+            self.to_dict(deterministic=deterministic), sort_keys=True, indent=2
+        )
+
+    def summary(self) -> str:
+        """The one-line form the CLI prints (no timings: stable output)."""
+        return (
+            f"[engine] {self.sweep}: {len(self.points)} points | "
+            f"hits {self.hits} | misses {self.misses} | jobs {self.jobs}"
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        """Write the full JSON manifest under *directory*.
+
+        The filename is deterministic (sweep slug + key digest), so a
+        re-run of the same sweep overwrites its previous manifest
+        rather than accumulating one file per invocation.
+        """
+        from repro.engine.hashing import content_key
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "-", self.sweep).strip("-") or "sweep"
+        digest = content_key({"sweep": self.sweep, "key": dict(self.key)})[:10]
+        path = directory / f"{slug}-{digest}.json"
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+
+def load_manifests(directory: str | Path) -> list[dict[str, Any]]:
+    """Read every manifest JSON under *directory* (sorted by filename)."""
+    directory = Path(directory)
+    if not directory.exists():
+        return []
+    manifests = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            manifests.append(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, ValueError) as error:
+            raise EngineError(f"corrupt manifest {path}: {error}") from error
+    return manifests

@@ -1,0 +1,452 @@
+"""Engine-backed sweep definitions for the repo's artefacts.
+
+Every sweep in the CLI and the benchmark suite routes through these
+helpers, so they all share one execution path (parallel fan-out,
+content-addressed caching, run manifests).  The module-level worker
+functions are the unit of distribution: they are picklable, take one
+JSON-able params mapping, rebuild *all* the state a point needs from
+those params (a fresh cluster, a fresh booted OS — never shared
+mutable state), and return a JSON-able payload.  That contract is what
+makes a ``--jobs 4`` run byte-identical to a serial one.
+
+Registries map names to machine and app models so cache keys stay
+textual: a cache entry's key is e.g. ``{"machine": "Intel Xeon
+X5550", "unroll": 6}``, never a pickled object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.arch import EXYNOS5_DUAL, SNOWBALL_A9500, TEGRA2_NODE, XEON_X5550
+from repro.arch.cpu import MachineModel
+from repro.engine.engine import ExperimentEngine, SweepSpec
+from repro.errors import EngineError
+from repro.kernels.counters import CounterSet
+from repro.kernels.magicfilter import UNROLL_RANGE
+
+#: Machines addressable by name in sweep params.
+MACHINES: dict[str, MachineModel] = {
+    machine.name: machine
+    for machine in (XEON_X5550, SNOWBALL_A9500, TEGRA2_NODE, EXYNOS5_DUAL)
+}
+
+#: Cluster-capable apps addressable by name in sweep params.
+APP_NAMES = ("linpack", "specfem3d", "bigdft")
+
+
+def machine_by_name(name: str) -> MachineModel:
+    """Resolve a machine registry name, with a helpful error."""
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown machine {name!r}; known: {sorted(MACHINES)}"
+        ) from None
+
+
+def build_app(name: str, app_args: Mapping[str, Any] | None = None):
+    """Instantiate a scalable app model from its registry name."""
+    from repro.apps import BigDFT, Linpack, Specfem3D
+
+    factories = {"linpack": Linpack, "specfem3d": Specfem3D, "bigdft": BigDFT}
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown app {name!r}; known: {sorted(factories)}"
+        ) from None
+    return factory(**dict(app_args or {}))
+
+
+# ---------------------------------------------------------------------------
+# Workers (module-level: picklable for process pools)
+# ---------------------------------------------------------------------------
+
+
+def magicfilter_point(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Counters of one magicfilter unroll variant on one machine."""
+    from repro.kernels import MagicFilterBenchmark
+
+    bench = MagicFilterBenchmark(
+        machine_by_name(params["machine"]),
+        problem_shape=tuple(params["shape"]),
+    )
+    counters = bench.counters(params["unroll"])
+    return {"counters": dict(counters.values)}
+
+
+def cluster_time_point(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Elapsed seconds of one cluster job at one core count."""
+    from repro.cluster import tibidabo
+
+    cluster = tibidabo(num_nodes=params["num_nodes"], seed=params["seed"])
+    app = build_app(params["app"], params.get("app_args"))
+    return {"elapsed_s": app.run_cluster(cluster, params["cores"])}
+
+
+def fault_scaling_point(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Clean-vs-faulty time-to-solution at one core count."""
+    from repro.cluster import tibidabo
+    from repro.faults import named_plan
+    from repro.tracing import TraceRecorder, resilience_summary
+
+    cluster = tibidabo(num_nodes=params["num_nodes"], seed=params["seed"])
+    app = build_app(params["app"], params.get("app_args"))
+    cores = params["cores"]
+    clean = app.run_cluster(cluster, cores)
+    # Target only the nodes the job occupies, so every fault can
+    # actually perturb it.
+    nodes_in_use = -(-cores // cluster.cores_per_node)
+    plan = named_plan(
+        params["plan"], num_nodes=nodes_in_use, horizon_s=clean,
+        seed=params["seed"],
+    )
+    recorder = TraceRecorder()
+    result = app.run_under_faults(
+        cluster, cores, plan,
+        checkpoint_interval_s=max(1.0, clean / 5.0),
+        tracer=recorder,
+    )
+    report = resilience_summary(recorder)
+    detect = report.mean_detection_latency_s
+    return {
+        "clean_s": clean,
+        "wall_s": result.wall_seconds,
+        "slowdown": result.slowdown,
+        "restarts": result.restarts,
+        "rework_fraction": result.rework_fraction,
+        "detect_ms": None if detect is None else detect * 1e3,
+        "retry_loss": report.retry_goodput_fraction,
+        "summary": report.format(),
+    }
+
+
+def checkpoint_interval_point(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Time-to-solution under faults at one checkpoint interval."""
+    from repro.cluster import tibidabo
+    from repro.faults import named_plan
+    from repro.faults.checkpoint import CheckpointConfig, run_with_checkpoints
+
+    cluster = tibidabo(num_nodes=params["num_nodes"], seed=params["seed"])
+    app = build_app(params["app"], params.get("app_args"))
+    cores = params["cores"]
+    plan = named_plan(
+        params["plan"], num_nodes=params["num_nodes"],
+        horizon_s=params["horizon_s"], seed=params["seed"],
+    )
+    config = CheckpointConfig.from_state_bytes(
+        app.checkpoint_bytes(cluster, cores),
+        interval_s=params["interval_s"],
+    )
+    result = run_with_checkpoints(
+        cluster, cores, app.rank_program(cluster, cores), plan,
+        checkpoint=config,
+    )
+    return {
+        "wall_s": result.wall_seconds,
+        "rework_fraction": result.rework_fraction,
+        "checkpoint_overhead_s": result.checkpoint_overhead_seconds,
+        "restarts": result.restarts,
+    }
+
+
+def page_alloc_point(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Ideal bandwidth after one simulated boot (the X1 protocol)."""
+    from repro.kernels import MemBench
+    from repro.kernels.membench import MemBenchConfig
+    from repro.osmodel import OSModel
+
+    machine = machine_by_name(params["machine"])
+    os_model = OSModel.boot(
+        machine, fragmentation=params["fragmentation"], seed=params["seed"]
+    )
+    bench = MemBench(machine, os_model, seed=params["seed"])
+    sample = bench.measure(MemBenchConfig(array_bytes=params["array_bytes"]))
+    return {"gb_per_s": sample.ideal_bandwidth_bytes_per_s / 1e9}
+
+
+def cluster_energy_point(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Energy-to-solution of one cluster job at one core count."""
+    from repro.cluster import tibidabo
+    from repro.energy.scale import measure_cluster_energy
+
+    cluster = tibidabo(num_nodes=params["num_nodes"], seed=params["seed"])
+    app = build_app(params["app"], params.get("app_args"))
+    run = measure_cluster_energy(app, cluster, params["cores"])
+    return {
+        "elapsed_s": run.elapsed_seconds,
+        "energy_j": run.energy_joules,
+        "network_power_fraction": run.network_power_fraction,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Sweep builders
+# ---------------------------------------------------------------------------
+
+
+def run_magicfilter_sweep(
+    engine: ExperimentEngine,
+    machine: str,
+    *,
+    unrolls: Sequence[int] = UNROLL_RANGE,
+    shape: tuple[int, int, int] = (32, 32, 32),
+    label: str | None = None,
+) -> dict[int, CounterSet]:
+    """The Figure 7 unroll sweep; returns ``unroll -> CounterSet``."""
+    spec = SweepSpec(
+        label or f"magicfilter/{machine}",
+        magicfilter_point,
+        [
+            {"machine": machine, "shape": list(shape), "unroll": u}
+            for u in unrolls
+        ],
+        key={
+            "experiment": "magicfilter",
+            "machine": machine,
+            "shape": list(shape),
+        },
+    )
+    run = engine.run(spec)
+    return {
+        point["unroll"]: CounterSet(
+            {event: float(v) for event, v in value["counters"].items()}
+        )
+        for point, value in run
+    }
+
+
+def run_cluster_times(
+    engine: ExperimentEngine,
+    app: str,
+    *,
+    counts: Sequence[int],
+    num_nodes: int,
+    seed: int,
+    app_args: Mapping[str, Any] | None = None,
+    label: str | None = None,
+) -> dict[int, float]:
+    """Elapsed seconds per core count for one cluster app."""
+    key = {
+        "experiment": "cluster-elapsed",
+        "app": app,
+        "app_args": dict(app_args or {}),
+        "num_nodes": num_nodes,
+        "seed": seed,
+    }
+    spec = SweepSpec(
+        label or f"scaling/{app}",
+        cluster_time_point,
+        [
+            {
+                "app": app, "app_args": dict(app_args or {}),
+                "num_nodes": num_nodes, "seed": seed, "cores": cores,
+            }
+            for cores in counts
+        ],
+        key=key,
+    )
+    run = engine.run(spec)
+    return {point["cores"]: value["elapsed_s"] for point, value in run}
+
+
+def run_speedup_curve(
+    engine: ExperimentEngine,
+    app: str,
+    *,
+    counts: Sequence[int],
+    num_nodes: int,
+    seed: int,
+    baseline_cores: int = 1,
+    app_args: Mapping[str, Any] | None = None,
+    label: str | None = None,
+) -> list[tuple[int, float]]:
+    """The Figure 3 strong-scaling curve, via the engine.
+
+    Speedup is normalized as ``baseline_cores * t(baseline) /
+    t(cores)`` — identical to ``AppModel.speedup_curve``.
+    """
+    if baseline_cores not in counts:
+        raise EngineError(
+            f"baseline {baseline_cores} missing from sweep {list(counts)}"
+        )
+    times = run_cluster_times(
+        engine, app, counts=counts, num_nodes=num_nodes, seed=seed,
+        app_args=app_args, label=label,
+    )
+    base_time = times[baseline_cores]
+    return [
+        (cores, baseline_cores * base_time / times[cores])
+        for cores in sorted(times)
+    ]
+
+
+def run_variant_grid(
+    engine: ExperimentEngine,
+    machine: str,
+    *,
+    array_bytes: int,
+    replicates: int,
+    seed: int,
+    label: str | None = None,
+):
+    """The Figure 6 element-size x unroll grid, cached whole.
+
+    The §V-A protocol is order-dependent (every sample advances the OS
+    scheduler), so points cannot run independently: the whole grid is
+    one cache unit, executed serially on a miss.
+    """
+    from repro.core.artifacts import measurements_from_json, measurements_to_json
+
+    def compute() -> dict[str, Any]:
+        from repro.kernels import MemBench
+        from repro.osmodel import OSModel
+
+        model = machine_by_name(machine)
+        os_model = OSModel.boot(model, seed=seed)
+        bench = MemBench(model, os_model, seed=seed)
+        results = bench.run_variant_grid(
+            array_bytes=array_bytes, replicates=replicates, seed=seed
+        )
+        return {"measurements": measurements_to_json(results)}
+
+    payload = engine.run_cached(
+        label or f"membench-grid/{machine}",
+        {
+            "experiment": "membench-variant-grid",
+            "machine": machine,
+            "array_bytes": array_bytes,
+            "replicates": replicates,
+            "seed": seed,
+        },
+        compute,
+    )
+    return measurements_from_json(payload["measurements"])
+
+
+def run_fault_scaling(
+    engine: ExperimentEngine,
+    plan: str,
+    *,
+    counts: Sequence[int],
+    num_nodes: int,
+    seed: int,
+    app: str = "linpack",
+    app_args: Mapping[str, Any] | None = None,
+    label: str | None = None,
+) -> list[tuple[int, dict[str, Any]]]:
+    """LINPACK-under-faults rows per core count (the ``faults`` artefact)."""
+    spec = SweepSpec(
+        label or f"faults/{plan}",
+        fault_scaling_point,
+        [
+            {
+                "app": app, "app_args": dict(app_args or {}),
+                "plan": plan, "num_nodes": num_nodes, "seed": seed,
+                "cores": cores,
+            }
+            for cores in sorted(counts)
+        ],
+        key={
+            "experiment": "fault-scaling",
+            "app": app, "app_args": dict(app_args or {}),
+            "plan": plan, "num_nodes": num_nodes, "seed": seed,
+        },
+    )
+    run = engine.run(spec)
+    return [(point["cores"], value) for point, value in run]
+
+
+def run_checkpoint_sweep(
+    engine: ExperimentEngine,
+    intervals: Sequence[float],
+    *,
+    plan: str,
+    horizon_s: float,
+    cores: int,
+    num_nodes: int,
+    seed: int,
+    app: str = "linpack",
+    app_args: Mapping[str, Any] | None = None,
+    label: str | None = None,
+) -> list[tuple[float, dict[str, Any]]]:
+    """The X9 checkpoint-interval sweep, one engine point per interval."""
+    base = {
+        "app": app, "app_args": dict(app_args or {}),
+        "plan": plan, "horizon_s": horizon_s,
+        "cores": cores, "num_nodes": num_nodes, "seed": seed,
+    }
+    spec = SweepSpec(
+        label or f"checkpoint/{plan}",
+        checkpoint_interval_point,
+        [dict(base, interval_s=interval) for interval in intervals],
+        key=dict(base, experiment="checkpoint-sweep"),
+    )
+    run = engine.run(spec)
+    return [(point["interval_s"], value) for point, value in run]
+
+
+def run_page_alloc_sweep(
+    engine: ExperimentEngine,
+    *,
+    machine: str,
+    fragmentations: Sequence[float],
+    seeds: Sequence[int],
+    array_bytes: int,
+    label: str | None = None,
+) -> dict[tuple[float, int], float]:
+    """The X1 boot-to-boot bandwidth grid; keys are (fragmentation, seed)."""
+    spec = SweepSpec(
+        label or f"page-alloc/{machine}",
+        page_alloc_point,
+        [
+            {
+                "machine": machine, "fragmentation": fragmentation,
+                "seed": seed, "array_bytes": array_bytes,
+            }
+            for fragmentation in fragmentations
+            for seed in seeds
+        ],
+        key={
+            "experiment": "page-alloc",
+            "machine": machine,
+            "array_bytes": array_bytes,
+        },
+    )
+    run = engine.run(spec)
+    return {
+        (point["fragmentation"], point["seed"]): value["gb_per_s"]
+        for point, value in run
+    }
+
+
+def run_energy_study(
+    engine: ExperimentEngine,
+    app: str,
+    *,
+    counts: Sequence[int],
+    num_nodes: int,
+    seed: int,
+    app_args: Mapping[str, Any] | None = None,
+    label: str | None = None,
+) -> list[tuple[int, dict[str, Any]]]:
+    """The X4 energy-at-scale rows, sorted by core count."""
+    spec = SweepSpec(
+        label or f"energy/{app}",
+        cluster_energy_point,
+        [
+            {
+                "app": app, "app_args": dict(app_args or {}),
+                "num_nodes": num_nodes, "seed": seed, "cores": cores,
+            }
+            for cores in sorted(counts)
+        ],
+        key={
+            "experiment": "cluster-energy",
+            "app": app, "app_args": dict(app_args or {}),
+            "num_nodes": num_nodes, "seed": seed,
+        },
+    )
+    run = engine.run(spec)
+    return [(point["cores"], value) for point, value in run]

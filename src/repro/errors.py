@@ -106,3 +106,8 @@ class SearchError(ReproError):
 
 class DataError(ReproError):
     """Embedded reference data (e.g. Top500 series) failed validation."""
+
+
+class EngineError(ReproError):
+    """The experiment engine was mis-used: an unhashable cache key, a
+    non-JSON worker payload, or a corrupt cache/manifest store."""

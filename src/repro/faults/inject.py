@@ -168,9 +168,13 @@ class FaultInjector:
         if event.node >= job.cluster.num_nodes:
             return
         fabric = job.cluster.fabric
-        fabric.set_node_link_scale(event.node, event.factor)
+        # Pass the simulation clock so a degrade (and its restore)
+        # re-books any message already in flight, rather than waiting
+        # for the next occupy() to notice the new rate.
+        fabric.set_node_link_scale(event.node, event.factor, now=now)
         job.sim.schedule(
-            event.duration_s, lambda: fabric.set_node_link_scale(event.node, 1.0)
+            event.duration_s,
+            lambda: fabric.set_node_link_scale(event.node, 1.0, now=job.sim.now),
         )
         self._trace_fault(
             "degrade", now, f"node{event.node}",

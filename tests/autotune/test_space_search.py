@@ -84,6 +84,9 @@ class TestExhaustiveSearch:
         assert result.best_point == {"x": 2, "y": -3}
         assert result.best_value == 0
         assert result.evaluations == space.size
+        # Exhaustive search visits every point exactly once.
+        assert result.total_calls == result.evaluations
+        assert result.memo_hits == 0
 
     @settings(max_examples=20, deadline=None)
     @given(st.integers(-4, 4), st.integers(-4, 4))
@@ -147,6 +150,24 @@ class TestHillClimbSearch:
     def test_invalid_restarts_rejected(self):
         with pytest.raises(SearchError):
             HillClimbSearch(restarts=0)
+
+    def test_revisits_counted_as_total_calls_not_evaluations(self):
+        """Regression: a climb that revisits points used to report only
+        unique cache entries, under-counting the work its memo absorbed."""
+        space = ParameterSpace({"x": range(12)})
+        calls = {"n": 0}
+
+        def objective(point):
+            calls["n"] += 1
+            return (point["x"] - 6) ** 2
+
+        result = HillClimbSearch(restarts=4, seed=0).minimize(objective, space)
+        # Unique evaluations == actual objective invocations == history.
+        assert result.evaluations == calls["n"] == len(result.history)
+        # Restarts from nearby points re-probe known neighbors: the
+        # revisits show up in total_calls, never in evaluations.
+        assert result.total_calls > result.evaluations
+        assert result.memo_hits == result.total_calls - result.evaluations
 
 
 class TestGeneticSearch:

@@ -44,6 +44,64 @@ class TestSerialResource:
         assert link.messages_carried == 2
         assert link.utilization(4.0) == pytest.approx(1.0)
 
+    def test_utilization_booking_straddles_window_edge(self):
+        # A booking extending past the measurement window only counts
+        # its overlap with [0, elapsed] — the old code charged the full
+        # duration and hid the overshoot behind a min(1.0, ...) clamp.
+        link = SerialResource("l", 100.0)
+        link.occupy(3.0, 400)                      # busy [3, 7]
+        assert link.utilization(5.0) == pytest.approx(0.4)   # 2s of 5s
+        assert link.utilization(7.0) == pytest.approx(4.0 / 7.0)
+        assert link.utilization(100.0) == pytest.approx(0.04)
+
+    def test_utilization_ignores_bookings_beyond_window(self):
+        link = SerialResource("l", 100.0)
+        link.occupy(0.0, 100)                      # busy [0, 1]
+        link.occupy(10.0, 100)                     # busy [10, 11]
+        assert link.utilization(5.0) == pytest.approx(0.2)
+        assert link.utilization(1.0) == pytest.approx(1.0)
+
+    def test_utilization_never_exceeds_one_without_clamp(self):
+        link = SerialResource("l", 100.0)
+        for _ in range(5):
+            link.occupy(0.0, 1000)                 # solid backlog [0, 50]
+        for elapsed in (0.5, 1.0, 10.0, 50.0, 80.0):
+            assert link.utilization(elapsed) <= 1.0 + 1e-12
+
+    def test_idle_gap_reduces_utilization(self):
+        link = SerialResource("l", 100.0)
+        link.occupy(0.0, 100)                      # busy [0, 1]
+        link.occupy(3.0, 100)                      # busy [3, 4]
+        assert link.utilization(4.0) == pytest.approx(0.5)
+
+    def test_rescale_rebooks_in_flight_message(self):
+        # 1000 B at 100 B/s books [0, 10]; halving the rate at t=5
+        # leaves 500 B to serialize at 50 B/s -> done at t=15.
+        link = SerialResource("l", 100.0)
+        link.occupy(0.0, 1000)
+        link.set_bandwidth_scale(0.5, now=5.0)
+        assert link.free_at == pytest.approx(15.0)
+        assert link.utilization(15.0) == pytest.approx(1.0)
+        # restoring mid-tail shrinks it again: 250 B left at t=10.
+        link.set_bandwidth_scale(1.0, now=10.0)
+        assert link.free_at == pytest.approx(12.5)
+
+    def test_rescale_when_idle_only_changes_rate(self):
+        link = SerialResource("l", 100.0)
+        link.occupy(0.0, 100)
+        link.set_bandwidth_scale(0.5, now=50.0)    # long after the message
+        assert link.free_at == pytest.approx(1.0)
+        assert link.occupy(50.0, 100) == pytest.approx(52.0)
+
+    def test_rescale_without_now_keeps_in_flight_booking(self):
+        # Per-message granularity is still available when the caller
+        # has no clock: the in-flight booking is left untouched.
+        link = SerialResource("l", 100.0)
+        link.occupy(0.0, 1000)
+        link.set_bandwidth_scale(0.5)
+        assert link.free_at == pytest.approx(10.0)
+        assert link.occupy(0.0, 100) == pytest.approx(12.0)
+
     def test_reset(self):
         link = SerialResource("l", 100.0)
         link.occupy(0.0, 100)

@@ -1,0 +1,14 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the engine's result cache at a per-test directory.
+
+    CLI invocations under test would otherwise memoize into the
+    user's real ``~/.cache/repro``, leaking state between tests and
+    machines.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

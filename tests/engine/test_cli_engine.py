@@ -1,0 +1,61 @@
+"""CLI-level engine behavior: cache reuse and parallel determinism."""
+
+import os
+
+from repro.engine import load_manifests
+from repro.cli import main
+
+
+def _cache_root():
+    return os.environ["REPRO_CACHE_DIR"]
+
+
+class TestWarmRerun:
+    def test_fig7_warm_rerun_evaluates_nothing(self, capsys):
+        assert main(["fig7"]) == 0
+        cold = capsys.readouterr()
+        assert main(["fig7"]) == 0
+        warm = capsys.readouterr()
+
+        # identical artefact output, cold or warm
+        assert warm.out == cold.out
+        # the saved manifests record a full-hit, zero-evaluation rerun
+        manifests = load_manifests(os.path.join(_cache_root(), "manifests"))
+        assert len(manifests) == 2                 # one per machine
+        for manifest in manifests:
+            assert manifest["misses"] == 0
+            assert manifest["hits"] == len(manifest["points"]) == 12
+        assert "misses 0" in warm.err
+
+    def test_x5_whole_curve_is_cached(self, capsys):
+        assert main(["x5"]) == 0
+        first = capsys.readouterr()
+        assert "misses 1" in first.err
+        assert main(["x5"]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "hits 1 | misses 0" in second.err
+
+    def test_no_cache_flag_disables_memoization(self, capsys):
+        assert main(["fig7", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["fig7", "--no-cache"]) == 0
+        rerun = capsys.readouterr()
+        assert "misses 12" in rerun.err
+
+
+class TestParallelDeterminism:
+    def test_fig3_parallel_stdout_matches_serial(self, capsys):
+        assert main(["fig3", "--quick", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig3", "--quick", "--no-cache", "--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_fig7_parallel_stdout_matches_serial(self, capsys):
+        assert main(["fig7", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["fig7", "--no-cache", "--jobs", "3"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+        assert "sweet spot: [4, 5, 6, 7]" in parallel

@@ -1,0 +1,52 @@
+"""Canonical hashing for cache keys."""
+
+import pytest
+
+from repro.engine import canonical_json, canonicalize, content_key
+from repro.errors import EngineError
+
+
+class TestCanonicalize:
+    def test_scalars_pass_through(self):
+        for value in (None, True, False, 0, -3, "x", 1.5):
+            assert canonicalize(value) == value
+
+    def test_tuples_normalize_to_lists(self):
+        assert canonicalize((1, 2, (3, 4))) == [1, 2, [3, 4]]
+
+    def test_non_finite_floats_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(EngineError):
+                canonicalize({"x": bad})
+
+    def test_non_string_mapping_keys_rejected(self):
+        with pytest.raises(EngineError, match="must be strings"):
+            canonicalize({1: "x"})
+
+    def test_objects_rejected(self):
+        with pytest.raises(EngineError, match="no stable content"):
+            canonicalize({"machine": object()})
+
+
+class TestContentKey:
+    def test_dict_order_is_irrelevant(self):
+        a = {"cores": 4, "seed": 7, "nested": {"b": 1, "a": 2}}
+        b = {"nested": {"a": 2, "b": 1}, "seed": 7, "cores": 4}
+        assert content_key(a) == content_key(b)
+
+    def test_tuple_and_list_hash_identically(self):
+        assert content_key({"shape": (32, 32, 32)}) == \
+            content_key({"shape": [32, 32, 32]})
+
+    def test_any_change_changes_the_key(self):
+        base = {"sweep": {"seed": 7}, "point": {"cores": 4}}
+        assert content_key(base) != content_key(
+            {"sweep": {"seed": 8}, "point": {"cores": 4}}
+        )
+        assert content_key(base) != content_key(
+            {"sweep": {"seed": 7}, "point": {"cores": 8}}
+        )
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": [1.5, "x"]}) == \
+            '{"a":[1.5,"x"],"b":1}'

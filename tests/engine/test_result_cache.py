@@ -1,0 +1,88 @@
+"""Content-addressed on-disk result cache."""
+
+import json
+
+import pytest
+
+from repro.engine import CACHE_DIR_ENV, ResultCache, content_key, default_cache_root
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestRoundtrip:
+    def test_put_then_get(self, cache):
+        key = {"sweep": {"seed": 7}, "point": {"cores": 4}}
+        cache.put(key, {"value": {"elapsed_s": 12.5}})
+        assert cache.get(key) == {"value": {"elapsed_s": 12.5}}
+
+    def test_get_counts_hits_and_misses(self, cache):
+        key = {"point": 1}
+        assert cache.get(key) is None
+        cache.put(key, {"value": 1})
+        assert cache.get(key) == {"value": 1}
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_equivalent_keys_share_one_entry(self, cache):
+        cache.put({"a": 1, "b": (2, 3)}, {"value": "x"})
+        assert cache.get({"b": [2, 3], "a": 1}) == {"value": "x"}
+        assert len(cache) == 1
+
+    def test_entries_shard_by_key_prefix(self, cache):
+        key = {"point": 42}
+        cache.put(key, {"value": 0})
+        digest = content_key(key)
+        assert (cache.root / digest[:2] / f"{digest}.json").exists()
+
+
+class TestRobustness:
+    def test_corrupt_entry_is_a_miss_and_heals(self, cache):
+        key = {"point": 3}
+        digest = cache.put(key, {"value": 9})
+        path = cache.root / digest[:2] / f"{digest}.json"
+        path.write_text("{ not json", encoding="utf-8")
+        assert cache.get(key) is None
+        cache.put(key, {"value": 9})
+        assert cache.get(key) == {"value": 9}
+
+    def test_unserializable_payload_raises(self, cache):
+        with pytest.raises(EngineError, match="not JSON-serializable"):
+            cache.put({"point": 1}, {"value": object()})
+
+    def test_no_temp_files_left_behind(self, cache):
+        for i in range(5):
+            cache.put({"point": i}, {"value": i})
+        leftovers = list(cache.root.rglob(".tmp-*"))
+        assert leftovers == []
+
+    def test_entry_records_its_own_key(self, cache):
+        key = {"sweep": {"app": "linpack"}, "point": {"cores": 8}}
+        digest = cache.put(key, {"value": 1.0})
+        entry = json.loads(
+            (cache.root / digest[:2] / f"{digest}.json").read_text()
+        )
+        assert entry["key"] == key
+
+
+class TestHousekeeping:
+    def test_len_and_clear(self, cache):
+        for i in range(3):
+            cache.put({"point": i}, {"value": i})
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_contains_does_not_touch_stats(self, cache):
+        key = {"point": 1}
+        assert not cache.contains(key)
+        cache.put(key, {"value": 1})
+        assert cache.contains(key)
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_default_root_honors_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_root() == tmp_path / "elsewhere"
+        assert ResultCache().root == tmp_path / "elsewhere"
