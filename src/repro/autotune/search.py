@@ -15,6 +15,7 @@ from typing import Any, Callable, Mapping
 
 from repro.autotune.space import ParameterSpace, Point
 from repro.errors import SearchError
+from repro.metrics.registry import current_registry
 
 Objective = Callable[[Mapping[str, Any]], float]
 
@@ -132,6 +133,12 @@ class _Evaluator:
     def result(self) -> SearchResult:
         if not self.history:
             raise SearchError("search evaluated no points")
+        # One flush per search: real objective work vs. requests served
+        # by the in-process or on-disk memo.
+        metrics = current_registry()
+        metrics.inc("autotune.searches", 1)
+        metrics.inc("autotune.evaluations", self.objective_calls)
+        metrics.inc("autotune.memo_hits", self.calls - self.objective_calls)
         best_point, best_value = min(self.history, key=lambda item: item[1])
         return SearchResult(
             best_point=dict(best_point),

@@ -16,12 +16,20 @@ and completed points are memoized in a content-addressed cache
 ``--no-cache`` disables it), so re-running a figure recomputes nothing.
 Engine summaries print on stderr, keeping stdout byte-stable across
 job counts and cache states.
+
+Observability: ``--metrics-out PATH`` installs a process-wide
+:class:`repro.metrics.MetricsRegistry` for the run and writes its
+export to PATH; ``--metrics-format {json,prom,table}`` picks the
+format (default ``json``), and with a format but no path the export
+goes to stderr.  Metrics never touch stdout, so artefact output stays
+byte-identical whether or not they are enabled.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import Callable
 
 from repro.errors import ReproError
@@ -503,31 +511,62 @@ def build_parser() -> argparse.ArgumentParser:
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="collect metrics for this run and write the "
+                             "export to PATH (stdout stays untouched)")
+    parser.add_argument("--metrics-format", default=None,
+                        choices=["json", "prom", "table"],
+                        help="metrics export format (default json); with "
+                             "no --metrics-out the export goes to stderr")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro import metrics as metrics_mod
     from repro.engine import ExperimentEngine, ResultCache
 
     args = build_parser().parse_args(argv)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    args.engine = ExperimentEngine(
-        cache=cache,
-        jobs=args.jobs,
-        manifest_dir=None if cache is None else cache.root / "manifests",
-        echo=lambda line: print(line, file=sys.stderr),
+    wants_metrics = (
+        args.metrics_out is not None or args.metrics_format is not None
     )
-    names = list(COMMANDS) if args.artefact == "all" else [args.artefact]
-    for name in names:
-        if len(names) > 1:
-            print(f"\n{'=' * 60}\n{name}\n{'=' * 60}")
-        try:
-            COMMANDS[name](args)
-        except ReproError as error:
-            print(f"error regenerating {name}: {error}", file=sys.stderr)
-            return 1
-    if args.engine.manifests:
-        print(f"[engine] totals: hits {args.engine.total_hits} | "
-              f"misses {args.engine.total_misses}", file=sys.stderr)
-    return 0
+    registry = metrics_mod.MetricsRegistry() if wants_metrics else None
+    # Installed process-wide so every layer a command touches (DES,
+    # MPI, engine, faults, tuner) reports into this run's registry;
+    # the previous registry is restored on the way out, so in-process
+    # callers (the test suite) never observe leaked global state.
+    previous = metrics_mod.set_registry(registry) if registry is not None else None
+    try:
+        cache = None if args.no_cache else ResultCache(args.cache_dir)
+        args.engine = ExperimentEngine(
+            cache=cache,
+            jobs=args.jobs,
+            manifest_dir=None if cache is None else cache.root / "manifests",
+            echo=lambda line: print(line, file=sys.stderr),
+        )
+        names = list(COMMANDS) if args.artefact == "all" else [args.artefact]
+        for name in names:
+            if len(names) > 1:
+                print(f"\n{'=' * 60}\n{name}\n{'=' * 60}")
+            span = (
+                registry.span(f"artefact/{name}") if registry is not None
+                else nullcontext()
+            )
+            try:
+                with span:
+                    COMMANDS[name](args)
+            except ReproError as error:
+                print(f"error regenerating {name}: {error}", file=sys.stderr)
+                return 1
+        if args.engine.manifests:
+            print(f"[engine] totals: hits {args.engine.total_hits} | "
+                  f"misses {args.engine.total_misses}", file=sys.stderr)
+        return 0
+    finally:
+        if registry is not None:
+            metrics_mod.set_registry(previous)
+            fmt = args.metrics_format or "json"
+            if args.metrics_out is not None:
+                metrics_mod.write_metrics(registry, args.metrics_out, fmt)
+            else:
+                sys.stderr.write(metrics_mod.render_metrics(registry, fmt))

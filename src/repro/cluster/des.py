@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
 from repro.errors import SimulationError
+from repro.metrics.registry import current_registry
 
 
 @dataclass(order=True)
@@ -40,6 +41,8 @@ class Simulator:
         self._queue: list[Event] = []
         self._sequence = itertools.count()
         self.events_executed = 0
+        self.queue_high_water = 0
+        self._metrics = current_registry()
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule *callback* to run *delay* seconds from now."""
@@ -51,6 +54,8 @@ class Simulator:
             time=self.now + delay, sequence=next(self._sequence), callback=callback
         )
         heapq.heappush(self._queue, event)
+        if len(self._queue) > self.queue_high_water:
+            self.queue_high_water = len(self._queue)
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -59,23 +64,34 @@ class Simulator:
 
     def run(self, until: float | None = None) -> None:
         """Execute events in order until the queue drains (or *until*)."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if until is not None and event.time > until:
-                heapq.heappush(self._queue, event)
-                self.now = until
-                return
-            if event.time < self.now:
-                raise SimulationError(
-                    f"causality violation: event at {event.time} < now {self.now}"
-                )
-            self.now = event.time
-            self.events_executed += 1
-            event.callback()
-        if until is not None:
-            self.now = max(self.now, until)
+        executed_before = self.events_executed
+        try:
+            while self._queue:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    heapq.heappush(self._queue, event)
+                    self.now = until
+                    return
+                if event.time < self.now:
+                    raise SimulationError(
+                        f"causality violation: event at {event.time} < now {self.now}"
+                    )
+                self.now = event.time
+                self.events_executed += 1
+                event.callback()
+            if until is not None:
+                self.now = max(self.now, until)
+        finally:
+            # Flushed once per run() call, so the hot loop stays free of
+            # metric calls even when a registry is installed.
+            self._metrics.inc(
+                "des.events_dispatched", self.events_executed - executed_before
+            )
+            self._metrics.gauge_max(
+                "des.queue_depth_high_water", self.queue_high_water
+            )
 
     @property
     def pending(self) -> int:

@@ -154,3 +154,24 @@ class Fabric:
         if self.root is not None:
             total += self.root.loss_episodes
         return total
+
+    def metrics_summary(self, elapsed: float) -> dict[str, float]:
+        """Aggregate transport statistics over a ``[0, elapsed]`` window.
+
+        Feeds the metrics registry at job teardown: NIC-TX traffic
+        totals, the busiest NIC's utilization, and the retransmission
+        (loss) episodes every switch recorded.  All values derive from
+        simulated time, so they are deterministic across runs.
+        """
+        tx = [nic.tx for nic in self.nics]
+        summary: dict[str, float] = {
+            "bytes": float(sum(r.bytes_carried for r in tx)),
+            "messages": float(sum(r.messages_carried for r in tx)),
+            "busy_seconds": sum(r.busy_time for r in tx),
+            "retransmit_episodes": float(self.total_loss_episodes()),
+        }
+        if elapsed > 0:
+            summary["max_nic_utilization"] = max(
+                r.utilization(elapsed) for r in tx
+            )
+        return summary

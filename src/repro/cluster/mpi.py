@@ -43,6 +43,7 @@ from repro.errors import (
     LinkFailure,
     SimulationError,
 )
+from repro.metrics.registry import current_registry
 
 #: Messages up to this size are sent eagerly.
 EAGER_THRESHOLD_BYTES = 32 * 1024
@@ -396,12 +397,20 @@ class MpiJob:
         self.program_factory = program_factory
         self.tracer = tracer
         self.injector = injector
+        self._metrics = current_registry()
+        self._collect = self._metrics.enabled
         self.sim = Simulator()
         self._processes: list[Process] = []
         self._mailboxes: dict[tuple, list[Message]] = {}
         self._pending_recvs: dict[tuple, list[tuple[Process, Recv, float]]] = {}
         self.messages_delivered = 0
         self.retry_wait_s = 0.0
+        # Per-label (per-collective) traffic and blocked-receive time,
+        # accumulated in plain dicts and flushed to the registry once
+        # at the end of run() — simulated-time values, so deterministic.
+        self._msg_counts: dict[str, int] = {}
+        self._msg_bytes: dict[str, int] = {}
+        self._wait_s: dict[str, float] = {}
 
     # -- request handlers ---------------------------------------------------
 
@@ -495,6 +504,12 @@ class MpiJob:
             label=request.label,
         )
         self.sim.schedule_at(arrival, lambda: self._deliver(message))
+        if self._collect:
+            label = request.label
+            self._msg_counts[label] = self._msg_counts.get(label, 0) + 1
+            self._msg_bytes[label] = (
+                self._msg_bytes.get(label, 0) + request.nbytes
+            )
         if self.tracer is not None:
             self.tracer.comm(message)
 
@@ -513,6 +528,11 @@ class MpiJob:
             if not waiting:
                 del self._pending_recvs[key]
             self.messages_delivered += 1
+            if self._collect:
+                label = request.label
+                self._wait_s[label] = (
+                    self._wait_s.get(label, 0.0) + self.sim.now - posted_at
+                )
             self._trace_state(message.dst, request.label, posted_at, self.sim.now)
             process.resume(message)
         else:
@@ -612,6 +632,38 @@ class MpiJob:
                 for waiter, _request, _posted in list(self._pending_recvs[key]):
                     self._fail_process(waiter, exc)
 
+    # -- metrics -------------------------------------------------------------
+
+    def _flush_metrics(self) -> None:
+        """Push this job's per-collective and transport statistics.
+
+        Every value is a function of simulated time and message counts,
+        so metrics are byte-identical across ``--jobs`` levels; the
+        Figure 4 ``alltoallv`` delay shows up directly as
+        ``mpi.wait_seconds.alltoallv``.
+        """
+        if not self._collect:
+            return
+        metrics = self._metrics
+        for label in sorted(self._msg_counts):
+            metrics.inc(f"mpi.messages.{label}", self._msg_counts[label])
+            metrics.inc(f"mpi.bytes.{label}", self._msg_bytes[label])
+        for label in sorted(self._wait_s):
+            metrics.inc(f"mpi.wait_seconds.{label}", self._wait_s[label])
+        metrics.inc("mpi.jobs", 1)
+        metrics.inc("mpi.messages_delivered", self.messages_delivered)
+        metrics.inc("mpi.retry_wait_seconds", self.retry_wait_s)
+        metrics.gauge_max("mpi.ranks_max", self.num_ranks)
+        net = self.cluster.fabric.metrics_summary(self.sim.now)
+        metrics.inc("net.bytes", net["bytes"])
+        metrics.inc("net.messages", net["messages"])
+        metrics.inc("net.busy_seconds", net["busy_seconds"])
+        metrics.inc("net.retransmit_episodes", net["retransmit_episodes"])
+        if "max_nic_utilization" in net:
+            metrics.gauge_max(
+                "net.nic_utilization_max", net["max_nic_utilization"]
+            )
+
     # -- execution ------------------------------------------------------------
 
     def run(self) -> JobResult:
@@ -634,6 +686,7 @@ class MpiJob:
         if self.injector is not None:
             self.injector.arm(self)
         self.sim.run()
+        self._flush_metrics()
 
         stuck = [p for p in self._processes if not p.terminated]
         if stuck:

@@ -39,6 +39,7 @@ from repro.engine.cache import ResultCache
 from repro.engine.hashing import content_key
 from repro.engine.manifest import PointRecord, RunManifest
 from repro.errors import EngineError
+from repro.metrics.registry import MetricsRegistry, current_registry, use_registry
 from repro.version import __version__
 
 #: Bump to invalidate every cache entry written by older engines.
@@ -96,11 +97,24 @@ class SweepRun:
         return iter(zip(self.spec.points, self.values))
 
 
-def _timed_call(worker: Worker, params: Mapping[str, Any]) -> tuple[Any, float]:
-    """Run one point and measure its wall time (picklable top-level)."""
+def _timed_call(
+    worker: Worker, params: Mapping[str, Any], capture: bool = False
+) -> tuple[Any, float, dict[str, Any] | None]:
+    """Run one point; measure wall time (picklable top-level).
+
+    With ``capture=True`` the worker runs under a fresh, thread-scoped
+    metrics registry and its snapshot rides back with the value — the
+    same path whether the point ran in-process, on a thread, or in a
+    worker process, which is why ``--jobs 1`` and ``--jobs 4`` merge to
+    identical metrics.
+    """
     start = time.perf_counter()
+    if capture:
+        with use_registry(MetricsRegistry()) as registry:
+            value = worker(params)
+        return value, time.perf_counter() - start, registry.snapshot()
     value = worker(params)
-    return value, time.perf_counter() - start
+    return value, time.perf_counter() - start, None
 
 
 class ExperimentEngine:
@@ -125,6 +139,7 @@ class ExperimentEngine:
         self.manifest_dir = Path(manifest_dir) if manifest_dir else None
         self.echo = echo
         self.manifests: list[RunManifest] = []
+        self.metrics = current_registry()
 
     # -- keys --------------------------------------------------------------
 
@@ -165,41 +180,48 @@ class ExperimentEngine:
         values: list[Any] = [None] * n
         hit: list[bool] = [False] * n
         walls: list[float] = [0.0] * n
+        snapshots: list[dict[str, Any] | None] = [None] * n
+        capture = self.metrics.enabled
 
-        pending: list[int] = []
-        for index, key in enumerate(keys):
-            payload = self.cache.get(key) if self.cache is not None else None
-            if payload is not None:
-                values[index] = payload["value"]
-                hit[index] = True
+        with self.metrics.span(f"engine/{spec.name}"):
+            pending: list[int] = []
+            for index, key in enumerate(keys):
+                payload = self.cache.get(key) if self.cache is not None else None
+                if payload is not None:
+                    values[index] = payload["value"]
+                    hit[index] = True
+                else:
+                    pending.append(index)
+
+            executor_kind = self._pick_executor(spec, len(pending))
+            if executor_kind == "serial":
+                for index in pending:
+                    values[index], walls[index], snapshots[index] = _timed_call(
+                        spec.worker, spec.points[index], capture
+                    )
             else:
-                pending.append(index)
-
-        executor_kind = self._pick_executor(spec, len(pending))
-        if executor_kind == "serial":
-            for index in pending:
-                values[index], walls[index] = _timed_call(
-                    spec.worker, spec.points[index]
+                pool_cls = (
+                    ProcessPoolExecutor if executor_kind == "process"
+                    else ThreadPoolExecutor
                 )
-        else:
-            pool_cls = (
-                ProcessPoolExecutor if executor_kind == "process"
-                else ThreadPoolExecutor
-            )
-            workers = min(self.jobs, len(pending))
-            with pool_cls(max_workers=workers) as pool:
-                futures = [
-                    pool.submit(_timed_call, spec.worker, spec.points[index])
-                    for index in pending
-                ]
-                # Collect in submission order: completion order never
-                # leaks into the results.
-                for index, future in zip(pending, futures):
-                    values[index], walls[index] = future.result()
+                workers = min(self.jobs, len(pending))
+                with pool_cls(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(
+                            _timed_call, spec.worker, spec.points[index], capture
+                        )
+                        for index in pending
+                    ]
+                    # Collect in submission order: completion order never
+                    # leaks into the results.
+                    for index, future in zip(pending, futures):
+                        values[index], walls[index], snapshots[index] = (
+                            future.result()
+                        )
 
-        if self.cache is not None:
-            for index in pending:
-                self.cache.put(keys[index], {"value": values[index]})
+            if self.cache is not None:
+                for index in pending:
+                    self.cache.put(keys[index], {"value": values[index]})
 
         manifest = RunManifest(
             sweep=spec.name,
@@ -219,11 +241,45 @@ class ExperimentEngine:
             ],
         )
         self.manifests.append(manifest)
+        if capture:
+            self._record_metrics(manifest, snapshots)
         if self.manifest_dir is not None:
             manifest.save(self.manifest_dir)
         if self.echo is not None:
             self.echo(manifest.summary())
         return SweepRun(spec=spec, values=tuple(values), manifest=manifest)
+
+    def _record_metrics(
+        self,
+        manifest: RunManifest,
+        snapshots: Sequence[Mapping[str, Any] | None],
+    ) -> None:
+        """Migrate one run's manifest stats onto the ambient registry.
+
+        Point counts and cache hit/miss totals are deterministic;
+        wall-clock-derived values (per-point wall time, worker
+        occupancy) are recorded as volatile so deterministic exports
+        drop them.  Worker snapshots merge in submission order.
+        """
+        metrics = self.metrics
+        metrics.inc("engine.points", len(manifest.points))
+        metrics.inc("engine.cache.hits", manifest.hits)
+        metrics.inc("engine.cache.misses", manifest.misses)
+        metrics.inc("engine.sweeps", 1)
+        metrics.gauge_set("engine.jobs", self.jobs, volatile=True)
+        metrics.gauge_max(
+            "engine.worker_utilization", manifest.worker_utilization,
+            volatile=True,
+        )
+        for record in manifest.points:
+            if not record.cache_hit:
+                metrics.observe(
+                    "engine.point_wall_seconds", record.wall_seconds,
+                    volatile=True,
+                )
+        for snapshot in snapshots:
+            if snapshot is not None:
+                metrics.merge(snapshot)
 
     def run_cached(
         self,

@@ -111,3 +111,9 @@ class DataError(ReproError):
 class EngineError(ReproError):
     """The experiment engine was mis-used: an unhashable cache key, a
     non-JSON worker payload, or a corrupt cache/manifest store."""
+
+
+class MetricsError(ReproError):
+    """The metrics subsystem was mis-used: a decreasing counter, a
+    type-conflicting metric name, mismatched histogram buckets on a
+    merge, or an export that failed schema validation."""

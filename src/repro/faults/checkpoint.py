@@ -158,6 +158,9 @@ def run_with_checkpoints(
     dynamics are real, then composes the restart timeline.  Raises
     :class:`CheckpointError` if ``max_restarts`` is exceeded.
     """
+    from repro.metrics.registry import current_registry
+
+    metrics = current_registry()
     checkpoint = checkpoint or CheckpointConfig()
     resilience = resilience or ResilienceConfig()
 
@@ -251,6 +254,8 @@ def run_with_checkpoints(
         restarts = 1
     wall += (useful - progress) / rate
 
+    metrics.inc("faults.recoveries", restarts)
+    metrics.inc("faults.rework_seconds", rework_total)
     return ResilientRunResult(
         wall_seconds=wall,
         useful_seconds=useful,

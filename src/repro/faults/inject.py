@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, RankFailure, SimulationError
 from repro.faults.detect import ResilienceConfig
+from repro.metrics.registry import current_registry
 from repro.faults.plan import (
     FaultPlan,
     LinkDegrade,
@@ -67,6 +68,7 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan, *, resilience: ResilienceConfig | None = None) -> None:
         self.plan = plan
         self.resilience = resilience or ResilienceConfig()
+        self._metrics = current_registry()
         self._job = None
         self.fired = 0
         self.failures: list[FailureRecord] = []
@@ -103,16 +105,18 @@ class FaultInjector:
 
     def _fire(self, event) -> None:
         self.fired += 1
-        handler = {
-            NodeCrash: self._fire_crash,
-            NodeSlowdown: self._fire_slowdown,
-            LinkDegrade: self._fire_degrade,
-            LinkFlap: self._fire_flap,
-            SwitchBufferShrink: self._fire_buffer_shrink,
-            OSNoiseBurst: self._fire_noise,
+        dispatch = {
+            NodeCrash: ("crash", self._fire_crash),
+            NodeSlowdown: ("slowdown", self._fire_slowdown),
+            LinkDegrade: ("degrade", self._fire_degrade),
+            LinkFlap: ("flap", self._fire_flap),
+            SwitchBufferShrink: ("buffer-shrink", self._fire_buffer_shrink),
+            OSNoiseBurst: ("os-noise", self._fire_noise),
         }.get(type(event))
-        if handler is None:
+        if dispatch is None:
             raise SimulationError(f"unhandled fault event {event!r}")
+        kind, handler = dispatch
+        self._metrics.inc(f"faults.injected.{kind}")
         handler(event)
 
     def _ranks_on(self, node: int) -> tuple[int, ...]:
@@ -152,6 +156,8 @@ class FaultInjector:
             node=node, ranks=ranks, crash_time_s=crash_time, detected_time_s=now
         )
         self.failures.append(record)
+        self._metrics.inc("faults.detections")
+        self._metrics.inc("faults.detection_latency_seconds", now - crash_time)
         job._on_failure_detected(record)
 
     def _fire_slowdown(self, event: NodeSlowdown) -> None:

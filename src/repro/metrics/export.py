@@ -1,0 +1,333 @@
+"""Exporters for :class:`~repro.metrics.registry.MetricsRegistry`.
+
+Three formats share one in-memory form (:func:`registry_to_dict`):
+
+* ``json`` — canonical JSON: sorted keys, sorted span children, no
+  timestamps, trailing newline.  With ``deterministic=True`` every
+  volatile (wall-clock-derived) metric and every span timing is
+  dropped, so two runs of the same simulation — at any ``--jobs``
+  level, on any machine — export byte-identical documents (this is the
+  form the golden-file tests pin);
+* ``prom`` — Prometheus text exposition (``# TYPE`` headers, ``le``
+  histogram buckets, span paths as labels);
+* ``table`` — a human summary rendered with the repo's ASCII tables.
+
+:func:`validate_metrics_json` structurally validates the JSON form
+(used by the schema conformance test) without external dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import MetricsError
+from repro.metrics.registry import MetricsRegistry, NullRegistry
+
+#: Bump when the exported document layout changes shape.
+METRICS_SCHEMA_VERSION = 1
+
+#: The formats the CLI accepts for ``--metrics-format``.
+FORMATS = ("json", "prom", "table")
+
+_PROM_SAFE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def registry_to_dict(
+    registry: MetricsRegistry | NullRegistry, *, deterministic: bool = False
+) -> dict[str, Any]:
+    """The canonical dict form of *registry*'s current state."""
+    snapshot = registry.snapshot()
+    if deterministic:
+        for section in ("counters", "gauges", "histograms"):
+            snapshot[section] = {
+                name: record
+                for name, record in snapshot[section].items()
+                if not record.get("volatile")
+            }
+        snapshot["spans"] = _strip_span_times(snapshot["spans"])
+    return {"schema": METRICS_SCHEMA_VERSION, "deterministic": deterministic,
+            **snapshot}
+
+
+def _strip_span_times(node: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "name": node["name"],
+        "count": node["count"],
+        "children": [_strip_span_times(c) for c in node.get("children", ())],
+    }
+
+
+def to_json(
+    registry: MetricsRegistry | NullRegistry, *, deterministic: bool = False
+) -> str:
+    """Canonical JSON export (sorted keys, trailing newline)."""
+    return json.dumps(
+        registry_to_dict(registry, deterministic=deterministic),
+        sort_keys=True, indent=2, allow_nan=False,
+    ) + "\n"
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + _PROM_SAFE.sub("_", name)
+
+
+def _prom_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def to_prometheus(
+    registry: MetricsRegistry | NullRegistry, *, deterministic: bool = False
+) -> str:
+    """Prometheus text exposition format (one document, no timestamps)."""
+    payload = registry_to_dict(registry, deterministic=deterministic)
+    lines: list[str] = []
+    for name, record in payload["counters"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_prom_value(record['value'])}")
+    for name, record in payload["gauges"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(record['value'])}")
+    for name, record in payload["histograms"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for bound, count in zip(
+            record["upper_bounds"], record["bucket_counts"]
+        ):
+            cumulative += count
+            lines.append(
+                f'{prom}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+            )
+        lines.append(
+            f'{prom}_bucket{{le="+Inf"}} {record["count"]}'
+        )
+        lines.append(f"{prom}_sum {_prom_value(record['sum'])}")
+        lines.append(f"{prom}_count {record['count']}")
+    span_lines: list[str] = []
+    for path, node in _walk_span_dict(payload["spans"]):
+        span_lines.append(f'repro_span_count{{path="{path}"}} {node["count"]}')
+        if not deterministic:
+            span_lines.append(
+                f'repro_span_seconds{{path="{path}"}} '
+                f'{_prom_value(node["wall_seconds"])}'
+            )
+    if span_lines:
+        lines.append("# TYPE repro_span_count counter")
+        if not deterministic:
+            lines.append("# TYPE repro_span_seconds counter")
+        lines.extend(span_lines)
+    return "\n".join(lines) + "\n"
+
+
+def _walk_span_dict(node: Mapping[str, Any], prefix: str = ""):
+    path = f"{prefix}/{node['name']}" if prefix else str(node["name"])
+    if node["name"]:
+        yield path, node
+    for child in node.get("children", ()):
+        yield from _walk_span_dict(child, path)
+
+
+def to_table(registry: MetricsRegistry | NullRegistry) -> str:
+    """A human summary: counters/gauges, histograms, and the span tree."""
+    from repro.core.report import render_table
+
+    payload = registry_to_dict(registry)
+    sections: list[str] = []
+    scalar_rows = [
+        [name, "counter", _prom_value(record["value"])]
+        for name, record in payload["counters"].items()
+    ] + [
+        [name, "gauge", _prom_value(record["value"])]
+        for name, record in payload["gauges"].items()
+    ]
+    if scalar_rows:
+        sections.append(render_table(
+            "Metrics", ["name", "kind", "value"], scalar_rows
+        ))
+    hist_rows = [
+        [
+            name,
+            record["count"],
+            _prom_value(record["sum"]),
+            "0" if not record["count"]
+            else _prom_value(record["sum"] / record["count"]),
+        ]
+        for name, record in payload["histograms"].items()
+    ]
+    if hist_rows:
+        sections.append(render_table(
+            "Histograms", ["name", "count", "sum", "mean"], hist_rows
+        ))
+    span_rows = [
+        [
+            path,
+            node["count"],
+            f"{node['wall_seconds']:.3f}",
+            f"{node['wall_seconds'] - sum(c['wall_seconds'] for c in node['children']):.3f}",
+        ]
+        for path, node in _walk_span_dict(payload["spans"])
+    ]
+    if span_rows:
+        sections.append(render_table(
+            "Span profile", ["path", "count", "incl (s)", "excl (s)"],
+            span_rows,
+        ))
+    if not sections:
+        return "(no metrics recorded)\n"
+    return "\n\n".join(sections) + "\n"
+
+
+def render_metrics(
+    registry: MetricsRegistry | NullRegistry,
+    fmt: str,
+    *,
+    deterministic: bool = False,
+) -> str:
+    """Render *registry* in one of :data:`FORMATS`."""
+    if fmt == "json":
+        return to_json(registry, deterministic=deterministic)
+    if fmt == "prom":
+        return to_prometheus(registry, deterministic=deterministic)
+    if fmt == "table":
+        return to_table(registry)
+    raise MetricsError(f"unknown metrics format {fmt!r}; known: {FORMATS}")
+
+
+def write_metrics(
+    registry: MetricsRegistry | NullRegistry,
+    path: str | Path,
+    fmt: str = "json",
+    *,
+    deterministic: bool = False,
+) -> Path:
+    """Render *registry* and write it to *path*; returns the path."""
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        render_metrics(registry, fmt, deterministic=deterministic),
+        encoding="utf-8",
+    )
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (dependency-free)
+# ---------------------------------------------------------------------------
+
+
+def _fail(message: str) -> None:
+    raise MetricsError(f"metrics JSON failed validation: {message}")
+
+
+def _check_number(value: Any, where: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(f"{where} must be a number, got {type(value).__name__}")
+    if value != value:
+        _fail(f"{where} is NaN")
+    return float(value)
+
+
+def _validate_span(node: Any, where: str, deterministic: bool) -> None:
+    if not isinstance(node, dict):
+        _fail(f"{where} must be an object")
+    if not isinstance(node.get("name"), str):
+        _fail(f"{where}.name must be a string")
+    count = node.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        _fail(f"{where}.count must be a non-negative integer")
+    if not deterministic:
+        _check_number(node.get("wall_seconds"), f"{where}.wall_seconds")
+    children = node.get("children")
+    if not isinstance(children, list):
+        _fail(f"{where}.children must be a list")
+    names = [c.get("name") if isinstance(c, dict) else None for c in children]
+    if names != sorted(names, key=str):
+        _fail(f"{where}.children must be sorted by name")
+    for index, child in enumerate(children):
+        _validate_span(child, f"{where}.children[{index}]", deterministic)
+
+
+def validate_metrics_json(payload: Any) -> None:
+    """Structurally validate a parsed JSON export.
+
+    Raises :class:`MetricsError` on the first violation; returns
+    ``None`` for a conforming document.
+    """
+    if not isinstance(payload, dict):
+        _fail("top level must be an object")
+    if payload.get("schema") != METRICS_SCHEMA_VERSION:
+        _fail(f"schema must be {METRICS_SCHEMA_VERSION}, "
+              f"got {payload.get('schema')!r}")
+    deterministic = payload.get("deterministic")
+    if not isinstance(deterministic, bool):
+        _fail("deterministic must be a boolean")
+    for section in ("counters", "gauges", "histograms"):
+        table = payload.get(section)
+        if not isinstance(table, dict):
+            _fail(f"{section} must be an object")
+        for name, record in table.items():
+            if not isinstance(record, dict):
+                _fail(f"{section}[{name!r}] must be an object")
+            if not isinstance(record.get("volatile"), bool):
+                _fail(f"{section}[{name!r}].volatile must be a boolean")
+    for name, record in payload["counters"].items():
+        if _check_number(record.get("value"), f"counters[{name!r}].value") < 0:
+            _fail(f"counter {name!r} is negative")
+    for name, record in payload["gauges"].items():
+        _check_number(record.get("value"), f"gauges[{name!r}].value")
+    for name, record in payload["histograms"].items():
+        where = f"histograms[{name!r}]"
+        bounds = record.get("upper_bounds")
+        counts = record.get("bucket_counts")
+        if not isinstance(bounds, list) or not bounds:
+            _fail(f"{where}.upper_bounds must be a non-empty list")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            _fail(f"{where}.upper_bounds must be strictly increasing")
+        if not isinstance(counts, list) or len(counts) != len(bounds) + 1:
+            _fail(f"{where}.bucket_counts must have {len(bounds) + 1} entries")
+        total = 0
+        for index, count in enumerate(counts):
+            if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+                _fail(f"{where}.bucket_counts[{index}] must be a "
+                      "non-negative integer")
+            total += count
+        if total != record.get("count"):
+            _fail(f"{where}: bucket counts sum to {total}, "
+                  f"count says {record.get('count')}")
+        _check_number(record.get("sum"), f"{where}.sum")
+    _validate_span(payload.get("spans"), "spans", deterministic)
+    if payload["spans"].get("name") != "":
+        _fail("spans root must be the unnamed node")
+
+
+def load_and_validate(path: str | Path) -> dict[str, Any]:
+    """Read a JSON metrics file, validate it, and return the payload."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as error:
+        raise MetricsError(f"unreadable metrics file {path}: {error}") from error
+    validate_metrics_json(payload)
+    return payload
+
+
+__all__ = [
+    "METRICS_SCHEMA_VERSION",
+    "FORMATS",
+    "registry_to_dict",
+    "to_json",
+    "to_prometheus",
+    "to_table",
+    "render_metrics",
+    "write_metrics",
+    "validate_metrics_json",
+    "load_and_validate",
+]

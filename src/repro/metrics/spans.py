@@ -1,0 +1,130 @@
+"""Nestable span timers aggregating into a per-phase profile tree.
+
+A *span* is a named phase of execution (``engine/fig3``, an artefact
+regeneration, a cache fill).  Spans nest: entering a span while another
+is open makes it a child, so repeated runs aggregate into a tree whose
+nodes carry an entry count and inclusive wall time.  Exclusive time is
+derived at export: a node's inclusive time minus its children's.
+
+Two invariants hold by construction (and are property-tested):
+
+* a child's inclusive time never exceeds its parent's — children run
+  strictly inside their parent's window;
+* a node's exclusive time plus its children's inclusive times equals
+  its inclusive time exactly.
+
+Wall times are volatile (they differ run to run); the deterministic
+export form keeps the tree structure and entry counts only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import MetricsError
+
+
+class SpanNode:
+    """One node of the aggregated profile tree."""
+
+    __slots__ = ("name", "count", "wall_seconds", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.wall_seconds = 0.0
+        self.children: dict[str, SpanNode] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        """Return (creating if needed) the child node called *name*."""
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    @property
+    def inclusive_seconds(self) -> float:
+        """Total wall time spent inside this span (children included)."""
+        return self.wall_seconds
+
+    @property
+    def exclusive_seconds(self) -> float:
+        """Wall time spent in this span outside any child span."""
+        return self.wall_seconds - sum(
+            c.wall_seconds for c in self.children.values()
+        )
+
+    def walk(self, prefix: str = "") -> Iterator[tuple[str, "SpanNode"]]:
+        """Yield ``(path, node)`` pairs depth-first, children by name."""
+        path = f"{prefix}/{self.name}" if prefix else self.name
+        if self.name:
+            yield path, self
+        for name in sorted(self.children):
+            yield from self.children[name].walk(path)
+
+    def to_dict(self, *, deterministic: bool = False) -> dict[str, Any]:
+        """JSON form; the deterministic form drops wall times."""
+        record: dict[str, Any] = {"name": self.name, "count": self.count}
+        if not deterministic:
+            record["wall_seconds"] = self.wall_seconds
+            record["exclusive_seconds"] = self.exclusive_seconds
+        record["children"] = [
+            self.children[name].to_dict(deterministic=deterministic)
+            for name in sorted(self.children)
+        ]
+        return record
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a snapshot subtree (``to_dict`` form) into this node."""
+        if snapshot.get("name", self.name) != self.name:
+            raise MetricsError(
+                f"cannot merge span {snapshot.get('name')!r} into {self.name!r}"
+            )
+        self.count += int(snapshot.get("count", 0))
+        self.wall_seconds += float(snapshot.get("wall_seconds", 0.0))
+        for child in snapshot.get("children", ()):
+            self.child(str(child["name"])).merge(child)
+
+
+class Span:
+    """Context manager timing one entry of a named span.
+
+    Created via :meth:`MetricsRegistry.span`; re-entrant use of the
+    same ``Span`` object is rejected, and exits must match entries
+    (a mismatched exit raises :class:`MetricsError` rather than
+    silently corrupting the tree).
+    """
+
+    __slots__ = ("_stack", "_clock", "name", "_node", "_start")
+
+    def __init__(
+        self, stack: list[SpanNode], clock: Callable[[], float], name: str
+    ) -> None:
+        if not name:
+            raise MetricsError("span names must be non-empty")
+        self._stack = stack
+        self._clock = clock
+        self.name = name
+        self._node: SpanNode | None = None
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        if self._node is not None:
+            raise MetricsError(f"span {self.name!r} is already active")
+        self._node = self._stack[-1].child(self.name)
+        self._stack.append(self._node)
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = self._clock() - self._start
+        if self._node is None or self._stack[-1] is not self._node:
+            raise MetricsError(
+                f"span {self.name!r} exited out of order "
+                f"(open span: {self._stack[-1].name!r})"
+            )
+        self._stack.pop()
+        self._node.count += 1
+        self._node.wall_seconds += elapsed
+        self._node = None

@@ -1,6 +1,30 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
+
+from repro.metrics import registry as metrics_registry
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "dev",
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile(
+        "ci",
+        max_examples=50,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
 
 
 @pytest.fixture(autouse=True)
@@ -12,3 +36,19 @@ def _isolated_result_cache(tmp_path, monkeypatch):
     machines.
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_metrics_registry():
+    """Guard the process-global metrics registry against leakage.
+
+    A test that installs a registry via ``set_registry`` (directly or
+    through the CLI's ``--metrics-out``) and fails before restoring it
+    would silently instrument every later test.  Snapshot the global
+    and the calling thread's local slot, and restore both afterwards.
+    """
+    saved_global = metrics_registry._GLOBAL
+    saved_local = getattr(metrics_registry._TLS, "registry", None)
+    yield
+    metrics_registry._GLOBAL = saved_global
+    metrics_registry._TLS.registry = saved_local

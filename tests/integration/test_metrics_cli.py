@@ -1,0 +1,100 @@
+"""Integration tests: metrics flags on the CLI, and cross-run isolation.
+
+The observability contract: ``--metrics-out``/``--metrics-format`` on
+any artefact write a metrics document *without perturbing stdout by a
+single byte*, and a CLI invocation leaves no registry state behind —
+running the Table II pipeline twice in one process prints identical
+bytes both times.
+"""
+
+import json
+
+from repro.cli import main
+from repro.metrics import NULL_REGISTRY, current_registry, load_and_validate
+
+
+def run_cli(argv, capsys):
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    return captured.out, captured.err
+
+
+class TestMetricsFlags:
+    def test_fig3_metrics_file_has_required_sections(self, tmp_path, capsys):
+        target = tmp_path / "fig3.json"
+        run_cli(["fig3", "--quick", "--metrics-out", str(target)], capsys)
+        payload = load_and_validate(target)
+        counters = payload["counters"]
+        # DES, per-collective MPI, engine cache, and span profile — the
+        # acceptance checklist for a fig3 export.
+        assert counters["des.events_dispatched"]["value"] > 0
+        assert counters["engine.cache.misses"]["value"] > 0
+        assert "engine.cache.hits" in counters
+        per_collective = {
+            name for name in counters if name.startswith("mpi.messages.")
+        }
+        assert per_collective  # e.g. mpi.messages.allreduce
+        assert any(name.startswith("mpi.wait_seconds.") for name in counters)
+        spans = payload["spans"]["children"]
+        assert any(node["name"] == "artefact/fig3" for node in spans)
+
+    def test_stdout_byte_identical_with_and_without_metrics(
+        self, tmp_path, capsys
+    ):
+        plain_out, _ = run_cli(["table2"], capsys)
+        metered_out, _ = run_cli(
+            ["table2", "--metrics-out", str(tmp_path / "m.json")], capsys
+        )
+        assert metered_out == plain_out
+
+    def test_metrics_format_prom_writes_exposition_text(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "m.prom"
+        run_cli(
+            ["fig7", "--metrics-out", str(target), "--metrics-format",
+             "prom"],
+            capsys,
+        )
+        text = target.read_text(encoding="utf-8")
+        assert "# TYPE repro_engine_points counter" in text
+        assert 'repro_span_count{path="artefact/fig7"} 1' in text
+
+    def test_metrics_format_table_writes_human_summary(
+        self, tmp_path, capsys
+    ):
+        target = tmp_path / "m.txt"
+        run_cli(
+            ["table2", "--metrics-out", str(target), "--metrics-format",
+             "table"],
+            capsys,
+        )
+        assert "Span profile" in target.read_text(encoding="utf-8")
+
+    def test_format_without_out_renders_to_stderr(self, capsys):
+        out, err = run_cli(["fig7", "--metrics-format", "json"], capsys)
+        payload = json.loads(err[err.index("{"):])
+        assert payload["schema"] == 1
+        assert "engine.points" in payload["counters"]
+        assert "{" not in out  # stdout stays the artefact alone
+
+    def test_registry_restored_after_cli_run(self, tmp_path, capsys):
+        run_cli(["table2", "--metrics-out", str(tmp_path / "m.json")], capsys)
+        assert current_registry() is NULL_REGISTRY
+
+
+class TestCrossRunIsolation:
+    def test_table2_pipeline_twice_in_one_process_is_identical(self, capsys):
+        """Guards against registry (or any global) state leaking between
+        runs: the second Table II run must print the same bytes."""
+        first, _ = run_cli(["table2"], capsys)
+        second, _ = run_cli(["table2"], capsys)
+        assert first == second
+
+    def test_metered_run_does_not_perturb_following_plain_run(
+        self, tmp_path, capsys
+    ):
+        baseline, _ = run_cli(["table2"], capsys)
+        run_cli(["table2", "--metrics-out", str(tmp_path / "m.json")], capsys)
+        after, _ = run_cli(["table2"], capsys)
+        assert after == baseline

@@ -1,0 +1,186 @@
+"""Unit tests for the metrics exporters and the JSON schema validator."""
+
+import json
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import (
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    load_and_validate,
+    registry_to_dict,
+    render_metrics,
+    to_json,
+    to_prometheus,
+    to_table,
+    validate_metrics_json,
+    write_metrics,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+def populated_registry():
+    clock = FakeClock()
+    reg = MetricsRegistry(clock=clock)
+    reg.inc("des.events", 10)
+    reg.inc("engine.wall", 3, volatile=True)
+    reg.gauge_max("queue.high_water", 4)
+    reg.gauge_set("jobs", 2, volatile=True)
+    reg.histogram("latency", upper_bounds=[0.1, 1.0]).observe(0.05)
+    reg.histogram("latency").observe(0.5)
+    reg.histogram("latency").observe(5.0)
+    with reg.span("run"):
+        clock.tick(1.0)
+        with reg.span("inner"):
+            clock.tick(0.5)
+    return reg
+
+
+class TestJsonExport:
+    def test_roundtrips_and_validates(self):
+        payload = json.loads(to_json(populated_registry()))
+        validate_metrics_json(payload)
+        assert payload["schema"] == METRICS_SCHEMA_VERSION
+        assert payload["counters"]["des.events"]["value"] == 10
+
+    def test_trailing_newline_and_sorted_keys(self):
+        text = to_json(populated_registry())
+        assert text.endswith("\n")
+        assert text == to_json(populated_registry())  # stable
+
+    def test_deterministic_drops_volatile_metrics(self):
+        payload = json.loads(to_json(populated_registry(), deterministic=True))
+        validate_metrics_json(payload)
+        assert payload["deterministic"] is True
+        assert "engine.wall" not in payload["counters"]
+        assert "jobs" not in payload["gauges"]
+        assert "des.events" in payload["counters"]
+        assert "wall_seconds" not in payload["spans"]["children"][0]
+
+    def test_deterministic_export_ignores_wall_clock(self):
+        docs = []
+        for tick in (1.0, 17.0):
+            clock = FakeClock()
+            reg = MetricsRegistry(clock=clock)
+            reg.inc("c", 1)
+            with reg.span("s"):
+                clock.tick(tick)
+            docs.append(to_json(reg, deterministic=True))
+        assert docs[0] == docs[1]
+
+
+class TestPrometheusExport:
+    def test_type_headers_and_values(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE repro_des_events counter" in text
+        assert "repro_des_events 10" in text
+        assert "# TYPE repro_queue_high_water gauge" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus(populated_registry())
+        assert 'repro_latency_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_bucket{le="1"} 2' in text
+        assert 'repro_latency_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_count 3" in text
+
+    def test_span_paths_as_labels(self):
+        text = to_prometheus(populated_registry())
+        assert 'repro_span_count{path="run"} 1' in text
+        assert 'repro_span_count{path="run/inner"} 1' in text
+        assert 'repro_span_seconds{path="run"}' in text
+
+    def test_deterministic_omits_span_seconds(self):
+        text = to_prometheus(populated_registry(), deterministic=True)
+        assert "repro_span_seconds" not in text
+        assert "repro_engine_wall" not in text
+        assert 'repro_span_count{path="run"} 1' in text
+
+
+class TestTableExport:
+    def test_sections_present(self):
+        text = to_table(populated_registry())
+        assert "Metrics" in text
+        assert "Histograms" in text
+        assert "Span profile" in text
+        assert "des.events" in text
+
+    def test_empty_registry(self):
+        assert to_table(MetricsRegistry()) == "(no metrics recorded)\n"
+
+
+class TestRenderAndWrite:
+    def test_render_dispatch(self):
+        reg = populated_registry()
+        assert render_metrics(reg, "json").startswith("{")
+        assert "# TYPE" in render_metrics(reg, "prom")
+        assert "Metrics" in render_metrics(reg, "table")
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(MetricsError, match="unknown metrics format"):
+            render_metrics(MetricsRegistry(), "xml")
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        target = tmp_path / "deep" / "dir" / "m.json"
+        write_metrics(populated_registry(), target)
+        payload = load_and_validate(target)
+        assert payload["counters"]["des.events"]["value"] == 10
+
+
+class TestValidator:
+    def _valid(self):
+        return json.loads(to_json(populated_registry()))
+
+    def test_accepts_valid_document(self):
+        validate_metrics_json(self._valid())
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda p: p.update(schema=99), "schema must be"),
+        (lambda p: p.update(deterministic="yes"), "must be a boolean"),
+        (lambda p: p["counters"]["des.events"].update(value=-1), "negative"),
+        (lambda p: p["counters"]["des.events"].pop("volatile"),
+         "volatile must be a boolean"),
+        (lambda p: p["histograms"]["latency"]["bucket_counts"].append(1),
+         "entries"),
+        (lambda p: p["histograms"]["latency"].update(count=99),
+         "bucket counts sum"),
+        (lambda p: p["histograms"]["latency"].update(upper_bounds=[2.0, 1.0]),
+         "strictly increasing"),
+        (lambda p: p["spans"].update(name="rooted"), "unnamed node"),
+    ])
+    def test_rejects_violations(self, mutate, message):
+        payload = self._valid()
+        mutate(payload)
+        with pytest.raises(MetricsError, match=message):
+            validate_metrics_json(payload)
+
+    def test_rejects_unsorted_children(self):
+        payload = self._valid()
+        run = payload["spans"]["children"][0]
+        run["children"] = [
+            {"name": "b", "count": 1, "wall_seconds": 0.0, "children": []},
+            {"name": "a", "count": 1, "wall_seconds": 0.0, "children": []},
+        ]
+        with pytest.raises(MetricsError, match="sorted by name"):
+            validate_metrics_json(payload)
+
+    def test_load_and_validate_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(MetricsError, match="unreadable"):
+            load_and_validate(bad)
+
+    def test_registry_to_dict_marks_determinism(self):
+        reg = populated_registry()
+        assert registry_to_dict(reg)["deterministic"] is False
+        assert registry_to_dict(reg, deterministic=True)["deterministic"] is True

@@ -1,0 +1,217 @@
+"""Unit tests for the metrics registry, its metric kinds, and merging."""
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    current_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_raises(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError, match="cannot decrease"):
+            reg.counter("c").inc(-1)
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+
+    def test_convenience_inc(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 4)
+        assert reg.counter("c").value == 4
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("g", 3)
+        reg.gauge_set("g", 1)
+        assert reg.gauge("g").value == 1
+
+    def test_set_max_keeps_high_water(self):
+        reg = MetricsRegistry()
+        reg.gauge_max("g", 3)
+        reg.gauge_max("g", 1)
+        reg.gauge_max("g", 7)
+        assert reg.gauge("g").value == 7
+
+    def test_unset_gauge_excluded_from_snapshot(self):
+        reg = MetricsRegistry()
+        reg.gauge("g")
+        assert reg.snapshot()["gauges"] == {}
+
+
+class TestHistogram:
+    def test_bucket_counts_sum_to_count(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", upper_bounds=[1.0, 2.0])
+        for value in (0.5, 1.0, 1.5, 2.0, 99.0):
+            hist.observe(value)
+        assert sum(hist.bucket_counts) == hist.count == 5
+
+    def test_le_semantics_boundary_goes_low(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", upper_bounds=[1.0, 2.0])
+        hist.observe(1.0)  # exactly on the edge: belongs to le=1.0
+        assert hist.bucket_counts == [1, 0, 0]
+
+    def test_overflow_bucket(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", upper_bounds=[1.0])
+        hist.observe(5.0)
+        assert hist.bucket_counts == [0, 1]
+
+    def test_nan_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError, match="NaN"):
+            reg.observe("h", float("nan"))
+
+    def test_non_increasing_bounds_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError, match="strictly increasing"):
+            reg.histogram("h", upper_bounds=[1.0, 1.0])
+
+    def test_empty_bounds_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricsError, match="at least one bucket"):
+            reg.histogram("h", upper_bounds=[])
+
+    def test_default_buckets(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("h").upper_bounds == DEFAULT_BUCKETS
+
+
+class TestNamesAndKinds:
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", "1leading", "sp ace", "semi;colon"):
+            with pytest.raises(MetricsError, match="invalid metric name"):
+                reg.counter(bad)
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(MetricsError, match="already registered"):
+            reg.gauge("m")
+        with pytest.raises(MetricsError, match="already registered"):
+            reg.histogram("m")
+
+    def test_iteration_is_name_sorted(self):
+        reg = MetricsRegistry()
+        for name in ("z", "a", "m"):
+            reg.inc(name)
+        assert [c.name for c in reg.counters()] == ["a", "m", "z"]
+
+
+class TestSnapshotMerge:
+    def _populated(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.gauge_max("g", 5)
+        reg.observe("h", 0.5)
+        with reg.span("phase"):
+            pass
+        return reg
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = self._populated(), self._populated()
+        a.merge(b.snapshot())
+        assert a.counter("c").value == 4
+        assert a.gauge("g").value == 5  # max, not sum
+        assert a.histogram("h").count == 2
+        assert a.spans.child("phase").count == 2
+
+    def test_merge_into_empty_equals_source(self):
+        source = self._populated()
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_merge_mismatched_buckets_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", upper_bounds=[1.0]).observe(0.5)
+        b.histogram("h", upper_bounds=[2.0]).observe(0.5)
+        with pytest.raises(MetricsError, match="bucket layouts differ"):
+            a.merge(b.snapshot())
+
+    def test_volatile_flag_survives_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.inc("wall", 1, volatile=True)
+        reg.inc("sim", 1)
+        snap = reg.snapshot()
+        assert snap["counters"]["wall"]["volatile"] is True
+        assert snap["counters"]["sim"]["volatile"] is False
+        other = MetricsRegistry()
+        other.merge(snap)
+        assert other.counter("wall").volatile is True
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        NULL_REGISTRY.inc("c", 5)
+        NULL_REGISTRY.gauge_set("g", 1)
+        NULL_REGISTRY.observe("h", 1)
+        with NULL_REGISTRY.span("s"):
+            pass
+        assert NULL_REGISTRY.enabled is False
+        snap = NULL_REGISTRY.snapshot()
+        assert snap["counters"] == {} and snap["gauges"] == {}
+        assert snap["spans"]["children"] == []
+
+    def test_metric_objects_are_shared_noops(self):
+        counter = NULL_REGISTRY.counter("a")
+        assert counter is NULL_REGISTRY.counter("b")
+        counter.inc(10)  # no state anywhere
+
+
+class TestAmbientPlumbing:
+    def test_default_is_null(self):
+        assert current_registry() is NULL_REGISTRY
+
+    def test_set_registry_installs_and_restores(self):
+        reg = MetricsRegistry()
+        previous = set_registry(reg)
+        try:
+            assert current_registry() is reg
+        finally:
+            set_registry(previous)
+        assert current_registry() is NULL_REGISTRY
+
+    def test_set_none_restores_null(self):
+        set_registry(MetricsRegistry())
+        set_registry(None)
+        assert current_registry() is NULL_REGISTRY
+
+    def test_use_registry_scopes_thread_locally(self):
+        outer = MetricsRegistry()
+        inner = MetricsRegistry()
+        previous = set_registry(outer)
+        try:
+            with use_registry(inner) as scoped:
+                assert scoped is inner
+                assert current_registry() is inner
+            assert current_registry() is outer
+        finally:
+            set_registry(previous)
+
+    def test_use_registry_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert current_registry() is NULL_REGISTRY

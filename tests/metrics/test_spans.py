@@ -1,0 +1,145 @@
+"""Unit tests for the span timers and the aggregated profile tree."""
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import MetricsRegistry, SpanNode
+
+
+class FakeClock:
+    """Deterministic clock: advances only when told to."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def reg(clock):
+    return MetricsRegistry(clock=clock)
+
+
+class TestSpanTiming:
+    def test_single_span_records_elapsed(self, reg, clock):
+        with reg.span("a"):
+            clock.tick(2.0)
+        node = reg.spans.child("a")
+        assert node.count == 1
+        assert node.inclusive_seconds == 2.0
+        assert node.exclusive_seconds == 2.0
+
+    def test_nested_spans_build_a_tree(self, reg, clock):
+        with reg.span("outer"):
+            clock.tick(1.0)
+            with reg.span("inner"):
+                clock.tick(3.0)
+            clock.tick(0.5)
+        outer = reg.spans.child("outer")
+        inner = outer.child("inner")
+        assert outer.inclusive_seconds == 4.5
+        assert inner.inclusive_seconds == 3.0
+        assert outer.exclusive_seconds == 1.5
+
+    def test_repeated_entries_aggregate(self, reg, clock):
+        for _ in range(3):
+            with reg.span("a"):
+                clock.tick(1.0)
+        node = reg.spans.child("a")
+        assert node.count == 3
+        assert node.inclusive_seconds == 3.0
+
+    def test_siblings_do_not_nest(self, reg, clock):
+        with reg.span("a"):
+            clock.tick(1.0)
+        with reg.span("b"):
+            clock.tick(2.0)
+        assert set(reg.spans.children) == {"a", "b"}
+        assert reg.spans.child("a").children == {}
+
+    def test_exclusive_plus_children_equals_inclusive(self, reg, clock):
+        with reg.span("p"):
+            clock.tick(1.0)
+            with reg.span("c1"):
+                clock.tick(2.0)
+            with reg.span("c2"):
+                clock.tick(4.0)
+        parent = reg.spans.child("p")
+        children_sum = sum(
+            c.inclusive_seconds for c in parent.children.values()
+        )
+        assert parent.exclusive_seconds + children_sum == (
+            parent.inclusive_seconds
+        )
+
+
+class TestSpanErrors:
+    def test_empty_name_rejected(self, reg):
+        with pytest.raises(MetricsError, match="non-empty"):
+            reg.span("")
+
+    def test_reentrant_use_of_same_span_object_rejected(self, reg):
+        span = reg.span("a")
+        with span:
+            with pytest.raises(MetricsError, match="already active"):
+                span.__enter__()
+
+    def test_out_of_order_exit_rejected(self, reg):
+        outer = reg.span("outer")
+        inner = reg.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(MetricsError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_span_closes_on_exception(self, reg, clock):
+        with pytest.raises(RuntimeError):
+            with reg.span("a"):
+                clock.tick(1.0)
+                raise RuntimeError("boom")
+        assert reg.spans.child("a").count == 1
+        with reg.span("b"):  # stack is healthy again
+            pass
+        assert "b" in reg.spans.children
+
+
+class TestSpanNode:
+    def test_walk_yields_sorted_paths(self):
+        root = SpanNode("")
+        root.child("b").child("x")
+        root.child("a")
+        paths = [path for path, _ in root.walk()]
+        assert paths == ["a", "b", "b/x"]
+
+    def test_to_dict_deterministic_drops_wall_times(self, reg, clock):
+        with reg.span("a"):
+            clock.tick(1.0)
+        full = reg.spans.to_dict()
+        det = reg.spans.to_dict(deterministic=True)
+        assert "wall_seconds" in full["children"][0]
+        assert "wall_seconds" not in det["children"][0]
+        assert det["children"][0]["count"] == 1
+
+    def test_merge_name_mismatch_rejected(self):
+        node = SpanNode("a")
+        with pytest.raises(MetricsError, match="cannot merge"):
+            node.merge({"name": "b", "count": 1, "children": []})
+
+    def test_merge_adds_counts_and_times(self):
+        a, b = SpanNode(""), SpanNode("")
+        child = a.child("x")
+        child.count, child.wall_seconds = 1, 2.0
+        other = b.child("x")
+        other.count, other.wall_seconds = 2, 3.0
+        a.merge(b.to_dict())
+        assert a.child("x").count == 3
+        assert a.child("x").wall_seconds == 5.0

@@ -1,0 +1,72 @@
+"""Property-based tests for the engine's metrics invariants.
+
+Two ISSUE guarantees:
+
+* the deterministic metrics export of a sweep is identical at
+  ``jobs=1`` and ``jobs=4`` (worker snapshots captured uniformly and
+  merged in submission order, volatile wall metrics excluded);
+* re-running a sweep against a warm cache reports zero misses.
+
+Each example simulates real sweeps, so the budgets stay small.
+"""
+
+import tempfile
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import ExperimentEngine, ResultCache
+from repro.engine.sweeps import run_magicfilter_sweep
+from repro.metrics import MetricsRegistry, to_json, use_registry
+
+unroll_subsets = st.lists(
+    st.integers(min_value=1, max_value=12), min_size=1, max_size=3, unique=True
+).map(sorted)
+
+
+def sweep_metrics(jobs, unrolls, cache=None):
+    """Deterministic-export JSON of one magicfilter sweep."""
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        engine = ExperimentEngine(jobs=jobs, cache=cache)
+        run_magicfilter_sweep(
+            engine, "Intel Xeon X5550", unrolls=unrolls, label="prop"
+        )
+    return reg, to_json(reg, deterministic=True)
+
+
+class TestJobsEquivalence:
+    @settings(max_examples=5, deadline=None)
+    @given(unroll_subsets)
+    def test_jobs1_and_jobs4_export_identical_deterministic_metrics(
+        self, unrolls
+    ):
+        _, serial = sweep_metrics(1, unrolls)
+        _, parallel = sweep_metrics(4, unrolls)
+        assert serial == parallel
+
+    @settings(max_examples=5, deadline=None)
+    @given(unroll_subsets)
+    def test_point_count_matches_sweep_size(self, unrolls):
+        reg, _ = sweep_metrics(1, unrolls)
+        assert reg.counter("engine.points").value == len(unrolls)
+        assert reg.counter("engine.cache.misses").value == len(unrolls)
+        assert reg.counter("engine.sweeps").value == 1
+
+
+class TestWarmCache:
+    @settings(max_examples=5, deadline=None)
+    @given(unroll_subsets)
+    def test_warm_cache_rerun_reports_zero_misses(self, unrolls):
+        # A fresh directory per example: tmp_path would be shared
+        # across hypothesis examples and pre-warm later ones.
+        with tempfile.TemporaryDirectory() as root:
+            cache = ResultCache(root)
+            cold_reg, _ = sweep_metrics(1, unrolls, cache=cache)
+            warm_reg, _ = sweep_metrics(1, unrolls, cache=cache)
+        assert cold_reg.counter("engine.cache.misses").value == len(unrolls)
+        assert warm_reg.counter("engine.cache.misses").value == 0
+        assert warm_reg.counter("engine.cache.hits").value == len(unrolls)

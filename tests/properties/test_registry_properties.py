@@ -1,0 +1,124 @@
+"""Property-based tests for the registry invariants (ISSUE satellites).
+
+Strategies stick to integers (as floats they are exact), so merge
+associativity/commutativity can assert exact equality instead of
+tolerances.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st
+
+from repro.metrics import MetricsRegistry
+
+amounts = st.lists(
+    st.integers(min_value=0, max_value=10**6), min_size=0, max_size=30
+)
+observations = st.lists(
+    st.integers(min_value=-100, max_value=10**4), min_size=0, max_size=50
+)
+BOUNDS = (1.0, 10.0, 100.0)
+
+
+def counter_registry(values):
+    reg = MetricsRegistry()
+    for value in values:
+        reg.inc("c", value)
+    return reg
+
+
+def mixed_registry(counter_vals, gauge_vals, hist_vals):
+    reg = MetricsRegistry()
+    for value in counter_vals:
+        reg.inc("c", value)
+    for value in gauge_vals:
+        reg.gauge_max("g", value)
+    for value in hist_vals:
+        reg.histogram("h", upper_bounds=BOUNDS).observe(value)
+    return reg
+
+
+class TestCounterProperties:
+    @given(amounts)
+    def test_counter_is_monotone_under_any_increment_sequence(self, values):
+        reg = MetricsRegistry()
+        last = 0.0
+        for value in values:
+            reg.inc("c", value)
+            assert reg.counter("c").value >= last
+            last = reg.counter("c").value
+        assert last == sum(values)
+
+
+class TestHistogramProperties:
+    @given(observations)
+    def test_bucket_counts_always_sum_to_observation_count(self, values):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", upper_bounds=BOUNDS)
+        for value in values:
+            hist.observe(value)
+            assert sum(hist.bucket_counts) == hist.count
+        assert hist.count == len(values)
+        assert hist.sum == sum(float(v) for v in values)
+
+    @given(observations)
+    def test_buckets_are_cumulative_by_bound(self, values):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", upper_bounds=BOUNDS)
+        for value in values:
+            hist.observe(value)
+        cumulative = 0
+        for bound, count in zip(hist.upper_bounds, hist.bucket_counts):
+            cumulative += count
+            assert cumulative == sum(1 for v in values if v <= bound)
+
+
+registries = st.builds(
+    mixed_registry,
+    amounts,
+    st.lists(st.integers(min_value=-100, max_value=100), max_size=10),
+    observations,
+)
+
+
+class TestMergeProperties:
+    @staticmethod
+    def _merged(*snaps):
+        reg = MetricsRegistry()
+        for snap in snaps:
+            reg.merge(snap)
+        return reg.snapshot()
+
+    @given(registries, registries)
+    def test_merge_is_commutative(self, a, b):
+        sa, sb = a.snapshot(), b.snapshot()
+        assert self._merged(sa, sb) == self._merged(sb, sa)
+
+    @given(registries, registries, registries)
+    def test_merge_is_associative(self, a, b, c):
+        sa, sb, sc = a.snapshot(), b.snapshot(), c.snapshot()
+        left = MetricsRegistry()
+        left.merge(sa)
+        left.merge(sb)
+        ab = left.snapshot()
+        right = MetricsRegistry()
+        right.merge(sb)
+        right.merge(sc)
+        bc = right.snapshot()
+        assert self._merged(ab, sc) == self._merged(sa, bc)
+
+    @given(registries)
+    def test_merge_with_empty_is_identity(self, a):
+        snap = a.snapshot()
+        target = MetricsRegistry()
+        target.merge(snap)
+        target.merge(MetricsRegistry().snapshot())
+        assert target.snapshot() == snap
+
+    @given(registries)
+    def test_snapshot_merge_roundtrip(self, a):
+        target = MetricsRegistry()
+        target.merge(a.snapshot())
+        assert target.snapshot() == a.snapshot()

@@ -1,0 +1,107 @@
+"""Property-based tests for the span profile tree invariants.
+
+Hypothesis generates random well-formed span programs — sequences of
+push/pop/tick operations driven by a deterministic fake clock — and the
+tests assert the two structural invariants the module documents:
+children's inclusive time never exceeds the parent's, and exclusive
+time plus children's inclusive time equals inclusive time exactly.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st
+
+from repro.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+# One program step: ("push", name) opens a child span, ("pop",) closes
+# the innermost open span (skipped when only the root is open), and
+# ("tick", n) advances the clock by n integer time units (floats of
+# integers add exactly, so the invariants can be asserted with ==).
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.sampled_from("abcd")),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("tick"), st.integers(min_value=0, max_value=7)),
+    ),
+    max_size=60,
+)
+
+
+def run_program(program):
+    clock = FakeClock()
+    reg = MetricsRegistry(clock=clock)
+    open_spans = []
+    for step in program:
+        if step[0] == "push":
+            span = reg.span(step[1])
+            span.__enter__()
+            open_spans.append(span)
+        elif step[0] == "pop":
+            if open_spans:
+                open_spans.pop().__exit__(None, None, None)
+        else:
+            clock.tick(float(step[1]))
+    while open_spans:
+        open_spans.pop().__exit__(None, None, None)
+    return reg
+
+
+class TestSpanTreeInvariants:
+    @given(steps)
+    def test_child_inclusive_never_exceeds_parent_inclusive(self, program):
+        reg = run_program(program)
+        for _, node in reg.spans.walk():
+            for child in node.children.values():
+                assert child.inclusive_seconds <= node.inclusive_seconds
+
+    @given(steps)
+    def test_exclusive_plus_children_equals_inclusive(self, program):
+        reg = run_program(program)
+        nodes = [reg.spans] + [node for _, node in reg.spans.walk()]
+        for node in nodes:
+            children_sum = sum(
+                c.inclusive_seconds for c in node.children.values()
+            )
+            if node is reg.spans:
+                continue  # the root carries no time of its own
+            assert node.exclusive_seconds + children_sum == (
+                node.inclusive_seconds
+            )
+
+    @given(steps)
+    def test_counts_match_program_pushes(self, program):
+        reg = run_program(program)
+        total_count = sum(node.count for _, node in reg.spans.walk())
+        pushes = sum(1 for step in program if step[0] == "push")
+        assert total_count == pushes
+
+    @given(steps)
+    def test_total_time_never_exceeds_clock(self, program):
+        reg = run_program(program)
+        elapsed = sum(float(s[1]) for s in program if s[0] == "tick")
+        for child in reg.spans.children.values():
+            assert child.inclusive_seconds <= elapsed
+
+    @given(steps, steps)
+    def test_merge_preserves_totals(self, program_a, program_b):
+        a = run_program(program_a)
+        b = run_program(program_b)
+        count_a = sum(node.count for _, node in a.spans.walk())
+        count_b = sum(node.count for _, node in b.spans.walk())
+        a.spans.merge(b.spans.to_dict())
+        merged_count = sum(node.count for _, node in a.spans.walk())
+        assert merged_count == count_a + count_b
