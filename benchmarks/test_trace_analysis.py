@@ -1,0 +1,59 @@
+"""Trace-analysis pipeline benchmark (ISSUE satellite).
+
+Times the full post-mortem stack on the Figure 4 trace — happens-before
+graph construction, critical-path extraction, wait-state
+classification, and Chrome export — separately from the simulation
+that produces the trace, and regenerates the run report artefact.  The
+analysis must stay cheap relative to the simulation it explains.
+"""
+
+import time
+
+from repro.apps import BigDFT
+from repro.cluster import MpiJob, tibidabo
+from repro.obs import build_run_report
+from repro.tracing import TraceRecorder, export_chrome_trace
+
+
+def _simulate():
+    cluster = tibidabo(num_nodes=18, seed=7)
+    recorder = TraceRecorder()
+    app = BigDFT()
+    MpiJob(cluster, 36, app.rank_program(cluster, 36), tracer=recorder).run()
+    return recorder
+
+
+def _analyze(recorder):
+    report = build_run_report(recorder, scenario="fig4-bigdft-36ranks-seed7")
+    chrome = export_chrome_trace(recorder)
+    return report, chrome
+
+
+def test_trace_analysis_pipeline(benchmark, artefact):
+    start = time.perf_counter()
+    recorder = _simulate()
+    simulate_s = time.perf_counter() - start
+
+    report, chrome = benchmark.pedantic(
+        lambda: _analyze(recorder), rounds=3, iterations=1
+    )
+
+    start = time.perf_counter()
+    _analyze(recorder)
+    analyze_s = time.perf_counter() - start
+
+    artefact(
+        "Trace analysis — Figure 4 run report",
+        report.to_markdown()
+        + f"\nsimulate: {simulate_s:.3f}s, analyze: {analyze_s:.3f}s, "
+        f"chrome events: {len(chrome['traceEvents'])}, "
+        f"trace states: {len(recorder.states)}",
+    )
+
+    # the diagnosis the bench regenerates must stay the paper's
+    dominant = report.waits.dominant
+    assert dominant is not None
+    assert dominant.category == "switch-contention"
+    assert dominant.label == "alltoallv"
+    # analysis stays cheap relative to the simulation it explains
+    assert analyze_s < max(4 * simulate_s, 2.0)

@@ -23,6 +23,14 @@ export to PATH; ``--metrics-format {json,prom,table}`` picks the
 format (default ``json``), and with a format but no path the export
 goes to stderr.  Metrics never touch stdout, so artefact output stays
 byte-identical whether or not they are enabled.
+
+Two trace-analysis commands ride alongside the artefacts:
+``trace-report`` re-runs the Figure 4 scenario under full tracing and
+writes the combined run report (markdown + JSON), the Perfetto-loadable
+Chrome trace, and the deterministic metrics export into ``--out``;
+``diff-metrics A.json B.json --threshold 5%`` compares two metrics
+exports and exits 1 on drift beyond the threshold (the CI regression
+gate against ``tests/golden/``).
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from __future__ import annotations
 import argparse
 import sys
 from contextlib import nullcontext
+from pathlib import Path
 from typing import Callable
 
 from repro.errors import ReproError
@@ -461,6 +470,79 @@ def _cmd_claims(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_trace_report(args) -> int:
+    from repro import metrics as metrics_mod
+    from repro.apps import BigDFT, Specfem3D
+    from repro.cluster import MpiJob, tibidabo
+    from repro.engine.manifest import RunManifest
+    from repro.metrics.registry import MetricsRegistry, use_registry
+    from repro.obs import build_run_report
+    from repro.tracing import TraceRecorder, write_chrome_trace
+
+    app = BigDFT() if args.app == "bigdft" else Specfem3D()
+    num_ranks = 36
+    scenario = f"fig4-{args.app}-{num_ranks}ranks-seed{args.seed}"
+    # The job runs under its own registry (MpiJob captures the ambient
+    # registry at construction), then folds into the process-wide one
+    # so --metrics-out still sees this run.
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        cluster = tibidabo(num_nodes=18, seed=args.seed)
+        recorder = TraceRecorder()
+        MpiJob(
+            cluster, num_ranks, app.rank_program(cluster, num_ranks),
+            tracer=recorder,
+        ).run()
+    ambient = metrics_mod.current_registry()
+    if ambient.enabled:
+        ambient.merge(registry.snapshot())
+
+    report = build_run_report(recorder, scenario=scenario, registry=registry)
+    out_dir = Path(args.out or "trace-report-out")
+    written = report.save(out_dir)
+    written["trace.chrome.json"] = out_dir / "trace.chrome.json"
+    write_chrome_trace(written["trace.chrome.json"], recorder, registry=registry)
+    written["metrics.json"] = metrics_mod.write_metrics(
+        registry, out_dir / "metrics.json", "json", deterministic=True
+    )
+    manifest = RunManifest(
+        sweep=f"trace-report/{args.app}",
+        key={"app": args.app, "seed": args.seed, "ranks": num_ranks},
+        jobs=1, executor="inline", elapsed_seconds=0.0,
+    )
+    for name, path in sorted(written.items()):
+        manifest.attach(name, path)
+    manifest.save(out_dir)
+    print(report.to_markdown(), end="")
+    for name, path in sorted(written.items()):
+        print(f"[trace-report] wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_diff_metrics(args) -> int:
+    from repro.obs import diff_metrics_files, parse_threshold
+
+    if len(args.paths) != 2:
+        raise ReproError(
+            "diff-metrics needs exactly two metrics JSON paths, got "
+            f"{len(args.paths)}"
+        )
+    diff = diff_metrics_files(
+        args.paths[0], args.paths[1],
+        threshold=parse_threshold(args.threshold),
+    )
+    print(diff.format(), end="")
+    return 0 if diff.ok else 1
+
+
+#: Trace-analysis commands: dispatched before the artefact loop and
+#: never part of ``all`` (they are tools, not paper artefacts).
+TOOL_COMMANDS: dict[str, Callable] = {
+    "trace-report": _cmd_trace_report,
+    "diff-metrics": _cmd_diff_metrics,
+}
+
+
 COMMANDS: dict[str, Callable] = {
     "claims": _cmd_claims,
     "table1": _cmd_table1,
@@ -493,8 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artefact",
-        choices=[*COMMANDS, "all"],
-        help="which table/figure to regenerate",
+        choices=[*COMMANDS, "all", *TOOL_COMMANDS],
+        help="which table/figure to regenerate, or a trace-analysis "
+             "tool (trace-report, diff-metrics)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="for diff-metrics: the two metrics JSON files to compare",
     )
     parser.add_argument("--quick", action="store_true",
                         help="shrink the cluster sweeps")
@@ -511,6 +598,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
+    parser.add_argument("--app", default="bigdft",
+                        choices=["bigdft", "specfem3d"],
+                        help="application for trace-report (default bigdft)")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="trace-report output directory "
+                             "(default trace-report-out)")
+    parser.add_argument("--threshold", default="5%",
+                        help="diff-metrics drift threshold, e.g. 5%% or "
+                             "0.05 (default 5%%)")
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="collect metrics for this run and write the "
                              "export to PATH (stdout stays untouched)")
@@ -536,37 +632,61 @@ def main(argv: list[str] | None = None) -> int:
     # the previous registry is restored on the way out, so in-process
     # callers (the test suite) never observe leaked global state.
     previous = metrics_mod.set_registry(registry) if registry is not None else None
+    code = 0
     try:
-        cache = None if args.no_cache else ResultCache(args.cache_dir)
-        args.engine = ExperimentEngine(
-            cache=cache,
-            jobs=args.jobs,
-            manifest_dir=None if cache is None else cache.root / "manifests",
-            echo=lambda line: print(line, file=sys.stderr),
-        )
-        names = list(COMMANDS) if args.artefact == "all" else [args.artefact]
-        for name in names:
-            if len(names) > 1:
-                print(f"\n{'=' * 60}\n{name}\n{'=' * 60}")
-            span = (
-                registry.span(f"artefact/{name}") if registry is not None
-                else nullcontext()
-            )
+        if args.artefact in TOOL_COMMANDS:
             try:
-                with span:
-                    COMMANDS[name](args)
+                code = TOOL_COMMANDS[args.artefact](args)
             except ReproError as error:
-                print(f"error regenerating {name}: {error}", file=sys.stderr)
-                return 1
-        if args.engine.manifests:
-            print(f"[engine] totals: hits {args.engine.total_hits} | "
-                  f"misses {args.engine.total_misses}", file=sys.stderr)
-        return 0
+                print(f"error in {args.artefact}: {error}", file=sys.stderr)
+                code = 1
+        else:
+            cache = None if args.no_cache else ResultCache(args.cache_dir)
+            args.engine = ExperimentEngine(
+                cache=cache,
+                jobs=args.jobs,
+                manifest_dir=None if cache is None else cache.root / "manifests",
+                echo=lambda line: print(line, file=sys.stderr),
+            )
+            names = list(COMMANDS) if args.artefact == "all" else [args.artefact]
+            for name in names:
+                if len(names) > 1:
+                    print(f"\n{'=' * 60}\n{name}\n{'=' * 60}")
+                span = (
+                    registry.span(f"artefact/{name}") if registry is not None
+                    else nullcontext()
+                )
+                try:
+                    with span:
+                        COMMANDS[name](args)
+                except ReproError as error:
+                    print(f"error regenerating {name}: {error}", file=sys.stderr)
+                    code = 1
+                    break
+            if code == 0 and args.engine.manifests:
+                print(f"[engine] totals: hits {args.engine.total_hits} | "
+                      f"misses {args.engine.total_misses}", file=sys.stderr)
+    except SystemExit as exit_request:
+        # Commands (claims) signal failure via SystemExit; the metrics
+        # export below must still happen before it propagates.
+        pending_exit = exit_request
+    else:
+        pending_exit = None
     finally:
         if registry is not None:
             metrics_mod.set_registry(previous)
-            fmt = args.metrics_format or "json"
+    if registry is not None:
+        fmt = args.metrics_format or "json"
+        # A failed export (an unwritable path) fails the run even when
+        # the artefact itself succeeded.
+        try:
             if args.metrics_out is not None:
                 metrics_mod.write_metrics(registry, args.metrics_out, fmt)
             else:
                 sys.stderr.write(metrics_mod.render_metrics(registry, fmt))
+        except ReproError as error:
+            print(f"error writing metrics: {error}", file=sys.stderr)
+            code = 1
+    if pending_exit is not None:
+        raise pending_exit
+    return code

@@ -62,6 +62,18 @@ class Simulator:
         """Schedule *callback* at an absolute virtual time."""
         return self.schedule(time - self.now, callback)
 
+    def stamp(self) -> int:
+        """Draw one causal stamp from the event sequence counter.
+
+        Stamps share the counter that orders same-time events, so any
+        two stamps — and any stamp versus any event — are totally
+        ordered consistently with execution order.  The MPI layer
+        stamps every message with one, giving trace analysis (the
+        happens-before graph, Chrome flow events) a unique, replayable
+        message identity.
+        """
+        return next(self._sequence)
+
     def run(self, until: float | None = None) -> None:
         """Execute events in order until the queue drains (or *until*)."""
         executed_before = self.events_executed

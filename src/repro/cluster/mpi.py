@@ -59,7 +59,13 @@ RankProgram = Generator[Any, Any, Any]
 
 @dataclass(frozen=True)
 class Message:
-    """One delivered point-to-point message."""
+    """One delivered point-to-point message.
+
+    ``seq`` is a unique causal stamp drawn from the simulator's event
+    sequence (:meth:`~repro.cluster.des.Simulator.stamp`); the tracer
+    records it so trace analysis can link each receive wait back to
+    the exact message that ended it.
+    """
 
     src: int
     dst: int
@@ -68,6 +74,7 @@ class Message:
     send_time: float
     arrival_time: float
     label: str
+    seq: int = -1
 
 
 @dataclass
@@ -417,9 +424,18 @@ class MpiJob:
     def _node_of(self, rank: int) -> int:
         return self.cluster.node_of_rank(rank, self.ranks_per_node)
 
-    def _trace_state(self, rank: int, label: str, t0: float, t1: float) -> None:
+    def _trace_state(
+        self,
+        rank: int,
+        label: str,
+        t0: float,
+        t1: float,
+        *,
+        kind: str = "state",
+        cause: int = -1,
+    ) -> None:
         if self.tracer is not None:
-            self.tracer.state(rank, label, t0, t1)
+            self.tracer.state(rank, label, t0, t1, kind=kind, cause=cause)
 
     def on_compute(self, process: Process, request: Compute) -> None:
         """Handle a Compute request: advance this rank's clock."""
@@ -431,7 +447,9 @@ class MpiJob:
                 self._node_of(process.rank), start
             )
         def finish() -> None:
-            self._trace_state(process.rank, request.label, start, self.sim.now)
+            self._trace_state(
+                process.rank, request.label, start, self.sim.now, kind="compute"
+            )
             process.resume(None)
         self.sim.schedule(seconds, finish)
 
@@ -473,7 +491,7 @@ class MpiJob:
                 return
             wait = policy.wait_for(attempt)
             self.retry_wait_s += wait
-            self._trace_state(src, "retry", now, now + wait)
+            self._trace_state(src, "retry", now, now + wait, kind="retry")
             self.sim.schedule(
                 wait,
                 lambda: self._attempt_send(process, request, attempt + 1, waited + wait),
@@ -502,6 +520,7 @@ class MpiJob:
             send_time=now,
             arrival_time=arrival,
             label=request.label,
+            seq=self.sim.stamp(),
         )
         self.sim.schedule_at(arrival, lambda: self._deliver(message))
         if self._collect:
@@ -516,7 +535,10 @@ class MpiJob:
         eager = request.nbytes <= EAGER_THRESHOLD_BYTES or not request.blocking
         resume_at = now + SEND_OVERHEAD_S if eager else arrival
         def finish() -> None:
-            self._trace_state(src, request.label, now, self.sim.now)
+            self._trace_state(
+                src, request.label, now, self.sim.now,
+                kind="send", cause=message.seq,
+            )
             process.resume(None)
         self.sim.schedule_at(resume_at, finish)
 
@@ -533,7 +555,10 @@ class MpiJob:
                 self._wait_s[label] = (
                     self._wait_s.get(label, 0.0) + self.sim.now - posted_at
                 )
-            self._trace_state(message.dst, request.label, posted_at, self.sim.now)
+            self._trace_state(
+                message.dst, request.label, posted_at, self.sim.now,
+                kind="wait", cause=message.seq,
+            )
             process.resume(message)
         else:
             self._mailboxes.setdefault(key, []).append(message)
@@ -560,7 +585,10 @@ class MpiJob:
             if not mailbox:
                 del self._mailboxes[key]
             self.messages_delivered += 1
-            self._trace_state(process.rank, request.label, now, now)
+            self._trace_state(
+                process.rank, request.label, now, now,
+                kind="wait", cause=message.seq,
+            )
             self.sim.schedule(0.0, lambda: process.resume(message))
         else:
             self._pending_recvs.setdefault(key, []).append((process, request, now))

@@ -55,6 +55,17 @@ class RunManifest:
     executor: str
     elapsed_seconds: float
     points: list[PointRecord] = field(default_factory=list)
+    #: Named artefact files produced alongside the run (reports,
+    #: traces, metrics exports) — see :meth:`attach`.
+    attachments: dict[str, str] = field(default_factory=dict)
+
+    def attach(self, name: str, path: str | Path) -> None:
+        """Record that artefact *name* was written to *path*.
+
+        Report generators (``repro trace-report``) attach what they
+        wrote so the manifest is a complete record of a run's outputs.
+        """
+        self.attachments[name] = str(path)
 
     @property
     def hits(self) -> int:
@@ -89,6 +100,7 @@ class RunManifest:
             "points": [p.to_dict(deterministic=deterministic) for p in self.points],
             "hits": self.hits,
             "misses": self.misses,
+            "attachments": dict(sorted(self.attachments.items())),
         }
         if not deterministic:
             payload.update({

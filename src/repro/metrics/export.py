@@ -208,14 +208,23 @@ def write_metrics(
     *,
     deterministic: bool = False,
 ) -> Path:
-    """Render *registry* and write it to *path*; returns the path."""
+    """Render *registry* and write it to *path*; returns the path.
+
+    Missing parent directories are created.  Filesystem failures (a
+    parent that is a regular file, permissions, a full disk) surface
+    as :class:`MetricsError` so CLI callers report them cleanly
+    instead of leaking a bare :class:`OSError`.
+    """
     path = Path(path)
-    if path.parent and not path.parent.exists():
-        path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        render_metrics(registry, fmt, deterministic=deterministic),
-        encoding="utf-8",
-    )
+    rendered = render_metrics(registry, fmt, deterministic=deterministic)
+    try:
+        if path.parent and not path.parent.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(rendered, encoding="utf-8")
+    except OSError as error:
+        raise MetricsError(
+            f"cannot write metrics to {path}: {error}"
+        ) from error
     return path
 
 

@@ -1,0 +1,29 @@
+"""Run observability: combined trace reports and cross-run diffing.
+
+:mod:`repro.obs.report` assembles one job's critical path, wait-state
+root causes, POP efficiencies, and metrics snapshot into a single
+artefact; :mod:`repro.obs.diff` compares two runs' metrics exports and
+flags drift beyond a threshold (the CI regression gate).
+"""
+
+from repro.obs.diff import (
+    MetricChange,
+    MetricsDiff,
+    diff_metrics,
+    diff_metrics_files,
+    load_metrics_file,
+    parse_threshold,
+)
+from repro.obs.report import REPORT_SCHEMA_VERSION, RunReport, build_run_report
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "MetricChange",
+    "MetricsDiff",
+    "RunReport",
+    "build_run_report",
+    "diff_metrics",
+    "diff_metrics_files",
+    "load_metrics_file",
+    "parse_threshold",
+]

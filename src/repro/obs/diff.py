@@ -1,0 +1,203 @@
+"""Cross-run metrics regression detection.
+
+``repro diff-metrics A.json B.json --threshold 5%`` compares two
+deterministic metrics exports (or two trace reports that embed one)
+and exits non-zero when any counter, gauge, or histogram aggregate
+drifted by more than the threshold.  CI runs it against the
+checked-in ``tests/golden/`` baselines, so a simulator change that
+silently shifts the Figure 4 run's behaviour fails the build instead
+of rotting the golden files.
+
+The comparison is symmetric (any drift flags, in either direction) and
+skips volatile (wall-clock-derived) metrics — those legitimately
+differ between machines and are already dropped from deterministic
+exports.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import MetricsError
+from repro.metrics.export import validate_metrics_json
+
+_THRESHOLD_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*(%?)\s*$")
+
+
+def parse_threshold(text: str | float) -> float:
+    """Parse a drift threshold: ``"5%"`` → 0.05, ``"0.05"`` → 0.05."""
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        value = float(text)
+    else:
+        match = _THRESHOLD_RE.match(str(text))
+        if match is None:
+            raise MetricsError(
+                f"cannot parse threshold {text!r} (want e.g. '5%' or '0.05')"
+            )
+        value = float(match.group(1))
+        if match.group(2):
+            value /= 100.0
+    if not 0.0 <= value < 1e9:
+        raise MetricsError(f"threshold out of range: {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class MetricChange:
+    """One metric's before/after comparison."""
+
+    name: str
+    before: float | None
+    after: float | None
+    threshold: float
+
+    @property
+    def relative_change(self) -> float:
+        """Signed relative drift; ``inf`` for appear/disappear."""
+        if self.before is None or self.after is None:
+            return math.inf
+        if self.before == self.after:
+            return 0.0
+        if self.before == 0.0:
+            return math.inf
+        return (self.after - self.before) / abs(self.before)
+
+    @property
+    def regressed(self) -> bool:
+        """Whether the drift exceeds the threshold."""
+        change = self.relative_change
+        return math.isinf(change) or abs(change) > self.threshold
+
+    def describe(self) -> str:
+        if self.before is None:
+            return f"{self.name}: appeared (now {self.after})"
+        if self.after is None:
+            return f"{self.name}: disappeared (was {self.before})"
+        return (
+            f"{self.name}: {self.before} -> {self.after} "
+            f"({self.relative_change:+.2%})"
+        )
+
+
+@dataclass(frozen=True)
+class MetricsDiff:
+    """Outcome of comparing two metrics documents."""
+
+    changes: tuple[MetricChange, ...]
+    threshold: float
+    compared: int
+
+    @property
+    def regressions(self) -> tuple[MetricChange, ...]:
+        """Changes beyond the threshold, biggest drift first."""
+        flagged = [c for c in self.changes if c.regressed]
+        flagged.sort(
+            key=lambda c: (-min(abs(c.relative_change), 1e18), c.name)
+        )
+        return tuple(flagged)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the two runs agree within the threshold."""
+        return not self.regressions
+
+    def format(self) -> str:
+        """The report ``repro diff-metrics`` prints."""
+        lines = [
+            f"compared {self.compared} metrics "
+            f"at threshold {self.threshold:.2%}"
+        ]
+        if self.ok:
+            lines.append("no regressions")
+        else:
+            lines.append(f"{len(self.regressions)} regression(s):")
+            lines += [f"  {change.describe()}" for change in self.regressions]
+        return "\n".join(lines) + "\n"
+
+
+def _scalar_series(payload: Mapping[str, Any]) -> dict[str, float]:
+    """Flatten a metrics document into comparable named scalars."""
+    series: dict[str, float] = {}
+    for section, field in (("counters", "value"), ("gauges", "value")):
+        for name, record in payload.get(section, {}).items():
+            if record.get("volatile"):
+                continue
+            series[f"{section[:-1]}:{name}"] = float(record[field])
+    for name, record in payload.get("histograms", {}).items():
+        if record.get("volatile"):
+            continue
+        series[f"histogram:{name}/count"] = float(record["count"])
+        series[f"histogram:{name}/sum"] = float(record["sum"])
+    return series
+
+
+def _metrics_payload(document: Mapping[str, Any], where: str) -> dict[str, Any]:
+    """Accept either a metrics export or a trace report embedding one."""
+    if "counters" in document:
+        return dict(document)
+    embedded = document.get("metrics")
+    if isinstance(embedded, Mapping) and "counters" in embedded:
+        return dict(embedded)
+    raise MetricsError(
+        f"{where}: neither a metrics export nor a trace report with one"
+    )
+
+
+def diff_metrics(
+    before: Mapping[str, Any],
+    after: Mapping[str, Any],
+    *,
+    threshold: float = 0.05,
+) -> MetricsDiff:
+    """Compare two (parsed) metrics documents."""
+    old = _scalar_series(_metrics_payload(before, "before"))
+    new = _scalar_series(_metrics_payload(after, "after"))
+    changes = [
+        MetricChange(
+            name=name,
+            before=old.get(name),
+            after=new.get(name),
+            threshold=threshold,
+        )
+        for name in sorted(old.keys() | new.keys())
+    ]
+    return MetricsDiff(
+        changes=tuple(changes),
+        threshold=threshold,
+        compared=len(changes),
+    )
+
+
+def load_metrics_file(path: str | Path) -> dict[str, Any]:
+    """Read and validate one metrics (or trace-report) JSON file."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise MetricsError(f"cannot read {path}: {error}") from error
+    except ValueError as error:
+        raise MetricsError(f"{path} is not valid JSON: {error}") from error
+    payload = _metrics_payload(
+        document if isinstance(document, Mapping) else {}, str(path)
+    )
+    validate_metrics_json(payload)
+    return payload
+
+
+def diff_metrics_files(
+    before: str | Path,
+    after: str | Path,
+    *,
+    threshold: float = 0.05,
+) -> MetricsDiff:
+    """File-level convenience for :func:`diff_metrics`."""
+    return diff_metrics(
+        load_metrics_file(before),
+        load_metrics_file(after),
+        threshold=threshold,
+    )

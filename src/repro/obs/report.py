@@ -1,0 +1,202 @@
+"""The combined run report: critical path + wait states + metrics.
+
+One traced job in, one artefact out: a :class:`RunReport` bundles the
+happens-before critical path (:mod:`repro.tracing.graph`), the
+wait-state root-cause analysis (:mod:`repro.tracing.waitstates`), the
+POP efficiencies, and — when a registry observed the run — the
+deterministic metrics snapshot.  It serializes to canonical JSON (what
+the golden files pin and ``repro diff-metrics`` consumes) and renders
+to markdown (what a human reads to see the Figure 4 diagnosis without
+opening a trace viewer).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.metrics.export import registry_to_dict
+from repro.metrics.registry import MetricsRegistry, NullRegistry
+from repro.tracing.graph import CriticalPath, HappensBeforeGraph
+from repro.tracing.recorder import TraceRecorder
+from repro.tracing.waitstates import (
+    DEFAULT_CONTENTION_FACTOR,
+    WaitStateReport,
+    classify_wait_states,
+)
+
+#: Bump when the report document layout changes shape.
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Everything the trace analysis learned about one run."""
+
+    scenario: str
+    num_ranks: int
+    runtime_seconds: float
+    path: CriticalPath
+    waits: WaitStateReport
+    metrics: dict[str, Any] | None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The canonical (JSON-able, deterministic) document form."""
+        dominant = self.waits.dominant
+        payload: dict[str, Any] = {
+            "schema": REPORT_SCHEMA_VERSION,
+            "scenario": self.scenario,
+            "num_ranks": self.num_ranks,
+            "runtime_s": self.runtime_seconds,
+            "critical_path": {
+                "total_s": self.path.total_seconds,
+                "breakdown_s": self.path.breakdown,
+                "by_label_s": [
+                    [category, label, seconds]
+                    for (category, label), seconds in self.path.by_label.items()
+                ],
+                "segments": len(self.path.segments),
+                "rank_changes": self.path.rank_changes,
+                "dominant_wait_label": self.path.dominant_wait_label(),
+            },
+            "wait_states": {
+                "contention_factor": self.waits.contention_factor,
+                "baseline_latency_s": self.waits.baseline_latency_s,
+                "entries": [
+                    {
+                        "category": entry.category,
+                        "label": entry.label,
+                        "seconds": entry.seconds,
+                        "occurrences": entry.occurrences,
+                    }
+                    for entry in self.waits.entries
+                ],
+                "total_wait_s": self.waits.total_wait_seconds,
+                "blocked_s": self.waits.blocked_seconds,
+                "dominant": None if dominant is None else {
+                    "category": dominant.category,
+                    "label": dominant.label,
+                    "seconds": dominant.seconds,
+                },
+                "explanation": self.waits.explain(),
+            },
+            "efficiency": {
+                "load_balance": self.waits.efficiencies.load_balance,
+                "communication_efficiency":
+                    self.waits.efficiencies.communication_efficiency,
+                "parallel_efficiency":
+                    self.waits.efficiencies.parallel_efficiency,
+            },
+            "metrics": self.metrics,
+        }
+        return payload
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, trailing newline) — the golden
+        form: same trace and registry state, same bytes."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, indent=2, allow_nan=False
+        ) + "\n"
+
+    def to_markdown(self) -> str:
+        """A human-readable run report."""
+        breakdown = self.path.breakdown
+        eff = self.waits.efficiencies
+        lines = [
+            f"# Trace report: {self.scenario}",
+            "",
+            f"- ranks: {self.num_ranks}",
+            f"- runtime: {self.runtime_seconds:.3f} s",
+            f"- **{self.waits.explain()}**",
+            "",
+            "## Critical path",
+            "",
+            "| category | seconds | share |",
+            "|---|---:|---:|",
+        ]
+        total = max(self.path.total_seconds, 1e-12)
+        for category in sorted(breakdown, key=lambda c: -breakdown[c]):
+            seconds = breakdown[category]
+            lines.append(
+                f"| {category} | {seconds:.3f} | {seconds / total:.1%} |"
+            )
+        lines += [
+            "",
+            f"{len(self.path.segments)} segments, "
+            f"{self.path.rank_changes} rank changes; "
+            f"dominant on-path wait: {self.path.dominant_wait_label()}",
+            "",
+            "## Wait states",
+            "",
+            "| category | operation | seconds | waits |",
+            "|---|---|---:|---:|",
+        ]
+        for entry in self.waits.entries:
+            lines.append(
+                f"| {entry.category} | {entry.label} "
+                f"| {entry.seconds:.3f} | {entry.occurrences} |"
+            )
+        lines += [
+            "",
+            "## POP efficiencies",
+            "",
+            f"- load balance: {eff.load_balance:.3f}",
+            f"- communication efficiency: {eff.communication_efficiency:.3f}",
+            f"- parallel efficiency: {eff.parallel_efficiency:.3f}",
+        ]
+        if self.metrics is not None:
+            counters = len(self.metrics.get("counters", {}))
+            gauges = len(self.metrics.get("gauges", {}))
+            lines += [
+                "",
+                "## Metrics",
+                "",
+                f"{counters} counters and {gauges} gauges embedded "
+                "(see the JSON report).",
+            ]
+        return "\n".join(lines) + "\n"
+
+    def save(self, directory: str | Path) -> dict[str, Path]:
+        """Write ``report.json`` and ``report.md`` under *directory*."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "report.json": directory / "report.json",
+            "report.md": directory / "report.md",
+        }
+        paths["report.json"].write_text(self.to_json(), encoding="utf-8")
+        paths["report.md"].write_text(self.to_markdown(), encoding="utf-8")
+        return paths
+
+
+def build_run_report(
+    recorder: TraceRecorder,
+    *,
+    scenario: str,
+    registry: MetricsRegistry | NullRegistry | None = None,
+    contention_factor: float = DEFAULT_CONTENTION_FACTOR,
+) -> RunReport:
+    """Analyze *recorder* and assemble the combined report.
+
+    The happens-before graph is validated and the critical path's
+    coverage invariant checked before anything is reported.
+    """
+    graph = HappensBeforeGraph(recorder)
+    graph.validate()
+    path = graph.critical_path()
+    waits = classify_wait_states(recorder, contention_factor=contention_factor)
+    metrics = (
+        None
+        if registry is None
+        else registry_to_dict(registry, deterministic=True)
+    )
+    return RunReport(
+        scenario=scenario,
+        num_ranks=recorder.num_ranks,
+        runtime_seconds=recorder.end_time,
+        path=path,
+        waits=waits,
+        metrics=metrics,
+    )

@@ -10,10 +10,17 @@ collectives are short, some are *delayed* (Figure 4).
   drives;
 * :mod:`repro.tracing.paraver` — Paraver ``.prv`` export and a parser
   for round-trip tests;
+* :mod:`repro.tracing.chrome` — Chrome trace-event export for
+  Perfetto / ``chrome://tracing``;
 * :mod:`repro.tracing.analysis` — delayed-collective detection, the
   programmatic equivalent of the paper's green circles, plus the
   resilience summary (MTTF, detection latency, retry goodput loss,
-  rework fraction) mined from :class:`FaultRecord` entries.
+  rework fraction) mined from :class:`FaultRecord` entries;
+* :mod:`repro.tracing.graph` — the cross-rank happens-before graph
+  and critical-path extraction with per-segment attribution;
+* :mod:`repro.tracing.waitstates` — Scalasca-style wait-state
+  root-causing (the automated Figure 4 diagnosis) and POP
+  efficiency metrics.
 """
 
 from repro.tracing.analysis import (
@@ -22,24 +29,56 @@ from repro.tracing.analysis import (
     analyze_collectives,
     resilience_summary,
 )
+from repro.tracing.chrome import (
+    export_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from repro.tracing.events import CommEvent, FaultRecord, StateEvent
+from repro.tracing.graph import (
+    CriticalPath,
+    HappensBeforeGraph,
+    PathSegment,
+    build_graph,
+    critical_path,
+)
 from repro.tracing.paraver import export_pcf, export_prv, export_row, parse_prv
 from repro.tracing.recorder import NullTracer, TraceRecorder
 from repro.tracing.timeline import render_timeline
+from repro.tracing.waitstates import (
+    EfficiencyReport,
+    WaitEntry,
+    WaitStateReport,
+    classify_wait_states,
+    efficiency_report,
+)
 
 __all__ = [
     "CollectiveInstance",
     "CommEvent",
+    "CriticalPath",
+    "EfficiencyReport",
     "FaultRecord",
+    "HappensBeforeGraph",
     "NullTracer",
+    "PathSegment",
     "ResilienceReport",
     "StateEvent",
     "TraceRecorder",
+    "WaitEntry",
+    "WaitStateReport",
     "analyze_collectives",
-    "resilience_summary",
+    "build_graph",
+    "classify_wait_states",
+    "critical_path",
+    "efficiency_report",
+    "export_chrome_trace",
     "export_pcf",
     "export_prv",
     "export_row",
     "parse_prv",
     "render_timeline",
+    "resilience_summary",
+    "validate_chrome_trace",
+    "write_chrome_trace",
 ]

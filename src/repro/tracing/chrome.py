@@ -1,0 +1,326 @@
+"""Chrome trace-event export (Perfetto / ``chrome://tracing``).
+
+Where :mod:`repro.tracing.paraver` targets the BSC toolchain the paper
+used, this module targets the format every browser ships a viewer for:
+the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+in its JSON *object* form.  Load the file at https://ui.perfetto.dev
+and the Figure 4 pathology is visible without any BSC tooling: long
+``alltoallv`` wait slices on every rank, with message flow arrows
+converging on the congested switch windows.
+
+Layout of the produced document:
+
+* one *thread* per MPI rank (pid 1), carrying an ``X`` (complete)
+  slice per recorded state interval, categorised by the state's kind;
+* one ``s``/``f`` flow-event pair per stamped message, so Perfetto
+  draws the send→receive arrows the happens-before graph walks;
+* an instant event (``i``, global scope) per fault record;
+* derived counter tracks (pid 2): messages in flight and cumulative
+  payload bytes, sampled at every send/arrival edge;
+* one end-of-trace counter sample per non-volatile metric when a
+  :class:`~repro.metrics.registry.MetricsRegistry` is passed, so the
+  run's scalar metrics ride along inside the trace file.
+
+Times are microseconds (the format's native unit).
+:func:`validate_chrome_trace` structurally validates a document —
+phase-specific required fields, flow pairing, monotone flow timestamps
+— without any external schema dependency, and is what the conformance
+tests and the CLI's export path both run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import TraceError
+from repro.metrics.export import registry_to_dict
+from repro.metrics.registry import MetricsRegistry, NullRegistry
+from repro.tracing.recorder import TraceRecorder
+
+#: Bump when the exported document layout changes shape.
+CHROME_SCHEMA_VERSION = 1
+
+#: Event phases the exporter emits (subset of the format).
+_EMITTED_PHASES = ("M", "X", "s", "f", "i", "C")
+
+#: Phases the validator accepts (emitted set plus duration events, so
+#: hand-edited or third-party documents still validate).
+_KNOWN_PHASES = frozenset(_EMITTED_PHASES) | {"B", "E", "t"}
+
+_METADATA_NAMES = frozenset(
+    {"process_name", "thread_name", "process_sort_index", "thread_sort_index"}
+)
+
+_RANKS_PID = 1
+_COUNTERS_PID = 2
+_SECONDS_TO_US = 1e6
+
+
+def _metadata(name: str, pid: int, tid: int, args: dict[str, Any]) -> dict:
+    return {"ph": "M", "name": name, "pid": pid, "tid": tid, "args": args}
+
+
+def _counter(name: str, ts_us: float, series: Mapping[str, float]) -> dict:
+    return {
+        "ph": "C",
+        "name": name,
+        "pid": _COUNTERS_PID,
+        "tid": 0,
+        "ts": ts_us,
+        "args": dict(series),
+    }
+
+
+def _derived_counter_events(recorder: TraceRecorder) -> list[dict]:
+    """Messages-in-flight and cumulative-bytes tracks from the comms."""
+    edges: list[tuple[float, int, int, int]] = []
+    for comm in recorder.comms:
+        edges.append((comm.send_time, 0, +1, comm.nbytes))
+        edges.append((comm.arrival_time, 1, -1, 0))
+    edges.sort()
+    events: list[dict] = []
+    in_flight = 0
+    total_bytes = 0
+    for time_s, _order, delta, nbytes in edges:
+        in_flight += delta
+        total_bytes += nbytes
+        ts = time_s * _SECONDS_TO_US
+        events.append(_counter("messages in flight", ts, {"messages": in_flight}))
+        if nbytes:
+            events.append(
+                _counter("payload sent", ts, {"mbytes": total_bytes / 1e6})
+            )
+    return events
+
+
+def _registry_counter_events(
+    registry: MetricsRegistry | NullRegistry, end_ts_us: float
+) -> list[dict]:
+    """One end-of-trace sample per non-volatile scalar metric."""
+    payload = registry_to_dict(registry, deterministic=True)
+    events: list[dict] = []
+    for section in ("counters", "gauges"):
+        for name, record in sorted(payload[section].items()):
+            value = record.get("value")
+            if value is None:
+                continue
+            events.append(_counter(name, end_ts_us, {"value": value}))
+    return events
+
+
+def export_chrome_trace(
+    recorder: TraceRecorder,
+    *,
+    registry: MetricsRegistry | NullRegistry | None = None,
+) -> dict[str, Any]:
+    """Render *recorder* as a Chrome trace-event document (a dict).
+
+    The output is deterministic: same trace (and registry state), same
+    document.  Pass it to :func:`json.dumps`, or use
+    :func:`write_chrome_trace` which also validates.
+    """
+    events: list[dict] = [
+        _metadata("process_name", _RANKS_PID, 0, {"name": "mpi ranks"}),
+        _metadata("process_name", _COUNTERS_PID, 0, {"name": "metrics"}),
+    ]
+    num_ranks = recorder.num_ranks
+    for rank in range(num_ranks):
+        events.append(
+            _metadata("thread_name", _RANKS_PID, rank, {"name": f"rank {rank}"})
+        )
+        events.append(
+            _metadata("thread_sort_index", _RANKS_PID, rank, {"sort_index": rank})
+        )
+
+    for state in sorted(
+        recorder.states, key=lambda s: (s.rank, s.t0, s.t1, s.label)
+    ):
+        event = {
+            "ph": "X",
+            "name": state.label,
+            "cat": state.kind,
+            "pid": _RANKS_PID,
+            "tid": state.rank,
+            "ts": state.t0 * _SECONDS_TO_US,
+            "dur": state.duration * _SECONDS_TO_US,
+        }
+        if state.cause >= 0:
+            event["args"] = {"cause": state.cause}
+        events.append(event)
+
+    for comm in sorted(recorder.comms, key=lambda c: (c.seq, c.send_time)):
+        if comm.seq < 0:
+            continue  # unstamped messages have no stable flow identity
+        flow = {
+            "cat": "message",
+            "name": comm.label,
+            "id": comm.seq,
+            "pid": _RANKS_PID,
+        }
+        events.append(
+            {
+                **flow,
+                "ph": "s",
+                "tid": comm.src,
+                "ts": comm.send_time * _SECONDS_TO_US,
+            }
+        )
+        events.append(
+            {
+                **flow,
+                "ph": "f",
+                "bp": "e",
+                "tid": comm.dst,
+                "ts": comm.arrival_time * _SECONDS_TO_US,
+            }
+        )
+
+    for fault in recorder.faults:
+        events.append(
+            {
+                "ph": "i",
+                "s": "g",
+                "name": f"{fault.kind}:{fault.target}",
+                "cat": "fault",
+                "pid": _RANKS_PID,
+                "tid": 0,
+                "ts": fault.time_s * _SECONDS_TO_US,
+                "args": {key: value for key, value in fault.detail},
+            }
+        )
+
+    events.extend(_derived_counter_events(recorder))
+    if registry is not None:
+        events.extend(
+            _registry_counter_events(
+                registry, recorder.end_time * _SECONDS_TO_US
+            )
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": CHROME_SCHEMA_VERSION,
+            "num_ranks": num_ranks,
+            "end_time_s": recorder.end_time,
+            "generator": "repro.tracing.chrome",
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    recorder: TraceRecorder,
+    *,
+    registry: MetricsRegistry | NullRegistry | None = None,
+) -> dict[str, Any]:
+    """Export, validate, and write the document as JSON; returns it."""
+    document = export_chrome_trace(recorder, registry=registry)
+    validate_chrome_trace(document)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(document, sort_keys=True, allow_nan=False) + "\n"
+    )
+    return document
+
+
+# -- validation -------------------------------------------------------------
+
+
+def _require(condition: bool, where: str, problem: str) -> None:
+    if not condition:
+        raise TraceError(f"invalid chrome trace: {where}: {problem}")
+
+
+def _check_common(event: Mapping[str, Any], where: str) -> None:
+    _require(isinstance(event.get("pid"), int), where, "pid must be an int")
+    _require(isinstance(event.get("tid"), int), where, "tid must be an int")
+    name = event.get("name")
+    _require(isinstance(name, str) and name != "", where, "name must be a string")
+
+
+def validate_chrome_trace(document: Any) -> None:
+    """Structurally validate a trace-event JSON document.
+
+    Checks the JSON-object-format envelope, per-phase required fields,
+    that every flow end (``f``) has a matching earlier start (``s``)
+    with the same id, and that counter samples carry numeric series.
+    Raises :class:`TraceError` naming the first offending event.
+    """
+    _require(isinstance(document, dict), "document", "must be a JSON object")
+    events = document.get("traceEvents")
+    _require(isinstance(events, list), "document", "traceEvents must be a list")
+    unit = document.get("displayTimeUnit", "ms")
+    _require(unit in ("ms", "ns"), "document", f"bad displayTimeUnit {unit!r}")
+
+    flow_starts: dict[Any, float] = {}
+    flow_ends: list[tuple[str, Any, float]] = []
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        _require(isinstance(event, dict), where, "must be an object")
+        phase = event.get("ph")
+        _require(phase in _KNOWN_PHASES, where, f"unknown phase {phase!r}")
+        _check_common(event, where)
+        if phase == "M":
+            _require(
+                event["name"] in _METADATA_NAMES,
+                where,
+                f"unknown metadata {event['name']!r}",
+            )
+            _require(
+                isinstance(event.get("args"), dict), where, "metadata needs args"
+            )
+            continue
+        ts = event.get("ts")
+        _require(
+            isinstance(ts, (int, float)) and ts >= 0,
+            where,
+            "ts must be a non-negative number",
+        )
+        if phase == "X":
+            dur = event.get("dur")
+            _require(
+                isinstance(dur, (int, float)) and dur >= 0,
+                where,
+                "complete events need a non-negative dur",
+            )
+        elif phase in ("s", "f", "t"):
+            _require("id" in event, where, "flow events need an id")
+            key = (event.get("cat"), event["id"])
+            if phase == "s":
+                _require(
+                    key not in flow_starts, where, f"duplicate flow start {key}"
+                )
+                flow_starts[key] = ts
+            elif phase == "f":
+                flow_ends.append((where, key, ts))
+        elif phase == "C":
+            args = event.get("args")
+            _require(
+                isinstance(args, dict) and args != {},
+                where,
+                "counter events need a non-empty args dict",
+            )
+            _require(
+                all(isinstance(v, (int, float)) for v in args.values()),
+                where,
+                "counter series must be numeric",
+            )
+        elif phase == "i":
+            _require(
+                event.get("s", "t") in ("g", "p", "t"),
+                where,
+                f"bad instant scope {event.get('s')!r}",
+            )
+    for where, key, ts in flow_ends:
+        _require(key in flow_starts, where, f"flow end {key} without a start")
+        _require(
+            ts >= flow_starts[key],
+            where,
+            f"flow {key} ends before it starts",
+        )

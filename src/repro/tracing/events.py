@@ -8,19 +8,39 @@ from typing import Any, Hashable
 from repro.errors import TraceError
 
 
+#: The state kinds the MPI runtime emits; ``"state"`` is the neutral
+#: default for hand-built traces and parsed ``.prv`` files.
+STATE_KINDS = ("state", "compute", "send", "wait", "retry")
+
+
 @dataclass(frozen=True)
 class StateEvent:
-    """One rank spent [t0, t1] in a named state (compute, send, ...)."""
+    """One rank spent [t0, t1] in a named state (compute, send, ...).
+
+    ``kind`` classifies the interval for the happens-before graph
+    (``"compute"``, ``"send"``, ``"wait"``, ``"retry"``; plain
+    ``"state"`` when unknown).  ``cause`` is the causality link the
+    critical-path walk follows: for a ``"wait"`` interval it is the
+    :attr:`CommEvent.seq` of the message whose arrival ended the wait,
+    for a ``"send"`` interval the message the send injected; ``-1``
+    means no linked message.
+    """
 
     rank: int
     label: str
     t0: float
     t1: float
+    kind: str = "state"
+    cause: int = -1
 
     def __post_init__(self) -> None:
         if self.t1 < self.t0:
             raise TraceError(
                 f"state {self.label!r} on rank {self.rank} ends before it begins"
+            )
+        if self.kind not in STATE_KINDS:
+            raise TraceError(
+                f"unknown state kind {self.kind!r}; want one of {STATE_KINDS}"
             )
 
     @property
@@ -31,7 +51,13 @@ class StateEvent:
 
 @dataclass(frozen=True)
 class CommEvent:
-    """One point-to-point message, as the recorder stores it."""
+    """One point-to-point message, as the recorder stores it.
+
+    ``seq`` is the message's globally unique causal stamp, drawn from
+    the DES event sequence (:meth:`repro.cluster.des.Simulator.stamp`)
+    so message identity is totally ordered consistently with event
+    execution; ``-1`` for hand-built or parsed traces without stamps.
+    """
 
     src: int
     dst: int
@@ -40,6 +66,7 @@ class CommEvent:
     send_time: float
     arrival_time: float
     label: str
+    seq: int = -1
 
     def __post_init__(self) -> None:
         if self.arrival_time < self.send_time:

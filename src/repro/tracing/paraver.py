@@ -15,11 +15,15 @@ table emitted as comments so :func:`parse_prv` can round-trip them.
 
 from __future__ import annotations
 
+import json
+
 from repro.errors import TraceError
 from repro.tracing.events import CommEvent
 from repro.tracing.recorder import TraceRecorder
 
 _NS = 1e9
+
+_FAULT_PREFIX = "# fault "
 
 
 def _state_table(recorder: TraceRecorder) -> dict[str, int]:
@@ -35,7 +39,7 @@ def export_prv(recorder: TraceRecorder, *, job_name: str = "repro") -> str:
     num_ranks = recorder.num_ranks
     if num_ranks == 0:
         raise TraceError("cannot export an empty trace")
-    end_ns = int(recorder.end_time * _NS)
+    end_ns = round(recorder.end_time * _NS)
     table = _state_table(recorder)
 
     lines = [
@@ -45,16 +49,26 @@ def export_prv(recorder: TraceRecorder, *, job_name: str = "repro") -> str:
     ]
     for label, value in table.items():
         lines.append(f"# state {value} = {label}")
+    # Paraver has no native fault records; they ride along as comment
+    # lines (canonical JSON) so parse_prv round-trips the full trace.
+    for fault in recorder.faults:
+        payload = {
+            "kind": fault.kind,
+            "time_s": fault.time_s,
+            "target": fault.target,
+            "detail": {key: value for key, value in fault.detail},
+        }
+        lines.append(_FAULT_PREFIX + json.dumps(payload, sort_keys=True))
 
     for state in recorder.states:
         cpu = task = state.rank + 1
         lines.append(
-            f"1:{cpu}:1:{task}:1:{int(state.t0 * _NS)}:{int(state.t1 * _NS)}:"
+            f"1:{cpu}:1:{task}:1:{round(state.t0 * _NS)}:{round(state.t1 * _NS)}:"
             f"{table[state.label]}"
         )
     for comm in recorder.comms:
-        send_ns = int(comm.send_time * _NS)
-        recv_ns = int(comm.arrival_time * _NS)
+        send_ns = round(comm.send_time * _NS)
+        recv_ns = round(comm.arrival_time * _NS)
         src, dst = comm.src + 1, comm.dst + 1
         lines.append(
             f"3:{src}:1:{src}:1:{send_ns}:{send_ns}:"
@@ -138,6 +152,20 @@ def parse_prv(text: str) -> TraceRecorder:
             body = line[len("# state "):]
             value_text, _, label = body.partition(" = ")
             labels[int(value_text)] = label
+            continue
+        if line.startswith(_FAULT_PREFIX):
+            try:
+                payload = json.loads(line[len(_FAULT_PREFIX):])
+                # recorder.fault freezes list values back to tuples,
+                # restoring the exact pre-export records.
+                recorder.fault(
+                    payload["kind"], payload["time_s"], payload["target"],
+                    **payload["detail"],
+                )
+            except (ValueError, KeyError, TypeError) as exc:
+                raise TraceError(
+                    f"malformed fault comment on line {line_number}: {line!r}"
+                ) from exc
             continue
         if line.startswith("#"):
             continue

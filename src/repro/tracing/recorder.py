@@ -2,8 +2,16 @@
 
 Pass a :class:`TraceRecorder` as ``tracer=`` to
 :class:`repro.cluster.mpi.MpiJob`; it accumulates state intervals and
-message records which :mod:`repro.tracing.paraver` can export and
-:mod:`repro.tracing.analysis` can mine.
+message records which :mod:`repro.tracing.paraver` can export,
+:mod:`repro.tracing.chrome` can render for Perfetto, and
+:mod:`repro.tracing.analysis` / :mod:`repro.tracing.graph` /
+:mod:`repro.tracing.waitstates` can mine.
+
+:class:`NullTracer` is the cheap no-op stand-in with *full API parity*:
+every recording method discards its input and every query answers as an
+empty trace would, so code written against :class:`TraceRecorder` runs
+unchanged (``tests/tracing/test_parity.py`` introspects both classes to
+keep them from drifting).
 """
 
 from __future__ import annotations
@@ -15,9 +23,37 @@ from repro.tracing.events import CommEvent, FaultRecord, StateEvent
 
 
 class NullTracer:
-    """A tracer that records nothing (baseline / overhead tests)."""
+    """A tracer that records nothing (baseline / overhead tests).
 
-    def state(self, rank: int, label: str, t0: float, t1: float) -> None:
+    API-compatible with :class:`TraceRecorder`: recording methods are
+    no-ops and queries behave as on an empty trace.
+    """
+
+    @property
+    def states(self) -> list[StateEvent]:
+        """Always empty."""
+        return []
+
+    @property
+    def comms(self) -> list[CommEvent]:
+        """Always empty."""
+        return []
+
+    @property
+    def faults(self) -> list[FaultRecord]:
+        """Always empty."""
+        return []
+
+    def state(
+        self,
+        rank: int,
+        label: str,
+        t0: float,
+        t1: float,
+        *,
+        kind: str = "state",
+        cause: int = -1,
+    ) -> None:
         """Discard a state interval."""
 
     def comm(self, message: Any) -> None:
@@ -25,6 +61,35 @@ class NullTracer:
 
     def fault(self, kind: str, time_s: float, target: str, **detail: Any) -> None:
         """Discard a fault record."""
+
+    @property
+    def num_ranks(self) -> int:
+        """An empty trace has no ranks."""
+        return 0
+
+    @property
+    def end_time(self) -> float:
+        """An empty trace ends at time zero."""
+        return 0.0
+
+    def states_of(self, rank: int, label: str | None = None) -> list[StateEvent]:
+        """Always empty."""
+        return []
+
+    def comms_labelled(self, label: str) -> list[CommEvent]:
+        """Always empty."""
+        return []
+
+    def faults_of(self, kind: str) -> list[FaultRecord]:
+        """Always empty."""
+        return []
+
+    def time_in_state(self, rank: int, label: str) -> float:
+        """Always zero."""
+        return 0.0
+
+    def check_sanity(self) -> None:
+        """An empty trace is always sane."""
 
 
 class TraceRecorder:
@@ -37,9 +102,21 @@ class TraceRecorder:
 
     # -- MpiJob-facing interface -------------------------------------------
 
-    def state(self, rank: int, label: str, t0: float, t1: float) -> None:
-        """Record one state interval."""
-        self.states.append(StateEvent(rank=rank, label=label, t0=t0, t1=t1))
+    def state(
+        self,
+        rank: int,
+        label: str,
+        t0: float,
+        t1: float,
+        *,
+        kind: str = "state",
+        cause: int = -1,
+    ) -> None:
+        """Record one state interval (optionally kind-classified and
+        causally linked to a message, see :class:`StateEvent`)."""
+        self.states.append(
+            StateEvent(rank=rank, label=label, t0=t0, t1=t1, kind=kind, cause=cause)
+        )
 
     def comm(self, message: Any) -> None:
         """Record one message (anything with the Message fields)."""
@@ -52,6 +129,7 @@ class TraceRecorder:
                 send_time=message.send_time,
                 arrival_time=message.arrival_time,
                 label=message.label,
+                seq=getattr(message, "seq", -1),
             )
         )
 

@@ -1,0 +1,421 @@
+"""Scalasca-style wait-state classification and POP efficiency metrics.
+
+The paper's Figure 4 finding — "when using 36 cores most of these
+collective communications are longer and delayed", traced to "the
+Ethernet switches used in Tibidabo" — is a *wait-state diagnosis*:
+ranks sit blocked in ``MPI_Alltoallv`` not because peers are slow but
+because the fabric is.  This module machine-reproduces that diagnosis.
+
+Every receive-blocked second in a trace is attributed to a root cause,
+the way Scalasca's wait-state and delay-cost analyses do:
+
+* ``transfer``           — in-flight time within the trace-wide
+  baseline latency for that operation: the network doing its job
+  (benign);
+* ``switch-contention``  — in-flight time *beyond* the baseline on a
+  congested message: buffer overflow, RTO stalls, incast collapse —
+  the Figure 4 pathology;
+* ``late-sender``        — blocked before the matching send was even
+  posted **and** the sender's lateness bottoms out in its own work
+  rather than in earlier blocking: genuine peer slowness;
+* ``late-receiver``      — the message sat delivered in the mailbox
+  before the receive was posted.  Severity is the buffered time; no
+  rank is blocked during it, so it is diagnostic only (benign);
+* ``collective-imbalance`` — entry-time spread *introduced* since the
+  previous collective (Scalasca's "wait at N×N", with inherited
+  network skew factored out so it is not double-billed).
+
+Blocked-before-send time is not taken at face value: a sender that
+posts late because *it* was stuck behind congested messages earlier is
+a victim, not a culprit.  :func:`classify_wait_states` therefore walks
+the sender's timeline backwards (skipping intrinsic compute/send work)
+and recursively blames the sender's own most recent blocked intervals
+— Scalasca's delay-cost propagation.  Only lateness that survives the
+walk with no blocking to blame is charged as ``late-sender``.  Costs
+are per blocked receiver, so one congested message can legitimately be
+billed for several ranks' waits (that is what "cost of a delay" means).
+
+On top sit the POP-style efficiency metrics computed from per-rank
+useful-compute time: load balance, communication efficiency, and
+parallel efficiency (their product).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.core.stats import summarize
+from repro.errors import TraceError
+from repro.tracing.events import CommEvent, StateEvent
+from repro.tracing.recorder import TraceRecorder
+
+#: Wait-state categories in display order.
+WAIT_CATEGORIES = (
+    "switch-contention",
+    "late-sender",
+    "collective-imbalance",
+    "transfer",
+    "late-receiver",
+)
+
+#: Categories that never count as the dominant pathology: ``transfer``
+#: is the network doing its job, ``late-receiver`` severity is buffered
+#: time during which no rank is blocked.
+BENIGN_CATEGORIES = frozenset({"transfer", "late-receiver"})
+
+#: A message whose end-to-end latency exceeds this multiple of its
+#: label's trace-wide median counts as congested.
+DEFAULT_CONTENTION_FACTOR = 3.0
+
+#: How many late-sender hops the delay-cost walk follows before giving
+#: up and charging the remainder as ``late-sender``.
+_MAX_PROPAGATION_DEPTH = 8
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class WaitEntry:
+    """Aggregate wait time of one ``(category, label)`` pair."""
+
+    category: str
+    label: str
+    seconds: float
+    occurrences: int
+
+
+@dataclass(frozen=True)
+class EfficiencyReport:
+    """POP-style efficiencies mined from per-rank useful compute time.
+
+    ``parallel_efficiency == load_balance * communication_efficiency``
+    holds by construction (both sides divide by max then runtime).
+    """
+
+    runtime_seconds: float
+    useful_seconds: tuple[float, ...]
+
+    @property
+    def num_ranks(self) -> int:
+        """Ranks the report covers."""
+        return len(self.useful_seconds)
+
+    @property
+    def load_balance(self) -> float:
+        """Mean over max useful compute time (1.0 = perfectly even)."""
+        peak = max(self.useful_seconds)
+        if peak <= 0.0:
+            return 1.0
+        return math.fsum(self.useful_seconds) / len(self.useful_seconds) / peak
+
+    @property
+    def communication_efficiency(self) -> float:
+        """Best rank's useful share of the runtime (1.0 = no comm cost)."""
+        if self.runtime_seconds <= 0.0:
+            return 1.0
+        return max(self.useful_seconds) / self.runtime_seconds
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Average useful share of total rank-time; LB × CommE."""
+        if self.runtime_seconds <= 0.0:
+            return 1.0
+        return (
+            math.fsum(self.useful_seconds)
+            / len(self.useful_seconds)
+            / self.runtime_seconds
+        )
+
+
+@dataclass(frozen=True)
+class WaitStateReport:
+    """Outcome of the wait-state classification of one trace."""
+
+    entries: tuple[WaitEntry, ...]
+    efficiencies: EfficiencyReport
+    baseline_latency_s: dict[str, float]
+    contention_factor: float
+
+    @property
+    def total_wait_seconds(self) -> float:
+        """All classified wait time (every category, all ranks)."""
+        return math.fsum(entry.seconds for entry in self.entries)
+
+    @property
+    def blocked_seconds(self) -> float:
+        """Wait time during which some rank was actually blocked
+        (everything except ``late-receiver`` buffered time)."""
+        return math.fsum(
+            entry.seconds
+            for entry in self.entries
+            if entry.category != "late-receiver"
+        )
+
+    def seconds(self, category: str, label: str | None = None) -> float:
+        """Wait time in *category*, optionally for one label."""
+        return math.fsum(
+            entry.seconds
+            for entry in self.entries
+            if entry.category == category
+            and (label is None or entry.label == label)
+        )
+
+    @property
+    def dominant(self) -> WaitEntry | None:
+        """The single largest pathological entry, or ``None`` when
+        nothing pathological was found.
+
+        Benign categories (:data:`BENIGN_CATEGORIES`) never dominate,
+        and neither does noise: an entry must carry at least 1% of the
+        blocked time to count as a diagnosis.
+        """
+        floor = max(0.01 * self.blocked_seconds, _EPS)
+        pathological = [
+            entry
+            for entry in self.entries
+            if entry.category not in BENIGN_CATEGORIES
+            and entry.seconds > floor
+        ]
+        if not pathological:
+            return None
+        return max(
+            sorted(pathological, key=lambda e: (e.category, e.label)),
+            key=lambda e: e.seconds,
+        )
+
+    def explain(self) -> str:
+        """One sentence naming the root cause — the automated
+        equivalent of the paper's Figure 4 caption."""
+        top = self.dominant
+        if top is None:
+            return "no pathological wait states detected"
+        blocked = self.blocked_seconds
+        share = top.seconds / blocked if blocked > 0 else 0.0
+        return (
+            f"dominant wait state: {top.category} on {top.label!r} "
+            f"({top.seconds:.3f}s across {top.occurrences} waits, "
+            f"{share:.0%} of all blocked time)"
+        )
+
+
+def efficiency_report(recorder: TraceRecorder) -> EfficiencyReport:
+    """POP efficiencies from *recorder*'s compute intervals."""
+    if not recorder.states:
+        raise TraceError("cannot compute efficiencies of an empty trace")
+    useful = [0.0] * recorder.num_ranks
+    for state in recorder.states:
+        if state.kind == "compute":
+            useful[state.rank] += state.duration
+    return EfficiencyReport(
+        runtime_seconds=recorder.end_time, useful_seconds=tuple(useful)
+    )
+
+
+def _baselines(recorder: TraceRecorder) -> dict[str, float]:
+    latencies: dict[str, list[float]] = {}
+    for comm in recorder.comms:
+        latencies.setdefault(comm.label, []).append(comm.latency)
+    return {
+        label: max(summarize(values).median, _EPS)
+        for label, values in latencies.items()
+    }
+
+
+class _Classifier:
+    """One classification pass over a trace (see module docs)."""
+
+    def __init__(self, recorder: TraceRecorder, contention_factor: float) -> None:
+        self.messages: dict[int, CommEvent] = {
+            c.seq: c for c in recorder.comms if c.seq >= 0
+        }
+        self.baselines = _baselines(recorder)
+        self.factor = contention_factor
+        self.states_by_rank: dict[int, list[StateEvent]] = {}
+        for state in recorder.states:
+            self.states_by_rank.setdefault(state.rank, []).append(state)
+        for states in self.states_by_rank.values():
+            states.sort(key=lambda s: (s.t1, s.t0))
+        self._end_index = {
+            rank: [s.t1 for s in states]
+            for rank, states in self.states_by_rank.items()
+        }
+
+    def congested(self, message: CommEvent) -> bool:
+        baseline = self.baselines.get(message.label, _EPS)
+        return message.latency > self.factor * baseline
+
+    def split_in_flight(
+        self, message: CommEvent, t0: float, t1: float, blame: dict[str, float]
+    ) -> None:
+        """Attribute blocked-while-in-flight time ``[t0, t1]``."""
+        span = t1 - t0
+        if span <= 0.0:
+            return
+        if self.congested(message):
+            # Within the baseline the network is merely transferring;
+            # everything past the expected arrival is the switch.
+            expected_arrival = message.send_time + self.baselines.get(
+                message.label, _EPS
+            )
+            normal = max(0.0, min(t1, expected_arrival) - t0)
+            blame["transfer"] = blame.get("transfer", 0.0) + min(span, normal)
+            excess = span - min(span, normal)
+            if excess > 0.0:
+                blame["switch-contention"] = (
+                    blame.get("switch-contention", 0.0) + excess
+                )
+        else:
+            blame["transfer"] = blame.get("transfer", 0.0) + span
+
+    def attribute_lateness(
+        self, rank: int, before: float, gap: float, blame: dict[str, float], depth: int
+    ) -> None:
+        """Blame *rank*'s most recent blocking before *before* for *gap*
+        seconds of lateness (Scalasca-style delay-cost propagation).
+
+        Intrinsic work (compute, send overhead) is skipped: equal work
+        cannot make one rank later than another, earlier blocking can.
+        Lateness not explained by any blocking is genuine
+        ``late-sender``.
+        """
+        if depth > _MAX_PROPAGATION_DEPTH:
+            blame["late-sender"] = blame.get("late-sender", 0.0) + gap
+            return
+        states = self.states_by_rank.get(rank, [])
+        index = bisect_right(self._end_index.get(rank, []), before + _EPS) - 1
+        while gap > _EPS and index >= 0:
+            state = states[index]
+            index -= 1
+            if state.kind != "wait" or state.duration <= 0.0 or state.cause < 0:
+                continue
+            message = self.messages.get(state.cause)
+            if message is None:
+                continue
+            # Most recent lateness first: the in-flight tail of the
+            # wait, then (recursively) the blocked-before-send head.
+            in_flight = max(0.0, state.t1 - max(state.t0, message.send_time))
+            take = min(gap, in_flight)
+            if take > 0.0:
+                self.split_in_flight(
+                    message, state.t1 - take, state.t1, blame
+                )
+                gap -= take
+            pre_send = max(0.0, min(message.send_time, state.t1) - state.t0)
+            take = min(gap, pre_send)
+            if take > 0.0:
+                self.attribute_lateness(
+                    message.src, message.send_time, take, blame, depth + 1
+                )
+                gap -= take
+        if gap > _EPS:
+            blame["late-sender"] = blame.get("late-sender", 0.0) + gap
+
+    def classify(self, state: StateEvent) -> dict[str, float]:
+        """Root-cause one receive wait; returns seconds per category."""
+        blame: dict[str, float] = {}
+        message = self.messages.get(state.cause)
+        if message is None:
+            return blame
+        if state.duration <= 0.0:
+            buffered = state.t0 - message.arrival_time
+            if buffered > 0.0:
+                blame["late-receiver"] = buffered
+            return blame
+        pre_send = min(message.send_time, state.t1) - state.t0
+        if pre_send > 0.0:
+            self.attribute_lateness(
+                message.src, message.send_time, pre_send, blame, 0
+            )
+        self.split_in_flight(
+            message, max(state.t0, message.send_time), state.t1, blame
+        )
+        return blame
+
+
+def _introduced_imbalance(
+    recorder: TraceRecorder,
+) -> list[tuple[str, float]]:
+    """Entry-time spread per collective instance, *introduced* since the
+    previous instance (inherited skew is the previous waits' fault and
+    already billed there)."""
+    instances: dict[tuple, dict[str, dict[int, float]]] = {}
+    for comm in recorder.comms:
+        instance = comm.collective_instance
+        if instance is None:
+            continue
+        record = instances.setdefault(instance, {"entry": {}, "exit": {}})
+        entry = record["entry"].get(comm.src)
+        if entry is None or comm.send_time < entry:
+            record["entry"][comm.src] = comm.send_time
+        exit_ = record["exit"].get(comm.dst)
+        if exit_ is None or comm.arrival_time > exit_:
+            record["exit"][comm.dst] = comm.arrival_time
+    spreads: list[tuple[str, float]] = []
+    previous_exit: dict[int, float] = {}
+    for kind, _sequence in sorted(instances, key=lambda k: (k[1], k[0])):
+        record = instances[(kind, _sequence)]
+        entries = record["entry"]
+        if len(entries) >= 2:
+            introduced = {
+                rank: entry - previous_exit.get(rank, 0.0)
+                for rank, entry in entries.items()
+            }
+            latest = max(introduced.values())
+            spread = math.fsum(latest - value for value in introduced.values())
+            if spread > 0.0:
+                spreads.append((kind, spread))
+        previous_exit = record["exit"]
+    return spreads
+
+
+def classify_wait_states(
+    recorder: TraceRecorder,
+    *,
+    contention_factor: float = DEFAULT_CONTENTION_FACTOR,
+) -> WaitStateReport:
+    """Root-cause every receive wait in *recorder* (see module docs).
+
+    The baseline latency per operation label is the trace-wide median
+    — on a congested run most messages are still clean (the Figure 4
+    observation), so the median is the uncongested reference and
+    messages beyond ``contention_factor`` times it are congested.
+    """
+    if contention_factor <= 1.0:
+        raise TraceError(
+            f"contention_factor must exceed 1, got {contention_factor}"
+        )
+    if not recorder.states:
+        raise TraceError("cannot classify an empty trace")
+
+    classifier = _Classifier(recorder, contention_factor)
+    buckets: dict[tuple[str, str], list[float]] = {}
+
+    def add(category: str, label: str, seconds: float) -> None:
+        bucket = buckets.setdefault((category, label), [0.0, 0])
+        bucket[0] += seconds
+        bucket[1] += 1
+
+    for state in recorder.states:
+        if state.kind != "wait" or state.cause < 0:
+            continue
+        for category, seconds in classifier.classify(state).items():
+            if seconds > 0.0:
+                add(category, state.label, seconds)
+
+    for kind, spread in _introduced_imbalance(recorder):
+        add("collective-imbalance", kind, spread)
+
+    entries = tuple(
+        WaitEntry(category, label, seconds, int(count))
+        for (category, label), (seconds, count) in sorted(
+            buckets.items(), key=lambda kv: (-kv[1][0], kv[0])
+        )
+    )
+    return WaitStateReport(
+        entries=entries,
+        efficiencies=efficiency_report(recorder),
+        baseline_latency_s=dict(sorted(classifier.baselines.items())),
+        contention_factor=contention_factor,
+    )

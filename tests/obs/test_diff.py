@@ -1,0 +1,160 @@
+"""Tests for the cross-run metrics regression gate (repro.obs.diff)."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics import MetricsRegistry
+from repro.metrics.export import registry_to_dict, to_json
+from repro.obs.diff import (
+    MetricChange,
+    diff_metrics,
+    diff_metrics_files,
+    load_metrics_file,
+    parse_threshold,
+)
+
+
+def _payload(events=100, depth=3.0, lat=(0.001, 0.002)):
+    registry = MetricsRegistry()
+    registry.counter("des.events").inc(events)
+    registry.gauge("queue.depth").set(depth)
+    for sample in lat:
+        registry.histogram("net.latency_s").observe(sample)
+    registry.counter("wallclock.s", volatile=True).inc(12.5)
+    return registry_to_dict(registry, deterministic=True)
+
+
+class TestParseThreshold:
+    @pytest.mark.parametrize("text,expected", [
+        ("5%", 0.05),
+        ("0.05", 0.05),
+        ("12.5 %", 0.125),
+        (" 0 ", 0.0),
+        (0.25, 0.25),
+        (2, 2.0),
+    ])
+    def test_accepted_forms(self, text, expected):
+        assert parse_threshold(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text", ["", "five", "-5%", "5%%", "1e9", None])
+    def test_rejected_forms(self, text):
+        with pytest.raises(MetricsError):
+            parse_threshold(text)
+
+
+class TestMetricChange:
+    def test_no_drift(self):
+        change = MetricChange("c", 10.0, 10.0, 0.05)
+        assert change.relative_change == 0.0
+        assert not change.regressed
+
+    def test_signed_drift_and_threshold_edge(self):
+        up = MetricChange("c", 100.0, 110.0, 0.05)
+        assert up.relative_change == pytest.approx(0.10)
+        assert up.regressed
+        down = MetricChange("c", 100.0, 96.0, 0.05)
+        assert down.relative_change == pytest.approx(-0.04)
+        assert not down.regressed
+        # exactly at the threshold is not a regression (strict >)
+        edge = MetricChange("c", 100.0, 105.0, 0.05)
+        assert not edge.regressed
+
+    def test_appear_and_disappear_always_regress(self):
+        appeared = MetricChange("c", None, 3.0, 0.5)
+        gone = MetricChange("c", 3.0, None, 0.5)
+        assert math.isinf(appeared.relative_change)
+        assert appeared.regressed and gone.regressed
+        assert "appeared" in appeared.describe()
+        assert "disappeared" in gone.describe()
+
+    def test_from_zero_is_infinite_drift(self):
+        assert math.isinf(MetricChange("c", 0.0, 1.0, 0.05).relative_change)
+
+
+class TestDiffMetrics:
+    def test_identical_payloads_are_ok(self):
+        diff = diff_metrics(_payload(), _payload(), threshold=0.05)
+        assert diff.ok
+        assert diff.compared > 0
+        assert "no regressions" in diff.format()
+
+    def test_volatile_metrics_are_ignored(self):
+        names = {c.name for c in diff_metrics(_payload(), _payload()).changes}
+        assert "counter:des.events" in names
+        assert not any("wallclock" in name for name in names)
+
+    def test_drift_beyond_threshold_flags(self):
+        diff = diff_metrics(
+            _payload(events=100), _payload(events=110), threshold=0.05
+        )
+        assert not diff.ok
+        assert [c.name for c in diff.regressions] == ["counter:des.events"]
+        assert "1 regression(s):" in diff.format()
+
+    def test_same_drift_within_looser_threshold_passes(self):
+        diff = diff_metrics(
+            _payload(events=100), _payload(events=110), threshold=0.15
+        )
+        assert diff.ok
+
+    def test_histograms_compare_count_and_sum(self):
+        diff = diff_metrics(
+            _payload(lat=(0.001, 0.002)), _payload(lat=(0.001,)),
+            threshold=0.05,
+        )
+        flagged = {c.name for c in diff.regressions}
+        assert "histogram:net.latency_s/count" in flagged
+        assert "histogram:net.latency_s/sum" in flagged
+
+    def test_regressions_sorted_biggest_drift_first(self):
+        diff = diff_metrics(
+            _payload(events=100, depth=10.0),
+            _payload(events=150, depth=11.5),
+            threshold=0.05,
+        )
+        assert [c.name for c in diff.regressions] == [
+            "counter:des.events", "gauge:queue.depth"
+        ]
+
+    def test_trace_report_payloads_accepted(self):
+        report_like = {"schema": 1, "metrics": _payload()}
+        diff = diff_metrics(report_like, _payload(), threshold=0.05)
+        assert diff.ok
+
+    def test_document_without_metrics_rejected(self):
+        with pytest.raises(MetricsError, match="neither a metrics export"):
+            diff_metrics({"schema": 1}, _payload())
+
+
+class TestFileLevel:
+    def test_round_trip_through_files(self, tmp_path):
+        before = tmp_path / "a.json"
+        after = tmp_path / "b.json"
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        before.write_text(to_json(registry, deterministic=True))
+        registry.counter("c").inc(1)
+        after.write_text(to_json(registry, deterministic=True))
+        diff = diff_metrics_files(before, after, threshold=0.05)
+        assert not diff.ok
+
+    def test_missing_file_is_a_metrics_error(self, tmp_path):
+        with pytest.raises(MetricsError, match="cannot read"):
+            load_metrics_file(tmp_path / "nope.json")
+
+    def test_invalid_json_is_a_metrics_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(MetricsError, match="not valid JSON"):
+            load_metrics_file(bad)
+
+    def test_schema_violations_are_caught(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        payload = _payload()
+        payload["schema"] = 99
+        bad.write_text(json.dumps(payload))
+        with pytest.raises(MetricsError, match="failed validation"):
+            load_metrics_file(bad)

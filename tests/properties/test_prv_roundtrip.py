@@ -1,0 +1,130 @@
+"""Property-based round-trip tests for the Paraver export/parse pair.
+
+Times are generated on the nanosecond grid (what ``.prv`` stores), so
+parsed values are compared within one nanosecond; fault records ride
+through a canonical-JSON comment line and must round-trip *exactly*.
+The strategies deliberately leave rank gaps (ranks from {0, 3, 7}) so
+traces with silent ranks exercise the exporter's header arithmetic.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceError
+from repro.tracing.paraver import export_prv, parse_prv
+from repro.tracing.recorder import TraceRecorder
+
+_NS = 1e9
+
+labels = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+)
+ranks = st.sampled_from([0, 3, 7])
+times_ns = st.integers(min_value=0, max_value=10**12)
+
+state_specs = st.tuples(ranks, labels, times_ns, times_ns)
+comm_specs = st.tuples(
+    ranks, ranks, st.integers(min_value=0, max_value=2**20),
+    times_ns, times_ns, st.integers(min_value=0, max_value=2**30),
+)
+detail_values = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.text(alphabet="abcxyz", max_size=6),
+    st.lists(st.integers(min_value=0, max_value=99), max_size=4),
+)
+fault_specs = st.tuples(
+    labels, times_ns, labels,
+    st.dictionaries(
+        st.sampled_from(["cores", "node", "ms", "extent"]),
+        detail_values, max_size=3,
+    ),
+)
+
+
+class _Msg:
+    def __init__(self, src, dst, nbytes, send_ns, arrival_ns, tag):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.send_time = send_ns / _NS
+        self.arrival_time = arrival_ns / _NS
+        self.label = "comm"
+        self.seq = -1
+
+
+def _build(states, comms, faults):
+    recorder = TraceRecorder()
+    for rank, label, a, b in states:
+        t0, t1 = sorted((a, b))
+        recorder.state(rank, label, t0 / _NS, t1 / _NS)
+    for src, dst, nbytes, a, b, tag in comms:
+        send, arrival = sorted((a, b))
+        recorder.comm(_Msg(src, dst, nbytes, send, arrival, tag))
+    for kind, time_ns, target, detail in faults:
+        recorder.fault(kind, time_ns / _NS, target, **detail)
+    return recorder
+
+
+recorders = st.builds(
+    _build,
+    st.lists(state_specs, max_size=12),
+    st.lists(comm_specs, max_size=12),
+    st.lists(fault_specs, max_size=6),
+).filter(lambda r: r.num_ranks > 0)
+
+
+@given(recorders)
+def test_export_parse_export_is_a_fixed_point(recorder):
+    once = export_prv(recorder)
+    assert export_prv(parse_prv(once)) == once
+
+
+@given(recorders)
+def test_states_round_trip_within_one_nanosecond(recorder):
+    parsed = parse_prv(export_prv(recorder))
+    assert len(parsed.states) == len(recorder.states)
+    for before, after in zip(recorder.states, parsed.states):
+        assert after.rank == before.rank
+        assert after.label == before.label
+        assert abs(after.t0 - before.t0) <= 1.5 / _NS
+        assert abs(after.t1 - before.t1) <= 1.5 / _NS
+
+
+@given(recorders)
+def test_comm_endpoints_and_sizes_round_trip(recorder):
+    parsed = parse_prv(export_prv(recorder))
+    assert len(parsed.comms) == len(recorder.comms)
+    for before, after in zip(recorder.comms, parsed.comms):
+        assert (after.src, after.dst, after.nbytes) == (
+            before.src, before.dst, before.nbytes
+        )
+        assert abs(after.send_time - before.send_time) <= 1.5 / _NS
+        assert abs(after.arrival_time - before.arrival_time) <= 1.5 / _NS
+
+
+@given(recorders)
+def test_faults_round_trip_exactly(recorder):
+    parsed = parse_prv(export_prv(recorder))
+    assert parsed.faults == recorder.faults
+
+
+@given(recorders)
+def test_num_ranks_preserved(recorder):
+    assert parse_prv(export_prv(recorder)).num_ranks == recorder.num_ranks
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(TraceError):
+        export_prv(TraceRecorder())
+
+
+def test_malformed_fault_comment_rejected():
+    text = export_prv(_build([(0, "w", 0, 10)], [], []))
+    text += "# fault {not json}\n"
+    with pytest.raises(TraceError, match="fault comment"):
+        parse_prv(text)

@@ -1,0 +1,191 @@
+"""Tests for the Chrome trace-event exporter and its validator."""
+
+import json
+
+import pytest
+
+from repro.cluster import MpiJob, tibidabo
+from repro.errors import TraceError
+from repro.metrics.registry import MetricsRegistry, use_registry
+from repro.tracing.chrome import (
+    CHROME_SCHEMA_VERSION,
+    export_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.tracing.recorder import TraceRecorder
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """A small traced job plus the registry that observed it."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        cluster = tibidabo(num_nodes=4, seed=3)
+        recorder = TraceRecorder()
+
+        def program(rank):
+            yield rank.compute(0.01, label="work")
+            yield from rank.alltoallv([2000] * rank.size)
+            yield from rank.barrier()
+
+        MpiJob(cluster, 4, program, tracer=recorder).run()
+    recorder.fault("crash", 0.001, "node0", cores=2)
+    return recorder, registry
+
+
+class TestExport:
+    def test_validates_and_serializes(self, traced):
+        recorder, registry = traced
+        document = export_chrome_trace(recorder, registry=registry)
+        validate_chrome_trace(document)
+        json.dumps(document, allow_nan=False)
+        assert document["otherData"]["schema"] == CHROME_SCHEMA_VERSION
+        assert document["otherData"]["num_ranks"] == 4
+
+    def test_one_slice_per_state_one_track_per_rank(self, traced):
+        recorder, _ = traced
+        events = export_chrome_trace(recorder)["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == len(recorder.states)
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert thread_names == {r: f"rank {r}" for r in range(4)}
+
+    def test_flow_pair_per_stamped_message(self, traced):
+        recorder, _ = traced
+        events = export_chrome_trace(recorder)["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        ends = [e for e in events if e["ph"] == "f"]
+        stamped = [c for c in recorder.comms if c.seq >= 0]
+        assert len(starts) == len(ends) == len(stamped)
+        assert {e["id"] for e in starts} == {c.seq for c in stamped}
+
+    def test_faults_become_instant_events(self, traced):
+        recorder, _ = traced
+        events = export_chrome_trace(recorder)["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == len(recorder.faults)
+        assert instants[0]["name"] == "crash:node0"
+        assert instants[0]["args"] == {"cores": 2}
+
+    def test_derived_counter_tracks(self, traced):
+        recorder, _ = traced
+        events = export_chrome_trace(recorder)["traceEvents"]
+        series = {e["name"] for e in events if e["ph"] == "C"}
+        assert "messages in flight" in series
+        assert "payload sent" in series
+        in_flight = [
+            e["args"]["messages"]
+            for e in events
+            if e["ph"] == "C" and e["name"] == "messages in flight"
+        ]
+        assert in_flight[-1] == 0  # every message eventually arrives
+
+    def test_registry_metrics_embedded(self, traced):
+        recorder, registry = traced
+        events = export_chrome_trace(recorder, registry=registry)["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "C"}
+        assert "des.events_dispatched" in names
+        without = export_chrome_trace(recorder)["traceEvents"]
+        assert "des.events_dispatched" not in {
+            e["name"] for e in without if e["ph"] == "C"
+        }
+
+    def test_deterministic(self, traced):
+        recorder, registry = traced
+        first = export_chrome_trace(recorder, registry=registry)
+        second = export_chrome_trace(recorder, registry=registry)
+        assert first == second
+
+    def test_write_round_trips(self, traced, tmp_path):
+        recorder, registry = traced
+        target = tmp_path / "deep" / "dir" / "trace.json"
+        document = write_chrome_trace(target, recorder, registry=registry)
+        loaded = json.loads(target.read_text())
+        assert loaded == json.loads(json.dumps(document))
+        validate_chrome_trace(loaded)
+
+
+class TestValidator:
+    def _minimal(self):
+        return {
+            "traceEvents": [
+                {
+                    "ph": "X", "name": "work", "pid": 1, "tid": 0,
+                    "ts": 0.0, "dur": 5.0,
+                },
+            ],
+            "displayTimeUnit": "ms",
+        }
+
+    def test_accepts_minimal(self):
+        validate_chrome_trace(self._minimal())
+
+    def test_rejects_non_object(self):
+        with pytest.raises(TraceError):
+            validate_chrome_trace([])
+
+    def test_rejects_unknown_phase(self):
+        doc = self._minimal()
+        doc["traceEvents"][0]["ph"] = "Z"
+        with pytest.raises(TraceError, match="unknown phase"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_negative_duration(self):
+        doc = self._minimal()
+        doc["traceEvents"][0]["dur"] = -1.0
+        with pytest.raises(TraceError, match="dur"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_missing_timestamp(self):
+        doc = self._minimal()
+        del doc["traceEvents"][0]["ts"]
+        with pytest.raises(TraceError, match="ts"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_unpaired_flow_end(self):
+        doc = self._minimal()
+        doc["traceEvents"].append(
+            {"ph": "f", "name": "m", "cat": "message", "id": 7,
+             "pid": 1, "tid": 0, "ts": 1.0}
+        )
+        with pytest.raises(TraceError, match="without a start"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_backwards_flow(self):
+        doc = self._minimal()
+        doc["traceEvents"] += [
+            {"ph": "s", "name": "m", "cat": "message", "id": 7,
+             "pid": 1, "tid": 0, "ts": 5.0},
+            {"ph": "f", "name": "m", "cat": "message", "id": 7,
+             "pid": 1, "tid": 1, "ts": 1.0},
+        ]
+        with pytest.raises(TraceError, match="ends before it starts"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_non_numeric_counter(self):
+        doc = self._minimal()
+        doc["traceEvents"].append(
+            {"ph": "C", "name": "c", "pid": 2, "tid": 0, "ts": 0.0,
+             "args": {"value": "high"}}
+        )
+        with pytest.raises(TraceError, match="numeric"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_bad_metadata(self):
+        doc = self._minimal()
+        doc["traceEvents"].append(
+            {"ph": "M", "name": "nonsense", "pid": 1, "tid": 0, "args": {}}
+        )
+        with pytest.raises(TraceError, match="unknown metadata"):
+            validate_chrome_trace(doc)
+
+    def test_rejects_bad_display_unit(self):
+        doc = self._minimal()
+        doc["displayTimeUnit"] = "fortnights"
+        with pytest.raises(TraceError, match="displayTimeUnit"):
+            validate_chrome_trace(doc)

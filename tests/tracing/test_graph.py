@@ -1,0 +1,167 @@
+"""Tests for the happens-before graph and critical-path extraction."""
+
+import math
+
+import pytest
+
+from repro.cluster import MpiJob, tibidabo
+from repro.errors import TraceError
+from repro.tracing.graph import (
+    PATH_CATEGORIES,
+    CriticalPath,
+    HappensBeforeGraph,
+    PathSegment,
+    build_graph,
+    critical_path,
+)
+from repro.tracing.recorder import TraceRecorder
+
+
+class _Msg:
+    """Minimal message stand-in for recorder.comm()."""
+
+    def __init__(self, src, dst, send_time, arrival_time, label, seq, tag="t"):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = 1000
+        self.send_time = send_time
+        self.arrival_time = arrival_time
+        self.label = label
+        self.seq = seq
+
+
+def _late_sender_trace():
+    """Rank 0 computes long, then sends; rank 1 blocks waiting for it."""
+    rec = TraceRecorder()
+    rec.state(0, "work", 0.0, 5.0, kind="compute")
+    rec.state(0, "send", 5.0, 5.1, kind="send", cause=1)
+    rec.comm(_Msg(0, 1, 5.0, 5.2, "p2p", seq=1))
+    rec.state(1, "work", 0.0, 1.0, kind="compute")
+    rec.state(1, "recv", 1.0, 5.2, kind="wait", cause=1)
+    rec.state(1, "work", 5.2, 6.0, kind="compute")
+    return rec
+
+
+class TestHappensBeforeGraph:
+    def test_counts_and_end(self):
+        graph = build_graph(_late_sender_trace())
+        assert graph.node_count == 5
+        # 3 program-order edges (2 on rank 0, 2 on rank 1... minus one
+        # each) plus one message edge.
+        assert graph.edge_count == (1 + 2) + 1
+        assert graph.end_time == pytest.approx(6.0)
+        assert graph.end_rank == 1
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            build_graph(TraceRecorder())
+
+    def test_validate_passes_on_consistent_trace(self):
+        build_graph(_late_sender_trace()).validate()
+
+    def test_validate_rejects_wait_ending_before_arrival(self):
+        rec = TraceRecorder()
+        rec.state(0, "send", 0.0, 0.1, kind="send", cause=1)
+        rec.comm(_Msg(0, 1, 0.0, 9.0, "p2p", seq=1))
+        rec.state(1, "recv", 0.0, 1.0, kind="wait", cause=1)
+        with pytest.raises(TraceError):
+            build_graph(rec).validate()
+
+
+class TestCriticalPath:
+    def test_late_sender_hop(self):
+        path = critical_path(_late_sender_trace())
+        # The path must hop from rank 1's wait to rank 0's compute at
+        # the injection time — never charge rank 1's pre-send blocking.
+        assert path.rank_changes == 1
+        assert [s.rank for s in path.segments] == [0, 1, 1]
+        assert path.breakdown["compute"] == pytest.approx(5.8)
+        assert path.breakdown["wait"] == pytest.approx(0.2)
+        assert path.breakdown["idle"] == pytest.approx(0.0)
+        assert path.dominant_wait_label() == "recv"
+
+    def test_segments_tile_the_runtime(self):
+        path = critical_path(_late_sender_trace())
+        covered = math.fsum(s.duration for s in path.segments)
+        assert covered == pytest.approx(path.total_seconds)
+        path.check_coverage()
+
+    def test_trace_gap_becomes_idle(self):
+        rec = TraceRecorder()
+        rec.state(0, "work", 0.0, 1.0, kind="compute")
+        rec.state(0, "work", 2.0, 3.0, kind="compute")
+        path = critical_path(rec)
+        assert path.breakdown["idle"] == pytest.approx(1.0)
+        assert path.breakdown["compute"] == pytest.approx(2.0)
+
+    def test_retry_states_become_rework(self):
+        rec = TraceRecorder()
+        rec.state(0, "work", 0.0, 1.0, kind="compute")
+        rec.state(0, "retry", 1.0, 1.5, kind="retry")
+        rec.state(0, "work", 1.5, 2.0, kind="compute")
+        path = critical_path(rec)
+        assert path.breakdown["rework"] == pytest.approx(0.5)
+
+    def test_by_label_sorted_largest_first(self):
+        path = critical_path(_late_sender_trace())
+        seconds = list(path.by_label.values())
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_check_coverage_rejects_overlap(self):
+        bad = CriticalPath(
+            segments=(
+                PathSegment(0, 0.0, 2.0, "compute", "a"),
+                PathSegment(0, 1.0, 2.0, "compute", "b"),
+            ),
+            total_seconds=3.0,
+        )
+        with pytest.raises(TraceError):
+            bad.check_coverage()
+
+    def test_check_coverage_rejects_shortfall(self):
+        bad = CriticalPath(
+            segments=(PathSegment(0, 0.0, 1.0, "compute", "a"),),
+            total_seconds=5.0,
+        )
+        with pytest.raises(TraceError):
+            bad.check_coverage()
+
+
+class TestOnRealJob:
+    @pytest.fixture(scope="class")
+    def recorder(self):
+        cluster = tibidabo(num_nodes=8, seed=1)
+        rec = TraceRecorder()
+
+        def program(rank):
+            yield rank.compute(0.01, label="work")
+            yield from rank.alltoallv([5000] * rank.size)
+            yield rank.compute(0.005, label="work")
+            yield from rank.barrier()
+
+        MpiJob(cluster, 8, program, tracer=rec).run()
+        return rec
+
+    def test_walk_converges_and_tiles(self, recorder):
+        graph = HappensBeforeGraph(recorder)
+        graph.validate()
+        path = graph.critical_path()
+        path.check_coverage()
+        assert path.total_seconds == pytest.approx(graph.end_time)
+
+    def test_categories_are_known(self, recorder):
+        path = critical_path(recorder)
+        assert {s.category for s in path.segments} <= set(PATH_CATEGORIES)
+
+    def test_collective_wait_lands_on_path(self, recorder):
+        # Over half the 8-rank job is the alltoallv exchange; some of
+        # it must be on the path as wait time.
+        path = critical_path(recorder)
+        assert path.breakdown["wait"] > 0.0
+        assert path.dominant_wait_label() == "alltoallv"
+
+    def test_deterministic(self, recorder):
+        first = critical_path(recorder)
+        second = critical_path(recorder)
+        assert first.segments == second.segments

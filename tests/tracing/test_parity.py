@@ -1,0 +1,87 @@
+"""NullTracer ↔ TraceRecorder API-parity tests.
+
+These introspect both classes so the parity cannot silently drift: a
+method added to :class:`TraceRecorder` without a matching no-op on
+:class:`NullTracer` (or with a different signature) fails here, not in
+whatever analysis code first receives a ``tracer=NullTracer()``.
+"""
+
+import inspect
+
+import pytest
+
+from repro.tracing.recorder import NullTracer, TraceRecorder
+
+
+def _public_api(cls):
+    # dir() of an *instance* so TraceRecorder's data attributes
+    # (states/comms/faults, set in __init__) count as API too.
+    return {
+        name
+        for name in dir(cls())
+        if not name.startswith("_")
+    }
+
+
+def _signature_of(cls, name):
+    attribute = inspect.getattr_static(cls, name)
+    if isinstance(attribute, property):
+        return "property"
+    return str(inspect.signature(attribute))
+
+
+class TestApiParity:
+    def test_null_tracer_covers_the_full_recorder_api(self):
+        missing = _public_api(TraceRecorder) - _public_api(NullTracer)
+        assert not missing, f"NullTracer lacks: {sorted(missing)}"
+
+    def test_no_stray_null_tracer_extras(self):
+        extra = _public_api(NullTracer) - _public_api(TraceRecorder)
+        assert not extra, f"NullTracer grew unknown API: {sorted(extra)}"
+
+    @pytest.mark.parametrize("name", sorted(_public_api(TraceRecorder)))
+    def test_signatures_match(self, name):
+        null_sig = _signature_of(NullTracer, name)
+        # states/comms/faults are plain attributes on TraceRecorder
+        # (set in __init__) but properties on NullTracer; both read as
+        # list-valued data access, so either shape is parity.
+        if name in ("states", "comms", "faults"):
+            assert null_sig == "property"
+        else:
+            recorder_sig = _signature_of(TraceRecorder, name)
+            assert null_sig == recorder_sig, (
+                f"{name}: TraceRecorder{recorder_sig} "
+                f"vs NullTracer{null_sig}"
+            )
+
+
+class TestBehavesLikeAnEmptyTrace:
+    @pytest.fixture()
+    def pair(self):
+        return NullTracer(), TraceRecorder()
+
+    def test_recording_is_discarded(self, pair):
+        null, _ = pair
+        null.state(0, "work", 0.0, 1.0, kind="compute", cause=3)
+
+        class Msg:
+            src, dst, tag, nbytes = 0, 1, "t", 10
+            send_time, arrival_time, label, seq = 0.0, 0.1, "p2p", 5
+
+        null.comm(Msg())
+        null.fault("crash", 0.5, "node0", cores=[0, 1])
+        assert null.states == [] and null.comms == [] and null.faults == []
+
+    def test_queries_answer_as_empty(self, pair):
+        null, empty = pair
+        assert null.num_ranks == empty.num_ranks
+        assert null.end_time == empty.end_time
+        assert null.states_of(0) == empty.states_of(0)
+        assert null.states_of(0, "work") == empty.states_of(0, "work")
+        assert null.comms_labelled("x") == empty.comms_labelled("x")
+        assert null.faults_of("crash") == empty.faults_of("crash")
+        assert null.time_in_state(2, "work") == empty.time_in_state(2, "work")
+
+    def test_check_sanity_passes(self, pair):
+        null, empty = pair
+        assert null.check_sanity() == empty.check_sanity() == None  # noqa: E711
