@@ -24,13 +24,27 @@ format (default ``json``), and with a format but no path the export
 goes to stderr.  Metrics never touch stdout, so artefact output stays
 byte-identical whether or not they are enabled.
 
-Two trace-analysis commands ride alongside the artefacts:
-``trace-report`` re-runs the Figure 4 scenario under full tracing and
-writes the combined run report (markdown + JSON), the Perfetto-loadable
-Chrome trace, and the deterministic metrics export into ``--out``;
+Resilient execution: ``--point-timeout S`` bounds each sweep point's
+wall clock (hung workers are killed in process mode), ``--retries N``
+re-dispatches failed points on a seeded exponential-backoff schedule
+(``--retry-delay`` sets the base delay), ``--run-dir DIR`` journals
+every completed point to ``DIR/journal.jsonl`` as it lands, and
+``--resume DIR`` replays that journal so an interrupted sweep
+continues where it stopped — byte-identical stdout to an
+uninterrupted run.  A sweep that exhausts its retry budget exits
+non-zero with a typed :class:`~repro.errors.RetryExhausted` listing
+every failed point.
+
+Three tool commands ride alongside the artefacts: ``trace-report``
+re-runs the Figure 4 scenario under full tracing and writes the
+combined run report (markdown + JSON), the Perfetto-loadable Chrome
+trace, and the deterministic metrics export into ``--out``;
 ``diff-metrics A.json B.json --threshold 5%`` compares two metrics
 exports and exits 1 on drift beyond the threshold (the CI regression
-gate against ``tests/golden/``).
+gate against ``tests/golden/``); ``cache {verify,stats,clear}``
+manages the result cache — ``verify`` integrity-scans every shard,
+quarantines corrupt entries under ``corrupt/`` and exits 1 if it
+found any.
 """
 
 from __future__ import annotations
@@ -535,11 +549,34 @@ def _cmd_diff_metrics(args) -> int:
     return 0 if diff.ok else 1
 
 
-#: Trace-analysis commands: dispatched before the artefact loop and
+def _cmd_cache(args) -> int:
+    from repro.engine import ResultCache
+
+    actions = ("verify", "stats", "clear")
+    if len(args.paths) != 1 or args.paths[0] not in actions:
+        raise ReproError(
+            "cache needs exactly one action: " + ", ".join(actions)
+        )
+    action = args.paths[0]
+    cache = ResultCache(args.cache_dir)
+    if action == "verify":
+        report = cache.verify()
+        print(report.format())
+        return 1 if report.corrupt else 0
+    if action == "stats":
+        print(f"cache {cache.root}: {len(cache)} entries")
+        return 0
+    removed = cache.clear()
+    print(f"cache {cache.root}: removed {removed} entries")
+    return 0
+
+
+#: Maintenance commands: dispatched before the artefact loop and
 #: never part of ``all`` (they are tools, not paper artefacts).
 TOOL_COMMANDS: dict[str, Callable] = {
     "trace-report": _cmd_trace_report,
     "diff-metrics": _cmd_diff_metrics,
+    "cache": _cmd_cache,
 }
 
 
@@ -581,7 +618,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
-        help="for diff-metrics: the two metrics JSON files to compare",
+        help="for diff-metrics: the two metrics JSON files to compare; "
+             "for cache: the action (verify, stats, clear)",
     )
     parser.add_argument("--quick", action="store_true",
                         help="shrink the cluster sweeps")
@@ -598,6 +636,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "$REPRO_CACHE_DIR or ~/.cache/repro)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
+    parser.add_argument("--point-timeout", type=float, default=None,
+                        metavar="S",
+                        help="wall-clock budget per sweep point; in "
+                             "process mode a worker past it is killed "
+                             "and the attempt retried")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry budget per sweep point (default 0: "
+                             "a worker failure aborts the artefact)")
+    parser.add_argument("--retry-delay", type=float, default=0.1,
+                        metavar="S",
+                        help="base backoff delay before the first "
+                             "retry, doubling per attempt (default 0.1)")
+    parser.add_argument("--run-dir", default=None, metavar="DIR",
+                        help="journal every completed sweep point to "
+                             "DIR/journal.jsonl and write manifests "
+                             "under DIR (starts a fresh journal)")
+    parser.add_argument("--resume", default=None, metavar="DIR",
+                        help="resume the interrupted run journaled "
+                             "under DIR: completed points are replayed, "
+                             "only the tail executes")
     parser.add_argument("--app", default="bigdft",
                         choices=["bigdft", "specfem3d"],
                         help="application for trace-report (default bigdft)")
@@ -617,12 +675,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_policy(args):
+    """The ExecutionPolicy the flags describe, or None for the default."""
+    from repro.engine import ExecutionPolicy
+    from repro.faults.detect import RetryPolicy
+
+    if args.retries <= 0 and args.point_timeout is None:
+        return None
+    retry = None
+    if args.retries > 0:
+        retry = RetryPolicy(
+            timeout_s=args.retry_delay, max_retries=args.retries
+        )
+    return ExecutionPolicy(
+        point_timeout_s=args.point_timeout, retry=retry, seed=args.seed
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     from repro import metrics as metrics_mod
-    from repro.engine import ExperimentEngine, ResultCache
+    from repro.engine import ExperimentEngine, ResultCache, RunJournal
 
     args = build_parser().parse_args(argv)
+    if args.run_dir is not None and args.resume is not None:
+        print("error: --run-dir and --resume are mutually exclusive "
+              "(--resume already names the run directory)", file=sys.stderr)
+        return 2
     wants_metrics = (
         args.metrics_out is not None or args.metrics_format is not None
     )
@@ -633,6 +712,7 @@ def main(argv: list[str] | None = None) -> int:
     # callers (the test suite) never observe leaked global state.
     previous = metrics_mod.set_registry(registry) if registry is not None else None
     code = 0
+    journal = None
     try:
         if args.artefact in TOOL_COMMANDS:
             try:
@@ -642,11 +722,29 @@ def main(argv: list[str] | None = None) -> int:
                 code = 1
         else:
             cache = None if args.no_cache else ResultCache(args.cache_dir)
+            run_dir = args.resume if args.resume is not None else args.run_dir
+            try:
+                if run_dir is not None:
+                    journal = RunJournal(
+                        Path(run_dir) / "journal.jsonl",
+                        resume=args.resume is not None,
+                    )
+            except ReproError as error:
+                print(f"error opening run journal: {error}", file=sys.stderr)
+                return 1
+            if run_dir is not None:
+                manifest_dir = Path(run_dir) / "manifests"
+            elif cache is not None:
+                manifest_dir = cache.root / "manifests"
+            else:
+                manifest_dir = None
             args.engine = ExperimentEngine(
                 cache=cache,
                 jobs=args.jobs,
-                manifest_dir=None if cache is None else cache.root / "manifests",
+                manifest_dir=manifest_dir,
                 echo=lambda line: print(line, file=sys.stderr),
+                policy=_build_policy(args),
+                journal=journal,
             )
             names = list(COMMANDS) if args.artefact == "all" else [args.artefact]
             for name in names:
@@ -666,6 +764,10 @@ def main(argv: list[str] | None = None) -> int:
             if code == 0 and args.engine.manifests:
                 print(f"[engine] totals: hits {args.engine.total_hits} | "
                       f"misses {args.engine.total_misses}", file=sys.stderr)
+            if journal is not None:
+                print(f"[engine] journal {journal.path}: replayed "
+                      f"{journal.replayed} | appended {journal.appended}",
+                      file=sys.stderr)
     except SystemExit as exit_request:
         # Commands (claims) signal failure via SystemExit; the metrics
         # export below must still happen before it propagates.
@@ -673,6 +775,8 @@ def main(argv: list[str] | None = None) -> int:
     else:
         pending_exit = None
     finally:
+        if journal is not None:
+            journal.close()
         if registry is not None:
             metrics_mod.set_registry(previous)
     if registry is not None:

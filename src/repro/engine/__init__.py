@@ -5,12 +5,24 @@ Public surface:
 * :class:`ExperimentEngine` — runs :class:`SweepSpec`\\ s across worker
   processes with deterministic result ordering, memoizing points in a
   :class:`ResultCache` and emitting a :class:`RunManifest` per sweep.
+* :class:`ExecutionPolicy` — per-point wall-clock timeouts and seeded
+  retries; :class:`RunJournal` — the write-ahead journal behind
+  ``--resume``; :meth:`ResultCache.verify` — full-store integrity
+  scans with quarantine of corrupt shards.
 * :mod:`repro.engine.sweeps` — the repo's concrete sweep definitions
   (magicfilter unrolls, cluster scaling, fault/checkpoint studies),
   shared by the CLI, the benchmarks and the tests.
+* :mod:`repro.engine.chaos` — deterministic fault injection for the
+  chaos harness (``tests/chaos/``).
 """
 
-from repro.engine.cache import CACHE_DIR_ENV, ResultCache, default_cache_root
+from repro.engine.cache import (
+    CACHE_DIR_ENV,
+    CORRUPT_DIR,
+    CacheVerifyReport,
+    ResultCache,
+    default_cache_root,
+)
 from repro.engine.engine import (
     SCHEMA_VERSION,
     ExperimentEngine,
@@ -18,15 +30,27 @@ from repro.engine.engine import (
     SweepSpec,
 )
 from repro.engine.hashing import canonical_json, canonicalize, content_key
-from repro.engine.manifest import PointRecord, RunManifest, load_manifests
+from repro.engine.journal import JOURNAL_SCHEMA, RunJournal
+from repro.engine.manifest import (
+    PointRecord,
+    RunManifest,
+    load_manifests,
+    scan_manifests,
+)
+from repro.engine.resilience import ExecutionPolicy
 
 __all__ = [
     "CACHE_DIR_ENV",
-    "SCHEMA_VERSION",
+    "CORRUPT_DIR",
+    "CacheVerifyReport",
+    "ExecutionPolicy",
     "ExperimentEngine",
+    "JOURNAL_SCHEMA",
     "PointRecord",
     "ResultCache",
+    "RunJournal",
     "RunManifest",
+    "SCHEMA_VERSION",
     "SweepRun",
     "SweepSpec",
     "canonical_json",
@@ -34,4 +58,5 @@ __all__ = [
     "content_key",
     "default_cache_root",
     "load_manifests",
+    "scan_manifests",
 ]

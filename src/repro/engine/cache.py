@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result cache.
+"""Content-addressed on-disk result cache with integrity checking.
 
 Completed sweep points are stored as one JSON file per content key,
 sharded by the key's first two hex digits (``ab/abcdef....json``), so a
@@ -8,8 +8,13 @@ value depends on (code version, machine spec, app parameters, seed,
 point coordinates); see :mod:`repro.engine.hashing`.
 
 Writes are atomic (temp file + rename) so a killed run never leaves a
-truncated entry; unreadable or corrupt entries are treated as misses
-and overwritten on the next put.
+truncated entry, and every entry embeds a sha256 over its key and
+payload.  A read that fails the checksum — truncated JSON, garbage
+bytes, a bit-flipped payload under an intact structure, a foreign
+schema — is *quarantined*: the file moves to ``corrupt/`` under the
+cache root, the ``cache.corrupt_entries`` counter ticks, and the read
+reports a typed miss so the engine recomputes and heals the entry.
+``repro cache verify`` scans the whole store the same way.
 """
 
 from __future__ import annotations
@@ -17,14 +22,19 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
 from repro.engine.hashing import canonical_json, content_key
-from repro.errors import EngineError
+from repro.errors import CacheCorruption, EngineError
+from repro.metrics.registry import current_registry
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Subdirectory of the cache root where corrupt entries are moved.
+CORRUPT_DIR = "corrupt"
 
 
 def default_cache_root() -> Path:
@@ -35,6 +45,33 @@ def default_cache_root() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
+def _entry_digest(key: Any, payload: Any) -> str:
+    """The integrity checksum embedded in (and verified against) an entry."""
+    return content_key({"key": key, "payload": payload})
+
+
+@dataclass
+class CacheVerifyReport:
+    """What a full-store integrity scan found (``repro cache verify``)."""
+
+    root: str
+    scanned: int = 0
+    ok: int = 0
+    #: ``(quarantined path, reason)`` per corrupt entry found.
+    corrupt: list[tuple[str, str]] = field(default_factory=list)
+    stale_temps: int = 0
+
+    def format(self) -> str:
+        lines = [
+            f"cache {self.root}: scanned {self.scanned} | ok {self.ok} | "
+            f"corrupt {len(self.corrupt)} | stale temps removed "
+            f"{self.stale_temps}"
+        ]
+        for path, reason in self.corrupt:
+            lines.append(f"  quarantined {path}: {reason}")
+        return "\n".join(lines)
+
+
 class ResultCache:
     """A content-addressed store of JSON payloads under one directory."""
 
@@ -42,26 +79,87 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_root()
         self.hits = 0
         self.misses = 0
+        #: Entries quarantined by this instance (reads + verify scans).
+        self.corruptions = 0
 
     def _path(self, key_hash: str) -> Path:
         return self.root / key_hash[:2] / f"{key_hash}.json"
 
-    def get(self, key: Mapping[str, Any]) -> Any | None:
+    # -- integrity ---------------------------------------------------------
+
+    @staticmethod
+    def _decode(path: Path, raw: bytes) -> Any:
+        """Parse and checksum one entry; :class:`CacheCorruption` if bad."""
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except UnicodeDecodeError as error:
+            raise CacheCorruption(path, f"not valid UTF-8: {error}") from error
+        except ValueError as error:
+            raise CacheCorruption(path, f"unparsable JSON: {error}") from error
+        if not isinstance(entry, dict):
+            raise CacheCorruption(
+                path, f"entry is {type(entry).__name__}, not an object"
+            )
+        missing = {"key", "payload", "sha256"} - entry.keys()
+        if missing:
+            raise CacheCorruption(
+                path, f"missing field(s) {sorted(missing)}"
+            )
+        try:
+            expected = _entry_digest(entry["key"], entry["payload"])
+        except EngineError as error:
+            raise CacheCorruption(path, f"unhashable content: {error}") from error
+        if entry["sha256"] != expected:
+            raise CacheCorruption(path, "sha256 checksum mismatch")
+        return entry["payload"]
+
+    def _quarantine(self, path: Path, reason: str) -> Path | None:
+        """Move a corrupt entry aside; never raises (a read must not die)."""
+        dest_dir = self.root / CORRUPT_DIR
+        dest: Path | None = dest_dir / path.name
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+        except OSError:
+            try:  # last resort: a corrupt entry must not be read again
+                path.unlink()
+            except OSError:
+                pass
+            dest = None
+        self.corruptions += 1
+        current_registry().inc("cache.corrupt_entries")
+        return dest
+
+    # -- core API ----------------------------------------------------------
+
+    def get(self, key: Mapping[str, Any], *, strict: bool = False) -> Any | None:
         """Return the payload stored under *key*, or ``None`` on a miss.
 
-        A corrupt or unreadable entry counts as a miss: the engine
-        recomputes the point and the next :meth:`put` heals the file.
+        A corrupt entry is quarantined to ``corrupt/`` and counts as a
+        miss: the engine recomputes the point and the next :meth:`put`
+        heals the file.  ``strict=True`` raises the underlying
+        :class:`~repro.errors.CacheCorruption` instead of reporting the
+        miss (after quarantining).
         """
         path = self._path(content_key(key))
         try:
-            with open(path, encoding="utf-8") as handle:
-                entry = json.load(handle)
-            payload = entry["payload"]
+            raw = path.read_bytes()
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError as error:
+            self._quarantine(path, f"unreadable: {error}")
             self.misses += 1
+            if strict:
+                raise CacheCorruption(path, f"unreadable: {error}") from error
+            return None
+        try:
+            payload = self._decode(path, raw)
+        except CacheCorruption as error:
+            self._quarantine(path, error.reason)
+            self.misses += 1
+            if strict:
+                raise
             return None
         self.hits += 1
         return payload
@@ -70,56 +168,111 @@ class ResultCache:
         """Store *payload* under *key*; returns the content key.
 
         The payload must be JSON-serializable — the cache stores
-        values, never live objects.
+        values, never live objects.  The write is atomic and the temp
+        file is removed on *any* failure, not just ``OSError``.
         """
         key_hash = content_key(key)
+        canonical_key = json.loads(canonical_json(key))
         try:
-            text = json.dumps(
-                {"key": json.loads(canonical_json(key)), "payload": payload},
-                sort_keys=True, allow_nan=False,
-            )
-        except (TypeError, ValueError) as error:
+            body = {
+                "key": canonical_key,
+                "payload": payload,
+                "sha256": _entry_digest(canonical_key, payload),
+            }
+            text = json.dumps(body, sort_keys=True, allow_nan=False)
+        except (TypeError, ValueError, EngineError) as error:
             raise EngineError(
                 f"cache payload is not JSON-serializable: {error}"
             ) from error
         path = self._path(key_hash)
         path.parent.mkdir(parents=True, exist_ok=True)
         descriptor, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
+            dir=path.parent, prefix=".tmp-", suffix=".tmp"
         )
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 handle.write(text)
             os.replace(temp_name, path)
-        except OSError:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
+        finally:
+            if os.path.exists(temp_name):
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
         return key_hash
 
     def contains(self, key: Mapping[str, Any]) -> bool:
         """Whether *key* has a stored entry (without touching stats)."""
         return self._path(content_key(key)).exists()
 
-    def __len__(self) -> int:
+    # -- housekeeping ------------------------------------------------------
+
+    def _shards(self):
+        # Entries live under two-hex-char shard directories (_path); other
+        # subdirectories (quarantine, run manifests) are not cache entries.
         if not self.root.exists():
-            return 0
+            return
+        for shard in sorted(self.root.iterdir()):
+            if (
+                shard.is_dir()
+                and len(shard.name) == 2
+                and all(c in "0123456789abcdef" for c in shard.name)
+            ):
+                yield shard
+
+    def __len__(self) -> int:
         return sum(
-            1 for shard in self.root.iterdir() if shard.is_dir()
-            for entry in shard.glob("*.json")
+            1 for shard in self._shards() for entry in shard.glob("*.json")
         )
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps stale temp files and the quarantine directory
+        (neither counts toward the return value).
+        """
         removed = 0
-        if not self.root.exists():
-            return removed
-        for shard in sorted(self.root.iterdir()):
-            if not shard.is_dir():
-                continue
+        for shard in self._shards():
             for entry in sorted(shard.glob("*.json")):
                 entry.unlink()
                 removed += 1
+            for temp in sorted(shard.glob(".tmp-*")):
+                temp.unlink()
+        corrupt_dir = self.root / CORRUPT_DIR
+        if corrupt_dir.is_dir():
+            for entry in sorted(corrupt_dir.iterdir()):
+                entry.unlink()
         return removed
+
+    def verify(self) -> CacheVerifyReport:
+        """Scan every entry, quarantine the corrupt, sweep stale temps.
+
+        The report lists each quarantined file with its reason; the CLI
+        (``repro cache verify``) prints it and exits non-zero when
+        anything was corrupt.
+        """
+        report = CacheVerifyReport(root=str(self.root))
+        for shard in self._shards():
+            for entry in sorted(shard.glob("*.json")):
+                report.scanned += 1
+                try:
+                    self._decode(entry, entry.read_bytes())
+                except (OSError, CacheCorruption) as error:
+                    reason = (
+                        error.reason
+                        if isinstance(error, CacheCorruption)
+                        else f"unreadable: {error}"
+                    )
+                    dest = self._quarantine(entry, reason)
+                    report.corrupt.append(
+                        (str(dest if dest is not None else entry), reason)
+                    )
+                else:
+                    report.ok += 1
+            for temp in sorted(shard.glob(".tmp-*")):
+                try:
+                    temp.unlink()
+                    report.stale_temps += 1
+                except OSError:
+                    pass
+        return report

@@ -1,0 +1,171 @@
+"""Deterministic fault injection for the engine's chaos harness.
+
+The chaos tests (``tests/chaos/``) assert the engine's core safety
+property: under killed workers, hangs, corrupt cache shards and a full
+disk, every sweep *terminates* with either results byte-identical to a
+fault-free run or a typed error — never a silent wrong answer.
+
+Faults here are deterministic, not random.  Each injection point is
+keyed by the point's params and counts its own attempts in a shared
+on-disk state directory (worker processes can't share memory), so "die
+twice, then succeed" is expressible and replayable.  The helpers:
+
+* :func:`chaos_point` — a picklable sweep worker whose params describe
+  the fault to inject (``kind``: ``exit`` / ``hang`` / ``raise`` /
+  ``unpicklable``) and for how many attempts it fires;
+* :func:`corrupt_cache_entry` — damages one stored entry in a chosen
+  mode (truncate, garbage, wrong schema, empty, bit-flip under a stale
+  checksum);
+* :class:`FlakyJournal` — a :class:`~repro.engine.journal.RunJournal`
+  whose disk "fills up" (ENOSPC) after a set number of writes;
+* :func:`truncate_journal` — tears the tail off a journal to simulate
+  a run killed mid-write.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.engine.cache import ResultCache
+from repro.engine.hashing import content_key
+from repro.engine.journal import RunJournal
+
+#: Corruption modes understood by :func:`corrupt_cache_entry`.
+CORRUPTION_MODES = (
+    "truncate", "garbage", "wrong-schema", "empty", "bad-checksum",
+)
+
+
+class ChaosFault(RuntimeError):
+    """The exception :func:`chaos_point` raises for ``kind="raise"``."""
+
+
+def bump_attempt(state_dir: str | Path, token: str) -> int:
+    """Count an attempt of *token*; returns the 1-based attempt number.
+
+    The count lives in a file's *size* (one byte appended per attempt),
+    which is atomic enough for the engine's one-attempt-at-a-time
+    re-dispatch and — unlike a pickled counter — works unchanged across
+    worker processes.
+    """
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    path = state_dir / f"attempts-{content_key({'token': token})[:16]}"
+    with open(path, "ab") as handle:
+        handle.write(b".")
+        handle.flush()
+        return os.fstat(handle.fileno()).st_size
+
+
+def chaos_point(params: Mapping[str, Any]) -> Any:
+    """A sweep worker that misbehaves on cue.
+
+    ``params["x"]`` is the point coordinate; ``params["state_dir"]``
+    the shared attempt-counter directory; ``params["faults"]`` maps
+    ``str(x)`` to a fault spec::
+
+        {"kind": "exit",        # die without reporting (os._exit)
+         "times": 2,            # fire on the first 2 attempts
+         "exitcode": 137}       # optional, default 137 (OOM-kill)
+
+        {"kind": "hang", "times": 1, "hang_s": 300.0}
+        {"kind": "raise", "times": 1}
+        {"kind": "unpicklable", "times": 1}
+
+    Once its fault budget is spent the point heals and returns the
+    same pure payload a fault-free worker would: ``x * x``.
+    """
+    x = params["x"]
+    fault = (params.get("faults") or {}).get(str(x))
+    if fault is not None:
+        attempt = bump_attempt(params["state_dir"], f"point-{x}")
+        if attempt <= int(fault.get("times", 1)):
+            kind = fault["kind"]
+            if kind == "exit":
+                os._exit(int(fault.get("exitcode", 137)))
+            if kind == "hang":
+                import time
+
+                time.sleep(float(fault.get("hang_s", 300.0)))
+            elif kind == "raise":
+                raise ChaosFault(f"injected failure at x={x}")
+            elif kind == "unpicklable":
+                return lambda: x  # locals never pickle
+            else:
+                raise ValueError(f"unknown chaos kind {kind!r}")
+    return {"x": x, "value": x * x}
+
+
+def corrupt_cache_entry(
+    cache: ResultCache, key: Mapping[str, Any], mode: str
+) -> Path:
+    """Damage the stored entry for *key* in the given *mode*.
+
+    Returns the path that was damaged.  Modes: ``truncate`` (cut the
+    file mid-JSON), ``garbage`` (non-JSON bytes), ``wrong-schema``
+    (valid JSON missing the integrity fields), ``empty`` (zero bytes),
+    ``bad-checksum`` (tamper with the payload while keeping the stale
+    sha256 — the case only the embedded checksum can catch).
+    """
+    if mode not in CORRUPTION_MODES:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    path = cache._path(content_key(key))
+    if not path.exists():
+        raise FileNotFoundError(f"no cache entry to corrupt at {path}")
+    if mode == "truncate":
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: max(1, len(text) // 2)], encoding="utf-8")
+    elif mode == "garbage":
+        path.write_bytes(b"\x00\xffnot json at all\x07")
+    elif mode == "wrong-schema":
+        path.write_text(
+            json.dumps({"result": 42, "version": "0.0"}), encoding="utf-8"
+        )
+    elif mode == "empty":
+        path.write_bytes(b"")
+    else:  # bad-checksum: plausible payload, stale digest
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["payload"] = {"value": {"x": -1, "value": -1}}
+        path.write_text(json.dumps(entry, sort_keys=True), encoding="utf-8")
+    return path
+
+
+class FlakyJournal(RunJournal):
+    """A journal on a disk that fills up after *capacity* writes."""
+
+    def __init__(
+        self, path: str | Path, *, capacity: int, resume: bool = False
+    ) -> None:
+        super().__init__(path, resume=resume)
+        self.capacity = capacity
+        self.writes = 0
+
+    def _write(self, line: str) -> None:
+        if self.writes >= self.capacity:
+            raise OSError(errno.ENOSPC, "no space left on device (injected)")
+        self.writes += 1
+        super()._write(line)
+
+
+def truncate_journal(path: str | Path, *, keep: int, tear: bool = True) -> int:
+    """Keep the first *keep* records of a journal; returns records kept.
+
+    With ``tear=True`` a half-written record is appended after the kept
+    prefix — the torn tail an interrupted ``fsync`` leaves behind —
+    which resume must silently drop.
+    """
+    path = Path(path)
+    lines = [
+        line for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    kept = lines[:keep]
+    text = "".join(line + "\n" for line in kept)
+    if tear and len(lines) > keep:
+        text += lines[keep][: max(1, len(lines[keep]) // 2)]
+    path.write_text(text, encoding="utf-8")
+    return len(kept)

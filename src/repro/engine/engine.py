@@ -1,49 +1,72 @@
-"""The parallel, cache-backed experiment executor.
+"""The parallel, cache-backed, fault-tolerant experiment executor.
 
 The paper's harness (§V–§VI) is a sweep machine — stride/size grids,
 unroll degrees 1–12, node counts 1–48 — and so is this reproduction.
 :class:`ExperimentEngine` is the one execution path every sweep shares:
 
-* **fan-out** — pending points run on a ``concurrent.futures`` pool
-  (processes when the worker and its points pickle, threads otherwise),
-  with results always assembled in submission order, so the output is
-  byte-identical no matter how completion interleaves; ``jobs=1`` (the
-  default) degrades gracefully to a plain serial loop;
+* **fan-out** — pending points run on worker processes (threads when
+  the worker doesn't pickle, a plain loop at ``jobs=1``), with results
+  always assembled in submission order, so the output is byte-identical
+  no matter how completion interleaves;
 * **memoization** — completed points land in a content-addressed
   on-disk :class:`~repro.engine.cache.ResultCache` keyed by a stable
   hash of (code version, sweep invariants, point), so re-running a
   figure or extending a sweep only computes the missing points;
+* **fault tolerance** — with an
+  :class:`~repro.engine.resilience.ExecutionPolicy` configured, a hung
+  worker is killed at its wall-clock budget, a crashed or
+  result-mangling worker fails only its own point, and failed attempts
+  are re-dispatched on a seeded backoff schedule until the budget runs
+  out; every outcome is typed (:mod:`repro.errors`) and recorded
+  per-point in the :class:`~repro.engine.manifest.RunManifest` —
+  the run *terminates* with correct results or a typed error, never a
+  silent wrong answer;
+* **resumability** — with a :class:`~repro.engine.journal.RunJournal`
+  attached, each completed point is fsynced to a write-ahead journal
+  before it counts, and a resumed run replays the journal and executes
+  only the tail, byte-identical to an uninterrupted run;
 * **metrics** — every run yields a
   :class:`~repro.engine.manifest.RunManifest` with per-point wall
-  times, hit/miss counts and worker utilization, printed by the CLI
-  and asserted by the tests.
+  times, attempts, hit/miss counts and worker utilization, printed by
+  the CLI and asserted by the tests; retries, timeouts and worker
+  crashes tick ``engine.retries`` / ``engine.timeouts`` /
+  ``engine.worker_crashes``.
 
 Workers must be *pure* with respect to their params — every bit of
 state a point needs is built inside the worker from the params — and
-must return a JSON-serializable payload.  Order-dependent experiments
-(e.g. the §V-A OS-scheduler protocol, where sample N's value depends on
-the N-1 samples before it) set ``serial_only`` and cache at coarser
-granularity via :meth:`ExperimentEngine.run_cached`.
+must return a JSON-serializable payload.  Purity is also what makes
+retries safe: re-running an attempt can only reproduce the same value.
+Order-dependent experiments (e.g. the §V-A OS-scheduler protocol,
+where sample N's value depends on the N-1 samples before it) set
+``serial_only`` and cache at coarser granularity via
+:meth:`ExperimentEngine.run_cached`.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.engine.cache import ResultCache
 from repro.engine.hashing import content_key
+from repro.engine.journal import RunJournal
 from repro.engine.manifest import PointRecord, RunManifest
-from repro.errors import EngineError
+from repro.engine.resilience import ExecutionPolicy
+from repro.errors import EngineError, PointTimeout, RetryExhausted, WorkerCrash
 from repro.metrics.registry import MetricsRegistry, current_registry, use_registry
 from repro.version import __version__
 
 #: Bump to invalidate every cache entry written by older engines.
-SCHEMA_VERSION = 1
+#: v2: entries carry an embedded sha256 integrity checksum.
+SCHEMA_VERSION = 2
 
 #: A sweep worker: params in, JSON-serializable payload out.
 Worker = Callable[[Mapping[str, Any]], Any]
@@ -56,7 +79,9 @@ class SweepSpec:
     ``key`` must carry everything (besides the point itself) that the
     worker's output depends on — machine name, app parameters, seed —
     because it becomes part of every point's cache key.  ``name`` is a
-    display label only and never affects caching.
+    display label only and never affects caching.  ``point_timeout_s``
+    overrides the engine policy's per-attempt budget for this sweep
+    (long cluster jobs get more rope than a 12-point counter sweep).
     """
 
     name: str
@@ -64,6 +89,7 @@ class SweepSpec:
     points: tuple[Mapping[str, Any], ...]
     key: Mapping[str, Any] = field(default_factory=dict)
     serial_only: bool = False
+    point_timeout_s: float | None = None
 
     def __init__(
         self,
@@ -73,16 +99,23 @@ class SweepSpec:
         *,
         key: Mapping[str, Any] | None = None,
         serial_only: bool = False,
+        point_timeout_s: float | None = None,
     ) -> None:
         if not name:
             raise EngineError("a sweep needs a non-empty name")
         if not points:
             raise EngineError(f"sweep {name!r} has no points")
+        if point_timeout_s is not None and point_timeout_s <= 0:
+            raise EngineError(
+                f"sweep {name!r} point timeout must be positive, "
+                f"got {point_timeout_s}"
+            )
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "worker", worker)
         object.__setattr__(self, "points", tuple(dict(p) for p in points))
         object.__setattr__(self, "key", dict(key or {}))
         object.__setattr__(self, "serial_only", serial_only)
+        object.__setattr__(self, "point_timeout_s", point_timeout_s)
 
 
 @dataclass(frozen=True)
@@ -117,11 +150,54 @@ def _timed_call(
     return value, time.perf_counter() - start, None
 
 
+def _point_process_main(conn, worker, params, capture) -> None:
+    """Child-process entry: run one point, ship the outcome over *conn*.
+
+    Every outcome is a message: ``("ok", value, wall, snapshot)`` on
+    success, ``("raise", exc)`` when the worker raised (so the parent
+    can re-raise the original), ``("error", text)`` when the value or
+    the exception itself cannot travel over the pipe.  A child that
+    dies without sending anything is a crash, detected by the parent
+    via its process sentinel and exit code.
+    """
+    try:
+        try:
+            value, wall, snapshot = _timed_call(worker, params, capture)
+        except BaseException as error:  # ship the failure, whatever it is
+            try:
+                conn.send(("raise", error))
+            except Exception:
+                conn.send(("error", f"{type(error).__name__}: {error}"))
+            return
+        try:
+            conn.send(("ok", value, wall, snapshot))
+        except Exception as error:  # unpicklable worker payload
+            conn.send(
+                ("error", f"unpicklable result: {type(error).__name__}: {error}")
+            )
+    finally:
+        conn.close()
+
+
+@dataclass
+class _Attempt:
+    """One in-flight execution of one point in the process supervisor."""
+
+    proc: Any
+    conn: Any
+    index: int
+    attempt: int
+    deadline: float | None
+
+
 class ExperimentEngine:
     """Shared executor for every sweep in the repo.
 
     One engine per invocation (a CLI run, a test); it accumulates the
     manifests of every sweep it executed in :attr:`manifests`.
+    ``policy`` configures timeouts and retries (default: none, fully
+    backward-compatible); ``journal`` attaches a write-ahead journal
+    for resumable runs.
     """
 
     def __init__(
@@ -131,6 +207,8 @@ class ExperimentEngine:
         jobs: int = 1,
         manifest_dir: str | Path | None = None,
         echo: Callable[[str], None] | None = None,
+        policy: ExecutionPolicy | None = None,
+        journal: RunJournal | None = None,
     ) -> None:
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -138,6 +216,8 @@ class ExperimentEngine:
         self.jobs = jobs
         self.manifest_dir = Path(manifest_dir) if manifest_dir else None
         self.echo = echo
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.journal = journal
         self.manifests: list[RunManifest] = []
         self.metrics = current_registry()
 
@@ -167,61 +247,116 @@ class ExperimentEngine:
         try:
             pickle.dumps((spec.worker, spec.points))
             return "process"
-        except Exception:
-            # Closures and bound methods don't pickle; degrade to a
-            # thread pool — same ordering contract, shared memory.
+        except (pickle.PickleError, AttributeError, TypeError):
+            # The three ways worker pickling actually fails: closures
+            # and locals raise AttributeError, unpicklable members
+            # (locks, sockets) TypeError, lookup mismatches
+            # PicklingError.  Anything else is a real bug and
+            # propagates instead of silently degrading the pool.
             return "thread"
 
+    def _timeout_for(self, spec: SweepSpec) -> float | None:
+        if spec.point_timeout_s is not None:
+            return spec.point_timeout_s
+        return self.policy.point_timeout_s
+
     def run(self, spec: SweepSpec) -> SweepRun:
-        """Execute *spec*, reusing cached points; deterministic order."""
+        """Execute *spec*, reusing cached and journaled points.
+
+        Deterministic order always; with a fault-tolerance policy the
+        run either returns results identical to a fault-free run or
+        raises a typed error (:class:`~repro.errors.RetryExhausted`,
+        :class:`~repro.errors.JournalError`).
+        """
         started = time.perf_counter()
         n = len(spec.points)
         keys = [self.point_key(spec, p) for p in spec.points]
+        hashes = [content_key(key) for key in keys]
         values: list[Any] = [None] * n
         hit: list[bool] = [False] * n
+        resumed: list[bool] = [False] * n
         walls: list[float] = [0.0] * n
+        attempts: list[int] = [0] * n
         snapshots: list[dict[str, Any] | None] = [None] * n
+        transient: dict[int, list[dict[str, Any]]] = {}
+        failures: dict[int, dict[str, Any]] = {}
+        failure_exc: dict[int, BaseException] = {}
         capture = self.metrics.enabled
+        timeout_s = self._timeout_for(spec)
+
+        def complete(index, value, wall, snapshot, attempt) -> None:
+            values[index] = value
+            walls[index] = wall
+            snapshots[index] = snapshot
+            attempts[index] = attempt
+            # Write-ahead: the journal record is durable *before* the
+            # point counts as done anywhere else.
+            if self.journal is not None:
+                self.journal.append(hashes[index], value)
+            if self.cache is not None:
+                self.cache.put(keys[index], {"value": value})
+
+        def fail(index, attempt, error: BaseException) -> float | None:
+            """Record a failed attempt; a float means retry after it."""
+            record = {
+                "type": type(error).__name__,
+                "message": str(error),
+                "attempt": attempt,
+            }
+            if attempt < self.policy.max_attempts:
+                transient.setdefault(index, []).append(record)
+                self.metrics.inc("engine.retries")
+                return self.policy.retry_delay_s(attempt, hashes[index])
+            attempts[index] = attempt
+            failures[index] = record
+            failure_exc[index] = error
+            return None
 
         with self.metrics.span(f"engine/{spec.name}"):
             pending: list[int] = []
-            for index, key in enumerate(keys):
-                payload = self.cache.get(key) if self.cache is not None else None
-                if payload is not None:
-                    values[index] = payload["value"]
-                    hit[index] = True
-                else:
-                    pending.append(index)
+            for index, key_hash in enumerate(hashes):
+                if self.journal is not None:
+                    found, value = self.journal.replay(key_hash)
+                    if found:
+                        values[index] = value
+                        resumed[index] = True
+                        continue
+                if self.cache is not None:
+                    before = self.cache.corruptions
+                    payload = self.cache.get(keys[index])
+                    if self.cache.corruptions > before:
+                        transient.setdefault(index, []).append({
+                            "type": "CacheCorruption",
+                            "message": "corrupt cache entry quarantined; "
+                                       "point recomputed",
+                            "attempt": 0,
+                        })
+                    if payload is not None:
+                        values[index] = payload["value"]
+                        hit[index] = True
+                        continue
+                pending.append(index)
 
             executor_kind = self._pick_executor(spec, len(pending))
-            if executor_kind == "serial":
-                for index in pending:
-                    values[index], walls[index], snapshots[index] = _timed_call(
-                        spec.worker, spec.points[index], capture
+            if pending:
+                if executor_kind == "process":
+                    self._run_processes(
+                        spec, pending, capture, complete, fail, timeout_s
                     )
-            else:
-                pool_cls = (
-                    ProcessPoolExecutor if executor_kind == "process"
-                    else ThreadPoolExecutor
-                )
-                workers = min(self.jobs, len(pending))
-                with pool_cls(max_workers=workers) as pool:
-                    futures = [
-                        pool.submit(
-                            _timed_call, spec.worker, spec.points[index], capture
-                        )
-                        for index in pending
-                    ]
-                    # Collect in submission order: completion order never
-                    # leaks into the results.
-                    for index, future in zip(pending, futures):
-                        values[index], walls[index], snapshots[index] = (
-                            future.result()
-                        )
+                elif executor_kind == "thread":
+                    self._run_threads(
+                        spec, pending, capture, complete, fail, timeout_s
+                    )
+                else:
+                    self._run_serial(
+                        spec, pending, capture, complete, fail, timeout_s
+                    )
 
-            if self.cache is not None:
-                for index in pending:
-                    self.cache.put(keys[index], {"value": values[index]})
+        # Historical contract: without a fault-tolerance policy, a
+        # worker exception propagates as itself (typed engine failures
+        # — crashes, protocol errors — still surface structured).
+        if failures and not self.policy.fault_tolerant:
+            raise failure_exc[min(failures)]
 
         manifest = RunManifest(
             sweep=spec.name,
@@ -233,9 +368,13 @@ class ExperimentEngine:
                 PointRecord(
                     index=index,
                     params=dict(spec.points[index]),
-                    key=content_key(keys[index]),
+                    key=hashes[index],
                     cache_hit=hit[index],
                     wall_seconds=walls[index],
+                    attempts=attempts[index],
+                    resumed=resumed[index],
+                    error=failures.get(index),
+                    transient_errors=tuple(transient.get(index, ())),
                 )
                 for index in range(n)
             ],
@@ -247,7 +386,266 @@ class ExperimentEngine:
             manifest.save(self.manifest_dir)
         if self.echo is not None:
             self.echo(manifest.summary())
+        if failures:
+            raise RetryExhausted(spec.name, [
+                {
+                    "index": index,
+                    "params": dict(spec.points[index]),
+                    "attempts": attempts[index],
+                    **failures[index],
+                }
+                for index in sorted(failures)
+            ])
         return SweepRun(spec=spec, values=tuple(values), manifest=manifest)
+
+    # -- executors ---------------------------------------------------------
+
+    def _run_serial(
+        self, spec, pending, capture, complete, fail, timeout_s
+    ) -> None:
+        """The ``jobs=1`` loop: retries work, timeouts are post-hoc.
+
+        Serial execution cannot preempt a running point; an overrun is
+        surfaced through the ``engine.timeouts`` counter but the value
+        (which is correct — workers are pure) is kept.
+        """
+        for index in pending:
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    value, wall, snapshot = _timed_call(
+                        spec.worker, spec.points[index], capture
+                    )
+                except Exception as error:
+                    delay = fail(index, attempt, error)
+                    if delay is None:
+                        break
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if timeout_s is not None and wall > timeout_s:
+                    self.metrics.inc("engine.timeouts")
+                complete(index, value, wall, snapshot, attempt)
+                break
+
+    def _run_threads(
+        self, spec, pending, capture, complete, fail, timeout_s
+    ) -> None:
+        """Thread fan-out for unpicklable workers.
+
+        Threads cannot be killed: a timed-out future is abandoned (its
+        eventual result ignored) and the attempt retried on a fresh
+        submission.  Real isolation — actually reclaiming a hung
+        worker — needs process mode.
+        """
+        workers = min(self.jobs, len(pending))
+        pool = ThreadPoolExecutor(max_workers=workers)
+        in_flight: dict[Any, tuple[int, int, float]] = {}
+        backlog: list[tuple[float, int, int]] = []  # (not_before, index, attempt)
+
+        def schedule_failure(index, attempt, error) -> None:
+            delay = fail(index, attempt, error)
+            if delay is not None:
+                backlog.append((time.monotonic() + delay, index, attempt + 1))
+
+        try:
+            for index in pending:
+                future = pool.submit(
+                    _timed_call, spec.worker, spec.points[index], capture
+                )
+                in_flight[future] = (index, 1, time.monotonic())
+            while in_flight or backlog:
+                now = time.monotonic()
+                if backlog:
+                    due = [item for item in backlog if item[0] <= now]
+                    backlog = [item for item in backlog if item[0] > now]
+                    for _, index, attempt in sorted(due):
+                        future = pool.submit(
+                            _timed_call, spec.worker, spec.points[index],
+                            capture,
+                        )
+                        in_flight[future] = (index, attempt, time.monotonic())
+                if not in_flight:
+                    time.sleep(max(0.0, min(b[0] for b in backlog) - now))
+                    continue
+                wait_for: list[float] = []
+                if timeout_s is not None:
+                    wait_for.extend(
+                        started + timeout_s - now
+                        for _, _, started in in_flight.values()
+                    )
+                wait_for.extend(b[0] - now for b in backlog)
+                wait_timeout = max(0.0, min(wait_for)) if wait_for else None
+                done, _ = futures_wait(
+                    set(in_flight), timeout=wait_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                for future in done:
+                    index, attempt, _started = in_flight.pop(future)
+                    try:
+                        value, wall, snapshot = future.result()
+                    except Exception as error:
+                        schedule_failure(index, attempt, error)
+                    else:
+                        complete(index, value, wall, snapshot, attempt)
+                if timeout_s is not None:
+                    for future, (index, attempt, started) in list(
+                        in_flight.items()
+                    ):
+                        if now - started >= timeout_s:
+                            del in_flight[future]
+                            future.cancel()  # abandoned if already running
+                            self.metrics.inc("engine.timeouts")
+                            schedule_failure(
+                                index, attempt,
+                                PointTimeout(timeout_s, attempt=attempt),
+                            )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _run_processes(
+        self, spec, pending, capture, complete, fail, timeout_s
+    ) -> None:
+        """The supervised process pool: full crash/hang isolation.
+
+        Each attempt is its own process with its own result pipe.  The
+        supervisor waits on pipes *and* process sentinels, so a worker
+        that dies without reporting (``os._exit``, OOM kill, signal) is
+        detected immediately even while siblings hold inherited pipe
+        ends; a worker past its deadline is killed outright.  Either
+        way only that point's attempt fails — the pool never breaks.
+        """
+        ctx = (
+            multiprocessing.get_context("fork")
+            if "fork" in multiprocessing.get_all_start_methods()
+            else multiprocessing.get_context()
+        )
+        workers = min(self.jobs, len(pending))
+        queue: deque[tuple[int, int, float]] = deque(
+            (index, 1, 0.0) for index in pending
+        )
+        running: list[_Attempt] = []
+
+        def launch(index: int, attempt: int, now: float) -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_point_process_main,
+                args=(child_conn, spec.worker, spec.points[index], capture),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            running.append(_Attempt(
+                proc=proc, conn=parent_conn, index=index, attempt=attempt,
+                deadline=None if timeout_s is None else now + timeout_s,
+            ))
+
+        def retire(task: _Attempt) -> None:
+            running.remove(task)
+            task.conn.close()
+            task.proc.join()
+
+        def requeue_or_fail(task: _Attempt, error: BaseException) -> None:
+            delay = fail(task.index, task.attempt, error)
+            if delay is not None:
+                queue.append(
+                    (task.index, task.attempt + 1, time.monotonic() + delay)
+                )
+
+        try:
+            while queue or running:
+                now = time.monotonic()
+                deferred: list[tuple[int, int, float]] = []
+                while queue and len(running) < workers:
+                    index, attempt, not_before = queue.popleft()
+                    if not_before > now:
+                        deferred.append((index, attempt, not_before))
+                        continue
+                    launch(index, attempt, now)
+                queue.extendleft(reversed(deferred))
+
+                if not running:
+                    # Everything is waiting out a backoff delay.
+                    time.sleep(
+                        max(0.0, min(nb for _, _, nb in queue) - now)
+                    )
+                    continue
+
+                wait_for = [
+                    t.deadline - now for t in running if t.deadline is not None
+                ]
+                if queue and len(running) < workers:
+                    wait_for.extend(nb - now for _, _, nb in queue)
+                wait_timeout = max(0.0, min(wait_for)) if wait_for else None
+                by_handle = {}
+                for task in running:
+                    by_handle[task.conn] = task
+                    by_handle[task.proc.sentinel] = task
+                ready = mp_connection.wait(
+                    list(by_handle), timeout=wait_timeout
+                )
+                now = time.monotonic()
+                seen: set[int] = set()
+                for handle in ready:
+                    task = by_handle[handle]
+                    if id(task) in seen or task not in running:
+                        continue
+                    seen.add(id(task))
+                    message: tuple | None
+                    if task.conn.poll():
+                        try:
+                            message = task.conn.recv()
+                        except (EOFError, OSError):
+                            message = None  # died mid-send
+                        except Exception as error:  # undecodable message
+                            message = (
+                                "error",
+                                f"undecodable worker message: {error!r}",
+                            )
+                    elif not task.proc.is_alive():
+                        message = None  # died without reporting
+                    else:
+                        continue  # sentinel raced a still-live worker
+                    retire(task)
+                    if message is None:
+                        self.metrics.inc("engine.worker_crashes")
+                        requeue_or_fail(task, WorkerCrash(
+                            f"worker for point #{task.index} died with exit "
+                            f"code {task.proc.exitcode}",
+                            kind="exit", exitcode=task.proc.exitcode,
+                            attempt=task.attempt,
+                        ))
+                    elif message[0] == "ok":
+                        _, value, wall, snapshot = message
+                        complete(task.index, value, wall, snapshot,
+                                 task.attempt)
+                    elif message[0] == "raise":
+                        requeue_or_fail(task, message[1])
+                    else:
+                        self.metrics.inc("engine.worker_crashes")
+                        requeue_or_fail(task, WorkerCrash(
+                            message[1], kind="protocol", attempt=task.attempt,
+                        ))
+                if timeout_s is not None:
+                    for task in list(running):
+                        if task.deadline is not None and now >= task.deadline:
+                            task.proc.kill()
+                            retire(task)
+                            self.metrics.inc("engine.timeouts")
+                            requeue_or_fail(task, PointTimeout(
+                                timeout_s, attempt=task.attempt,
+                            ))
+        finally:
+            # A typed abort (e.g. the journal's disk filled) must not
+            # leave orphaned workers behind.
+            for task in running:
+                task.proc.kill()
+                task.proc.join()
+                task.conn.close()
+
+    # -- metrics -----------------------------------------------------------
 
     def _record_metrics(
         self,
@@ -272,7 +670,7 @@ class ExperimentEngine:
             volatile=True,
         )
         for record in manifest.points:
-            if not record.cache_hit:
+            if not record.cache_hit and not record.resumed:
                 metrics.observe(
                     "engine.point_wall_seconds", record.wall_seconds,
                     volatile=True,

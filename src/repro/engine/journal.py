@@ -1,0 +1,160 @@
+"""Write-ahead journal for resumable sweeps.
+
+An interrupted sweep used to be a total loss unless every point had
+landed in the shared result cache.  The journal makes the *run itself*
+durable: one JSON line per completed point — content-key hash, value,
+and a sha256 over both — flushed and ``fsync``-ed before the engine
+considers the point done.  ``--resume <run-dir>`` then replays the
+journal and re-executes only the tail, producing stdout and manifest
+point records byte-identical to an uninterrupted run.
+
+Torn tails are expected (the process died mid-write): an unparsable or
+checksum-failing *final* record is silently dropped and its point
+recomputed.  Damage anywhere else means the file cannot be trusted as
+a prefix of a real run and raises a typed
+:class:`~repro.errors.JournalError` — never a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.engine.hashing import content_key
+from repro.errors import JournalError
+
+#: Bump when the record layout changes incompatibly.
+JOURNAL_SCHEMA = 1
+
+
+def _record_digest(key_hash: str, value: Any) -> str:
+    """Integrity digest over one journal record's meaningful content."""
+    return content_key({"key": key_hash, "value": value})
+
+
+class RunJournal:
+    """Append-only ``journal.jsonl`` of completed sweep points.
+
+    ``resume=False`` (a fresh run) truncates any previous journal at
+    the path; ``resume=True`` loads every valid record so the engine
+    can replay completed points, then keeps appending to the same file.
+    """
+
+    def __init__(self, path: str | Path, *, resume: bool = False) -> None:
+        self.path = Path(path)
+        self.completed: dict[str, Any] = {}
+        self.replayed = 0
+        self.appended = 0
+        self._handle: Any = None
+        self._fresh = not resume
+        if resume:
+            self._load()
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    # -- recovery ----------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return
+        except OSError as error:
+            raise JournalError(
+                f"cannot read journal: {error}", path=self.path
+            ) from error
+        lines = raw.split(b"\n")
+        offsets, position = [], 0
+        for line in lines:
+            offsets.append(position)
+            position += len(line) + 1
+        populated = [i for i, line in enumerate(lines) if line.strip()]
+        last = populated[-1] if populated else -1
+        for i in populated:
+            try:
+                record = json.loads(lines[i].decode("utf-8"))
+                key_hash = record["key"]
+                value = record["value"]
+                if record["sha256"] != _record_digest(key_hash, value):
+                    raise ValueError("checksum mismatch")
+                if record.get("schema") != JOURNAL_SCHEMA:
+                    raise ValueError(f"schema {record.get('schema')!r}")
+            except Exception as error:
+                if i == last:
+                    # A torn tail write from an interrupted run: drop
+                    # the record (the engine recomputes that point) and
+                    # cut it from the file, so appends resume from the
+                    # valid prefix instead of gluing onto the fragment.
+                    self._truncate_to(offsets[i])
+                    break
+                raise JournalError(
+                    f"corrupt record at line {i + 1}: {error}",
+                    path=self.path,
+                ) from error
+            self.completed[key_hash] = value
+
+    def _truncate_to(self, size: int) -> None:
+        try:
+            os.truncate(self.path, size)
+        except OSError as error:
+            raise JournalError(
+                f"cannot drop torn journal tail: {error}", path=self.path
+            ) from error
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, key_hash: str, value: Any) -> None:
+        """Durably record that *key_hash* completed with *value*.
+
+        Flushes and fsyncs before returning — once this call succeeds,
+        the point survives any later crash of the run.
+        """
+        record = {
+            "schema": JOURNAL_SCHEMA,
+            "key": key_hash,
+            "value": value,
+            "sha256": _record_digest(key_hash, value),
+        }
+        line = json.dumps(record, sort_keys=True, allow_nan=False) + "\n"
+        try:
+            self._write(line)
+        except OSError as error:
+            raise JournalError(
+                f"cannot append to journal: {error}", path=self.path
+            ) from error
+        self.completed[key_hash] = value
+        self.appended += 1
+
+    def _write(self, line: str) -> None:
+        """The raw durable write (overridable by the chaos harness)."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(
+                self.path, "w" if self._fresh else "a", encoding="utf-8"
+            )
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self, key_hash: str) -> tuple[bool, Any]:
+        """``(found, value)`` for a point this run already completed."""
+        if key_hash in self.completed:
+            self.replayed += 1
+            return True, self.completed[key_hash]
+        return False, None
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

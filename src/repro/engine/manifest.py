@@ -16,22 +16,37 @@ from __future__ import annotations
 
 import json
 import re
+import sys
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.errors import EngineError
 
 
 @dataclass(frozen=True)
 class PointRecord:
-    """One sweep point's execution record."""
+    """One sweep point's execution record.
+
+    ``attempts`` counts actual executions (0 for cache hits and
+    journal replays); ``resumed`` marks points replayed from a run's
+    write-ahead journal; ``error`` is the final typed failure of a
+    point that exhausted its retry budget and ``transient_errors`` the
+    failures that a retry subsequently healed.  All four are
+    operational detail and stay out of the *deterministic* form, which
+    must be byte-identical between an interrupted-then-resumed run and
+    an uninterrupted one.
+    """
 
     index: int
     params: Mapping[str, Any]
     key: str
     cache_hit: bool
     wall_seconds: float
+    attempts: int = 1
+    resumed: bool = False
+    error: Mapping[str, Any] | None = None
+    transient_errors: Sequence[Mapping[str, Any]] = ()
 
     def to_dict(self, *, deterministic: bool = False) -> dict[str, Any]:
         record = {
@@ -42,6 +57,14 @@ class PointRecord:
         }
         if not deterministic:
             record["wall_seconds"] = self.wall_seconds
+            record["attempts"] = self.attempts
+            record["resumed"] = self.resumed
+            if self.error is not None:
+                record["error"] = dict(self.error)
+            if self.transient_errors:
+                record["transient_errors"] = [
+                    dict(e) for e in self.transient_errors
+                ]
         return record
 
 
@@ -76,6 +99,16 @@ class RunManifest:
     def misses(self) -> int:
         """Points actually computed this run."""
         return len(self.points) - self.hits
+
+    @property
+    def failed(self) -> int:
+        """Points that exhausted their retry budget."""
+        return sum(1 for p in self.points if p.error is not None)
+
+    @property
+    def retried(self) -> int:
+        """Points that needed more than one attempt."""
+        return sum(1 for p in self.points if p.attempts > 1)
 
     @property
     def busy_seconds(self) -> float:
@@ -142,15 +175,50 @@ class RunManifest:
         return path
 
 
-def load_manifests(directory: str | Path) -> list[dict[str, Any]]:
-    """Read every manifest JSON under *directory* (sorted by filename)."""
+def scan_manifests(
+    directory: str | Path,
+) -> tuple[list[dict[str, Any]], list[tuple[Path, str]]]:
+    """Read every manifest JSON under *directory* (sorted by filename).
+
+    Returns ``(manifests, skipped)`` where ``skipped`` pairs each
+    unreadable or unparsable path with the reason it was dropped —
+    callers decide whether that is a warning or a failure.
+    """
     directory = Path(directory)
+    manifests: list[dict[str, Any]] = []
+    skipped: list[tuple[Path, str]] = []
     if not directory.exists():
-        return []
-    manifests = []
+        return manifests, skipped
     for path in sorted(directory.glob("*.json")):
         try:
             manifests.append(json.loads(path.read_text(encoding="utf-8")))
         except (OSError, ValueError) as error:
-            raise EngineError(f"corrupt manifest {path}: {error}") from error
+            skipped.append((path, str(error)))
+    return manifests, skipped
+
+
+def load_manifests(
+    directory: str | Path, *, on_error: str = "report"
+) -> list[dict[str, Any]]:
+    """Read every readable manifest under *directory*.
+
+    Unreadable manifests are never silently dropped: with
+    ``on_error="report"`` (the default) each skipped path is named on
+    stderr; ``on_error="raise"`` turns any skip into an
+    :class:`~repro.errors.EngineError` listing every bad path.
+    """
+    if on_error not in ("report", "raise"):
+        raise EngineError(
+            f"on_error must be 'report' or 'raise', got {on_error!r}"
+        )
+    manifests, skipped = scan_manifests(directory)
+    if skipped:
+        if on_error == "raise":
+            shown = "; ".join(f"{path}: {reason}" for path, reason in skipped)
+            raise EngineError(f"{len(skipped)} unreadable manifest(s): {shown}")
+        for path, reason in skipped:
+            print(
+                f"[engine] skipping unreadable manifest {path}: {reason}",
+                file=sys.stderr,
+            )
     return manifests

@@ -421,6 +421,43 @@ def run_page_alloc_sweep(
     }
 
 
+def run_chaos_sweep(
+    engine: ExperimentEngine,
+    *,
+    xs: Sequence[int],
+    state_dir: str,
+    faults: Mapping[str, Mapping[str, Any]] | None = None,
+    label: str | None = None,
+) -> dict[int, int]:
+    """A square-numbers sweep with injected faults; ``x -> x*x``.
+
+    The chaos harness's standard workload: pure, instant, and
+    verifiable at a glance, so any divergence under injected crashes,
+    hangs or corruption is the engine's fault, never the worker's.
+    ``faults`` maps ``str(x)`` to a fault spec understood by
+    :func:`repro.engine.chaos.chaos_point`.  Injected faults never
+    change what a point's value is — only how hard it was to obtain —
+    so runs that share a fault plan and state directory are comparable
+    point-for-point with each other.
+    """
+    from repro.engine.chaos import chaos_point
+
+    spec = SweepSpec(
+        label or "chaos/squares",
+        chaos_point,
+        [
+            {
+                "x": x, "state_dir": state_dir,
+                "faults": {k: dict(v) for k, v in (faults or {}).items()},
+            }
+            for x in xs
+        ],
+        key={"experiment": "chaos-squares"},
+    )
+    run = engine.run(spec)
+    return {point["x"]: value["value"] for point, value in run}
+
+
 def run_energy_study(
     engine: ExperimentEngine,
     app: str,

@@ -7,6 +7,8 @@ swallowing programming errors such as :class:`TypeError`.
 
 from __future__ import annotations
 
+from typing import Any, Mapping, Sequence
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -111,6 +113,90 @@ class DataError(ReproError):
 class EngineError(ReproError):
     """The experiment engine was mis-used: an unhashable cache key, a
     non-JSON worker payload, or a corrupt cache/manifest store."""
+
+
+class PointTimeout(EngineError):
+    """A sweep point exceeded its per-attempt wall-clock budget.
+
+    In process mode the engine kills the hung worker and, if retry
+    budget remains, re-dispatches the point; the exhausted form is
+    surfaced inside :class:`RetryExhausted`.
+    """
+
+    def __init__(self, timeout_s: float, *, attempt: int = 1) -> None:
+        self.timeout_s = timeout_s
+        self.attempt = attempt
+        super().__init__(
+            f"point exceeded its {timeout_s:g}s wall-clock budget "
+            f"(attempt {attempt})"
+        )
+
+
+class WorkerCrash(EngineError):
+    """A worker process died, or its result could not travel back.
+
+    ``kind`` distinguishes the failure modes: ``"exit"`` (the process
+    died — killed, OOM, ``os._exit``), ``"protocol"`` (the result or
+    the worker's exception could not be pickled across the pipe).
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        *,
+        kind: str = "exit",
+        exitcode: int | None = None,
+        attempt: int = 1,
+    ) -> None:
+        self.kind = kind
+        self.exitcode = exitcode
+        self.attempt = attempt
+        super().__init__(detail)
+
+
+class CacheCorruption(EngineError):
+    """A result-cache shard failed its integrity check.
+
+    Raised by strict reads and carried in verify reports; the default
+    cache behavior is to quarantine the entry and report a miss.
+    """
+
+    def __init__(self, path: Any, reason: str) -> None:
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"corrupt cache entry {path}: {reason}")
+
+
+class JournalError(EngineError):
+    """The write-ahead sweep journal could not be written or parsed
+    (disk full mid-run, garbage in a non-tail record on resume)."""
+
+    def __init__(self, reason: str, *, path: Any = None) -> None:
+        self.path = None if path is None else str(path)
+        super().__init__(reason if path is None else f"{reason} ({path})")
+
+
+class RetryExhausted(EngineError):
+    """One or more sweep points failed every attempt of their budget.
+
+    ``failures`` holds one record per dead point: ``index``, ``params``,
+    ``attempts``, and the final error's ``type`` and ``message``.
+    """
+
+    def __init__(
+        self, sweep: str, failures: Sequence[Mapping[str, Any]]
+    ) -> None:
+        self.sweep = sweep
+        self.failures = [dict(f) for f in failures]
+        shown = "; ".join(
+            f"point #{f['index']}: {f['type']}: {f['message']}"
+            for f in self.failures[:4]
+        )
+        more = " ..." if len(self.failures) > 4 else ""
+        super().__init__(
+            f"sweep {sweep!r}: {len(self.failures)} point(s) failed after "
+            f"exhausting their retry budget: {shown}{more}"
+        )
 
 
 class MetricsError(ReproError):

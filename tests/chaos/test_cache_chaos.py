@@ -1,0 +1,216 @@
+"""Chaos: damaged result-cache shards.
+
+Every corruption mode must yield the same safe behavior: the bad entry
+is quarantined under ``corrupt/``, the read reports a (typed) miss, the
+engine recomputes the point, and the healed entry round-trips.  A
+corrupt shard must never surface as a wrong value — the ``bad-checksum``
+mode plants a *plausible* wrong payload that only the embedded sha256
+can catch.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    CORRUPT_DIR,
+    ExperimentEngine,
+    ResultCache,
+    SweepSpec,
+    content_key,
+)
+from repro.engine.chaos import CORRUPTION_MODES, corrupt_cache_entry
+from repro.engine.sweeps import run_chaos_sweep
+from repro.errors import CacheCorruption
+from repro.metrics.registry import MetricsRegistry, use_registry
+
+KEY = {"experiment": "chaos-cache", "point": 3}
+PAYLOAD = {"value": {"x": 3, "value": 9}}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestCorruptionMatrix:
+    @pytest.mark.parametrize("mode", CORRUPTION_MODES)
+    def test_corrupt_entry_is_quarantined_typed_miss_then_heals(
+        self, cache, mode
+    ):
+        cache.put(KEY, PAYLOAD)
+        path = corrupt_cache_entry(cache, KEY, mode)
+
+        # Strict read: the corruption surfaces as its typed error.
+        strict = ResultCache(cache.root)
+        with pytest.raises(CacheCorruption):
+            strict.get(KEY, strict=True)
+
+        # The strict read quarantined the shard; the entry is now a
+        # plain miss for everyone else.
+        assert strict.corruptions == 1
+        assert not path.exists()
+        quarantined = list((cache.root / CORRUPT_DIR).iterdir())
+        assert [q.name for q in quarantined] == [path.name]
+        assert cache.get(KEY) is None
+        assert cache.misses == 1
+
+        # Recompute + put heals the entry; the value round-trips.
+        cache.put(KEY, PAYLOAD)
+        assert cache.get(KEY) == PAYLOAD
+
+    @pytest.mark.parametrize("mode", CORRUPTION_MODES)
+    def test_engine_recomputes_through_corruption(self, tmp_path, mode):
+        """End-to-end: a poisoned cache never changes sweep results."""
+        xs = (1, 2, 3)
+        state = str(tmp_path / "state")
+        engine = ExperimentEngine(cache=ResultCache(tmp_path / "cache"))
+        baseline = run_chaos_sweep(engine, xs=xs, state_dir=state)
+
+        point_params = {"x": 3, "state_dir": state, "faults": {}}
+        spec = SweepSpec(
+            "chaos/squares", lambda p: None, [point_params],
+            key={"experiment": "chaos-squares"},
+        )
+        corrupt_cache_entry(
+            engine.cache, engine.point_key(spec, point_params), mode
+        )
+
+        again = run_chaos_sweep(engine, xs=xs, state_dir=state)
+        assert again == baseline
+        manifest = engine.manifests[-1]
+        assert manifest.hits == 2 and manifest.misses == 1
+        # The recomputed point carries the corruption as a transient,
+        # healed error in its manifest record.
+        record = manifest.points[2]
+        assert record.transient_errors[0]["type"] == "CacheCorruption"
+
+    def test_corruption_metric_ticks(self, tmp_path):
+        with use_registry(MetricsRegistry()) as registry:
+            cache = ResultCache(tmp_path / "cache")
+            cache.put(KEY, PAYLOAD)
+            corrupt_cache_entry(cache, KEY, "garbage")
+            assert cache.get(KEY) is None
+        counters = registry.snapshot()["counters"]
+        assert counters["cache.corrupt_entries"]["value"] == 1
+
+
+class TestVerify:
+    def test_verify_scans_quarantines_and_reports(self, cache):
+        keys = [{"experiment": "verify", "point": i} for i in range(4)]
+        for key in keys:
+            cache.put(key, {"value": key["point"]})
+        corrupt_cache_entry(cache, keys[0], "truncate")
+        corrupt_cache_entry(cache, keys[2], "bad-checksum")
+
+        report = cache.verify()
+        assert report.scanned == 4
+        assert report.ok == 2
+        assert len(report.corrupt) == 2
+        assert len(cache) == 2
+        assert len(list((cache.root / CORRUPT_DIR).iterdir())) == 2
+        text = report.format()
+        assert "scanned 4 | ok 2 | corrupt 2" in text
+        assert "quarantined" in text
+
+        # A second scan finds a clean store.
+        again = cache.verify()
+        assert again.scanned == 2 and again.ok == 2 and not again.corrupt
+
+    def test_verify_sweeps_stale_temps(self, cache):
+        cache.put(KEY, PAYLOAD)
+        shard = next(cache.root.iterdir())
+        (shard / ".tmp-deadbeef.tmp").write_text("partial")
+        report = cache.verify()
+        assert report.stale_temps == 1
+        assert not list(shard.glob(".tmp-*"))
+
+    def test_quarantined_entries_do_not_count_as_shards(self, cache):
+        cache.put(KEY, PAYLOAD)
+        corrupt_cache_entry(cache, KEY, "empty")
+        cache.get(KEY)
+        assert len(cache) == 0
+        assert cache.verify().scanned == 0
+
+    def test_clear_sweeps_quarantine(self, cache):
+        cache.put(KEY, PAYLOAD)
+        corrupt_cache_entry(cache, KEY, "garbage")
+        cache.get(KEY)
+        cache.put(KEY, PAYLOAD)
+        assert cache.clear() == 1
+        assert not list((cache.root / CORRUPT_DIR).glob("*"))
+
+    def test_sibling_directories_are_not_cache_entries(self, cache):
+        # The CLI keeps run manifests under <cache-root>/manifests; verify
+        # must not quarantine them and clear must not delete them.
+        cache.put(KEY, PAYLOAD)
+        manifests = cache.root / "manifests"
+        manifests.mkdir()
+        manifest = manifests / "fig7-sweep-deadbeef.json"
+        manifest.write_text(json.dumps({"sweep": "s", "points": []}))
+
+        assert len(cache) == 1
+        report = cache.verify()
+        assert (report.scanned, report.ok, report.corrupt) == (1, 1, [])
+        assert cache.clear() == 1
+        assert manifest.exists()
+
+
+class TestCliCacheCommand:
+    def run_cli(self, argv, capsys):
+        from repro.cli import main
+
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_cache_verify_clean_store_exits_zero(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(KEY, PAYLOAD)
+        code, out, _ = self.run_cli(
+            ["cache", "verify", "--cache-dir", str(cache.root)], capsys
+        )
+        assert code == 0
+        assert "scanned 1 | ok 1 | corrupt 0" in out
+
+    def test_cache_verify_corrupt_store_exits_one(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(KEY, PAYLOAD)
+        path = corrupt_cache_entry(cache, KEY, "wrong-schema")
+        code, out, _ = self.run_cli(
+            ["cache", "verify", "--cache-dir", str(cache.root)], capsys
+        )
+        assert code == 1
+        assert "corrupt 1" in out
+        assert path.name in out
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(KEY, PAYLOAD)
+        code, out, _ = self.run_cli(
+            ["cache", "stats", "--cache-dir", str(cache.root)], capsys
+        )
+        assert code == 0 and "1 entries" in out
+        code, out, _ = self.run_cli(
+            ["cache", "clear", "--cache-dir", str(cache.root)], capsys
+        )
+        assert code == 0 and "removed 1" in out
+        assert len(cache) == 0
+
+    def test_cache_rejects_unknown_action(self, tmp_path, capsys):
+        code, _, err = self.run_cli(
+            ["cache", "defrag", "--cache-dir", str(tmp_path)], capsys
+        )
+        assert code == 1
+        assert "verify" in err
+
+
+def test_entry_embeds_matching_checksum(cache):
+    cache.put(KEY, PAYLOAD)
+    path = cache._path(content_key(KEY))
+    entry = json.loads(path.read_text(encoding="utf-8"))
+    assert set(entry) == {"key", "payload", "sha256"}
+    assert entry["payload"] == PAYLOAD
+    assert entry["sha256"] == content_key(
+        {"key": entry["key"], "payload": entry["payload"]}
+    )

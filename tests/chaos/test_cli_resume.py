@@ -1,0 +1,129 @@
+"""Chaos: interrupted-and-resumed CLI runs.
+
+The acceptance property for ``--resume``: an interrupted ``fig7`` run
+resumed with ``--jobs 4`` produces stdout and deterministic manifest
+point records byte-identical to a single uninterrupted ``--jobs 4``
+run.  The journal is the only state that carries across — the caches
+are disabled, so every surviving byte came through the resume path.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.engine import RunJournal, load_manifests
+from repro.engine.chaos import truncate_journal
+
+
+def deterministic_points(manifest_dir):
+    """The resume-invariant view of every saved manifest."""
+    manifests, skipped = [], []
+    for manifest in load_manifests(manifest_dir):
+        manifests.append((
+            manifest["sweep"],
+            [
+                {k: p[k] for k in ("index", "params", "key", "cache_hit")}
+                for p in manifest["points"]
+            ],
+        ))
+    return sorted(manifests)
+
+
+class TestResumeByteIdentity:
+    def test_fig7_resumed_run_is_byte_identical(self, tmp_path, capsys):
+        ref_dir = tmp_path / "reference"
+        run_dir = tmp_path / "interrupted"
+
+        # The uninterrupted reference run.
+        assert main([
+            "fig7", "--no-cache", "--jobs", "4", "--run-dir", str(ref_dir),
+        ]) == 0
+        reference = capsys.readouterr()
+
+        # A run that "died" partway: complete it, then tear its journal
+        # back to 7 of 24 points with a torn half-record at the tail.
+        assert main([
+            "fig7", "--no-cache", "--run-dir", str(run_dir),
+        ]) == 0
+        capsys.readouterr()
+        kept = truncate_journal(run_dir / "journal.jsonl", keep=7, tear=True)
+        assert kept == 7
+
+        # Resume in parallel; only the 17-point tail executes.
+        assert main([
+            "fig7", "--no-cache", "--jobs", "4", "--resume", str(run_dir),
+        ]) == 0
+        resumed = capsys.readouterr()
+
+        assert resumed.out == reference.out
+        assert "replayed 7 | appended 17" in resumed.err
+        assert deterministic_points(run_dir / "manifests") == \
+               deterministic_points(ref_dir / "manifests")
+
+        # The resumed journal converges on the full record set.
+        journal = RunJournal(run_dir / "journal.jsonl", resume=True)
+        assert len(journal) == 24
+
+    def test_resume_of_a_complete_run_computes_nothing(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(["fig7", "--no-cache", "--run-dir", str(run_dir)]) == 0
+        first = capsys.readouterr()
+        assert main(["fig7", "--no-cache", "--resume", str(run_dir)]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "replayed 24 | appended 0" in second.err
+
+
+class TestResumeFlagHandling:
+    def test_run_dir_and_resume_are_mutually_exclusive(self, tmp_path, capsys):
+        code = main([
+            "fig7", "--run-dir", str(tmp_path / "a"),
+            "--resume", str(tmp_path / "b"),
+        ])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_resume_with_corrupt_journal_fails_typed(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(["fig7", "--no-cache", "--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        path = run_dir / "journal.jsonl"
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "garbage, not a record"
+        path.write_text("".join(line + "\n" for line in lines))
+        code = main(["fig7", "--no-cache", "--resume", str(run_dir)])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "error opening run journal" in err
+        assert "line 2" in err
+
+    def test_run_dir_writes_manifests_without_cache(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(["fig7", "--no-cache", "--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        saved = sorted(Path(run_dir, "manifests").glob("*.json"))
+        assert len(saved) == 2  # one per machine
+        for path in saved:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+            assert manifest["misses"] == 12
+
+
+class TestRetryFlags:
+    def test_retry_flags_build_a_fault_tolerant_policy(self):
+        from repro.cli import build_parser, _build_policy
+
+        args = build_parser().parse_args([
+            "fig7", "--retries", "2", "--point-timeout", "1.5",
+            "--retry-delay", "0.2",
+        ])
+        policy = _build_policy(args)
+        assert policy.fault_tolerant
+        assert policy.max_attempts == 3
+        assert policy.point_timeout_s == 1.5
+        assert policy.retry.timeout_s == 0.2
+
+    def test_default_flags_keep_the_legacy_policy(self):
+        from repro.cli import build_parser, _build_policy
+
+        args = build_parser().parse_args(["fig7"])
+        assert _build_policy(args) is None

@@ -1,0 +1,162 @@
+"""Chaos: the write-ahead journal under disk failure and torn writes.
+
+Resume safety has two halves: damage an interrupted run *expects*
+(a torn final record) is dropped silently and the point recomputed,
+while damage that breaks the journal's prefix property (garbage in the
+middle, a full disk mid-run) surfaces as a typed
+:class:`~repro.errors.JournalError` — resuming from a lie is worse
+than failing loudly.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    ExecutionPolicy,
+    ExperimentEngine,
+    ResultCache,
+    RunJournal,
+)
+from repro.engine.chaos import FlakyJournal, truncate_journal
+from repro.engine.sweeps import run_chaos_sweep
+from repro.errors import JournalError
+
+XS = tuple(range(8))
+EXPECTED = {x: x * x for x in XS}
+
+
+def run_sweep(tmp_path, journal, *, xs=XS, jobs=2, cache_name="cache"):
+    engine = ExperimentEngine(
+        cache=ResultCache(tmp_path / cache_name),
+        jobs=jobs,
+        journal=journal,
+        policy=ExecutionPolicy(point_timeout_s=30.0),
+    )
+    values = run_chaos_sweep(
+        engine, xs=xs, state_dir=str(tmp_path / "state")
+    )
+    return engine, values
+
+
+class TestDurability:
+    def test_journal_records_every_completed_point(self, tmp_path):
+        path = tmp_path / "run" / "journal.jsonl"
+        with RunJournal(path) as journal:
+            _, values = run_sweep(tmp_path, journal)
+        assert values == EXPECTED
+        assert journal.appended == len(XS)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == len(XS)
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) == {"schema", "key", "value", "sha256"}
+
+    def test_enospc_mid_run_raises_typed_error(self, tmp_path):
+        journal = FlakyJournal(tmp_path / "journal.jsonl", capacity=3)
+        with pytest.raises(JournalError) as excinfo:
+            run_sweep(tmp_path, journal, jobs=1)
+        assert "no space left" in str(excinfo.value)
+        # The three durable records survived the failure.
+        assert journal.appended == 3
+
+    def test_enospc_then_resume_completes_the_run(self, tmp_path):
+        flaky = FlakyJournal(tmp_path / "journal.jsonl", capacity=3)
+        with pytest.raises(JournalError):
+            run_sweep(tmp_path, flaky, jobs=1)
+        flaky.close()
+
+        resumed = RunJournal(tmp_path / "journal.jsonl", resume=True)
+        engine, values = run_sweep(
+            tmp_path, resumed, cache_name="cache-resume"
+        )
+        resumed.close()
+        assert values == EXPECTED
+        assert resumed.replayed == 3
+        assert resumed.appended == len(XS) - 3
+        replays = [p for p in engine.manifests[0].points if p.resumed]
+        assert len(replays) == 3
+
+
+class TestRecovery:
+    def seed_journal(self, tmp_path, *, keep, tear):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            run_sweep(tmp_path, journal, jobs=1)
+        kept = truncate_journal(path, keep=keep, tear=tear)
+        return path, kept
+
+    def test_torn_tail_is_dropped_silently(self, tmp_path):
+        path, kept = self.seed_journal(tmp_path, keep=5, tear=True)
+        journal = RunJournal(path, resume=True)
+        assert len(journal) == kept
+
+    def test_clean_truncation_resumes_the_prefix(self, tmp_path):
+        path, kept = self.seed_journal(tmp_path, keep=4, tear=False)
+        journal = RunJournal(path, resume=True)
+        assert len(journal) == 4
+
+    def test_mid_file_garbage_is_a_typed_error(self, tmp_path):
+        path, _ = self.seed_journal(tmp_path, keep=6, tear=False)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[2] = '{"schema": 1, "key": "forged", "value": 1, "sha256": "no"}'
+        path.write_text("".join(line + "\n" for line in lines))
+        with pytest.raises(JournalError) as excinfo:
+            RunJournal(path, resume=True)
+        assert "line 3" in str(excinfo.value)
+
+    def test_foreign_schema_is_a_typed_error(self, tmp_path):
+        path, _ = self.seed_journal(tmp_path, keep=6, tear=False)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        record = json.loads(lines[1])
+        record["schema"] = 999
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("".join(line + "\n" for line in lines))
+        with pytest.raises(JournalError):
+            RunJournal(path, resume=True)
+
+    def test_fresh_run_truncates_a_stale_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with RunJournal(path) as journal:
+            run_sweep(tmp_path, journal, jobs=1, xs=(1, 2, 3))
+        with RunJournal(path) as journal:  # resume=False: fresh run
+            run_sweep(tmp_path, journal, jobs=1, xs=(9,),
+                      cache_name="cache-b")
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 1
+
+
+class TestResumeEquivalence:
+    def test_interrupted_then_resumed_equals_uninterrupted(self, tmp_path):
+        """The tentpole property: resume is byte-invisible.
+
+        An interrupted run (disk full after 4 points) resumed with
+        ``--jobs``-style parallelism must produce values and
+        *deterministic* manifest point records identical to one
+        uninterrupted run.
+        """
+        flaky = FlakyJournal(tmp_path / "a" / "journal.jsonl", capacity=4)
+        with pytest.raises(JournalError):
+            run_sweep(tmp_path, flaky, jobs=1, cache_name="cache-a")
+        flaky.close()
+
+        resumed_journal = RunJournal(
+            tmp_path / "a" / "journal.jsonl", resume=True
+        )
+        resumed_engine, resumed_values = run_sweep(
+            tmp_path, resumed_journal, jobs=4, cache_name="cache-a2"
+        )
+        resumed_journal.close()
+
+        with RunJournal(tmp_path / "b" / "journal.jsonl") as clean_journal:
+            clean_engine, clean_values = run_sweep(
+                tmp_path, clean_journal, jobs=4, cache_name="cache-b"
+            )
+
+        assert resumed_values == clean_values == EXPECTED
+        deterministic = lambda engine: json.dumps(
+            engine.manifests[0].to_dict(deterministic=True), sort_keys=True
+        )
+        assert deterministic(resumed_engine) == deterministic(clean_engine)
+        # And the resumed journal converges to the full record set.
+        assert len(resumed_journal) == len(XS)

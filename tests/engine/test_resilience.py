@@ -1,0 +1,153 @@
+"""ExecutionPolicy semantics and manifest-scan reporting."""
+
+import json
+
+import pytest
+
+from repro.engine import ExecutionPolicy, load_manifests, scan_manifests
+from repro.engine.manifest import PointRecord, RunManifest
+from repro.errors import ConfigurationError, EngineError
+from repro.faults.detect import RetryPolicy
+
+
+class TestPolicyValidation:
+    def test_default_policy_is_not_fault_tolerant(self):
+        policy = ExecutionPolicy()
+        assert not policy.fault_tolerant
+        assert policy.max_attempts == 1
+        assert policy.retry_delay_s(1, "token") == 0.0
+
+    def test_timeout_alone_enables_fault_tolerance(self):
+        assert ExecutionPolicy(point_timeout_s=5.0).fault_tolerant
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(point_timeout_s=0.0)
+
+    def test_rejects_out_of_range_jitter(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(jitter=1.5)
+
+    def test_max_attempts_counts_first_run_plus_retries(self):
+        policy = ExecutionPolicy(
+            retry=RetryPolicy(timeout_s=0.1, max_retries=4)
+        )
+        assert policy.max_attempts == 5
+
+
+class TestBackoffSchedule:
+    def test_delays_follow_the_retry_policy_shape(self):
+        policy = ExecutionPolicy(
+            retry=RetryPolicy(timeout_s=0.1, backoff=2.0, max_retries=5),
+            jitter=0.0,
+        )
+        delays = [policy.retry_delay_s(a, "k") for a in (1, 2, 3)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_jitter_stays_within_band_and_is_deterministic(self):
+        policy = ExecutionPolicy(
+            retry=RetryPolicy(timeout_s=0.1, backoff=2.0, max_retries=5),
+            jitter=0.25, seed=3,
+        )
+        for attempt in (1, 2, 3):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            delay = policy.retry_delay_s(attempt, "point-key")
+            assert base * 0.75 <= delay <= base * 1.25
+            assert delay == policy.retry_delay_s(attempt, "point-key")
+
+    def test_different_points_get_different_jitter(self):
+        policy = ExecutionPolicy(
+            retry=RetryPolicy(timeout_s=0.1, max_retries=3), jitter=0.5
+        )
+        assert policy.retry_delay_s(1, "aa") != policy.retry_delay_s(1, "bb")
+
+    def test_seed_changes_the_schedule(self):
+        make = lambda seed: ExecutionPolicy(
+            retry=RetryPolicy(timeout_s=0.1, max_retries=3),
+            jitter=0.5, seed=seed,
+        )
+        assert make(0).retry_delay_s(1, "k") != make(1).retry_delay_s(1, "k")
+
+    def test_attempts_are_one_based(self):
+        policy = ExecutionPolicy(
+            retry=RetryPolicy(timeout_s=0.1, max_retries=3)
+        )
+        with pytest.raises(ConfigurationError):
+            policy.retry_delay_s(0, "k")
+
+
+class TestManifestScanReporting:
+    def seed_dir(self, tmp_path):
+        manifest = RunManifest(
+            sweep="s", key={}, jobs=1, executor="serial", elapsed_seconds=0.0,
+            points=[PointRecord(
+                index=0, params={}, key="k", cache_hit=False, wall_seconds=0.0,
+            )],
+        )
+        manifest.save(tmp_path)
+        (tmp_path / "broken.json").write_text("{ not json", encoding="utf-8")
+        return tmp_path
+
+    def test_scan_pairs_each_skip_with_its_reason(self, tmp_path):
+        manifests, skipped = scan_manifests(self.seed_dir(tmp_path))
+        assert len(manifests) == 1
+        ((path, reason),) = skipped
+        assert path.name == "broken.json"
+        assert reason
+
+    def test_load_reports_skips_on_stderr(self, tmp_path, capsys):
+        manifests = load_manifests(self.seed_dir(tmp_path))
+        assert len(manifests) == 1
+        err = capsys.readouterr().err
+        assert "skipping unreadable manifest" in err
+        assert "broken.json" in err
+
+    def test_load_can_raise_instead(self, tmp_path):
+        with pytest.raises(EngineError, match="broken.json"):
+            load_manifests(self.seed_dir(tmp_path), on_error="raise")
+
+    def test_load_rejects_unknown_mode(self, tmp_path):
+        with pytest.raises(EngineError):
+            load_manifests(tmp_path, on_error="ignore")
+
+    def test_clean_directory_reports_nothing(self, tmp_path, capsys):
+        self.seed_dir(tmp_path)
+        (tmp_path / "broken.json").unlink()
+        assert len(load_manifests(tmp_path)) == 1
+        assert capsys.readouterr().err == ""
+
+    def test_missing_directory_is_empty_not_an_error(self, tmp_path):
+        manifests, skipped = scan_manifests(tmp_path / "absent")
+        assert manifests == [] and skipped == []
+
+
+class TestManifestFailureCounters:
+    def test_failed_and_retried_properties(self):
+        manifest = RunManifest(
+            sweep="s", key={}, jobs=1, executor="serial", elapsed_seconds=0.0,
+            points=[
+                PointRecord(index=0, params={}, key="a", cache_hit=False,
+                            wall_seconds=0.0, attempts=3,
+                            error={"type": "WorkerCrash", "message": "x"}),
+                PointRecord(index=1, params={}, key="b", cache_hit=False,
+                            wall_seconds=0.0, attempts=2),
+                PointRecord(index=2, params={}, key="c", cache_hit=True,
+                            wall_seconds=0.0, attempts=0),
+            ],
+        )
+        assert manifest.failed == 1
+        assert manifest.retried == 2
+
+    def test_deterministic_form_drops_operational_fields(self):
+        record = PointRecord(
+            index=0, params={"x": 1}, key="k", cache_hit=False,
+            wall_seconds=1.0, attempts=2, resumed=True,
+            error={"type": "PointTimeout", "message": "m"},
+            transient_errors=({"type": "WorkerCrash", "message": "w"},),
+        )
+        deterministic = record.to_dict(deterministic=True)
+        assert set(deterministic) == {"index", "params", "key", "cache_hit"}
+        full = record.to_dict()
+        assert full["attempts"] == 2 and full["resumed"]
+        assert full["error"]["type"] == "PointTimeout"
+        assert json.dumps(full)  # JSON-serializable as saved

@@ -66,6 +66,34 @@ class TestRobustness:
         )
         assert entry["key"] == key
 
+    def test_failed_write_leaves_no_temp_file(self, cache, monkeypatch):
+        """Regression: a non-OSError mid-write used to leak the temp.
+
+        The atomic-rename dance only cleaned up on ``OSError``; any
+        other failure (a surprise from the filesystem layer, an
+        interrupt between write and rename) stranded a ``.tmp-*`` file
+        in the shard forever.
+        """
+        import os as os_module
+
+        def exploding_replace(src, dst):
+            raise RuntimeError("injected failure between write and rename")
+
+        monkeypatch.setattr(os_module, "replace", exploding_replace)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            cache.put({"point": 1}, {"value": 1})
+        monkeypatch.undo()
+        assert list(cache.root.rglob(".tmp-*")) == []
+        # The failed put stored nothing, and the cache still works.
+        assert cache.get({"point": 1}) is None
+        cache.put({"point": 1}, {"value": 1})
+        assert cache.get({"point": 1}) == {"value": 1}
+
+    def test_unserializable_payload_leaves_no_temp_file(self, cache):
+        with pytest.raises(EngineError):
+            cache.put({"point": 2}, {"value": float("nan")})
+        assert list(cache.root.rglob(".tmp-*")) == []
+
 
 class TestHousekeeping:
     def test_len_and_clear(self, cache):
