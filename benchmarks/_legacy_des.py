@@ -1,0 +1,114 @@
+"""Frozen pre-rewrite DES core, kept for benchmark comparison.
+
+This is the ``@dataclass(order=True)`` event + heapq-of-objects engine
+exactly as it shipped before the array-backed tuple-heap rewrite of
+``repro.cluster.des`` (the process layer is omitted — only the event
+queue is benchmarked).  ``benchmarks/bench_core.py`` runs it in the
+same process as the current engine and records the speedup ratio, so
+the committed ``BENCH_core.json`` trajectory is machine-independent.
+Do not modernize this file; its slowness is the baseline.
+"""
+
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.metrics.registry import current_registry
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback; ordered by (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Virtual clock + event queue."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self.events_executed = 0
+        self.queue_high_water = 0
+        self._metrics = current_registry()
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* to run *delay* seconds from now."""
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay {delay})")
+        event = Event(
+            time=self.now + delay, sequence=next(self._sequence), callback=callback
+        )
+        heapq.heappush(self._queue, event)
+        if len(self._queue) > self.queue_high_water:
+            self.queue_high_water = len(self._queue)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* at an absolute virtual time."""
+        return self.schedule(time - self.now, callback)
+
+    def stamp(self) -> int:
+        """Draw one causal stamp from the event sequence counter.
+
+        Stamps share the counter that orders same-time events, so any
+        two stamps — and any stamp versus any event — are totally
+        ordered consistently with execution order.  The MPI layer
+        stamps every message with one, giving trace analysis (the
+        happens-before graph, Chrome flow events) a unique, replayable
+        message identity.
+        """
+        return next(self._sequence)
+
+    def run(self, until: float | None = None) -> None:
+        """Execute events in order until the queue drains (or *until*)."""
+        executed_before = self.events_executed
+        try:
+            while self._queue:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    heapq.heappush(self._queue, event)
+                    self.now = until
+                    return
+                if event.time < self.now:
+                    raise SimulationError(
+                        f"causality violation: event at {event.time} < now {self.now}"
+                    )
+                self.now = event.time
+                self.events_executed += 1
+                event.callback()
+            if until is not None:
+                self.now = max(self.now, until)
+        finally:
+            # Flushed once per run() call, so the hot loop stays free of
+            # metric calls even when a registry is installed.
+            self._metrics.inc(
+                "des.events_dispatched", self.events_executed - executed_before
+            )
+            self._metrics.gauge_max(
+                "des.queue_depth_high_water", self.queue_high_water
+            )
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled tombstones)."""
+        return sum(1 for e in self._queue if not e.cancelled)

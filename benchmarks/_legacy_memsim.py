@@ -1,0 +1,369 @@
+"""Frozen pre-rewrite memsim hot path, kept for benchmark comparison.
+
+A single-module replica of ``repro.memsim.{cache_sim,hierarchy,bandwidth}``
+exactly as they shipped before the batching rewrite: per-set ``tag in
+list`` + ``list.remove`` lookups, a frozen ``AccessOutcome`` dataclass
+allocated per access with supply costs recomputed each time, and a
+generator-driven per-pass line walk.  ``benchmarks/bench_core.py`` runs
+it against the current implementation in the same process and records
+the speedup ratio.  Do not modernize this file; its slowness is the
+baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.arch.cache import CacheGeometry, IndexingPolicy, ReplacementPolicy
+from repro.arch.cpu import MachineModel
+from repro.errors import AllocationError, ConfigurationError, SimulationError
+from repro.memsim.access import strided_line_walk
+from repro.memsim.bandwidth import StreamCost, _combine
+from repro.memsim.cache_sim import CacheStats
+from repro.memsim.paging import AddressSpace
+from repro.memsim.tlb import Tlb
+
+
+class LegacySetAssociativeCache:
+    """Dynamic state of one cache level.
+
+    Each set is an ordered list of tags, most recently used last (for
+    LRU) or insertion-ordered (for FIFO).  Writes are write-back /
+    write-allocate: a store allocates the line like a load and marks
+    it dirty; evicting a dirty line counts a writeback.
+    """
+
+    def __init__(self, geometry: CacheGeometry, *, seed: int = 0) -> None:
+        self.geometry = geometry
+        self.stats = CacheStats()
+        self._sets: list[list[int]] = [[] for _ in range(geometry.num_sets)]
+        self._dirty: set[tuple[int, int]] = set()  # (index, tag)
+        self._rng = random.Random(seed)
+        self.writebacks = 0
+
+    def access(self, address: int, *, write: bool = False) -> bool:
+        """Access the line containing *address*; returns True on hit.
+
+        On a miss the line is filled, evicting per the replacement
+        policy when the set is full.  ``write=True`` marks the line
+        dirty (write-allocate).
+        """
+        if address < 0:
+            raise SimulationError(f"negative address {address}")
+        index = self.geometry.index_of(address)
+        tag = self.geometry.tag_of(address)
+        tags = self._sets[index]
+        if tag in tags:
+            self.stats.hits += 1
+            if self.geometry.replacement is ReplacementPolicy.LRU:
+                tags.remove(tag)
+                tags.append(tag)
+            if write:
+                self._dirty.add((index, tag))
+            return True
+        self.stats.misses += 1
+        self._fill(index, tag)
+        if write:
+            self._dirty.add((index, tag))
+        return False
+
+    def _fill(self, index: int, tag: int) -> None:
+        tags = self._sets[index]
+        if len(tags) >= self.geometry.associativity:
+            if self.geometry.replacement is ReplacementPolicy.RANDOM:
+                victim = tags.pop(self._rng.randrange(len(tags)))
+            else:
+                victim = tags.pop(0)  # LRU and FIFO both evict the front
+            self.stats.evictions += 1
+            if (index, victim) in self._dirty:
+                self._dirty.discard((index, victim))
+                self.writebacks += 1
+        tags.append(tag)
+
+    def install(self, address: int) -> None:
+        """Fill the line holding *address* without demand statistics
+        (hardware-prefetch path); no-op when already resident."""
+        if address < 0:
+            raise SimulationError(f"negative address {address}")
+        index = self.geometry.index_of(address)
+        tag = self.geometry.tag_of(address)
+        if tag not in self._sets[index]:
+            self._fill(index, tag)
+
+    def contains(self, address: int) -> bool:
+        """Non-mutating presence probe for the line holding *address*."""
+        index = self.geometry.index_of(address)
+        return self.geometry.tag_of(address) in self._sets[index]
+
+    def is_dirty(self, address: int) -> bool:
+        """Whether the line holding *address* is resident and dirty."""
+        index = self.geometry.index_of(address)
+        tag = self.geometry.tag_of(address)
+        return tag in self._sets[index] and (index, tag) in self._dirty
+
+    def invalidate(self) -> None:
+        """Drop all contents (keeps statistics; dirty data is lost)."""
+        self._sets = [[] for _ in range(self.geometry.num_sets)]
+        self._dirty.clear()
+
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(tags) for tags in self._sets)
+
+    def set_occupancy(self) -> list[int]:
+        """Per-set resident line counts (useful for conflict analysis)."""
+        return [len(tags) for tags in self._sets]
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one line-granular access.
+
+    ``level`` is the 0-based cache level that supplied the line, or
+    ``len(levels)`` for DRAM.  ``supply_cycles`` is the *throughput*
+    cost of bringing the line to the core under memory-level
+    parallelism (0 for an L1 hit, whose cost is the load instruction
+    itself), including any TLB penalty.  ``latency_cycles`` is the raw
+    un-overlapped access latency of the supplying level — what a
+    dependent pointer chase pays per load.
+    """
+
+    level: int
+    level_name: str
+    supply_cycles: float
+    latency_cycles: float
+
+
+class LegacyMemoryHierarchy:
+    """TLB + cache levels + DRAM for a single simulated core."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        address_space: AddressSpace | None = None,
+        *,
+        seed: int = 0,
+        prefetch_next_line: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.address_space = address_space
+        self.levels = [
+            LegacySetAssociativeCache(geometry, seed=seed + i)
+            for i, geometry in enumerate(machine.caches)
+        ]
+        # Page-walk cost approximated as two outer-level accesses.
+        walk_penalty = 2.0 * machine.last_level.latency_cycles
+        self.tlb = Tlb(64, miss_penalty_cycles=walk_penalty)
+        self.dram_accesses = 0
+        #: Opt-in next-line hardware prefetcher: on a demand miss, the
+        #: following line is installed too.  Off by default — the
+        #: calibrated Figures 5/6 supply costs already fold average
+        #: prefetch benefit into the level bandwidths; turning this on
+        #: isolates the mechanism for the ablation bench.
+        self.prefetch_next_line = prefetch_next_line
+        self.prefetches_issued = 0
+
+    @property
+    def dram_level(self) -> int:
+        """Level index representing DRAM."""
+        return len(self.levels)
+
+    def _translate(self, vaddr: int) -> tuple[int, float]:
+        """Return (paddr, tlb_penalty_cycles)."""
+        if self.address_space is None:
+            return vaddr, 0.0
+        penalty = self.tlb.access(self.address_space.virtual_page(vaddr))
+        return self.address_space.translate(vaddr), penalty
+
+    def _dram_supply_cycles(self, line_bytes: int) -> float:
+        core = self.machine.core
+        memory = self.machine.memory
+        latency_cycles = memory.latency_ns * 1e-9 * core.frequency_hz
+        hidden_latency = latency_cycles / core.mem_parallelism
+        bytes_per_cycle = memory.sustained_bandwidth / core.frequency_hz
+        transfer = line_bytes / bytes_per_cycle
+        return max(hidden_latency, transfer)
+
+    def access(self, vaddr: int, *, write: bool = False) -> AccessOutcome:
+        """Access the line containing virtual address *vaddr*.
+
+        The line is looked up level by level; on a miss at every level
+        it is supplied by DRAM.  Fills are inclusive: the line is
+        installed in all levels above the supplier.  ``write=True``
+        dirties the L1 line (write-back / write-allocate).
+        """
+        paddr, tlb_penalty = self._translate(vaddr)
+        core = self.machine.core
+        hit_level = self.dram_level
+        for i, cache in enumerate(self.levels):
+            use_physical = cache.geometry.indexing is IndexingPolicy.PHYSICAL
+            addr = paddr if use_physical else vaddr
+            if cache.access(addr, write=write and i == 0):
+                hit_level = i
+                break
+        if hit_level == self.dram_level:
+            self.dram_accesses += 1
+
+        if self.prefetch_next_line and hit_level > 0:
+            self._prefetch(vaddr + self.machine.l1.line_bytes)
+
+        if hit_level == 0:
+            supply = 0.0
+            latency = float(self.machine.l1.latency_cycles)
+        elif hit_level < self.dram_level:
+            geometry = self.levels[hit_level].geometry
+            hidden = geometry.latency_cycles / core.mem_parallelism
+            transfer = geometry.line_bytes / geometry.bandwidth_bytes_per_cycle
+            supply = max(hidden, transfer)
+            latency = float(geometry.latency_cycles)
+        else:
+            supply = self._dram_supply_cycles(self.machine.l1.line_bytes)
+            latency = self.machine.memory.latency_ns * 1e-9 * core.frequency_hz
+
+        name = (
+            self.levels[hit_level].geometry.name
+            if hit_level < self.dram_level
+            else "DRAM"
+        )
+        return AccessOutcome(
+            level=hit_level,
+            level_name=name,
+            supply_cycles=supply + tlb_penalty,
+            latency_cycles=latency + tlb_penalty,
+        )
+
+    def _prefetch(self, vaddr: int) -> None:
+        """Install the line holding *vaddr* into every level (no cost,
+        no demand statistics; unmapped targets are silently skipped)."""
+        if self.address_space is not None:
+            try:
+                paddr = self.address_space.translate(vaddr)
+            except AllocationError:
+                return
+        else:
+            paddr = vaddr
+        self.prefetches_issued += 1
+        for cache in self.levels:
+            use_physical = cache.geometry.indexing is IndexingPolicy.PHYSICAL
+            cache.install(paddr if use_physical else vaddr)
+
+    def reset_state(self) -> None:
+        """Invalidate all caches and the TLB (cold start)."""
+        for cache in self.levels:
+            cache.invalidate()
+        self.tlb.flush()
+
+    def reset_stats(self) -> None:
+        """Zero all counters without touching contents."""
+        for cache in self.levels:
+            cache.stats.reset()
+        self.dram_accesses = 0
+        self.tlb.hits = 0
+        self.tlb.misses = 0
+
+    def level_stats(self) -> dict[str, tuple[int, int]]:
+        """Per-level ``(hits, misses)`` snapshot keyed by level name."""
+        snapshot = {}
+        for cache in self.levels:
+            snapshot[cache.geometry.name] = (cache.stats.hits, cache.stats.misses)
+        return snapshot
+
+    def check_invariants(self) -> None:
+        """Raise if hierarchy counters are inconsistent (test hook)."""
+        for inner, outer in zip(self.levels, self.levels[1:]):
+            if outer.stats.accesses > inner.stats.misses:
+                raise SimulationError(
+                    f"{outer.geometry.name} saw more accesses "
+                    f"({outer.stats.accesses}) than {inner.geometry.name} "
+                    f"misses ({inner.stats.misses})"
+                )
+
+
+def legacy_measure_stream(
+    hierarchy: LegacyMemoryHierarchy,
+    *,
+    base_vaddr: int,
+    array_bytes: int,
+    elem_bytes: int,
+    stride_elems: int = 1,
+    issue_cycles_per_element: float,
+    extra_accesses_per_element: float = 0.0,
+    warmup_passes: int = 1,
+    measure_passes: int = 2,
+    store_base_vaddr: int | None = None,
+) -> StreamCost:
+    """Run the stride kernel through the hierarchy and cost it.
+
+    Args:
+        hierarchy: simulated memory hierarchy (its cache state carries
+            over between calls, as on real hardware).
+        base_vaddr: virtual address of the array's first byte.
+        array_bytes / elem_bytes / stride_elems: the kernel parameters
+            of the paper's §V-A benchmark.
+        issue_cycles_per_element: issue-side cost per element access,
+            from :func:`repro.kernels.variants.issue_profile`.
+        extra_accesses_per_element: additional L1 traffic per element
+            (spill loads/stores), costed at one cycle each.
+        warmup_passes: untimed passes to reach steady state.
+        measure_passes: timed passes.
+        store_base_vaddr: when given, the kernel is a STREAM-style
+            *copy*: each element read from the source array is written
+            to a destination array at this base (write-allocate, dirty
+            lines, writebacks).  Stored bytes count toward the
+            effective bandwidth, as STREAM counts them.
+
+    Returns the cost of the *measured* passes only.
+    """
+    if warmup_passes < 0 or measure_passes < 1:
+        raise ConfigurationError(
+            "need warmup_passes >= 0 and measure_passes >= 1"
+        )
+    if issue_cycles_per_element <= 0:
+        raise ConfigurationError("issue cost per element must be positive")
+    if extra_accesses_per_element < 0:
+        raise ConfigurationError("spill traffic cannot be negative")
+
+    line_bytes = hierarchy.machine.l1.line_bytes
+    overlap = hierarchy.machine.core.overlap_factor
+
+    def one_pass(timed: bool, cost: StreamCost | None) -> None:
+        for line_offset, elems in strided_line_walk(
+            array_bytes, elem_bytes, stride_elems, line_bytes
+        ):
+            outcome = hierarchy.access(base_vaddr + line_offset)
+            store_outcome = None
+            if store_base_vaddr is not None:
+                store_outcome = hierarchy.access(
+                    store_base_vaddr + line_offset, write=True
+                )
+            if not timed or cost is None:
+                continue
+            cost.elements += elems
+            stored = elems * elem_bytes if store_outcome is not None else 0
+            cost.bytes_accessed += elems * elem_bytes + stored
+            store_issue = 1.0 if store_outcome is not None else 0.0
+            cost.issue_cycles += elems * (
+                issue_cycles_per_element + extra_accesses_per_element + store_issue
+            )
+            cost.supply_cycles += outcome.supply_cycles
+            if store_outcome is not None:
+                cost.supply_cycles += store_outcome.supply_cycles
+            cost.level_hits[outcome.level_name] = (
+                cost.level_hits.get(outcome.level_name, 0) + 1
+            )
+
+    for _ in range(warmup_passes):
+        one_pass(timed=False, cost=None)
+
+    cost = StreamCost(
+        bytes_accessed=0,
+        elements=0,
+        issue_cycles=0.0,
+        supply_cycles=0.0,
+        cycles=0.0,
+    )
+    for _ in range(measure_passes):
+        one_pass(timed=True, cost=cost)
+    cost.cycles = _combine(cost.issue_cycles, cost.supply_cycles, overlap)
+    return cost

@@ -451,7 +451,7 @@ class MpiJob:
                 process.rank, request.label, start, self.sim.now, kind="compute"
             )
             process.resume(None)
-        self.sim.schedule(seconds, finish)
+        self.sim.post(seconds, finish)
 
     def on_send(self, process: Process, request: Send) -> None:
         """Handle a Send: book the route, schedule delivery, resume.
@@ -492,7 +492,7 @@ class MpiJob:
             wait = policy.wait_for(attempt)
             self.retry_wait_s += wait
             self._trace_state(src, "retry", now, now + wait, kind="retry")
-            self.sim.schedule(
+            self.sim.post(
                 wait,
                 lambda: self._attempt_send(process, request, attempt + 1, waited + wait),
             )
@@ -522,7 +522,7 @@ class MpiJob:
             label=request.label,
             seq=self.sim.stamp(),
         )
-        self.sim.schedule_at(arrival, lambda: self._deliver(message))
+        self.sim.post_at(arrival, lambda: self._deliver(message))
         if self._collect:
             label = request.label
             self._msg_counts[label] = self._msg_counts.get(label, 0) + 1
@@ -540,7 +540,7 @@ class MpiJob:
                 kind="send", cause=message.seq,
             )
             process.resume(None)
-        self.sim.schedule_at(resume_at, finish)
+        self.sim.post_at(resume_at, finish)
 
     def _deliver(self, message: Message) -> None:
         key = (message.dst, message.src, message.tag)
@@ -589,7 +589,7 @@ class MpiJob:
                 process.rank, request.label, now, now,
                 kind="wait", cause=message.seq,
             )
-            self.sim.schedule(0.0, lambda: process.resume(message))
+            self.sim.post(0.0, lambda: process.resume(message))
         else:
             self._pending_recvs.setdefault(key, []).append((process, request, now))
 

@@ -68,19 +68,27 @@ class LatBench:
         total_cycles = 0.0
         loads = 0
         level_counts: dict[str, int] = {}
+        # Every pass chases the identical permutation; build it once.
+        chase = [
+            mapping.virtual_base + offset
+            for offset in pointer_chase_offsets(array_bytes, line, seed=self.seed)
+        ]
+        access_costed = self.hierarchy.access_costed
+        latency_by_level = self.hierarchy.latency_cycles_by_level
+        names = self.hierarchy.level_names
         # Warmup pass, then measured passes.
-        for pass_index in range(passes + 1):
-            measured = pass_index > 0
-            for offset in pointer_chase_offsets(array_bytes, line, seed=self.seed):
-                outcome = self.hierarchy.access(mapping.virtual_base + offset)
-                if not measured:
-                    continue
+        for vaddr in chase:
+            access_costed(vaddr)
+        for _ in range(passes):
+            for vaddr in chase:
+                level, tlb_penalty = access_costed(vaddr)
                 # Dependent chain: no MLP, full latency exposed.
-                total_cycles += outcome.latency_cycles + _CHASE_OVERHEAD_CYCLES
-                loads += 1
-                level_counts[outcome.level_name] = (
-                    level_counts.get(outcome.level_name, 0) + 1
+                total_cycles += (
+                    latency_by_level[level] + tlb_penalty + _CHASE_OVERHEAD_CYCLES
                 )
+                loads += 1
+                name = names[level]
+                level_counts[name] = level_counts.get(name, 0) + 1
         self.address_space.munmap(mapping)
         dominant = max(level_counts, key=level_counts.get)
         return LatencySample(

@@ -8,6 +8,7 @@ generators produce the corresponding byte-offset streams.
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 from typing import Iterator
 
 from repro.errors import ConfigurationError
@@ -60,6 +61,48 @@ def strided_line_walk(
         count += 1
     if current_line >= 0:
         yield current_line, count
+
+
+@lru_cache(maxsize=8)
+def strided_line_pattern(
+    array_bytes: int, elem_bytes: int, stride_elems: int, line_bytes: int
+) -> tuple[tuple[int, int], ...]:
+    """Materialized :func:`strided_line_walk`, built in O(lines).
+
+    Instead of classifying every visited element, each cache line's
+    element count is computed arithmetically (the first element index
+    past the line is ``ceil(line_end / step)``), so dense strides cost
+    one loop iteration per *line* rather than per element.  The result
+    is memoized — one measurement re-walks the same pattern for every
+    warmup and measured pass — and returned as a tuple so cached
+    patterns are immutable.  The sequence is identical to
+    ``tuple(strided_line_walk(...))``.
+    """
+    if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+        raise ConfigurationError(f"line size must be a power of two, got {line_bytes}")
+    if array_bytes <= 0:
+        raise ConfigurationError(f"array size must be positive, got {array_bytes}")
+    if elem_bytes <= 0 or stride_elems <= 0:
+        raise ConfigurationError("element size and stride must be positive")
+    if elem_bytes > array_bytes:
+        raise ConfigurationError(
+            f"element ({elem_bytes} B) larger than array ({array_bytes} B)"
+        )
+    num_elems = array_bytes // elem_bytes
+    visited = -(-num_elems // stride_elems)
+    step = stride_elems * elem_bytes
+    line_mask = ~(line_bytes - 1)
+    pattern = []
+    append = pattern.append
+    k = 0
+    while k < visited:
+        line = (k * step) & line_mask
+        k_end = -(-(line + line_bytes) // step)  # first element past the line
+        if k_end > visited:
+            k_end = visited
+        append((line, k_end - k))
+        k = k_end
+    return tuple(pattern)
 
 
 def pointer_chase_offsets(

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.memsim.access import strided_line_walk
+from repro.memsim.access import strided_line_pattern
 from repro.memsim.hierarchy import MemoryHierarchy
 
 
@@ -101,34 +101,28 @@ def measure_stream(
     line_bytes = hierarchy.machine.l1.line_bytes
     overlap = hierarchy.machine.core.overlap_factor
 
-    def one_pass(timed: bool, cost: StreamCost | None) -> None:
-        for line_offset, elems in strided_line_walk(
-            array_bytes, elem_bytes, stride_elems, line_bytes
-        ):
-            outcome = hierarchy.access(base_vaddr + line_offset)
-            store_outcome = None
-            if store_base_vaddr is not None:
-                store_outcome = hierarchy.access(
-                    store_base_vaddr + line_offset, write=True
-                )
-            if not timed or cost is None:
-                continue
-            cost.elements += elems
-            stored = elems * elem_bytes if store_outcome is not None else 0
-            cost.bytes_accessed += elems * elem_bytes + stored
-            store_issue = 1.0 if store_outcome is not None else 0.0
-            cost.issue_cycles += elems * (
-                issue_cycles_per_element + extra_accesses_per_element + store_issue
-            )
-            cost.supply_cycles += outcome.supply_cycles
-            if store_outcome is not None:
-                cost.supply_cycles += store_outcome.supply_cycles
-            cost.level_hits[outcome.level_name] = (
-                cost.level_hits.get(outcome.level_name, 0) + 1
-            )
+    # The same line pattern feeds every pass: materialize it once
+    # (memoized, O(lines)) instead of regenerating per element per pass.
+    pattern = strided_line_pattern(
+        array_bytes, elem_bytes, stride_elems, line_bytes
+    )
+    access_costed = hierarchy.access_costed
+    supply_by_level = hierarchy.supply_cycles_by_level
+    names = hierarchy.level_names
+    copying = store_base_vaddr is not None
+    # Constant per line; folding it once is float-identical to the
+    # former per-line recomputation from the same operands.
+    issue_per_element = (
+        issue_cycles_per_element
+        + extra_accesses_per_element
+        + (1.0 if copying else 0.0)
+    )
 
     for _ in range(warmup_passes):
-        one_pass(timed=False, cost=None)
+        for line_offset, _elems in pattern:
+            access_costed(base_vaddr + line_offset)
+            if copying:
+                access_costed(store_base_vaddr + line_offset, write=True)
 
     cost = StreamCost(
         bytes_accessed=0,
@@ -137,7 +131,35 @@ def measure_stream(
         supply_cycles=0.0,
         cycles=0.0,
     )
+    # Accumulate into locals (written back below); each += mirrors the
+    # per-outcome accumulation order of the pre-batched loop exactly,
+    # keeping all float sums byte-identical.
+    elements = 0
+    bytes_accessed = 0
+    issue_cycles = 0.0
+    supply_cycles = 0.0
+    level_hits = cost.level_hits
     for _ in range(measure_passes):
-        one_pass(timed=True, cost=cost)
-    cost.cycles = _combine(cost.issue_cycles, cost.supply_cycles, overlap)
+        for line_offset, elems in pattern:
+            level, tlb_penalty = access_costed(base_vaddr + line_offset)
+            elements += elems
+            if copying:
+                store_level, store_tlb = access_costed(
+                    store_base_vaddr + line_offset, write=True
+                )
+                bytes_accessed += elems * elem_bytes + elems * elem_bytes
+                issue_cycles += elems * issue_per_element
+                supply_cycles += supply_by_level[level] + tlb_penalty
+                supply_cycles += supply_by_level[store_level] + store_tlb
+            else:
+                bytes_accessed += elems * elem_bytes
+                issue_cycles += elems * issue_per_element
+                supply_cycles += supply_by_level[level] + tlb_penalty
+            name = names[level]
+            level_hits[name] = level_hits.get(name, 0) + 1
+    cost.elements = elements
+    cost.bytes_accessed = bytes_accessed
+    cost.issue_cycles = issue_cycles
+    cost.supply_cycles = supply_cycles
+    cost.cycles = _combine(issue_cycles, supply_cycles, overlap)
     return cost

@@ -46,19 +46,29 @@ class CacheStats:
 class SetAssociativeCache:
     """Dynamic state of one cache level.
 
-    Each set is an ordered list of tags, most recently used last (for
-    LRU) or insertion-ordered (for FIFO).  Writes are write-back /
-    write-allocate: a store allocates the line like a load and marks
-    it dirty; evicting a dirty line counts a writeback.
+    Each set is a ``tag -> dirty`` dict whose insertion order encodes
+    recency: most recently used last (for LRU, which re-inserts on
+    touch) or insertion-ordered (for FIFO).  Membership, touch and
+    eviction are all O(1) dict operations instead of the ``tag in
+    list`` + ``list.remove`` scans of the naive layout.  Writes are
+    write-back / write-allocate: a store allocates the line like a
+    load and marks it dirty; evicting a dirty line counts a writeback.
     """
 
     def __init__(self, geometry: CacheGeometry, *, seed: int = 0) -> None:
         self.geometry = geometry
         self.stats = CacheStats()
-        self._sets: list[list[int]] = [[] for _ in range(geometry.num_sets)]
-        self._dirty: set[tuple[int, int]] = set()  # (index, tag)
+        self._sets: list[dict[int, bool]] = [{} for _ in range(geometry.num_sets)]
         self._rng = random.Random(seed)
         self.writebacks = 0
+        # line_bytes and num_sets are validated powers of two, so the
+        # index/tag split is two shifts and a mask — the same values
+        # CacheGeometry.index_of/tag_of compute with div/mod.
+        self._line_shift = geometry.line_bytes.bit_length() - 1
+        self._set_mask = geometry.num_sets - 1
+        self._set_shift = geometry.num_sets.bit_length() - 1
+        self._lru = geometry.replacement is ReplacementPolicy.LRU
+        self._random = geometry.replacement is ReplacementPolicy.RANDOM
 
     def access(self, address: int, *, write: bool = False) -> bool:
         """Access the line containing *address*; returns True on hit.
@@ -69,61 +79,56 @@ class SetAssociativeCache:
         """
         if address < 0:
             raise SimulationError(f"negative address {address}")
-        index = self.geometry.index_of(address)
-        tag = self.geometry.tag_of(address)
-        tags = self._sets[index]
+        line = address >> self._line_shift
+        tags = self._sets[line & self._set_mask]
+        tag = line >> self._set_shift
         if tag in tags:
             self.stats.hits += 1
-            if self.geometry.replacement is ReplacementPolicy.LRU:
-                tags.remove(tag)
-                tags.append(tag)
-            if write:
-                self._dirty.add((index, tag))
+            if self._lru:
+                tags[tag] = tags.pop(tag) or write
+            elif write:
+                tags[tag] = True
             return True
         self.stats.misses += 1
-        self._fill(index, tag)
-        if write:
-            self._dirty.add((index, tag))
+        self._fill(line & self._set_mask, tag, dirty=write)
         return False
 
-    def _fill(self, index: int, tag: int) -> None:
+    def _fill(self, index: int, tag: int, *, dirty: bool = False) -> None:
         tags = self._sets[index]
         if len(tags) >= self.geometry.associativity:
-            if self.geometry.replacement is ReplacementPolicy.RANDOM:
-                victim = tags.pop(self._rng.randrange(len(tags)))
+            if self._random:
+                victim = list(tags)[self._rng.randrange(len(tags))]
             else:
-                victim = tags.pop(0)  # LRU and FIFO both evict the front
+                victim = next(iter(tags))  # LRU and FIFO evict the oldest
             self.stats.evictions += 1
-            if (index, victim) in self._dirty:
-                self._dirty.discard((index, victim))
+            if tags.pop(victim):
                 self.writebacks += 1
-        tags.append(tag)
+        tags[tag] = dirty
 
     def install(self, address: int) -> None:
         """Fill the line holding *address* without demand statistics
         (hardware-prefetch path); no-op when already resident."""
         if address < 0:
             raise SimulationError(f"negative address {address}")
-        index = self.geometry.index_of(address)
-        tag = self.geometry.tag_of(address)
+        line = address >> self._line_shift
+        index = line & self._set_mask
+        tag = line >> self._set_shift
         if tag not in self._sets[index]:
             self._fill(index, tag)
 
     def contains(self, address: int) -> bool:
         """Non-mutating presence probe for the line holding *address*."""
-        index = self.geometry.index_of(address)
-        return self.geometry.tag_of(address) in self._sets[index]
+        line = address >> self._line_shift
+        return (line >> self._set_shift) in self._sets[line & self._set_mask]
 
     def is_dirty(self, address: int) -> bool:
         """Whether the line holding *address* is resident and dirty."""
-        index = self.geometry.index_of(address)
-        tag = self.geometry.tag_of(address)
-        return tag in self._sets[index] and (index, tag) in self._dirty
+        line = address >> self._line_shift
+        return self._sets[line & self._set_mask].get(line >> self._set_shift, False)
 
     def invalidate(self) -> None:
         """Drop all contents (keeps statistics; dirty data is lost)."""
-        self._sets = [[] for _ in range(self.geometry.num_sets)]
-        self._dirty.clear()
+        self._sets = [{} for _ in range(self.geometry.num_sets)]
 
     def resident_lines(self) -> int:
         """Number of lines currently resident."""

@@ -67,6 +67,33 @@ class MemoryHierarchy:
         #: isolates the mechanism for the ablation bench.
         self.prefetch_next_line = prefetch_next_line
         self.prefetches_issued = 0
+        # Per-level supply/latency costs are pure functions of the
+        # machine model, so they are computed once here instead of per
+        # access; index ``dram_level`` holds the DRAM row.  The values
+        # are bit-identical to the former per-access expressions.
+        core = machine.core
+        self.supply_cycles_by_level: list[float] = [0.0]
+        self.latency_cycles_by_level: list[float] = [
+            float(machine.l1.latency_cycles)
+        ]
+        self.level_names: list[str] = [machine.caches[0].name]
+        for geometry in machine.caches[1:]:
+            hidden = geometry.latency_cycles / core.mem_parallelism
+            transfer = geometry.line_bytes / geometry.bandwidth_bytes_per_cycle
+            self.supply_cycles_by_level.append(max(hidden, transfer))
+            self.latency_cycles_by_level.append(float(geometry.latency_cycles))
+            self.level_names.append(geometry.name)
+        self.supply_cycles_by_level.append(
+            self._dram_supply_cycles(machine.l1.line_bytes)
+        )
+        self.latency_cycles_by_level.append(
+            machine.memory.latency_ns * 1e-9 * core.frequency_hz
+        )
+        self.level_names.append("DRAM")
+        self._physical = [
+            cache.geometry.indexing is IndexingPolicy.PHYSICAL
+            for cache in self.levels
+        ]
 
     @property
     def dram_level(self) -> int:
@@ -89,6 +116,33 @@ class MemoryHierarchy:
         transfer = line_bytes / bytes_per_cycle
         return max(hidden_latency, transfer)
 
+    def access_costed(self, vaddr: int, *, write: bool = False) -> tuple[int, float]:
+        """Access the line holding *vaddr*; return ``(level, tlb_penalty)``.
+
+        The allocation-free hot path behind :meth:`access`: callers
+        streaming millions of lines (:mod:`repro.memsim.bandwidth`)
+        combine the returned level with the precomputed
+        :attr:`supply_cycles_by_level` / :attr:`latency_cycles_by_level`
+        tables instead of materializing an :class:`AccessOutcome` per
+        access.
+        """
+        if self.address_space is None:
+            paddr, tlb_penalty = vaddr, 0.0
+        else:
+            tlb_penalty = self.tlb.access(self.address_space.virtual_page(vaddr))
+            paddr = self.address_space.translate(vaddr)
+        hit_level = len(self.levels)
+        for i, physical in enumerate(self._physical):
+            if self.levels[i].access(paddr if physical else vaddr, write=write and i == 0):
+                hit_level = i
+                break
+        else:
+            self.dram_accesses += 1
+
+        if self.prefetch_next_line and hit_level > 0:
+            self._prefetch(vaddr + self.machine.l1.line_bytes)
+        return hit_level, tlb_penalty
+
     def access(self, vaddr: int, *, write: bool = False) -> AccessOutcome:
         """Access the line containing virtual address *vaddr*.
 
@@ -97,44 +151,12 @@ class MemoryHierarchy:
         installed in all levels above the supplier.  ``write=True``
         dirties the L1 line (write-back / write-allocate).
         """
-        paddr, tlb_penalty = self._translate(vaddr)
-        core = self.machine.core
-        hit_level = self.dram_level
-        for i, cache in enumerate(self.levels):
-            use_physical = cache.geometry.indexing is IndexingPolicy.PHYSICAL
-            addr = paddr if use_physical else vaddr
-            if cache.access(addr, write=write and i == 0):
-                hit_level = i
-                break
-        if hit_level == self.dram_level:
-            self.dram_accesses += 1
-
-        if self.prefetch_next_line and hit_level > 0:
-            self._prefetch(vaddr + self.machine.l1.line_bytes)
-
-        if hit_level == 0:
-            supply = 0.0
-            latency = float(self.machine.l1.latency_cycles)
-        elif hit_level < self.dram_level:
-            geometry = self.levels[hit_level].geometry
-            hidden = geometry.latency_cycles / core.mem_parallelism
-            transfer = geometry.line_bytes / geometry.bandwidth_bytes_per_cycle
-            supply = max(hidden, transfer)
-            latency = float(geometry.latency_cycles)
-        else:
-            supply = self._dram_supply_cycles(self.machine.l1.line_bytes)
-            latency = self.machine.memory.latency_ns * 1e-9 * core.frequency_hz
-
-        name = (
-            self.levels[hit_level].geometry.name
-            if hit_level < self.dram_level
-            else "DRAM"
-        )
+        hit_level, tlb_penalty = self.access_costed(vaddr, write=write)
         return AccessOutcome(
             level=hit_level,
-            level_name=name,
-            supply_cycles=supply + tlb_penalty,
-            latency_cycles=latency + tlb_penalty,
+            level_name=self.level_names[hit_level],
+            supply_cycles=self.supply_cycles_by_level[hit_level] + tlb_penalty,
+            latency_cycles=self.latency_cycles_by_level[hit_level] + tlb_penalty,
         )
 
     def _prefetch(self, vaddr: int) -> None:

@@ -39,6 +39,12 @@ class AddressSpace:
         self._allocator = allocator
         self._mappings: list[Mapping] = []
         self._next_base = 0x1000_0000  # conventional mmap base
+        # virtual page -> physical base of that page.  Translation is
+        # constant within a page, so the region scan + frame-list walk
+        # runs once per page instead of once per access.  Only valid
+        # translations are cached (faults always re-probe), and munmap
+        # clears the cache, so it can never serve a stale frame.
+        self._page_base_cache: dict[int, int] = {}
 
     @property
     def page_size(self) -> int:
@@ -62,11 +68,21 @@ class AddressSpace:
             raise AllocationError("munmap of a region not mapped in this space")
         self._mappings.remove(mapping)
         self._allocator.free(mapping.allocation)
+        self._page_base_cache.clear()
 
     def translate(self, vaddr: int) -> int:
         """Virtual-to-physical translation; raises on unmapped access."""
-        mapping = self._find(vaddr)
-        return mapping.allocation.physical_address(vaddr - mapping.virtual_base)
+        page_size = self._allocator.page_size
+        offset = vaddr % page_size
+        base = self._page_base_cache.get(vaddr // page_size)
+        if base is None:
+            mapping = self._find(vaddr)
+            paddr = mapping.allocation.physical_address(vaddr - mapping.virtual_base)
+            # mmap bases are page-aligned, so the in-page offset is the
+            # same in both spaces and the page's physical base follows.
+            self._page_base_cache[vaddr // page_size] = paddr - offset
+            return paddr
+        return base + offset
 
     def _find(self, vaddr: int) -> Mapping:
         for mapping in self._mappings:

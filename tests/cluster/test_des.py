@@ -276,3 +276,156 @@ class TestProcessFaultStates:
         sim.run(until=1.0)
         assert process.failure is not None
         assert process.finish_time == 0.5
+
+
+class TestWaiterDrainOnTermination:
+    """Regression: on_finish waiters used to leak on kill/failure."""
+
+    def test_waiter_on_killed_rank_fires(self):
+        sim = Simulator()
+
+        def generator():
+            yield Timeout(10.0)
+
+        process = Process(sim, generator(), name="rank3")
+        process.start()
+        observed = []
+        process.on_finish(lambda: observed.append(process.crashed))
+        sim.schedule(1.0, process.kill)
+        sim.run()
+        assert observed == [True]
+        assert process.finish_time == 1.0
+
+    def test_waiter_on_failed_rank_fires(self):
+        sim = Simulator()
+
+        def generator():
+            yield Timeout(10.0)
+
+        process = Process(sim, generator())
+        process.start()
+        observed = []
+        process.on_finish(lambda: observed.append(process.failure))
+        exc = SimulationError("peer died")
+        sim.schedule(1.0, lambda: process.interrupt(exc, immediate=True))
+        sim.run()
+        assert observed == [exc]
+
+    def test_waiter_after_kill_fires_immediately(self):
+        sim = Simulator()
+
+        def generator():
+            yield Timeout(10.0)
+
+        process = Process(sim, generator())
+        process.start()
+        sim.run(until=0.5)
+        process.kill()
+        fired = []
+        process.on_finish(lambda: fired.append(True))
+        assert fired == [True]
+
+    def test_waiters_fire_exactly_once_on_kill_then_stale_wakeup(self):
+        sim = Simulator()
+
+        def generator():
+            yield Timeout(1.0)
+
+        process = Process(sim, generator())
+        process.start()
+        fired = []
+        process.on_finish(lambda: fired.append(True))
+        sim.schedule(0.5, process.kill)
+        sim.run()  # the timeout wakeup at t=1 is stale and must no-op
+        assert fired == [True]
+
+
+class TestScheduleAtFloatArtifacts:
+    """Regression: schedule_at(t) raised when accumulated float error
+    put the analytic target an ulp behind the hopped clock."""
+
+    def test_chained_absolute_hops_reach_analytic_target(self):
+        # The clock hops forward by += 0.1 while each step also targets
+        # the *analytic* grid point k * 0.1.  For 37 of the first 200
+        # steps (k = 15 is the first) the analytic target lies a few
+        # ulps behind the accumulated clock; the old engine raised
+        # "cannot schedule into the past" at the first one.
+        sim = Simulator()
+        fired = []
+
+        def hop(k):
+            sim.schedule_at(k * 0.1, lambda: fired.append(k))
+            if k < 200:
+                sim.schedule(0.1, lambda: hop(k + 1))
+
+        hop(0)
+        sim.run()
+        assert fired == list(range(201))
+
+    def test_genuinely_past_target_still_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.now == 1.0
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_clamped_event_fires_at_now(self):
+        sim = Simulator()
+        fired = []
+
+        def late():
+            # now == 0.30000000000000004; target 0.3 is one ulp past.
+            sim.schedule_at(0.3, lambda: fired.append(sim.now))
+
+        for _ in range(3):
+            sim.schedule_at(sim.now, lambda: None)
+        sim.schedule_at(0.1 * 3, late)
+        sim.run()
+        assert fired == [0.1 * 3]
+
+
+class TestTombstoneCompaction:
+    """Regression: cancelled events used to pile up in the heap forever
+    and pending was an O(n) scan over the corpses."""
+
+    def test_mass_cancel_bounds_heap_memory(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i), lambda: None) for i in range(10_000)]
+        keep = events[::100]
+        for i, event in enumerate(events):
+            if i % 100:
+                event.cancel()
+        assert sim.pending == len(keep)
+        # Lazy compaction kicked in: tombstones no longer dominate.
+        assert len(sim._heap) <= 2 * sim.pending + 1
+        assert sim.compactions >= 1
+        sim.run()
+        assert sim.events_executed == len(keep)
+
+    def test_pending_is_live_count_not_queue_length(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        events[3].cancel()
+        events[7].cancel()
+        assert sim.pending == 8
+        assert sim.tombstones <= 2
+
+    def test_cancel_is_idempotent_and_compaction_safe_mid_drain(self):
+        sim = Simulator()
+        survivors = []
+        events = []
+
+        def cancel_most():
+            for i, event in enumerate(events):
+                if i % 50:
+                    event.cancel()
+                    event.cancel()  # idempotent
+
+        sim.schedule(0.0, cancel_most)
+        events.extend(
+            sim.schedule(1.0 + i, lambda i=i: survivors.append(i))
+            for i in range(5_000)
+        )
+        sim.run()
+        assert survivors == list(range(0, 5_000, 50))

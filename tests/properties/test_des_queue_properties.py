@@ -1,0 +1,159 @@
+"""Property-based tests for the rewritten DES event queue.
+
+The tuple-heap + slot-table engine must be observationally identical
+to a trivially-correct model under arbitrary interleavings of
+schedule / cancel / kill:
+
+* **causality** — observed fire times never decrease;
+* **FIFO tie-breaking** — events sharing a timestamp fire in schedule
+  order, even when cancellations punch holes between them and lazy
+  compaction reshuffles the heap mid-drain;
+* **waiter drain** — every ``on_finish`` waiter fires exactly once no
+  matter which terminal state (finish / kill / fail) the process
+  reaches, and no waiter is ever dropped.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.des import Process, Simulator, Timeout
+from repro.errors import SimulationError
+
+# One scripted queue interaction: a delay bucket (coarse grid to force
+# plenty of timestamp ties) and whether the event is later cancelled.
+actions = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5), st.booleans()),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestQueueOrderProperties:
+    @given(actions=actions)
+    @settings(max_examples=60)
+    def test_fifo_ties_and_causality_under_cancel(self, actions):
+        sim = Simulator()
+        fired = []
+        expected = []
+        events = []
+        for i, (bucket, cancel) in enumerate(actions):
+            delay = bucket * 0.5
+            events.append(sim.schedule(delay, lambda i=i: fired.append(i)))
+            if not cancel:
+                expected.append((delay, i))
+        for (_, cancel), event in zip(actions, events):
+            if cancel:
+                event.cancel()
+        sim.run()
+        # Reference model: stable sort by (time, schedule order).
+        assert fired == [i for _, i in sorted(expected)]
+        assert sim.pending == 0
+        assert sim.events_executed == len(expected)
+
+    @given(actions=actions, seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=60)
+    def test_mid_drain_scheduling_preserves_global_order(self, actions, seed):
+        # Half the events are scheduled up front, half from inside
+        # callbacks (landing in the insert heap while the sorted drain
+        # array is active) — the merge must still yield global
+        # (time, seq) order.
+        sim = Simulator()
+        fired = []
+
+        def record_and_spawn(i, bucket):
+            fired.append(sim.now)
+            if bucket % 2:
+                sim.schedule(0.25, lambda: fired.append(sim.now))
+
+        for i, (bucket, _) in enumerate(actions):
+            sim.schedule(bucket * 0.5, lambda i=i, b=bucket: record_and_spawn(i, b))
+        sim.run()
+        assert fired == sorted(fired)  # causality: monotone times
+        assert sim.pending == 0
+
+    @given(
+        buckets=st.lists(
+            st.integers(min_value=0, max_value=3), min_size=1, max_size=60
+        ),
+        until_bucket=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=40)
+    def test_run_until_pause_loses_nothing(self, buckets, until_bucket):
+        sim = Simulator()
+        fired = []
+        for i, bucket in enumerate(buckets):
+            sim.schedule(bucket * 1.0, lambda i=i: fired.append(i))
+        until = until_bucket * 1.0
+        sim.run(until=until)
+        early = list(fired)
+        assert all(buckets[i] * 1.0 <= until for i in early)
+        sim.run()
+        assert sorted(fired) == list(range(len(buckets)))
+        assert fired[: len(early)] == early
+
+
+# A process script: how the rank terminates, and after how many sleeps.
+termination = st.sampled_from(["finish", "kill", "fail"])
+
+
+class TestWaiterDrainProperty:
+    @given(
+        scripts=st.lists(
+            st.tuples(
+                termination,
+                st.integers(min_value=1, max_value=3),  # sleeps before the end
+                st.integers(min_value=0, max_value=2),  # waiters attached
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60)
+    def test_every_waiter_fires_exactly_once(self, scripts):
+        sim = Simulator()
+        fired: dict[tuple[int, int], int] = {}
+        processes = []
+
+        def program(sleeps):
+            for _ in range(sleeps):
+                yield Timeout(1.0)
+
+        for p_index, (how, sleeps, n_waiters) in enumerate(scripts):
+            process = Process(sim, program(sleeps), name=f"rank{p_index}")
+            process.start()
+            for w_index in range(n_waiters):
+                key = (p_index, w_index)
+                fired[key] = 0
+
+                def waiter(key=key, process=process):
+                    assert process.terminated  # never fires early
+                    fired[key] += 1
+
+                process.on_finish(waiter)
+            # Inject at t=0.5, before the first sleep completes, so a
+            # scripted kill/fail always beats normal completion.
+            if how == "kill":
+                sim.schedule(0.5, process.kill)
+            elif how == "fail":
+                sim.schedule(
+                    0.5,
+                    lambda process=process: process.interrupt(
+                        SimulationError("injected"), immediate=True
+                    ),
+                )
+            processes.append(process)
+        sim.run()
+        assert all(count == 1 for count in fired.values()), fired
+        assert all(process.terminated for process in processes)
+        # Terminal state matches the script (a rank scripted to finish
+        # was neither crashed nor failed, and vice versa).
+        for process, (how, _, _) in zip(processes, scripts):
+            if how == "finish":
+                assert process.finished
+            elif how == "kill":
+                assert process.crashed
+            else:
+                assert process.failure is not None
