@@ -35,16 +35,35 @@ uninterrupted run.  A sweep that exhausts its retry budget exits
 non-zero with a typed :class:`~repro.errors.RetryExhausted` listing
 every failed point.
 
-Three tool commands ride alongside the artefacts: ``trace-report``
-re-runs the Figure 4 scenario under full tracing and writes the
-combined run report (markdown + JSON), the Perfetto-loadable Chrome
-trace, and the deterministic metrics export into ``--out``;
-``diff-metrics A.json B.json --threshold 5%`` compares two metrics
-exports and exits 1 on drift beyond the threshold (the CI regression
-gate against ``tests/golden/``); ``cache {verify,stats,clear}``
-manages the result cache — ``verify`` integrity-scans every shard,
-quarantines corrupt entries under ``corrupt/`` and exits 1 if it
-found any.
+Statistical rigor (§V-A-1: single runs lie): ``--seeds N`` replicates
+every sweep point of the multi-seed artefacts (``fig3``, ``x4``) over
+seeds ``seed..seed+N-1`` — one engine sweep over the full points x
+seeds grid, each replicate its own cache entry — and reports per-point
+mean/median/CV, a seeded-bootstrap confidence interval at ``--ci``,
+and a bimodality flag.  ``--summary-out PATH`` writes those summaries
+(raw replicate values included) as a JSON document; ``repro compare
+A.json B.json`` pairs two such documents and states, per point,
+whether the configurations differ significantly (Mann-Whitney AND
+permutation test at ``--alpha``).
+
+Tool commands ride alongside the artefacts: ``trace-report`` re-runs
+the Figure 4 scenario under full tracing and writes the combined run
+report (markdown + JSON), the Perfetto-loadable Chrome trace, and the
+deterministic metrics export into ``--out``; ``diff-metrics A.json
+B.json --threshold 5%`` compares two metrics exports and exits 1 on
+drift beyond the threshold (the CI regression gate against
+``tests/golden/``), or with ``--significance`` compares two
+replicate-summary documents and trips only on statistically
+significant drift; ``compare`` is the human-facing significance
+report; ``reproduce-all --out DIR`` regenerates every pinned artefact
+(table2, fig3, fig4, fig6, fig7, x1, x4, x5, x9, trace-report) into a
+bundle directory — per-artefact byte-exact stdout, deterministic
+metrics export, replicate summaries — and writes ``MANIFEST.json``
+with a sha256 digest per file plus environment capture; a warm rerun
+is byte-identical and recomputes nothing; ``cache
+{verify,stats,clear}`` manages the result cache — ``verify``
+integrity-scans every shard, quarantines corrupt entries under
+``corrupt/`` and exits 1 if it found any.
 """
 
 from __future__ import annotations
@@ -132,6 +151,9 @@ def _cmd_fig3(args) -> None:
         ("Figure 3c: BigDFT", "bigdft",
          [1, 4, 16, 36] if quick else [1, 2, 4, 8, 16, 24, 32, 36], 1),
     ]
+    if args.seeds > 1:
+        _fig3_multiseed(args, sweeps)
+        return
     for title, app, counts, baseline in sweeps:
         curve = run_speedup_curve(
             args.engine, app, counts=counts, num_nodes=96, seed=args.seed,
@@ -139,6 +161,40 @@ def _cmd_fig3(args) -> None:
         )
         print(render_series(title, curve, x_label="cores", y_label="speedup"))
         print()
+
+
+def _fig3_multiseed(args, sweeps) -> None:
+    """The ``--seeds N`` Figure 3 path: replicate, summarize, report."""
+    from repro.core.report import render_series
+    from repro.core.stats import stable_seed, summarize_replicates
+    from repro.engine.sweeps import run_replicated_speedups, seed_series
+
+    seeds = seed_series(args.seed, args.seeds)
+    for title, app, counts, baseline in sweeps:
+        grid = run_replicated_speedups(
+            args.engine, app, counts=counts, num_nodes=96, seeds=seeds,
+            baseline_cores=baseline, label=f"fig3/{app}",
+        )
+        points = [
+            (cores, summarize_replicates(
+                grid[cores], confidence=args.ci,
+                seed=stable_seed("fig3", app, cores),
+            ))
+            for cores in counts
+        ]
+        print(render_series(
+            f"{title} (mean of {len(seeds)} seeds)",
+            [(cores, summary.mean) for cores, summary in points],
+            x_label="cores", y_label="speedup",
+        ))
+        print(f"  {args.ci:.0%} CI half-width per point: "
+              + " ".join(f"{s.ci_half_width:.3g}" for _, s in points))
+        bimodal = [cores for cores, s in points if s.bimodal]
+        if bimodal:
+            print(f"  bimodal points (Fig.5-style run-to-run modes): {bimodal}")
+        print()
+        _record_summary(args, "fig3", app, points,
+                        x_label="cores", y_label="speedup")
 
 
 def _cmd_fig4(args) -> None:
@@ -296,6 +352,9 @@ def _cmd_x4(args) -> None:
     from repro.core.report import render_table
     from repro.engine.sweeps import run_energy_study
 
+    if args.seeds > 1:
+        _x4_multiseed(args)
+        return
     for name, app, app_args, counts in (
         ("SPECFEM3D", "specfem3d", {"timesteps": 10}, [8, 16, 32, 64]),
         ("BigDFT", "bigdft", {"scf_iterations": 4}, [4, 8, 16, 24, 36]),
@@ -312,6 +371,40 @@ def _cmd_x4(args) -> None:
         ))
         optimum = min(rows, key=lambda pair: pair[1]["energy_j"])[0]
         print(f"  energy optimum: {optimum} cores\n")
+
+
+def _x4_multiseed(args) -> None:
+    """The ``--seeds N`` X4 path: replicated energy study with CIs."""
+    from repro.core.report import render_table
+    from repro.core.stats import stable_seed, summarize_replicates
+    from repro.engine.sweeps import run_replicated_energy, seed_series
+
+    seeds = seed_series(args.seed, args.seeds)
+    for name, app, app_args, counts in (
+        ("SPECFEM3D", "specfem3d", {"timesteps": 10}, [8, 16, 32, 64]),
+        ("BigDFT", "bigdft", {"scf_iterations": 4}, [4, 8, 16, 24, 36]),
+    ):
+        grid = run_replicated_energy(
+            args.engine, app, counts=counts, num_nodes=96, seeds=seeds,
+            app_args=app_args, label=f"x4/{app}",
+        )
+        points = [
+            (cores, summarize_replicates(
+                [v["energy_j"] for v in grid[cores]], confidence=args.ci,
+                seed=stable_seed("x4", app, cores),
+            ))
+            for cores in counts
+        ]
+        print(render_table(
+            f"X4: energy at scale — {name} (mean of {len(seeds)} seeds)",
+            ["cores", "energy (J)", f"±{args.ci:.0%} CI", "cv"],
+            [[cores, f"{s.mean:,.0f}", f"{s.ci_half_width:,.1f}",
+              f"{s.cv:.2%}"] for cores, s in points],
+        ))
+        optimum = min(points, key=lambda pair: pair[1].mean)[0]
+        print(f"  energy optimum: {optimum} cores\n")
+        _record_summary(args, "x4", f"{app}/energy_j", points,
+                        x_label="cores", y_label="energy_j")
 
 
 def _cmd_x5(args) -> None:
@@ -472,6 +565,47 @@ def _cmd_x9(args) -> None:
           f"{best['restarts']} restarts)")
 
 
+def _record_summary(args, artefact, series, points, *, x_label, y_label) -> None:
+    """Stash one multi-seed series for ``--summary-out`` / the bundle.
+
+    *points* is ``[(x, ReplicateSummary), ...]``; the document layout
+    is what :mod:`repro.obs.significance` pairs by (artefact, series,
+    x), so ``repro compare`` and ``diff-metrics --significance`` can
+    consume any two ``--summary-out`` files.
+    """
+    entry = args.summaries.setdefault(artefact, {"series": {}})
+    entry["series"][series] = {
+        "x_label": x_label,
+        "y_label": y_label,
+        "points": [
+            {"x": x, "summary": summary.to_dict()} for x, summary in points
+        ],
+    }
+
+
+def _summary_document(args) -> dict:
+    """The full replicate-summary document for this invocation."""
+    from repro.engine.sweeps import seed_series
+    from repro.obs.significance import SUMMARY_SCHEMA
+
+    return {
+        "schema": SUMMARY_SCHEMA,
+        "confidence": args.ci,
+        "seed": args.seed,
+        "seeds": seed_series(args.seed, args.seeds),
+        "artefacts": args.summaries,
+    }
+
+
+def _write_summary_document(args, path) -> None:
+    """Write the summary document in canonical (byte-stable) JSON."""
+    from repro.engine.hashing import canonical_json
+
+    Path(path).write_text(
+        canonical_json(_summary_document(args)) + "\n", encoding="utf-8"
+    )
+
+
 def _cmd_claims(args) -> None:
     from repro.paper import audit
 
@@ -525,7 +659,9 @@ def _cmd_trace_report(args) -> int:
         jobs=1, executor="inline", elapsed_seconds=0.0,
     )
     for name, path in sorted(written.items()):
-        manifest.attach(name, path)
+        # Attach by name relative to the output directory, so the
+        # manifest stays byte-identical wherever the bundle lands.
+        manifest.attach(name, path.name)
     manifest.save(out_dir)
     print(report.to_markdown(), end="")
     for name, path in sorted(written.items()):
@@ -541,12 +677,160 @@ def _cmd_diff_metrics(args) -> int:
             "diff-metrics needs exactly two metrics JSON paths, got "
             f"{len(args.paths)}"
         )
+    if args.significance:
+        # Noise-aware gate: the paths are replicate-summary documents
+        # (--summary-out) and drift only trips when the replicate
+        # distributions differ significantly, not when a mean wiggles
+        # within run-to-run noise.
+        from repro.obs import compare_summary_files
+
+        report = compare_summary_files(
+            args.paths[0], args.paths[1],
+            alpha=args.alpha, seed=args.seed,
+        )
+        print(report.format(), end="")
+        return 0 if report.ok else 1
     diff = diff_metrics_files(
         args.paths[0], args.paths[1],
         threshold=parse_threshold(args.threshold),
     )
     print(diff.format(), end="")
     return 0 if diff.ok else 1
+
+
+def _cmd_compare(args) -> int:
+    from repro.obs import compare_summary_files
+
+    if len(args.paths) != 2:
+        raise ReproError(
+            "compare needs exactly two replicate-summary JSON paths "
+            f"(written with --summary-out), got {len(args.paths)}"
+        )
+    report = compare_summary_files(
+        args.paths[0], args.paths[1], alpha=args.alpha, seed=args.seed,
+    )
+    print(report.format(), end="")
+    return 0 if report.ok else 1
+
+
+#: The artefacts ``reproduce-all`` regenerates, in order.  Everything
+#: here must write byte-stable stdout and a deterministic metrics
+#: export, so a warm (fully cached) rerun reproduces the bundle
+#: manifest byte-identically.
+PINNED_ARTEFACTS: tuple[str, ...] = (
+    "table2", "fig3", "fig4", "fig6", "fig7",
+    "x1", "x4", "x5", "x9", "trace-report",
+)
+
+
+def _cmd_reproduce_all(args) -> int:
+    import io
+    from contextlib import redirect_stdout
+
+    from repro import metrics as metrics_mod
+    from repro.engine import ExperimentEngine, ResultCache
+    from repro.engine.hashing import canonical_json
+    from repro.metrics.registry import MetricsRegistry
+    from repro.obs.bundle import (
+        BUNDLE_SCHEMA, environment_capture, file_digests,
+        write_bundle_manifest,
+    )
+    from repro.engine.sweeps import seed_series
+
+    if args.paths:
+        raise ReproError(
+            "reproduce-all takes no positional paths "
+            f"(got {args.paths}); use --out DIR"
+        )
+    names = list(PINNED_ARTEFACTS)
+    if args.only is not None:
+        requested = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = sorted(set(requested) - set(PINNED_ARTEFACTS))
+        if unknown:
+            raise ReproError(
+                f"--only names unknown artefacts: {', '.join(unknown)} "
+                f"(pinned: {', '.join(PINNED_ARTEFACTS)})"
+            )
+        names = [n for n in PINNED_ARTEFACTS if n in requested]
+        if not names:
+            raise ReproError("--only selected no artefacts")
+    out_dir = Path(args.out or "bundle")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    artefact_records: dict[str, dict] = {}
+    total_hits = total_misses = 0
+    for name in names:
+        artefact_dir = out_dir / name
+        artefact_dir.mkdir(parents=True, exist_ok=True)
+        # Each artefact runs under its own registry and engine, so its
+        # metrics export and recompute counts are self-contained; the
+        # content-addressed cache is shared across all of them.
+        registry = MetricsRegistry()
+        previous = metrics_mod.set_registry(registry)
+        local = argparse.Namespace(**vars(args))
+        local.summaries = {}
+        hits = misses = 0
+        buffer = io.StringIO()
+        try:
+            if name == "trace-report":
+                local.out = str(artefact_dir)
+                with redirect_stdout(buffer):
+                    _cmd_trace_report(local)
+            else:
+                local.engine = ExperimentEngine(
+                    cache=cache,
+                    jobs=args.jobs,
+                    manifest_dir=None,
+                    echo=lambda line: print(line, file=sys.stderr),
+                    policy=_build_policy(args),
+                )
+                with redirect_stdout(buffer):
+                    COMMANDS[name](local)
+                hits = local.engine.total_hits
+                misses = local.engine.total_misses
+        finally:
+            metrics_mod.set_registry(previous)
+        (artefact_dir / "stdout.txt").write_text(
+            buffer.getvalue(), encoding="utf-8"
+        )
+        if name != "trace-report":
+            # trace-report writes its own deterministic metrics.json.
+            metrics_mod.write_metrics(
+                registry, artefact_dir / "metrics.json", "json",
+                deterministic=True,
+            )
+        if local.summaries:
+            local_doc = _summary_document(local)
+            (artefact_dir / "summary.json").write_text(
+                canonical_json(local_doc) + "\n", encoding="utf-8"
+            )
+        files = sorted(p for p in artefact_dir.rglob("*") if p.is_file())
+        artefact_records[name] = {
+            "files": file_digests(out_dir, files),
+            "seed": args.seed,
+            "seeds": seed_series(args.seed, args.seeds),
+            "confidence": args.ci,
+        }
+        total_hits += hits
+        total_misses += misses
+        print(f"[bundle] {name}: recomputed {misses} | hits {hits}",
+              file=sys.stderr)
+    digest = write_bundle_manifest(out_dir, {
+        "schema": BUNDLE_SCHEMA,
+        "config": {
+            "artefacts": names,
+            "quick": bool(args.quick),
+            "seed": args.seed,
+            "seeds": args.seeds,
+            "confidence": args.ci,
+        },
+        "environment": environment_capture(),
+        "artefacts": artefact_records,
+    })
+    print(f"[bundle] recomputed {total_misses} | hits {total_hits}",
+          file=sys.stderr)
+    print(digest)
+    return 0
 
 
 def _cmd_cache(args) -> int:
@@ -576,6 +860,8 @@ def _cmd_cache(args) -> int:
 TOOL_COMMANDS: dict[str, Callable] = {
     "trace-report": _cmd_trace_report,
     "diff-metrics": _cmd_diff_metrics,
+    "compare": _cmd_compare,
+    "reproduce-all": _cmd_reproduce_all,
     "cache": _cmd_cache,
 }
 
@@ -613,18 +899,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "artefact",
         choices=[*COMMANDS, "all", *TOOL_COMMANDS],
-        help="which table/figure to regenerate, or a trace-analysis "
-             "tool (trace-report, diff-metrics)",
+        help="which table/figure to regenerate, or a tool "
+             "(trace-report, diff-metrics, compare, reproduce-all, "
+             "cache)",
     )
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
-        help="for diff-metrics: the two metrics JSON files to compare; "
+        help="for diff-metrics/compare: the two JSON files to compare; "
              "for cache: the action (verify, stats, clear)",
     )
     parser.add_argument("--quick", action="store_true",
                         help="shrink the cluster sweeps")
     parser.add_argument("--seed", type=int, default=7,
                         help="seed for the stochastic pieces (default 7)")
+    parser.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="replicate count for multi-seed artefacts "
+                             "(fig3, x4): run every sweep point once per "
+                             "seed seed..seed+N-1 and report mean/CI "
+                             "summaries (default 1: single run)")
+    parser.add_argument("--ci", type=float, default=0.95, metavar="LEVEL",
+                        help="bootstrap confidence level for replicate "
+                             "summaries (default 0.95)")
+    parser.add_argument("--summary-out", default=None, metavar="PATH",
+                        help="write the replicate-summary JSON document "
+                             "(per-point mean/CI/CV + raw values) to "
+                             "PATH; input format of 'compare' and "
+                             "'diff-metrics --significance'")
+    parser.add_argument("--alpha", type=float, default=0.05,
+                        help="significance level for 'compare' and "
+                             "'diff-metrics --significance' "
+                             "(default 0.05)")
+    parser.add_argument("--significance", action="store_true",
+                        help="diff-metrics: treat the two paths as "
+                             "replicate-summary documents and flag only "
+                             "statistically significant drift")
+    parser.add_argument("--only", default=None, metavar="LIST",
+                        help="reproduce-all: comma-separated subset of "
+                             "the pinned artefacts to regenerate")
     parser.add_argument("--plan", default="montblanc",
                         help="named fault plan for the faults artefact "
                              "(none, single-crash, crashy, flaky-links, "
@@ -697,11 +1008,23 @@ def main(argv: list[str] | None = None) -> int:
     from repro import metrics as metrics_mod
     from repro.engine import ExperimentEngine, ResultCache, RunJournal
 
-    args = build_parser().parse_args(argv)
+    # parse_intermixed_args lets flags appear between the positionals
+    # ("diff-metrics --significance A.json B.json" and
+    # "diff-metrics A.json B.json --significance" both work).
+    args = build_parser().parse_intermixed_args(argv)
     if args.run_dir is not None and args.resume is not None:
         print("error: --run-dir and --resume are mutually exclusive "
               "(--resume already names the run directory)", file=sys.stderr)
         return 2
+    if args.seeds < 1:
+        print(f"error: --seeds must be >= 1, got {args.seeds}",
+              file=sys.stderr)
+        return 2
+    if not 0.0 < args.ci < 1.0:
+        print(f"error: --ci must be in (0, 1), got {args.ci}",
+              file=sys.stderr)
+        return 2
+    args.summaries = {}
     wants_metrics = (
         args.metrics_out is not None or args.metrics_format is not None
     )
@@ -761,6 +1084,12 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"error regenerating {name}: {error}", file=sys.stderr)
                     code = 1
                     break
+            if code == 0 and args.summary_out is not None:
+                try:
+                    _write_summary_document(args, args.summary_out)
+                except OSError as error:
+                    print(f"error writing summary: {error}", file=sys.stderr)
+                    code = 1
             if code == 0 and args.engine.manifests:
                 print(f"[engine] totals: hits {args.engine.total_hits} | "
                       f"misses {args.engine.total_misses}", file=sys.stderr)

@@ -8,13 +8,31 @@ paper leans on:
   nominal mode and a degraded mode ~5x lower);
 * :func:`exponential_fit` — log-linear least squares used to fit the
   Top500 growth curve and project the exaflop year (Figure 1).
+
+It also carries the replication layer behind the §V-A-1 discipline
+that single runs lie: :func:`bootstrap_ci` (seeded percentile
+bootstrap), :func:`mann_whitney` and :func:`permutation_test`
+(distribution-free significance), :func:`summarize_replicates` (the
+per-point :class:`ReplicateSummary` every multi-seed sweep reports),
+and :func:`compare_replicates` (the verdict behind ``repro compare``).
+Everything is seeded and pure Python, so the same inputs produce the
+same bytes on any machine — a requirement for the golden-pinned
+multi-seed artefacts and the reproduce-all bundle.
+
+Edge-case contract (pinned by ``tests/core/test_stats.py``): an empty
+sample always raises :class:`~repro.errors.ConfigurationError`; a
+single observation or a constant series yields a *degenerate* interval
+``(value, value)`` rather than an error, because a replicate count of
+one is a legitimate (if uninformative) sweep configuration.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
+import random
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -278,6 +296,388 @@ def geometric_mean(values: Sequence[float]) -> float:
     if any(v <= 0 for v in values):
         raise ConfigurationError("geometric mean requires strictly positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# ---------------------------------------------------------------------------
+# Replication statistics (multi-seed rigor)
+# ---------------------------------------------------------------------------
+
+
+def stable_seed(*parts: object) -> int:
+    """A deterministic 63-bit seed derived from *parts* by content.
+
+    Used to seed per-point bootstrap/permutation RNGs from textual
+    labels (``stable_seed("fig3", "linpack", 16)``), so resampling is
+    reproducible across processes and machines without threading a
+    seed through every call site.
+    """
+    digest = hashlib.sha256(
+        "\x1f".join(str(part) for part in parts).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def _percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sample."""
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"percentile must be in [0, 1], got {q}")
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 1999,
+    seed: int = 0,
+    statistic: Callable[[Sequence[float]], float] | None = None,
+) -> tuple[float, float]:
+    """Seeded percentile-bootstrap confidence interval.
+
+    Resamples *values* with replacement ``resamples`` times, evaluates
+    *statistic* (default: the mean) on each resample, and returns the
+    central ``confidence`` percentile interval, widened if necessary to
+    include the whole-sample statistic — so the documented invariant
+    *the interval always brackets the point estimate* holds even for
+    tiny skewed samples.  Deterministic given ``seed``.
+
+    n = 1 and constant series short-circuit to the degenerate interval
+    ``(value, value)``.
+    """
+    if not values:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if resamples < 1:
+        raise ConfigurationError(f"resamples must be >= 1, got {resamples}")
+    stat = statistic if statistic is not None else (
+        lambda sample: sum(sample) / len(sample)
+    )
+    point = stat(values)
+    if len(set(values)) == 1:
+        # Degenerate interval, still widened to bracket the point
+        # estimate: mean([v, v, v]) can land one ulp off v.
+        constant = float(values[0])
+        return (min(constant, point), max(constant, point))
+    rng = random.Random(seed)
+    n = len(values)
+    estimates = sorted(
+        stat([values[rng.randrange(n)] for _ in range(n)])
+        for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low = _percentile(estimates, alpha)
+    high = _percentile(estimates, 1.0 - alpha)
+    return (min(low, point), max(high, point))
+
+
+def _phi(z: float) -> float:
+    """Standard normal CDF."""
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class MannWhitneyResult:
+    """Outcome of a two-sided Mann-Whitney U rank test."""
+
+    u: float
+    n_a: int
+    n_b: int
+    p_value: float
+
+    @property
+    def effect_size(self) -> float:
+        """Rank-biserial correlation: ``2 U / (n_a n_b) - 1`` in [-1, 1]."""
+        return 2.0 * self.u / (self.n_a * self.n_b) - 1.0
+
+
+def mann_whitney(a: Sequence[float], b: Sequence[float]) -> MannWhitneyResult:
+    """Two-sided Mann-Whitney U test via the tie-corrected normal
+    approximation (continuity-corrected).
+
+    Distribution-free, which matters for the bimodal timing
+    distributions the paper warns about (§V-A-1): a t-test on a
+    two-mode sample is meaningless, a rank test is not.  With very
+    small samples (n < ~4 per side) the normal approximation cannot
+    reach small p-values — by design, single runs can never be
+    declared significantly different.
+    """
+    if not a or not b:
+        raise ConfigurationError("mann_whitney needs two non-empty samples")
+    n_a, n_b = len(a), len(b)
+    pooled = sorted(
+        [(value, 0) for value in a] + [(value, 1) for value in b]
+    )
+    ranks: list[float] = [0.0] * len(pooled)
+    tie_term = 0.0
+    index = 0
+    while index < len(pooled):
+        stop = index
+        while stop + 1 < len(pooled) and pooled[stop + 1][0] == pooled[index][0]:
+            stop += 1
+        average_rank = (index + stop) / 2.0 + 1.0
+        for position in range(index, stop + 1):
+            ranks[position] = average_rank
+        ties = stop - index + 1
+        tie_term += ties**3 - ties
+        index = stop + 1
+    rank_sum_a = sum(
+        rank for rank, (_, group) in zip(ranks, pooled) if group == 0
+    )
+    u = rank_sum_a - n_a * (n_a + 1) / 2.0
+    mu = n_a * n_b / 2.0
+    n = n_a + n_b
+    variance = (n_a * n_b / 12.0) * (
+        (n + 1) - tie_term / (n * (n - 1))
+    ) if n > 1 else 0.0
+    if variance <= 0.0:
+        # Every pooled value identical: no evidence of any difference.
+        return MannWhitneyResult(u=u, n_a=n_a, n_b=n_b, p_value=1.0)
+    z = (abs(u - mu) - 0.5) / math.sqrt(variance)
+    p = 2.0 * (1.0 - _phi(max(z, 0.0)))
+    return MannWhitneyResult(
+        u=u, n_a=n_a, n_b=n_b, p_value=min(1.0, max(0.0, p))
+    )
+
+
+@dataclass(frozen=True)
+class PermutationResult:
+    """Outcome of a seeded two-sided permutation test."""
+
+    observed: float
+    p_value: float
+    resamples: int
+    seed: int
+
+
+def permutation_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    resamples: int = 999,
+    seed: int = 0,
+) -> PermutationResult:
+    """Two-sided permutation test on the difference of means.
+
+    Pools both samples, re-splits ``resamples`` times under the null
+    (labels are exchangeable), and reports the add-one-corrected
+    p-value ``(1 + #{|diff*| >= |diff|}) / (resamples + 1)`` — never
+    exactly zero, deterministic given ``seed``.
+    """
+    if not a or not b:
+        raise ConfigurationError(
+            "permutation_test needs two non-empty samples"
+        )
+    if resamples < 1:
+        raise ConfigurationError(f"resamples must be >= 1, got {resamples}")
+    n_a = len(a)
+    pooled = list(a) + list(b)
+    observed = sum(a) / n_a - sum(b) / len(b)
+    rng = random.Random(seed)
+    at_least_as_extreme = 0
+    for _ in range(resamples):
+        rng.shuffle(pooled)
+        mean_a = sum(pooled[:n_a]) / n_a
+        mean_b = sum(pooled[n_a:]) / (len(pooled) - n_a)
+        if abs(mean_a - mean_b) >= abs(observed):
+            at_least_as_extreme += 1
+    return PermutationResult(
+        observed=observed,
+        p_value=(1 + at_least_as_extreme) / (resamples + 1),
+        resamples=resamples,
+        seed=seed,
+    )
+
+
+@dataclass(frozen=True)
+class ReplicateSummary:
+    """Per-point aggregation of one multi-seed replicate series.
+
+    This is the record every multi-seed sweep reports per point and
+    the unit the ``fig3_multiseed`` golden pins: location (mean,
+    median), spread (std, cv), the seeded-bootstrap confidence
+    interval, and the §V-A-1 bimodality flag from
+    :func:`detect_modes`.  ``values`` keeps the raw replicates in seed
+    order so downstream significance tests (``repro compare``,
+    ``diff-metrics --significance``) never need the original runs.
+    """
+
+    count: int
+    mean: float
+    std: float
+    cv: float
+    minimum: float
+    maximum: float
+    median: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    bimodal: bool
+    values: tuple[float, ...]
+
+    @property
+    def ci_half_width(self) -> float:
+        """Half the confidence interval's width."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def to_dict(self) -> dict[str, object]:
+        """The canonical JSON-able form (sorted keys when dumped)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "cv": self.cv,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "ci": [self.ci_low, self.ci_high],
+            "confidence": self.confidence,
+            "bimodal": self.bimodal,
+            "values": list(self.values),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ReplicateSummary":
+        """Rebuild a summary from :meth:`to_dict` output."""
+        try:
+            ci = payload["ci"]
+            return cls(
+                count=int(payload["count"]),            # type: ignore[arg-type]
+                mean=float(payload["mean"]),            # type: ignore[arg-type]
+                std=float(payload["std"]),              # type: ignore[arg-type]
+                cv=float(payload["cv"]),                # type: ignore[arg-type]
+                minimum=float(payload["min"]),          # type: ignore[arg-type]
+                maximum=float(payload["max"]),          # type: ignore[arg-type]
+                median=float(payload["median"]),        # type: ignore[arg-type]
+                ci_low=float(ci[0]),                    # type: ignore[index]
+                ci_high=float(ci[1]),                   # type: ignore[index]
+                confidence=float(payload["confidence"]),  # type: ignore[arg-type]
+                bimodal=bool(payload["bimodal"]),
+                values=tuple(
+                    float(v) for v in payload["values"]  # type: ignore[union-attr]
+                ),
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as error:
+            raise ConfigurationError(
+                f"not a replicate summary: {error!r}"
+            ) from error
+
+
+def summarize_replicates(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    seed: int = 0,
+    resamples: int = 1999,
+    bimodal_ratio: float = 2.0,
+) -> ReplicateSummary:
+    """Aggregate one point's replicate series into a
+    :class:`ReplicateSummary`.
+
+    The interval is the seeded :func:`bootstrap_ci`; ``bimodal`` is
+    :func:`is_bimodal` with the Figure-5 separation ratio.  n = 1
+    yields the explicit degenerate summary (std 0, CI = (v, v)) —
+    never an error, never a silently-NaN field.
+    """
+    if not values:
+        raise ConfigurationError("cannot summarize an empty replicate series")
+    stats = summarize(values)
+    ci_low, ci_high = bootstrap_ci(
+        values, confidence=confidence, resamples=resamples, seed=seed
+    )
+    return ReplicateSummary(
+        count=stats.count,
+        mean=float(stats.mean),
+        std=float(stats.std),
+        cv=float(stats.cv),
+        minimum=float(stats.minimum),
+        maximum=float(stats.maximum),
+        median=float(stats.median),
+        ci_low=float(ci_low),
+        ci_high=float(ci_high),
+        confidence=confidence,
+        bimodal=is_bimodal(values, ratio=bimodal_ratio),
+        values=tuple(float(v) for v in values),
+    )
+
+
+@dataclass(frozen=True)
+class SampleComparison:
+    """Verdict on whether two replicate series differ significantly.
+
+    ``significant`` requires *both* the rank test and the permutation
+    test to reject at ``alpha`` — a deliberately conservative AND, so
+    a CI gate built on it (``diff-metrics --significance``) only trips
+    on drift that two independent distribution-free tests agree on.
+    """
+
+    a: ReplicateSummary
+    b: ReplicateSummary
+    alpha: float
+    mann_whitney_p: float
+    permutation_p: float
+
+    @property
+    def relative_change(self) -> float:
+        """Signed relative change of the mean, b versus a."""
+        if self.a.mean == self.b.mean:
+            return 0.0
+        if self.a.mean == 0.0:
+            return math.inf
+        return (self.b.mean - self.a.mean) / abs(self.a.mean)
+
+    @property
+    def significant(self) -> bool:
+        """Whether both tests reject the no-difference null."""
+        return (
+            self.mann_whitney_p < self.alpha
+            and self.permutation_p < self.alpha
+        )
+
+    def describe(self) -> str:
+        verdict = "differs" if self.significant else "within noise"
+        return (
+            f"{self.a.mean:.6g} -> {self.b.mean:.6g} "
+            f"({self.relative_change:+.2%}), "
+            f"MW p={self.mann_whitney_p:.4f}, "
+            f"perm p={self.permutation_p:.4f}: {verdict}"
+        )
+
+
+def compare_replicates(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    alpha: float = 0.05,
+    confidence: float = 0.95,
+    seed: int = 0,
+    resamples: int = 999,
+) -> SampleComparison:
+    """Compare two replicate series with both significance tests.
+
+    With single-run "series" (n = 1 on either side) neither test can
+    reject, so the comparison honestly reports *within noise* — the
+    paper's point that one run proves nothing, made executable.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+    return SampleComparison(
+        a=summarize_replicates(a, confidence=confidence, seed=seed),
+        b=summarize_replicates(b, confidence=confidence, seed=seed),
+        alpha=alpha,
+        mann_whitney_p=mann_whitney(a, b).p_value,
+        permutation_p=permutation_test(
+            a, b, resamples=resamples, seed=seed
+        ).p_value,
+    )
 
 
 def speedup_efficiency(

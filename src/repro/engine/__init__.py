@@ -26,6 +26,7 @@ from repro.engine.cache import (
 from repro.engine.engine import (
     SCHEMA_VERSION,
     ExperimentEngine,
+    ReplicatedRun,
     SweepRun,
     SweepSpec,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "ExperimentEngine",
     "JOURNAL_SCHEMA",
     "PointRecord",
+    "ReplicatedRun",
     "ResultCache",
     "RunJournal",
     "RunManifest",

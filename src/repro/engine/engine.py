@@ -66,7 +66,9 @@ from repro.version import __version__
 
 #: Bump to invalidate every cache entry written by older engines.
 #: v2: entries carry an embedded sha256 integrity checksum.
-SCHEMA_VERSION = 2
+#: v3: entries carry the worker's metrics snapshot, replayed on hits
+#: so metrics exports are cache-state independent.
+SCHEMA_VERSION = 3
 
 #: A sweep worker: params in, JSON-serializable payload out.
 Worker = Callable[[Mapping[str, Any]], Any]
@@ -128,6 +130,24 @@ class SweepRun:
 
     def __iter__(self):
         return iter(zip(self.spec.points, self.values))
+
+
+@dataclass(frozen=True)
+class ReplicatedRun:
+    """A multi-seed sweep: per-point replicate series in seed order.
+
+    ``values[i][j]`` is base point ``i`` executed under ``seeds[j]``.
+    Iterating yields ``(base_point, replicate_values)`` pairs, mirroring
+    :class:`SweepRun`.
+    """
+
+    base_points: tuple[Mapping[str, Any], ...]
+    seeds: tuple[int, ...]
+    values: tuple[tuple[Any, ...], ...]
+    manifest: RunManifest
+
+    def __iter__(self):
+        return iter(zip(self.base_points, self.values))
 
 
 def _timed_call(
@@ -294,7 +314,14 @@ class ExperimentEngine:
             if self.journal is not None:
                 self.journal.append(hashes[index], value)
             if self.cache is not None:
-                self.cache.put(keys[index], {"value": value})
+                # The worker's metrics snapshot rides along with the
+                # value, so a later cache hit can replay exactly the
+                # metrics the computation would have produced — a warm
+                # rerun's deterministic export is byte-identical to the
+                # cold run's.
+                self.cache.put(
+                    keys[index], {"value": value, "metrics": snapshot}
+                )
 
         def fail(index, attempt, error: BaseException) -> float | None:
             """Record a failed attempt; a float means retry after it."""
@@ -334,6 +361,11 @@ class ExperimentEngine:
                     if payload is not None:
                         values[index] = payload["value"]
                         hit[index] = True
+                        if capture:
+                            # Entries written without metrics enabled
+                            # carry no snapshot; those hits replay
+                            # nothing (documented cache contract).
+                            snapshots[index] = payload.get("metrics")
                         continue
                 pending.append(index)
 
@@ -661,8 +693,11 @@ class ExperimentEngine:
         """
         metrics = self.metrics
         metrics.inc("engine.points", len(manifest.points))
-        metrics.inc("engine.cache.hits", manifest.hits)
-        metrics.inc("engine.cache.misses", manifest.misses)
+        # Hit/miss totals depend on what previous processes left in the
+        # cache, not on the sweep itself — volatile, so deterministic
+        # exports stay identical between cold and warm reruns.
+        metrics.inc("engine.cache.hits", manifest.hits, volatile=True)
+        metrics.inc("engine.cache.misses", manifest.misses, volatile=True)
         metrics.inc("engine.sweeps", 1)
         metrics.gauge_set("engine.jobs", self.jobs, volatile=True)
         metrics.gauge_max(
@@ -699,6 +734,62 @@ class ExperimentEngine:
             serial_only=True,
         )
         return self.run(spec).values[0]
+
+    def run_replicated(
+        self,
+        spec: SweepSpec,
+        seeds: Sequence[int],
+        *,
+        seed_param: str = "seed",
+    ) -> ReplicatedRun:
+        """Execute every point of *spec* once per seed (§V-A-1 rigor).
+
+        The replication is first-class: the full ``points x seeds``
+        grid is one sweep, fanned across the worker pool together and
+        memoized per ``(point, seed)`` in the content-addressed cache —
+        extending a sweep from 3 to 5 seeds recomputes only the two
+        new replicates, and a warm rerun recomputes nothing.  The base
+        points must not already carry ``seed_param``; the sweep ``key``
+        must not either, so replicate series share cache entries with
+        any other run of the same experiment at the same seed.
+        """
+        seeds = tuple(int(seed) for seed in seeds)
+        if not seeds:
+            raise EngineError(f"sweep {spec.name!r} needs at least one seed")
+        if len(set(seeds)) != len(seeds):
+            raise EngineError(
+                f"sweep {spec.name!r} has duplicate seeds: {list(seeds)}"
+            )
+        for point in spec.points:
+            if seed_param in point:
+                raise EngineError(
+                    f"sweep {spec.name!r} base points already carry "
+                    f"{seed_param!r}; replication would overwrite it"
+                )
+        expanded = SweepSpec(
+            spec.name,
+            spec.worker,
+            [
+                dict(point, **{seed_param: seed})
+                for point in spec.points
+                for seed in seeds
+            ],
+            key=spec.key,
+            serial_only=spec.serial_only,
+            point_timeout_s=spec.point_timeout_s,
+        )
+        run = self.run(expanded)
+        per_point = len(seeds)
+        grouped = tuple(
+            tuple(run.values[start:start + per_point])
+            for start in range(0, len(run.values), per_point)
+        )
+        return ReplicatedRun(
+            base_points=spec.points,
+            seeds=seeds,
+            values=grouped,
+            manifest=run.manifest,
+        )
 
     # -- aggregate stats ---------------------------------------------------
 

@@ -227,13 +227,17 @@ def run_cluster_times(
     app_args: Mapping[str, Any] | None = None,
     label: str | None = None,
 ) -> dict[int, float]:
-    """Elapsed seconds per core count for one cluster app."""
+    """Elapsed seconds per core count for one cluster app.
+
+    The sweep ``key`` deliberately omits the seed (each point carries
+    its own), so single-seed runs and :func:`run_replicated_times`
+    series share cache entries point-for-point.
+    """
     key = {
         "experiment": "cluster-elapsed",
         "app": app,
         "app_args": dict(app_args or {}),
         "num_nodes": num_nodes,
-        "seed": seed,
     }
     spec = SweepSpec(
         label or f"scaling/{app}",
@@ -458,6 +462,126 @@ def run_chaos_sweep(
     return {point["x"]: value["value"] for point, value in run}
 
 
+# ---------------------------------------------------------------------------
+# Multi-seed replication (§V-A-1: single runs lie)
+# ---------------------------------------------------------------------------
+
+
+def seed_series(seed: int, count: int) -> list[int]:
+    """The replicate seed series the CLI uses: ``seed, seed+1, ...``."""
+    if count < 1:
+        raise EngineError(f"seed count must be >= 1, got {count}")
+    return [seed + offset for offset in range(count)]
+
+
+def run_replicated_times(
+    engine: ExperimentEngine,
+    app: str,
+    *,
+    counts: Sequence[int],
+    num_nodes: int,
+    seeds: Sequence[int],
+    app_args: Mapping[str, Any] | None = None,
+    label: str | None = None,
+) -> dict[int, tuple[float, ...]]:
+    """Elapsed-seconds replicates per core count: ``cores -> (per seed)``.
+
+    One engine sweep over the full ``counts x seeds`` grid, so the
+    worker pool sees every replicate at once and each ``(cores, seed)``
+    pair is its own cache entry — shared with single-seed
+    :func:`run_cluster_times` runs at the same seed.
+    """
+    spec = SweepSpec(
+        label or f"scaling/{app}",
+        cluster_time_point,
+        [
+            {
+                "app": app, "app_args": dict(app_args or {}),
+                "num_nodes": num_nodes, "cores": cores,
+            }
+            for cores in counts
+        ],
+        key={
+            "experiment": "cluster-elapsed",
+            "app": app,
+            "app_args": dict(app_args or {}),
+            "num_nodes": num_nodes,
+        },
+    )
+    run = engine.run_replicated(spec, seeds)
+    return {
+        point["cores"]: tuple(value["elapsed_s"] for value in values)
+        for point, values in run
+    }
+
+
+def run_replicated_speedups(
+    engine: ExperimentEngine,
+    app: str,
+    *,
+    counts: Sequence[int],
+    num_nodes: int,
+    seeds: Sequence[int],
+    baseline_cores: int = 1,
+    app_args: Mapping[str, Any] | None = None,
+    label: str | None = None,
+) -> dict[int, tuple[float, ...]]:
+    """Figure 3 speedup replicates: ``cores -> (speedup per seed)``.
+
+    Each seed's speedup is normalized against *that seed's own*
+    baseline time, so a seed that booted into a slow configuration
+    (the paper's bimodal case) does not contaminate every other
+    replicate's curve.
+    """
+    if baseline_cores not in counts:
+        raise EngineError(
+            f"baseline {baseline_cores} missing from sweep {list(counts)}"
+        )
+    times = run_replicated_times(
+        engine, app, counts=counts, num_nodes=num_nodes, seeds=seeds,
+        app_args=app_args, label=label,
+    )
+    base_times = times[baseline_cores]
+    return {
+        cores: tuple(
+            baseline_cores * base / elapsed
+            for base, elapsed in zip(base_times, times[cores])
+        )
+        for cores in sorted(times)
+    }
+
+
+def run_replicated_energy(
+    engine: ExperimentEngine,
+    app: str,
+    *,
+    counts: Sequence[int],
+    num_nodes: int,
+    seeds: Sequence[int],
+    app_args: Mapping[str, Any] | None = None,
+    label: str | None = None,
+) -> dict[int, tuple[dict[str, Any], ...]]:
+    """X4 energy replicates: ``cores -> (payload per seed)``."""
+    spec = SweepSpec(
+        label or f"energy/{app}",
+        cluster_energy_point,
+        [
+            {
+                "app": app, "app_args": dict(app_args or {}),
+                "num_nodes": num_nodes, "cores": cores,
+            }
+            for cores in sorted(counts)
+        ],
+        key={
+            "experiment": "cluster-energy",
+            "app": app, "app_args": dict(app_args or {}),
+            "num_nodes": num_nodes,
+        },
+    )
+    run = engine.run_replicated(spec, seeds)
+    return {point["cores"]: values for point, values in run}
+
+
 def run_energy_study(
     engine: ExperimentEngine,
     app: str,
@@ -482,7 +606,7 @@ def run_energy_study(
         key={
             "experiment": "cluster-energy",
             "app": app, "app_args": dict(app_args or {}),
-            "num_nodes": num_nodes, "seed": seed,
+            "num_nodes": num_nodes,
         },
     )
     run = engine.run(spec)

@@ -1,0 +1,153 @@
+"""Reproduction-bundle assembly: hashes, environment, manifest.
+
+``repro reproduce-all --out bundle/`` regenerates every pinned paper
+artefact into one directory tree::
+
+    bundle/
+      MANIFEST.json          <- this module writes and verifies it
+      fig3/stdout.txt        <- the artefact's byte-exact stdout
+      fig3/metrics.json      <- deterministic metrics export
+      fig3/summary.json      <- replicate summaries (multi-seed runs)
+      trace-report/...       <- the trace tool's own artefact files
+      ...
+
+``MANIFEST.json`` is the artifact-evaluation checklist made
+machine-checkable: a sha256 digest per bundle file, the environment
+capture, and per-artefact seed/confidence provenance.  Everything in
+it is deterministic by construction — no timestamps, no absolute
+paths, no cache-state-dependent counters — so a warm rerun (every
+sweep point served from the content-addressed cache) must reproduce
+the manifest *byte-identically*.  The CI job diffs a cold and a warm
+bundle to enforce exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.engine.hashing import canonical_json
+from repro.errors import MetricsError
+
+#: Schema stamp of ``MANIFEST.json``.
+BUNDLE_SCHEMA = 1
+
+#: Name of the manifest file inside the bundle directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+
+def sha256_file(path: str | Path) -> str:
+    """The sha256 hex digest of one file's bytes."""
+    digest = hashlib.sha256()
+    try:
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 16), b""):
+                digest.update(chunk)
+    except OSError as error:
+        raise MetricsError(f"cannot hash {path}: {error}") from error
+    return digest.hexdigest()
+
+
+def environment_capture() -> dict[str, Any]:
+    """The environment record embedded in the bundle manifest.
+
+    Deliberately restricted to fields that are stable across reruns on
+    the same machine (no hostnames, no timestamps, no process ids), so
+    cold and warm bundles stay byte-identical.
+    """
+    from repro.engine.engine import SCHEMA_VERSION
+    from repro.obs.report import REPORT_SCHEMA_VERSION
+    from repro.obs.significance import SUMMARY_SCHEMA
+
+    return {
+        "python": {
+            "version": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "platform": {
+            "system": platform.system(),
+            "machine": platform.machine(),
+        },
+        "schemas": {
+            "cache": SCHEMA_VERSION,
+            "report": REPORT_SCHEMA_VERSION,
+            "summary": SUMMARY_SCHEMA,
+            "bundle": BUNDLE_SCHEMA,
+        },
+        "argv0": Path(sys.argv[0]).name if sys.argv else "",
+    }
+
+
+def file_digests(root: str | Path, files: Iterable[str | Path]) -> dict[str, str]:
+    """Map each file's path *relative to root* to its sha256 digest."""
+    root = Path(root)
+    digests: dict[str, str] = {}
+    for entry in files:
+        path = Path(entry)
+        try:
+            relative = path.relative_to(root)
+        except ValueError:
+            relative = path
+        digests[relative.as_posix()] = sha256_file(root / relative)
+    return digests
+
+
+def write_bundle_manifest(
+    bundle_dir: str | Path, document: Mapping[str, Any]
+) -> str:
+    """Write ``MANIFEST.json`` in canonical form; return its digest."""
+    path = Path(bundle_dir) / MANIFEST_NAME
+    text = canonical_json(dict(document)) + "\n"
+    try:
+        path.write_text(text, encoding="utf-8")
+    except OSError as error:
+        raise MetricsError(f"cannot write {path}: {error}") from error
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def load_bundle_manifest(bundle_dir: str | Path) -> dict[str, Any]:
+    """Read ``MANIFEST.json`` back from a bundle directory."""
+    path = Path(bundle_dir) / MANIFEST_NAME
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise MetricsError(f"cannot read {path}: {error}") from error
+    except ValueError as error:
+        raise MetricsError(f"{path} is not valid JSON: {error}") from error
+    if not isinstance(document, Mapping) or "artefacts" not in document:
+        raise MetricsError(f"{path}: not a bundle manifest")
+    if document.get("schema") != BUNDLE_SCHEMA:
+        raise MetricsError(
+            f"{path}: bundle schema {document.get('schema')!r} "
+            f"!= supported {BUNDLE_SCHEMA}"
+        )
+    return dict(document)
+
+
+def verify_bundle(bundle_dir: str | Path) -> list[str]:
+    """Re-hash every file listed in a bundle's manifest.
+
+    Returns a list of problems (missing files, digest mismatches);
+    empty means the bundle is intact.
+    """
+    bundle_dir = Path(bundle_dir)
+    manifest = load_bundle_manifest(bundle_dir)
+    problems: list[str] = []
+    for artefact in sorted(manifest["artefacts"]):
+        files = manifest["artefacts"][artefact].get("files", {})
+        for relative in sorted(files):
+            path = bundle_dir / relative
+            if not path.is_file():
+                problems.append(f"{relative}: missing")
+                continue
+            actual = sha256_file(path)
+            if actual != files[relative]:
+                problems.append(
+                    f"{relative}: digest mismatch "
+                    f"(manifest {files[relative][:12]}…, file {actual[:12]}…)"
+                )
+    return problems

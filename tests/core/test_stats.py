@@ -6,14 +6,19 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.stats import (
+    bootstrap_ci,
+    compare_replicates,
     confidence_interval,
     detect_modes,
     exponential_fit,
     geometric_mean,
     is_bimodal,
     linear_fit,
+    mann_whitney,
+    permutation_test,
     speedup_efficiency,
     summarize,
+    summarize_replicates,
 )
 from repro.errors import ConfigurationError
 
@@ -195,3 +200,87 @@ class TestSpeedupEfficiency:
     def test_invalid_cores_rejected(self):
         with pytest.raises(ConfigurationError):
             speedup_efficiency(1.0, 0)
+
+
+class TestEdgeCaseContract:
+    """n = 0, n = 1 and constant series: raise vs. degenerate interval
+    is an explicit, pinned contract — not an accident of the math."""
+
+    def test_n0_always_raises(self):
+        for fn in (summarize, confidence_interval, geometric_mean,
+                   bootstrap_ci, summarize_replicates):
+            with pytest.raises(ConfigurationError):
+                fn([])
+
+    def test_n1_summarize_is_degenerate_not_an_error(self):
+        stats = summarize([42.0])
+        assert stats.count == 1
+        assert stats.mean == stats.median == stats.minimum == stats.maximum == 42.0
+        assert stats.std == 0.0 and stats.cv == 0.0
+
+    def test_n1_confidence_interval_collapses_to_the_value(self):
+        assert confidence_interval([42.0]) == (42.0, 42.0)
+
+    def test_n1_bootstrap_ci_collapses_to_the_value(self):
+        assert bootstrap_ci([42.0], resamples=99) == (42.0, 42.0)
+
+    def test_n1_geometric_mean_is_the_value(self):
+        assert geometric_mean([42.0]) == pytest.approx(42.0)
+
+    def test_constant_series_yield_degenerate_intervals(self):
+        data = [3.5] * 7
+        assert confidence_interval(data) == (3.5, 3.5)
+        assert bootstrap_ci(data, resamples=99) == (3.5, 3.5)
+        summary = summarize_replicates(data, resamples=99)
+        assert summary.ci_low == summary.ci_high == 3.5
+        assert summary.cv == 0.0 and not summary.bimodal
+
+    def test_n1_replicate_summary_is_explicitly_degenerate(self):
+        summary = summarize_replicates([3.25], resamples=99)
+        assert summary.count == 1
+        assert (summary.ci_low, summary.ci_high) == (3.25, 3.25)
+        assert summary.std == 0.0 and summary.values == (3.25,)
+
+    def test_significance_tests_reject_empty_samples(self):
+        with pytest.raises(ConfigurationError):
+            mann_whitney([], [1.0])
+        with pytest.raises(ConfigurationError):
+            permutation_test([1.0], [])
+
+    def test_single_runs_can_never_differ_significantly(self):
+        """The paper's §V-A-1 point as an API guarantee: one run per
+        side cannot reject the null, whatever the gap."""
+        comparison = compare_replicates([1.0], [1000.0], resamples=99)
+        assert not comparison.significant
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], confidence=1.0)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], resamples=0)
+        with pytest.raises(ConfigurationError):
+            permutation_test([1.0], [2.0], resamples=0)
+        with pytest.raises(ConfigurationError):
+            compare_replicates([1.0], [2.0], alpha=0.0)
+
+
+class TestSignificanceBehavior:
+    def test_clearly_separated_samples_differ(self):
+        a = [10.0, 10.1, 9.9, 10.2, 9.8]
+        b = [20.0, 20.1, 19.9, 20.2, 19.8]
+        comparison = compare_replicates(a, b, resamples=199)
+        assert comparison.significant
+        assert comparison.relative_change == pytest.approx(1.0, rel=0.05)
+
+    def test_within_noise_samples_do_not_differ(self):
+        a = [10.0, 10.1, 9.9, 10.2, 9.8]
+        b = [10.05, 9.95, 10.15, 9.85, 10.1]
+        assert not compare_replicates(a, b, resamples=199).significant
+
+    def test_mann_whitney_handles_heavy_ties(self):
+        result = mann_whitney([1.0, 1.0, 1.0, 2.0], [1.0, 1.0, 2.0, 2.0])
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_identical_constant_samples_have_p_one(self):
+        result = mann_whitney([5.0] * 4, [5.0] * 4)
+        assert result.p_value == pytest.approx(1.0)

@@ -1,0 +1,152 @@
+"""Multi-seed replication: run_replicated and the replicated sweeps.
+
+The §V-A-1 contract: replication is first-class in the engine — the
+full points x seeds grid is one sweep, each (point, seed) pair its own
+cache entry shared with single-seed runs — and byte-deterministic
+across job counts.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.engine import ExperimentEngine, ResultCache, SweepSpec
+from repro.errors import EngineError
+
+
+def _noisy(params):
+    """Picklable worker whose value depends on point AND seed."""
+    return {"y": params["x"] * 100 + params["seed"]}
+
+
+def _noisy_and_mark(params):
+    mark_dir = Path(params["mark_dir"])
+    mark_dir.mkdir(parents=True, exist_ok=True)
+    (mark_dir / f"{params['x']}-{params['seed']}.ran").touch()
+    return {"y": params["x"] * 100 + params["seed"]}
+
+
+def _spec(n=3, worker=_noisy, **extra):
+    return SweepSpec(
+        "noisy", worker, [dict({"x": x}, **extra) for x in range(n)],
+        key={"experiment": "noisy"},
+    )
+
+
+class TestRunReplicated:
+    def test_groups_values_per_point_in_seed_order(self):
+        engine = ExperimentEngine(cache=None)
+        run = engine.run_replicated(_spec(), [7, 8, 9])
+        assert run.seeds == (7, 8, 9)
+        assert run.values == (
+            ({"y": 7}, {"y": 8}, {"y": 9}),
+            ({"y": 107}, {"y": 108}, {"y": 109}),
+            ({"y": 207}, {"y": 208}, {"y": 209}),
+        )
+        assert [point["x"] for point in run.base_points] == [0, 1, 2]
+
+    def test_iteration_pairs_points_with_their_replicates(self):
+        engine = ExperimentEngine(cache=None)
+        run = engine.run_replicated(_spec(n=2), [1, 2])
+        pairs = list(run)
+        assert pairs[0][0] == {"x": 0}
+        assert pairs[0][1] == ({"y": 1}, {"y": 2})
+        assert pairs[1][0] == {"x": 1}
+        assert pairs[1][1] == ({"y": 101}, {"y": 102})
+
+    def test_jobs1_equals_jobs4(self):
+        serial = ExperimentEngine(cache=None, jobs=1)
+        parallel = ExperimentEngine(cache=None, jobs=4)
+        seeds = [3, 5, 11]
+        assert (
+            serial.run_replicated(_spec(n=4), seeds).values
+            == parallel.run_replicated(_spec(n=4), seeds).values
+        )
+
+    def test_empty_seeds_rejected(self):
+        engine = ExperimentEngine(cache=None)
+        with pytest.raises(EngineError):
+            engine.run_replicated(_spec(), [])
+
+    def test_duplicate_seeds_rejected(self):
+        engine = ExperimentEngine(cache=None)
+        with pytest.raises(EngineError):
+            engine.run_replicated(_spec(), [1, 2, 1])
+
+    def test_points_already_carrying_seed_rejected(self):
+        engine = ExperimentEngine(cache=None)
+        spec = SweepSpec(
+            "preseeded", _noisy, [{"x": 0, "seed": 9}],
+            key={"experiment": "preseeded"},
+        )
+        with pytest.raises(EngineError):
+            engine.run_replicated(spec, [1, 2])
+
+
+class TestReplicationCaching:
+    def test_warm_rerun_recomputes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        marks = tmp_path / "marks"
+        spec = _spec(worker=_noisy_and_mark, mark_dir=str(marks))
+        cold = ExperimentEngine(cache=cache).run_replicated(spec, [1, 2])
+        ran_cold = len(list(marks.glob("*.ran")))
+        warm = ExperimentEngine(cache=cache).run_replicated(spec, [1, 2])
+        assert warm.values == cold.values
+        assert len(list(marks.glob("*.ran"))) == ran_cold == 6
+
+    def test_extending_seeds_computes_only_new_replicates(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        marks = tmp_path / "marks"
+        spec = _spec(worker=_noisy_and_mark, mark_dir=str(marks))
+        ExperimentEngine(cache=cache).run_replicated(spec, [1, 2, 3])
+        assert len(list(marks.glob("*.ran"))) == 9
+        ExperimentEngine(cache=cache).run_replicated(spec, [1, 2, 3, 4, 5])
+        ran = sorted(p.name for p in marks.glob("*.ran"))
+        assert len(ran) == 15  # only the 2 new seeds x 3 points ran
+
+    def test_replicates_share_cache_with_single_seed_sweeps(self, tmp_path):
+        """A replicated run warms the cache for the equivalent
+        single-seed sweep (seed lives in the point, not the key)."""
+        cache = ResultCache(tmp_path / "cache")
+        marks = tmp_path / "marks"
+        spec = _spec(worker=_noisy_and_mark, mark_dir=str(marks))
+        ExperimentEngine(cache=cache).run_replicated(spec, [1, 2])
+        ran_before = len(list(marks.glob("*.ran")))
+        single = SweepSpec(
+            "noisy",
+            _noisy_and_mark,
+            [{"x": x, "seed": 1, "mark_dir": str(marks)} for x in range(3)],
+            key={"experiment": "noisy"},
+        )
+        run = ExperimentEngine(cache=cache).run(single)
+        assert [value["y"] for value in run.values] == [1, 101, 201]
+        assert len(list(marks.glob("*.ran"))) == ran_before
+        assert run.manifest.hits == 3 and run.manifest.misses == 0
+
+
+class TestReplicatedSweeps:
+    def test_seed_series_shape_and_validation(self):
+        from repro.engine.sweeps import seed_series
+
+        assert seed_series(7, 3) == [7, 8, 9]
+        with pytest.raises(EngineError):
+            seed_series(7, 0)
+
+    def test_replicated_speedups_normalize_per_seed(self, tmp_path):
+        from repro.engine.sweeps import (
+            run_replicated_speedups, run_replicated_times,
+        )
+
+        engine = ExperimentEngine(cache=ResultCache(tmp_path / "cache"))
+        seeds = [7, 8]
+        times = run_replicated_times(
+            engine, "linpack", counts=[1, 4], num_nodes=96, seeds=seeds,
+        )
+        speedups = run_replicated_speedups(
+            engine, "linpack", counts=[1, 4], num_nodes=96, seeds=seeds,
+        )
+        for idx in range(len(seeds)):
+            assert speedups[4][idx] == pytest.approx(
+                times[1][idx] / times[4][idx]
+            )
+        assert speedups[1] == pytest.approx((1.0, 1.0))

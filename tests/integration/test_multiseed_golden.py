@@ -1,0 +1,77 @@
+"""Golden pin of the multi-seed Figure 3 summary document.
+
+``tests/golden/fig3_multiseed.json`` is the byte-exact
+``--summary-out`` document of ``repro fig3 --quick --seeds 5`` — the
+per-point mean/median/CI/CV summaries plus the raw replicate values.
+The tests regenerate it at ``--jobs 1`` AND ``--jobs 4`` and require
+both byte-identical to the golden, which pins two ISSUE acceptance
+criteria at once: multi-seed runs are deterministic across job
+counts, and the statistical summaries themselves never drift
+silently (regenerate with
+``python tests/integration/test_multiseed_golden.py``).
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.core.stats import ReplicateSummary
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+GOLDEN_JSON = GOLDEN_DIR / "fig3_multiseed.json"
+
+
+def multiseed_summary_bytes(tmp_dir, jobs):
+    """Run the pinned invocation; return the summary document bytes."""
+    out = Path(tmp_dir) / f"summary-jobs{jobs}.json"
+    code = main([
+        "fig3", "--quick", "--seeds", "5", "--jobs", str(jobs),
+        "--no-cache", "--summary-out", str(out),
+    ])
+    assert code == 0
+    return out.read_bytes()
+
+
+class TestFig3MultiseedGolden:
+    def test_jobs1_matches_golden_byte_for_byte(self, tmp_path, capsys):
+        assert multiseed_summary_bytes(tmp_path, 1) == GOLDEN_JSON.read_bytes()
+
+    def test_jobs4_matches_golden_byte_for_byte(self, tmp_path, capsys):
+        assert multiseed_summary_bytes(tmp_path, 4) == GOLDEN_JSON.read_bytes()
+
+    def test_golden_structure_and_provenance(self):
+        doc = json.loads(GOLDEN_JSON.read_text(encoding="utf-8"))
+        assert doc["schema"] == 1
+        assert doc["seeds"] == [7, 8, 9, 10, 11]
+        assert doc["confidence"] == 0.95
+        series = doc["artefacts"]["fig3"]["series"]
+        assert sorted(series) == ["bigdft", "linpack", "specfem3d"]
+        for name, entry in series.items():
+            for point in entry["points"]:
+                summary = ReplicateSummary.from_dict(point["summary"])
+                assert summary.count == 5
+                assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_golden_baselines_are_exact(self):
+        """Each curve's baseline point is exact for every seed
+        (speedup = baseline_cores by construction)."""
+        doc = json.loads(GOLDEN_JSON.read_text(encoding="utf-8"))
+        series = doc["artefacts"]["fig3"]["series"]
+        for name, baseline_x in (("linpack", 1), ("specfem3d", 4),
+                                 ("bigdft", 1)):
+            first = series[name]["points"][0]
+            assert first["x"] == baseline_x
+            assert first["summary"]["values"] == [float(baseline_x)] * 5
+
+
+def regenerate():  # pragma: no cover - manual tool
+    import tempfile
+
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        GOLDEN_JSON.write_bytes(multiseed_summary_bytes(tmp_dir, 1))
+    print(f"wrote {GOLDEN_JSON}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

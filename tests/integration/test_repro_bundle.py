@@ -1,0 +1,112 @@
+"""`repro reproduce-all`: the one-command reproduction bundle.
+
+The ISSUE acceptance criteria, on a reduced preset (``--only``):
+
+* the bundle regenerates pinned artefacts with a sha256 manifest;
+* a warm (fully cached) rerun is byte-identical and reports zero
+  recomputed points;
+* the manifest digest printed on stdout matches the manifest bytes;
+* ``verify_bundle`` round-trips and catches tampering.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.obs.bundle import (
+    MANIFEST_NAME,
+    load_bundle_manifest,
+    sha256_file,
+    verify_bundle,
+)
+
+
+def run_bundle(out_dir, capsys, *, only="fig3,fig7", seeds=2):
+    """One reproduce-all invocation; returns (stdout, stderr)."""
+    code = main([
+        "reproduce-all", "--quick", "--seeds", str(seeds),
+        "--only", only, "--out", str(out_dir),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    return captured.out, captured.err
+
+
+def tree_bytes(root):
+    """Map of relative path -> file bytes for a directory tree."""
+    root = Path(root)
+    return {
+        path.relative_to(root).as_posix(): path.read_bytes()
+        for path in sorted(root.rglob("*")) if path.is_file()
+    }
+
+
+class TestReproduceAll:
+    def test_warm_rerun_is_byte_identical_and_recomputes_nothing(
+        self, tmp_path, capsys
+    ):
+        cold_out, cold_err = run_bundle(tmp_path / "cold", capsys)
+        warm_out, warm_err = run_bundle(tmp_path / "warm", capsys)
+        # Same manifest digest on stdout, zero recomputed points on
+        # the warm pass, and every file byte-identical.
+        assert cold_out == warm_out
+        assert "[bundle] recomputed 0 | hits" in warm_err.splitlines()[-1]
+        assert tree_bytes(tmp_path / "cold") == tree_bytes(tmp_path / "warm")
+
+    def test_manifest_digest_and_hashes_are_real(self, tmp_path, capsys):
+        out_dir = tmp_path / "bundle"
+        stdout, _ = run_bundle(out_dir, capsys)
+        manifest_path = out_dir / MANIFEST_NAME
+        assert stdout.strip() == hashlib.sha256(
+            manifest_path.read_bytes()
+        ).hexdigest()
+        manifest = load_bundle_manifest(out_dir)
+        assert sorted(manifest["artefacts"]) == ["fig3", "fig7"]
+        for artefact, record in manifest["artefacts"].items():
+            assert record["seeds"] == [7, 8]
+            assert record["confidence"] == 0.95
+            for relative, digest in record["files"].items():
+                assert sha256_file(out_dir / relative) == digest
+        assert verify_bundle(out_dir) == []
+
+    def test_bundle_carries_stdout_metrics_and_summaries(
+        self, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "bundle"
+        run_bundle(out_dir, capsys)
+        assert "Figure 3a" in (out_dir / "fig3" / "stdout.txt").read_text(
+            encoding="utf-8"
+        )
+        metrics = json.loads(
+            (out_dir / "fig3" / "metrics.json").read_text(encoding="utf-8")
+        )
+        # Deterministic export: cache-state counters must be absent.
+        assert "engine.cache.misses" not in metrics["counters"]
+        summary = json.loads(
+            (out_dir / "fig3" / "summary.json").read_text(encoding="utf-8")
+        )
+        assert summary["seeds"] == [7, 8]
+        assert "linpack" in summary["artefacts"]["fig3"]["series"]
+        # fig7 is single-series/no-replication: stdout + metrics only.
+        assert not (out_dir / "fig7" / "summary.json").exists()
+
+    def test_verify_bundle_detects_tampering(self, tmp_path, capsys):
+        out_dir = tmp_path / "bundle"
+        run_bundle(out_dir, capsys, only="fig7")
+        target = out_dir / "fig7" / "stdout.txt"
+        target.write_text(
+            target.read_text(encoding="utf-8") + "tampered\n",
+            encoding="utf-8",
+        )
+        problems = verify_bundle(out_dir)
+        assert any("fig7/stdout.txt" in problem for problem in problems)
+
+    def test_unknown_only_selection_fails_cleanly(self, tmp_path, capsys):
+        code = main([
+            "reproduce-all", "--quick", "--only", "fig3,nonsense",
+            "--out", str(tmp_path / "bundle"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "nonsense" in captured.err

@@ -58,7 +58,11 @@ class TestGoldenExports:
         payload = json.loads(GOLDEN_JSON.read_text(encoding="utf-8"))
         counters = payload["counters"]
         assert "des.events_dispatched" in counters
-        assert "engine.cache.misses" in counters
+        # Cache hit/miss counts depend on cache state, so they are
+        # volatile now and must NOT appear in deterministic exports;
+        # the deterministic point counter stays.
+        assert "engine.cache.misses" not in counters
+        assert "engine.points" in counters
         assert "mpi.messages.allreduce" in counters
         # The Figure 4 observation as a queryable metric: time ranks
         # spend parked in MPI waits, per collective.
