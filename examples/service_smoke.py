@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Service smoke test: the three headline guarantees, end to end.
+
+Starts a real ``repro serve`` process on an ephemeral port and proves,
+against live sockets and real kill signals:
+
+1. **Exactly-once** — N identical concurrent cold submissions run the
+   engine exactly once (the chaos worker's attempt odometer is the
+   witness) and every client receives byte-identical results.
+2. **Warm from cache** — re-submitting the same point is served from
+   the result cache with zero recomputation.
+3. **Crash-safe recovery** — ``kill -9`` the server, restart it on the
+   same run dir with a *fresh* cache root: completed jobs are re-served
+   byte-identically from the journal, unfinished jobs are requeued.
+
+Exit status 0 means all three held.  Usage::
+
+    PYTHONPATH=src python examples/service_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service import ServiceClient  # noqa: E402
+
+CLIENTS = 6
+
+
+class Serve:
+    """One ``repro serve`` OS process on an ephemeral port."""
+
+    def __init__(self, run_dir: Path, cache_dir: Path):
+        env = dict(os.environ)
+        env["PYTHONUNBUFFERED"] = "1"
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src if not existing else src + os.pathsep + existing
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--run-dir", str(run_dir),
+                "--cache-dir", str(cache_dir),
+                "--pool", "1",
+                "--drain", "0.5",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.port = self._await_port()
+
+    def _await_port(self) -> int:
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = self.proc.stderr.readline()
+            if "listening on http://" in line:
+                return int(line.rsplit(":", 1)[-1])
+            if not line and self.proc.poll() is not None:
+                break
+        raise SystemExit("serve process never announced its port")
+
+    def client(self) -> ServiceClient:
+        return ServiceClient(f"http://127.0.0.1:{self.port}", timeout_s=60)
+
+    def kill9(self) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=10)
+
+    def terminate(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=10)
+
+
+def check(label: str, ok: bool, detail: str = "") -> None:
+    mark = "ok" if ok else "FAIL"
+    print(f"  [{mark}] {label}" + (f"  ({detail})" if detail else ""))
+    if not ok:
+        raise SystemExit(f"smoke check failed: {label}")
+
+
+def attempt_bytes(state_dir: Path) -> int:
+    if not state_dir.exists():
+        return 0
+    return sum(p.stat().st_size for p in state_dir.iterdir())
+
+
+def exactly_once(server: Serve, state_dir: Path) -> bytes:
+    print(f"1. {CLIENTS} identical concurrent cold submissions")
+    params = {
+        "x": 12,
+        "state_dir": str(state_dir),
+        # times=0: the fault never fires, but every engine execution
+        # ticks the odometer — one byte per attempt.
+        "faults": {"12": {"kind": "raise", "times": 0}},
+    }
+
+    def one_client(_):
+        return server.client().submit("chaos-squares", dict(params))
+
+    with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+        replies = list(pool.map(one_client, range(CLIENTS)))
+
+    check("every client saw state=done",
+          all(r["job"]["state"] == "done" for r in replies))
+    bodies = {
+        server.client().result_bytes(r["job"]["job_id"]) for r in replies
+    }
+    check("all clients received byte-identical results",
+          len(bodies) == 1)
+    runs = attempt_bytes(state_dir)
+    check("the engine ran exactly once", runs == 1,
+          f"odometer={runs}")
+    computed = {
+        r["job"]["job_id"]
+        for r in replies if r["job"]["source"] == "computed"
+    }
+    shared = sum(
+        r["deduped"] or r["job"]["source"] in ("cache", "journal")
+        for r in replies
+    )
+    check("one computation fanned out to the rest",
+          len(computed) == 1 and shared == CLIENTS - 1,
+          f"computed={len(computed)} shared={shared}")
+    return bodies.pop()
+
+
+def warm_resubmit(server: Serve, state_dir: Path, cold: bytes) -> None:
+    print("2. identical re-submission after completion")
+    reply = server.client().submit("chaos-squares", {
+        "x": 12,
+        "state_dir": str(state_dir),
+        "faults": {"12": {"kind": "raise", "times": 0}},
+    })
+    job = reply["job"]
+    check("served warm, zero recompute",
+          job["source"] in ("cache", "journal"),
+          f"source={job['source']}")
+    check("odometer did not move", attempt_bytes(state_dir) == 1)
+    check("bytes identical to the cold run",
+          server.client().result_bytes(job["job_id"]) == cold)
+
+
+def crash_recovery(tmp: Path, server: Serve, cold_id: str,
+                   cold: bytes) -> None:
+    print("3. kill -9, restart on the same run dir, fresh cache root")
+    client = server.client()
+    unfinished = client.submit(
+        "sleepy", {"duration_s": 120.0}, wait=False
+    )["job"]
+    deadline = time.monotonic() + 10
+    while client.status(unfinished["job_id"])["job"]["state"] == "queued":
+        if time.monotonic() > deadline:
+            raise SystemExit("sleepy job never started")
+        time.sleep(0.01)
+    server.kill9()
+    print("  killed pid", server.proc.pid, "with SIGKILL")
+
+    second = Serve(tmp / "run", tmp / "cache-2")
+    try:
+        client = second.client()
+        recovered = client.status(cold_id)["job"]
+        check("completed job recovered from the journal",
+              recovered["state"] == "done"
+              and recovered["recovered"]
+              and recovered["source"] == "journal")
+        check("re-served byte-identically",
+              client.result_bytes(cold_id) == cold)
+        requeued = client.status(unfinished["job_id"])["job"]
+        check("unfinished job was requeued",
+              requeued["recovered"]
+              and requeued["state"] in ("queued", "running"),
+              f"state={requeued['state']}")
+        second.terminate()
+        check("SIGTERM drained cleanly", second.proc.returncode == 0)
+    finally:
+        second.terminate()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="service-smoke-") as root:
+        tmp = Path(root)
+        state_dir = tmp / "odometer"
+        server = Serve(tmp / "run", tmp / "cache-1")
+        print(f"serving on port {server.port}")
+        try:
+            cold = exactly_once(server, state_dir)
+            warm_resubmit(server, state_dir, cold)
+            stats = server.client().stats()
+            cold_id = next(
+                j["job_id"]
+                for j in server.client().jobs()["jobs"]
+                if j["source"] == "computed"
+            )
+            print(f"  service stats: jobs={stats['jobs']} "
+                  f"queue_depth={stats['queue_depth']}")
+            crash_recovery(tmp, server, cold_id, cold)
+        finally:
+            server.terminate()
+    print("service smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

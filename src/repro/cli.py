@@ -855,6 +855,134 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _parse_params(pairs) -> dict:
+    """``--param k=v`` pairs -> a params dict; values parse as JSON
+    first (numbers, lists, objects, booleans) and fall back to raw
+    strings, so ``--param cores=16`` and ``--param app=bigdft`` both
+    do what they look like."""
+    import json
+
+    params: dict = {}
+    for pair in pairs or []:
+        name, sep, raw = pair.partition("=")
+        if not sep or not name:
+            raise ReproError(
+                f"--param needs name=value, got {pair!r}"
+            )
+        try:
+            params[name] = json.loads(raw)
+        except ValueError:
+            params[name] = raw
+    return params
+
+
+def _cmd_serve(args) -> int:
+    """Run the simulation job service until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro import metrics as metrics_mod
+    from repro.service import JobService, ServiceConfig, serve
+
+    run_dir = args.resume if args.resume is not None else args.run_dir
+    config = ServiceConfig(
+        cache_root=args.cache_dir,
+        run_dir=run_dir,
+        pool_size=args.pool,
+        queue_limit=args.queue_limit,
+        drain_s=args.drain,
+        default_deadline_s=args.deadline,
+        point_timeout_s=args.point_timeout,
+        retries=args.retries,
+        retry_delay_s=args.retry_delay,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+    )
+    # The service always runs instrumented — /metrics is part of its
+    # contract — even when the CLI wasn't asked for a metrics export.
+    installed = previous = None
+    if not metrics_mod.current_registry().enabled:
+        installed = metrics_mod.MetricsRegistry()
+        previous = metrics_mod.set_registry(installed)
+    try:
+        asyncio.run(serve(JobService(config), host=args.host, port=args.port))
+    finally:
+        if installed is not None:
+            metrics_mod.set_registry(previous)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    """Submit one job to a running service and print its result."""
+    import json
+
+    from repro.service.client import ServiceClient
+
+    if len(args.paths) != 1:
+        raise ReproError(
+            "submit needs exactly one scenario name "
+            f"(e.g. cluster-elapsed), got {args.paths!r}"
+        )
+    client = ServiceClient(args.url)
+    response = client.submit(
+        args.paths[0], _parse_params(args.param),
+        deadline_s=args.deadline, wait=not args.no_wait,
+    )
+    job = response["job"]
+    print(
+        f"[submit] job {job['job_id']} state={job['state']} "
+        f"deduped={str(response['deduped']).lower()} "
+        f"source={job['source'] or '-'} "
+        f"attempts={job['attempts']}",
+        file=sys.stderr,
+    )
+    if job["state"] == "done":
+        sys.stdout.write(client.result_bytes(job["job_id"]).decode("utf-8"))
+        return 0
+    if job["state"] in ("failed", "cancelled"):
+        error = job.get("error") or {}
+        print(
+            f"error in job {job['job_id']}: "
+            f"{error.get('type', 'unknown')}: {error.get('message', '?')}",
+            file=sys.stderr,
+        )
+        return 1
+    # --no-wait: hand the id to the caller for status/result polling.
+    print(json.dumps({"job_id": job["job_id"], "state": job["state"]}))
+    return 0
+
+
+def _cmd_status(args) -> int:
+    """Service stats, or one job's snapshot with an id argument."""
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if not args.paths:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    if len(args.paths) != 1:
+        raise ReproError(
+            f"status takes at most one job id, got {args.paths!r}"
+        )
+    job = client.status(args.paths[0])["job"]
+    print(json.dumps(job, indent=2, sort_keys=True))
+    return 0 if job["state"] != "failed" else 1
+
+
+def _cmd_result(args) -> int:
+    """Print a finished job's canonical result body."""
+    from repro.service.client import ServiceClient
+
+    if len(args.paths) != 1:
+        raise ReproError(
+            f"result needs exactly one job id, got {args.paths!r}"
+        )
+    client = ServiceClient(args.url)
+    sys.stdout.write(client.result_bytes(args.paths[0]).decode("utf-8"))
+    return 0
+
+
 #: Maintenance commands: dispatched before the artefact loop and
 #: never part of ``all`` (they are tools, not paper artefacts).
 TOOL_COMMANDS: dict[str, Callable] = {
@@ -863,6 +991,10 @@ TOOL_COMMANDS: dict[str, Callable] = {
     "compare": _cmd_compare,
     "reproduce-all": _cmd_reproduce_all,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "result": _cmd_result,
 }
 
 
@@ -901,12 +1033,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[*COMMANDS, "all", *TOOL_COMMANDS],
         help="which table/figure to regenerate, or a tool "
              "(trace-report, diff-metrics, compare, reproduce-all, "
-             "cache)",
+             "cache, serve, submit, status, result)",
     )
     parser.add_argument(
         "paths", nargs="*", metavar="PATH",
         help="for diff-metrics/compare: the two JSON files to compare; "
-             "for cache: the action (verify, stats, clear)",
+             "for cache: the action (verify, stats, clear); for "
+             "submit: the scenario name; for status/result: the job id",
     )
     parser.add_argument("--quick", action="store_true",
                         help="shrink the cluster sweeps")
@@ -983,6 +1116,45 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["json", "prom", "table"],
                         help="metrics export format (default json); with "
                              "no --metrics-out the export goes to stderr")
+    service = parser.add_argument_group("simulation service (serve/submit)")
+    service.add_argument("--host", default="127.0.0.1",
+                         help="serve: bind address (default 127.0.0.1)")
+    service.add_argument("--port", type=int, default=8642,
+                         help="serve: TCP port; 0 picks an ephemeral one "
+                              "(default 8642)")
+    service.add_argument("--pool", type=int, default=2, metavar="N",
+                         help="serve: worker process pool size (default 2)")
+    service.add_argument("--queue-limit", type=int, default=16, metavar="N",
+                         help="serve: bounded job queue capacity; "
+                              "submissions past it get a typed 429 "
+                              "(default 16)")
+    service.add_argument("--drain", type=float, default=5.0, metavar="S",
+                         help="serve: graceful-shutdown budget for "
+                              "running jobs; the rest are persisted "
+                              "(default 5)")
+    service.add_argument("--breaker-threshold", type=int, default=3,
+                         metavar="N",
+                         help="serve: consecutive failures that open a "
+                              "scenario class's circuit breaker "
+                              "(default 3)")
+    service.add_argument("--breaker-cooldown", type=float, default=5.0,
+                         metavar="S",
+                         help="serve: seconds an open breaker sheds its "
+                              "class before half-open probing (default 5)")
+    service.add_argument("--deadline", type=float, default=None, metavar="S",
+                         help="serve: default per-job deadline; submit: "
+                              "this job's deadline (cancels the job and "
+                              "truncates retries when it expires)")
+    service.add_argument("--url", default="http://127.0.0.1:8642",
+                         help="submit/status/result: service base URL "
+                              "(default http://127.0.0.1:8642)")
+    service.add_argument("--param", action="append", metavar="K=V",
+                         help="submit: one scenario parameter; values "
+                              "parse as JSON with a raw-string fallback "
+                              "(repeatable)")
+    service.add_argument("--no-wait", action="store_true",
+                         help="submit: return the job id immediately "
+                              "instead of blocking for the result")
     return parser
 
 
@@ -1001,6 +1173,40 @@ def _build_policy(args):
     return ExecutionPolicy(
         point_timeout_s=args.point_timeout, retry=retry, seed=args.seed
     )
+
+
+def _flush_interrupted(args, journal) -> None:
+    """Best-effort partial-state flush after a SIGINT.
+
+    Completed sweeps already wrote their manifests and the journal is
+    durable per record; this adds ``interrupted.json`` to an active
+    run directory (what finished, how much is journaled) so resuming
+    tooling can tell a clean run from a truncated one.
+    """
+    import json
+
+    run_dir = getattr(args, "resume", None) or getattr(args, "run_dir", None)
+    if run_dir is None:
+        return
+    engine = getattr(args, "engine", None)
+    marker = {
+        "artefact": args.artefact,
+        "completed_sweeps": (
+            [m.sweep for m in engine.manifests] if engine is not None else []
+        ),
+        "journal_records": 0 if journal is None else len(journal),
+    }
+    try:
+        Path(run_dir).mkdir(parents=True, exist_ok=True)
+        (Path(run_dir) / "interrupted.json").write_text(
+            json.dumps(marker, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"[engine] partial state flushed to {run_dir}/interrupted.json",
+              file=sys.stderr)
+    except OSError as error:
+        print(f"[engine] could not flush interrupt marker: {error}",
+              file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1101,6 +1307,17 @@ def main(argv: list[str] | None = None) -> int:
         # Commands (claims) signal failure via SystemExit; the metrics
         # export below must still happen before it propagates.
         pending_exit = exit_request
+    except KeyboardInterrupt:
+        # Ctrl-C is a request, not a crash: one line, exit code 130
+        # (128+SIGINT), no traceback.  Durable state is already safe —
+        # the journal fsyncs per record and finished sweeps saved their
+        # manifests — but an active run directory gets an interrupted
+        # marker so a later --resume knows the run was cut short.
+        pending_exit = None
+        code = 130
+        print(f"\ninterrupted: {args.artefact} stopped by SIGINT",
+              file=sys.stderr)
+        _flush_interrupted(args, journal)
     else:
         pending_exit = None
     finally:

@@ -62,11 +62,15 @@ def summarize(values: Sequence[float]) -> SummaryStats:
         raise ConfigurationError("cannot summarize an empty sample")
     n = len(values)
     mean = sum(values) / n
-    if n > 1:
+    ordered = sorted(values)
+    if n > 1 and ordered[0] != ordered[-1]:
         var = sum((v - mean) ** 2 for v in values) / (n - 1)
     else:
+        # A constant sample has zero spread by definition; the two-pass
+        # formula can say otherwise when sum(values)/n rounds away from
+        # the common value (e.g. three copies of a float whose triple is
+        # not representable).
         var = 0.0
-    ordered = sorted(values)
     mid = n // 2
     if n % 2:
         median = ordered[mid]

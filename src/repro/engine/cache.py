@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
@@ -35,6 +36,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Subdirectory of the cache root where corrupt entries are moved.
 CORRUPT_DIR = "corrupt"
+
+#: Temp files younger than this are live concurrent writers mid-put,
+#: not leftovers; ``verify()``/``clear()`` only sweep older ones.
+STALE_TEMP_MAX_AGE_S = 60.0
 
 
 def default_cache_root() -> Path:
@@ -168,8 +173,11 @@ class ResultCache:
         """Store *payload* under *key*; returns the content key.
 
         The payload must be JSON-serializable — the cache stores
-        values, never live objects.  The write is atomic and the temp
-        file is removed on *any* failure, not just ``OSError``.
+        values, never live objects.  The write is atomic, idempotent
+        under concurrency (two writers racing the same key both
+        succeed; rename order decides whose identical bytes stay), and
+        the temp file is removed on *any* failure, not just
+        ``OSError``.
         """
         key_hash = content_key(key)
         canonical_key = json.loads(canonical_json(key))
@@ -184,7 +192,19 @@ class ResultCache:
             raise EngineError(
                 f"cache payload is not JSON-serializable: {error}"
             ) from error
-        path = self._path(key_hash)
+        self._write_atomic(self._path(key_hash), text)
+        return key_hash
+
+    def _write_atomic(self, path: Path, text: str, *, retried: bool = False) -> None:
+        """Temp-file + rename, tolerant of a concurrent housekeeper.
+
+        A ``verify()``/``clear()`` racing this writer may sweep the
+        temp (or, externally, the whole shard directory) between the
+        write and the rename, surfacing as ``FileNotFoundError`` from
+        ``os.replace``.  That is contention, not corruption: retry once
+        with a fresh temp after re-creating the shard.  A second loss
+        means something is actively deleting our files — propagate.
+        """
         path.parent.mkdir(parents=True, exist_ok=True)
         descriptor, temp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".tmp"
@@ -192,14 +212,18 @@ class ResultCache:
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 handle.write(text)
-            os.replace(temp_name, path)
+            try:
+                os.replace(temp_name, path)
+            except FileNotFoundError:
+                if retried:
+                    raise
+                self._write_atomic(path, text, retried=True)
         finally:
             if os.path.exists(temp_name):
                 try:
                     os.unlink(temp_name)
                 except OSError:
                     pass
-        return key_hash
 
     def contains(self, key: Mapping[str, Any]) -> bool:
         """Whether *key* has a stored entry (without touching stats)."""
@@ -237,7 +261,7 @@ class ResultCache:
                 entry.unlink()
                 removed += 1
             for temp in sorted(shard.glob(".tmp-*")):
-                temp.unlink()
+                self._sweep_temp(temp)
         corrupt_dir = self.root / CORRUPT_DIR
         if corrupt_dir.is_dir():
             for entry in sorted(corrupt_dir.iterdir()):
@@ -270,9 +294,26 @@ class ResultCache:
                 else:
                     report.ok += 1
             for temp in sorted(shard.glob(".tmp-*")):
-                try:
-                    temp.unlink()
+                if self._sweep_temp(temp):
                     report.stale_temps += 1
-                except OSError:
-                    pass
         return report
+
+    def _sweep_temp(self, temp: Path) -> bool:
+        """Unlink *temp* only if it is old enough to be abandoned.
+
+        A fresh temp is a live concurrent :meth:`put` between its
+        write and its rename; deleting it would fail that writer for
+        no reason (the thundering-herd false positive).  Only temps
+        past :data:`STALE_TEMP_MAX_AGE_S` — crashed writers — go.
+        """
+        try:
+            age = time.time() - temp.stat().st_mtime
+        except OSError:
+            return False  # already renamed or swept by someone else
+        if age < STALE_TEMP_MAX_AGE_S:
+            return False
+        try:
+            temp.unlink()
+            return True
+        except OSError:
+            return False

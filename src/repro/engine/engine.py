@@ -289,6 +289,10 @@ class ExperimentEngine:
         :class:`~repro.errors.JournalError`).
         """
         started = time.perf_counter()
+        run_deadline = (
+            None if self.policy.deadline_s is None
+            else time.monotonic() + self.policy.deadline_s
+        )
         n = len(spec.points)
         keys = [self.point_key(spec, p) for p in spec.points]
         hashes = [content_key(key) for key in keys]
@@ -331,9 +335,30 @@ class ExperimentEngine:
                 "attempt": attempt,
             }
             if attempt < self.policy.max_attempts:
+                delay = self.policy.retry_delay_s(attempt, hashes[index])
+                if (
+                    run_deadline is None
+                    or time.monotonic() + delay <= run_deadline
+                ):
+                    transient.setdefault(index, []).append(record)
+                    self.metrics.inc("engine.retries")
+                    return delay
+                # The retry budget is not spent, but the run deadline
+                # truncates the schedule: what the point ran out of is
+                # its budget, so the manifest records RetryExhausted —
+                # the last attempt's incidental error (often a
+                # PointTimeout) survives as the cause, not the type.
                 transient.setdefault(index, []).append(record)
-                self.metrics.inc("engine.retries")
-                return self.policy.retry_delay_s(attempt, hashes[index])
+                record = {
+                    "type": "RetryExhausted",
+                    "message": (
+                        f"retry schedule truncated by the "
+                        f"{self.policy.deadline_s:g}s run deadline after "
+                        f"attempt {attempt} "
+                        f"({record['type']}: {record['message']})"
+                    ),
+                    "attempt": attempt,
+                }
             attempts[index] = attempt
             failures[index] = record
             failure_exc[index] = error
@@ -373,7 +398,8 @@ class ExperimentEngine:
             if pending:
                 if executor_kind == "process":
                     self._run_processes(
-                        spec, pending, capture, complete, fail, timeout_s
+                        spec, pending, capture, complete, fail, timeout_s,
+                        run_deadline,
                     )
                 elif executor_kind == "thread":
                     self._run_threads(
@@ -538,7 +564,8 @@ class ExperimentEngine:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def _run_processes(
-        self, spec, pending, capture, complete, fail, timeout_s
+        self, spec, pending, capture, complete, fail, timeout_s,
+        run_deadline=None,
     ) -> None:
         """The supervised process pool: full crash/hang isolation.
 
@@ -548,6 +575,9 @@ class ExperimentEngine:
         detected immediately even while siblings hold inherited pipe
         ends; a worker past its deadline is killed outright.  Either
         way only that point's attempt fails — the pool never breaks.
+        A ``run_deadline`` (monotonic instant) additionally caps every
+        attempt: a worker still running when the run budget expires is
+        killed rather than allowed to overshoot it.
         """
         ctx = (
             multiprocessing.get_context("fork")
@@ -569,9 +599,15 @@ class ExperimentEngine:
             )
             proc.start()
             child_conn.close()
+            deadline = None if timeout_s is None else now + timeout_s
+            if run_deadline is not None:
+                deadline = (
+                    run_deadline if deadline is None
+                    else min(deadline, run_deadline)
+                )
             running.append(_Attempt(
                 proc=proc, conn=parent_conn, index=index, attempt=attempt,
-                deadline=None if timeout_s is None else now + timeout_s,
+                deadline=deadline,
             ))
 
         def retire(task: _Attempt) -> None:
@@ -660,14 +696,18 @@ class ExperimentEngine:
                         requeue_or_fail(task, WorkerCrash(
                             message[1], kind="protocol", attempt=task.attempt,
                         ))
-                if timeout_s is not None:
+                if timeout_s is not None or run_deadline is not None:
+                    budget = (
+                        timeout_s if timeout_s is not None
+                        else self.policy.deadline_s
+                    )
                     for task in list(running):
                         if task.deadline is not None and now >= task.deadline:
                             task.proc.kill()
                             retire(task)
                             self.metrics.inc("engine.timeouts")
                             requeue_or_fail(task, PointTimeout(
-                                timeout_s, attempt=task.attempt,
+                                budget, attempt=task.attempt,
                             ))
         finally:
             # A typed abort (e.g. the journal's disk filled) must not

@@ -42,17 +42,30 @@ class ExecutionPolicy:
     * ``jitter`` — fractional spread applied to each delay, derived
       deterministically from ``seed``, the point's content key and the
       attempt number.
+    * ``deadline_s`` — wall-clock budget for the *whole run* (every
+      attempt of every point).  A retry whose backoff delay would land
+      past the deadline is not dispatched: the point fails finally with
+      a ``RetryExhausted`` manifest record (the budget ran out — the
+      incidental type of the last attempt's error is preserved as its
+      cause).  The job service derives this from each job's deadline,
+      so a client deadline propagates all the way into the retry
+      schedule.  ``None`` (the default) disables the budget.
     """
 
     point_timeout_s: float | None = None
     retry: RetryPolicy | None = None
     jitter: float = 0.1
     seed: int = 0
+    deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.point_timeout_s is not None and self.point_timeout_s <= 0:
             raise ConfigurationError(
                 f"point timeout must be positive, got {self.point_timeout_s}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"run deadline must be positive, got {self.deadline_s}"
             )
         if not 0.0 <= self.jitter <= 1.0:
             raise ConfigurationError(
@@ -73,7 +86,11 @@ class ExecutionPolicy:
         as itself.  Any configured budget switches failures to the
         structured taxonomy (:class:`~repro.errors.RetryExhausted`).
         """
-        return self.retry is not None or self.point_timeout_s is not None
+        return (
+            self.retry is not None
+            or self.point_timeout_s is not None
+            or self.deadline_s is not None
+        )
 
     def retry_delay_s(self, failed_attempt: int, token: str) -> float:
         """Backoff before re-dispatching after *failed_attempt* (1-based).

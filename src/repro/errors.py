@@ -203,3 +203,115 @@ class MetricsError(ReproError):
     """The metrics subsystem was mis-used: a decreasing counter, a
     type-conflicting metric name, mismatched histogram buckets on a
     merge, or an export that failed schema validation."""
+
+
+class ServiceError(ReproError):
+    """Base class for failures of the simulation job service.
+
+    Every subclass carries ``status`` (the HTTP status code the server
+    answers with) and serializes via :meth:`to_payload`, so a client
+    always receives the same typed record the in-process API raises.
+    """
+
+    status = 500
+
+    def to_payload(self) -> dict[str, Any]:
+        """The JSON body the HTTP layer sends for this error."""
+        return {"error": type(self).__name__, "message": str(self)}
+
+
+class InvalidJobRequest(ServiceError):
+    """A job submission was malformed: unknown scenario, missing or
+    unknown parameters, or non-JSON values."""
+
+    status = 400
+
+
+class JobNotFound(ServiceError):
+    """The requested job id is unknown to this service instance."""
+
+    status = 404
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        super().__init__(f"unknown job {job_id!r}")
+
+
+class JobNotFinished(ServiceError):
+    """A result was requested for a job that has not completed."""
+
+    status = 409
+
+    def __init__(self, job_id: str, state: str) -> None:
+        self.job_id = job_id
+        self.state = state
+        super().__init__(f"job {job_id} has no result yet (state: {state})")
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control rejected a submission: the bounded job queue
+    is at capacity.  ``retry_after_s`` estimates when capacity should
+    free up (the HTTP layer mirrors it as a ``Retry-After`` header)."""
+
+    status = 429
+
+    def __init__(self, *, depth: int, capacity: int, retry_after_s: float) -> None:
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"job queue at capacity ({depth}/{capacity}); "
+            f"retry in {retry_after_s:g}s"
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = super().to_payload()
+        payload["depth"] = self.depth
+        payload["capacity"] = self.capacity
+        payload["retry_after_s"] = self.retry_after_s
+        return payload
+
+
+class CircuitOpen(ServiceError):
+    """The scenario class's circuit breaker is open: recent jobs of
+    this class kept crashing workers, so new ones are shed instead of
+    consuming pool capacity.  Other scenario classes are unaffected."""
+
+    status = 503
+
+    def __init__(self, scenario_class: str, *, retry_after_s: float) -> None:
+        self.scenario_class = scenario_class
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"circuit open for scenario class {scenario_class!r}; "
+            f"probe in {retry_after_s:g}s"
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload = super().to_payload()
+        payload["scenario_class"] = self.scenario_class
+        payload["retry_after_s"] = self.retry_after_s
+        return payload
+
+
+class ServiceDraining(ServiceError):
+    """The service received a shutdown signal and stopped admitting
+    new jobs; running jobs are draining and queued ones are persisted
+    for the next instance."""
+
+    status = 503
+
+    def __init__(self) -> None:
+        super().__init__("service is draining; not admitting new jobs")
+
+
+class JobCancelled(ServiceError):
+    """A job was cancelled — explicitly, or because every waiting
+    client disconnected before it finished."""
+
+    status = 409
+
+    def __init__(self, job_id: str, reason: str) -> None:
+        self.job_id = job_id
+        self.reason = reason
+        super().__init__(f"job {job_id} cancelled: {reason}")

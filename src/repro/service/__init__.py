@@ -1,0 +1,52 @@
+"""`repro.service` — the simulation job service.
+
+A stdlib-only (``asyncio`` + HTTP/JSON) long-running service that
+wraps the experiment engine's worker protocol and sharded result
+cache, designed around failure: bounded admission, single-flight
+deduplication, per-scenario-class circuit breakers, client-deadline
+and cancellation propagation, and a crash-safe job journal so a
+killed-and-restarted instance recovers its queue and re-serves
+completed jobs byte-identically.
+
+The package splits along failure domains:
+
+* :mod:`repro.service.scenarios` — what a job *is*: the validated,
+  content-addressed scenario registry (shared cache keys with batch
+  sweeps).
+* :mod:`repro.service.jobs` — job records and lifecycle states.
+* :mod:`repro.service.queue` — bounded admission + single-flight maps.
+* :mod:`repro.service.breaker` — per-scenario-class circuit breakers.
+* :mod:`repro.service.core` — the :class:`JobService` orchestrator.
+* :mod:`repro.service.http` — the asyncio HTTP front end.
+* :mod:`repro.service.client` — the blocking client the CLI uses.
+"""
+
+from repro.service.breaker import BreakerBoard, CircuitBreaker
+from repro.service.core import JobService, ServiceConfig
+from repro.service.client import ServiceClient
+from repro.service.http import serve
+from repro.service.jobs import Job, JobState
+from repro.service.queue import AdmissionQueue, SingleFlight
+from repro.service.scenarios import (
+    SCENARIOS,
+    Scenario,
+    job_content_key,
+    resolve_scenario,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Job",
+    "JobService",
+    "JobState",
+    "SCENARIOS",
+    "Scenario",
+    "ServiceClient",
+    "ServiceConfig",
+    "SingleFlight",
+    "job_content_key",
+    "resolve_scenario",
+    "serve",
+]

@@ -1,0 +1,144 @@
+"""Per-scenario-class circuit breakers.
+
+A scenario class whose workers keep dying must not keep consuming
+pool slots — every doomed attempt is capacity stolen from healthy
+traffic.  The breaker is the classic three-state machine:
+
+* ``CLOSED`` — normal; consecutive failures are counted.
+* ``OPEN`` — after ``failure_threshold`` consecutive failures the
+  class is shed outright (typed 503 with a retry-after) for
+  ``cooldown_s``.
+* ``HALF_OPEN`` — after the cooldown exactly one probe job is let
+  through.  Success closes the breaker; failure re-opens it for
+  another cooldown.
+
+The clock is injectable so tests drive state transitions
+deterministically instead of sleeping through cooldowns.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import CircuitOpen
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_STATE_GAUGE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """One scenario class's failure account."""
+
+    def __init__(
+        self,
+        scenario_class: str,
+        *,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown_s}")
+        self.scenario_class = scenario_class
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self.state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+        self.times_opened = 0
+
+    @property
+    def gauge_value(self) -> int:
+        return _STATE_GAUGE[self.state]
+
+    def allow(self) -> None:
+        """Admit one job of this class, or raise :class:`CircuitOpen`.
+
+        In ``HALF_OPEN`` exactly one caller wins the probe slot; the
+        rest are shed until the probe reports back.
+        """
+        if self.state == CLOSED:
+            return
+        now = self._clock()
+        if self.state == OPEN:
+            remaining = self._opened_at + self.cooldown_s - now
+            if remaining > 0:
+                raise CircuitOpen(
+                    self.scenario_class,
+                    retry_after_s=round(max(0.001, remaining), 3),
+                )
+            self.state = HALF_OPEN
+            self._probe_out = False
+        if self._probe_out:
+            raise CircuitOpen(
+                self.scenario_class,
+                retry_after_s=round(self.cooldown_s, 3),
+            )
+        self._probe_out = True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._probe_out = False
+        self.state = CLOSED
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            # The probe failed: straight back to OPEN for a fresh
+            # cooldown, no threshold counting.
+            self._trip()
+        elif self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def abandon_probe(self) -> None:
+        """The probe never reported (cancelled mid-flight): free the
+        slot without judging the class either way."""
+        if self.state == HALF_OPEN:
+            self._probe_out = False
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self._opened_at = self._clock()
+        self._probe_out = False
+        self.times_opened += 1
+
+
+class BreakerBoard:
+    """The per-class breaker registry the service consults."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def for_class(self, scenario_class: str) -> CircuitBreaker:
+        breaker = self._breakers.get(scenario_class)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                scenario_class,
+                failure_threshold=self.failure_threshold,
+                cooldown_s=self.cooldown_s,
+                clock=self._clock,
+            )
+            self._breakers[scenario_class] = breaker
+        return breaker
+
+    def states(self) -> dict[str, str]:
+        return {name: b.state for name, b in sorted(self._breakers.items())}

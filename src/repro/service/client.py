@@ -1,0 +1,153 @@
+"""The blocking client behind ``repro submit/status/result``.
+
+Built on :mod:`http.client` (stdlib, synchronous) because the CLI is a
+one-shot tool: connect, ask, print, exit.  Typed service errors travel
+back as :class:`~repro.errors.ServiceError` subclasses re-raised from
+the JSON payload, so scripts see the same exception taxonomy the
+in-process API raises.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+from typing import Any, Mapping
+
+from repro import errors
+from repro.errors import ServiceError
+
+_ERROR_TYPES = {
+    name: obj
+    for name, obj in vars(errors).items()
+    if isinstance(obj, type) and issubclass(obj, ServiceError)
+}
+
+
+def _revive(payload: Mapping[str, Any], status: int) -> ServiceError:
+    """Rebuild the typed exception a payload describes."""
+    kind = payload.get("error", "ServiceError")
+    message = payload.get("message", f"HTTP {status}")
+    cls = _ERROR_TYPES.get(kind)
+    error: ServiceError
+    if cls is errors.ServiceOverloaded:
+        error = errors.ServiceOverloaded(
+            depth=payload.get("depth", -1),
+            capacity=payload.get("capacity", -1),
+            retry_after_s=payload.get("retry_after_s", 1.0),
+        )
+    elif cls is errors.CircuitOpen:
+        error = errors.CircuitOpen(
+            payload.get("scenario_class", "?"),
+            retry_after_s=payload.get("retry_after_s", 1.0),
+        )
+    else:
+        error = ServiceError(message)
+        if cls is not None:
+            error = ServiceError.__new__(cls)
+            Exception.__init__(error, message)
+    error.status = status
+    return error
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8642", *,
+                 timeout_s: float = 300.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", ""):
+            raise ServiceError(f"unsupported service URL scheme: {url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8642
+        self.timeout_s = timeout_s
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Mapping[str, Any] | None = None,
+        *,
+        raw: bool = False,
+    ) -> Any:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            payload = (
+                None if body is None
+                else json.dumps(body, sort_keys=True).encode("utf-8")
+            )
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                try:
+                    decoded = json.loads(data.decode("utf-8"))
+                except ValueError:
+                    decoded = {"error": "ServiceError",
+                               "message": data.decode("utf-8", "replace")}
+                raise _revive(decoded, response.status)
+            if raw:
+                return data
+            return json.loads(data.decode("utf-8")) if data else None
+        except (ConnectionError, OSError, http.client.HTTPException) as error:
+            if isinstance(error, ServiceError):
+                raise
+            raise ServiceError(
+                f"cannot reach service at http://{self.host}:{self.port}: "
+                f"{error}"
+            ) from error
+        finally:
+            conn.close()
+
+    # -- API ---------------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict[str, Any]:
+        return self._request("GET", "/readyz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics", raw=True).decode("utf-8")
+
+    def submit(
+        self,
+        scenario: str,
+        params: Mapping[str, Any] | None = None,
+        *,
+        deadline_s: float | None = None,
+        wait: bool = True,
+    ) -> dict[str, Any]:
+        """Submit one job; with ``wait`` the call blocks until done."""
+        body: dict[str, Any] = {
+            "scenario": scenario,
+            "params": dict(params or {}),
+            "wait": wait,
+        }
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return self._request("POST", "/jobs", body)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> dict[str, Any]:
+        return self._request("GET", "/jobs")
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The canonical result body — the byte-identity unit."""
+        return self._request("GET", f"/jobs/{job_id}/result", raw=True)
+
+    def result(self, job_id: str) -> Any:
+        return json.loads(self.result_bytes(job_id).decode("utf-8"))
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")

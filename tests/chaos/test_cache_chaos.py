@@ -118,12 +118,35 @@ class TestVerify:
         assert again.scanned == 2 and again.ok == 2 and not again.corrupt
 
     def test_verify_sweeps_stale_temps(self, cache):
+        import os
+        import time
+
+        from repro.engine.cache import STALE_TEMP_MAX_AGE_S
+
         cache.put(KEY, PAYLOAD)
         shard = next(cache.root.iterdir())
-        (shard / ".tmp-deadbeef.tmp").write_text("partial")
+        temp = shard / ".tmp-deadbeef.tmp"
+        temp.write_text("partial")
+        # Age the temp past the abandonment threshold: only then is it
+        # a crashed writer's leftover rather than a live put().
+        old = time.time() - STALE_TEMP_MAX_AGE_S - 1.0
+        os.utime(temp, (old, old))
         report = cache.verify()
         assert report.stale_temps == 1
         assert not list(shard.glob(".tmp-*"))
+
+    def test_verify_spares_fresh_temps(self, cache):
+        # A fresh temp is a concurrent writer between its write and
+        # its rename; sweeping it would fail that put() for no reason.
+        cache.put(KEY, PAYLOAD)
+        shard = next(cache.root.iterdir())
+        temp = shard / ".tmp-live-writer.tmp"
+        temp.write_text("partial")
+        report = cache.verify()
+        assert report.stale_temps == 0
+        assert temp.exists()
+        assert cache.clear() == 1  # clear also spares it
+        assert temp.exists()
 
     def test_quarantined_entries_do_not_count_as_shards(self, cache):
         cache.put(KEY, PAYLOAD)

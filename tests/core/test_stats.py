@@ -40,6 +40,15 @@ class TestSummarize:
         assert stats.std == 0.0
         assert stats.cv == 0.0
 
+    def test_constant_sample_has_exactly_zero_std(self):
+        # Three copies of a float whose triple is not representable:
+        # sum/n rounds away from the common value, and the naive
+        # two-pass formula reported a spurious nonzero spread.
+        value = 492588087.0 * 761894.125
+        stats = summarize([value, value, value])
+        assert stats.std == 0.0
+        assert stats.cv == 0.0
+
     def test_empty_sample_rejected(self):
         with pytest.raises(ConfigurationError):
             summarize([])

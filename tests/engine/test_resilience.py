@@ -34,6 +34,102 @@ class TestPolicyValidation:
         )
         assert policy.max_attempts == 5
 
+    def test_rejects_zero_deadline(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(deadline_s=0.0)
+
+    def test_rejects_negative_deadline(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(deadline_s=-3.0)
+
+    def test_deadline_alone_enables_fault_tolerance(self):
+        assert ExecutionPolicy(deadline_s=10.0).fault_tolerant
+
+
+def _always_fails(params):
+    raise ValueError(f"boom on {params['x']}")
+
+
+def _sleepy_worker(params):
+    import time as _time
+
+    _time.sleep(5.0)
+    return {"x": params["x"]}
+
+
+class TestRunDeadline:
+    """The whole-run budget truncating a retry schedule."""
+
+    def _run(self, policy):
+        from repro.engine import ExperimentEngine, SweepSpec
+        from repro.errors import RetryExhausted
+
+        engine = ExperimentEngine(policy=policy)
+        spec = SweepSpec(
+            "deadline/truncated", _always_fails, [{"x": 1}],
+            key={"experiment": "deadline-truncated"},
+        )
+        with pytest.raises(RetryExhausted):
+            engine.run(spec)
+        return engine.manifests[-1].points[0]
+
+    def test_truncated_schedule_records_retry_exhausted(self):
+        # The backoff (10s base) can never fit inside the 5s run
+        # deadline, so the very first failure is final — and what the
+        # point ran out of is its *budget*: the manifest records
+        # RetryExhausted, with the incidental error kept as the cause.
+        point = self._run(ExecutionPolicy(
+            retry=RetryPolicy(timeout_s=10.0, max_retries=5),
+            jitter=0.0,
+            deadline_s=5.0,
+        ))
+        assert point.error["type"] == "RetryExhausted"
+        assert point.error["type"] != "ValueError"
+        assert "truncated by the 5s run deadline" in point.error["message"]
+        assert "ValueError: boom on 1" in point.error["message"]
+        # The attempt that actually ran is preserved as transient.
+        assert [t["type"] for t in point.transient_errors] == ["ValueError"]
+        assert point.attempts == 1
+
+    def test_timeout_at_deadline_records_retry_exhausted(self, tmp_path):
+        """Process mode: a point that times out when the run deadline
+        cannot fit another attempt must record RetryExhausted (the
+        budget ran out), not a bare PointTimeout."""
+        from repro.engine import ExperimentEngine, SweepSpec
+        from repro.errors import RetryExhausted
+
+        engine = ExperimentEngine(
+            jobs=2,
+            policy=ExecutionPolicy(
+                retry=RetryPolicy(timeout_s=10.0, max_retries=3),
+                point_timeout_s=0.05,
+                jitter=0.0,
+                deadline_s=5.0,
+            ),
+        )
+        spec = SweepSpec(
+            "deadline/timeout", _sleepy_worker,
+            [{"x": 1}, {"x": 2}],
+            key={"experiment": "deadline-timeout"},
+        )
+        with pytest.raises(RetryExhausted):
+            engine.run(spec)
+        errors = [p.error for p in engine.manifests[-1].points if p.error]
+        assert errors, "at least one point must have failed"
+        for error in errors:
+            assert error["type"] == "RetryExhausted"
+            assert "PointTimeout" in error["message"]
+
+    def test_plain_budget_exhaustion_keeps_the_final_error_type(self):
+        # Without a deadline the historical contract holds: the final
+        # record carries the last error's own type.
+        point = self._run(ExecutionPolicy(
+            retry=RetryPolicy(timeout_s=0.001, max_retries=1),
+            jitter=0.0,
+        ))
+        assert point.error["type"] == "ValueError"
+        assert point.attempts == 2
+
 
 class TestBackoffSchedule:
     def test_delays_follow_the_retry_policy_shape(self):

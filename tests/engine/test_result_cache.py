@@ -95,6 +95,69 @@ class TestRobustness:
         assert list(cache.root.rglob(".tmp-*")) == []
 
 
+class TestConcurrentWriters:
+    def test_two_processes_racing_the_same_key_both_succeed(self, tmp_path):
+        """The thundering-herd regression: two writers, one key.
+
+        Both puts must return; the surviving entry must be valid; no
+        corruption false-positive may be quarantined.  The writers are
+        real processes so the rename race is the kernel's, not ours.
+        """
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        root = tmp_path / "cache"
+        key = {"experiment": "herd", "point": 1}
+        payload = {"value": {"elapsed_s": 3.25}}
+        barrier = ctx.Barrier(2)
+        errors = ctx.Queue()
+
+        def writer():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(50):
+                    ResultCache(root).put(key, payload)
+            except BaseException as error:  # travels back for the assert
+                errors.put(f"{type(error).__name__}: {error}")
+
+        procs = [ctx.Process(target=writer) for _ in range(2)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=30)
+        failures = []
+        while not errors.empty():
+            failures.append(errors.get())
+        assert not failures, failures
+        cache = ResultCache(root)
+        assert cache.get(key) == payload
+        report = cache.verify()
+        assert report.scanned == 1 and report.ok == 1
+        assert not report.corrupt
+        assert cache.corruptions == 0
+
+    def test_put_survives_temp_swept_mid_write(self, cache, monkeypatch):
+        """A housekeeper deleting our temp between write and rename is
+        contention, not an error: put retries with a fresh temp."""
+        import os
+
+        real_replace = os.replace
+        swept = {"done": False}
+
+        def sweeping_replace(src, dst):
+            if not swept["done"]:
+                swept["done"] = True
+                os.unlink(src)  # the concurrent verify()/clear()
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", sweeping_replace)
+        key = {"point": "swept"}
+        cache.put(key, {"value": 1})
+        assert swept["done"]
+        assert cache.get(key) == {"value": 1}
+        assert not cache.verify().corrupt
+
+
 class TestHousekeeping:
     def test_len_and_clear(self, cache):
         for i in range(3):

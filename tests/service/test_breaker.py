@@ -1,0 +1,127 @@
+"""Circuit-breaker state machine, driven by a fake clock."""
+
+import pytest
+
+from repro.errors import CircuitOpen
+from repro.service import BreakerBoard, CircuitBreaker
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class Clock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(
+        "cluster", failure_threshold=3, cooldown_s=5.0, clock=clock
+    )
+
+
+class TestStateMachine:
+    def trip(self, breaker):
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure()
+
+    def test_closed_admits_freely(self, breaker):
+        for _ in range(10):
+            breaker.allow()
+        assert breaker.state == CLOSED
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.allow()
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_threshold_trips_open(self, breaker):
+        self.trip(breaker)
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 1
+
+    def test_open_sheds_with_remaining_cooldown(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(2.0)
+        with pytest.raises(CircuitOpen) as info:
+            breaker.allow()
+        assert info.value.scenario_class == "cluster"
+        assert info.value.retry_after_s == pytest.approx(3.0)
+        payload = info.value.to_payload()
+        assert payload["scenario_class"] == "cluster"
+        assert payload["retry_after_s"] == pytest.approx(3.0)
+
+    def test_cooldown_elapsed_grants_exactly_one_probe(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(5.1)
+        breaker.allow()  # the probe
+        assert breaker.state == HALF_OPEN
+        with pytest.raises(CircuitOpen):
+            breaker.allow()  # everyone else still shed
+
+    def test_probe_success_closes(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(5.1)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.allow()
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(5.1)
+        breaker.allow()
+        breaker.record_failure()  # one failure, no threshold counting
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 2
+        with pytest.raises(CircuitOpen) as info:
+            breaker.allow()
+        assert info.value.retry_after_s == pytest.approx(5.0)
+
+    def test_abandoned_probe_frees_the_slot(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(5.1)
+        breaker.allow()
+        breaker.abandon_probe()  # probe cancelled mid-flight: no verdict
+        assert breaker.state == HALF_OPEN
+        breaker.allow()  # the slot is claimable again
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("c", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("c", cooldown_s=0.0)
+
+
+class TestBreakerBoard:
+    def test_one_breaker_per_class_cached(self, clock):
+        board = BreakerBoard(clock=clock)
+        assert board.for_class("demo") is board.for_class("demo")
+        assert board.for_class("demo") is not board.for_class("chaos")
+
+    def test_classes_fail_independently(self, clock):
+        board = BreakerBoard(failure_threshold=2, clock=clock)
+        for _ in range(2):
+            board.for_class("chaos").record_failure()
+        assert board.for_class("chaos").state == OPEN
+        board.for_class("demo").allow()  # unaffected
+        assert board.states() == {"chaos": OPEN, "demo": CLOSED}

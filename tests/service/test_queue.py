@@ -1,0 +1,139 @@
+"""Bounded admission queue and single-flight map."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ServiceOverloaded
+from repro.service import AdmissionQueue, SingleFlight
+from repro.service.jobs import Job, JobState
+
+
+def make_job(i, content_hash=None):
+    return Job(
+        f"j-{i:06d}",
+        scenario="squares",
+        scenario_class="demo",
+        params={"x": i},
+        content_hash=content_hash or f"hash-{i}",
+    )
+
+
+class TestAdmission:
+    def test_fifo_order(self):
+        async def scenario():
+            queue = AdmissionQueue(4, pool_size=1)
+            jobs = [make_job(i) for i in range(3)]
+            for job in jobs:
+                await queue.admit(job)
+            taken = [await queue.take() for _ in range(3)]
+            return jobs, taken
+
+        jobs, taken = asyncio.run(scenario())
+        assert taken == jobs
+
+    def test_overflow_is_a_typed_429_with_a_hint(self):
+        async def scenario():
+            queue = AdmissionQueue(2, pool_size=1)
+            await queue.admit(make_job(0))
+            await queue.admit(make_job(1))
+            with pytest.raises(ServiceOverloaded) as info:
+                await queue.admit(make_job(2))
+            return queue, info.value
+
+        queue, error = asyncio.run(scenario())
+        assert error.status == 429
+        payload = error.to_payload()
+        assert payload["depth"] == 2
+        assert payload["capacity"] == 2
+        assert payload["retry_after_s"] >= 0.5
+        assert queue.depth() == 2  # the rejected job was never enqueued
+
+    def test_retry_after_tracks_observed_walls(self):
+        queue = AdmissionQueue(8, pool_size=2)
+        fast = queue.retry_after_s()
+        for _ in range(20):
+            queue.observe_wall(40.0)
+        slow = queue.retry_after_s()
+        assert slow > fast
+        for _ in range(20):
+            queue.observe_wall(1000.0)
+        assert queue.retry_after_s() == 60.0  # honest ceiling
+
+    def test_take_blocks_until_admission(self):
+        async def scenario():
+            queue = AdmissionQueue(2, pool_size=1)
+            taker = asyncio.create_task(queue.take())
+            await asyncio.sleep(0.01)
+            assert not taker.done()
+            job = make_job(1)
+            await queue.admit(job)
+            return job, await asyncio.wait_for(taker, timeout=2.0)
+
+        job, taken = asyncio.run(scenario())
+        assert taken is job
+
+    def test_take_skips_jobs_cancelled_while_queued(self):
+        async def scenario():
+            queue = AdmissionQueue(4, pool_size=1)
+            doomed, live = make_job(0), make_job(1)
+            await queue.admit(doomed)
+            await queue.admit(live)
+            await doomed.transition(JobState.CANCELLED)
+            return live, await queue.take()
+
+        live, taken = asyncio.run(scenario())
+        assert taken is live
+
+    def test_restore_waives_the_capacity_check(self):
+        async def scenario():
+            queue = AdmissionQueue(1, pool_size=1)
+            await queue.admit(make_job(0))
+            queue.restore(make_job(1))  # recovery must not drop work
+            return queue.depth()
+
+        assert asyncio.run(scenario()) == 2
+
+    def test_drain_returns_and_clears_the_backlog(self):
+        async def scenario():
+            queue = AdmissionQueue(4, pool_size=1)
+            jobs = [make_job(i) for i in range(3)]
+            for job in jobs:
+                await queue.admit(job)
+            await jobs[1].transition(JobState.CANCELLED)
+            return jobs, queue.drain(), queue.depth()
+
+        jobs, drained, depth = asyncio.run(scenario())
+        assert drained == [jobs[0], jobs[2]]  # terminal jobs not persisted
+        assert depth == 0
+
+
+class TestSingleFlight:
+    def test_claim_get_release(self):
+        flight = SingleFlight()
+        job = make_job(1, "abc")
+        assert flight.get("abc") is None
+        flight.claim(job)
+        assert flight.get("abc") is job
+        flight.release(job)
+        assert flight.get("abc") is None
+
+    def test_release_only_removes_its_own_job(self):
+        flight = SingleFlight()
+        first, second = make_job(1, "abc"), make_job(2, "abc")
+        flight.claim(first)
+        flight.claim(second)  # second claim superseded the first
+        flight.release(first)  # stale release must not evict the live job
+        assert flight.get("abc") is second
+
+    def test_lingering_terminal_job_is_dropped(self):
+        async def scenario():
+            flight = SingleFlight()
+            job = make_job(1, "abc")
+            flight.claim(job)
+            await job.transition(JobState.DONE, value=1)
+            return flight.get("abc"), len(flight)
+
+        found, remaining = asyncio.run(scenario())
+        assert found is None
+        assert remaining == 0

@@ -1,0 +1,115 @@
+"""Scenario registry: validation and cache-key parity with the engine."""
+
+import pytest
+
+from repro.engine import ExperimentEngine, SweepSpec, content_key
+from repro.errors import InvalidJobRequest
+from repro.service import SCENARIOS, job_content_key, resolve_scenario
+
+
+class TestResolution:
+    def test_unknown_scenario_lists_what_exists(self):
+        with pytest.raises(InvalidJobRequest, match="squares"):
+            resolve_scenario("nope")
+
+    def test_non_string_names_are_rejected_not_crashed(self):
+        with pytest.raises(InvalidJobRequest):
+            resolve_scenario({"name": "squares"})
+
+    def test_every_scenario_has_a_class_and_a_picklable_worker(self):
+        import pickle
+
+        for scenario in SCENARIOS.values():
+            assert scenario.scenario_class
+            pickle.dumps(scenario.worker)  # forked attempts require it
+
+
+class TestValidation:
+    def test_squares_builds_key_and_point(self):
+        key, point = resolve_scenario("squares").build({"x": 7})
+        assert key == {"experiment": "service-squares"}
+        assert point == {"x": 7}
+
+    def test_unknown_parameter_is_rejected(self):
+        with pytest.raises(InvalidJobRequest, match="does not accept"):
+            resolve_scenario("squares").build({"x": 1, "cores": 4})
+
+    def test_missing_required_parameter_is_rejected(self):
+        with pytest.raises(InvalidJobRequest, match="requires parameter 'x'"):
+            resolve_scenario("squares").build({})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(InvalidJobRequest, match="must be int"):
+            resolve_scenario("squares").build({"x": True})
+
+    def test_wrong_type_reports_what_arrived(self):
+        with pytest.raises(InvalidJobRequest, match="got str"):
+            resolve_scenario("squares").build({"x": "9"})
+
+    def test_cluster_defaults_match_the_batch_figures(self):
+        _, point = resolve_scenario("cluster-elapsed").build(
+            {"app": "linpack", "cores": 4}
+        )
+        assert point["num_nodes"] == 96
+        assert point["seed"] == 7
+        assert point["app_args"] == {}
+
+    def test_negative_sleep_is_rejected(self):
+        with pytest.raises(InvalidJobRequest, match=">= 0"):
+            resolve_scenario("sleepy").build({"duration_s": -1.0})
+
+    def test_magicfilter_shape_must_be_three_ints(self):
+        with pytest.raises(InvalidJobRequest, match="nx, ny, nz"):
+            resolve_scenario("magicfilter").build(
+                {"machine": "snowball", "shape": [32, 32], "unroll": 2}
+            )
+
+    def test_param_order_does_not_change_the_key(self):
+        scenario = resolve_scenario("cluster-elapsed")
+        a = job_content_key(scenario, {"app": "linpack", "cores": 4})
+        b = job_content_key(scenario, {"cores": 4, "app": "linpack"})
+        assert a[2] == b[2]
+
+
+class TestEngineKeyParity:
+    """The tentpole's interop contract: a service submission and the
+    equivalent batch sweep point address the *same* cache entry."""
+
+    def parity(self, name, params, sweep_key):
+        scenario = resolve_scenario(name)
+        material, point, digest = job_content_key(scenario, params)
+        spec = SweepSpec("parity", lambda p: None, [point], key=sweep_key)
+        engine_material = ExperimentEngine.point_key(spec, point)
+        assert material == engine_material
+        assert digest == content_key(engine_material)
+
+    def test_chaos_squares(self, tmp_path):
+        self.parity(
+            "chaos-squares",
+            {"x": 3, "state_dir": str(tmp_path), "faults": {}},
+            {"experiment": "chaos-squares"},
+        )
+
+    def test_cluster_elapsed(self):
+        # The exact key shape run_cluster_times builds for figure 3.
+        self.parity(
+            "cluster-elapsed",
+            {"app": "linpack", "cores": 8},
+            {
+                "experiment": "cluster-elapsed",
+                "app": "linpack",
+                "app_args": {},
+                "num_nodes": 96,
+            },
+        )
+
+    def test_page_alloc(self):
+        self.parity(
+            "page-alloc",
+            {"machine": "snowball", "fragmentation": 0.25},
+            {
+                "experiment": "page-alloc",
+                "machine": "snowball",
+                "array_bytes": 8 << 20,
+            },
+        )
