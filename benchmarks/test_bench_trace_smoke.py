@@ -1,0 +1,93 @@
+"""Smoke tests for the bench_trace harness (tiny workloads).
+
+The real gates run in the ``trace-stream`` and ``bench-core`` CI jobs
+at full scale; these tests only prove the harness itself works — both
+pipelines run, the payload has the committed shape, and the check and
+frontier-gate logic flag failures — so a harness bug cannot silently
+green the gates.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import bench_trace
+
+
+def test_smoke_payload_shape_and_identity():
+    payload = bench_trace.run_benchmarks("smoke")
+    assert payload["schema"] == bench_trace.SCHEMA
+    throughput = payload["metrics"]["throughput"]
+    assert throughput["stream_events_per_s"] > 0
+    assert throughput["batch_events_per_s"] > 0
+    assert throughput["ratio"] == (
+        throughput["stream_events_per_s"] / throughput["batch_events_per_s"]
+    )
+    memory = payload["metrics"]["bounded_memory"]
+    assert 0 < memory["frontier_high_water"] < memory["events"]
+    assert memory["share"] == memory["frontier_high_water"] / memory["events"]
+    assert memory["retired_segments"] > 0
+    assert payload["metrics"]["byte_identity"]["identical"] is True
+    # The payload must round-trip through JSON (it is committed).
+    json.loads(json.dumps(payload))
+
+
+def _payload(ratio, events=1000, high_water=50, identical=True):
+    return {
+        "schema": bench_trace.SCHEMA,
+        "metrics": {
+            "throughput": {"ratio": ratio},
+            "bounded_memory": {
+                "events": events,
+                "frontier_high_water": high_water,
+                "share": high_water / events,
+            },
+            "byte_identity": {"identical": identical},
+        },
+    }
+
+
+def test_check_passes_against_itself_and_flags_regressions():
+    committed = _payload(0.15)
+    assert bench_trace.check(_payload(0.15), committed, 0.2) == []
+    # Within tolerance: 0.13 against a committed 0.15 at 20%.
+    assert bench_trace.check(_payload(0.13), committed, 0.2) == []
+    # Below the floor: 0.11 < 0.15 * 0.8.
+    problems = bench_trace.check(_payload(0.11), committed, 0.2)
+    assert problems and "ratio" in problems[0]
+    # The deterministic numbers are gated exactly.
+    problems = bench_trace.check(_payload(0.15, high_water=51), committed, 0.2)
+    assert problems and "deterministic" in problems[0]
+    # Identity failures always fail the gate.
+    problems = bench_trace.check(_payload(0.15, identical=False), committed, 0.2)
+    assert problems and "diverged" in problems[0]
+
+
+def test_frontier_gate_enforces_share_and_identity():
+    assert bench_trace.frontier_gate(_payload(0.15), 0.05) == []
+    problems = bench_trace.frontier_gate(
+        _payload(0.15, high_water=60), 0.05
+    )
+    assert problems and "high-water" in problems[0]
+    problems = bench_trace.frontier_gate(
+        _payload(0.15, identical=False), 0.05
+    )
+    assert problems and "diverged" in problems[0]
+
+
+def test_committed_baseline_records_bounded_memory():
+    """The committed trajectory file must exist, parse, and record the
+    10x-scale bounded-memory result within the 5% acceptance gate."""
+    committed = json.loads(
+        (Path(__file__).resolve().parent.parent / "BENCH_trace.json").read_text()
+    )
+    memory = committed["metrics"]["bounded_memory"]
+    assert memory["events"] >= 300_000  # >= 10x the fig4 trace
+    assert memory["share"] <= 0.05
+    assert memory["peak_tracked_events_ratio"] >= 20.0
+    assert committed["metrics"]["byte_identity"]["identical"] is True
+    assert committed["metrics"]["throughput"]["ratio"] > 0

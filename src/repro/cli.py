@@ -619,14 +619,27 @@ def _cmd_claims(args) -> None:
 
 
 def _cmd_trace_report(args) -> int:
+    import json
+
     from repro import metrics as metrics_mod
     from repro.apps import BigDFT, Specfem3D
     from repro.cluster import MpiJob, tibidabo
     from repro.engine.manifest import RunManifest
     from repro.metrics.registry import MetricsRegistry, use_registry
-    from repro.obs import build_run_report
+    from repro.obs import build_run_report, build_stream_run_report
     from repro.tracing import TraceRecorder, write_chrome_trace
+    from repro.tracing.stream import StreamConfig, TraceStreamAnalyzer
 
+    stream = getattr(args, "stream", False)
+    chrome_out = getattr(args, "chrome_out", None)
+    if stream and chrome_out:
+        raise ReproError(
+            "--chrome-out needs the materialized trace and cannot be "
+            "combined with --stream (the bounded frontier never holds "
+            "the whole timeline); drop one of the flags"
+        )
+    if getattr(args, "sample", None) is not None and not stream:
+        raise ReproError("--sample only applies to --stream runs")
     app = BigDFT() if args.app == "bigdft" else Specfem3D()
     num_ranks = 36
     scenario = f"fig4-{args.app}-{num_ranks}ranks-seed{args.seed}"
@@ -634,28 +647,75 @@ def _cmd_trace_report(args) -> int:
     # registry at construction), then folds into the process-wide one
     # so --metrics-out still sees this run.
     registry = MetricsRegistry()
+    analyzer = recorder = None
     with use_registry(registry):
         cluster = tibidabo(num_nodes=18, seed=args.seed)
-        recorder = TraceRecorder()
+        if stream:
+            analyzer = TraceStreamAnalyzer(
+                StreamConfig(
+                    frontier_limit=getattr(args, "frontier", None) or 8192,
+                    sample_per_label=getattr(args, "sample", None),
+                    sample_seed=args.seed,
+                ),
+                registry=registry,
+            )
+            tracer = analyzer
+        else:
+            recorder = TraceRecorder()
+            tracer = recorder
         MpiJob(
             cluster, num_ranks, app.rank_program(cluster, num_ranks),
-            tracer=recorder,
+            tracer=tracer,
         ).run()
+
+    out_dir = Path(args.out or "trace-report-out")
+    if stream:
+        result = analyzer.finalize()
+        report = build_stream_run_report(
+            result, scenario=scenario, registry=registry
+        )
+    else:
+        report = build_run_report(recorder, scenario=scenario, registry=registry)
     ambient = metrics_mod.current_registry()
     if ambient.enabled:
         ambient.merge(registry.snapshot())
 
-    report = build_run_report(recorder, scenario=scenario, registry=registry)
-    out_dir = Path(args.out or "trace-report-out")
     written = report.save(out_dir)
-    written["trace.chrome.json"] = out_dir / "trace.chrome.json"
-    write_chrome_trace(written["trace.chrome.json"], recorder, registry=registry)
+    if stream:
+        stats = result.stats
+        payload = {"stats": stats.to_dict()}
+        if result.sampling is not None:
+            payload["sampling"] = result.sampling
+        written["stream_stats.json"] = out_dir / "stream_stats.json"
+        written["stream_stats.json"].write_text(
+            json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+            + "\n",
+            encoding="utf-8",
+        )
+        analyzer.close()
+        print(
+            f"[trace-stream] events={stats.events_ingested} "
+            f"frontier_high_water={stats.frontier_high_water} "
+            f"spill_bytes={stats.spill_bytes} "
+            f"retired_segments={stats.retired_segments}",
+            file=sys.stderr,
+        )
+    elif chrome_out:
+        # Only build the Chrome export when a path asked for it — the
+        # construction materializes every event a second time.
+        chrome_path = Path(chrome_out)
+        chrome_path.parent.mkdir(parents=True, exist_ok=True)
+        written["trace.chrome.json"] = chrome_path
+        write_chrome_trace(chrome_path, recorder, registry=registry)
     written["metrics.json"] = metrics_mod.write_metrics(
         registry, out_dir / "metrics.json", "json", deterministic=True
     )
+    key = {"app": args.app, "seed": args.seed, "ranks": num_ranks}
+    if stream:
+        key["stream"] = True
     manifest = RunManifest(
         sweep=f"trace-report/{args.app}",
-        key={"app": args.app, "seed": args.seed, "ranks": num_ranks},
+        key=key,
         jobs=1, executor="inline", elapsed_seconds=0.0,
     )
     for name, path in sorted(written.items()):
@@ -774,6 +834,11 @@ def _cmd_reproduce_all(args) -> int:
         try:
             if name == "trace-report":
                 local.out = str(artefact_dir)
+                # The pinned bundle keeps the Chrome export (the CLI
+                # default skips it unless a path asks for it).
+                local.chrome_out = str(artefact_dir / "trace.chrome.json")
+                local.stream = False
+                local.sample = None
                 with redirect_stdout(buffer):
                     _cmd_trace_report(local)
             else:
@@ -1106,6 +1171,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="trace-report output directory "
                              "(default trace-report-out)")
+    parser.add_argument("--stream", action="store_true",
+                        help="trace-report: analyze the trace incrementally "
+                             "with the bounded-memory streaming pipeline "
+                             "instead of materializing it (same report, "
+                             "byte for byte)")
+    parser.add_argument("--chrome-out", default=None, metavar="PATH",
+                        help="trace-report: also write a Chrome trace-event "
+                             "export to PATH (skipped entirely when absent; "
+                             "incompatible with --stream)")
+    parser.add_argument("--frontier", type=int, default=None, metavar="N",
+                        help="trace-report --stream: in-memory event "
+                             "frontier limit before spilling to disk "
+                             "(default 8192)")
+    parser.add_argument("--sample", type=int, default=None, metavar="K",
+                        help="trace-report --stream: reservoir-sample K "
+                             "waits per operation label; wait-state totals "
+                             "become estimates with reported error bounds")
     parser.add_argument("--threshold", default="5%",
                         help="diff-metrics drift threshold, e.g. 5%% or "
                              "0.05 (default 5%%)")

@@ -30,7 +30,12 @@ from repro.obs.diff import (
     load_metrics_file,
     parse_threshold,
 )
-from repro.obs.report import REPORT_SCHEMA_VERSION, RunReport, build_run_report
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    RunReport,
+    build_run_report,
+    build_stream_run_report,
+)
 from repro.obs.significance import (
     SUMMARY_SCHEMA,
     SignificanceReport,
@@ -52,6 +57,7 @@ __all__ = [
     "SignificanceReport",
     "SignificanceRow",
     "build_run_report",
+    "build_stream_run_report",
     "compare_summary_docs",
     "compare_summary_files",
     "diff_metrics",

@@ -200,3 +200,34 @@ def build_run_report(
         waits=waits,
         metrics=metrics,
     )
+
+
+def build_stream_run_report(
+    result,
+    *,
+    scenario: str,
+    registry: MetricsRegistry | NullRegistry | None = None,
+) -> RunReport:
+    """Assemble the combined report from a finalized
+    :class:`repro.tracing.stream.StreamResult`.
+
+    The streaming analyzer runs the same attribution core against the
+    same event order as the batch pipeline, so for the same trace and
+    registry state this produces the identical document — byte for
+    byte (``trace.*`` metrics are volatile and excluded from the
+    deterministic export, so instrumented streaming runs still match
+    the batch goldens).
+    """
+    metrics = (
+        None
+        if registry is None
+        else registry_to_dict(registry, deterministic=True)
+    )
+    return RunReport(
+        scenario=scenario,
+        num_ranks=result.num_ranks,
+        runtime_seconds=result.runtime_seconds,
+        path=result.path,
+        waits=result.waits,
+        metrics=metrics,
+    )

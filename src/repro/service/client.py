@@ -151,3 +151,17 @@ class ServiceClient:
 
     def cancel(self, job_id: str) -> dict[str, Any]:
         return self._request("DELETE", f"/jobs/{job_id}")
+
+    def trace(self, job_id: str) -> list[dict[str, Any]]:
+        """Follow ``/jobs/{id}/trace`` to the end; parsed NDJSON lines.
+
+        Blocks until the service writes the ``{"final": true, ...}``
+        line and closes the stream.  Intermediate lines are the
+        worker's provisional wait-state summaries, in emission order.
+        """
+        raw = self._request("GET", f"/jobs/{job_id}/trace", raw=True)
+        return [
+            json.loads(line)
+            for line in raw.decode("utf-8").splitlines()
+            if line.strip()
+        ]

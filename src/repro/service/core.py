@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import multiprocessing
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -102,6 +103,16 @@ class JobService:
             self.journal = RunJournal(
                 Path(self.config.run_dir) / "service.journal", resume=True
             )
+        # Live trace summaries land here (one NDJSON file per job with
+        # a progress-emitting scenario); under run_dir when journaling,
+        # otherwise a private temp dir that dies with the instance.
+        if self.config.run_dir is not None:
+            self.progress_dir = Path(self.config.run_dir) / "progress"
+        else:
+            self.progress_dir = Path(
+                tempfile.mkdtemp(prefix="repro-service-progress-")
+            )
+        self.progress_dir.mkdir(parents=True, exist_ok=True)
         self.metrics = current_registry()
         self.queue = AdmissionQueue(
             self.config.queue_limit, pool_size=self.config.pool_size
@@ -289,6 +300,10 @@ class JobService:
             deadline_s=deadline_s,
         )
         job.key_material = material
+        if scenario.progress:
+            job.progress_path = str(
+                self.progress_dir / f"{job.job_id}.ndjson"
+            )
 
         # Warm paths: the journal (this instance's WAL) first, then the
         # shared cache (global memo across instances and batch runs).
@@ -558,9 +573,14 @@ class JobService:
         )
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         capture = self.metrics.enabled
+        params = dict(job.params)
+        if job.progress_path is not None:
+            # Injected after key material was derived, so the progress
+            # channel never perturbs caching or dedup.
+            params["_progress_path"] = job.progress_path
         proc = ctx.Process(
             target=_point_process_main,
-            args=(child_conn, scenario.worker, dict(job.params), capture),
+            args=(child_conn, scenario.worker, params, capture),
             daemon=True,
         )
         proc.start()

@@ -16,6 +16,7 @@ Endpoints::
     GET    /jobs/<id>         one job snapshot
     GET    /jobs/<id>/result  canonical result body (byte-identical)
     GET    /jobs/<id>/events  NDJSON state stream until terminal
+    GET    /jobs/<id>/trace   NDJSON live trace summaries + final line
     DELETE /jobs/<id>         cancel
 
 Failure semantics: every library error maps to its typed JSON payload
@@ -31,6 +32,7 @@ import asyncio
 import json
 import signal
 import sys
+from pathlib import Path
 from typing import Any
 
 from repro.engine.hashing import canonical_json
@@ -359,6 +361,8 @@ class ServiceServer:
             await self._send(writer, 200, raw=raw)
         elif tail == "events":
             await self._stream_events(job, reader, writer)
+        elif tail == "trace":
+            await self._stream_trace(job, reader, writer)
         else:
             await self._send(writer, 404, {
                 "error": "NotFound", "message": f"no route for {path}",
@@ -395,6 +399,100 @@ class ServiceServer:
             return
         finally:
             await self.service.release_waiter(job)
+
+    async def _stream_trace(self, job, reader, writer) -> None:
+        """NDJSON live trace summaries for one job, then a final line.
+
+        Tails the worker's progress file emitting complete lines only
+        (the worker may be mid-append), and closes with
+        ``{"final": true, "state": ..., "summary": ...}`` once the job
+        is terminal.  Jobs whose scenario emits no progress get a 404
+        so clients can tell "no such channel" from "no lines yet".
+        Watchers count as waiters, exactly like ``/events``.
+        """
+        if job.progress_path is None:
+            await self._send(writer, 404, {
+                "error": "NotFound",
+                "message": (
+                    f"job {job.job_id} ({job.scenario}) emits no live "
+                    "trace progress"
+                ),
+            })
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await self.service.add_waiter(job)
+        path = Path(job.progress_path)
+        offset = 0
+        try:
+            while True:
+                seen = job.version
+                offset, lines = _complete_lines(path, offset)
+                if lines:
+                    writer.write(b"".join(lines))
+                    await writer.drain()
+                if job.state.terminal:
+                    # One last drain: lines may have landed between
+                    # the read above and the state transition.
+                    offset, lines = _complete_lines(path, offset)
+                    summary = (
+                        job.value if job.state is JobState.DONE
+                        else job.error
+                    )
+                    final = {
+                        "final": True,
+                        "state": job.state.value,
+                        "summary": summary,
+                    }
+                    writer.write(
+                        b"".join(lines)
+                        + (json.dumps(final, sort_keys=True) + "\n")
+                        .encode("utf-8")
+                    )
+                    await writer.drain()
+                    return
+                if await self._await_or_disconnect(
+                    _progress_tick(job, seen), reader
+                ):
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            return
+        finally:
+            await self.service.release_waiter(job)
+
+
+def _complete_lines(path: Path, offset: int) -> tuple[int, list[bytes]]:
+    """Newline-terminated bytes appended to *path* past *offset*.
+
+    A trailing partial line stays unread until its newline lands, so
+    the stream never forwards a torn JSON document.
+    """
+    try:
+        with path.open("rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+    except FileNotFoundError:
+        return offset, []
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return offset, []
+    return offset + end + 1, chunk[: end + 1].splitlines(keepends=True)
+
+
+async def _progress_tick(job, seen_version: int) -> None:
+    """Wake on a job state change or after a short poll interval.
+
+    The worker appends progress lines from its forked process, which
+    cannot bump the job's version — so the tail needs a heartbeat on
+    top of the change condition.
+    """
+    try:
+        await asyncio.wait_for(job.wait_change(seen_version), timeout=0.1)
+    except asyncio.TimeoutError:
+        pass
 
 
 async def serve(

@@ -69,6 +69,12 @@ class Job:
         # "cache" (warm ResultCache hit), "journal" (re-served after a
         # restart).  The dedup/zero-recompute proofs read this.
         self.source: str | None = None
+        # NDJSON file the worker appends live trace summaries to, set
+        # at submission for scenarios with ``progress=True``; the
+        # ``/jobs/<id>/trace`` endpoint tails it.  Never part of the
+        # content key — progress is an observation channel, not an
+        # input.
+        self.progress_path: str | None = None
         self.attempts = 0
         self.wall_seconds = 0.0
         self.submitted_at = time.time()
@@ -146,6 +152,7 @@ class Job:
             "content_hash": self.content_hash,
             "state": self.state.value,
             "source": self.source,
+            "progress": self.progress_path is not None,
             "attempts": self.attempts,
             "wall_seconds": round(self.wall_seconds, 6),
             "dedup_count": self.dedup_count,

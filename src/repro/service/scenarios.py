@@ -106,6 +106,10 @@ class Scenario:
     scenario_class: str
     worker: Callable[[Mapping[str, Any]], Any]
     builder: Callable[[Mapping[str, Any]], tuple[dict[str, Any], dict[str, Any]]]
+    #: Progress-streaming scenarios get a per-job NDJSON file injected
+    #: as ``_progress_path`` (worker-side only — never key material),
+    #: which ``GET /jobs/<id>/trace`` tails while the job runs.
+    progress: bool = False
 
     def build(
         self, params: Mapping[str, Any]
@@ -200,6 +204,30 @@ def _build_magicfilter(params: Mapping[str, Any]):
     return key, point
 
 
+def _build_trace_analysis(params: Mapping[str, Any]):
+    point = _validated(
+        "trace-analysis", params,
+        {"app": (str,), "seed": (int,), "num_ranks": (int,)},
+        {"app": "bigdft", "seed": 7, "num_ranks": 36},
+    )
+    if point["app"] not in ("bigdft", "specfem3d"):
+        raise InvalidJobRequest(
+            f"scenario 'trace-analysis' app must be 'bigdft' or "
+            f"'specfem3d', got {point['app']!r}"
+        )
+    if not 2 <= point["num_ranks"] <= 256:
+        raise InvalidJobRequest(
+            f"scenario 'trace-analysis' num_ranks must be in [2, 256], "
+            f"got {point['num_ranks']}"
+        )
+    key = {
+        "experiment": "trace-analysis",
+        "app": point["app"],
+        "num_ranks": point["num_ranks"],
+    }
+    return key, point
+
+
 def _build_page_alloc(params: Mapping[str, Any]):
     point = _validated(
         "page-alloc", params,
@@ -216,6 +244,82 @@ def _build_page_alloc(params: Mapping[str, Any]):
         "array_bytes": point["array_bytes"],
     }
     return key, point
+
+
+def trace_analysis_point(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one fig4-style traced job under the streaming analyzer.
+
+    The trace never materializes: the simulation drives
+    :class:`~repro.tracing.stream.TraceStreamAnalyzer` directly, and
+    when the service injected a ``_progress_path`` every provisional
+    live summary is appended there as one NDJSON line (what
+    ``GET /jobs/<id>/trace`` tails).  The returned value is the final
+    exact analysis summary.
+    """
+    import json
+
+    from repro.apps import BigDFT, Specfem3D
+    from repro.cluster import MpiJob, tibidabo
+    from repro.tracing.stream import StreamConfig, TraceStreamAnalyzer
+
+    app = BigDFT() if params["app"] == "bigdft" else Specfem3D()
+    num_ranks = params["num_ranks"]
+    seed = params["seed"]
+    progress_path = params.get("_progress_path")
+    handle = None
+    on_summary = None
+    if progress_path:
+        handle = open(progress_path, "a", encoding="utf-8")
+
+        def on_summary(summary: dict) -> None:
+            handle.write(json.dumps(summary, sort_keys=True) + "\n")
+            handle.flush()
+
+    analyzer = TraceStreamAnalyzer(
+        StreamConfig(
+            summary_every=2048 if on_summary is not None else 0,
+            on_summary=on_summary,
+        )
+    )
+    try:
+        cluster = tibidabo(num_nodes=max(1, (num_ranks + 1) // 2), seed=seed)
+        MpiJob(
+            cluster, num_ranks, app.rank_program(cluster, num_ranks),
+            tracer=analyzer,
+        ).run()
+        result = analyzer.finalize()
+        if on_summary is not None:
+            # One last provisional line so late subscribers see the
+            # stream reach its final event count before the job value.
+            on_summary(analyzer.live_summary())
+        efficiencies = result.waits.efficiencies
+        return {
+            "scenario": f"fig4-{params['app']}-{num_ranks}ranks-seed{seed}",
+            "num_ranks": result.num_ranks,
+            "runtime_s": result.runtime_seconds,
+            "explanation": result.waits.explain(),
+            "critical_path_s": result.path.breakdown,
+            "wait_states": [
+                {
+                    "category": entry.category,
+                    "label": entry.label,
+                    "seconds": entry.seconds,
+                    "occurrences": entry.occurrences,
+                }
+                for entry in result.waits.entries
+            ],
+            "efficiency": {
+                "load_balance": efficiencies.load_balance,
+                "communication_efficiency":
+                    efficiencies.communication_efficiency,
+                "parallel_efficiency": efficiencies.parallel_efficiency,
+            },
+            "stream": result.stats.to_dict(),
+        }
+    finally:
+        analyzer.close()
+        if handle is not None:
+            handle.close()
 
 
 def _chaos_worker(params: Mapping[str, Any]) -> Any:
@@ -264,6 +368,11 @@ SCENARIOS: dict[str, Scenario] = {
         ),
         Scenario("magicfilter", "kernels", _magicfilter_worker, _build_magicfilter),
         Scenario("page-alloc", "memsim", _page_alloc_worker, _build_page_alloc),
+        Scenario(
+            "trace-analysis", "tracing",
+            trace_analysis_point, _build_trace_analysis,
+            progress=True,
+        ),
     )
 }
 

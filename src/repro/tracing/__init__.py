@@ -20,7 +20,11 @@ collectives are short, some are *delayed* (Figure 4).
   and critical-path extraction with per-segment attribution;
 * :mod:`repro.tracing.waitstates` — Scalasca-style wait-state
   root-causing (the automated Figure 4 diagnosis) and POP
-  efficiency metrics.
+  efficiency metrics;
+* :mod:`repro.tracing.attribution` — the shared attribution core
+  (critical-path walk + wait classifier) both stores run;
+* :mod:`repro.tracing.stream` — bounded-memory streaming ingestion
+  and incremental analysis, byte-identical to the batch pipeline.
 """
 
 from repro.tracing.analysis import (
@@ -44,6 +48,13 @@ from repro.tracing.graph import (
 )
 from repro.tracing.paraver import export_pcf, export_prv, export_row, parse_prv
 from repro.tracing.recorder import NullTracer, TraceRecorder
+from repro.tracing.stream import (
+    StreamConfig,
+    StreamResult,
+    StreamStats,
+    TraceStreamAnalyzer,
+    build_synthetic_trace,
+)
 from repro.tracing.timeline import render_timeline
 from repro.tracing.waitstates import (
     EfficiencyReport,
@@ -64,11 +75,16 @@ __all__ = [
     "PathSegment",
     "ResilienceReport",
     "StateEvent",
+    "StreamConfig",
+    "StreamResult",
+    "StreamStats",
     "TraceRecorder",
+    "TraceStreamAnalyzer",
     "WaitEntry",
     "WaitStateReport",
     "analyze_collectives",
     "build_graph",
+    "build_synthetic_trace",
     "classify_wait_states",
     "critical_path",
     "efficiency_report",

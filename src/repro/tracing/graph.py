@@ -29,120 +29,45 @@ sender's timeline at the injection time (the classic late-sender hop);
 everything else steps to the same rank's previous interval.  Segments
 tile ``[0, end]`` exactly, so the per-category breakdown is a complete
 accounting of the job's elapsed time.
+
+The walk itself lives in :mod:`repro.tracing.attribution`, shared with
+the streaming analyzer (:mod:`repro.tracing.stream`); this module is
+the batch store — the whole trace materialized in sorted per-rank
+arrays — plus the graph-shaped API around it.
 """
 
 from __future__ import annotations
 
-import math
 from bisect import bisect_right
-from dataclasses import dataclass
 
 from repro.errors import TraceError
+from repro.tracing.attribution import (
+    _EPS,
+    PATH_CATEGORIES,
+    CriticalPath,
+    ListCursor,
+    PathSegment,
+    TimelineView,
+    _category_of,
+    extract_critical_path,
+)
 from repro.tracing.events import CommEvent, StateEvent
 from repro.tracing.recorder import TraceRecorder
 
-#: Timestamp tolerance (seconds) for "ends exactly where the next
-#: begins" matches — far below any modelled latency (>= 1 µs).
-_EPS = 1e-9
+__all__ = [
+    "PATH_CATEGORIES",
+    "CriticalPath",
+    "HappensBeforeGraph",
+    "PathSegment",
+    "build_graph",
+    "critical_path",
+]
 
-#: Critical-path attribution categories, in display order.
-PATH_CATEGORIES = ("compute", "send", "wait", "rework", "idle")
-
-_KIND_TO_CATEGORY = {
-    "compute": "compute",
-    "send": "send",
-    "wait": "wait",
-    "retry": "rework",
-}
-
-#: Labels that mean fault-recovery work even without a kind tag.
-_REWORK_LABELS = frozenset({"retry", "rework", "checkpoint", "restart"})
+# Re-exported for callers that import them from here.
+_REEXPORTED = (PATH_CATEGORIES, CriticalPath, PathSegment, _category_of)
 
 
-def _category_of(state: StateEvent) -> str:
-    category = _KIND_TO_CATEGORY.get(state.kind)
-    if category is not None:
-        return category
-    if state.label in _REWORK_LABELS:
-        return "rework"
-    return "compute"
-
-
-@dataclass(frozen=True)
-class PathSegment:
-    """One critical-path interval on one rank."""
-
-    rank: int
-    t0: float
-    t1: float
-    category: str
-    label: str
-
-    @property
-    def duration(self) -> float:
-        """Segment length in seconds."""
-        return self.t1 - self.t0
-
-
-@dataclass(frozen=True)
-class CriticalPath:
-    """The extracted critical path with per-segment attribution."""
-
-    segments: tuple[PathSegment, ...]
-    total_seconds: float
-
-    @property
-    def breakdown(self) -> dict[str, float]:
-        """Seconds per attribution category (all categories present)."""
-        sums = {category: 0.0 for category in PATH_CATEGORIES}
-        for segment in self.segments:
-            sums[segment.category] += segment.duration
-        return sums
-
-    @property
-    def by_label(self) -> dict[tuple[str, str], float]:
-        """Seconds per ``(category, label)`` pair, largest first."""
-        sums: dict[tuple[str, str], float] = {}
-        for segment in self.segments:
-            key = (segment.category, segment.label)
-            sums[key] = sums.get(key, 0.0) + segment.duration
-        return dict(sorted(sums.items(), key=lambda kv: (-kv[1], kv[0])))
-
-    @property
-    def rank_changes(self) -> int:
-        """How many times the path hops between ranks."""
-        return sum(
-            1 for a, b in zip(self.segments, self.segments[1:]) if a.rank != b.rank
-        )
-
-    def dominant_wait_label(self) -> str | None:
-        """Label carrying the most on-path wait time, if any waited."""
-        waits = {
-            label: seconds
-            for (category, label), seconds in self.by_label.items()
-            if category == "wait" and seconds > 0.0
-        }
-        if not waits:
-            return None
-        return max(sorted(waits), key=lambda label: waits[label])
-
-    def check_coverage(self) -> None:
-        """Assert the segments tile ``[0, total]`` — the walk's output
-        invariant (raises :class:`TraceError` otherwise)."""
-        covered = math.fsum(s.duration for s in self.segments)
-        if abs(covered - self.total_seconds) > max(1e-6, 1e-6 * self.total_seconds):
-            raise TraceError(
-                f"critical path covers {covered:.9f}s of "
-                f"{self.total_seconds:.9f}s"
-            )
-        for earlier, later in zip(self.segments, self.segments[1:]):
-            if later.t0 < earlier.t1 - _EPS:
-                raise TraceError(
-                    f"critical path segments overlap: {earlier} then {later}"
-                )
-
-
-class HappensBeforeGraph:
+class HappensBeforeGraph(TimelineView):
     """The causal structure of one recorded job.
 
     Nodes are state intervals; edges are (a) program order on each
@@ -212,6 +137,27 @@ class HappensBeforeGraph:
                         f"{message.arrival_time}"
                     )
 
+    # -- the TimelineView the shared walk/classifier consume ---------------
+
+    def anchor(self, rank: int, t: float, eps: float) -> ListCursor:
+        states = self.states_by_rank.get(rank)
+        if not states:
+            return ListCursor([], -1)
+        index = bisect_right(self._end_index[rank], t + eps) - 1
+        return ListCursor(states, index)
+
+    def message(self, seq: int) -> CommEvent | None:
+        return self.messages.get(seq)
+
+    def job_end_time(self) -> float:
+        return self.end_time
+
+    def job_end_rank(self) -> int:
+        return self.end_rank
+
+    def walk_budget(self) -> int:
+        return 4 * (self.node_count + len(self.messages)) + 16
+
     # -- the walk -----------------------------------------------------------
 
     def _latest_ending_at_or_before(
@@ -226,75 +172,9 @@ class HappensBeforeGraph:
         return index, self.states_by_rank[rank][index]
 
     def critical_path(self) -> CriticalPath:
-        """Walk backwards from the job end and attribute every second.
-
-        Raises :class:`TraceError` if the walk fails to make progress
-        (a malformed trace), which the step budget guarantees is
-        detected rather than looped on.
-        """
-        segments: list[PathSegment] = []
-
-        def emit(rank: int, t0: float, t1: float, category: str, label: str) -> None:
-            if t1 - t0 > _EPS:
-                segments.append(PathSegment(rank, t0, t1, category, label))
-
-        rank = self.end_rank
-        t = self.end_time
-        total = t
-        index, state = self._latest_ending_at_or_before(rank, t)
-        budget = 4 * (self.node_count + len(self.messages)) + 16
-        while t > _EPS:
-            budget -= 1
-            if budget < 0:
-                raise TraceError("critical-path walk failed to converge")
-            if state is None:
-                # Nothing earlier on this rank: the head of the trace.
-                emit(rank, 0.0, t, "idle", "idle")
-                break
-            if state.t1 < t - _EPS:
-                # Trace gap on this rank.
-                emit(rank, state.t1, t, "idle", "idle")
-                t = state.t1
-                continue
-            if state.duration <= _EPS:
-                # Zero-length marker (e.g. a mailbox-hit receive):
-                # consume it and look further back on the same rank.
-                index -= 1
-                state = (
-                    self.states_by_rank[rank][index] if index >= 0 else None
-                )
-                continue
-            category = _category_of(state)
-            message = (
-                self.messages.get(state.cause)
-                if state.kind == "wait" and state.cause >= 0
-                else None
-            )
-            if message is not None:
-                in_flight_start = max(state.t0, message.send_time)
-                emit(rank, in_flight_start, state.t1, "wait", state.label)
-                if message.send_time > state.t0 + _EPS:
-                    # Blocked before the send existed: the sender's
-                    # timeline owns the remainder (late-sender hop).
-                    rank = message.src
-                    t = message.send_time
-                    index, state = self._latest_ending_at_or_before(rank, t)
-                    continue
-                t = state.t0
-            else:
-                emit(rank, state.t0, state.t1, category, state.label)
-                t = state.t0
-            index -= 1
-            state = self.states_by_rank[rank][index] if index >= 0 else None
-            if state is not None and state.t1 > t + _EPS:
-                # Overlapping records (e.g. a send resumed mid-wait):
-                # re-anchor on the interval that actually ends at t.
-                index, state = self._latest_ending_at_or_before(rank, t)
-
-        segments.reverse()
-        path = CriticalPath(segments=tuple(segments), total_seconds=total)
-        path.check_coverage()
-        return path
+        """Walk backwards from the job end and attribute every second
+        (see :func:`repro.tracing.attribution.extract_critical_path`)."""
+        return extract_critical_path(self)
 
 
 def build_graph(recorder: TraceRecorder) -> HappensBeforeGraph:

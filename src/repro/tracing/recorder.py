@@ -63,6 +63,11 @@ class NullTracer:
         """Discard a fault record."""
 
     @property
+    def sink(self) -> Any:
+        """A null tracer never forwards anywhere."""
+        return None
+
+    @property
     def num_ranks(self) -> int:
         """An empty trace has no ranks."""
         return 0
@@ -93,12 +98,24 @@ class NullTracer:
 
 
 class TraceRecorder:
-    """Accumulates the full event history of one MPI job."""
+    """Accumulates the full event history of one MPI job.
 
-    def __init__(self) -> None:
+    An optional *sink* (anything with the tracer interface — notably
+    :class:`repro.tracing.stream.TraceStreamAnalyzer`) receives every
+    recording call as it happens, so a run can be analyzed
+    incrementally while still materializing the full trace.
+    """
+
+    def __init__(self, sink: Any = None) -> None:
         self.states: list[StateEvent] = []
         self.comms: list[CommEvent] = []
         self.faults: list[FaultRecord] = []
+        self._sink = sink
+
+    @property
+    def sink(self) -> Any:
+        """The tracer every recording call is forwarded to (or None)."""
+        return self._sink
 
     # -- MpiJob-facing interface -------------------------------------------
 
@@ -117,6 +134,8 @@ class TraceRecorder:
         self.states.append(
             StateEvent(rank=rank, label=label, t0=t0, t1=t1, kind=kind, cause=cause)
         )
+        if self._sink is not None:
+            self._sink.state(rank, label, t0, t1, kind=kind, cause=cause)
 
     def comm(self, message: Any) -> None:
         """Record one message (anything with the Message fields)."""
@@ -132,6 +151,8 @@ class TraceRecorder:
                 seq=getattr(message, "seq", -1),
             )
         )
+        if self._sink is not None:
+            self._sink.comm(message)
 
     def fault(self, kind: str, time_s: float, target: str, **detail: Any) -> None:
         """Record one fault-layer event (injection/detection/recovery).
@@ -146,6 +167,8 @@ class TraceRecorder:
         self.faults.append(
             FaultRecord(kind=kind, time_s=time_s, target=target, detail=items)
         )
+        if self._sink is not None:
+            self._sink.fault(kind, time_s, target, **detail)
 
     # -- queries -----------------------------------------------------------
 

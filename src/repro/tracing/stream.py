@@ -1,0 +1,1162 @@
+"""Streaming trace analytics: bounded-memory incremental analysis.
+
+The batch pipeline (:mod:`repro.tracing.graph` +
+:mod:`repro.tracing.waitstates`) materializes the whole trace before it
+answers anything — fine for 36 ranks, not for thousand-rank ×
+fault-injected runs.  This module analyzes the trace *while it is being
+produced*: :class:`TraceStreamAnalyzer` implements the tracer interface
+(``state`` / ``comm`` / ``fault``), so a simulation can drive it
+directly, or a :class:`~repro.tracing.recorder.TraceRecorder` can tee
+into it via its ``sink``.
+
+Memory model
+------------
+
+Full event records live in a bounded **frontier**: per-rank state
+series plus one global message series, each a sorted array in the same
+total order the batch store uses — ``(t1, t0, record position)`` for
+states, ``(seq, record position)`` for messages.  When the live count
+exceeds ``frontier_limit``, the oldest events of the largest series
+are retired to an append-only, sha256-framed **spill log** (the same
+framing discipline as the run journal) in segments of
+``segment_events``; a small LRU cache decodes retired segments back on
+demand.  Receive waits additionally ride an append-only wait log so
+the final classification replays them in exact record order.  What
+never spills is scalar state only: per-label latency arrays (for the
+baseline medians), per-rank useful-compute sums, collective
+entry/exit extrema, and the distinct-message-id set.
+
+Because both stores present events in the identical total order and
+the arithmetic lives in :mod:`repro.tracing.attribution`, the final
+numbers are **byte-identical** to the batch analysis — the golden
+``fig4_trace_report.json`` reproduces exactly under ``--stream``.
+
+For runs too large even to stream exactly, ``sample_per_label``
+switches the wait log to per-label reservoir sampling (Algorithm R,
+deterministic seed): wait-state totals become unbiased estimates
+scaled by ``N/n`` with reported standard errors and 95% confidence
+intervals, while the critical path, collective imbalance, baselines
+and POP efficiencies stay exact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+import shutil
+import statistics
+import tempfile
+from array import array
+from bisect import bisect_right
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.engine.hashing import content_key
+from repro.errors import TraceError
+from repro.metrics.registry import current_registry
+from repro.tracing.attribution import (
+    _EPS,
+    CriticalPath,
+    ListCursor,
+    TimelineView,
+    WaitClassifier,
+    extract_critical_path,
+)
+from repro.tracing.events import CommEvent, StateEvent
+from repro.tracing.waitstates import (
+    DEFAULT_CONTENTION_FACTOR,
+    EfficiencyReport,
+    WaitStateReport,
+    baselines_from_latencies,
+    collective_instance_spreads,
+    wait_entries_from_buckets,
+)
+
+#: Bump when the spill-segment framing changes shape.
+SPILL_SCHEMA = 1
+
+#: How often (in ingested events) the ``trace.*`` metrics are flushed
+#: to the registry between the final flush at :meth:`finalize`.
+_METRICS_EVERY = 4096
+
+#: Reservoir size for the *provisional* per-label baseline latencies
+#: behind live summaries (the exact baselines are computed at
+#: finalize from the full latency arrays).
+_LIVE_BASELINE_RESERVOIR = 512
+
+_INF = float("inf")
+
+
+def _encode_tag(tag: Any) -> Any:
+    """Message tags are hashables; frame tuples as lists for JSON."""
+    if tag is None or isinstance(tag, (str, int, float)):
+        return tag
+    if isinstance(tag, tuple):
+        return [_encode_tag(item) for item in tag]
+    raise TraceError(
+        f"cannot spill message tag {tag!r} of type {type(tag).__name__}; "
+        "streaming analysis needs JSON-framable tags "
+        "(None, str, int, float, or tuples thereof)"
+    )
+
+
+def _decode_tag(tag: Any) -> Any:
+    if isinstance(tag, list):
+        return tuple(_decode_tag(item) for item in tag)
+    return tag
+
+
+class SpillLog:
+    """Append-only, sha256-framed segment log (journal discipline).
+
+    One JSON line per segment; every read re-derives the content key
+    and refuses corrupt or misaddressed segments, so a bad disk turns
+    into a :class:`TraceError` instead of silently wrong analysis.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._file = open(self.path, "w+b")
+        self.bytes_written = 0
+        self.segments_written = 0
+
+    def append(self, kind: str, rank: int, events: list) -> tuple[int, int]:
+        """Frame one segment; returns ``(offset, length)``."""
+        record = {
+            "schema": SPILL_SCHEMA, "kind": kind, "rank": rank,
+            "events": events,
+        }
+        record["sha256"] = content_key(
+            {k: record[k] for k in ("schema", "kind", "rank", "events")}
+        )
+        data = (
+            json.dumps(record, separators=(",", ":"), allow_nan=False) + "\n"
+        ).encode("utf-8")
+        self._file.seek(0, os.SEEK_END)
+        offset = self._file.tell()
+        self._file.write(data)
+        self._file.flush()
+        self.bytes_written += len(data)
+        self.segments_written += 1
+        return offset, len(data)
+
+    def read(self, offset: int, length: int, *, kind: str, rank: int) -> list:
+        """Decode and verify the segment framed at *offset*."""
+        self._file.seek(offset)
+        data = self._file.read(length)
+        try:
+            record = json.loads(data)
+        except (ValueError, UnicodeDecodeError) as error:
+            raise TraceError(
+                f"spill segment at offset {offset} of {self.path.name} "
+                f"is unreadable: {error}"
+            ) from error
+        digest = record.pop("sha256", None) if isinstance(record, dict) else None
+        if (
+            not isinstance(record, dict)
+            or digest != content_key(record)
+            or record.get("kind") != kind
+            or record.get("rank") != rank
+        ):
+            raise TraceError(
+                f"spill segment at offset {offset} of {self.path.name} is "
+                f"corrupt or misaddressed (wanted kind={kind!r} rank={rank})"
+            )
+        return record["events"]
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+@dataclass
+class _SegRef:
+    """One retired segment: where it lives and what key range it holds."""
+
+    offset: int
+    length: int
+    count: int
+    min_key: tuple
+    max_key: tuple
+
+
+class _SegmentCache:
+    """Tiny LRU over decoded spill segments (bounded working set)."""
+
+    def __init__(self, log: SpillLog, capacity: int) -> None:
+        self._log = log
+        self._capacity = max(1, capacity)
+        self._entries: OrderedDict[tuple, tuple[list, list]] = OrderedDict()
+
+    def get(self, series: "_EventSeries", ref: _SegRef) -> tuple[list, list]:
+        key = (id(series), ref.offset)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry
+        payload = self._log.read(
+            ref.offset, ref.length, kind=series.kind, rank=series.rank
+        )
+        entry = series.decode(payload)
+        if len(entry[0]) != ref.count:
+            raise TraceError(
+                f"spill segment at offset {ref.offset} decoded to "
+                f"{len(entry[0])} events, expected {ref.count}"
+            )
+        self._entries[key] = entry
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return entry
+
+
+class _SeriesCursor:
+    """Backward cursor merging a series' frontier, stragglers, and
+    retired segments in descending key order (the ``retreat()``
+    protocol the shared walk and classifier consume)."""
+
+    __slots__ = (
+        "_series", "_f", "_s", "_g", "_w",
+        "_seg_keys", "_seg_events", "_source", "state",
+    )
+
+    def __init__(self, series: "_EventSeries", f: int, s: int, g: int, w: int):
+        self._series = series
+        self._f = f
+        self._s = s
+        self._g = g
+        self._w = w
+        self._seg_keys: list | None = None
+        self._seg_events: list | None = None
+        if g >= 0:
+            self._load_segment()
+        self._select()
+
+    def _load_segment(self) -> None:
+        self._seg_keys, self._seg_events = self._series.cache.get(
+            self._series, self._series.segments[self._g]
+        )
+
+    def _select(self) -> None:
+        series = self._series
+        source = None
+        best_key = None
+        if self._f >= 0:
+            source, best_key = "f", series.keys[self._f]
+        if self._s >= 0:
+            key = series.straggler_keys[self._s]
+            if best_key is None or key > best_key:
+                source, best_key = "s", key
+        if self._g >= 0 and self._w >= 0:
+            key = self._seg_keys[self._w]
+            if best_key is None or key > best_key:
+                source, best_key = "g", key
+        self._source = source
+        if source == "f":
+            self.state = series.events[self._f]
+        elif source == "s":
+            self.state = series.straggler_events[self._s]
+        elif source == "g":
+            self.state = self._seg_events[self._w]
+        else:
+            self.state = None
+
+    def retreat(self) -> None:
+        if self._source == "f":
+            self._f -= 1
+        elif self._source == "s":
+            self._s -= 1
+        elif self._source == "g":
+            self._w -= 1
+            if self._w < 0:
+                self._g -= 1
+                if self._g >= 0:
+                    self._load_segment()
+                    self._w = len(self._seg_keys) - 1
+        self._select()
+
+
+class _EventSeries:
+    """One key-ordered event stream: a sorted in-memory frontier, a
+    straggler overflow for keys below the spill watermark, and the
+    ascending retired segments on disk.
+
+    The total order across all three tiers is exactly the batch
+    store's sort order, which is what makes cursors over a spilled
+    stream behave identically to cursors over the materialized one.
+    """
+
+    kind = "events"
+
+    def __init__(self, rank: int, cache: _SegmentCache) -> None:
+        self.rank = rank
+        self.cache = cache
+        self.keys: list[tuple] = []
+        self.events: list = []
+        self.straggler_keys: list[tuple] = []
+        self.straggler_events: list = []
+        self.segments: list[_SegRef] = []
+        self._segment_min_keys: list[tuple] = []
+        self.watermark: tuple | None = None
+        self.next_pos = 0
+
+    def encode(self, event, key: tuple) -> list:
+        raise NotImplementedError
+
+    def decode(self, payload: list) -> tuple[list, list]:
+        raise NotImplementedError
+
+    def add(self, key: tuple, event) -> None:
+        if self.watermark is not None and key < self.watermark:
+            # Arrived after its key range was already retired: keep it
+            # in memory forever (stragglers are rare by construction —
+            # recorders emit per-rank times almost in order).
+            index = bisect_right(self.straggler_keys, key)
+            self.straggler_keys.insert(index, key)
+            self.straggler_events.insert(index, event)
+            return
+        if self.keys and key < self.keys[-1]:
+            index = bisect_right(self.keys, key)
+            self.keys.insert(index, key)
+            self.events.insert(index, event)
+        else:
+            self.keys.append(key)
+            self.events.append(event)
+
+    def spillable(self) -> int:
+        return len(self.keys)
+
+    @property
+    def live(self) -> int:
+        return len(self.keys) + len(self.straggler_keys)
+
+    def spill(self, log: SpillLog, count: int) -> int:
+        """Retire the oldest *count* frontier events to *log*."""
+        count = min(count, len(self.keys))
+        if count <= 0:
+            return 0
+        payload = [
+            self.encode(event, key)
+            for key, event in zip(self.keys[:count], self.events[:count])
+        ]
+        offset, length = log.append(self.kind, self.rank, payload)
+        ref = _SegRef(offset, length, count, self.keys[0], self.keys[count - 1])
+        self.segments.append(ref)
+        self._segment_min_keys.append(ref.min_key)
+        self.watermark = ref.max_key
+        del self.keys[:count]
+        del self.events[:count]
+        return count
+
+    def cursor_at(self, probe: tuple) -> _SeriesCursor:
+        """Backward cursor at the last event with key ``<= probe``."""
+        f = bisect_right(self.keys, probe) - 1
+        s = bisect_right(self.straggler_keys, probe) - 1
+        g = bisect_right(self._segment_min_keys, probe) - 1
+        w = -1
+        if g >= 0:
+            seg_keys, _ = self.cache.get(self, self.segments[g])
+            w = bisect_right(seg_keys, probe) - 1
+        return _SeriesCursor(self, f, s, g, w)
+
+
+class _StateSeries(_EventSeries):
+    """Per-rank state intervals keyed ``(t1, t0, record position)``."""
+
+    kind = "states"
+
+    def encode(self, state: StateEvent, key: tuple) -> list:
+        return [key[2], state.label, state.t0, state.t1, state.kind, state.cause]
+
+    def decode(self, payload: list) -> tuple[list, list]:
+        keys: list[tuple] = []
+        events: list[StateEvent] = []
+        for pos, label, t0, t1, kind, cause in payload:
+            keys.append((t1, t0, pos))
+            events.append(
+                StateEvent(self.rank, label, t0, t1, kind=kind, cause=cause)
+            )
+        return keys, events
+
+
+class _CommSeries(_EventSeries):
+    """All stamped messages, keyed ``(seq, record position)`` so
+    duplicate stamps resolve to the last-recorded message — the batch
+    dict's overwrite semantics."""
+
+    kind = "comms"
+
+    def encode(self, comm: CommEvent, key: tuple) -> list:
+        return [
+            key[1], comm.src, comm.dst, _encode_tag(comm.tag), comm.nbytes,
+            comm.send_time, comm.arrival_time, comm.label, comm.seq,
+        ]
+
+    def decode(self, payload: list) -> tuple[list, list]:
+        keys: list[tuple] = []
+        events: list[CommEvent] = []
+        for gpos, src, dst, tag, nbytes, send, arrival, label, seq in payload:
+            keys.append((seq, gpos))
+            events.append(
+                CommEvent(
+                    src=src, dst=dst, tag=_decode_tag(tag), nbytes=nbytes,
+                    send_time=send, arrival_time=arrival, label=label, seq=seq,
+                )
+            )
+        return keys, events
+
+    def lookup(self, seq: int) -> CommEvent | None:
+        """The last-recorded message stamped *seq*, wherever it lives."""
+        probe = (seq, _INF)
+        best_key: tuple | None = None
+        best: CommEvent | None = None
+        index = bisect_right(self.keys, probe) - 1
+        if index >= 0 and self.keys[index][0] == seq:
+            best_key, best = self.keys[index], self.events[index]
+        index = bisect_right(self.straggler_keys, probe) - 1
+        if index >= 0 and self.straggler_keys[index][0] == seq:
+            key = self.straggler_keys[index]
+            if best_key is None or key > best_key:
+                best_key, best = key, self.straggler_events[index]
+        seg = bisect_right(self._segment_min_keys, probe) - 1
+        if seg >= 0:
+            seg_keys, seg_events = self.cache.get(self, self.segments[seg])
+            index = bisect_right(seg_keys, probe) - 1
+            if index >= 0 and seg_keys[index][0] == seq:
+                key = seg_keys[index]
+                if best_key is None or key > best_key:
+                    best_key, best = key, seg_events[index]
+        return best
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Knobs of one streaming analysis.
+
+    ``frontier_limit`` bounds the live in-memory event count (``None``
+    never evicts); ``segment_events`` sizes retired segments;
+    ``sample_per_label`` switches the wait log to reservoir sampling;
+    ``summary_every`` (events) drives :func:`on_summary` with
+    provisional live summaries.
+    """
+
+    frontier_limit: int | None = 8192
+    segment_events: int = 1024
+    spill_dir: str | Path | None = None
+    contention_factor: float = DEFAULT_CONTENTION_FACTOR
+    summary_every: int = 0
+    on_summary: Callable[[dict], None] | None = None
+    sample_per_label: int | None = None
+    sample_seed: int = 7
+    cache_segments: int = 48
+
+    def __post_init__(self) -> None:
+        if self.frontier_limit is not None and self.frontier_limit < 1:
+            raise TraceError(
+                f"frontier_limit must be >= 1 or None, got {self.frontier_limit}"
+            )
+        if self.segment_events < 1:
+            raise TraceError(
+                f"segment_events must be >= 1, got {self.segment_events}"
+            )
+        if self.contention_factor <= 1.0:
+            raise TraceError(
+                f"contention_factor must exceed 1, got {self.contention_factor}"
+            )
+        if self.summary_every < 0:
+            raise TraceError(
+                f"summary_every must be >= 0, got {self.summary_every}"
+            )
+        if self.sample_per_label is not None and self.sample_per_label < 2:
+            raise TraceError(
+                "sample_per_label must be >= 2 (need variance), got "
+                f"{self.sample_per_label}"
+            )
+        if self.cache_segments < 1:
+            raise TraceError(
+                f"cache_segments must be >= 1, got {self.cache_segments}"
+            )
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Ingestion accounting of one streaming analysis."""
+
+    events_ingested: int
+    states_ingested: int
+    comms_ingested: int
+    faults_ingested: int
+    distinct_messages: int
+    frontier_live: int
+    frontier_high_water: int
+    spill_bytes: int
+    retired_segments: int
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "events_ingested": self.events_ingested,
+            "states_ingested": self.states_ingested,
+            "comms_ingested": self.comms_ingested,
+            "faults_ingested": self.faults_ingested,
+            "distinct_messages": self.distinct_messages,
+            "frontier_live": self.frontier_live,
+            "frontier_high_water": self.frontier_high_water,
+            "spill_bytes": self.spill_bytes,
+            "retired_segments": self.retired_segments,
+        }
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """What :meth:`TraceStreamAnalyzer.finalize` learned.
+
+    ``path`` and ``waits`` are the same types the batch analysis
+    produces; ``sampling`` is ``None`` in exact mode, else the
+    per-entry error bounds of the sampled wait-state estimates.
+    """
+
+    path: CriticalPath
+    waits: WaitStateReport
+    num_ranks: int
+    runtime_seconds: float
+    stats: StreamStats
+    sampling: dict[str, Any] | None
+
+
+class _StreamingView(TimelineView):
+    """The analyzer's frontier+spill store as a timeline view."""
+
+    def __init__(self, analyzer: "TraceStreamAnalyzer") -> None:
+        self._a = analyzer
+
+    def anchor(self, rank: int, t: float, eps: float):
+        series = self._a._states.get(rank)
+        if series is None:
+            return ListCursor([], -1)
+        return series.cursor_at((t + eps, _INF, _INF))
+
+    def message(self, seq: int) -> CommEvent | None:
+        if seq < 0:
+            return None
+        return self._a._comms.lookup(seq)
+
+    def job_end_time(self) -> float:
+        return max(self._a._rank_end.values())
+
+    def job_end_rank(self) -> int:
+        end = self.job_end_time()
+        return min(
+            rank
+            for rank, t1 in self._a._rank_end.items()
+            if t1 >= end - _EPS
+        )
+
+    def walk_budget(self) -> int:
+        return 4 * (self._a._node_count + len(self._a._seqs)) + 16
+
+
+class TraceStreamAnalyzer:
+    """Incremental trace analysis behind the tracer interface.
+
+    Drive it directly (``MpiJob(..., tracer=analyzer)``), or tee a
+    recorder into it (``TraceRecorder(sink=analyzer)``); then call
+    :meth:`finalize` for the exact (or sampled) analysis and
+    :meth:`close` to drop the spill log.
+    """
+
+    def __init__(
+        self,
+        config: StreamConfig | None = None,
+        *,
+        registry=None,
+    ) -> None:
+        self.config = config or StreamConfig()
+        self._registry = registry
+        if self.config.spill_dir is not None:
+            self._dir = Path(self.config.spill_dir)
+            self._dir.mkdir(parents=True, exist_ok=True)
+            self._own_dir = False
+        else:
+            self._dir = Path(tempfile.mkdtemp(prefix="trace-stream-"))
+            self._own_dir = True
+        self._log = SpillLog(self._dir / "trace.spill")
+        self._cache = _SegmentCache(self._log, self.config.cache_segments)
+        self._states: dict[int, _StateSeries] = {}
+        self._comms = _CommSeries(-1, self._cache)
+        self._comm_gpos = 0
+        self._seqs: set[int] = set()
+        self._latencies: dict[str, array] = {}
+        self._instances: dict[tuple, dict[str, dict[int, float]]] = {}
+        self._useful: list[float] = []
+        self._rank_end: dict[int, float] = {}
+        self._num_ranks = 0
+        self._node_count = 0
+        self._end_time = 0.0
+        self._wait_tail: list[StateEvent] = []
+        self._wait_segments: list[tuple[int, int, int]] = []
+        self._samples: dict[str, list[StateEvent]] = {}
+        self._sample_counts: dict[str, int] = {}
+        self._sample_rngs: dict[str, random.Random] = {}
+        self._events = 0
+        self._states_n = 0
+        self._comms_n = 0
+        self._faults_n = 0
+        self._live = 0
+        self._high_water = 0
+        self._flushed_events = 0
+        self._flushed_bytes = 0
+        self._flushed_segments = 0
+        self._next_summary = self.config.summary_every or 0
+        self._live_buckets: dict[tuple[str, str], list] = {}
+        self._live_classified = 0
+        self._live_pending = 0
+        self._live_reservoirs: dict[str, list[float]] = {}
+        self._live_rngs: dict[str, random.Random] = {}
+        self._live_counts: dict[str, int] = {}
+        self._live_medians: dict[str, tuple[int, float]] = {}
+        self._result: StreamResult | None = None
+        self._closed = False
+
+    # -- the tracer interface ----------------------------------------------
+
+    def state(
+        self,
+        rank: int,
+        label: str,
+        t0: float,
+        t1: float,
+        *,
+        kind: str = "state",
+        cause: int = -1,
+    ) -> None:
+        """Ingest one state interval."""
+        self._check_open()
+        event = StateEvent(rank, label, t0, t1, kind=kind, cause=cause)
+        series = self._states.get(rank)
+        if series is None:
+            series = self._states[rank] = _StateSeries(rank, self._cache)
+        pos = series.next_pos
+        series.next_pos = pos + 1
+        series.add((t1, t0, pos), event)
+        self._live += 1
+        self._node_count += 1
+        self._states_n += 1
+        if rank >= self._num_ranks:
+            self._num_ranks = rank + 1
+        if t1 > self._end_time:
+            self._end_time = t1
+        previous = self._rank_end.get(rank)
+        if previous is None or t1 > previous:
+            self._rank_end[rank] = t1
+        if kind == "compute":
+            while len(self._useful) <= rank:
+                self._useful.append(0.0)
+            self._useful[rank] += event.duration
+        if kind == "wait" and cause >= 0:
+            self._note_wait(event)
+        self._after_ingest()
+
+    def comm(self, message) -> None:
+        """Ingest one message record (reads the same attributes the
+        batch recorder does)."""
+        self._check_open()
+        event = CommEvent(
+            src=message.src,
+            dst=message.dst,
+            tag=message.tag,
+            nbytes=message.nbytes,
+            send_time=message.send_time,
+            arrival_time=message.arrival_time,
+            label=message.label,
+            seq=getattr(message, "seq", -1),
+        )
+        self._comms_n += 1
+        latencies = self._latencies.get(event.label)
+        if latencies is None:
+            latencies = self._latencies[event.label] = array("d")
+        latencies.append(event.latency)
+        top = max(event.src, event.dst)
+        if top >= self._num_ranks:
+            self._num_ranks = top + 1
+        if event.arrival_time > self._end_time:
+            self._end_time = event.arrival_time
+        instance = event.collective_instance
+        if instance is not None:
+            record = self._instances.setdefault(
+                instance, {"entry": {}, "exit": {}}
+            )
+            entry = record["entry"].get(event.src)
+            if entry is None or event.send_time < entry:
+                record["entry"][event.src] = event.send_time
+            exit_ = record["exit"].get(event.dst)
+            if exit_ is None or event.arrival_time > exit_:
+                record["exit"][event.dst] = event.arrival_time
+        if event.seq >= 0:
+            self._seqs.add(event.seq)
+            self._comms.add((event.seq, self._comm_gpos), event)
+            self._comm_gpos += 1
+            self._live += 1
+        if self._tracking_live():
+            self._note_live_latency(event.label, event.latency)
+        self._after_ingest()
+
+    def fault(self, kind: str, time_s: float, target: str, **detail) -> None:
+        """Fault records don't join the happens-before analysis; they
+        are counted so ingestion accounting stays complete."""
+        self._check_open()
+        self._faults_n += 1
+        self._after_ingest()
+
+    # -- ingestion internals ------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise TraceError("stream analyzer is closed")
+        if self._result is not None:
+            raise TraceError("stream analyzer already finalized")
+
+    def _note_wait(self, event: StateEvent) -> None:
+        k = self.config.sample_per_label
+        if k is not None:
+            label = event.label
+            seen = self._sample_counts.get(label, 0) + 1
+            self._sample_counts[label] = seen
+            reservoir = self._samples.setdefault(label, [])
+            if len(reservoir) < k:
+                reservoir.append(event)
+            else:
+                rng = self._sample_rngs.get(label)
+                if rng is None:
+                    rng = self._sample_rngs[label] = random.Random(
+                        f"trace-stream-sample:{self.config.sample_seed}:{label}"
+                    )
+                slot = rng.randrange(seen)
+                if slot < k:
+                    reservoir[slot] = event
+        else:
+            self._wait_tail.append(event)
+            self._live += 1
+            if len(self._wait_tail) >= self.config.segment_events:
+                self._flush_waits()
+        if self._tracking_live():
+            self._provisional_classify(event)
+
+    def _flush_waits(self) -> None:
+        if not self._wait_tail:
+            return
+        payload = [
+            [e.rank, e.label, e.t0, e.t1, e.kind, e.cause]
+            for e in self._wait_tail
+        ]
+        offset, length = self._log.append("waits", -1, payload)
+        self._wait_segments.append((offset, length, len(payload)))
+        self._live -= len(self._wait_tail)
+        self._wait_tail = []
+
+    def _iter_waits(self) -> Iterator[StateEvent]:
+        """Replay every receive wait in exact record order."""
+        for offset, length, _count in self._wait_segments:
+            payload = self._log.read(offset, length, kind="waits", rank=-1)
+            for rank, label, t0, t1, kind, cause in payload:
+                yield StateEvent(rank, label, t0, t1, kind=kind, cause=cause)
+        yield from self._wait_tail
+
+    def _after_ingest(self) -> None:
+        self._events += 1
+        if self._live > self._high_water:
+            self._high_water = self._live
+        limit = self.config.frontier_limit
+        if limit is not None and self._live > limit:
+            self._evict(limit)
+        if self._events - self._flushed_events >= _METRICS_EVERY:
+            self._flush_metrics()
+        if (
+            self.config.summary_every
+            and self._events >= self._next_summary
+        ):
+            self._next_summary = self._events + self.config.summary_every
+            if self.config.on_summary is not None:
+                self.config.on_summary(self.live_summary())
+
+    def _evict(self, limit: int) -> None:
+        while self._live > limit:
+            candidates = [
+                series
+                for series in list(self._states.values()) + [self._comms]
+                if series.spillable() > 0
+            ]
+            if not candidates:
+                # Only stragglers and the wait tail remain; nothing
+                # retires (high-water then reflects the overflow).
+                return
+            series = max(candidates, key=lambda s: s.spillable())
+            spilled = series.spill(
+                self._log,
+                min(self.config.segment_events, series.spillable()),
+            )
+            self._live -= spilled
+
+    # -- live summaries (provisional) ---------------------------------------
+
+    def _tracking_live(self) -> bool:
+        return self.config.summary_every > 0
+
+    def _note_live_latency(self, label: str, latency: float) -> None:
+        seen = self._live_counts.get(label, 0) + 1
+        self._live_counts[label] = seen
+        reservoir = self._live_reservoirs.setdefault(label, [])
+        if len(reservoir) < _LIVE_BASELINE_RESERVOIR:
+            reservoir.append(latency)
+        else:
+            rng = self._live_rngs.get(label)
+            if rng is None:
+                rng = self._live_rngs[label] = random.Random(
+                    f"trace-stream-live:{self.config.sample_seed}:{label}"
+                )
+            slot = rng.randrange(seen)
+            if slot < _LIVE_BASELINE_RESERVOIR:
+                reservoir[slot] = latency
+        self._live_medians.pop(label, None)
+
+    def _live_baseline(self, label: str) -> float:
+        cached = self._live_medians.get(label)
+        count = self._live_counts.get(label, 0)
+        if cached is not None and cached[0] == count:
+            return cached[1]
+        reservoir = self._live_reservoirs.get(label)
+        value = (
+            max(statistics.median(reservoir), 1e-12) if reservoir else 1e-12
+        )
+        self._live_medians[label] = (count, value)
+        return value
+
+    def _provisional_classify(self, event: StateEvent) -> None:
+        """Cheap per-wait attribution at ingest: no delay-cost
+        recursion, provisional (reservoir) baselines.  Feeds live
+        summaries only; finalize recomputes everything exactly."""
+        message = self._comms.lookup(event.cause)
+        if message is None:
+            self._live_pending += 1
+            return
+        self._live_classified += 1
+        blame: dict[str, float] = {}
+        if event.duration <= 0.0:
+            buffered = event.t0 - message.arrival_time
+            if buffered > 0.0:
+                blame["late-receiver"] = buffered
+        else:
+            pre_send = min(message.send_time, event.t1) - event.t0
+            if pre_send > 0.0:
+                blame["late-sender"] = pre_send
+            t0 = max(event.t0, message.send_time)
+            span = event.t1 - t0
+            if span > 0.0:
+                baseline = self._live_baseline(message.label)
+                if message.latency > self.config.contention_factor * baseline:
+                    expected = message.send_time + baseline
+                    normal = max(0.0, min(event.t1, expected) - t0)
+                    normal = min(span, normal)
+                    if normal > 0.0:
+                        blame["transfer"] = normal
+                    if span - normal > 0.0:
+                        blame["switch-contention"] = span - normal
+                else:
+                    blame["transfer"] = span
+        for category, seconds in blame.items():
+            if seconds > 0.0:
+                bucket = self._live_buckets.setdefault(
+                    (category, event.label), [0.0, 0]
+                )
+                bucket[0] += seconds
+                bucket[1] += 1
+
+    def live_summary(self) -> dict[str, Any]:
+        """A provisional wait-state summary of the stream so far.
+
+        Numbers are marked ``provisional``: message lookups can miss
+        (wait seen before its comm record) and baselines come from a
+        bounded reservoir, so they converge to — but are not — the
+        finalized exact analysis.
+        """
+        top = sorted(
+            self._live_buckets.items(), key=lambda kv: (-kv[1][0], kv[0])
+        )[:5]
+        return {
+            "provisional": True,
+            "events_ingested": self._events,
+            "states_ingested": self._states_n,
+            "comms_ingested": self._comms_n,
+            "end_time_s": self._end_time,
+            "num_ranks": self._num_ranks,
+            "waits_classified": self._live_classified,
+            "waits_pending": self._live_pending,
+            "top_wait_states": [
+                {
+                    "category": category,
+                    "label": label,
+                    "seconds": seconds,
+                    "occurrences": count,
+                }
+                for (category, label), (seconds, count) in top
+            ],
+            "frontier": {
+                "live": self._live,
+                "high_water": self._high_water,
+                "spill_bytes": self._log.bytes_written,
+                "retired_segments": self._log.segments_written,
+            },
+        }
+
+    # -- metrics ------------------------------------------------------------
+
+    def _flush_metrics(self) -> None:
+        registry = (
+            self._registry if self._registry is not None else current_registry()
+        )
+        delta = self._events - self._flushed_events
+        if delta:
+            registry.inc("trace.events_ingested", delta, volatile=True)
+        registry.gauge_max(
+            "trace.frontier_high_water", float(self._high_water), volatile=True
+        )
+        delta = self._log.bytes_written - self._flushed_bytes
+        if delta:
+            registry.inc("trace.spill_bytes", delta, volatile=True)
+        delta = self._log.segments_written - self._flushed_segments
+        if delta:
+            registry.inc("trace.retired_segments", delta, volatile=True)
+        self._flushed_events = self._events
+        self._flushed_bytes = self._log.bytes_written
+        self._flushed_segments = self._log.segments_written
+
+    # -- finalization -------------------------------------------------------
+
+    @property
+    def stats(self) -> StreamStats:
+        """Current ingestion accounting (valid before finalize too)."""
+        return StreamStats(
+            events_ingested=self._events,
+            states_ingested=self._states_n,
+            comms_ingested=self._comms_n,
+            faults_ingested=self._faults_n,
+            distinct_messages=len(self._seqs),
+            frontier_live=self._live,
+            frontier_high_water=self._high_water,
+            spill_bytes=self._log.bytes_written,
+            retired_segments=self._log.segments_written,
+        )
+
+    def finalize(self) -> StreamResult:
+        """Run the exact (or sampled) analysis over everything ingested.
+
+        Idempotent: the first call computes and caches the result.
+        """
+        if self._result is not None:
+            return self._result
+        if self._closed:
+            raise TraceError("stream analyzer is closed")
+        if self._node_count == 0:
+            raise TraceError("cannot analyze an empty trace stream")
+        baselines = baselines_from_latencies(
+            {label: list(values) for label, values in self._latencies.items()}
+        )
+        view = _StreamingView(self)
+        classifier = WaitClassifier(
+            view, baselines, self.config.contention_factor
+        )
+        buckets: dict[tuple[str, str], list] = {}
+
+        def add(category: str, label: str, seconds: float) -> None:
+            bucket = buckets.setdefault((category, label), [0.0, 0])
+            bucket[0] += seconds
+            bucket[1] += 1
+
+        sampling: dict[str, Any] | None = None
+        if self.config.sample_per_label is None:
+            for event in self._iter_waits():
+                message = view.message(event.cause)
+                if (
+                    message is not None
+                    and message.arrival_time > event.t1 + _EPS
+                ):
+                    raise TraceError(
+                        f"wait {event} ends before its cause arrives at "
+                        f"{message.arrival_time}"
+                    )
+                for category, seconds in classifier.classify(event).items():
+                    if seconds > 0.0:
+                        add(category, event.label, seconds)
+        else:
+            sampling = self._classify_sampled(classifier, add)
+
+        for kind, spread in collective_instance_spreads(self._instances):
+            add("collective-imbalance", kind, spread)
+
+        path = extract_critical_path(view)
+        useful = list(self._useful)
+        useful.extend([0.0] * (self._num_ranks - len(useful)))
+        waits = WaitStateReport(
+            entries=wait_entries_from_buckets(buckets),
+            efficiencies=EfficiencyReport(
+                runtime_seconds=self._end_time,
+                useful_seconds=tuple(useful),
+            ),
+            baseline_latency_s=dict(sorted(baselines.items())),
+            contention_factor=self.config.contention_factor,
+        )
+        self._flush_metrics()
+        self._result = StreamResult(
+            path=path,
+            waits=waits,
+            num_ranks=self._num_ranks,
+            runtime_seconds=self._end_time,
+            stats=self.stats,
+            sampling=sampling,
+        )
+        return self._result
+
+    def _classify_sampled(self, classifier: WaitClassifier, add) -> dict:
+        """Classify the per-label reservoirs exactly, scale by N/n, and
+        report per-entry error bounds.
+
+        Estimates are Horvitz–Thompson style: each sampled wait stands
+        for ``N/n`` waits of its label, so category totals are unbiased;
+        the standard error is ``N * sd(s_i) / sqrt(n)`` over the
+        per-sample category seconds (zeros included).
+        """
+        entries: list[dict[str, Any]] = []
+        for label in self._samples:
+            reservoir = self._samples[label]
+            population = self._sample_counts[label]
+            sampled = len(reservoir)
+            scale = population / sampled
+            blames = [classifier.classify(event) for event in reservoir]
+            categories = sorted({c for blame in blames for c in blame})
+            for category in categories:
+                values = [blame.get(category, 0.0) for blame in blames]
+                total = math.fsum(values)
+                if total <= 0.0:
+                    continue
+                estimate = scale * total
+                sd = statistics.stdev(values) if sampled > 1 else 0.0
+                stderr = population * sd / math.sqrt(sampled)
+                add(category, label, estimate)
+                entries.append(
+                    {
+                        "category": category,
+                        "label": label,
+                        "estimate_s": estimate,
+                        "stderr_s": stderr,
+                        "ci95_s": 1.96 * stderr,
+                        "sampled": sampled,
+                        "population": population,
+                    }
+                )
+        return {
+            "mode": "reservoir",
+            "per_label_reservoir": self.config.sample_per_label,
+            "seed": self.config.sample_seed,
+            "entries": sorted(
+                entries, key=lambda e: (-e["estimate_s"], e["category"], e["label"])
+            ),
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the spill log and drop an analyzer-owned spill dir."""
+        if self._closed:
+            return
+        self._closed = True
+        self._log.close()
+        if self._own_dir:
+            shutil.rmtree(self._dir, ignore_errors=True)
+
+    def __enter__(self) -> "TraceStreamAnalyzer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def build_synthetic_trace(
+    tracer,
+    *,
+    num_ranks: int = 36,
+    rounds: int = 100,
+    seed: int = 7,
+) -> int:
+    """Drive *tracer* with a fig4-shaped synthetic workload.
+
+    Each round every rank computes, sends to three peers over a
+    congestible fabric (8% of messages see an 8× latency tail, the
+    incast pathology), and waits for its inbound messages in arrival
+    order; message tags carry a collective instance so imbalance
+    accounting engages.  Event volume is ~``10 * num_ranks`` per round
+    (36 ranks → 360 events/round), so ``rounds`` scales the trace to
+    any multiple of the fig4 event count.  Returns the event count.
+    """
+    if num_ranks < 2:
+        raise TraceError(f"synthetic trace needs >= 2 ranks, got {num_ranks}")
+    rng = random.Random(f"trace-synthetic:{seed}")
+    now = [0.0] * num_ranks
+    seq = 0
+    events = 0
+    for round_index in range(rounds):
+        for rank in range(num_ranks):
+            dt = 0.01 + 0.002 * rng.random()
+            tracer.state(rank, "compute", now[rank], now[rank] + dt,
+                         kind="compute")
+            now[rank] += dt
+            events += 1
+        messages: list[CommEvent] = []
+        for src in range(num_ranks):
+            peers = [
+                (src + 1) % num_ranks,
+                (src + 7) % num_ranks,
+                rng.randrange(num_ranks),
+            ]
+            for dst in peers:
+                if dst == src:
+                    dst = (src + 13) % num_ranks
+                latency = 0.001 * (1.0 + 0.2 * rng.random())
+                if rng.random() < 0.08:
+                    latency *= 8.0
+                send_time = now[src]
+                tracer.state(src, "alltoallv", send_time, send_time + 1e-5,
+                             kind="send", cause=seq)
+                now[src] = send_time + 1e-5
+                events += 1
+                message = CommEvent(
+                    src=src, dst=dst,
+                    tag=("alltoallv", round_index, src),
+                    nbytes=64 * 1024,
+                    send_time=send_time,
+                    arrival_time=send_time + latency,
+                    label="alltoallv", seq=seq,
+                )
+                # Recorded at send time, the way MpiJob does — so an
+                # incremental consumer can resolve a wait's cause the
+                # moment the wait is ingested.
+                tracer.comm(message)
+                events += 1
+                messages.append(message)
+                seq += 1
+        inbound: dict[int, list[CommEvent]] = {}
+        for message in messages:
+            inbound.setdefault(message.dst, []).append(message)
+        for dst in range(num_ranks):
+            arrivals = sorted(
+                inbound.get(dst, ()), key=lambda m: (m.arrival_time, m.seq)
+            )
+            for message in arrivals:
+                t0 = now[dst]
+                t1 = max(t0, message.arrival_time)
+                tracer.state(dst, "alltoallv", t0, t1, kind="wait",
+                             cause=message.seq)
+                now[dst] = t1
+                events += 1
+    return events

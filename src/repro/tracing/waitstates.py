@@ -38,17 +38,23 @@ billed for several ranks' waits (that is what "cost of a delay" means).
 On top sit the POP-style efficiency metrics computed from per-rank
 useful-compute time: load balance, communication efficiency, and
 parallel efficiency (their product).
+
+The per-wait arithmetic lives in
+:class:`repro.tracing.attribution.WaitClassifier`, shared with the
+streaming analyzer; this module holds the batch driver and the report
+types both modes assemble.
 """
 
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
 from dataclasses import dataclass
+from typing import Iterable, Mapping
 
 from repro.core.stats import summarize
 from repro.errors import TraceError
-from repro.tracing.events import CommEvent, StateEvent
+from repro.tracing.attribution import WaitClassifier
+from repro.tracing.graph import HappensBeforeGraph
 from repro.tracing.recorder import TraceRecorder
 
 #: Wait-state categories in display order.
@@ -68,10 +74,6 @@ BENIGN_CATEGORIES = frozenset({"transfer", "late-receiver"})
 #: A message whose end-to-end latency exceeds this multiple of its
 #: label's trace-wide median counts as congested.
 DEFAULT_CONTENTION_FACTOR = 3.0
-
-#: How many late-sender hops the delay-cost walk follows before giving
-#: up and charging the remainder as ``late-sender``.
-_MAX_PROPAGATION_DEPTH = 8
 
 _EPS = 1e-12
 
@@ -217,143 +219,47 @@ def _baselines(recorder: TraceRecorder) -> dict[str, float]:
     latencies: dict[str, list[float]] = {}
     for comm in recorder.comms:
         latencies.setdefault(comm.label, []).append(comm.latency)
+    return baselines_from_latencies(latencies)
+
+
+def baselines_from_latencies(
+    latencies: Mapping[str, Iterable[float]]
+) -> dict[str, float]:
+    """Per-label baseline latency: the trace-wide median (floored at
+    :data:`_EPS`).  The median is order-independent, so batch and
+    streaming ingestion agree exactly."""
     return {
-        label: max(summarize(values).median, _EPS)
+        label: max(summarize(list(values)).median, _EPS)
         for label, values in latencies.items()
     }
 
 
-class _Classifier:
-    """One classification pass over a trace (see module docs)."""
-
-    def __init__(self, recorder: TraceRecorder, contention_factor: float) -> None:
-        self.messages: dict[int, CommEvent] = {
-            c.seq: c for c in recorder.comms if c.seq >= 0
-        }
-        self.baselines = _baselines(recorder)
-        self.factor = contention_factor
-        self.states_by_rank: dict[int, list[StateEvent]] = {}
-        for state in recorder.states:
-            self.states_by_rank.setdefault(state.rank, []).append(state)
-        for states in self.states_by_rank.values():
-            states.sort(key=lambda s: (s.t1, s.t0))
-        self._end_index = {
-            rank: [s.t1 for s in states]
-            for rank, states in self.states_by_rank.items()
-        }
-
-    def congested(self, message: CommEvent) -> bool:
-        baseline = self.baselines.get(message.label, _EPS)
-        return message.latency > self.factor * baseline
-
-    def split_in_flight(
-        self, message: CommEvent, t0: float, t1: float, blame: dict[str, float]
-    ) -> None:
-        """Attribute blocked-while-in-flight time ``[t0, t1]``."""
-        span = t1 - t0
-        if span <= 0.0:
-            return
-        if self.congested(message):
-            # Within the baseline the network is merely transferring;
-            # everything past the expected arrival is the switch.
-            expected_arrival = message.send_time + self.baselines.get(
-                message.label, _EPS
-            )
-            normal = max(0.0, min(t1, expected_arrival) - t0)
-            blame["transfer"] = blame.get("transfer", 0.0) + min(span, normal)
-            excess = span - min(span, normal)
-            if excess > 0.0:
-                blame["switch-contention"] = (
-                    blame.get("switch-contention", 0.0) + excess
-                )
-        else:
-            blame["transfer"] = blame.get("transfer", 0.0) + span
-
-    def attribute_lateness(
-        self, rank: int, before: float, gap: float, blame: dict[str, float], depth: int
-    ) -> None:
-        """Blame *rank*'s most recent blocking before *before* for *gap*
-        seconds of lateness (Scalasca-style delay-cost propagation).
-
-        Intrinsic work (compute, send overhead) is skipped: equal work
-        cannot make one rank later than another, earlier blocking can.
-        Lateness not explained by any blocking is genuine
-        ``late-sender``.
-        """
-        if depth > _MAX_PROPAGATION_DEPTH:
-            blame["late-sender"] = blame.get("late-sender", 0.0) + gap
-            return
-        states = self.states_by_rank.get(rank, [])
-        index = bisect_right(self._end_index.get(rank, []), before + _EPS) - 1
-        while gap > _EPS and index >= 0:
-            state = states[index]
-            index -= 1
-            if state.kind != "wait" or state.duration <= 0.0 or state.cause < 0:
-                continue
-            message = self.messages.get(state.cause)
-            if message is None:
-                continue
-            # Most recent lateness first: the in-flight tail of the
-            # wait, then (recursively) the blocked-before-send head.
-            in_flight = max(0.0, state.t1 - max(state.t0, message.send_time))
-            take = min(gap, in_flight)
-            if take > 0.0:
-                self.split_in_flight(
-                    message, state.t1 - take, state.t1, blame
-                )
-                gap -= take
-            pre_send = max(0.0, min(message.send_time, state.t1) - state.t0)
-            take = min(gap, pre_send)
-            if take > 0.0:
-                self.attribute_lateness(
-                    message.src, message.send_time, take, blame, depth + 1
-                )
-                gap -= take
-        if gap > _EPS:
-            blame["late-sender"] = blame.get("late-sender", 0.0) + gap
-
-    def classify(self, state: StateEvent) -> dict[str, float]:
-        """Root-cause one receive wait; returns seconds per category."""
-        blame: dict[str, float] = {}
-        message = self.messages.get(state.cause)
-        if message is None:
-            return blame
-        if state.duration <= 0.0:
-            buffered = state.t0 - message.arrival_time
-            if buffered > 0.0:
-                blame["late-receiver"] = buffered
-            return blame
-        pre_send = min(message.send_time, state.t1) - state.t0
-        if pre_send > 0.0:
-            self.attribute_lateness(
-                message.src, message.send_time, pre_send, blame, 0
-            )
-        self.split_in_flight(
-            message, max(state.t0, message.send_time), state.t1, blame
+def wait_entries_from_buckets(
+    buckets: Mapping[tuple[str, str], list]
+) -> tuple[WaitEntry, ...]:
+    """Sort accumulated ``(category, label) -> [seconds, count]``
+    buckets into the report's entry order (largest first)."""
+    return tuple(
+        WaitEntry(category, label, seconds, int(count))
+        for (category, label), (seconds, count) in sorted(
+            buckets.items(), key=lambda kv: (-kv[1][0], kv[0])
         )
-        return blame
+    )
 
 
-def _introduced_imbalance(
-    recorder: TraceRecorder,
+def collective_instance_spreads(
+    instances: Mapping[tuple, Mapping[str, Mapping[int, float]]]
 ) -> list[tuple[str, float]]:
-    """Entry-time spread per collective instance, *introduced* since the
-    previous instance (inherited skew is the previous waits' fault and
-    already billed there)."""
-    instances: dict[tuple, dict[str, dict[int, float]]] = {}
-    for comm in recorder.comms:
-        instance = comm.collective_instance
-        if instance is None:
-            continue
-        record = instances.setdefault(instance, {"entry": {}, "exit": {}})
-        entry = record["entry"].get(comm.src)
-        if entry is None or comm.send_time < entry:
-            record["entry"][comm.src] = comm.send_time
-        exit_ = record["exit"].get(comm.dst)
-        if exit_ is None or comm.arrival_time > exit_:
-            record["exit"][comm.dst] = comm.arrival_time
+    """Entry-time spread per collective instance, *introduced* since
+    the previous instance (inherited skew is the previous waits' fault
+    and already billed there).
+
+    *instances* maps ``(kind, seq)`` to ``{"entry": {rank: first send
+    time}, "exit": {rank: last arrival}}`` — min/max accumulations, so
+    batch and streaming ingestion build the identical structure.
+    """
     spreads: list[tuple[str, float]] = []
-    previous_exit: dict[int, float] = {}
+    previous_exit: Mapping[int, float] = {}
     for kind, _sequence in sorted(instances, key=lambda k: (k[1], k[0])):
         record = instances[(kind, _sequence)]
         entries = record["entry"]
@@ -368,6 +274,24 @@ def _introduced_imbalance(
                 spreads.append((kind, spread))
         previous_exit = record["exit"]
     return spreads
+
+
+def _introduced_imbalance(
+    recorder: TraceRecorder,
+) -> list[tuple[str, float]]:
+    instances: dict[tuple, dict[str, dict[int, float]]] = {}
+    for comm in recorder.comms:
+        instance = comm.collective_instance
+        if instance is None:
+            continue
+        record = instances.setdefault(instance, {"entry": {}, "exit": {}})
+        entry = record["entry"].get(comm.src)
+        if entry is None or comm.send_time < entry:
+            record["entry"][comm.src] = comm.send_time
+        exit_ = record["exit"].get(comm.dst)
+        if exit_ is None or comm.arrival_time > exit_:
+            record["exit"][comm.dst] = comm.arrival_time
+    return collective_instance_spreads(instances)
 
 
 def classify_wait_states(
@@ -389,8 +313,9 @@ def classify_wait_states(
     if not recorder.states:
         raise TraceError("cannot classify an empty trace")
 
-    classifier = _Classifier(recorder, contention_factor)
-    buckets: dict[tuple[str, str], list[float]] = {}
+    view = HappensBeforeGraph(recorder)
+    classifier = WaitClassifier(view, _baselines(recorder), contention_factor)
+    buckets: dict[tuple[str, str], list] = {}
 
     def add(category: str, label: str, seconds: float) -> None:
         bucket = buckets.setdefault((category, label), [0.0, 0])
@@ -407,14 +332,8 @@ def classify_wait_states(
     for kind, spread in _introduced_imbalance(recorder):
         add("collective-imbalance", kind, spread)
 
-    entries = tuple(
-        WaitEntry(category, label, seconds, int(count))
-        for (category, label), (seconds, count) in sorted(
-            buckets.items(), key=lambda kv: (-kv[1][0], kv[0])
-        )
-    )
     return WaitStateReport(
-        entries=entries,
+        entries=wait_entries_from_buckets(buckets),
         efficiencies=efficiency_report(recorder),
         baseline_latency_s=dict(sorted(classifier.baselines.items())),
         contention_factor=contention_factor,

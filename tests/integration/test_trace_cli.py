@@ -20,7 +20,17 @@ from repro.tracing.chrome import validate_chrome_trace
 @pytest.fixture(scope="module")
 def report_dir(tmp_path_factory):
     out = tmp_path_factory.mktemp("trace-report")
-    assert main(["trace-report", "--out", str(out)]) == 0
+    assert main([
+        "trace-report", "--out", str(out),
+        "--chrome-out", str(out / "trace.chrome.json"),
+    ]) == 0
+    return out
+
+
+@pytest.fixture(scope="module")
+def stream_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("trace-stream")
+    assert main(["trace-report", "--stream", "--out", str(out)]) == 0
     return out
 
 
@@ -31,6 +41,18 @@ class TestTraceReport:
                 "metrics.json"} <= names
         manifests = [n for n in names if n.startswith("trace-report-bigdft-")]
         assert len(manifests) == 1
+
+    def test_chrome_is_skipped_without_chrome_out(self, tmp_path):
+        assert main(["trace-report", "--out", str(tmp_path)]) == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert "trace.chrome.json" not in names
+        assert {"report.json", "report.md", "metrics.json"} <= names
+        manifest_path = next(
+            p for p in tmp_path.iterdir()
+            if p.name.startswith("trace-report-bigdft-")
+        )
+        manifest = json.loads(manifest_path.read_text())
+        assert "trace.chrome.json" not in manifest["attachments"]
 
     def test_report_diagnoses_figure_4(self, report_dir):
         payload = json.loads((report_dir / "report.json").read_text())
@@ -64,6 +86,64 @@ class TestTraceReport:
 
     def test_registry_restored_afterwards(self, report_dir):
         assert current_registry() is NULL_REGISTRY
+
+
+class TestStreamMode:
+    def test_stream_report_is_byte_identical_to_batch(
+        self, report_dir, stream_dir
+    ):
+        assert (stream_dir / "report.json").read_bytes() == (
+            (report_dir / "report.json").read_bytes()
+        )
+        assert (stream_dir / "report.md").read_bytes() == (
+            (report_dir / "report.md").read_bytes()
+        )
+        # trace.* metrics are volatile, so the deterministic metrics
+        # snapshot matches too — streaming never perturbs goldens.
+        assert (stream_dir / "metrics.json").read_bytes() == (
+            (report_dir / "metrics.json").read_bytes()
+        )
+
+    def test_stream_stats_show_bounded_memory(self, stream_dir):
+        payload = json.loads((stream_dir / "stream_stats.json").read_text())
+        stats = payload["stats"]
+        assert stats["events_ingested"] > 0
+        assert stats["frontier_high_water"] < stats["events_ingested"]
+        assert stats["retired_segments"] > 0
+        assert "sampling" not in payload
+
+    def test_stream_never_writes_a_chrome_trace(self, stream_dir):
+        assert not (stream_dir / "trace.chrome.json").exists()
+
+    def test_stream_plus_chrome_out_is_a_clean_error(self, tmp_path, capsys):
+        code = main([
+            "trace-report", "--stream", "--out", str(tmp_path / "o"),
+            "--chrome-out", str(tmp_path / "c.json"),
+        ])
+        _, err = capsys.readouterr()
+        assert code == 1
+        assert "cannot be" in err and "Traceback" not in err
+
+    def test_sample_without_stream_is_a_clean_error(self, tmp_path, capsys):
+        code = main([
+            "trace-report", "--sample", "64", "--out", str(tmp_path / "o"),
+        ])
+        _, err = capsys.readouterr()
+        assert code == 1
+        assert "--sample only applies" in err and "Traceback" not in err
+
+    def test_sampled_stream_reports_error_bounds(self, tmp_path):
+        out = tmp_path / "sampled"
+        assert main([
+            "trace-report", "--stream", "--sample", "128",
+            "--out", str(out),
+        ]) == 0
+        payload = json.loads((out / "stream_stats.json").read_text())
+        sampling = payload["sampling"]
+        assert sampling["mode"] == "reservoir"
+        for entry in sampling["entries"]:
+            assert entry["ci95_s"] >= 0.0
+            assert entry["sampled"] <= entry["population"]
 
 
 class TestDiffMetrics:

@@ -1,0 +1,136 @@
+"""``GET /jobs/<id>/trace`` over a real socket.
+
+The trace-analysis scenario drives the streaming analyzer inside the
+forked worker and appends provisional wait-state summaries to the
+job's progress file; the endpoint tails that file live and closes
+with a ``{"final": true, ...}`` line carrying the job's value.  These
+tests follow the stream through :class:`ServiceClient` exactly the
+way an operator's script would.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.metrics.registry import MetricsRegistry, use_registry
+from repro.service import JobService, ServiceClient, ServiceConfig
+from repro.service.http import ServiceServer
+
+POINT = {"app": "bigdft", "seed": 7, "num_ranks": 36}
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live service on an ephemeral port; yields a connected client."""
+    started = threading.Event()
+    state = {}
+
+    def host():
+        async def main():
+            with use_registry(MetricsRegistry()):
+                service = JobService(ServiceConfig(
+                    cache_root=tmp_path / "cache",
+                    run_dir=tmp_path / "run",
+                    pool_size=2,
+                    queue_limit=8,
+                ))
+                srv = ServiceServer(service, port=0, read_timeout_s=0.5)
+                await srv.start()
+                state["port"] = srv.port
+                state["loop"] = asyncio.get_running_loop()
+                state["stop"] = asyncio.Event()
+                started.set()
+                await state["stop"].wait()
+                await srv.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=host, daemon=True)
+    thread.start()
+    assert started.wait(timeout=10), "server never came up"
+    yield ServiceClient(f"http://127.0.0.1:{state['port']}", timeout_s=60)
+    state["loop"].call_soon_threadsafe(state["stop"].set)
+    thread.join(timeout=10)
+    assert not thread.is_alive(), "server thread failed to stop"
+
+
+class TestTraceStream:
+    def test_live_job_streams_provisional_then_final(self, server):
+        job_id = server.submit(
+            "trace-analysis", POINT, wait=False
+        )["job"]["job_id"]
+        lines = server.trace(job_id)
+
+        final = lines[-1]
+        assert final["final"] is True
+        assert final["state"] == "done"
+        provisional = lines[:-1]
+        assert len(provisional) >= 2, "no live summaries streamed"
+        assert all(line["provisional"] for line in provisional)
+        counts = [line["events_ingested"] for line in provisional]
+        assert counts == sorted(counts)
+        assert counts[0] < counts[-1]
+        # Every provisional line is a self-contained summary.
+        for line in provisional:
+            assert line["num_ranks"] >= 1
+            assert line["waits_classified"] + line["waits_pending"] >= 0
+            assert isinstance(line["top_wait_states"], list)
+
+        # The final line carries the job's value: the exact analysis.
+        summary = final["summary"]
+        assert summary["scenario"] == "fig4-bigdft-36ranks-seed7"
+        assert summary["stream"]["events_ingested"] == counts[-1]
+        assert summary["stream"]["frontier_high_water"] <= (
+            0.30 * summary["stream"]["events_ingested"]
+        )
+        # ... and matches what /result serves.
+        assert server.result(job_id) == summary
+
+    def test_raw_ndjson_over_the_socket(self, server):
+        """The wire format itself: NDJSON, readable line by line."""
+        job_id = server.submit(
+            "trace-analysis", POINT, wait=False
+        )["job"]["job_id"]
+        conn = http.client.HTTPConnection(
+            server.host, server.port, timeout=60
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/trace")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == (
+                "application/x-ndjson"
+            )
+            lines = []
+            while True:
+                raw = response.readline()
+                if not raw:
+                    break
+                lines.append(json.loads(raw))
+        finally:
+            conn.close()
+        assert lines[-1]["final"] is True
+        assert all("final" not in line for line in lines[:-1])
+
+    def test_warm_job_gets_only_the_final_line(self, server):
+        first = server.submit("trace-analysis", POINT)["job"]
+        assert first["state"] == "done"
+        again = server.submit("trace-analysis", POINT)["job"]
+        lines = server.trace(again["job_id"])
+        assert lines[-1]["final"] is True
+        assert lines[-1]["summary"] == server.result(first["job_id"])
+
+    def test_progressless_scenario_is_a_404(self, server):
+        job_id = server.submit("squares", {"x": 4})["job"]["job_id"]
+        with pytest.raises(ServiceError, match="no live trace progress"):
+            server.trace(job_id)
+        # The snapshot advertises which jobs have the channel.
+        assert server.status(job_id)["job"]["progress"] is False
+
+    def test_snapshot_advertises_progress(self, server):
+        job = server.submit("trace-analysis", POINT)["job"]
+        assert job["progress"] is True

@@ -111,21 +111,49 @@ class TestCriticalPath:
     def test_check_coverage_rejects_overlap(self):
         bad = CriticalPath(
             segments=(
-                PathSegment(0, 0.0, 2.0, "compute", "a"),
-                PathSegment(0, 1.0, 2.0, "compute", "b"),
+                PathSegment(3, 0.0, 2.0, "compute", "fft"),
+                PathSegment(5, 1.0, 2.0, "compute", "conv"),
             ),
             total_seconds=3.0,
         )
-        with pytest.raises(TraceError):
+        with pytest.raises(TraceError) as err:
             bad.check_coverage()
+        # The message names both offenders: rank, category, label and
+        # the exact time windows — enough to find them in the trace.
+        message = str(err.value)
+        assert "overlap" in message
+        assert "'fft' on rank 3" in message
+        assert "'conv' on rank 5" in message
+        assert "[0.000000000, 2.000000000]" in message
 
     def test_check_coverage_rejects_shortfall(self):
         bad = CriticalPath(
-            segments=(PathSegment(0, 0.0, 1.0, "compute", "a"),),
+            segments=(PathSegment(2, 0.0, 1.0, "compute", "fft"),),
             total_seconds=5.0,
         )
-        with pytest.raises(TraceError):
+        with pytest.raises(TraceError) as err:
             bad.check_coverage()
+        # The message localizes the largest hole next to a named
+        # segment, not just "coverage mismatch".
+        message = str(err.value)
+        assert "covers 1.000000000s of 5.000000000s" in message
+        assert "[1.000000000, 5.000000000] after the last segment" in message
+        assert "'fft' on rank 2" in message
+
+    def test_check_coverage_names_interior_gap(self):
+        bad = CriticalPath(
+            segments=(
+                PathSegment(0, 0.0, 1.0, "compute", "fft"),
+                PathSegment(4, 3.0, 4.0, "mpi-wait", "alltoallv"),
+            ),
+            total_seconds=4.0,
+        )
+        with pytest.raises(TraceError) as err:
+            bad.check_coverage()
+        message = str(err.value)
+        assert "[1.000000000, 3.000000000] between" in message
+        assert "compute segment 'fft' on rank 0" in message
+        assert "mpi-wait segment 'alltoallv' on rank 4" in message
 
 
 class TestOnRealJob:

@@ -1,0 +1,317 @@
+"""The streaming analyzer: bounded memory, exactness, failure modes.
+
+The load-bearing claim is *byte identity*: for the same trace, the
+streaming analysis — whatever its frontier limit, however much it
+spilled — produces the same :class:`RunReport` JSON as the batch
+graph+classifier pipeline.  Everything else (spill framing, eviction
+accounting, live summaries, sampled error bounds) supports that.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.metrics.export import registry_to_dict
+from repro.metrics.registry import MetricsRegistry
+from repro.obs import build_run_report, build_stream_run_report
+from repro.tracing import TraceRecorder
+from repro.tracing.stream import (
+    SpillLog,
+    StreamConfig,
+    TraceStreamAnalyzer,
+    _decode_tag,
+    _encode_tag,
+    build_synthetic_trace,
+)
+
+
+def _tee(config=None, *, num_ranks=6, rounds=30, seed=11, registry=None):
+    """Feed one synthetic trace to batch and stream simultaneously."""
+    analyzer = TraceStreamAnalyzer(config, registry=registry)
+    recorder = TraceRecorder(sink=analyzer)
+    build_synthetic_trace(
+        recorder, num_ranks=num_ranks, rounds=rounds, seed=seed
+    )
+    return recorder, analyzer
+
+
+def _stream_only(config=None, **kwargs):
+    analyzer = TraceStreamAnalyzer(config)
+    build_synthetic_trace(analyzer, **kwargs)
+    return analyzer
+
+
+class TestByteIdentity:
+    def test_stream_equals_batch_under_aggressive_eviction(self):
+        config = StreamConfig(frontier_limit=64, segment_events=16)
+        recorder, analyzer = _tee(config)
+        with analyzer:
+            result = analyzer.finalize()
+            streamed = build_stream_run_report(result, scenario="tee")
+        batch = build_run_report(recorder, scenario="tee")
+        assert streamed.to_json() == batch.to_json()
+        # The equality must have been earned: this run really spilled.
+        assert result.stats.retired_segments > 0
+        assert result.stats.spill_bytes > 0
+        assert result.stats.frontier_high_water < result.stats.events_ingested
+
+    def test_frontier_limit_never_changes_the_answer(self):
+        documents = set()
+        for limit in (1, 17, 256, None):
+            with _stream_only(
+                StreamConfig(frontier_limit=limit, segment_events=8)
+            ) as analyzer:
+                result = analyzer.finalize()
+                documents.add(
+                    build_stream_run_report(result, scenario="x").to_json()
+                )
+        assert len(documents) == 1
+
+    def test_high_water_respects_the_limit(self):
+        config = StreamConfig(frontier_limit=64, segment_events=16)
+        with _stream_only(config) as analyzer:
+            stats = analyzer.finalize().stats
+        # Eviction runs after each ingest, so the high-water mark can
+        # overshoot by at most one segment of not-yet-flushed waits.
+        assert stats.frontier_high_water <= 64 + config.segment_events
+        assert stats.frontier_live <= stats.frontier_high_water
+
+    def test_finalize_is_idempotent(self):
+        with _stream_only(StreamConfig(frontier_limit=32)) as analyzer:
+            assert analyzer.finalize() is analyzer.finalize()
+
+
+class TestLifecycle:
+    def test_empty_stream_is_rejected(self):
+        with TraceStreamAnalyzer() as analyzer:
+            with pytest.raises(TraceError, match="empty trace stream"):
+                analyzer.finalize()
+
+    def test_finalize_after_close_is_rejected(self):
+        analyzer = _stream_only(rounds=2)
+        analyzer.close()
+        with pytest.raises(TraceError, match="closed"):
+            analyzer.finalize()
+
+    def test_ingest_after_close_is_rejected(self):
+        analyzer = TraceStreamAnalyzer()
+        analyzer.close()
+        with pytest.raises(TraceError, match="closed"):
+            analyzer.state(0, "compute", 0.0, 1.0)
+
+    def test_close_drops_the_owned_spill_dir(self):
+        analyzer = _stream_only(
+            StreamConfig(frontier_limit=8, segment_events=4), rounds=10
+        )
+        spill_dir = analyzer._dir
+        assert spill_dir.exists()
+        analyzer.close()
+        assert not spill_dir.exists()
+
+    def test_explicit_spill_dir_is_kept(self, tmp_path):
+        config = StreamConfig(
+            frontier_limit=8, segment_events=4, spill_dir=tmp_path / "spill"
+        )
+        analyzer = _stream_only(config, rounds=10)
+        analyzer.finalize()
+        analyzer.close()
+        assert (tmp_path / "spill").exists()
+
+
+class TestSpillLog:
+    def test_round_trip(self, tmp_path):
+        log = SpillLog(tmp_path / "s.spill")
+        offset, length = log.append("states", 3, [[0, "a", 0.0, 1.0, "state", -1]])
+        assert log.read(offset, length, kind="states", rank=3) == (
+            [[0, "a", 0.0, 1.0, "state", -1]]
+        )
+        log.close()
+
+    def test_corruption_is_a_trace_error(self, tmp_path):
+        path = tmp_path / "s.spill"
+        log = SpillLog(path)
+        offset, length = log.append("states", 0, [[0, "a", 0.0, 1.0, "state", -1]])
+        log._file.seek(offset + 30)
+        log._file.write(b"X")
+        log._file.flush()
+        with pytest.raises(TraceError, match="corrupt or misaddressed"):
+            log.read(offset, length, kind="states", rank=0)
+        log.close()
+
+    def test_misaddressed_read_is_a_trace_error(self, tmp_path):
+        log = SpillLog(tmp_path / "s.spill")
+        offset, length = log.append("states", 0, [])
+        with pytest.raises(TraceError, match="corrupt or misaddressed"):
+            log.read(offset, length, kind="states", rank=7)
+        with pytest.raises(TraceError, match="corrupt or misaddressed"):
+            log.read(offset, length, kind="comms", rank=0)
+        log.close()
+
+    def test_truncated_frame_is_a_trace_error(self, tmp_path):
+        log = SpillLog(tmp_path / "s.spill")
+        offset, length = log.append("states", 0, [[0, "a", 0.0, 1.0, "state", -1]])
+        with pytest.raises(TraceError, match="unreadable"):
+            log.read(offset, length - 5, kind="states", rank=0)
+        log.close()
+
+
+class TestTagCodec:
+    def test_nested_tuples_round_trip(self):
+        tag = ("alltoallv", 3, ("phase", 2.5), None)
+        assert _decode_tag(_encode_tag(tag)) == tag
+
+    def test_scalars_pass_through(self):
+        for tag in (None, "x", 7, 2.5):
+            assert _decode_tag(_encode_tag(tag)) == tag
+
+    def test_unframable_tag_is_a_trace_error(self):
+        with pytest.raises(TraceError, match="JSON-framable"):
+            _encode_tag({"not": "hashable-framing"})
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"frontier_limit": 0}, "frontier_limit"),
+            ({"segment_events": 0}, "segment_events"),
+            ({"contention_factor": 1.0}, "contention_factor"),
+            ({"summary_every": -1}, "summary_every"),
+            ({"sample_per_label": 1}, "sample_per_label"),
+            ({"cache_segments": 0}, "cache_segments"),
+        ],
+    )
+    def test_bad_knobs_are_rejected(self, kwargs, match):
+        with pytest.raises(TraceError, match=match):
+            StreamConfig(**kwargs)
+
+
+class TestMetrics:
+    def test_trace_metrics_flow_and_stay_volatile(self):
+        registry = MetricsRegistry()
+        config = StreamConfig(frontier_limit=64, segment_events=16)
+        recorder, analyzer = _tee(config, registry=registry)
+        with analyzer:
+            result = analyzer.finalize()
+        stats = result.stats
+        assert registry.counter("trace.events_ingested").value == (
+            stats.events_ingested
+        )
+        assert registry.counter("trace.spill_bytes").value == stats.spill_bytes
+        assert registry.counter("trace.retired_segments").value == (
+            stats.retired_segments
+        )
+        assert registry.gauge("trace.frontier_high_water").value == (
+            stats.frontier_high_water
+        )
+        # Volatile: present in the observability export, absent from
+        # the deterministic one — so streaming never perturbs goldens.
+        live = registry_to_dict(registry, deterministic=False)
+        frozen = registry_to_dict(registry, deterministic=True)
+        assert "trace.events_ingested" in live["counters"]
+        assert not any(k.startswith("trace.") for k in frozen["counters"])
+        assert not any(k.startswith("trace.") for k in frozen["gauges"])
+
+
+class TestLiveSummaries:
+    def test_on_summary_fires_with_monotone_progress(self):
+        summaries = []
+        config = StreamConfig(
+            frontier_limit=64,
+            segment_events=16,
+            summary_every=100,
+            on_summary=summaries.append,
+        )
+        with _stream_only(config, rounds=40) as analyzer:
+            final = analyzer.live_summary()
+            analyzer.finalize()
+        assert len(summaries) >= 3
+        counts = [s["events_ingested"] for s in summaries]
+        assert counts == sorted(counts)
+        assert all(s["provisional"] for s in summaries)
+        for summary in summaries:
+            assert summary["frontier"]["high_water"] >= summary["frontier"]["live"]
+            for entry in summary["top_wait_states"]:
+                assert entry["seconds"] > 0.0
+                assert entry["occurrences"] >= 1
+        assert final["events_ingested"] >= counts[-1]
+
+    def test_summaries_are_provisional_not_authoritative(self):
+        """The live classification converges toward — but is allowed to
+        differ from — the exact finalized analysis."""
+        config = StreamConfig(summary_every=100, on_summary=lambda s: None)
+        with _stream_only(config, rounds=40) as analyzer:
+            live = analyzer.live_summary()
+            result = analyzer.finalize()
+        live_total = sum(e["seconds"] for e in live["top_wait_states"])
+        exact_total = sum(e.seconds for e in result.waits.entries)
+        assert live_total > 0.0
+        assert exact_total > 0.0
+
+
+class TestSampling:
+    def test_sampled_estimates_carry_error_bounds(self):
+        exact = _stream_only(StreamConfig(), rounds=60, seed=3)
+        with exact:
+            exact_result = exact.finalize()
+        config = StreamConfig(sample_per_label=128, sample_seed=5)
+        with _stream_only(config, rounds=60, seed=3) as analyzer:
+            result = analyzer.finalize()
+        sampling = result.sampling
+        assert sampling is not None
+        assert sampling["mode"] == "reservoir"
+        assert sampling["per_label_reservoir"] == 128
+        assert sampling["entries"], "no sampled wait-state estimates"
+        for entry in sampling["entries"]:
+            assert entry["sampled"] <= min(128, entry["population"])
+            assert entry["estimate_s"] > 0.0
+            assert entry["ci95_s"] == pytest.approx(1.96 * entry["stderr_s"])
+        # The dominant estimate lands within its own 95% interval
+        # (fixed seeds — deterministic, not a flaky statistical test).
+        exact_by_key = {
+            (e.category, e.label): e.seconds for e in exact_result.waits.entries
+        }
+        top = sampling["entries"][0]
+        true_seconds = exact_by_key[(top["category"], top["label"])]
+        assert abs(top["estimate_s"] - true_seconds) <= max(
+            top["ci95_s"], 0.35 * true_seconds
+        )
+
+    def test_sampling_leaves_the_critical_path_exact(self):
+        with _stream_only(StreamConfig(), rounds=30) as analyzer:
+            exact = analyzer.finalize()
+        with _stream_only(
+            StreamConfig(sample_per_label=64), rounds=30
+        ) as analyzer:
+            sampled = analyzer.finalize()
+        assert sampled.path == exact.path
+        assert sampled.runtime_seconds == exact.runtime_seconds
+        assert sampled.waits.efficiencies == exact.waits.efficiencies
+
+    def test_sampling_is_seed_deterministic(self):
+        documents = []
+        for _ in range(2):
+            with _stream_only(
+                StreamConfig(sample_per_label=64, sample_seed=9), rounds=30
+            ) as analyzer:
+                result = analyzer.finalize()
+                documents.append(json.dumps(result.sampling, sort_keys=True))
+        assert documents[0] == documents[1]
+
+
+class TestStreamingValidation:
+    def test_wait_ending_before_arrival_is_rejected(self):
+        """Same validation the batch graph applies, at finalize time."""
+
+        class _Msg:
+            src, dst, tag, nbytes, seq = 0, 1, "t", 8, 0
+            send_time, arrival_time, label = 0.0, 5.0, "p2p"
+
+        analyzer = TraceStreamAnalyzer()
+        analyzer.state(0, "compute", 0.0, 1.0)
+        analyzer.state(1, "p2p", 1.0, 2.0, kind="wait", cause=0)
+        analyzer.comm(_Msg())
+        with analyzer:
+            with pytest.raises(TraceError, match="before its cause arrives"):
+                analyzer.finalize()
